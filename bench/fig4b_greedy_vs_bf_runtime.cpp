@@ -1,0 +1,82 @@
+// Figure 4b: running time of Greedy vs BF (log scale in the paper),
+// Normalized variant, k = n/2 — demonstrating that brute force explodes
+// combinatorially while greedy stays in microseconds, i.e. approximation
+// is necessary.
+//
+// Default sweep stops at n=24 (~2.7M subsets); --full extends toward the
+// paper's n=30 (hours of CPU — the point of the figure).
+//
+// Usage: fig4b_greedy_vs_bf_runtime [--csv] [--full]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/brute_force_solver.h"
+#include "core/greedy_solver.h"
+#include "eval/experiment.h"
+#include "graph/graph_transforms.h"
+#include "synth/dataset_profiles.h"
+#include "util/timer.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  ExperimentEnv env(
+      "Figure 4b: Greedy vs BF running time (Normalized variant)");
+  Status st = env.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const size_t max_n = env.scale == 1.0 ? 30 : 24;
+  PrintExperimentHeader(env, "Figure 4b",
+                        "runtime of Greedy vs BF, k = n/2, Normalized");
+
+  auto full = GenerateProfileGraph(DatasetProfile::kYC, 0.01, env.seed);
+  if (!full.ok()) {
+    std::fprintf(stderr, "%s\n", full.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"n", "k", "subsets", "BF time", "Greedy time",
+                      "BF/Greedy"});
+  for (size_t n = 16; n <= max_n; n += 2) {
+    auto subgraph = TopWeightSubgraph(*full, n);
+    if (!subgraph.ok()) {
+      std::fprintf(stderr, "%s\n", subgraph.status().ToString().c_str());
+      return 1;
+    }
+    // Clamp out-weight sums to 1: YC is Independent-shaped and this
+    // experiment runs the Normalized variant.
+    auto graph = ClampOutWeights(*subgraph);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 1;
+    }
+    const size_t k = n / 2;
+    BruteForceOptions bf_options;
+    bf_options.variant = Variant::kNormalized;
+    bf_options.max_subsets = 0;  // the runtime is the experiment
+    auto optimal = SolveBruteForce(*graph, k, bf_options);
+    GreedyOptions greedy_options;
+    greedy_options.variant = Variant::kNormalized;
+    auto greedy = SolveGreedy(*graph, k, greedy_options);
+    if (!optimal.ok() || !greedy.ok()) {
+      std::fprintf(stderr, "solver failure at n=%zu\n", n);
+      return 1;
+    }
+    table.AddRow(
+        {std::to_string(n), std::to_string(k),
+         FormatCount(BinomialCoefficient(n, k)),
+         FormatDuration(optimal->solve_seconds),
+         FormatDuration(greedy->solve_seconds),
+         TablePrinter::Scientific(
+             greedy->solve_seconds > 0
+                 ? optimal->solve_seconds / greedy->solve_seconds
+                 : 0.0,
+             1)});
+  }
+  env.Emit(table, "Runtime comparison (paper shows this in log scale)");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 4c: coverage quality of all competitors on the YC dataset
+// (Independent variant) for k in {0.1n, 0.3n, ..., 0.9n}. Expected shape:
+// Greedy on top at every k, TopK-C and TopK-W lagging (they ignore cover
+// overlaps / alternatives respectively), Random far below.
+//
+// Usage: fig4c_coverage_quality [--csv] [--scale=0.1] [--profile=YC]
+
+#include <cstdio>
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/runner.h"
+#include "synth/dataset_profiles.h"
+#include "util/timer.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  ExperimentEnv env("Figure 4c: coverage quality of all competitors");
+  env.flags.AddString("profile", "YC", "dataset profile: PE|PF|PM|YC");
+  Status st = env.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto profile = ParseProfileName(env.flags.GetString("profile"));
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  const ProfileSpec& spec = GetProfileSpec(*profile);
+  const Variant variant = spec.natural_variant;
+  const double scale = env.ScaleOr(0.1);
+
+  auto graph = GenerateProfileGraph(*profile, scale, env.seed);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  PrintExperimentHeader(
+      env, "Figure 4c",
+      std::string("coverage of all competitors, ") + spec.name + " (n=" +
+          FormatCount(graph->NumNodes()) + "), variant=" +
+          std::string(VariantName(variant)));
+
+  TablePrinter table(
+      {"k/n", "k", "Greedy", "TopK-C", "TopK-W", "Random(best of 10)"});
+  Rng rng(env.seed + 1);
+  for (double fraction : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    size_t k = static_cast<size_t>(fraction *
+                                   static_cast<double>(graph->NumNodes()));
+    auto entries = RunSuite(
+        {Algorithm::kGreedyLazy, Algorithm::kTopKCoverage,
+         Algorithm::kTopKWeight, Algorithm::kRandom},
+        *graph, k, variant, &rng);
+    if (!entries.ok()) {
+      std::fprintf(stderr, "%s\n", entries.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({TablePrinter::Fixed(fraction, 1), std::to_string(k),
+                  TablePrinter::Percent((*entries)[0].solution.cover, 2),
+                  TablePrinter::Percent((*entries)[1].solution.cover, 2),
+                  TablePrinter::Percent((*entries)[2].solution.cover, 2),
+                  TablePrinter::Percent((*entries)[3].solution.cover, 2)});
+  }
+  env.Emit(table, "Coverage quality (higher is better)");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Google-benchmark microbenchmarks for the hot paths: gain evaluation,
+// node insertion, exact cover evaluation, graph finalization, and the
+// full lazy greedy, across graph sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cover_function.h"
+#include "core/cover_state.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "synth/dataset_profiles.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+PreferenceGraph MakeGraph(uint32_t n, bool normalized) {
+  Rng rng(42);
+  UniformGraphParams params;
+  params.num_nodes = n;
+  params.out_degree = 5;
+  params.normalized_out_weights = normalized;
+  auto g = GenerateUniformGraph(params, &rng);
+  PREFCOVER_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+void BM_GainIndependent(benchmark::State& state) {
+  PreferenceGraph g =
+      MakeGraph(static_cast<uint32_t>(state.range(0)), false);
+  CoverState cover_state(&g, Variant::kIndependent);
+  for (NodeId v = 0; v < g.NumNodes() / 10; ++v) cover_state.AddNode(v);
+  NodeId probe = static_cast<NodeId>(g.NumNodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cover_state.GainOf(probe));
+  }
+}
+BENCHMARK(BM_GainIndependent)->Arg(1000)->Arg(100000);
+
+void BM_GainNormalized(benchmark::State& state) {
+  PreferenceGraph g = MakeGraph(static_cast<uint32_t>(state.range(0)), true);
+  CoverState cover_state(&g, Variant::kNormalized);
+  for (NodeId v = 0; v < g.NumNodes() / 10; ++v) cover_state.AddNode(v);
+  NodeId probe = static_cast<NodeId>(g.NumNodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cover_state.GainOf(probe));
+  }
+}
+BENCHMARK(BM_GainNormalized)->Arg(1000)->Arg(100000);
+
+void BM_AddNodeSweep(benchmark::State& state) {
+  PreferenceGraph g =
+      MakeGraph(static_cast<uint32_t>(state.range(0)), false);
+  for (auto _ : state) {
+    CoverState cover_state(&g, Variant::kIndependent);
+    for (NodeId v = 0; v < g.NumNodes(); v += 7) cover_state.AddNode(v);
+    benchmark::DoNotOptimize(cover_state.cover());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumNodes() / 7));
+}
+BENCHMARK(BM_AddNodeSweep)->Arg(1000)->Arg(100000);
+
+void BM_EvaluateCoverExact(benchmark::State& state) {
+  PreferenceGraph g =
+      MakeGraph(static_cast<uint32_t>(state.range(0)), false);
+  Bitset retained(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); v += 3) retained.Set(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EvaluateCover(g, retained, Variant::kIndependent));
+  }
+}
+BENCHMARK(BM_EvaluateCoverExact)->Arg(1000)->Arg(100000);
+
+void BM_GraphFinalize(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  Rng rng(7);
+  // Pre-draw the edge list so only Finalize is measured per iteration.
+  std::vector<std::tuple<NodeId, NodeId, double>> edges;
+  for (uint32_t v = 0; v < n; ++v) {
+    for (int e = 0; e < 5; ++e) {
+      NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+      if (u == v) continue;
+      edges.emplace_back(v, u, 0.5);
+    }
+  }
+  for (auto _ : state) {
+    GraphBuilder builder;
+    builder.Reserve(n, edges.size());
+    builder.AddNodes(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      PREFCOVER_CHECK(builder.SetNodeWeight(v, 1.0 / n).ok());
+    }
+    for (auto& [from, to, w] : edges) {
+      benchmark::DoNotOptimize(builder.AddEdge(from, to, w));
+    }
+    GraphValidationOptions options;
+    options.require_normalized_node_weights = false;
+    auto g = builder.Finalize(options);
+    // Duplicate random edges are possible; only the success path is
+    // interesting for timing, so tolerate either.
+    benchmark::DoNotOptimize(g.ok());
+  }
+}
+BENCHMARK(BM_GraphFinalize)->Arg(10000)->Arg(100000);
+
+void BM_LazyGreedy(benchmark::State& state) {
+  auto g = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
+  PREFCOVER_CHECK(g.ok());
+  const size_t k = static_cast<size_t>(state.range(0)) / 20;
+  for (auto _ : state) {
+    auto sol = SolveGreedyLazy(*g, k);
+    PREFCOVER_CHECK(sol.ok());
+    benchmark::DoNotOptimize(sol->cover);
+  }
+}
+BENCHMARK(BM_LazyGreedy)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlainGreedy(benchmark::State& state) {
+  auto g = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
+  PREFCOVER_CHECK(g.ok());
+  const size_t k = static_cast<size_t>(state.range(0)) / 20;
+  for (auto _ : state) {
+    auto sol = SolveGreedy(*g, k);
+    PREFCOVER_CHECK(sol.ok());
+    benchmark::DoNotOptimize(sol->cover);
+  }
+}
+BENCHMARK(BM_PlainGreedy)->Arg(2000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prefcover
+
+BENCHMARK_MAIN();

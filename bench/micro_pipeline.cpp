@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks for the data pipeline: session
+// generation, graph construction, variant-selection measures, clickstream
+// CSV I/O and graph serialization.
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "clickstream/clickstream_io.h"
+#include "clickstream/graph_construction.h"
+#include "clickstream/variant_selection.h"
+#include "graph/graph_io.h"
+#include "synth/dataset_profiles.h"
+#include "synth/session_generator.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+// Shared fixtures, built once.
+struct PipelineFixture {
+  Catalog catalog;
+  PreferenceModel model;
+  Clickstream clickstream;
+
+  static PipelineFixture& Get() {
+    static PipelineFixture* fixture = [] {
+      auto* f = new PipelineFixture();
+      Rng rng(42);
+      CatalogParams cparams;
+      cparams.num_items = 2000;
+      cparams.num_categories = 50;
+      f->catalog = std::move(Catalog::Generate(cparams, &rng)).value();
+      PreferenceModelParams mparams;
+      f->model = std::move(
+          PreferenceModel::Build(&f->catalog, mparams, &rng)).value();
+      SessionGeneratorParams sparams;
+      sparams.num_sessions = 100'000;
+      f->clickstream =
+          std::move(GenerateSessions(f->model, sparams, &rng)).value();
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_SessionGeneration(benchmark::State& state) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  Rng rng(7);
+  SessionGeneratorParams params;
+  params.num_sessions = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto cs = GenerateSessions(fixture.model, params, &rng);
+    PREFCOVER_CHECK(cs.ok());
+    benchmark::DoNotOptimize(cs->NumSessions());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SessionGeneration)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  for (auto _ : state) {
+    auto graph = BuildPreferenceGraph(fixture.clickstream);
+    PREFCOVER_CHECK(graph.ok());
+    benchmark::DoNotOptimize(graph->NumEdges());
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(fixture.clickstream.NumSessions()));
+}
+BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_NormalizedFitShare(benchmark::State& state) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalizedFitShare(fixture.clickstream));
+  }
+}
+BENCHMARK(BM_NormalizedFitShare)->Unit(benchmark::kMillisecond);
+
+void BM_IndependenceMeasure(benchmark::State& state) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IndependenceMeasure(fixture.clickstream));
+  }
+}
+BENCHMARK(BM_IndependenceMeasure)->Unit(benchmark::kMillisecond);
+
+void BM_ClickstreamCsvWrite(benchmark::State& state) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  for (auto _ : state) {
+    std::ostringstream out;
+    PREFCOVER_CHECK(WriteClickstreamCsv(fixture.clickstream, &out).ok());
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+BENCHMARK(BM_ClickstreamCsvWrite)->Unit(benchmark::kMillisecond);
+
+void BM_ClickstreamCsvRead(benchmark::State& state) {
+  PipelineFixture& fixture = PipelineFixture::Get();
+  std::ostringstream out;
+  PREFCOVER_CHECK(WriteClickstreamCsv(fixture.clickstream, &out).ok());
+  std::string payload = out.str();
+  for (auto _ : state) {
+    std::istringstream in(payload);
+    auto cs = ReadClickstreamCsv(&in);
+    PREFCOVER_CHECK(cs.ok());
+    benchmark::DoNotOptimize(cs->NumSessions());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_ClickstreamCsvRead)->Unit(benchmark::kMillisecond);
+
+void BM_GraphBinaryRoundTrip(benchmark::State& state) {
+  auto graph = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
+  PREFCOVER_CHECK(graph.ok());
+  for (auto _ : state) {
+    std::stringstream buf;
+    PREFCOVER_CHECK(WriteGraphBinary(*graph, &buf).ok());
+    auto read = ReadGraphBinary(&buf);
+    PREFCOVER_CHECK(read.ok());
+    benchmark::DoNotOptimize(read->NumEdges());
+  }
+}
+BENCHMARK(BM_GraphBinaryRoundTrip)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace prefcover
+
+BENCHMARK_MAIN();

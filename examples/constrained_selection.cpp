@@ -1,0 +1,107 @@
+// Constrained selection: vendor contracts and shipping restrictions.
+//
+// Real inventory decisions rarely start from a blank slate: some items are
+// contractually guaranteed shelf space (force_include) and some cannot be
+// offered at all in a target market (force_exclude — e.g. batteries or
+// liquids in cross-border shipping). This example quantifies the cost of
+// such constraints against the unconstrained optimum and shows how well
+// excluded items remain covered through retained alternatives.
+//
+// Flags: --items, --k-percent, --contracted, --restricted, --seed.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/greedy_solver.h"
+#include "eval/metrics.h"
+#include "synth/dataset_profiles.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "constrained_selection: contracts and restrictions in play");
+  flags.AddInt("items", 5000, "catalog size");
+  flags.AddDouble("k-percent", 10.0, "percent of items to retain");
+  flags.AddInt("contracted", 25, "vendor-contracted items (must retain)");
+  flags.AddInt("restricted", 200, "restricted items (cannot retain)");
+  flags.AddInt("seed", 42, "RNG seed");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const uint32_t items = static_cast<uint32_t>(flags.GetInt("items"));
+  const size_t k = static_cast<size_t>(
+      static_cast<double>(items) * flags.GetDouble("k-percent") / 100.0);
+
+  auto graph = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPF, items,
+      static_cast<uint64_t>(flags.GetInt("seed")));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Draw disjoint contracted / restricted sets.
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")) ^ 0xC0117AC7);
+  const uint32_t contracted_n =
+      static_cast<uint32_t>(flags.GetInt("contracted"));
+  const uint32_t restricted_n =
+      static_cast<uint32_t>(flags.GetInt("restricted"));
+  std::vector<uint32_t> draw =
+      rng.SampleWithoutReplacement(items, contracted_n + restricted_n);
+  GreedyOptions constrained;
+  constrained.force_include.assign(draw.begin(),
+                                   draw.begin() + contracted_n);
+  constrained.force_exclude.assign(draw.begin() + contracted_n, draw.end());
+
+  auto free_solution = SolveGreedyLazy(*graph, k);
+  auto constrained_solution = SolveGreedyLazy(*graph, k, constrained);
+  if (!free_solution.ok() || !constrained_solution.ok()) {
+    std::fprintf(stderr, "solver failure\n");
+    return 1;
+  }
+
+  std::printf("Budget: %zu of %u items; %u contracted, %u restricted.\n\n",
+              k, items, contracted_n, restricted_n);
+  std::printf("Unconstrained cover: %.3f%%\n",
+              free_solution->cover * 100.0);
+  std::printf("Constrained cover:   %.3f%%  (constraint cost %.3f%%)\n",
+              constrained_solution->cover * 100.0,
+              (free_solution->cover - constrained_solution->cover) * 100.0);
+  std::printf("Selection overlap (Jaccard): %.3f\n\n",
+              JaccardSimilarity(free_solution->items,
+                                constrained_solution->items));
+
+  // How well are the restricted items still served?
+  double restricted_demand = 0.0, restricted_served = 0.0;
+  for (NodeId v : constrained.force_exclude) {
+    restricted_demand += graph->NodeWeight(v);
+    restricted_served += constrained_solution->item_contributions[v];
+  }
+  std::printf("Restricted items carry %.3f%% of demand; %.1f%% of it still "
+              "converts\nthrough retained alternatives despite the ban.\n",
+              restricted_demand * 100.0,
+              restricted_demand > 0.0
+                  ? 100.0 * restricted_served / restricted_demand
+                  : 0.0);
+
+  // Contracted items that the optimizer would not have picked.
+  size_t forced_against_merit = 0;
+  for (NodeId v : constrained.force_include) {
+    if (std::find(free_solution->items.begin(), free_solution->items.end(),
+                  v) == free_solution->items.end()) {
+      ++forced_against_merit;
+    }
+  }
+  std::printf("\n%zu of %u contracted items would not have made the "
+              "unconstrained cut —\nthe shelf space they occupy is the "
+              "contract's opportunity cost.\n",
+              forced_against_merit, contracted_n);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Express delivery store (paper Section 1, first motivating scenario).
+//
+// A same-day-delivery warehouse can stock only a small fraction of the
+// electronics catalog. This example generates a PE-shaped catalog, selects
+// the reduced inventory with the greedy solver, and contrasts the achieved
+// request coverage with the naive top-sellers policy — the decision the
+// paper argues a platform actually faces.
+//
+// Flags: --items, --budget-percent, --seed, --threads.
+
+#include <cstdio>
+
+#include "core/baseline_solvers.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_stats.h"
+#include "synth/dataset_profiles.h"
+#include "util/flags.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "express_delivery: choose a same-day-delivery inventory subset");
+  flags.AddInt("items", 20000, "electronics catalog size");
+  flags.AddDouble("budget-percent", 5.0,
+                  "percentage of the catalog the warehouse can stock");
+  flags.AddInt("seed", 42, "RNG seed");
+  flags.AddInt("threads", 0, "solver threads (0 = hardware)");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;  // --help
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const uint32_t items = static_cast<uint32_t>(flags.GetInt("items"));
+  const double pct = flags.GetDouble("budget-percent");
+  const size_t k = static_cast<size_t>(static_cast<double>(items) * pct /
+                                       100.0);
+
+  std::printf("Generating a PE-shaped electronics catalog (%u items)...\n",
+              items);
+  auto graph = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPE, items,
+      static_cast<uint64_t>(flags.GetInt("seed")));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  GraphStats stats = ComputeGraphStats(*graph);
+  std::printf("%s\n\n", stats.ToString().c_str());
+
+  std::printf("Selecting %zu items (%.1f%% of the catalog) for the "
+              "express warehouse...\n",
+              k, pct);
+  Stopwatch timer;
+  auto greedy = SolveGreedyLazy(*graph, k);
+  if (!greedy.ok()) {
+    std::fprintf(stderr, "%s\n", greedy.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Greedy:       covers %6.2f%% of requests  (%s)\n",
+              greedy->cover * 100.0,
+              FormatDuration(greedy->solve_seconds).c_str());
+
+  auto naive = SolveTopKWeight(*graph, k, Variant::kIndependent);
+  if (!naive.ok()) return 1;
+  std::printf("Top sellers:  covers %6.2f%% of requests  (%s)\n",
+              naive->cover * 100.0,
+              FormatDuration(naive->solve_seconds).c_str());
+
+  double uplift = (greedy->cover - naive->cover) * 100.0;
+  std::printf("\nStocking by preference cover instead of sales rank "
+              "recovers an extra\n%.2f%% of consumer requests at the same "
+              "warehouse capacity.\n",
+              uplift);
+
+  // Show a few popular items left out of the warehouse but well covered by
+  // retained alternatives — the "hidden relations" the paper highlights.
+  std::printf("\nPopular items NOT stocked but covered by alternatives:\n");
+  int shown = 0;
+  for (NodeId v = 0; v < graph->NumNodes() && shown < 5; ++v) {
+    if (graph->NodeWeight(v) < 2.0 / static_cast<double>(items)) continue;
+    double coverage = greedy->ItemCoverage(*graph, v);
+    bool retained = coverage == 1.0 && greedy->item_contributions[v] ==
+                                           graph->NodeWeight(v);
+    // Heuristic: skip retained items (their coverage is exactly 1).
+    if (retained) continue;
+    if (coverage < 0.5) continue;
+    std::printf("  %s: %.0f%% of its requests still convert\n",
+                graph->DisplayName(v).c_str(), coverage * 100.0);
+    ++shown;
+  }
+  return 0;
+}

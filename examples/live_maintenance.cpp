@@ -1,0 +1,112 @@
+// Incremental maintenance over a live catalog (the paper's Section 7
+// future-work direction, implemented in core/inventory_maintainer.h).
+//
+// Simulates a day of catalog churn — popularity drift, re-estimated
+// alternative probabilities, items entering and leaving — and shows the
+// maintainer reacting with the cheapest adequate action at each step,
+// while the maintained cover stays near the fresh-solve optimum.
+//
+// Flags: --items, --k, --steps, --seed.
+
+#include <cstdio>
+
+#include "core/greedy_solver.h"
+#include "core/inventory_maintainer.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  FlagParser flags("live_maintenance: retained set under catalog churn");
+  flags.AddInt("items", 2000, "initial catalog size");
+  flags.AddInt("k", 200, "retained-set size");
+  flags.AddInt("steps", 50, "churn steps to simulate");
+  flags.AddInt("seed", 42, "RNG seed");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  const uint32_t items = static_cast<uint32_t>(flags.GetInt("items"));
+
+  // Build the initial catalog.
+  DynamicPreferenceGraph catalog;
+  std::vector<StableId> ids;
+  for (uint32_t i = 0; i < items; ++i) {
+    ids.push_back(catalog.AddItem(rng.NextDouble(0.05, 5.0),
+                                  "sku" + std::to_string(i)));
+  }
+  for (uint32_t i = 0; i < items; ++i) {
+    uint32_t degree = 2 + static_cast<uint32_t>(rng.NextBounded(5));
+    for (uint32_t d = 0; d < degree; ++d) {
+      StableId to = ids[rng.NextBounded(items)];
+      if (to == ids[i]) continue;
+      (void)catalog.UpsertEdge(ids[i], to, rng.NextDouble(0.1, 0.9));
+    }
+  }
+
+  MaintainerOptions options;
+  options.k = static_cast<size_t>(flags.GetInt("k"));
+  options.resolve_drift_tolerance = 0.02;
+  options.force_resolve_every = 25;
+  InventoryMaintainer maintainer(&catalog, options);
+
+  const int steps = static_cast<int>(flags.GetInt("steps"));
+  std::printf("step  action     cover     retained  (catalog size)\n");
+  for (int step = 0; step <= steps; ++step) {
+    if (step > 0) {
+      // A burst of catalog churn.
+      for (int burst = 0; burst < 20; ++burst) {
+        uint64_t pick = rng.NextBounded(100);
+        StableId item = ids[rng.NextBounded(ids.size())];
+        if (!catalog.HasItem(item)) continue;
+        if (pick < 70) {
+          (void)catalog.SetItemWeight(
+              item, catalog.ItemWeight(item) *
+                        rng.NextDouble(0.7, 1.4));
+        } else if (pick < 90) {
+          StableId to = ids[rng.NextBounded(ids.size())];
+          if (catalog.HasItem(to) && to != item) {
+            (void)catalog.UpsertEdge(item, to, rng.NextDouble(0.1, 0.9));
+          }
+        } else if (catalog.NumItems() > items / 2) {
+          (void)catalog.RemoveItem(item);
+        }
+      }
+      // New arrivals keep the catalog alive.
+      if (step % 5 == 0) {
+        StableId fresh = catalog.AddItem(rng.NextDouble(0.5, 5.0));
+        ids.push_back(fresh);
+        for (int e = 0; e < 3; ++e) {
+          StableId to = ids[rng.NextBounded(ids.size())];
+          if (catalog.HasItem(to) && to != fresh) {
+            (void)catalog.UpsertEdge(fresh, to, rng.NextDouble(0.2, 0.8));
+          }
+        }
+      }
+    }
+    auto action = maintainer.Maintain();
+    if (!action.ok()) {
+      std::fprintf(stderr, "%s\n", action.status().ToString().c_str());
+      return 1;
+    }
+    if (step % 5 == 0 || *action == MaintenanceAction::kResolved) {
+      std::printf("%4d  %-9s  %7.3f%%  %8zu  (%zu items)\n", step,
+                  std::string(MaintenanceActionName(*action)).c_str(),
+                  maintainer.current_cover() * 100.0,
+                  maintainer.retained().size(), catalog.NumItems());
+    }
+  }
+  std::printf(
+      "\nLifetime: %llu maintain calls, %llu full re-solves, %llu cheap "
+      "repairs.\nThe maintainer re-solved only when drift exceeded the "
+      "tolerance (or on the\nforced cadence); the rest of the churn was "
+      "absorbed by evaluation and\nlocal repair.\n",
+      static_cast<unsigned long long>(maintainer.maintain_calls()),
+      static_cast<unsigned long long>(maintainer.full_resolves()),
+      static_cast<unsigned long long>(maintainer.repairs()));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: the paper's running example (Figure 1 / Example 1.1).
+//
+// Builds the five-item preference graph, solves the Preference Cover
+// problem for k = 2 under both variants, and prints the retained items
+// with the per-item coverage report — reproducing the 87.3% optimum the
+// paper walks through, versus the 77% of the naive top-sellers choice.
+
+#include <cstdio>
+
+#include "core/baseline_solvers.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+
+using namespace prefcover;
+
+int main() {
+  PreferenceGraph graph = MakePaperExampleGraph();
+
+  std::printf("Catalog (%zu items):\n", graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    std::printf("  %s: requested by %.0f%% of consumers\n",
+                graph.Label(v).c_str(), graph.NodeWeight(v) * 100.0);
+  }
+
+  for (Variant variant : {Variant::kNormalized, Variant::kIndependent}) {
+    std::printf("\n--- %s variant, k = 2 ---\n",
+                std::string(VariantName(variant)).c_str());
+
+    GreedyOptions options;
+    options.variant = variant;
+    auto greedy = SolveGreedy(graph, 2, options);
+    if (!greedy.ok()) {
+      std::fprintf(stderr, "greedy failed: %s\n",
+                   greedy.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Greedy retains:");
+    for (NodeId v : greedy->items) std::printf(" %s", graph.Label(v).c_str());
+    std::printf("  -> covers %.1f%% of requests\n", greedy->cover * 100.0);
+
+    auto naive = SolveTopKWeight(graph, 2, variant);
+    if (!naive.ok()) return 1;
+    std::printf("Top sellers retain:");
+    for (NodeId v : naive->items) std::printf(" %s", graph.Label(v).c_str());
+    std::printf("  -> covers %.1f%% of requests\n", naive->cover * 100.0);
+
+    std::printf("Per-item coverage under the greedy selection:\n");
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      std::printf("  %s: %.0f%%\n", graph.Label(v).c_str(),
+                  greedy->ItemCoverage(graph, v) * 100.0);
+    }
+  }
+  std::printf(
+      "\nThe least-sold item D makes the optimal pair {B, D}: B covers "
+      "most\nrequests for A, B and C, while D covers itself and 90%% of "
+      "E.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Opening a branch overseas (paper Section 1, second motivating scenario),
+// phrased as the complementary minimization problem: regulations restrict
+// the number of items shipped abroad, and the platform wants the SMALLEST
+// catalog that still serves a target share of consumer demand.
+//
+// Flags: --items, --coverage-target, --seed.
+
+#include <cstdio>
+
+#include "core/complementary_solver.h"
+#include "synth/dataset_profiles.h"
+#include "util/flags.h"
+#include "util/timer.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "region_launch: smallest catalog covering a demand target");
+  flags.AddInt("items", 20000, "home-market catalog size");
+  flags.AddDouble("coverage-target", 0.8,
+                  "fraction of consumer requests the launch catalog must "
+                  "cover");
+  flags.AddInt("seed", 42, "RNG seed");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const double target = flags.GetDouble("coverage-target");
+  const uint32_t items = static_cast<uint32_t>(flags.GetInt("items"));
+
+  std::printf("Generating a PF-shaped fashion catalog (%u items)...\n",
+              items);
+  auto graph = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPF, items,
+      static_cast<uint64_t>(flags.GetInt("seed")));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Finding the smallest launch catalog covering %.0f%% of "
+              "demand...\n\n",
+              target * 100.0);
+  struct Row {
+    const char* name;
+    ThresholdAlgorithm algorithm;
+  };
+  const Row rows[] = {
+      {"Greedy", ThresholdAlgorithm::kGreedy},
+      {"TopK-W", ThresholdAlgorithm::kTopKWeight},
+      {"TopK-C", ThresholdAlgorithm::kTopKCoverage},
+  };
+  size_t greedy_size = 0;
+  for (const Row& row : rows) {
+    auto result = SolveCoverageThreshold(*graph, target,
+                                         Variant::kIndependent,
+                                         row.algorithm);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", row.name,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    if (!result->reached) {
+      std::printf("%-8s cannot reach the target (max %.2f%%)\n", row.name,
+                  result->solution.cover * 100.0);
+      continue;
+    }
+    std::printf("%-8s needs %6zu items (%.2f%% of the catalog), covering "
+                "%.2f%%  [%s]\n",
+                row.name, result->set_size,
+                100.0 * static_cast<double>(result->set_size) /
+                    static_cast<double>(graph->NumNodes()),
+                result->solution.cover * 100.0,
+                FormatDuration(result->solution.solve_seconds).c_str());
+    if (row.algorithm == ThresholdAlgorithm::kGreedy) {
+      greedy_size = result->set_size;
+    }
+  }
+  if (greedy_size > 0) {
+    std::printf(
+        "\nThe greedy launch catalog ships %zu item types abroad; the "
+        "baselines\nneed substantially more shelf (and regulation) budget "
+        "for the same\nconsumer satisfaction.\n",
+        greedy_size);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Revenue- and storage-aware inventory selection (the paper's other
+// Section 7 future-work direction, implemented in core/revenue_cover.h).
+//
+// A same-day-delivery warehouse has shelf capacity, items have different
+// footprints (a TV is not a phone case) and different margins. Compares
+// the budgeted revenue-aware solver against the revenue-blind cardinality
+// greedy, at an equal shelf budget.
+//
+// Flags: --items, --capacity-share, --seed.
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/greedy_solver.h"
+#include "core/revenue_cover.h"
+#include "synth/dataset_profiles.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  FlagParser flags("revenue_aware_store: margin- and shelf-aware selection");
+  flags.AddInt("items", 5000, "catalog size");
+  flags.AddDouble("capacity-share", 0.1,
+                  "shelf capacity as a share of the whole catalog's "
+                  "footprint");
+  flags.AddInt("seed", 42, "RNG seed");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const uint32_t items = static_cast<uint32_t>(flags.GetInt("items"));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")) ^ 0xECC0);
+
+  auto graph = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPE, items,
+      static_cast<uint64_t>(flags.GetInt("seed")));
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Economics: margins in $2-$80, footprints in 1-20 shelf units, both
+  // independent of popularity (realistic: cheap accessories sell most).
+  RevenueCoverOptions options;
+  options.revenues.resize(items);
+  options.costs.resize(items);
+  for (uint32_t i = 0; i < items; ++i) {
+    options.revenues[i] = rng.NextDouble(2.0, 80.0);
+    options.costs[i] = 1.0 + std::floor(rng.NextDouble(0.0, 20.0));
+  }
+  double total_footprint =
+      std::accumulate(options.costs.begin(), options.costs.end(), 0.0);
+  options.capacity = total_footprint * flags.GetDouble("capacity-share");
+
+  auto revenue_aware = SolveRevenueCover(*graph, options);
+  if (!revenue_aware.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 revenue_aware.status().ToString().c_str());
+    return 1;
+  }
+
+  // Baseline: revenue-blind cardinality greedy, then cut to the same
+  // shelf budget (take its ranking order until capacity is exhausted).
+  auto blind = SolveGreedyLazy(*graph, graph->NumNodes());
+  if (!blind.ok()) {
+    std::fprintf(stderr, "%s\n", blind.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<NodeId> blind_set;
+  double blind_cost = 0.0;
+  for (NodeId v : blind->items) {
+    if (blind_cost + options.costs[v] > options.capacity) continue;
+    blind_cost += options.costs[v];
+    blind_set.push_back(v);
+  }
+  auto blind_revenue = EvaluateExpectedRevenue(
+      *graph, blind_set, options.revenues, Variant::kIndependent);
+  if (!blind_revenue.ok()) return 1;
+
+  std::printf("Shelf capacity: %.0f units (%.0f%% of the catalog "
+              "footprint)\n\n",
+              options.capacity, flags.GetDouble("capacity-share") * 100.0);
+  std::printf("Revenue-aware greedy: %5zu items, %7.0f units used, "
+              "expected revenue %.4f $/request\n",
+              revenue_aware->items.size(), revenue_aware->total_cost,
+              revenue_aware->expected_revenue);
+  std::printf("Revenue-blind greedy: %5zu items, %7.0f units used, "
+              "expected revenue %.4f $/request\n",
+              blind_set.size(), blind_cost, *blind_revenue);
+  double uplift = revenue_aware->expected_revenue / *blind_revenue - 1.0;
+  std::printf("\nAccounting for margins and footprints lifts expected "
+              "revenue by %.1f%% at\nthe same shelf budget (upper bound "
+              "with everything stocked: %.4f).\n",
+              uplift * 100.0, revenue_aware->revenue_upper_bound);
+  return 0;
+}

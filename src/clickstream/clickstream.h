@@ -1,0 +1,59 @@
+// Clickstream dataset container and summary statistics (Table 2 fields).
+
+#ifndef PREFCOVER_CLICKSTREAM_CLICKSTREAM_H_
+#define PREFCOVER_CLICKSTREAM_CLICKSTREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clickstream/session.h"
+
+namespace prefcover {
+
+/// \brief Summary of a clickstream (the columns of the paper's Table 2,
+/// plus diagnostics used for variant selection).
+struct ClickstreamStats {
+  size_t num_sessions = 0;
+  size_t num_purchases = 0;     // sessions ending in a purchase
+  size_t num_items = 0;         // distinct items seen (clicked or bought)
+  size_t num_clicks = 0;        // total click events
+  double mean_alternatives = 0.0;  // mean alternatives per purchase session
+
+  /// Fraction of purchase sessions with at most one alternative clicked —
+  /// the Normalized-variant fit measure (>= 0.9 recommends Normalized).
+  double at_most_one_alternative_share = 0.0;
+
+  std::string ToString() const;
+};
+
+/// \brief An in-memory clickstream: sessions plus the item dictionary.
+class Clickstream {
+ public:
+  Clickstream() = default;
+
+  /// Appends a session. Item ids must come from mutable_dictionary().
+  void AddSession(Session session) {
+    sessions_.push_back(std::move(session));
+  }
+
+  void Reserve(size_t num_sessions) { sessions_.reserve(num_sessions); }
+
+  const std::vector<Session>& sessions() const { return sessions_; }
+  const ItemDictionary& dictionary() const { return dictionary_; }
+  ItemDictionary* mutable_dictionary() { return &dictionary_; }
+
+  size_t NumSessions() const { return sessions_.size(); }
+  size_t NumItems() const { return dictionary_.size(); }
+
+  /// One-pass summary statistics.
+  ClickstreamStats ComputeStats() const;
+
+ private:
+  std::vector<Session> sessions_;
+  ItemDictionary dictionary_;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CLICKSTREAM_CLICKSTREAM_H_

@@ -1,0 +1,59 @@
+#include "clickstream/session.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace prefcover {
+
+std::vector<ItemId> Session::Alternatives() const {
+  std::vector<ItemId> alts;
+  alts.reserve(clicks.size());
+  for (ItemId item : clicks) {
+    if (item == purchase) continue;
+    if (std::find(alts.begin(), alts.end(), item) != alts.end()) continue;
+    alts.push_back(item);
+  }
+  return alts;
+}
+
+std::vector<std::pair<ItemId, double>> Session::AlternativesWithDwell()
+    const {
+  PREFCOVER_DCHECK(!HasDwell() || dwell_seconds.size() == clicks.size());
+  std::vector<std::pair<ItemId, double>> alts;
+  alts.reserve(clicks.size());
+  for (size_t i = 0; i < clicks.size(); ++i) {
+    ItemId item = clicks[i];
+    if (item == purchase) continue;
+    double dwell = HasDwell() ? dwell_seconds[i] : -1.0;
+    auto it = std::find_if(alts.begin(), alts.end(),
+                           [item](const std::pair<ItemId, double>& entry) {
+                             return entry.first == item;
+                           });
+    if (it == alts.end()) {
+      alts.emplace_back(item, dwell);
+    } else if (dwell > it->second) {
+      it->second = dwell;  // keep the longest dwell per item
+    }
+  }
+  return alts;
+}
+
+ItemId ItemDictionary::Intern(const std::string& name) {
+  auto [it, inserted] =
+      index_.try_emplace(name, static_cast<ItemId>(names_.size()));
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+ItemId ItemDictionary::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidItem : it->second;
+}
+
+const std::string& ItemDictionary::Name(ItemId id) const {
+  PREFCOVER_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace prefcover

@@ -1,0 +1,163 @@
+#include "clickstream/streaming_construction.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+
+#include "graph/graph_builder.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace prefcover {
+
+StreamingGraphBuilder::StreamingGraphBuilder(
+    const GraphConstructionOptions& options)
+    : options_(options) {}
+
+ItemId StreamingGraphBuilder::InternItem(const std::string& name) {
+  ItemId id = dictionary_.Intern(name);
+  if (id >= purchase_count_.size()) purchase_count_.resize(id + 1, 0);
+  return id;
+}
+
+void StreamingGraphBuilder::AddSession(Session session) {
+  ++sessions_seen_;
+  if (!session.HasPurchase()) return;
+  ItemId p = session.purchase;
+  PREFCOVER_CHECK_MSG(p < purchase_count_.size(),
+                      "purchase id not interned through this builder");
+  ++purchase_count_[p];
+  ++purchases_seen_;
+  std::vector<std::pair<ItemId, double>> alts =
+      session.AlternativesWithDwell();
+  if (alts.empty()) return;
+  double mass = 1.0;
+  if (options_.variant == Variant::kNormalized && alts.size() > 1) {
+    mass = 1.0 / static_cast<double>(alts.size());
+  }
+  for (const auto& [b, dwell] : alts) {
+    PREFCOVER_CHECK(b < purchase_count_.size());
+    double corrected = mass;
+    if (options_.dwell_saturation_seconds > 0.0 && dwell >= 0.0) {
+      corrected *=
+          std::min(1.0, dwell / options_.dwell_saturation_seconds);
+    }
+    if (corrected <= 0.0) continue;
+    pair_mass_[(static_cast<uint64_t>(p) << 32) | b] += corrected;
+  }
+}
+
+Result<PreferenceGraph> StreamingGraphBuilder::Finish() const {
+  const size_t num_items = dictionary_.size();
+  if (num_items == 0) {
+    return Status::FailedPrecondition("no items observed");
+  }
+  if (purchases_seen_ == 0) {
+    return Status::FailedPrecondition(
+        "no purchase sessions observed; cannot infer preferences");
+  }
+  GraphBuilder builder;
+  builder.Reserve(num_items, pair_mass_.size());
+  for (ItemId item = 0; item < num_items; ++item) {
+    builder.AddNode(static_cast<double>(purchase_count_[item]) /
+                        static_cast<double>(purchases_seen_),
+                    dictionary_.Name(item));
+  }
+  for (const auto& [key, mass] : pair_mass_) {
+    ItemId from = static_cast<ItemId>(key >> 32);
+    ItemId to = static_cast<ItemId>(key & 0xFFFFFFFFu);
+    if (options_.min_purchases_for_edges > 0 &&
+        purchase_count_[from] < options_.min_purchases_for_edges) {
+      continue;
+    }
+    double weight =
+        mass / static_cast<double>(purchase_count_[from]);
+    if (weight > 1.0) weight = 1.0;
+    if (weight < options_.min_edge_weight) continue;
+    PREFCOVER_RETURN_NOT_OK(builder.AddEdge(from, to, weight));
+  }
+  GraphValidationOptions validation;
+  validation.require_normalized_out_weights =
+      options_.variant == Variant::kNormalized;
+  return builder.Finalize(validation);
+}
+
+Result<PreferenceGraph> BuildPreferenceGraphStreaming(
+    std::istream* events, const GraphConstructionOptions& options) {
+  StreamingGraphBuilder builder(options);
+  CsvReader reader(events);
+  std::vector<std::string> fields;
+  bool header = true;
+  bool has_dwell_column = false;
+  std::string current_sid;
+  bool have_session = false;
+  Session current;
+
+  auto flush = [&builder, &current]() {
+    builder.AddSession(std::move(current));
+    current = Session();
+  };
+
+  while (reader.Next(&fields)) {
+    if (header) {
+      header = false;
+      if ((fields.size() != 3 && fields.size() != 4) ||
+          fields[0] != "session_id") {
+        return Status::InvalidArgument(
+            "clickstream CSV must start with session_id,event_type,item_id"
+            "[,dwell_seconds]");
+      }
+      has_dwell_column = fields.size() == 4;
+      continue;
+    }
+    if (fields.size() != (has_dwell_column ? 4u : 3u)) {
+      return Status::InvalidArgument(
+          "clickstream record " + std::to_string(reader.record_number()) +
+          " has the wrong field count");
+    }
+    const std::string& sid = fields[0];
+    if (!have_session || sid != current_sid) {
+      if (have_session) flush();
+      current_sid = sid;
+      have_session = true;
+    }
+    ItemId item = builder.InternItem(fields[2]);
+    if (fields[1] == "click") {
+      current.clicks.push_back(item);
+      if (has_dwell_column) {
+        double dwell = -1.0;
+        if (!fields[3].empty()) {
+          auto parsed = ParseDouble(fields[3]);
+          if (!parsed.ok()) {
+            return Status::InvalidArgument(
+                "bad dwell value in record " +
+                std::to_string(reader.record_number()));
+          }
+          dwell = *parsed;
+        }
+        current.dwell_seconds.push_back(dwell);
+      }
+    } else if (fields[1] == "purchase") {
+      if (current.HasPurchase()) {
+        return Status::InvalidArgument("session '" + sid +
+                                       "' has multiple purchases");
+      }
+      current.purchase = item;
+    } else {
+      return Status::InvalidArgument("unknown event type '" + fields[1] +
+                                     "'");
+    }
+  }
+  PREFCOVER_RETURN_NOT_OK(reader.status());
+  if (have_session) flush();
+  return builder.Finish();
+}
+
+Result<PreferenceGraph> BuildPreferenceGraphStreamingFile(
+    const std::string& path, const GraphConstructionOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return BuildPreferenceGraphStreaming(&in, options);
+}
+
+}  // namespace prefcover

@@ -1,0 +1,77 @@
+// Streaming preference-graph construction: one pass over a clickstream
+// CSV of any size, without materializing the sessions in memory.
+//
+// The paper's private corpora are tens of millions of sessions; loading
+// them as a Clickstream costs gigabytes. This builder consumes the event
+// stream session-by-session, holding only the per-(purchase, alternative)
+// fractional counts — the same sufficient statistics the in-memory
+// construction uses — so its output is bit-identical to
+// BuildPreferenceGraph on the same data (asserted in tests).
+
+#ifndef PREFCOVER_CLICKSTREAM_STREAMING_CONSTRUCTION_H_
+#define PREFCOVER_CLICKSTREAM_STREAMING_CONSTRUCTION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "clickstream/graph_construction.h"
+#include "clickstream/session.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Incremental construction state: feed sessions, then Finish().
+///
+/// Also usable directly by live systems that receive sessions one at a
+/// time (e.g. from a message queue) rather than from a file.
+class StreamingGraphBuilder {
+ public:
+  explicit StreamingGraphBuilder(
+      const GraphConstructionOptions& options = GraphConstructionOptions());
+
+  /// Item names are interned here; ids are dense in first-seen order.
+  ItemId InternItem(const std::string& name);
+
+  /// Consumes one session (moves from it). Sessions without a purchase
+  /// only contribute their interned items.
+  void AddSession(Session session);
+
+  /// Observed totals so far.
+  uint64_t sessions_seen() const { return sessions_seen_; }
+  uint64_t purchases_seen() const { return purchases_seen_; }
+  size_t items_seen() const { return dictionary_.size(); }
+
+  /// Builds the preference graph from the accumulated statistics. The
+  /// builder remains usable (more sessions may be added and Finish called
+  /// again).
+  Result<PreferenceGraph> Finish() const;
+
+  const ItemDictionary& dictionary() const { return dictionary_; }
+
+ private:
+  GraphConstructionOptions options_;
+  ItemDictionary dictionary_;
+  std::vector<uint64_t> purchase_count_;
+  std::unordered_map<uint64_t, double> pair_mass_;
+  uint64_t sessions_seen_ = 0;
+  uint64_t purchases_seen_ = 0;
+};
+
+/// \brief One-pass construction from an event-CSV stream (same format as
+/// clickstream_io.h: `session_id,event_type,item_id`, grouped by session).
+///
+/// Unlike ReadClickstreamCsv, a session id reappearing after other
+/// sessions is treated as a NEW session rather than rejected — a streaming
+/// pass cannot remember every past id without defeating its purpose.
+Result<PreferenceGraph> BuildPreferenceGraphStreaming(
+    std::istream* events,
+    const GraphConstructionOptions& options = GraphConstructionOptions());
+
+/// File-path convenience.
+Result<PreferenceGraph> BuildPreferenceGraphStreamingFile(
+    const std::string& path,
+    const GraphConstructionOptions& options = GraphConstructionOptions());
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CLICKSTREAM_STREAMING_CONSTRUCTION_H_

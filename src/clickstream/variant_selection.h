@@ -1,0 +1,77 @@
+// Choosing the problem variant from the data (paper Section 5.2, "How to
+// choose the variant").
+//
+// Normalized fits when >= 90% of purchase sessions clicked at most one
+// alternative. Independent fits when the alternatives of each item are
+// (approximately) pairwise independent, measured by the weighted average
+// normalized mutual information (Strehl & Ghosh) being below 0.1.
+
+#ifndef PREFCOVER_CLICKSTREAM_VARIANT_SELECTION_H_
+#define PREFCOVER_CLICKSTREAM_VARIANT_SELECTION_H_
+
+#include <cstddef>
+#include <string>
+
+#include "clickstream/clickstream.h"
+#include "core/variant.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Thresholds from the paper.
+struct VariantSelectionOptions {
+  /// Normalized is a good fit when at least this share of purchase
+  /// sessions implies at most one alternative.
+  double normalized_fit_threshold = 0.9;
+
+  /// Independent is a good fit when the weighted average pairwise NMI is
+  /// below this.
+  double independence_threshold = 0.1;
+
+  /// Cap on alternatives examined per item when forming NMI pairs; the
+  /// most frequently clicked alternatives are kept. Guards the O(a^2)
+  /// pair enumeration on hub items.
+  size_t max_alternatives_per_item = 12;
+};
+
+/// \brief Normalized mutual information of two binary indicator variables
+/// given their joint counts over `total` observations.
+///
+/// counts[x][y] = number of observations with X == x, Y == y.
+/// Returns 0 when either marginal entropy is 0 (a constant variable is
+/// independent of everything).
+double BinaryNormalizedMutualInformation(const uint64_t counts[2][2]);
+
+/// \brief Fraction of purchase sessions with at most one clicked
+/// alternative (the Normalized fit measure).
+double NormalizedFitShare(const Clickstream& clickstream);
+
+/// \brief The paper's independence measure: for each purchased item,
+/// average pairwise NMI over its alternatives' click indicators, then a
+/// purchase-weighted average over items. In [0, 1]; lower = more
+/// independent. Items with fewer than 2 alternatives contribute 0.
+double IndependenceMeasure(const Clickstream& clickstream,
+                           size_t max_alternatives_per_item = 12);
+
+/// \brief Outcome of the variant recommendation.
+struct VariantRecommendation {
+  Variant variant = Variant::kIndependent;
+  double normalized_fit = 0.0;      // >= threshold -> Normalized fits
+  double independence = 1.0;        // < threshold -> Independent fits
+  bool normalized_fits = false;
+  bool independent_fits = false;
+
+  std::string ToString() const;
+};
+
+/// \brief Applies the paper's decision rule: prefer Normalized when its
+/// criterion holds, otherwise Independent when its criterion holds,
+/// otherwise default to Independent with both fit flags false (the paper
+/// leaves other dependency structures to future work).
+VariantRecommendation RecommendVariant(
+    const Clickstream& clickstream,
+    const VariantSelectionOptions& options = VariantSelectionOptions());
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CLICKSTREAM_VARIANT_SELECTION_H_

@@ -1,0 +1,104 @@
+#include "core/baseline_solvers.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/cover_function.h"
+#include "core/cover_state.h"
+#include "util/timer.h"
+#include "util/top_k_heap.h"
+
+namespace prefcover {
+
+namespace {
+
+// Materializes a Solution from a fixed item order by replaying the items
+// through a CoverState (which also yields exact prefix covers and I).
+Solution SolutionFromItems(const PreferenceGraph& graph,
+                           const std::vector<NodeId>& items, Variant variant,
+                           const char* algorithm, double seconds) {
+  CoverState state(&graph, variant);
+  Solution sol;
+  sol.items = items;
+  sol.cover_after_prefix.reserve(items.size());
+  for (NodeId v : items) {
+    state.AddNode(v);
+    sol.cover_after_prefix.push_back(state.cover());
+  }
+  sol.cover = state.cover();
+  sol.item_contributions = state.item_contributions();
+  sol.variant = variant;
+  sol.algorithm = algorithm;
+  sol.solve_seconds = seconds;
+  return sol;
+}
+
+}  // namespace
+
+Result<Solution> SolveTopKWeight(const PreferenceGraph& graph, size_t k,
+                                 Variant variant) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, variant));
+  Stopwatch timer;
+  TopKHeap heap(k);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    heap.Push(v, graph.NodeWeight(v));
+  }
+  std::vector<NodeId> items;
+  items.reserve(k);
+  for (const auto& entry : heap.Extract()) items.push_back(entry.id);
+  return SolutionFromItems(graph, items, variant, "topk-weight",
+                           timer.ElapsedSeconds());
+}
+
+double StandaloneCoverage(const PreferenceGraph& graph, NodeId v) {
+  double cover = graph.NodeWeight(v);
+  AdjacencyView in = graph.InNeighbors(v);
+  for (size_t i = 0; i < in.size(); ++i) {
+    cover += graph.NodeWeight(in.nodes[i]) * in.weights[i];
+  }
+  return cover;
+}
+
+Result<Solution> SolveTopKCoverage(const PreferenceGraph& graph, size_t k,
+                                   Variant variant) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, variant));
+  Stopwatch timer;
+  TopKHeap heap(k);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    heap.Push(v, StandaloneCoverage(graph, v));
+  }
+  std::vector<NodeId> items;
+  items.reserve(k);
+  for (const auto& entry : heap.Extract()) items.push_back(entry.id);
+  return SolutionFromItems(graph, items, variant, "topk-coverage",
+                           timer.ElapsedSeconds());
+}
+
+Result<Solution> SolveRandom(const PreferenceGraph& graph, size_t k,
+                             Variant variant, Rng* rng) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, variant));
+  Stopwatch timer;
+  std::vector<uint32_t> picks = rng->SampleWithoutReplacement(
+      static_cast<uint32_t>(graph.NumNodes()), static_cast<uint32_t>(k));
+  std::vector<NodeId> items(picks.begin(), picks.end());
+  return SolutionFromItems(graph, items, variant, "random",
+                           timer.ElapsedSeconds());
+}
+
+Result<Solution> SolveRandomBestOf(const PreferenceGraph& graph, size_t k,
+                                   Variant variant, Rng* rng, size_t trials) {
+  if (trials == 0) {
+    return Status::InvalidArgument("trials must be positive");
+  }
+  Result<Solution> best = SolveRandom(graph, k, variant, rng);
+  if (!best.ok()) return best;
+  for (size_t t = 1; t < trials; ++t) {
+    Result<Solution> candidate = SolveRandom(graph, k, variant, rng);
+    if (!candidate.ok()) return candidate;
+    if (candidate->cover > best->cover) best = std::move(candidate);
+  }
+  best->algorithm = "random-best-of-" + std::to_string(trials);
+  return best;
+}
+
+}  // namespace prefcover

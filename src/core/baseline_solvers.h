@@ -1,0 +1,48 @@
+// The paper's non-greedy baselines (Section 5.3):
+//   TopK-W  — the k best-selling items (highest node weight), the naive
+//             industry practice the paper argues against;
+//   TopK-C  — the k items with the highest *standalone* coverage
+//             C({v}), i.e. alternatives are considered but overlaps
+//             between chosen items are not;
+//   Random  — k uniformly random items.
+
+#ifndef PREFCOVER_CORE_BASELINE_SOLVERS_H_
+#define PREFCOVER_CORE_BASELINE_SOLVERS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/solution.h"
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Top-k items by node weight (ties to the smaller id). The variant
+/// only affects the reported cover values, not the selection.
+Result<Solution> SolveTopKWeight(const PreferenceGraph& graph, size_t k,
+                                 Variant variant);
+
+/// \brief Standalone coverage of a single item: C({v}) = W(v) +
+/// sum over in-edges (u, v) of W(u) * W(u, v) — identical for both
+/// variants on a single-element set.
+double StandaloneCoverage(const PreferenceGraph& graph, NodeId v);
+
+/// \brief Top-k items by standalone coverage (ties to the smaller id).
+Result<Solution> SolveTopKCoverage(const PreferenceGraph& graph, size_t k,
+                                   Variant variant);
+
+/// \brief k uniformly random distinct items.
+Result<Solution> SolveRandom(const PreferenceGraph& graph, size_t k,
+                             Variant variant, Rng* rng);
+
+/// \brief Best of `trials` independent random draws (the paper reports
+/// Random as "the best across 10 executions").
+Result<Solution> SolveRandomBestOf(const PreferenceGraph& graph, size_t k,
+                                   Variant variant, Rng* rng, size_t trials);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_BASELINE_SOLVERS_H_

@@ -1,0 +1,96 @@
+#include "core/brute_force_solver.h"
+
+#include <limits>
+#include <vector>
+
+#include "core/cover_function.h"
+#include "util/bitset.h"
+#include "util/timer.h"
+
+namespace prefcover {
+
+uint64_t BinomialCoefficient(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    uint64_t factor = n - k + i;
+    // result * factor / i is exact because result already contains C(m, i-1)
+    // for m = n-k+i-1; guard the multiplication against overflow.
+    if (result > std::numeric_limits<uint64_t>::max() / factor) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    result = result * factor / i;
+  }
+  return result;
+}
+
+Result<Solution> SolveBruteForce(const PreferenceGraph& graph, size_t k,
+                                 const BruteForceOptions& options) {
+  const size_t n = graph.NumNodes();
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
+  uint64_t subsets = BinomialCoefficient(n, k);
+  if (options.max_subsets != 0 && subsets > options.max_subsets) {
+    return Status::FailedPrecondition(
+        "brute force would enumerate " + std::to_string(subsets) +
+        " subsets, above the limit of " + std::to_string(options.max_subsets));
+  }
+
+  Stopwatch timer;
+  std::vector<NodeId> current(k);
+  for (size_t i = 0; i < k; ++i) current[i] = static_cast<NodeId>(i);
+
+  Bitset retained(n);
+  auto evaluate = [&](const std::vector<NodeId>& subset) {
+    retained.Reset();
+    for (NodeId v : subset) retained.Set(v);
+    return EvaluateCover(graph, retained, options.variant);
+  };
+
+  std::vector<NodeId> best_set = current;
+  double best_cover = k == 0 ? 0.0 : evaluate(current);
+
+  // Lexicographic enumeration of k-combinations; the first subset achieving
+  // the maximum is therefore the lexicographically smallest optimum.
+  if (k > 0) {
+    for (;;) {
+      // Advance to the next combination.
+      size_t i = k;
+      while (i > 0) {
+        --i;
+        if (current[i] != static_cast<NodeId>(n - k + i)) break;
+        if (i == 0) {
+          i = k;  // signal exhaustion
+          break;
+        }
+      }
+      if (i == k) break;
+      ++current[i];
+      for (size_t j = i + 1; j < k; ++j) current[j] = current[j - 1] + 1;
+
+      double cover = evaluate(current);
+      if (cover > best_cover + 1e-15) {
+        best_cover = cover;
+        best_set = current;
+      }
+    }
+  }
+
+  Solution sol;
+  sol.items = best_set;
+  sol.cover = best_cover;
+  sol.variant = options.variant;
+  sol.algorithm = "brute-force";
+  sol.cover_after_prefix.resize(k);
+  retained.Reset();
+  for (size_t i = 0; i < k; ++i) {
+    retained.Set(best_set[i]);
+    sol.cover_after_prefix[i] = EvaluateCover(graph, retained, options.variant);
+  }
+  sol.item_contributions =
+      ComputeItemCoverContributions(graph, retained, options.variant);
+  sol.solve_seconds = timer.ElapsedSeconds();
+  return sol;
+}
+
+}  // namespace prefcover

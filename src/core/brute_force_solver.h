@@ -1,0 +1,45 @@
+// Exhaustive optimal solver (the paper's BF baseline).
+//
+// Enumerates all C(n, k) subsets and evaluates C(S) exactly. Only feasible
+// for tiny instances (the paper notes 155M subsets already at n=30, k=15);
+// its role is to establish the true optimum against which the greedy
+// solver's empirical approximation ratio is measured (Figures 4a/4b).
+
+#ifndef PREFCOVER_CORE_BRUTE_FORCE_SOLVER_H_
+#define PREFCOVER_CORE_BRUTE_FORCE_SOLVER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/solution.h"
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Options for the exhaustive search.
+struct BruteForceOptions {
+  Variant variant = Variant::kIndependent;
+
+  /// Refuse instances with more than this many subsets, guarding against
+  /// accidental week-long runs. 0 disables the guard.
+  uint64_t max_subsets = 200'000'000ULL;
+};
+
+/// \brief Number of k-subsets of an n-set, saturating at uint64 max.
+uint64_t BinomialCoefficient(uint64_t n, uint64_t k);
+
+/// \brief Exhaustively computes an optimal retained set of size exactly k.
+///
+/// Among equal-cover optima, returns the lexicographically smallest item
+/// set (deterministic output for tests). The solution's items are sorted
+/// ascending; `cover_after_prefix` holds exact covers of the sorted
+/// prefixes.
+Result<Solution> SolveBruteForce(
+    const PreferenceGraph& graph, size_t k,
+    const BruteForceOptions& options = BruteForceOptions());
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_BRUTE_FORCE_SOLVER_H_

@@ -1,0 +1,83 @@
+#include "core/complementary_solver.h"
+
+#include <utility>
+
+#include "core/baseline_solvers.h"
+#include "core/cover_state.h"
+#include "core/greedy_solver.h"
+
+namespace prefcover {
+
+namespace {
+
+// Truncates an ordered solution to its first `size` items, recomputing the
+// dependent fields from the prefix data.
+Solution TruncateToPrefix(const PreferenceGraph& graph, Solution full,
+                          size_t size, Variant variant) {
+  Solution out;
+  out.items = full.PrefixItems(size);
+  out.cover_after_prefix.assign(
+      full.cover_after_prefix.begin(),
+      full.cover_after_prefix.begin() + static_cast<ptrdiff_t>(size));
+  out.cover = size == 0 ? 0.0 : out.cover_after_prefix.back();
+  out.variant = variant;
+  out.algorithm = std::move(full.algorithm);
+  out.solve_seconds = full.solve_seconds;
+  // I must describe the truncated set, not the full one; replaying the
+  // prefix is O(prefix * D) which the callers' sizes tolerate.
+  CoverState state(&graph, variant);
+  for (NodeId v : out.items) state.AddNode(v);
+  out.item_contributions = state.item_contributions();
+  return out;
+}
+
+}  // namespace
+
+Result<ThresholdResult> SolveCoverageThreshold(const PreferenceGraph& graph,
+                                               double threshold,
+                                               Variant variant,
+                                               ThresholdAlgorithm algorithm) {
+  if (threshold < 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("threshold must be in [0, 1]");
+  }
+
+  Solution full;
+  switch (algorithm) {
+    case ThresholdAlgorithm::kGreedy: {
+      // Direct greedy: stop as soon as the running cover clears the
+      // threshold — no binary search, per Section 3.2.
+      GreedyOptions options;
+      options.variant = variant;
+      options.stop_at_cover = threshold;
+      PREFCOVER_ASSIGN_OR_RETURN(
+          full, SolveGreedyLazy(graph, graph.NumNodes(), options));
+      break;
+    }
+    case ThresholdAlgorithm::kTopKWeight: {
+      PREFCOVER_ASSIGN_OR_RETURN(
+          full, SolveTopKWeight(graph, graph.NumNodes(), variant));
+      break;
+    }
+    case ThresholdAlgorithm::kTopKCoverage: {
+      PREFCOVER_ASSIGN_OR_RETURN(
+          full, SolveTopKCoverage(graph, graph.NumNodes(), variant));
+      break;
+    }
+  }
+
+  ThresholdResult result;
+  size_t needed = full.SmallestPrefixReaching(threshold);
+  if (needed > full.items.size()) {
+    // Unreachable even with everything retained.
+    result.set_size = full.items.size();
+    result.reached = false;
+    result.solution = std::move(full);
+    return result;
+  }
+  result.set_size = needed;
+  result.reached = true;
+  result.solution = TruncateToPrefix(graph, std::move(full), needed, variant);
+  return result;
+}
+
+}  // namespace prefcover

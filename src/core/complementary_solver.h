@@ -1,0 +1,55 @@
+// The complementary minimization problem (paper Sections 1, 3.2, 5.4 /
+// Figure 4f): given a lower bound on the fraction of requests that must be
+// covered, find the smallest retained set achieving it.
+//
+// The greedy solver answers this directly — its ordered output means the
+// smallest qualifying prefix is the greedy answer, with no O(log n)
+// binary-search overhead. The baselines are adapted the way the paper
+// adapts them: sort by the relevant per-item metric and binary search for
+// the smallest qualifying prefix.
+
+#ifndef PREFCOVER_CORE_COMPLEMENTARY_SOLVER_H_
+#define PREFCOVER_CORE_COMPLEMENTARY_SOLVER_H_
+
+#include <cstddef>
+
+#include "core/solution.h"
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Algorithm choice for the threshold problem.
+enum class ThresholdAlgorithm {
+  kGreedy,        // direct greedy, stop when the threshold is reached
+  kTopKWeight,    // smallest prefix of the weight-sorted item list
+  kTopKCoverage,  // smallest prefix of the standalone-coverage-sorted list
+};
+
+/// \brief Result of a threshold run.
+struct ThresholdResult {
+  /// The selected set, in the underlying order (greedy selection order or
+  /// the sorted baseline order).
+  Solution solution;
+
+  /// Convenience alias for solution.items.size().
+  size_t set_size = 0;
+
+  /// True if the threshold was actually reached (a threshold can be
+  /// unreachable when parts of the graph are uncoverable).
+  bool reached = false;
+};
+
+/// \brief Smallest set with C(S) >= threshold under `algorithm`.
+///
+/// threshold must be in [0, 1]. When the threshold is unreachable the full
+/// achievable solution is returned with reached == false.
+Result<ThresholdResult> SolveCoverageThreshold(const PreferenceGraph& graph,
+                                               double threshold,
+                                               Variant variant,
+                                               ThresholdAlgorithm algorithm);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_COMPLEMENTARY_SOLVER_H_

@@ -1,0 +1,86 @@
+#include "core/cover_function.h"
+
+#include "graph/graph_stats.h"
+
+namespace prefcover {
+
+Status ValidateInstance(const PreferenceGraph& graph, size_t k,
+                        Variant variant) {
+  if (k > graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "budget k=" + std::to_string(k) + " exceeds catalog size n=" +
+        std::to_string(graph.NumNodes()));
+  }
+  if (variant == Variant::kNormalized &&
+      !IsNormalizedAdmissible(graph, /*tolerance=*/1e-9)) {
+    return Status::FailedPrecondition(
+        "Normalized variant requires per-node outgoing weight sums <= 1; "
+        "clamp the graph (ClampOutWeights) or use the Independent variant");
+  }
+  return Status::OK();
+}
+
+double CoverOfItem(const PreferenceGraph& graph, const Bitset& retained,
+                   NodeId v, Variant variant) {
+  if (retained.Test(v)) return 1.0;
+  AdjacencyView out = graph.OutNeighbors(v);
+  switch (variant) {
+    case Variant::kIndependent: {
+      double miss = 1.0;  // probability no retained alternative fits
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (retained.Test(out.nodes[i])) miss *= 1.0 - out.weights[i];
+      }
+      return 1.0 - miss;
+    }
+    case Variant::kNormalized: {
+      double hit = 0.0;
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (retained.Test(out.nodes[i])) hit += out.weights[i];
+      }
+      // Out-weight sums are <= 1 for admissible graphs; clamp guards
+      // accumulated floating-point excess only.
+      return hit > 1.0 ? 1.0 : hit;
+    }
+  }
+  return 0.0;
+}
+
+double EvaluateCover(const PreferenceGraph& graph, const Bitset& retained,
+                     Variant variant) {
+  double cover = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    cover += graph.NodeWeight(v) * CoverOfItem(graph, retained, v, variant);
+  }
+  return cover;
+}
+
+Result<double> EvaluateCover(const PreferenceGraph& graph,
+                             const std::vector<NodeId>& retained_items,
+                             Variant variant) {
+  Bitset retained(graph.NumNodes());
+  for (NodeId v : retained_items) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("retained item out of range: " +
+                                     std::to_string(v));
+    }
+    if (retained.Test(v)) {
+      return Status::InvalidArgument("duplicate retained item: " +
+                                     std::to_string(v));
+    }
+    retained.Set(v);
+  }
+  return EvaluateCover(graph, retained, variant);
+}
+
+std::vector<double> ComputeItemCoverContributions(const PreferenceGraph& graph,
+                                                  const Bitset& retained,
+                                                  Variant variant) {
+  std::vector<double> contributions(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    contributions[v] =
+        graph.NodeWeight(v) * CoverOfItem(graph, retained, v, variant);
+  }
+  return contributions;
+}
+
+}  // namespace prefcover

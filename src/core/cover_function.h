@@ -1,0 +1,54 @@
+// Exact, from-scratch evaluation of the cover function C(S)
+// (Definitions 2.1 and 2.2).
+//
+// This is the reference implementation ("oracle") the incremental
+// CoverState is validated against, and the evaluator the brute-force solver
+// uses. O(n + m) per call; solvers on hot paths use CoverState instead.
+
+#ifndef PREFCOVER_CORE_COVER_FUNCTION_H_
+#define PREFCOVER_CORE_COVER_FUNCTION_H_
+
+#include <vector>
+
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Validates a (graph, k, variant) problem instance: k within the
+/// catalog, and — for the Normalized variant — out-weight sums <= 1, the
+/// admissibility its cover semantics requires (Definition 2.2). All
+/// solvers call this before touching the instance, so an Independent-style
+/// graph can never be silently mis-scored under Normalized semantics.
+Status ValidateInstance(const PreferenceGraph& graph, size_t k,
+                        Variant variant);
+
+/// \brief Probability that a request for `v` is matched when `retained`
+/// marks the retained set S.
+///
+/// 1 if v is retained; otherwise the variant-specific combination of v's
+/// retained out-neighbors.
+double CoverOfItem(const PreferenceGraph& graph, const Bitset& retained,
+                   NodeId v, Variant variant);
+
+/// \brief C(S): probability that a request drawn from the node-weight
+/// distribution is matched. Exact, from scratch.
+double EvaluateCover(const PreferenceGraph& graph, const Bitset& retained,
+                     Variant variant);
+
+/// \brief Convenience overload taking S as a node list (duplicates and
+/// out-of-range ids rejected).
+Result<double> EvaluateCover(const PreferenceGraph& graph,
+                             const std::vector<NodeId>& retained_items,
+                             Variant variant);
+
+/// \brief Per-item matched probabilities I[v] = W(v) * CoverOfItem(v), the
+/// paper's I array, computed from scratch. Sums to C(S).
+std::vector<double> ComputeItemCoverContributions(
+    const PreferenceGraph& graph, const Bitset& retained, Variant variant);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_COVER_FUNCTION_H_

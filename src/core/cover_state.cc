@@ -1,0 +1,89 @@
+#include "core/cover_state.h"
+
+namespace prefcover {
+
+CoverState::CoverState(const PreferenceGraph* graph, Variant variant)
+    : graph_(graph),
+      variant_(variant),
+      retained_(graph->NumNodes()),
+      item_(graph->NumNodes(), 0.0) {}
+
+double CoverState::GainOf(NodeId v) const {
+  PREFCOVER_DCHECK(!retained_.Test(v));
+  // Line 1 of Algorithms 2/4: the candidate's own uncovered weight.
+  double gain = graph_->NodeWeight(v) - item_[v];
+  AdjacencyView in = graph_->InNeighbors(v);
+  switch (variant_) {
+    case Variant::kNormalized:
+      // Algorithm 2: each non-retained u with edge (u, v) newly routes
+      // W(u) * W(u, v) of its requests to v. Retained u are fully covered
+      // already (I[u] == W(u)); adding their term would double count.
+      // u == v (a self-loop, as produced by the VC_k reduction) is also
+      // excluded: v's own weight is fully accounted for by line 1.
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (u != v && !retained_.Test(u)) {
+          gain += graph_->NodeWeight(u) * in.weights[i];
+        }
+      }
+      break;
+    case Variant::kIndependent:
+      // Algorithm 4: the residual uncovered mass of u, W(u) - I[u], is
+      // matched by v independently with probability W(u, v).
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (u != v && !retained_.Test(u)) {
+          gain += in.weights[i] * (graph_->NodeWeight(u) - item_[u]);
+        }
+      }
+      break;
+  }
+  return gain;
+}
+
+void CoverState::AddNode(NodeId v) {
+  PREFCOVER_DCHECK(!retained_.Test(v));
+  retained_.Set(v);
+  ++num_retained_;
+  // Lines 2-3 of Algorithms 3/5: v now covers itself completely.
+  cover_ += graph_->NodeWeight(v) - item_[v];
+  item_[v] = graph_->NodeWeight(v);
+
+  AdjacencyView in = graph_->InNeighbors(v);
+  switch (variant_) {
+    case Variant::kNormalized:
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (retained_.Test(u)) continue;
+        double delta = graph_->NodeWeight(u) * in.weights[i];
+        cover_ += delta;
+        item_[u] += delta;
+      }
+      break;
+    case Variant::kIndependent:
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (retained_.Test(u)) continue;
+        double delta = in.weights[i] * (graph_->NodeWeight(u) - item_[u]);
+        cover_ += delta;
+        item_[u] += delta;
+      }
+      break;
+  }
+}
+
+double CoverState::ItemCoverage(NodeId v) const {
+  if (retained_.Test(v)) return 1.0;
+  double w = graph_->NodeWeight(v);
+  if (w <= 0.0) return 0.0;
+  return item_[v] / w;
+}
+
+void CoverState::Reset() {
+  retained_.Reset();
+  item_.assign(graph_->NumNodes(), 0.0);
+  cover_ = 0.0;
+  num_retained_ = 0;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,70 @@
+// Incremental cover bookkeeping shared by all solvers: the paper's I array
+// together with the variant-specific Gain (Algorithms 2 and 4) and AddNode
+// (Algorithms 3 and 5) procedures.
+//
+// Invariant maintained throughout: I[v] is the probability that item v is
+// both requested and matched by the current retained set S, so
+// sum_v I[v] == C(S), and for v in S, I[v] == W(v).
+//
+// GainOf is const and touches only v's in-neighbors, so concurrent GainOf
+// calls from multiple threads are safe (the parallel greedy solver's
+// per-iteration candidate scan). AddNode requires exclusive access.
+
+#ifndef PREFCOVER_CORE_COVER_STATE_H_
+#define PREFCOVER_CORE_COVER_STATE_H_
+
+#include <vector>
+
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/bitset.h"
+
+namespace prefcover {
+
+/// \brief Mutable solver state: retained set S, I array and running C(S).
+class CoverState {
+ public:
+  /// The graph must outlive the state.
+  CoverState(const PreferenceGraph* graph, Variant variant);
+
+  /// Marginal gain to C(S) from adding v to S (Algorithm 2 for the
+  /// Normalized variant, Algorithm 4 for the Independent one).
+  /// Requires v not retained. Thread-safe against other GainOf calls.
+  double GainOf(NodeId v) const;
+
+  /// Adds v to S, updating I and C(S) in O(in-degree of v)
+  /// (Algorithms 3 / 5). Requires v not retained.
+  void AddNode(NodeId v);
+
+  /// C(S) as maintained incrementally.
+  double cover() const { return cover_; }
+
+  bool IsRetained(NodeId v) const { return retained_.Test(v); }
+  size_t NumRetained() const { return num_retained_; }
+  const Bitset& retained() const { return retained_; }
+
+  /// The I array: I[v] = P(v requested and matched by S).
+  const std::vector<double>& item_contributions() const { return item_; }
+
+  /// Cover of item v by S, i.e. I[v] / W(v) (1 for retained items,
+  /// 0 when W(v) == 0 and v unretained).
+  double ItemCoverage(NodeId v) const;
+
+  Variant variant() const { return variant_; }
+  const PreferenceGraph& graph() const { return *graph_; }
+
+  /// Returns to the empty retained set.
+  void Reset();
+
+ private:
+  const PreferenceGraph* graph_;
+  Variant variant_;
+  Bitset retained_;
+  std::vector<double> item_;  // the paper's I array
+  double cover_ = 0.0;
+  size_t num_retained_ = 0;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_COVER_STATE_H_

@@ -1,0 +1,228 @@
+#include "core/greedy_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <queue>
+#include <vector>
+
+#include "core/cover_function.h"
+#include "core/cover_state.h"
+#include "util/bitset.h"
+#include "util/parallel_for.h"
+#include "util/timer.h"
+
+namespace prefcover {
+
+namespace {
+
+Solution FinishSolution(const CoverState& state, std::vector<NodeId> items,
+                        std::vector<double> prefix_covers, Variant variant,
+                        const char* algorithm, double seconds) {
+  Solution sol;
+  sol.items = std::move(items);
+  sol.cover_after_prefix = std::move(prefix_covers);
+  sol.cover = state.cover();
+  sol.item_contributions = state.item_contributions();
+  sol.variant = variant;
+  sol.algorithm = algorithm;
+  sol.solve_seconds = seconds;
+  return sol;
+}
+
+// Validates force_include / force_exclude and seeds the solver state with
+// the forced items (recording them as the first selections). On return
+// `excluded` marks the nodes barred from selection.
+Status ApplyConstraints(const PreferenceGraph& graph, size_t k,
+                        const GreedyOptions& options, CoverState* state,
+                        std::vector<NodeId>* items,
+                        std::vector<double>* prefix_covers,
+                        Bitset* excluded) {
+  *excluded = Bitset(graph.NumNodes());
+  for (NodeId v : options.force_exclude) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("force_exclude item out of range: " +
+                                     std::to_string(v));
+    }
+    excluded->Set(v);
+  }
+  if (options.force_include.size() > k) {
+    return Status::InvalidArgument(
+        "force_include larger than the budget k");
+  }
+  for (NodeId v : options.force_include) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("force_include item out of range: " +
+                                     std::to_string(v));
+    }
+    if (excluded->Test(v)) {
+      return Status::InvalidArgument(
+          "item " + std::to_string(v) +
+          " is both force_include and force_exclude");
+    }
+    if (state->IsRetained(v)) {
+      return Status::InvalidArgument("force_include item duplicated: " +
+                                     std::to_string(v));
+    }
+    state->AddNode(v);
+    items->push_back(v);
+    prefix_covers->push_back(state->cover());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
+                             const GreedyOptions& options) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
+  Stopwatch timer;
+  const size_t n = graph.NumNodes();
+  CoverState state(&graph, options.variant);
+  std::vector<NodeId> items;
+  std::vector<double> prefix_covers;
+  items.reserve(k);
+  prefix_covers.reserve(k);
+  Bitset excluded;
+  PREFCOVER_RETURN_NOT_OK(ApplyConstraints(graph, k, options, &state,
+                                           &items, &prefix_covers,
+                                           &excluded));
+
+  while (items.size() < k) {
+    if (state.cover() >= options.stop_at_cover) break;
+    double best_gain = -1.0;
+    NodeId best = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (state.IsRetained(v) || excluded.Test(v)) continue;
+      double gain = state.GainOf(v);
+      if (gain > best_gain) {  // strict: ties keep the smaller id
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == kInvalidNode) break;  // all nodes retained
+    state.AddNode(best);
+    items.push_back(best);
+    prefix_covers.push_back(state.cover());
+  }
+  return FinishSolution(state, std::move(items), std::move(prefix_covers),
+                        options.variant, "greedy", timer.ElapsedSeconds());
+}
+
+Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
+                                     ThreadPool* pool,
+                                     const GreedyOptions& options) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
+  Stopwatch timer;
+  const size_t n = graph.NumNodes();
+  CoverState state(&graph, options.variant);
+  std::vector<NodeId> items;
+  std::vector<double> prefix_covers;
+  items.reserve(k);
+  prefix_covers.reserve(k);
+  Bitset excluded;
+  PREFCOVER_RETURN_NOT_OK(ApplyConstraints(graph, k, options, &state,
+                                           &items, &prefix_covers,
+                                           &excluded));
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  while (items.size() < k) {
+    if (state.cover() >= options.stop_at_cover) break;
+    double best_gain = kNegInf;
+    size_t best = ParallelArgMax(
+        pool, n,
+        [&state, &excluded](size_t v) {
+          NodeId node = static_cast<NodeId>(v);
+          if (state.IsRetained(node) || excluded.Test(node)) {
+            return -std::numeric_limits<double>::infinity();
+          }
+          return state.GainOf(node);
+        },
+        &best_gain);
+    if (best == n || best_gain == kNegInf) break;
+    NodeId chosen = static_cast<NodeId>(best);
+    state.AddNode(chosen);
+    items.push_back(chosen);
+    prefix_covers.push_back(state.cover());
+  }
+  return FinishSolution(state, std::move(items), std::move(prefix_covers),
+                        options.variant, "greedy-parallel",
+                        timer.ElapsedSeconds());
+}
+
+Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
+                                 const GreedyOptions& options) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
+  Stopwatch timer;
+  const size_t n = graph.NumNodes();
+  CoverState state(&graph, options.variant);
+  std::vector<NodeId> items;
+  std::vector<double> prefix_covers;
+  items.reserve(k);
+  prefix_covers.reserve(k);
+  Bitset excluded;
+  PREFCOVER_RETURN_NOT_OK(ApplyConstraints(graph, k, options, &state,
+                                           &items, &prefix_covers,
+                                           &excluded));
+
+  struct HeapEntry {
+    double gain;
+    NodeId node;
+    // Selection round the gain was computed in; stale entries are
+    // re-evaluated before they can win.
+    uint32_t round;
+  };
+  struct Worse {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.gain != b.gain) return a.gain < b.gain;
+      return a.node > b.node;  // smaller id wins ties, as in plain greedy
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Worse> heap;
+
+  {
+    // Initial gains: I is all zeros, so GainOf reduces to the static
+    // standalone value; one pass over the in-adjacency.
+    std::vector<HeapEntry> initial;
+    initial.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (state.IsRetained(v) || excluded.Test(v)) continue;
+      initial.push_back({state.GainOf(v), v, 0});
+    }
+    heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, Worse>(
+        Worse(), std::move(initial));
+  }
+
+  uint32_t round = 0;
+  while (items.size() < k && !heap.empty()) {
+    if (state.cover() >= options.stop_at_cover) break;
+    HeapEntry top = heap.top();
+    heap.pop();
+    if (state.IsRetained(top.node)) continue;
+    if (top.round != round) {
+      // Submodularity: the true gain can only be <= the stale value, so
+      // after refreshing, re-inserting preserves heap correctness.
+      top.gain = state.GainOf(top.node);
+      top.round = round;
+      heap.push(top);
+      continue;
+    }
+    state.AddNode(top.node);
+    items.push_back(top.node);
+    prefix_covers.push_back(state.cover());
+    ++round;
+  }
+  return FinishSolution(state, std::move(items), std::move(prefix_covers),
+                        options.variant, "greedy-lazy",
+                        timer.ElapsedSeconds());
+}
+
+double GreedyApproximationGuarantee(Variant variant, size_t k, size_t n) {
+  const double one_minus_inv_e = 1.0 - 1.0 / std::numbers::e;
+  if (variant == Variant::kIndependent || n == 0) return one_minus_inv_e;
+  double ratio = static_cast<double>(k) / static_cast<double>(n);
+  double vc_bound = 1.0 - (1.0 - ratio) * (1.0 - ratio);
+  return std::max(one_minus_inv_e, vc_bound);
+}
+
+}  // namespace prefcover

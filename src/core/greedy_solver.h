@@ -1,0 +1,77 @@
+// The paper's greedy scheme (Algorithm 1) in three executions that produce
+// identical solutions:
+//
+//   - plain:    the literal O(nkD) loop — each of the k iterations scans
+//               every unretained candidate's Gain;
+//   - parallel: the paper's parallelization — the per-iteration candidate
+//               scan fans out over a thread pool, O(k + nkD/N) for N
+//               threads;
+//   - lazy:     CELF-style stale-gain pruning. Both variants' cover
+//               functions are monotone submodular, so a candidate's gain
+//               only decreases as S grows; re-evaluating the heap top until
+//               it is fresh selects exactly the plain-greedy argmax (ties
+//               break to the smaller id in all three executions).
+//
+// Approximation guarantees (paper Theorems 3.1 / 4.1 and Table 1):
+//   Independent: (1 - 1/e), tight unless P = NP.
+//   Normalized:  max{(1 - 1/e), 1 - (1 - k/n)^2}.
+
+#ifndef PREFCOVER_CORE_GREEDY_SOLVER_H_
+#define PREFCOVER_CORE_GREEDY_SOLVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/solution.h"
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace prefcover {
+
+/// \brief Options shared by the greedy-family entry points.
+struct GreedyOptions {
+  Variant variant = Variant::kIndependent;
+
+  /// Stop early once C(S) reaches this threshold (the complementary
+  /// minimization problem of Section 3.2); 1.0 keeps the budget semantics
+  /// (C(S) can reach 1 exactly only when S covers everything).
+  double stop_at_cover = 2.0;  // > 1 == never stop early
+
+  /// Items that MUST be retained (e.g. contracted with a vendor). They are
+  /// selected first, in the given order, and count toward the budget k.
+  /// Must be distinct, within range, of size <= k, and disjoint from
+  /// force_exclude.
+  std::vector<NodeId> force_include;
+
+  /// Items that must NOT be retained (e.g. restricted from cross-border
+  /// shipping). They can still be *covered* by retained alternatives.
+  std::vector<NodeId> force_exclude;
+};
+
+/// \brief Plain greedy (Algorithm 1). k must be <= NumNodes().
+Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
+                             const GreedyOptions& options = GreedyOptions());
+
+/// \brief Parallel greedy: candidate gains are evaluated on `pool`
+/// (nullptr degrades to the plain loop). Produces the same solution as
+/// SolveGreedy for any thread count.
+Result<Solution> SolveGreedyParallel(
+    const PreferenceGraph& graph, size_t k, ThreadPool* pool,
+    const GreedyOptions& options = GreedyOptions());
+
+/// \brief Lazy (CELF) greedy. Produces the same solution as SolveGreedy,
+/// typically orders of magnitude faster for large n with small k/n.
+Result<Solution> SolveGreedyLazy(
+    const PreferenceGraph& graph, size_t k,
+    const GreedyOptions& options = GreedyOptions());
+
+/// \brief The theoretical greedy approximation guarantee for a problem
+/// size (Table 1, "Greedy Algorithm" column):
+/// Independent -> 1 - 1/e; Normalized -> max{1 - 1/e, 1 - (1 - k/n)^2}.
+double GreedyApproximationGuarantee(Variant variant, size_t k, size_t n);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_GREEDY_SOLVER_H_

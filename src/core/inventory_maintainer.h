@@ -1,0 +1,110 @@
+// Incremental maintenance of a retained set over a changing catalog — the
+// extension the paper names as the direction "we are currently pursuing"
+// (Section 7).
+//
+// The maintainer owns a retained set of k items over a
+// DynamicPreferenceGraph and keeps it good as the graph drifts, choosing
+// the cheapest adequate reaction to each batch of updates:
+//
+//   kNone       — the graph has not changed since the last call;
+//   kEvaluated  — re-scored the current set on the new snapshot; its cover
+//                 is within the drift tolerance, nothing rebuilt;
+//   kRepaired   — some retained items left the catalog (or k grew): the
+//                 survivors were kept and the gap was refilled greedily,
+//                 without re-optimizing the whole set;
+//   kResolved   — the drift tolerance was exceeded (or a resolve was
+//                 forced): full greedy re-solve from scratch.
+//
+// Everything is expressed in StableIds, which survive catalog changes.
+
+#ifndef PREFCOVER_CORE_INVENTORY_MAINTAINER_H_
+#define PREFCOVER_CORE_INVENTORY_MAINTAINER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/variant.h"
+#include "graph/dynamic_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Maintenance policy knobs.
+struct MaintainerOptions {
+  Variant variant = Variant::kIndependent;
+
+  /// Target retained-set size (capped by the live catalog size).
+  size_t k = 0;
+
+  /// Full re-solve when the current set's cover falls more than this far
+  /// below the cover it had when last solved (absolute probability mass).
+  double resolve_drift_tolerance = 0.02;
+
+  /// Force a full re-solve at least every this many Maintain() calls that
+  /// observed changes (0 = never force). Bounds staleness accumulated
+  /// through many small, individually tolerable drifts.
+  uint64_t force_resolve_every = 0;
+};
+
+/// \brief What a Maintain() call did.
+enum class MaintenanceAction { kNone, kEvaluated, kRepaired, kResolved };
+
+std::string_view MaintenanceActionName(MaintenanceAction action);
+
+/// \brief Keeps a retained set current over a mutating catalog.
+class InventoryMaintainer {
+ public:
+  /// The graph must outlive the maintainer.
+  InventoryMaintainer(const DynamicPreferenceGraph* graph,
+                      const MaintainerOptions& options);
+
+  /// Reacts to any updates since the last call; see MaintenanceAction.
+  Result<MaintenanceAction> Maintain();
+
+  /// Forces a full re-solve regardless of drift.
+  Status Resolve();
+
+  /// The maintained retained set (stable ids, unspecified order). Empty
+  /// before the first Maintain()/Resolve().
+  const std::vector<StableId>& retained() const { return retained_; }
+
+  /// Cover of the maintained set on the snapshot taken by the most recent
+  /// Maintain()/Resolve().
+  double current_cover() const { return current_cover_; }
+
+  /// Cover achieved at the last full solve (the drift baseline).
+  double last_solved_cover() const { return last_solved_cover_; }
+
+  /// \name Lifetime counters (observability).
+  /// @{
+  uint64_t maintain_calls() const { return maintain_calls_; }
+  uint64_t full_resolves() const { return full_resolves_; }
+  uint64_t repairs() const { return repairs_; }
+  /// @}
+
+ private:
+  /// Scores `retained_` on a fresh snapshot; drops dead items. Returns the
+  /// number of retained items that disappeared.
+  Result<size_t> RescoreOnCurrentGraph();
+
+  /// Refills the retained set up to k by greedy marginal gain, keeping the
+  /// current members fixed.
+  Status GreedyRefill();
+
+  const DynamicPreferenceGraph* graph_;
+  MaintainerOptions options_;
+  std::vector<StableId> retained_;
+  double current_cover_ = 0.0;
+  double last_solved_cover_ = 0.0;
+  uint64_t last_seen_version_ = 0;
+  uint64_t maintain_calls_ = 0;
+  uint64_t full_resolves_ = 0;
+  uint64_t repairs_ = 0;
+  uint64_t changes_since_resolve_ = 0;
+  bool solved_once_ = false;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_INVENTORY_MAINTAINER_H_

@@ -1,0 +1,133 @@
+#include "core/max_dominating_set.h"
+
+#include <algorithm>
+
+#include "core/brute_force_solver.h"  // BinomialCoefficient
+#include "graph/graph_builder.h"
+#include "util/bitset.h"
+
+namespace prefcover {
+
+DominatingSetInstance::DominatingSetInstance(size_t num_nodes)
+    : out_(num_nodes) {}
+
+Status DominatingSetInstance::AddEdge(NodeId from, NodeId to) {
+  if (from >= out_.size() || to >= out_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument(
+        "self-loops are meaningless for domination");
+  }
+  out_[from].push_back(to);
+  ++num_edges_;
+  return Status::OK();
+}
+
+size_t DominatingSetInstance::DominatedCount(
+    const std::vector<NodeId>& set) const {
+  Bitset dominated(out_.size());
+  for (NodeId v : set) {
+    dominated.Set(v);
+    for (NodeId u : out_[v]) dominated.Set(u);
+  }
+  return dominated.Count();
+}
+
+Result<std::vector<NodeId>> SolveDominatingSetGreedy(
+    const DominatingSetInstance& instance, size_t k) {
+  const size_t n = instance.NumNodes();
+  if (k > n) return Status::InvalidArgument("budget k exceeds node count");
+  Bitset dominated(n);
+  Bitset chosen(n);
+  std::vector<NodeId> set;
+  set.reserve(k);
+  for (size_t round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    size_t best_gain = 0;
+    bool found = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (chosen.Test(v)) continue;
+      size_t gain = dominated.Test(v) ? 0 : 1;
+      for (NodeId u : instance.OutNeighbors(v)) {
+        if (!dominated.Test(u)) ++gain;
+      }
+      if (!found || gain > best_gain) {
+        found = true;
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (!found) break;
+    chosen.Set(best);
+    set.push_back(best);
+    dominated.Set(best);
+    for (NodeId u : instance.OutNeighbors(best)) dominated.Set(u);
+  }
+  return set;
+}
+
+Result<std::vector<NodeId>> SolveDominatingSetBruteForce(
+    const DominatingSetInstance& instance, size_t k, uint64_t max_subsets) {
+  const size_t n = instance.NumNodes();
+  if (k > n) return Status::InvalidArgument("budget k exceeds node count");
+  uint64_t subsets = BinomialCoefficient(n, k);
+  if (max_subsets != 0 && subsets > max_subsets) {
+    return Status::FailedPrecondition("instance too large for brute force");
+  }
+  std::vector<NodeId> current(k);
+  for (size_t i = 0; i < k; ++i) current[i] = static_cast<NodeId>(i);
+  std::vector<NodeId> best = current;
+  size_t best_count = k == 0 ? 0 : instance.DominatedCount(current);
+  if (k > 0) {
+    for (;;) {
+      size_t i = k;
+      while (i > 0) {
+        --i;
+        if (current[i] != static_cast<NodeId>(n - k + i)) break;
+        if (i == 0) {
+          i = k;
+          break;
+        }
+      }
+      if (i == k) break;
+      ++current[i];
+      for (size_t j = i + 1; j < k; ++j) current[j] = current[j - 1] + 1;
+      size_t count = instance.DominatedCount(current);
+      if (count > best_count) {
+        best_count = count;
+        best = current;
+      }
+    }
+  }
+  return best;
+}
+
+Result<PreferenceGraph> ReduceDsToIpc(
+    const DominatingSetInstance& instance) {
+  const size_t n = instance.NumNodes();
+  if (n == 0) {
+    return Status::InvalidArgument("empty DS_k instance");
+  }
+  GraphBuilder builder;
+  builder.Reserve(n, instance.NumEdges());
+  for (NodeId v = 0; v < n; ++v) {
+    builder.AddNode(1.0 / static_cast<double>(n));
+  }
+  // Theorem 4.1: edges REVERSED, probability 1. Duplicate directed edges
+  // in the DS instance collapse to one (probability 1 either way).
+  for (NodeId v = 0; v < n; ++v) {
+    std::vector<NodeId> targets = instance.OutNeighbors(v);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    for (NodeId u : targets) {
+      PREFCOVER_RETURN_NOT_OK(builder.AddEdge(u, v, 1.0));
+    }
+  }
+  GraphValidationOptions options;
+  options.weight_sum_tolerance = 1e-6;  // n * (1/n) rounding
+  return builder.Finalize(options);
+}
+
+}  // namespace prefcover

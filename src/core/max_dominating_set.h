@@ -1,0 +1,65 @@
+// The Directed Max Dominating Set problem (DS_k, Definition 2.7) and the
+// reduction of Theorem 4.1's hardness direction, as executable code.
+//
+// A vertex is dominated by S if it is in S or has an incoming edge from a
+// node of S. DS_k asks for the size-k set dominating the most vertices.
+// The paper proves IPC_k's (1 - 1/e) inapproximability by mapping a DS_k
+// instance to an IPC_k instance — reverse every edge, give each edge
+// probability 1 and each node weight 1/n — so that #dominated(S) = n·C(S)
+// for every S. Both sides and the mapping live here, with the equality
+// property-tested.
+
+#ifndef PREFCOVER_CORE_MAX_DOMINATING_SET_H_
+#define PREFCOVER_CORE_MAX_DOMINATING_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/preference_graph.h"  // NodeId
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief A plain directed graph for DS_k.
+class DominatingSetInstance {
+ public:
+  explicit DominatingSetInstance(size_t num_nodes);
+
+  /// Adds the directed edge (from, to). Duplicates allowed (ignored by
+  /// the semantics); self-loops rejected (they add nothing: a node always
+  /// dominates itself).
+  Status AddEdge(NodeId from, NodeId to);
+
+  size_t NumNodes() const { return out_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  const std::vector<NodeId>& OutNeighbors(NodeId v) const {
+    return out_[v];
+  }
+
+  /// Number of vertices dominated by `set` (members + out-neighbors of
+  /// members).
+  size_t DominatedCount(const std::vector<NodeId>& set) const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  size_t num_edges_ = 0;
+};
+
+/// \brief Greedy DS_k: k rounds of max marginal domination (ties to the
+/// smaller id). (1 - 1/e) guarantee — optimal unless P = NP (Thm 2.9).
+Result<std::vector<NodeId>> SolveDominatingSetGreedy(
+    const DominatingSetInstance& instance, size_t k);
+
+/// \brief Exhaustive optimal DS_k for tiny instances.
+Result<std::vector<NodeId>> SolveDominatingSetBruteForce(
+    const DominatingSetInstance& instance, size_t k,
+    uint64_t max_subsets = 50'000'000ULL);
+
+/// \brief The Theorem 4.1 reduction: DS_k instance -> IPC_k instance with
+/// reversed edges, all edge probabilities 1 and node weights 1/n, so that
+/// DominatedCount(S) == n * C(S) under the Independent variant.
+Result<PreferenceGraph> ReduceDsToIpc(const DominatingSetInstance& instance);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_MAX_DOMINATING_SET_H_

@@ -1,0 +1,132 @@
+#include "core/max_vertex_cover.h"
+
+#include <vector>
+
+#include "core/brute_force_solver.h"  // BinomialCoefficient
+#include "util/bitset.h"
+
+namespace prefcover {
+
+VertexCoverInstance::VertexCoverInstance(size_t num_nodes)
+    : num_nodes_(num_nodes) {}
+
+Status VertexCoverInstance::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (!(weight > 0.0)) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  endpoints_u_.push_back(u);
+  endpoints_v_.push_back(v);
+  weights_.push_back(weight);
+  return Status::OK();
+}
+
+double VertexCoverInstance::CoveredWeight(
+    const std::vector<NodeId>& cover) const {
+  Bitset in_cover(num_nodes_);
+  for (NodeId v : cover) in_cover.Set(v);
+  double total = 0.0;
+  for (size_t e = 0; e < NumEdges(); ++e) {
+    if (in_cover.Test(endpoints_u_[e]) || in_cover.Test(endpoints_v_[e])) {
+      total += weights_[e];
+    }
+  }
+  return total;
+}
+
+double VertexCoverInstance::TotalWeight() const {
+  double total = 0.0;
+  for (double w : weights_) total += w;
+  return total;
+}
+
+Result<std::vector<NodeId>> SolveVertexCoverGreedy(
+    const VertexCoverInstance& instance, size_t k) {
+  const size_t n = instance.NumNodes();
+  if (k > n) {
+    return Status::InvalidArgument("budget k exceeds node count");
+  }
+  // Incidence lists so marginal degree weight updates stay local.
+  std::vector<std::vector<size_t>> incident(n);
+  for (size_t e = 0; e < instance.NumEdges(); ++e) {
+    incident[instance.EdgeU(e)].push_back(e);
+    if (instance.EdgeV(e) != instance.EdgeU(e)) {
+      incident[instance.EdgeV(e)].push_back(e);
+    }
+  }
+  std::vector<double> marginal(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (size_t e : incident[v]) marginal[v] += instance.EdgeWeight(e);
+  }
+
+  Bitset chosen(n);
+  Bitset edge_covered(instance.NumEdges());
+  std::vector<NodeId> cover;
+  cover.reserve(k);
+  for (size_t round = 0; round < k; ++round) {
+    NodeId best = kInvalidNode;
+    double best_weight = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (chosen.Test(v)) continue;
+      if (marginal[v] > best_weight) {
+        best_weight = marginal[v];
+        best = v;
+      }
+    }
+    if (best == kInvalidNode) break;
+    chosen.Set(best);
+    cover.push_back(best);
+    for (size_t e : incident[best]) {
+      if (edge_covered.Test(e)) continue;
+      edge_covered.Set(e);
+      double w = instance.EdgeWeight(e);
+      NodeId u = instance.EdgeU(e);
+      NodeId v = instance.EdgeV(e);
+      marginal[u] -= w;
+      if (v != u) marginal[v] -= w;
+    }
+  }
+  return cover;
+}
+
+Result<std::vector<NodeId>> SolveVertexCoverBruteForce(
+    const VertexCoverInstance& instance, size_t k, uint64_t max_subsets) {
+  const size_t n = instance.NumNodes();
+  if (k > n) {
+    return Status::InvalidArgument("budget k exceeds node count");
+  }
+  uint64_t subsets = BinomialCoefficient(n, k);
+  if (max_subsets != 0 && subsets > max_subsets) {
+    return Status::FailedPrecondition("instance too large for brute force");
+  }
+  std::vector<NodeId> current(k);
+  for (size_t i = 0; i < k; ++i) current[i] = static_cast<NodeId>(i);
+  std::vector<NodeId> best = current;
+  double best_weight = k == 0 ? 0.0 : instance.CoveredWeight(current);
+  if (k > 0) {
+    for (;;) {
+      size_t i = k;
+      while (i > 0) {
+        --i;
+        if (current[i] != static_cast<NodeId>(n - k + i)) break;
+        if (i == 0) {
+          i = k;
+          break;
+        }
+      }
+      if (i == k) break;
+      ++current[i];
+      for (size_t j = i + 1; j < k; ++j) current[j] = current[j - 1] + 1;
+      double w = instance.CoveredWeight(current);
+      if (w > best_weight + 1e-15) {
+        best_weight = w;
+        best = current;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace prefcover

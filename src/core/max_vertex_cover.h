@@ -1,0 +1,66 @@
+// The Max Vertex Cover problem (VC_k, Definition 2.8) as a standalone
+// library: undirected edge-weighted graphs (self-loops allowed), exact and
+// greedy solvers.
+//
+// NPC_k is equivalent to VC_k (Theorem 3.1); vc_reduction.h provides the
+// approximation-preserving reductions in both directions, and the tests
+// use this module to validate them end to end.
+
+#ifndef PREFCOVER_CORE_MAX_VERTEX_COVER_H_
+#define PREFCOVER_CORE_MAX_VERTEX_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/preference_graph.h"  // for NodeId
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief An undirected graph with positively weighted edges; parallel
+/// edges and self-loops are permitted (both arise from the NPC_k
+/// reduction).
+class VertexCoverInstance {
+ public:
+  explicit VertexCoverInstance(size_t num_nodes);
+
+  /// Adds an undirected edge {u, v} (u == v is a self-loop) of positive
+  /// weight.
+  Status AddEdge(NodeId u, NodeId v, double weight);
+
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumEdges() const { return endpoints_u_.size(); }
+
+  NodeId EdgeU(size_t e) const { return endpoints_u_[e]; }
+  NodeId EdgeV(size_t e) const { return endpoints_v_[e]; }
+  double EdgeWeight(size_t e) const { return weights_[e]; }
+
+  /// Total weight of edges with at least one endpoint in `cover` — the
+  /// VC_k objective.
+  double CoveredWeight(const std::vector<NodeId>& cover) const;
+
+  /// Sum of all edge weights.
+  double TotalWeight() const;
+
+ private:
+  size_t num_nodes_;
+  std::vector<NodeId> endpoints_u_;
+  std::vector<NodeId> endpoints_v_;
+  std::vector<double> weights_;
+};
+
+/// \brief Greedy VC_k: k rounds, each taking the vertex covering the most
+/// still-uncovered edge weight (ties to the smaller id). Guarantee:
+/// max{1 - 1/e, 1 - (1 - k/n)^2} (Feige & Langberg).
+Result<std::vector<NodeId>> SolveVertexCoverGreedy(
+    const VertexCoverInstance& instance, size_t k);
+
+/// \brief Exhaustive optimal VC_k for tiny instances (same guard rationale
+/// as the preference-cover brute force).
+Result<std::vector<NodeId>> SolveVertexCoverBruteForce(
+    const VertexCoverInstance& instance, size_t k,
+    uint64_t max_subsets = 50'000'000ULL);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_MAX_VERTEX_COVER_H_

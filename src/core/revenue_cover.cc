@@ -1,0 +1,151 @@
+#include "core/revenue_cover.h"
+
+#include <cmath>
+
+#include "core/cover_function.h"
+#include "core/cover_state.h"
+#include "graph/graph_builder.h"
+#include "util/bitset.h"
+
+namespace prefcover {
+
+namespace {
+
+// Builds the revenue-scaled twin of `graph`: node weights W(v)*r(v)/scale
+// so that the plain cover function on it, multiplied by `scale`, is the
+// expected revenue. Edge probabilities are untouched.
+Result<PreferenceGraph> BuildScaledGraph(const PreferenceGraph& graph,
+                                         const std::vector<double>& revenues,
+                                         double* scale_out) {
+  double scale = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    scale += graph.NodeWeight(v) * revenues[v];
+  }
+  if (!(scale > 0.0)) {
+    return Status::InvalidArgument(
+        "total weighted revenue must be positive");
+  }
+  GraphBuilder builder;
+  builder.Reserve(graph.NumNodes(), graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    builder.AddNode(graph.NodeWeight(v) * revenues[v] / scale,
+                    graph.HasLabels() ? graph.Label(v) : "");
+  }
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    AdjacencyView out = graph.OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      PREFCOVER_RETURN_NOT_OK(
+          builder.AddEdge(v, out.nodes[i], out.weights[i]));
+    }
+  }
+  *scale_out = scale;
+  return builder.Finalize();  // weights sum to 1 by construction
+}
+
+Status ValidateOptions(const PreferenceGraph& graph,
+                       const RevenueCoverOptions& options) {
+  if (options.revenues.size() != graph.NumNodes() ||
+      options.costs.size() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "revenue/cost vectors must match the graph size");
+  }
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (!(options.revenues[v] > 0.0) || std::isnan(options.revenues[v])) {
+      return Status::InvalidArgument("revenues must be positive");
+    }
+    if (!(options.costs[v] > 0.0) || std::isnan(options.costs[v])) {
+      return Status::InvalidArgument("costs must be positive");
+    }
+  }
+  if (!(options.capacity > 0.0)) {
+    return Status::InvalidArgument("capacity must be positive");
+  }
+  return ValidateInstance(graph, 0, options.variant);
+}
+
+}  // namespace
+
+Result<RevenueSolution> SolveRevenueCover(const PreferenceGraph& graph,
+                                          const RevenueCoverOptions& options) {
+  PREFCOVER_RETURN_NOT_OK(ValidateOptions(graph, options));
+  double scale = 0.0;
+  PREFCOVER_ASSIGN_OR_RETURN(
+      PreferenceGraph scaled,
+      BuildScaledGraph(graph, options.revenues, &scale));
+
+  // Cost-benefit greedy on the scaled graph.
+  CoverState state(&scaled, options.variant);
+  RevenueSolution result;
+  result.revenue_upper_bound = scale;
+  double remaining = options.capacity;
+  for (;;) {
+    NodeId best = kInvalidNode;
+    double best_ratio = -1.0;
+    for (NodeId v = 0; v < scaled.NumNodes(); ++v) {
+      if (state.IsRetained(v) || options.costs[v] > remaining) continue;
+      double ratio = state.GainOf(v) / options.costs[v];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = v;
+      }
+    }
+    if (best == kInvalidNode) break;
+    state.AddNode(best);
+    result.items.push_back(best);
+    result.total_cost += options.costs[best];
+    remaining -= options.costs[best];
+  }
+  result.expected_revenue = state.cover() * scale;
+
+  // Best-singleton guard: without it the cost-benefit rule has no
+  // constant-factor guarantee (a cheap low-value item can crowd out one
+  // expensive high-value item).
+  NodeId best_single = kInvalidNode;
+  double best_single_value = -1.0;
+  {
+    CoverState probe(&scaled, options.variant);
+    for (NodeId v = 0; v < scaled.NumNodes(); ++v) {
+      if (options.costs[v] > options.capacity) continue;
+      double value = probe.GainOf(v);
+      if (value > best_single_value) {
+        best_single_value = value;
+        best_single = v;
+      }
+    }
+  }
+  if (best_single != kInvalidNode &&
+      best_single_value * scale > result.expected_revenue) {
+    result.items = {best_single};
+    result.total_cost = options.costs[best_single];
+    result.expected_revenue = best_single_value * scale;
+    result.greedy_won = false;
+  }
+  return result;
+}
+
+Result<double> EvaluateExpectedRevenue(const PreferenceGraph& graph,
+                                       const std::vector<NodeId>& retained,
+                                       const std::vector<double>& revenues,
+                                       Variant variant) {
+  if (revenues.size() != graph.NumNodes()) {
+    return Status::InvalidArgument("revenue vector must match graph size");
+  }
+  Bitset set(graph.NumNodes());
+  for (NodeId v : retained) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("retained item out of range");
+    }
+    if (set.Test(v)) {
+      return Status::InvalidArgument("duplicate retained item");
+    }
+    set.Set(v);
+  }
+  double revenue = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    revenue += revenues[v] * graph.NodeWeight(v) *
+               CoverOfItem(graph, set, v, variant);
+  }
+  return revenue;
+}
+
+}  // namespace prefcover

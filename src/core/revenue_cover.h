@@ -1,0 +1,84 @@
+// Revenue- and storage-aware preference cover — the paper's second
+// future-work direction (Section 7): "extending our work to support
+// varying per-item revenues and storage considerations".
+//
+// Model: each item has a revenue r(v) (the platform's expected gain per
+// matched request routed to it... approximated, as in the base model, by
+// the *requested* item's value) and a storage cost c(v); instead of a
+// cardinality budget k the store has capacity C. The objective becomes
+// expected revenue
+//
+//   R(S) = sum_v r(v) * W(v) * P(request for v matched by S),
+//
+// subject to sum_{v in S} c(v) <= C.
+//
+// R is a nonnegative monotone submodular function (it is the plain cover
+// function on a graph with node weights W(v)*r(v)), so the classical
+// budgeted-submodular treatment applies: cost-benefit greedy, returned
+// alongside the best affordable singleton, achieves a constant-factor
+// guarantee ((1 - 1/e)/2, Khuller-Moss-Naor / Leskovec et al.); plain
+// cardinality is recovered with unit costs and revenues.
+
+#ifndef PREFCOVER_CORE_REVENUE_COVER_H_
+#define PREFCOVER_CORE_REVENUE_COVER_H_
+
+#include <vector>
+
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Inputs for the budgeted problem.
+struct RevenueCoverOptions {
+  Variant variant = Variant::kIndependent;
+
+  /// Per-item revenue, indexable by NodeId; every entry must be > 0.
+  std::vector<double> revenues;
+
+  /// Per-item storage cost, indexable by NodeId; every entry must be > 0.
+  std::vector<double> costs;
+
+  /// Storage capacity.
+  double capacity = 0.0;
+};
+
+/// \brief Outcome of the budgeted solve.
+struct RevenueSolution {
+  /// Retained items in selection order ("best-single" solutions have one).
+  std::vector<NodeId> items;
+
+  /// Expected revenue R(S).
+  double expected_revenue = 0.0;
+
+  /// Total storage cost of S (<= capacity).
+  double total_cost = 0.0;
+
+  /// The expected revenue if every item were retained (upper bound; useful
+  /// for reporting attainment).
+  double revenue_upper_bound = 0.0;
+
+  /// True when the cost-benefit greedy beat the best affordable singleton
+  /// (false means the singleton guard was the better answer — the case the
+  /// guarantee exists for).
+  bool greedy_won = true;
+};
+
+/// \brief Budgeted cost-benefit greedy with the best-singleton guard.
+///
+/// Validation: revenue/cost vectors must match the graph size; capacity
+/// must be positive; the Normalized variant requires admissible
+/// out-weights as usual.
+Result<RevenueSolution> SolveRevenueCover(const PreferenceGraph& graph,
+                                          const RevenueCoverOptions& options);
+
+/// \brief Expected revenue of an explicit retained set (exact evaluation).
+Result<double> EvaluateExpectedRevenue(const PreferenceGraph& graph,
+                                       const std::vector<NodeId>& retained,
+                                       const std::vector<double>& revenues,
+                                       Variant variant);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_REVENUE_COVER_H_

@@ -1,0 +1,68 @@
+#include "core/solution.h"
+
+#include <cmath>
+
+#include "core/cover_function.h"
+#include "util/bitset.h"
+
+namespace prefcover {
+
+double Solution::ItemCoverage(const PreferenceGraph& graph, NodeId v) const {
+  for (NodeId s : items) {
+    if (s == v) return 1.0;
+  }
+  double w = graph.NodeWeight(v);
+  if (w <= 0.0) return 0.0;
+  return item_contributions[v] / w;
+}
+
+double Solution::PrefixCover(size_t k) const {
+  PREFCOVER_CHECK(k <= cover_after_prefix.size());
+  if (k == 0) return 0.0;
+  return cover_after_prefix[k - 1];
+}
+
+std::vector<NodeId> Solution::PrefixItems(size_t k) const {
+  PREFCOVER_CHECK(k <= items.size());
+  return std::vector<NodeId>(items.begin(),
+                             items.begin() + static_cast<ptrdiff_t>(k));
+}
+
+size_t Solution::SmallestPrefixReaching(double threshold) const {
+  if (threshold <= 0.0) return 0;  // the empty prefix already qualifies
+  for (size_t i = 0; i < cover_after_prefix.size(); ++i) {
+    if (cover_after_prefix[i] >= threshold) return i + 1;
+  }
+  return items.size() + 1;
+}
+
+Status Solution::Validate(const PreferenceGraph& graph) const {
+  Bitset seen(graph.NumNodes());
+  for (NodeId v : items) {
+    if (v >= graph.NumNodes()) {
+      return Status::Internal("solution item out of range: " +
+                              std::to_string(v));
+    }
+    if (seen.Test(v)) {
+      return Status::Internal("solution item duplicated: " +
+                              std::to_string(v));
+    }
+    seen.Set(v);
+  }
+  double exact = EvaluateCover(graph, seen, variant);
+  if (std::fabs(exact - cover) > 1e-6) {
+    return Status::Internal("solution cover " + std::to_string(cover) +
+                            " disagrees with exact evaluation " +
+                            std::to_string(exact));
+  }
+  if (items.size() != cover_after_prefix.size()) {
+    return Status::Internal("prefix cover length mismatch");
+  }
+  if (!cover_after_prefix.empty() &&
+      std::fabs(cover_after_prefix.back() - cover) > 1e-9) {
+    return Status::Internal("final prefix cover disagrees with cover");
+  }
+  return Status::OK();
+}
+
+}  // namespace prefcover

@@ -1,0 +1,67 @@
+// Solver output: the ordered retained set with its metadata
+// (paper Section 5.1's solver output, including the coverage percentage of
+// every item implied by the I array).
+
+#ifndef PREFCOVER_CORE_SOLUTION_H_
+#define PREFCOVER_CORE_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief A retained set S, in selection order, with cover metadata.
+///
+/// For greedy-family solvers the order is the selection order, so the first
+/// k' items are exactly the solution the solver would produce for budget k'
+/// (the incremental-prefix property of Section 3.2); `cover_after_prefix`
+/// exposes C(prefix) for every prefix length.
+struct Solution {
+  /// Retained items in selection order.
+  std::vector<NodeId> items;
+
+  /// cover_after_prefix[i] == C({items[0..i]}). Same length as `items`.
+  /// Solvers without a meaningful order (brute force, random, top-k) fill
+  /// it with evaluations over their output order.
+  std::vector<double> cover_after_prefix;
+
+  /// Final C(S).
+  double cover = 0.0;
+
+  /// The I array: item_contributions[v] = P(v requested and matched by S).
+  std::vector<double> item_contributions;
+
+  Variant variant = Variant::kIndependent;
+
+  /// Name of the algorithm that produced this solution ("greedy", ...).
+  std::string algorithm;
+
+  /// Wall-clock seconds spent inside the solver.
+  double solve_seconds = 0.0;
+
+  /// Coverage of item v by S: 1 for retained, item_contributions[v]/W(v)
+  /// otherwise (0 when W(v) == 0).
+  double ItemCoverage(const PreferenceGraph& graph, NodeId v) const;
+
+  /// C(first k items); k must be <= items.size().
+  double PrefixCover(size_t k) const;
+
+  /// The first k items (the budget-k solution of an ordered solver).
+  std::vector<NodeId> PrefixItems(size_t k) const;
+
+  /// Smallest prefix length whose cover reaches `threshold`, or
+  /// items.size() + 1 when even the full solution falls short.
+  size_t SmallestPrefixReaching(double threshold) const;
+
+  /// Sanity check against the graph: items in range and distinct,
+  /// cover consistent with a from-scratch evaluation (tolerance 1e-6).
+  Status Validate(const PreferenceGraph& graph) const;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_SOLUTION_H_

@@ -1,0 +1,24 @@
+#include "core/variant.h"
+
+#include <string>
+
+namespace prefcover {
+
+std::string_view VariantName(Variant variant) {
+  switch (variant) {
+    case Variant::kIndependent:
+      return "independent";
+    case Variant::kNormalized:
+      return "normalized";
+  }
+  return "unknown";
+}
+
+Result<Variant> ParseVariant(std::string_view name) {
+  if (name == "independent") return Variant::kIndependent;
+  if (name == "normalized") return Variant::kNormalized;
+  return Status::InvalidArgument("unknown variant: '" + std::string(name) +
+                                 "' (expected independent|normalized)");
+}
+
+}  // namespace prefcover

@@ -1,0 +1,34 @@
+// The two Preference Cover problem variants (paper Sections 2.1, 2.2).
+
+#ifndef PREFCOVER_CORE_VARIANT_H_
+#define PREFCOVER_CORE_VARIANT_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Interpretation of the probabilistic dependencies between the
+/// alternatives of a requested item.
+enum class Variant {
+  /// IPC_k: alternative suitabilities are independent events. A request for
+  /// non-retained v is matched with probability
+  /// 1 - prod_{u in R_v(S)} (1 - W(v,u)).
+  kIndependent,
+
+  /// NPC_k: each consumer considers at most one alternative, so outgoing
+  /// edge weights per node sum to <= 1 and the match probability is
+  /// sum_{u in R_v(S)} W(v,u).
+  kNormalized,
+};
+
+/// "independent" / "normalized".
+std::string_view VariantName(Variant variant);
+
+/// Parses a variant name (case-sensitive); InvalidArgument otherwise.
+Result<Variant> ParseVariant(std::string_view name);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_VARIANT_H_

@@ -1,0 +1,89 @@
+#include "core/vc_reduction.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace prefcover {
+
+Result<VertexCoverInstance> ReduceNpcToVc(const PreferenceGraph& graph) {
+  constexpr double kTolerance = 1e-9;
+  if (!IsNormalizedAdmissible(graph, kTolerance)) {
+    return Status::FailedPrecondition(
+        "NPC->VC reduction requires out-weight sums <= 1");
+  }
+  VertexCoverInstance instance(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    const double node_weight = graph.NodeWeight(v);
+    double out_sum = 0.0;
+    AdjacencyView out = graph.OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out_sum += out.weights[i];
+      double scaled = node_weight * out.weights[i];
+      if (scaled > 0.0) {
+        PREFCOVER_RETURN_NOT_OK(
+            instance.AddEdge(v, out.nodes[i], scaled));
+      }
+    }
+    // Self-loop completion: the uncoverable share of requests for v.
+    double residual = 1.0 - out_sum;
+    if (residual > kTolerance && node_weight * residual > 0.0) {
+      PREFCOVER_RETURN_NOT_OK(instance.AddEdge(v, v, node_weight * residual));
+    }
+  }
+  return instance;
+}
+
+Result<PreferenceGraph> ReduceVcToNpc(const VertexCoverInstance& instance,
+                                      double* scale_out) {
+  const size_t n = instance.NumNodes();
+
+  // Orient each undirected edge from its smaller to its larger endpoint
+  // (self-loops stay), accumulating parallel edges — combining them is
+  // cover-equivalent, as the paper notes.
+  std::unordered_map<uint64_t, double> oriented;
+  oriented.reserve(instance.NumEdges());
+  for (size_t e = 0; e < instance.NumEdges(); ++e) {
+    NodeId u = instance.EdgeU(e);
+    NodeId v = instance.EdgeV(e);
+    if (u > v) std::swap(u, v);
+    oriented[(static_cast<uint64_t>(u) << 32) | v] += instance.EdgeWeight(e);
+  }
+
+  // M_v: total outgoing weight per node under this orientation.
+  std::vector<double> out_total(n, 0.0);
+  for (const auto& [key, w] : oriented) {
+    out_total[static_cast<NodeId>(key >> 32)] += w;
+  }
+  double grand_total = 0.0;
+  for (double m : out_total) grand_total += m;
+  if (!(grand_total > 0.0)) {
+    return Status::InvalidArgument(
+        "VC->NPC reduction needs at least one positive-weight edge");
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(n, oriented.size());
+  builder.AddNodes(n);
+  for (NodeId v = 0; v < n; ++v) {
+    // W(v) = M_v / N: nodes with no outgoing edges get weight 0, per the
+    // proof of Theorem 3.1.
+    PREFCOVER_RETURN_NOT_OK(
+        builder.SetNodeWeight(v, out_total[v] / grand_total));
+  }
+  for (const auto& [key, w] : oriented) {
+    NodeId from = static_cast<NodeId>(key >> 32);
+    NodeId to = static_cast<NodeId>(key & 0xFFFFFFFFu);
+    PREFCOVER_RETURN_NOT_OK(builder.AddEdge(from, to, w / out_total[from]));
+  }
+  if (scale_out != nullptr) *scale_out = grand_total;
+
+  GraphValidationOptions options;
+  options.allow_self_loops = true;
+  options.require_normalized_out_weights = true;
+  return builder.Finalize(options);
+}
+
+}  // namespace prefcover

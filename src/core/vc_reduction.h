@@ -1,0 +1,40 @@
+// The approximation-preserving reductions between NPC_k and VC_k from the
+// proof of Theorem 3.1.
+//
+// Forward (NPC_k -> VC_k): complete each node's outgoing weight to 1 with a
+// self-loop, drop orientations, and scale each edge (v, u) by its origin's
+// node weight: w' = W(v) * W(v, u). For every S, the VC_k covered weight of
+// S in the result equals C(S) in the original graph.
+//
+// Backward (VC_k -> NPC_k): orient edges arbitrarily (self-loops stay),
+// set each node's weight to the total weight of its outgoing edges, divide
+// each outgoing edge by that total, and finally normalize node weights by
+// their grand total N. Covers scale by exactly 1/N, preserving ratios.
+
+#ifndef PREFCOVER_CORE_VC_REDUCTION_H_
+#define PREFCOVER_CORE_VC_REDUCTION_H_
+
+#include "core/max_vertex_cover.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief NPC_k instance -> equivalent VC_k instance.
+///
+/// Requires out-weight sums <= 1 (Normalized admissibility). Zero-weight
+/// nodes contribute zero-weight edges, which are dropped (they cannot
+/// affect any cover).
+Result<VertexCoverInstance> ReduceNpcToVc(const PreferenceGraph& graph);
+
+/// \brief VC_k instance -> equivalent NPC_k instance (node weights
+/// normalized to sum to 1; covers are scaled by 1 / `*scale_out`).
+///
+/// `*scale_out` receives N, the pre-normalization total node weight, so
+/// callers can map covers back: VC covered weight == N * C(S).
+Result<PreferenceGraph> ReduceVcToNpc(const VertexCoverInstance& instance,
+                                      double* scale_out);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_VC_REDUCTION_H_

@@ -1,0 +1,53 @@
+#include "eval/experiment.h"
+
+#include <iostream>
+
+namespace prefcover {
+
+ExperimentEnv::ExperimentEnv(const std::string& description)
+    : flags(description) {
+  flags.AddBool("csv", false, "emit CSV instead of an aligned table");
+  flags.AddInt("seed", 42, "RNG seed");
+  flags.AddDouble("scale", 0.0,
+                  "dataset scale factor in (0,1]; 0 = experiment default; "
+                  "1.0 = the paper's full size");
+  flags.AddBool("full", false, "run at the paper's full scale (scale=1.0)");
+  flags.AddInt("threads", 1, "worker threads where applicable");
+}
+
+Status ExperimentEnv::Parse(int argc, const char* const* argv) {
+  PREFCOVER_RETURN_NOT_OK(flags.Parse(argc, argv));
+  csv = flags.GetBool("csv");
+  seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  scale = flags.GetDouble("scale");
+  if (flags.GetBool("full")) scale = 1.0;
+  int64_t t = flags.GetInt("threads");
+  if (t < 1) return Status::InvalidArgument("--threads must be >= 1");
+  threads = static_cast<size_t>(t);
+  if (scale < 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("--scale must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+double ExperimentEnv::ScaleOr(double default_scale) const {
+  return scale > 0.0 ? scale : default_scale;
+}
+
+void ExperimentEnv::Emit(const TablePrinter& table,
+                         const std::string& title) const {
+  if (csv) {
+    table.PrintCsv(&std::cout);
+  } else {
+    std::cout << '\n';
+    table.Print(&std::cout, title);
+  }
+}
+
+void PrintExperimentHeader(const ExperimentEnv& env, const std::string& id,
+                           const std::string& what) {
+  if (env.csv) return;
+  std::cout << "=== " << id << ": " << what << " ===\n";
+}
+
+}  // namespace prefcover

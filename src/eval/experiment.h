@@ -1,0 +1,49 @@
+// Common scaffolding for the experiment (bench) binaries: shared flags,
+// result emission (aligned table or CSV), and run headers.
+
+#ifndef PREFCOVER_EVAL_EXPERIMENT_H_
+#define PREFCOVER_EVAL_EXPERIMENT_H_
+
+#include <string>
+
+#include "util/flags.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace prefcover {
+
+/// \brief Flags every experiment binary shares:
+///   --csv        emit CSV instead of the aligned table
+///   --seed       RNG seed (default 42)
+///   --scale      dataset scale factor in (0, 1] (default experiment-
+///                specific; 1.0 == the paper's full size)
+///   --full       shorthand for --scale=1.0
+///   --threads    worker threads where applicable
+struct ExperimentEnv {
+  bool csv = false;
+  uint64_t seed = 42;
+  double scale = 0.0;  // 0 = use the experiment's default
+  size_t threads = 1;
+  FlagParser flags;
+
+  explicit ExperimentEnv(const std::string& description);
+
+  /// Parses argv. Returns OutOfRange after printing --help (callers exit
+  /// 0), other errors for bad flags (callers exit 1).
+  Status Parse(int argc, const char* const* argv);
+
+  /// Resolved scale: --full beats --scale beats `default_scale`.
+  double ScaleOr(double default_scale) const;
+
+  /// Prints `table` as CSV or aligned text per --csv, preceded by `title`
+  /// in text mode.
+  void Emit(const TablePrinter& table, const std::string& title) const;
+};
+
+/// \brief Prints an experiment banner (text mode only).
+void PrintExperimentHeader(const ExperimentEnv& env, const std::string& id,
+                           const std::string& what);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_EVAL_EXPERIMENT_H_

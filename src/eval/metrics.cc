@@ -1,0 +1,109 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace prefcover {
+
+double JaccardSimilarity(const std::vector<NodeId>& a,
+                         const std::vector<NodeId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::unordered_set<NodeId> set_a(a.begin(), a.end());
+  size_t intersection = 0;
+  std::unordered_set<NodeId> set_b;
+  for (NodeId v : b) {
+    if (set_b.insert(v).second && set_a.count(v) > 0) ++intersection;
+  }
+  size_t union_size = set_a.size() + set_b.size() - intersection;
+  return union_size == 0
+             ? 1.0
+             : static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+double PrefixOverlap(const std::vector<NodeId>& a,
+                     const std::vector<NodeId>& b, size_t k) {
+  k = std::min({k, a.size(), b.size()});
+  if (k == 0) return 1.0;
+  std::unordered_set<NodeId> prefix_b(b.begin(),
+                                      b.begin() + static_cast<ptrdiff_t>(k));
+  size_t hits = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (prefix_b.count(a[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double RetainedWeightDelta(const PreferenceGraph& graph,
+                           const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b) {
+  std::unordered_set<NodeId> set_b(b.begin(), b.end());
+  std::unordered_set<NodeId> seen;
+  double delta = 0.0;
+  for (NodeId v : a) {
+    if (!seen.insert(v).second) continue;
+    if (set_b.count(v) == 0) delta += graph.NodeWeight(v);
+  }
+  return delta;
+}
+
+Result<CoverageShift> ComputeCoverageShift(const PreferenceGraph& graph,
+                                           const Solution& a,
+                                           const Solution& b) {
+  if (a.item_contributions.size() != graph.NumNodes() ||
+      b.item_contributions.size() != graph.NumNodes()) {
+    return Status::InvalidArgument(
+        "solutions must carry item contributions for this graph");
+  }
+  CoverageShift shift;
+  double sum_abs = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    double cov_a = a.ItemCoverage(graph, v);
+    double cov_b = b.ItemCoverage(graph, v);
+    double diff = cov_a - cov_b;
+    sum_abs += std::fabs(diff);
+    shift.max_abs_difference =
+        std::max(shift.max_abs_difference, std::fabs(diff));
+    if (diff > 1e-12) ++shift.items_better_in_a;
+    if (diff < -1e-12) ++shift.items_better_in_b;
+  }
+  if (graph.NumNodes() > 0) {
+    shift.mean_abs_difference =
+        sum_abs / static_cast<double>(graph.NumNodes());
+  }
+  return shift;
+}
+
+double SelectionOrderCorrelation(const std::vector<NodeId>& a,
+                                 const std::vector<NodeId>& b) {
+  // Ranks of the common items in each order.
+  std::unordered_map<NodeId, size_t> rank_a, rank_b;
+  for (size_t i = 0; i < a.size(); ++i) rank_a.emplace(a[i], i);
+  for (size_t i = 0; i < b.size(); ++i) rank_b.emplace(b[i], i);
+  std::vector<std::pair<size_t, size_t>> common;  // (rank in a, rank in b)
+  for (const auto& [item, ra] : rank_a) {
+    auto it = rank_b.find(item);
+    if (it != rank_b.end()) common.push_back({ra, it->second});
+  }
+  const size_t n = common.size();
+  if (n < 2) return 0.0;
+  std::sort(common.begin(), common.end());
+  // Kendall tau-a: concordant minus discordant pairs over all pairs.
+  // O(n^2) is fine for retained-set sizes.
+  long long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (common[j].second > common[i].second) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,55 @@
+// Comparison metrics between retained sets / solutions — the measurement
+// vocabulary the ablation studies and operational dashboards share.
+
+#ifndef PREFCOVER_EVAL_METRICS_H_
+#define PREFCOVER_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/solution.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief |A ∩ B| / |A ∪ B| over two item sets (1.0 when both empty).
+double JaccardSimilarity(const std::vector<NodeId>& a,
+                         const std::vector<NodeId>& b);
+
+/// \brief Share of `a`'s first k items also among `b`'s first k
+/// (overlap@k, order-insensitive within the prefixes). k is capped at
+/// both sizes; returns 1.0 when the capped k is 0.
+double PrefixOverlap(const std::vector<NodeId>& a,
+                     const std::vector<NodeId>& b, size_t k);
+
+/// \brief Total node weight of the items in `a` but not in `b` — the
+/// demand whose direct retention the transition from b to a would add.
+double RetainedWeightDelta(const PreferenceGraph& graph,
+                           const std::vector<NodeId>& a,
+                           const std::vector<NodeId>& b);
+
+/// \brief Per-item coverage differences between two solutions on the same
+/// graph (a minus b), summarizing how the choice shifts which consumers
+/// are served.
+struct CoverageShift {
+  double mean_abs_difference = 0.0;  // mean |coverage_a(v) - coverage_b(v)|
+  double max_abs_difference = 0.0;
+  size_t items_better_in_a = 0;  // strictly better covered under a
+  size_t items_better_in_b = 0;
+};
+
+/// Solutions must carry item_contributions for `graph` (same size).
+Result<CoverageShift> ComputeCoverageShift(const PreferenceGraph& graph,
+                                           const Solution& a,
+                                           const Solution& b);
+
+/// \brief Kendall tau-a rank correlation between two selection orders over
+/// their common items (1 = same order, -1 = reversed, 0 = unrelated).
+/// Returns 0 when fewer than 2 common items.
+double SelectionOrderCorrelation(const std::vector<NodeId>& a,
+                                 const std::vector<NodeId>& b);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_EVAL_METRICS_H_

@@ -1,0 +1,130 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/bitset.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace prefcover {
+
+Result<SolutionReport> BuildSolutionReport(const PreferenceGraph& graph,
+                                           const Solution& solution,
+                                           size_t max_unserved) {
+  PREFCOVER_RETURN_NOT_OK(solution.Validate(graph));
+
+  SolutionReport report;
+  report.algorithm = solution.algorithm;
+  report.variant = solution.variant;
+  report.catalog_size = graph.NumNodes();
+  report.retained_size = solution.items.size();
+  report.cover = solution.cover;
+  report.solve_seconds = solution.solve_seconds;
+
+  Bitset retained(graph.NumNodes());
+  for (NodeId v : solution.items) retained.Set(v);
+
+  report.retained.reserve(solution.items.size());
+  for (NodeId v : solution.items) {
+    report.retained.push_back(
+        {v, graph.DisplayName(v), graph.NodeWeight(v), 1.0, true});
+    report.retained_weight += graph.NodeWeight(v);
+  }
+  report.covered_via_alternatives = report.cover - report.retained_weight;
+
+  // Risk section: largest unserved demand among non-retained items.
+  std::vector<SolutionReport::ItemLine> unretained;
+  double unretained_weight = 0.0;
+  double unretained_covered = 0.0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (retained.Test(v)) continue;
+    double coverage = solution.ItemCoverage(graph, v);
+    unretained.push_back(
+        {v, graph.DisplayName(v), graph.NodeWeight(v), coverage, false});
+    unretained_weight += graph.NodeWeight(v);
+    unretained_covered += graph.NodeWeight(v) * coverage;
+  }
+  if (unretained_weight > 0.0) {
+    report.mean_unretained_coverage =
+        unretained_covered / unretained_weight;
+  }
+  std::sort(unretained.begin(), unretained.end(),
+            [](const SolutionReport::ItemLine& a,
+               const SolutionReport::ItemLine& b) {
+              double ua = a.weight * (1.0 - a.coverage);
+              double ub = b.weight * (1.0 - b.coverage);
+              if (ua != ub) return ua > ub;
+              return a.item < b.item;
+            });
+  if (unretained.size() > max_unserved) unretained.resize(max_unserved);
+  report.top_unserved = std::move(unretained);
+  return report;
+}
+
+void PrintSolutionReport(const SolutionReport& report, std::ostream* out,
+                         size_t max_retained_lines) {
+  *out << "=== Preference Cover report ===\n"
+       << "algorithm: " << report.algorithm << " ("
+       << VariantName(report.variant) << " variant)\n"
+       << "retained " << report.retained_size << " of "
+       << report.catalog_size << " items in "
+       << FormatDuration(report.solve_seconds) << "\n"
+       << "cover C(S): " << TablePrinter::Percent(report.cover, 2)
+       << "  (direct " << TablePrinter::Percent(report.retained_weight, 2)
+       << " + via alternatives "
+       << TablePrinter::Percent(report.covered_via_alternatives, 2)
+       << ")\n"
+       << "demand-weighted coverage of non-retained items: "
+       << TablePrinter::Percent(report.mean_unretained_coverage, 2)
+       << "\n\n";
+
+  TablePrinter retained_table({"rank", "item", "weight"});
+  size_t limit = max_retained_lines == 0
+                     ? report.retained.size()
+                     : std::min(max_retained_lines, report.retained.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const auto& line = report.retained[i];
+    retained_table.AddRow({std::to_string(i + 1), line.name,
+                           TablePrinter::Percent(line.weight, 3)});
+  }
+  retained_table.Print(out, "Retained (selection order, first " +
+                                std::to_string(limit) + ")");
+  if (limit < report.retained.size()) {
+    *out << "... " << report.retained.size() - limit << " more\n";
+  }
+
+  if (!report.top_unserved.empty()) {
+    *out << '\n';
+    TablePrinter risk({"item", "demand", "coverage", "unserved demand"});
+    for (const auto& line : report.top_unserved) {
+      risk.AddRow({line.name, TablePrinter::Percent(line.weight, 3),
+                   TablePrinter::Percent(line.coverage, 1),
+                   TablePrinter::Percent(
+                       line.weight * (1.0 - line.coverage), 3)});
+    }
+    risk.Print(out, "Largest unserved demand among non-retained items");
+  }
+}
+
+Status WriteCoverageCsv(const PreferenceGraph& graph,
+                        const Solution& solution, std::ostream* out) {
+  PREFCOVER_RETURN_NOT_OK(solution.Validate(graph));
+  Bitset retained(graph.NumNodes());
+  for (NodeId v : solution.items) retained.Set(v);
+  CsvWriter writer(out);
+  writer.WriteRecord({"item_id", "label", "weight", "retained", "coverage"});
+  char weight[32], coverage[32];
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    std::snprintf(weight, sizeof(weight), "%.10g", graph.NodeWeight(v));
+    std::snprintf(coverage, sizeof(coverage), "%.10g",
+                  solution.ItemCoverage(graph, v));
+    writer.WriteRecord({std::to_string(v), graph.DisplayName(v), weight,
+                        retained.Test(v) ? "1" : "0", coverage});
+  }
+  if (!out->good()) return Status::IOError("failed writing coverage CSV");
+  return Status::OK();
+}
+
+}  // namespace prefcover

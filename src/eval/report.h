@@ -1,0 +1,68 @@
+// End-to-end run reports: the output contract of the paper's Figure 2 —
+// the retained list plus metadata (C(S), per-item coverage implied by the
+// I array) — rendered for humans and machines.
+
+#ifndef PREFCOVER_EVAL_REPORT_H_
+#define PREFCOVER_EVAL_REPORT_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/solution.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief A digested view of one solver run over one graph.
+struct SolutionReport {
+  struct ItemLine {
+    NodeId item;
+    std::string name;
+    double weight;     // request probability
+    double coverage;   // cover of this item by S (1 for retained)
+    bool retained;
+  };
+
+  /// Summary block.
+  std::string algorithm;
+  Variant variant = Variant::kIndependent;
+  size_t catalog_size = 0;
+  size_t retained_size = 0;
+  double cover = 0.0;
+  double retained_weight = 0.0;   // demand served directly
+  double covered_via_alternatives = 0.0;  // cover minus retained weight
+  double solve_seconds = 0.0;
+
+  /// Retained items, in selection order.
+  std::vector<ItemLine> retained;
+
+  /// The non-retained items with the largest *unserved* demand
+  /// (weight x (1 - coverage)) — the report's risk section.
+  std::vector<ItemLine> top_unserved;
+
+  /// Mean coverage of non-retained items, demand-weighted.
+  double mean_unretained_coverage = 0.0;
+};
+
+/// \brief Builds the report. `max_unserved` bounds the risk section.
+Result<SolutionReport> BuildSolutionReport(const PreferenceGraph& graph,
+                                           const Solution& solution,
+                                           size_t max_unserved = 10);
+
+/// \brief Human-readable rendering (summary, retained head, risk section).
+/// `max_retained_lines` bounds the retained listing (0 = all).
+void PrintSolutionReport(const SolutionReport& report, std::ostream* out,
+                         size_t max_retained_lines = 20);
+
+/// \brief Machine-readable rendering: one CSV row per catalog item with
+/// its retained flag and coverage — the file an operations team would
+/// ingest.
+Status WriteCoverageCsv(const PreferenceGraph& graph,
+                        const Solution& solution, std::ostream* out);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_EVAL_REPORT_H_

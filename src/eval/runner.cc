@@ -1,0 +1,74 @@
+#include "eval/runner.h"
+
+#include "core/baseline_solvers.h"
+#include "core/brute_force_solver.h"
+#include "core/greedy_solver.h"
+#include "util/thread_pool.h"
+
+namespace prefcover {
+
+std::string AlgorithmDisplayName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kGreedy:
+      return "Greedy";
+    case Algorithm::kGreedyLazy:
+      return "Greedy(lazy)";
+    case Algorithm::kGreedyParallel:
+      return "Greedy(parallel)";
+    case Algorithm::kBruteForce:
+      return "BF";
+    case Algorithm::kTopKWeight:
+      return "TopK-W";
+    case Algorithm::kTopKCoverage:
+      return "TopK-C";
+    case Algorithm::kRandom:
+      return "Random";
+  }
+  return "?";
+}
+
+Result<Solution> RunAlgorithm(Algorithm algorithm,
+                              const PreferenceGraph& graph, size_t k,
+                              Variant variant, Rng* rng,
+                              size_t num_threads) {
+  GreedyOptions greedy_options;
+  greedy_options.variant = variant;
+  switch (algorithm) {
+    case Algorithm::kGreedy:
+      return SolveGreedy(graph, k, greedy_options);
+    case Algorithm::kGreedyLazy:
+      return SolveGreedyLazy(graph, k, greedy_options);
+    case Algorithm::kGreedyParallel: {
+      ThreadPool pool(num_threads);
+      return SolveGreedyParallel(graph, k, &pool, greedy_options);
+    }
+    case Algorithm::kBruteForce: {
+      BruteForceOptions bf_options;
+      bf_options.variant = variant;
+      return SolveBruteForce(graph, k, bf_options);
+    }
+    case Algorithm::kTopKWeight:
+      return SolveTopKWeight(graph, k, variant);
+    case Algorithm::kTopKCoverage:
+      return SolveTopKCoverage(graph, k, variant);
+    case Algorithm::kRandom:
+      return SolveRandomBestOf(graph, k, variant, rng, /*trials=*/10);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::vector<SuiteEntry>> RunSuite(
+    const std::vector<Algorithm>& algorithms, const PreferenceGraph& graph,
+    size_t k, Variant variant, Rng* rng, size_t num_threads) {
+  std::vector<SuiteEntry> entries;
+  entries.reserve(algorithms.size());
+  for (Algorithm algorithm : algorithms) {
+    PREFCOVER_ASSIGN_OR_RETURN(
+        Solution solution,
+        RunAlgorithm(algorithm, graph, k, variant, rng, num_threads));
+    entries.push_back({algorithm, std::move(solution)});
+  }
+  return entries;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,53 @@
+// Shared experiment-harness pieces: running a suite of solvers over one
+// instance and collecting comparable rows. Used by every bench binary.
+
+#ifndef PREFCOVER_EVAL_RUNNER_H_
+#define PREFCOVER_EVAL_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/solution.h"
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Solver identifiers for suite runs; mirrors the paper's
+/// competitor list (Section 5.3).
+enum class Algorithm {
+  kGreedy,          // plain Algorithm 1
+  kGreedyLazy,      // CELF execution of Algorithm 1 (same output)
+  kGreedyParallel,  // thread-pooled execution of Algorithm 1 (same output)
+  kBruteForce,
+  kTopKWeight,
+  kTopKCoverage,
+  kRandom,          // best of 10 draws, as the paper reports
+};
+
+/// "Greedy", "BF", "TopK-W", "TopK-C", "Random", ... (paper naming).
+std::string AlgorithmDisplayName(Algorithm algorithm);
+
+/// \brief One solver's outcome on one instance.
+struct SuiteEntry {
+  Algorithm algorithm;
+  Solution solution;
+};
+
+/// \brief Runs `algorithm` on the instance. `rng` is used by Random only;
+/// `num_threads` by GreedyParallel only.
+Result<Solution> RunAlgorithm(Algorithm algorithm,
+                              const PreferenceGraph& graph, size_t k,
+                              Variant variant, Rng* rng,
+                              size_t num_threads = 1);
+
+/// \brief Runs each algorithm on the same instance.
+Result<std::vector<SuiteEntry>> RunSuite(
+    const std::vector<Algorithm>& algorithms, const PreferenceGraph& graph,
+    size_t k, Variant variant, Rng* rng, size_t num_threads = 1);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_EVAL_RUNNER_H_

@@ -1,0 +1,75 @@
+#include "eval/simulation.h"
+
+#include <cmath>
+
+#include "core/cover_function.h"
+#include "util/bitset.h"
+
+namespace prefcover {
+
+double SimulationResult::StandardError() const {
+  if (requests == 0) return 0.0;
+  double p = MatchRate();
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(requests));
+}
+
+Result<SimulationResult> SimulateMatchRate(
+    const PreferenceGraph& graph, const std::vector<NodeId>& retained,
+    Variant variant, uint64_t num_requests, Rng* rng) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, 0, variant));
+  Bitset retained_set(graph.NumNodes());
+  for (NodeId v : retained) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("retained item out of range");
+    }
+    if (retained_set.Test(v)) {
+      return Status::InvalidArgument("duplicate retained item");
+    }
+    retained_set.Set(v);
+  }
+
+  std::vector<double> weights(graph.NodeWeights().begin(),
+                              graph.NodeWeights().end());
+  AliasSampler popularity(weights);
+
+  SimulationResult result;
+  result.requests = num_requests;
+  for (uint64_t r = 0; r < num_requests; ++r) {
+    NodeId desired = popularity.Sample(rng);
+    if (retained_set.Test(desired)) {
+      ++result.matched;
+      ++result.matched_directly;
+      continue;
+    }
+    AdjacencyView out = graph.OutNeighbors(desired);
+    bool matched = false;
+    switch (variant) {
+      case Variant::kIndependent:
+        for (size_t i = 0; i < out.size() && !matched; ++i) {
+          if (retained_set.Test(out.nodes[i]) &&
+              rng->NextBernoulli(out.weights[i])) {
+            matched = true;
+          }
+        }
+        break;
+      case Variant::kNormalized: {
+        // One draw over the edge distribution; the residual mass means no
+        // alternative satisfies this consumer.
+        double u = rng->NextDouble();
+        double acc = 0.0;
+        for (size_t i = 0; i < out.size(); ++i) {
+          acc += out.weights[i];
+          if (u < acc) {
+            matched = retained_set.Test(out.nodes[i]);
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (matched) ++result.matched;
+  }
+  return result;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,56 @@
+// Monte-Carlo validation of the cover semantics: simulate individual
+// consumer sessions against a reduced inventory and measure the empirical
+// match rate. Under each variant's behavioral model the empirical rate
+// converges to the analytical C(S) — this bridges Definitions 2.1/2.2 and
+// the behavior they claim to summarize, a check the paper argues only
+// informally.
+
+#ifndef PREFCOVER_EVAL_SIMULATION_H_
+#define PREFCOVER_EVAL_SIMULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Outcome of a simulation run.
+struct SimulationResult {
+  uint64_t requests = 0;
+  uint64_t matched = 0;          // request served by a retained item
+  uint64_t matched_directly = 0; // the requested item itself was retained
+
+  double MatchRate() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(matched) / static_cast<double>(requests);
+  }
+
+  /// Binomial standard error of MatchRate().
+  double StandardError() const;
+};
+
+/// \brief Simulates `num_requests` consumer sessions.
+///
+/// Each session draws a desired item from the node-weight distribution.
+/// If retained, the request matches. Otherwise the consumer behaves per
+/// the variant:
+///   - Independent: accepts each retained alternative independently with
+///     its edge probability; the request matches if any is accepted;
+///   - Normalized: samples at most one acceptable alternative from the
+///     edge distribution (residual mass = none); the request matches if
+///     that alternative is retained.
+///
+/// `retained` must be distinct, in-range node ids. The Normalized
+/// behavior requires an admissible graph (checked).
+Result<SimulationResult> SimulateMatchRate(
+    const PreferenceGraph& graph, const std::vector<NodeId>& retained,
+    Variant variant, uint64_t num_requests, Rng* rng);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_EVAL_SIMULATION_H_

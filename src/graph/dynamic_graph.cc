@@ -1,0 +1,172 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prefcover {
+
+namespace {
+
+// Lower-bound search in a to-sorted edge vector.
+template <typename EdgeVec>
+auto FindEdge(EdgeVec& edges, StableId to) {
+  return std::lower_bound(
+      edges.begin(), edges.end(), to,
+      [](const auto& edge, StableId target) { return edge.to < target; });
+}
+
+}  // namespace
+
+GraphValidationOptions DynamicPreferenceGraph::PermissiveSnapshotOptions() {
+  GraphValidationOptions options;
+  options.require_normalized_node_weights = true;  // Snapshot normalizes
+  options.allow_self_loops = false;
+  return options;
+}
+
+StableId DynamicPreferenceGraph::AddItem(double raw_weight,
+                                         std::string label) {
+  Item item;
+  item.raw_weight = raw_weight;
+  item.label = std::move(label);
+  items_.push_back(std::move(item));
+  ++live_items_;
+  ++version_;
+  return static_cast<StableId>(items_.size() - 1);
+}
+
+Status DynamicPreferenceGraph::CheckLive(StableId item,
+                                         const char* op) const {
+  if (item >= items_.size()) {
+    return Status::InvalidArgument(std::string(op) + ": unknown item " +
+                                   std::to_string(item));
+  }
+  if (items_[item].removed) {
+    return Status::FailedPrecondition(std::string(op) + ": item " +
+                                      std::to_string(item) + " was removed");
+  }
+  return Status::OK();
+}
+
+Status DynamicPreferenceGraph::RemoveItem(StableId item) {
+  PREFCOVER_RETURN_NOT_OK(CheckLive(item, "RemoveItem"));
+  live_edges_ -= items_[item].out.size();
+  items_[item].out.clear();
+  items_[item].removed = true;
+  --live_items_;
+  // Remove incoming edges (linear scan: removals are rare relative to
+  // weight updates, and the structure favors the common operations).
+  for (Item& other : items_) {
+    if (other.removed || other.out.empty()) continue;
+    auto it = FindEdge(other.out, item);
+    if (it != other.out.end() && it->to == item) {
+      other.out.erase(it);
+      --live_edges_;
+    }
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status DynamicPreferenceGraph::SetItemWeight(StableId item,
+                                             double raw_weight) {
+  PREFCOVER_RETURN_NOT_OK(CheckLive(item, "SetItemWeight"));
+  if (!(raw_weight >= 0.0) || std::isnan(raw_weight)) {
+    return Status::InvalidArgument("raw weight must be >= 0");
+  }
+  items_[item].raw_weight = raw_weight;
+  ++version_;
+  return Status::OK();
+}
+
+Status DynamicPreferenceGraph::UpsertEdge(StableId from, StableId to,
+                                          double probability) {
+  PREFCOVER_RETURN_NOT_OK(CheckLive(from, "UpsertEdge"));
+  PREFCOVER_RETURN_NOT_OK(CheckLive(to, "UpsertEdge"));
+  if (from == to) {
+    return Status::InvalidArgument("an item cannot be its own alternative");
+  }
+  if (!(probability > 0.0) || probability > 1.0) {
+    return Status::InvalidArgument("edge probability must be in (0, 1]");
+  }
+  auto& out = items_[from].out;
+  auto it = FindEdge(out, to);
+  if (it != out.end() && it->to == to) {
+    it->probability = probability;
+  } else {
+    out.insert(it, {to, probability});
+    ++live_edges_;
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status DynamicPreferenceGraph::RemoveEdge(StableId from, StableId to) {
+  PREFCOVER_RETURN_NOT_OK(CheckLive(from, "RemoveEdge"));
+  auto& out = items_[from].out;
+  auto it = FindEdge(out, to);
+  if (it == out.end() || it->to != to) {
+    return Status::NotFound("edge (" + std::to_string(from) + ", " +
+                            std::to_string(to) + ") does not exist");
+  }
+  out.erase(it);
+  --live_edges_;
+  ++version_;
+  return Status::OK();
+}
+
+bool DynamicPreferenceGraph::HasItem(StableId item) const {
+  return item < items_.size() && !items_[item].removed;
+}
+
+double DynamicPreferenceGraph::EdgeProbability(StableId from,
+                                               StableId to) const {
+  if (!HasItem(from)) return 0.0;
+  const auto& out = items_[from].out;
+  auto it = FindEdge(out, to);
+  return (it != out.end() && it->to == to) ? it->probability : 0.0;
+}
+
+double DynamicPreferenceGraph::ItemWeight(StableId item) const {
+  return HasItem(item) ? items_[item].raw_weight : 0.0;
+}
+
+Result<PreferenceGraph> DynamicPreferenceGraph::Snapshot(
+    std::vector<StableId>* stable_ids_out,
+    const GraphValidationOptions& options) const {
+  double total = 0.0;
+  for (const Item& item : items_) {
+    if (!item.removed) total += item.raw_weight;
+  }
+  if (!(total > 0.0)) {
+    return Status::FailedPrecondition(
+        "snapshot requires positive total demand weight");
+  }
+
+  std::vector<NodeId> dense(items_.size(), kInvalidNode);
+  std::vector<StableId> stable_ids;
+  stable_ids.reserve(live_items_);
+  GraphBuilder builder;
+  builder.Reserve(live_items_, live_edges_);
+  for (StableId id = 0; id < items_.size(); ++id) {
+    const Item& item = items_[id];
+    if (item.removed) continue;
+    dense[id] = builder.AddNode(item.raw_weight / total, item.label);
+    stable_ids.push_back(id);
+  }
+  for (StableId id = 0; id < items_.size(); ++id) {
+    const Item& item = items_[id];
+    if (item.removed) continue;
+    for (const Edge& edge : item.out) {
+      PREFCOVER_DCHECK(dense[edge.to] != kInvalidNode);
+      PREFCOVER_RETURN_NOT_OK(
+          builder.AddEdge(dense[id], dense[edge.to], edge.probability));
+    }
+  }
+  PREFCOVER_ASSIGN_OR_RETURN(PreferenceGraph graph,
+                             builder.Finalize(options));
+  if (stable_ids_out != nullptr) *stable_ids_out = std::move(stable_ids);
+  return graph;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,105 @@
+// Mutable preference graph supporting the update stream of a live catalog
+// (the paper's "incremental maintenance in response to changes over time"
+// future-work direction, Section 7).
+//
+// PreferenceGraph is an immutable CSR snapshot optimized for solving;
+// DynamicPreferenceGraph is the mutable twin: items appear and disappear,
+// popularity drifts, alternative probabilities get re-estimated. Snapshot()
+// freezes the current state into a PreferenceGraph for the solvers, with a
+// dense re-numbering that skips removed items.
+
+#ifndef PREFCOVER_GRAPH_DYNAMIC_GRAPH_H_
+#define PREFCOVER_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Stable identifier of an item in a dynamic graph. Unlike NodeId,
+/// it survives removals of other items (ids are never reused).
+using StableId = uint32_t;
+
+/// \brief A mutable preference graph keyed by stable item ids.
+class DynamicPreferenceGraph {
+ public:
+  DynamicPreferenceGraph() = default;
+
+  /// Adds an item with raw (unnormalized) demand weight; returns its
+  /// stable id. Raw weights are normalized into probabilities at
+  /// Snapshot().
+  StableId AddItem(double raw_weight, std::string label = "");
+
+  /// Marks an item removed: it leaves the catalog together with every
+  /// incident edge. The id is never reused.
+  Status RemoveItem(StableId item);
+
+  /// Updates an item's raw demand weight.
+  Status SetItemWeight(StableId item, double raw_weight);
+
+  /// Inserts or overwrites the alternative edge (from, to) with the given
+  /// acceptance probability in (0, 1].
+  Status UpsertEdge(StableId from, StableId to, double probability);
+
+  /// Removes the edge (from, to); NotFound when absent.
+  Status RemoveEdge(StableId from, StableId to);
+
+  /// True if the item exists and is not removed.
+  bool HasItem(StableId item) const;
+
+  /// Current acceptance probability of (from, to), or 0 when absent.
+  double EdgeProbability(StableId from, StableId to) const;
+
+  double ItemWeight(StableId item) const;
+
+  /// Live (non-removed) item count.
+  size_t NumItems() const { return live_items_; }
+  size_t NumEdges() const { return live_edges_; }
+
+  /// Monotone counter incremented by every successful mutation; lets
+  /// callers (e.g. InventoryMaintainer) detect drift cheaply.
+  uint64_t version() const { return version_; }
+
+  /// \brief Freezes the live items into an immutable snapshot.
+  ///
+  /// `stable_ids_out`, if non-null, receives the stable id of each
+  /// snapshot node (index = NodeId in the snapshot), i.e. the mapping
+  /// needed to interpret solver output. Raw weights are normalized to sum
+  /// to 1; fails when no live item has positive weight.
+  Result<PreferenceGraph> Snapshot(
+      std::vector<StableId>* stable_ids_out = nullptr,
+      const GraphValidationOptions& options = PermissiveSnapshotOptions())
+      const;
+
+  /// Snapshot validation default: labels and structure are already
+  /// guaranteed by the mutation API, so only probability ranges matter.
+  static GraphValidationOptions PermissiveSnapshotOptions();
+
+ private:
+  struct Edge {
+    StableId to;
+    double probability;
+  };
+  struct Item {
+    double raw_weight = 0.0;
+    bool removed = false;
+    std::string label;
+    std::vector<Edge> out;  // sorted by `to`
+  };
+
+  Status CheckLive(StableId item, const char* op) const;
+
+  std::vector<Item> items_;
+  size_t live_items_ = 0;
+  size_t live_edges_ = 0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,190 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace prefcover {
+
+void GraphBuilder::Reserve(size_t num_nodes, size_t num_edges) {
+  node_weights_.reserve(num_nodes);
+  labels_.reserve(num_nodes);
+  edges_.reserve(num_edges);
+}
+
+NodeId GraphBuilder::AddNode(double weight, std::string label) {
+  NodeId id = static_cast<NodeId>(node_weights_.size());
+  node_weights_.push_back(weight);
+  if (!label.empty()) any_label_ = true;
+  labels_.push_back(std::move(label));
+  return id;
+}
+
+NodeId GraphBuilder::AddNodes(size_t count) {
+  NodeId first = static_cast<NodeId>(node_weights_.size());
+  node_weights_.resize(node_weights_.size() + count, 0.0);
+  labels_.resize(labels_.size() + count);
+  return first;
+}
+
+Status GraphBuilder::SetNodeWeight(NodeId v, double weight) {
+  if (v >= node_weights_.size()) {
+    return Status::InvalidArgument("SetNodeWeight: unknown node " +
+                                   std::to_string(v));
+  }
+  node_weights_[v] = weight;
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdge(NodeId from, NodeId to, double weight) {
+  if (from >= node_weights_.size() || to >= node_weights_.size()) {
+    return Status::InvalidArgument(
+        "AddEdge: unknown endpoint (" + std::to_string(from) + ", " +
+        std::to_string(to) + ") with " + std::to_string(node_weights_.size()) +
+        " nodes");
+  }
+  edges_.push_back({from, to, weight});
+  return Status::OK();
+}
+
+Status GraphBuilder::AddOrAccumulateEdge(NodeId from, NodeId to,
+                                         double weight) {
+  if (from >= node_weights_.size() || to >= node_weights_.size()) {
+    return Status::InvalidArgument("AddOrAccumulateEdge: unknown endpoint");
+  }
+  // Linear probe over this node's recent edges would be quadratic for hub
+  // nodes; construction pipelines instead accumulate into a map keyed by the
+  // packed endpoint pair.
+  uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  auto [it, inserted] = edge_index_.try_emplace(key, edges_.size());
+  if (inserted) {
+    edges_.push_back({from, to, weight});
+  } else {
+    edges_[it->second].weight += weight;
+  }
+  return Status::OK();
+}
+
+Status GraphBuilder::NormalizeNodeWeights() {
+  double sum = 0.0;
+  for (double w : node_weights_) sum += w;
+  if (!(sum > 0.0)) {
+    return Status::FailedPrecondition(
+        "NormalizeNodeWeights: node weight sum must be positive");
+  }
+  for (double& w : node_weights_) w /= sum;
+  return Status::OK();
+}
+
+Result<PreferenceGraph> GraphBuilder::Finalize(
+    const GraphValidationOptions& options) {
+  const size_t n = node_weights_.size();
+
+  for (size_t v = 0; v < n; ++v) {
+    double w = node_weights_[v];
+    if (!(w >= 0.0) || w > 1.0 || std::isnan(w)) {
+      return Status::InvalidArgument("node " + std::to_string(v) +
+                                     " weight out of [0,1]: " +
+                                     std::to_string(w));
+    }
+  }
+  if (options.require_normalized_node_weights) {
+    double sum = 0.0;
+    for (double w : node_weights_) sum += w;
+    if (std::fabs(sum - 1.0) > options.weight_sum_tolerance) {
+      return Status::InvalidArgument(
+          "node weights must sum to 1 (got " + std::to_string(sum) +
+          "); call NormalizeNodeWeights() or disable the check");
+    }
+  }
+
+  for (const Edge& e : edges_) {
+    if (!options.allow_self_loops && e.from == e.to) {
+      return Status::InvalidArgument("self-loop on node " +
+                                     std::to_string(e.from));
+    }
+    if (!(e.weight > 0.0) || e.weight > 1.0 + 1e-12 || std::isnan(e.weight)) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(e.from) + ", " + std::to_string(e.to) +
+          ") weight out of (0,1]: " + std::to_string(e.weight));
+    }
+  }
+
+  // Sort edges by (from, to) to build the out-CSR and detect duplicates.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i].from == edges_[i - 1].from &&
+        edges_[i].to == edges_[i - 1].to) {
+      return Status::InvalidArgument(
+          "duplicate edge (" + std::to_string(edges_[i].from) + ", " +
+          std::to_string(edges_[i].to) + ")");
+    }
+  }
+
+  if (options.require_normalized_out_weights) {
+    // Edges are sorted by source, so per-node sums are contiguous scans.
+    size_t i = 0;
+    while (i < edges_.size()) {
+      size_t j = i;
+      double sum = 0.0;
+      while (j < edges_.size() && edges_[j].from == edges_[i].from) {
+        sum += edges_[j].weight;
+        ++j;
+      }
+      if (sum > 1.0 + options.weight_sum_tolerance) {
+        return Status::InvalidArgument(
+            "Normalized variant requires out-weight sum <= 1; node " +
+            std::to_string(edges_[i].from) + " has " + std::to_string(sum));
+      }
+      i = j;
+    }
+  }
+
+  PreferenceGraph g;
+  g.node_weights_ = std::move(node_weights_);
+  if (any_label_) g.labels_ = std::move(labels_);
+
+  const size_t m = edges_.size();
+  g.out_offsets_.assign(n + 1, 0);
+  g.out_targets_.resize(m);
+  g.out_weights_.resize(m);
+  for (const Edge& e : edges_) ++g.out_offsets_[e.from + 1];
+  for (size_t v = 0; v < n; ++v) g.out_offsets_[v + 1] += g.out_offsets_[v];
+  {
+    // Edges are already sorted by (from, to); fill sequentially.
+    size_t idx = 0;
+    for (const Edge& e : edges_) {
+      g.out_targets_[idx] = e.to;
+      g.out_weights_[idx] = e.weight;
+      ++idx;
+    }
+  }
+
+  g.in_offsets_.assign(n + 1, 0);
+  g.in_sources_.resize(m);
+  g.in_weights_.resize(m);
+  for (const Edge& e : edges_) ++g.in_offsets_[e.to + 1];
+  for (size_t v = 0; v < n; ++v) g.in_offsets_[v + 1] += g.in_offsets_[v];
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : edges_) {
+      size_t idx = cursor[e.to]++;
+      g.in_sources_[idx] = e.from;
+      g.in_weights_[idx] = e.weight;
+    }
+  }
+
+  // Leave the builder reusable-but-empty.
+  node_weights_.clear();
+  labels_.clear();
+  edges_.clear();
+  edge_index_.clear();
+  any_label_ = false;
+
+  return g;
+}
+
+}  // namespace prefcover

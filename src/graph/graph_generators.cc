@@ -1,0 +1,196 @@
+#include "graph/graph_generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace prefcover {
+
+namespace {
+
+// Assigns Zipf(s) node weights over a random permutation of the nodes so
+// that popularity is skewed but uncorrelated with node id.
+void AssignPopularity(uint32_t n, double skew, Rng* rng,
+                      GraphBuilder* builder) {
+  std::vector<uint32_t> ranks(n);
+  for (uint32_t i = 0; i < n; ++i) ranks[i] = i;
+  rng->Shuffle(&ranks);
+  ZipfDistribution zipf(n, skew);
+  for (uint32_t v = 0; v < n; ++v) {
+    // Finalize re-checks the sum; Pmf values sum to 1 exactly by
+    // construction up to rounding.
+    Status st = builder->SetNodeWeight(v, zipf.Pmf(ranks[v]));
+    PREFCOVER_CHECK(st.ok());
+  }
+}
+
+// Scales node v's pending out-edge weights so they sum to `target_sum`.
+void ScaleWeights(std::vector<double>* weights, double target_sum) {
+  double sum = 0.0;
+  for (double w : *weights) sum += w;
+  if (sum <= 0.0) return;
+  double scale = target_sum / sum;
+  for (double& w : *weights) {
+    w *= scale;
+    if (w > 1.0) w = 1.0;
+    if (w < 1e-9) w = 1e-9;
+  }
+}
+
+}  // namespace
+
+Result<PreferenceGraph> GenerateUniformGraph(const UniformGraphParams& params,
+                                             Rng* rng) {
+  if (params.num_nodes == 0) {
+    return Status::InvalidArgument("num_nodes must be positive");
+  }
+  if (params.min_edge_weight <= 0.0 ||
+      params.max_edge_weight > 1.0 ||
+      params.min_edge_weight > params.max_edge_weight) {
+    return Status::InvalidArgument("edge weight range must be within (0,1]");
+  }
+  const uint32_t n = params.num_nodes;
+  GraphBuilder builder;
+  builder.Reserve(n, static_cast<size_t>(n) * params.out_degree);
+  builder.AddNodes(n);
+  AssignPopularity(n, params.popularity_skew, rng, &builder);
+
+  const uint32_t degree = std::min(params.out_degree, n - 1);
+  std::vector<double> weights;
+  for (uint32_t v = 0; v < n && degree > 0; ++v) {
+    // Sample from [0, n-1) and skip over v to get distinct non-self targets.
+    std::vector<uint32_t> targets = rng->SampleWithoutReplacement(n - 1,
+                                                                  degree);
+    for (uint32_t& t : targets) {
+      if (t >= v) ++t;
+    }
+    weights.assign(degree, 0.0);
+    for (double& w : weights) {
+      w = rng->NextDouble(params.min_edge_weight, params.max_edge_weight);
+    }
+    if (params.normalized_out_weights) {
+      ScaleWeights(&weights, rng->NextDouble(0.3, 1.0));
+    }
+    for (uint32_t i = 0; i < degree; ++i) {
+      PREFCOVER_RETURN_NOT_OK(builder.AddEdge(v, targets[i], weights[i]));
+    }
+  }
+  GraphValidationOptions options;
+  options.require_normalized_out_weights = params.normalized_out_weights;
+  return builder.Finalize(options);
+}
+
+Result<PreferenceGraph> GenerateClusteredGraph(
+    const ClusteredGraphParams& params, Rng* rng) {
+  if (params.num_nodes == 0 || params.num_clusters == 0) {
+    return Status::InvalidArgument("nodes and clusters must be positive");
+  }
+  if (params.num_clusters > params.num_nodes) {
+    return Status::InvalidArgument("more clusters than nodes");
+  }
+  const uint32_t n = params.num_nodes;
+  const uint32_t c = params.num_clusters;
+
+  // Round-robin assignment keeps clusters near-equal in size; the random
+  // popularity permutation decorrelates cluster id from weight.
+  std::vector<uint32_t> cluster_of(n);
+  std::vector<std::vector<uint32_t>> members(c);
+  for (uint32_t v = 0; v < n; ++v) {
+    cluster_of[v] = v % c;
+    members[v % c].push_back(v);
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(n, static_cast<size_t>(
+                         static_cast<double>(n) *
+                         (params.intra_cluster_degree +
+                          params.inter_cluster_degree)) +
+                         n);
+  builder.AddNodes(n);
+  AssignPopularity(n, params.popularity_skew, rng, &builder);
+
+  std::vector<double> weights;
+  std::vector<uint32_t> targets;
+  for (uint32_t v = 0; v < n; ++v) {
+    targets.clear();
+    weights.clear();
+
+    const auto& own = members[cluster_of[v]];
+    uint32_t intra_avail = static_cast<uint32_t>(own.size()) - 1;
+    uint32_t intra = static_cast<uint32_t>(std::min<uint64_t>(
+        rng->NextPoisson(params.intra_cluster_degree), intra_avail));
+    if (intra > 0) {
+      std::vector<uint32_t> picks =
+          rng->SampleWithoutReplacement(intra_avail, intra);
+      for (uint32_t p : picks) {
+        // own is sorted ascending; skip v's own slot.
+        uint32_t idx = p;
+        if (own[idx] >= v) ++idx;
+        targets.push_back(own[idx]);
+        weights.push_back(
+            rng->NextDouble(params.intra_weight_lo, params.intra_weight_hi));
+      }
+    }
+
+    uint32_t inter = static_cast<uint32_t>(
+        std::min<uint64_t>(rng->NextPoisson(params.inter_cluster_degree),
+                           n > own.size() ? 8 : 0));
+    for (uint32_t i = 0; i < inter; ++i) {
+      uint32_t t;
+      do {
+        t = static_cast<uint32_t>(rng->NextBounded(n));
+      } while (cluster_of[t] == cluster_of[v]);
+      if (std::find(targets.begin(), targets.end(), t) != targets.end()) {
+        continue;  // duplicate pick; skip rather than retry unboundedly
+      }
+      targets.push_back(t);
+      weights.push_back(
+          rng->NextDouble(params.inter_weight_lo, params.inter_weight_hi));
+    }
+
+    if (params.normalized_out_weights && !weights.empty()) {
+      double sum = 0.0;
+      for (double w : weights) sum += w;
+      if (sum > 1.0) ScaleWeights(&weights, rng->NextDouble(0.5, 1.0));
+    }
+    for (size_t i = 0; i < targets.size(); ++i) {
+      PREFCOVER_RETURN_NOT_OK(builder.AddEdge(v, targets[i], weights[i]));
+    }
+  }
+  GraphValidationOptions options;
+  options.require_normalized_out_weights = params.normalized_out_weights;
+  return builder.Finalize(options);
+}
+
+PreferenceGraph MakePaperExampleGraph() {
+  // Figure 1 / Examples 1.1 and 3.2. Weights reconstructed so that every
+  // number in the paper's walkthrough holds:
+  //   greedy picks B (gain 66%) then D (marginal 21.3%);
+  //   top-2-by-weight {A, B} covers 77%;
+  //   the optimum {B, D} covers 87.3%;
+  //   retained {B, D} covers A at 67%, C at 100%, E at 90% (Figure 2).
+  GraphBuilder builder;
+  NodeId a = builder.AddNode(0.33, "A");
+  NodeId b = builder.AddNode(0.22, "B");
+  NodeId c = builder.AddNode(0.22, "C");
+  NodeId d = builder.AddNode(0.06, "D");
+  NodeId e = builder.AddNode(0.17, "E");
+  auto add = [&builder](NodeId from, NodeId to, double w) {
+    Status st = builder.AddEdge(from, to, w);
+    PREFCOVER_CHECK(st.ok());
+  };
+  add(a, b, 2.0 / 3.0);  // "B is a more likely replacement for A than C"
+  add(a, c, 0.2);
+  add(b, c, 1.0);  // "consumers interested in C (B) will settle for B (C)"
+  add(c, b, 1.0);
+  add(d, c, 0.8);  // C is a one-step upgrade of D
+  add(e, d, 0.9);  // "9/10 of W(E)"; no transitive E -> C edge
+  GraphValidationOptions options;
+  options.require_normalized_out_weights = true;
+  auto result = builder.Finalize(options);
+  PREFCOVER_CHECK_MSG(result.ok(), result.status().ToString());
+  return std::move(result).value();
+}
+
+}  // namespace prefcover

@@ -1,0 +1,68 @@
+// Random preference-graph models for tests and micro-benchmarks.
+//
+// These generate graphs directly (no clickstream); the full e-commerce
+// pipeline (catalog -> sessions -> Data Adaptation Engine -> graph) lives
+// in src/synth/.
+
+#ifndef PREFCOVER_GRAPH_GRAPH_GENERATORS_H_
+#define PREFCOVER_GRAPH_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/preference_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Parameters for the uniform random model.
+struct UniformGraphParams {
+  uint32_t num_nodes = 100;
+  /// Expected out-degree; each node draws this many distinct targets
+  /// (capped at num_nodes - 1).
+  uint32_t out_degree = 4;
+  /// Node weights: Zipf skew s over a random popularity permutation
+  /// (0 = uniform weights).
+  double popularity_skew = 1.0;
+  /// Edge weights drawn uniformly from [min_edge_weight, max_edge_weight].
+  double min_edge_weight = 0.05;
+  double max_edge_weight = 0.95;
+  /// When true, each node's outgoing edge weights are scaled to sum to at
+  /// most 1 (Normalized-variant admissible). The per-node target sum is
+  /// drawn uniformly from [0.3, 1.0] so residual "no alternative"
+  /// probability varies across nodes.
+  bool normalized_out_weights = false;
+};
+
+/// \brief Erdős–Rényi-style preference graph with Zipf popularity.
+Result<PreferenceGraph> GenerateUniformGraph(const UniformGraphParams& params,
+                                             Rng* rng);
+
+/// \brief Parameters for the clustered model that mimics e-commerce
+/// substitute structure: items belong to categories (e.g. "55-inch TVs"),
+/// and alternatives are mostly within-category.
+struct ClusteredGraphParams {
+  uint32_t num_nodes = 1000;
+  uint32_t num_clusters = 100;
+  /// Mean out-degree inside the own cluster.
+  double intra_cluster_degree = 4.0;
+  /// Mean out-degree to other clusters (accessory/upgrade links).
+  double inter_cluster_degree = 0.5;
+  double popularity_skew = 1.0;
+  /// Alternatives inside a cluster are stronger than across clusters.
+  double intra_weight_lo = 0.3, intra_weight_hi = 0.9;
+  double inter_weight_lo = 0.05, inter_weight_hi = 0.3;
+  bool normalized_out_weights = false;
+};
+
+/// \brief Category-clustered preference graph.
+Result<PreferenceGraph> GenerateClusteredGraph(
+    const ClusteredGraphParams& params, Rng* rng);
+
+/// \brief The paper's running example (Figure 1 / Example 1.1): five items
+/// A..E (= nodes 0..4); optimum for k=2 is {B, D} with cover 0.873.
+PreferenceGraph MakePaperExampleGraph();
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_GRAPH_GRAPH_GENERATORS_H_

@@ -1,0 +1,335 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace prefcover {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'C', 'G', 'R', 'A', 'P', 'H', '1'};
+constexpr uint32_t kVersion = 1;
+
+// FNV-1a over the serialized payload; cheap integrity check against
+// truncation and bit rot, not cryptographic.
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void Write(const void* data, size_t size) {
+    out_->write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(size));
+    hash_.Update(data, size);
+  }
+
+  template <typename T>
+  void WriteScalar(T value) {
+    Write(&value, sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    WriteScalar<uint32_t>(static_cast<uint32_t>(s.size()));
+    Write(s.data(), s.size());
+  }
+
+  uint64_t digest() const { return hash_.digest(); }
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+  Fnv1a hash_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  Status Read(void* data, size_t size) {
+    in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (static_cast<size_t>(in_->gcount()) != size) {
+      return Status::Corruption("unexpected end of graph file");
+    }
+    hash_.Update(data, size);
+    return Status::OK();
+  }
+
+  template <typename T>
+  Result<T> ReadScalar() {
+    T value;
+    PREFCOVER_RETURN_NOT_OK(Read(&value, sizeof(T)));
+    return value;
+  }
+
+  Result<std::string> ReadString(uint32_t max_len) {
+    PREFCOVER_ASSIGN_OR_RETURN(uint32_t len, ReadScalar<uint32_t>());
+    if (len > max_len) {
+      return Status::Corruption("string length implausible: " +
+                                std::to_string(len));
+    }
+    std::string s(len, '\0');
+    PREFCOVER_RETURN_NOT_OK(Read(s.data(), len));
+    return s;
+  }
+
+  uint64_t digest() const { return hash_.digest(); }
+
+ private:
+  std::istream* in_;
+  Fnv1a hash_;
+};
+
+}  // namespace
+
+Status WriteGraphBinary(const PreferenceGraph& graph, std::ostream* out) {
+  out->write(kMagic, sizeof(kMagic));
+  BinaryWriter w(out);
+  w.WriteScalar<uint32_t>(kVersion);
+  const uint64_t n = graph.NumNodes();
+  const uint64_t m = graph.NumEdges();
+  w.WriteScalar<uint64_t>(n);
+  w.WriteScalar<uint64_t>(m);
+  w.WriteScalar<uint8_t>(graph.HasLabels() ? 1 : 0);
+  for (NodeId v = 0; v < n; ++v) w.WriteScalar<double>(graph.NodeWeight(v));
+  for (NodeId v = 0; v < n; ++v) {
+    AdjacencyView adj = graph.OutNeighbors(v);
+    w.WriteScalar<uint32_t>(static_cast<uint32_t>(adj.size()));
+    for (size_t i = 0; i < adj.size(); ++i) {
+      w.WriteScalar<NodeId>(adj.nodes[i]);
+      w.WriteScalar<double>(adj.weights[i]);
+    }
+  }
+  if (graph.HasLabels()) {
+    for (NodeId v = 0; v < n; ++v) w.WriteString(graph.Label(v));
+  }
+  uint64_t digest = w.digest();
+  out->write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  if (!out->good()) return Status::IOError("failed writing graph stream");
+  return Status::OK();
+}
+
+Result<PreferenceGraph> ReadGraphBinary(std::istream* in) {
+  char magic[sizeof(kMagic)];
+  in->read(magic, sizeof(magic));
+  if (static_cast<size_t>(in->gcount()) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a .pcg graph file (bad magic)");
+  }
+  BinaryReader r(in);
+  PREFCOVER_ASSIGN_OR_RETURN(uint32_t version, r.ReadScalar<uint32_t>());
+  if (version != kVersion) {
+    return Status::Corruption("unsupported graph format version " +
+                              std::to_string(version));
+  }
+  PREFCOVER_ASSIGN_OR_RETURN(uint64_t n, r.ReadScalar<uint64_t>());
+  PREFCOVER_ASSIGN_OR_RETURN(uint64_t m, r.ReadScalar<uint64_t>());
+  PREFCOVER_ASSIGN_OR_RETURN(uint8_t has_labels, r.ReadScalar<uint8_t>());
+  if (n > kInvalidNode) {
+    return Status::Corruption("node count exceeds NodeId range");
+  }
+  if (n > 0 && m / n > n) {
+    return Status::Corruption("edge count implausible for node count");
+  }
+
+  GraphBuilder builder;
+  // The counts come from an untrusted stream: cap the speculative
+  // reservation and let storage grow only as bytes actually arrive, so a
+  // corrupted count field fails cleanly at end-of-stream instead of
+  // attempting a multi-gigabyte allocation.
+  constexpr uint64_t kReserveCap = 1u << 20;
+  builder.Reserve(static_cast<size_t>(std::min(n, kReserveCap)),
+                  static_cast<size_t>(std::min(m, 4 * kReserveCap)));
+  for (uint64_t v = 0; v < n; ++v) {
+    PREFCOVER_ASSIGN_OR_RETURN(double weight, r.ReadScalar<double>());
+    builder.AddNode(weight);
+  }
+  uint64_t edges_seen = 0;
+  for (uint64_t v = 0; v < n; ++v) {
+    PREFCOVER_ASSIGN_OR_RETURN(uint32_t deg, r.ReadScalar<uint32_t>());
+    for (uint32_t i = 0; i < deg; ++i) {
+      PREFCOVER_ASSIGN_OR_RETURN(NodeId to, r.ReadScalar<NodeId>());
+      PREFCOVER_ASSIGN_OR_RETURN(double w, r.ReadScalar<double>());
+      if (to >= n) return Status::Corruption("edge target out of range");
+      PREFCOVER_RETURN_NOT_OK(
+          builder.AddEdge(static_cast<NodeId>(v), to, w));
+      ++edges_seen;
+    }
+  }
+  if (edges_seen != m) {
+    return Status::Corruption("edge count mismatch: header says " +
+                              std::to_string(m) + ", found " +
+                              std::to_string(edges_seen));
+  }
+  std::vector<std::string> labels;
+  if (has_labels != 0) {
+    labels.reserve(static_cast<size_t>(std::min(n, kReserveCap)));
+    for (uint64_t v = 0; v < n; ++v) {
+      PREFCOVER_ASSIGN_OR_RETURN(std::string label, r.ReadString(1u << 20));
+      labels.push_back(std::move(label));
+    }
+  }
+
+  uint64_t expected = r.digest();
+  uint64_t stored = 0;
+  in->read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (static_cast<size_t>(in->gcount()) != sizeof(stored)) {
+    return Status::Corruption("missing checksum");
+  }
+  if (stored != expected) {
+    return Status::Corruption("checksum mismatch");
+  }
+
+  // The stream was produced from an already-validated graph; permissive
+  // finalize preserves whatever shape it had (e.g. VC-reduction self-loops,
+  // unnormalized transform intermediates).
+  GraphValidationOptions options;
+  options.require_normalized_node_weights = false;
+  options.allow_self_loops = true;
+  PREFCOVER_ASSIGN_OR_RETURN(PreferenceGraph graph,
+                             builder.Finalize(options));
+  if (has_labels != 0) {
+    // Rebuild via a labeled builder pass: attach labels by re-finalizing is
+    // not possible on the immutable graph, so re-run with labels in place.
+    GraphBuilder labeled;
+    labeled.Reserve(graph.NumNodes(), graph.NumEdges());
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      labeled.AddNode(graph.NodeWeight(v), labels[v]);
+    }
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      AdjacencyView adj = graph.OutNeighbors(v);
+      for (size_t i = 0; i < adj.size(); ++i) {
+        PREFCOVER_RETURN_NOT_OK(
+            labeled.AddEdge(v, adj.nodes[i], adj.weights[i]));
+      }
+    }
+    return labeled.Finalize(options);
+  }
+  return graph;
+}
+
+Status WriteGraphBinaryFile(const PreferenceGraph& graph,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteGraphBinary(graph, &out);
+}
+
+Result<PreferenceGraph> ReadGraphBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadGraphBinary(&in);
+}
+
+Status WriteGraphCsv(const PreferenceGraph& graph, std::ostream* nodes_out,
+                     std::ostream* edges_out) {
+  CsvWriter nodes(nodes_out);
+  if (graph.HasLabels()) {
+    nodes.WriteRecord({"id", "weight", "label"});
+  } else {
+    nodes.WriteRecord({"id", "weight"});
+  }
+  char buf[32];
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", graph.NodeWeight(v));
+    if (graph.HasLabels()) {
+      nodes.WriteRecord({std::to_string(v), buf, graph.Label(v)});
+    } else {
+      nodes.WriteRecord({std::to_string(v), buf});
+    }
+  }
+  CsvWriter edges(edges_out);
+  edges.WriteRecord({"from", "to", "weight"});
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    AdjacencyView adj = graph.OutNeighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.17g", adj.weights[i]);
+      edges.WriteRecord(
+          {std::to_string(v), std::to_string(adj.nodes[i]), buf});
+    }
+  }
+  if (!nodes_out->good() || !edges_out->good()) {
+    return Status::IOError("failed writing CSV graph");
+  }
+  return Status::OK();
+}
+
+Result<PreferenceGraph> ReadGraphCsv(std::istream* nodes_in,
+                                     std::istream* edges_in,
+                                     const GraphValidationOptions& options) {
+  GraphBuilder builder;
+  CsvReader nodes(nodes_in);
+  std::vector<std::string> fields;
+  bool header = true;
+  bool labeled = false;
+  uint32_t expected_id = 0;
+  while (nodes.Next(&fields)) {
+    if (header) {
+      header = false;
+      if (fields.size() < 2 || fields[0] != "id") {
+        return Status::InvalidArgument("nodes CSV must start with id,weight");
+      }
+      labeled = fields.size() >= 3;
+      continue;
+    }
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("nodes CSV record too short");
+    }
+    PREFCOVER_ASSIGN_OR_RETURN(uint32_t id, ParseUint32(fields[0]));
+    if (id != expected_id) {
+      return Status::InvalidArgument(
+          "nodes CSV ids must be dense and ascending; expected " +
+          std::to_string(expected_id) + ", got " + std::to_string(id));
+    }
+    ++expected_id;
+    PREFCOVER_ASSIGN_OR_RETURN(double w, ParseDouble(fields[1]));
+    builder.AddNode(w, labeled && fields.size() >= 3 ? fields[2] : "");
+  }
+  PREFCOVER_RETURN_NOT_OK(nodes.status());
+
+  CsvReader edges(edges_in);
+  header = true;
+  while (edges.Next(&fields)) {
+    if (header) {
+      header = false;
+      if (fields.size() != 3 || fields[0] != "from") {
+        return Status::InvalidArgument(
+            "edges CSV must start with from,to,weight");
+      }
+      continue;
+    }
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("edges CSV record must have 3 fields");
+    }
+    PREFCOVER_ASSIGN_OR_RETURN(uint32_t from, ParseUint32(fields[0]));
+    PREFCOVER_ASSIGN_OR_RETURN(uint32_t to, ParseUint32(fields[1]));
+    PREFCOVER_ASSIGN_OR_RETURN(double w, ParseDouble(fields[2]));
+    PREFCOVER_RETURN_NOT_OK(builder.AddEdge(from, to, w));
+  }
+  PREFCOVER_RETURN_NOT_OK(edges.status());
+
+  return builder.Finalize(options);
+}
+
+}  // namespace prefcover

@@ -1,0 +1,56 @@
+// Serialization of preference graphs.
+//
+// Two formats:
+//   - binary (.pcg): compact little-endian dump of the CSR arrays with a
+//     magic/version header and payload checksum; the format of record for
+//     large graphs.
+//   - text (CSV): two files or streams — nodes (id,weight[,label]) and
+//     edges (from,to,weight) — convenient for interchange and debugging.
+
+#ifndef PREFCOVER_GRAPH_GRAPH_IO_H_
+#define PREFCOVER_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \name Binary format
+/// @{
+
+/// Writes `graph` to `out` in binary .pcg format.
+Status WriteGraphBinary(const PreferenceGraph& graph, std::ostream* out);
+
+/// Reads a binary .pcg graph. Fails with Corruption on bad magic, version,
+/// truncation or checksum mismatch.
+Result<PreferenceGraph> ReadGraphBinary(std::istream* in);
+
+/// File-path conveniences.
+Status WriteGraphBinaryFile(const PreferenceGraph& graph,
+                            const std::string& path);
+Result<PreferenceGraph> ReadGraphBinaryFile(const std::string& path);
+
+/// @}
+/// \name Text (CSV) format
+/// @{
+
+/// Writes nodes as `id,weight[,label]` and edges as `from,to,weight`,
+/// each with a header row.
+Status WriteGraphCsv(const PreferenceGraph& graph, std::ostream* nodes_out,
+                     std::ostream* edges_out);
+
+/// Reads the CSV pair produced by WriteGraphCsv. Validation options apply
+/// at finalize time.
+Result<PreferenceGraph> ReadGraphCsv(
+    std::istream* nodes_in, std::istream* edges_in,
+    const GraphValidationOptions& options = GraphValidationOptions());
+
+/// @}
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,84 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+namespace prefcover {
+
+GraphStats ComputeGraphStats(const PreferenceGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.NumNodes();
+  s.num_edges = graph.NumEdges();
+  s.total_node_weight = graph.TotalNodeWeight();
+  if (s.num_nodes == 0) return s;
+
+  s.mean_out_degree =
+      static_cast<double>(s.num_edges) / static_cast<double>(s.num_nodes);
+
+  double edge_weight_sum = 0.0;
+  double min_w = std::numeric_limits<double>::infinity();
+  double max_w = -std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    size_t out_deg = graph.OutDegree(v);
+    size_t in_deg = graph.InDegree(v);
+    s.max_out_degree = std::max(s.max_out_degree, out_deg);
+    s.max_in_degree = std::max(s.max_in_degree, in_deg);
+    if (out_deg == 0 && in_deg == 0) ++s.isolated_nodes;
+
+    double out_sum = 0.0;
+    AdjacencyView adj = graph.OutNeighbors(v);
+    for (double w : adj.weights) {
+      edge_weight_sum += w;
+      out_sum += w;
+      min_w = std::min(min_w, w);
+      max_w = std::max(max_w, w);
+    }
+    s.max_out_weight_sum = std::max(s.max_out_weight_sum, out_sum);
+  }
+  if (s.num_edges > 0) {
+    s.mean_edge_weight = edge_weight_sum / static_cast<double>(s.num_edges);
+    s.min_edge_weight = min_w;
+    s.max_edge_weight = max_w;
+  }
+
+  // Gini over node weights via the sorted-index formula.
+  std::vector<double> weights(graph.NodeWeights().begin(),
+                              graph.NodeWeights().end());
+  std::sort(weights.begin(), weights.end());
+  double cum = 0.0, weighted_cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    weighted_cum += static_cast<double>(i + 1) * weights[i];
+  }
+  if (cum > 0.0) {
+    double n = static_cast<double>(weights.size());
+    s.node_weight_gini = (2.0 * weighted_cum) / (n * cum) - (n + 1.0) / n;
+  }
+  return s;
+}
+
+bool IsNormalizedAdmissible(const PreferenceGraph& graph, double tolerance) {
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    if (graph.OutWeightSum(v) > 1.0 + tolerance) return false;
+  }
+  return true;
+}
+
+std::string GraphStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "nodes=%zu edges=%zu total_node_weight=%.6f\n"
+      "mean_out_degree=%.2f max_out_degree=%zu max_in_degree=%zu "
+      "isolated=%zu\n"
+      "edge_weight: mean=%.4f min=%.4f max=%.4f max_out_sum=%.4f\n"
+      "node_weight_gini=%.4f",
+      num_nodes, num_edges, total_node_weight, mean_out_degree,
+      max_out_degree, max_in_degree, isolated_nodes, mean_edge_weight,
+      min_edge_weight, max_edge_weight, max_out_weight_sum, node_weight_gini);
+  return buf;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,50 @@
+// Descriptive statistics over preference graphs (dataset summaries à la
+// Table 2, degree distributions, weight diagnostics).
+
+#ifndef PREFCOVER_GRAPH_GRAPH_STATS_H_
+#define PREFCOVER_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/preference_graph.h"
+
+namespace prefcover {
+
+/// \brief Aggregate description of a preference graph.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  double total_node_weight = 0.0;
+
+  double mean_out_degree = 0.0;
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  size_t isolated_nodes = 0;  // no in or out edges
+
+  double mean_edge_weight = 0.0;
+  double min_edge_weight = 0.0;
+  double max_edge_weight = 0.0;
+
+  /// Max over nodes of the outgoing weight sum; <= 1 iff the graph is
+  /// admissible for the Normalized variant.
+  double max_out_weight_sum = 0.0;
+
+  /// Gini coefficient of node weights (popularity skew diagnostic).
+  double node_weight_gini = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// \brief Computes all statistics in one pass over the graph.
+GraphStats ComputeGraphStats(const PreferenceGraph& graph);
+
+/// \brief True if every node's outgoing weights sum to at most 1 +
+/// tolerance (admissibility for NPC_k).
+bool IsNormalizedAdmissible(const PreferenceGraph& graph,
+                            double tolerance = 1e-9);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,186 @@
+#include "graph/graph_transforms.h"
+
+#include <algorithm>
+
+namespace prefcover {
+
+namespace {
+
+// Copies node v's identity (weight + label) into the builder.
+void CopyNode(const PreferenceGraph& graph, NodeId v, GraphBuilder* builder) {
+  builder->AddNode(graph.NodeWeight(v),
+                   graph.HasLabels() ? graph.Label(v) : "");
+}
+
+GraphValidationOptions PermissiveOptions() {
+  GraphValidationOptions options;
+  options.require_normalized_node_weights = false;
+  options.allow_self_loops = true;
+  return options;
+}
+
+}  // namespace
+
+Result<PreferenceGraph> ReverseGraph(const PreferenceGraph& graph) {
+  GraphBuilder builder;
+  builder.Reserve(graph.NumNodes(), graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) CopyNode(graph, v, &builder);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    AdjacencyView adj = graph.OutNeighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      PREFCOVER_RETURN_NOT_OK(
+          builder.AddEdge(adj.nodes[i], v, adj.weights[i]));
+    }
+  }
+  return builder.Finalize(PermissiveOptions());
+}
+
+Result<PreferenceGraph> InducedSubgraph(const PreferenceGraph& graph,
+                                        const std::vector<NodeId>& nodes,
+                                        bool renormalize) {
+  std::vector<NodeId> remap(graph.NumNodes(), kInvalidNode);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    NodeId v = nodes[i];
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("subgraph node out of range: " +
+                                     std::to_string(v));
+    }
+    if (remap[v] != kInvalidNode) {
+      return Status::InvalidArgument("duplicate subgraph node: " +
+                                     std::to_string(v));
+    }
+    remap[v] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(nodes.size(), 0);
+  for (NodeId v : nodes) CopyNode(graph, v, &builder);
+  for (NodeId v : nodes) {
+    AdjacencyView adj = graph.OutNeighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      NodeId to = remap[adj.nodes[i]];
+      if (to == kInvalidNode) continue;  // endpoint dropped
+      PREFCOVER_RETURN_NOT_OK(
+          builder.AddEdge(remap[v], to, adj.weights[i]));
+    }
+  }
+  if (renormalize) {
+    PREFCOVER_RETURN_NOT_OK(builder.NormalizeNodeWeights());
+  }
+  return builder.Finalize(PermissiveOptions());
+}
+
+Result<PreferenceGraph> TopWeightSubgraph(const PreferenceGraph& graph,
+                                          size_t count, bool renormalize) {
+  if (count > graph.NumNodes()) {
+    return Status::InvalidArgument("subgraph larger than graph");
+  }
+  std::vector<NodeId> ids(graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) ids[v] = v;
+  std::stable_sort(ids.begin(), ids.end(), [&graph](NodeId a, NodeId b) {
+    return graph.NodeWeight(a) > graph.NodeWeight(b);
+  });
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());  // keep relative id order stable
+  return InducedSubgraph(graph, ids, renormalize);
+}
+
+Result<PreferenceGraph> NormalizeNodeWeights(const PreferenceGraph& graph) {
+  GraphBuilder builder;
+  builder.Reserve(graph.NumNodes(), graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) CopyNode(graph, v, &builder);
+  PREFCOVER_RETURN_NOT_OK(builder.NormalizeNodeWeights());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    AdjacencyView adj = graph.OutNeighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      PREFCOVER_RETURN_NOT_OK(builder.AddEdge(v, adj.nodes[i],
+                                              adj.weights[i]));
+    }
+  }
+  GraphValidationOptions options = PermissiveOptions();
+  options.require_normalized_node_weights = true;
+  return builder.Finalize(options);
+}
+
+Result<PreferenceGraph> CompleteWithSelfLoops(const PreferenceGraph& graph) {
+  GraphBuilder builder;
+  builder.Reserve(graph.NumNodes(), graph.NumEdges() + graph.NumNodes());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) CopyNode(graph, v, &builder);
+  constexpr double kTolerance = 1e-9;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    double sum = 0.0;
+    AdjacencyView adj = graph.OutNeighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      PREFCOVER_RETURN_NOT_OK(builder.AddEdge(v, adj.nodes[i],
+                                              adj.weights[i]));
+      sum += adj.weights[i];
+    }
+    if (sum > 1.0 + kTolerance) {
+      return Status::FailedPrecondition(
+          "CompleteWithSelfLoops requires Normalized out-weight sums; node " +
+          std::to_string(v) + " has " + std::to_string(sum));
+    }
+    double residual = 1.0 - sum;
+    if (residual > kTolerance) {
+      PREFCOVER_RETURN_NOT_OK(builder.AddEdge(v, v, residual));
+    }
+  }
+  return builder.Finalize(PermissiveOptions());
+}
+
+Result<PreferenceGraph> KeepStrongestEdges(const PreferenceGraph& graph,
+                                           size_t max_out_degree) {
+  if (max_out_degree == 0) {
+    return Status::InvalidArgument("max_out_degree must be positive");
+  }
+  GraphBuilder builder;
+  builder.Reserve(graph.NumNodes(), graph.NumNodes() * max_out_degree);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) CopyNode(graph, v, &builder);
+
+  struct Edge {
+    NodeId to;
+    double weight;
+  };
+  std::vector<Edge> edges;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    AdjacencyView adj = graph.OutNeighbors(v);
+    edges.clear();
+    edges.reserve(adj.size());
+    for (size_t i = 0; i < adj.size(); ++i) {
+      edges.push_back({adj.nodes[i], adj.weights[i]});
+    }
+    if (edges.size() > max_out_degree) {
+      std::partial_sort(edges.begin(),
+                        edges.begin() + static_cast<ptrdiff_t>(max_out_degree),
+                        edges.end(), [](const Edge& a, const Edge& b) {
+                          if (a.weight != b.weight) {
+                            return a.weight > b.weight;
+                          }
+                          return a.to < b.to;
+                        });
+      edges.resize(max_out_degree);
+    }
+    for (const Edge& edge : edges) {
+      PREFCOVER_RETURN_NOT_OK(builder.AddEdge(v, edge.to, edge.weight));
+    }
+  }
+  return builder.Finalize(PermissiveOptions());
+}
+
+Result<PreferenceGraph> ClampOutWeights(const PreferenceGraph& graph) {
+  GraphBuilder builder;
+  builder.Reserve(graph.NumNodes(), graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) CopyNode(graph, v, &builder);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    double sum = graph.OutWeightSum(v);
+    double scale = sum > 1.0 ? 1.0 / sum : 1.0;
+    AdjacencyView adj = graph.OutNeighbors(v);
+    for (size_t i = 0; i < adj.size(); ++i) {
+      PREFCOVER_RETURN_NOT_OK(
+          builder.AddEdge(v, adj.nodes[i], adj.weights[i] * scale));
+    }
+  }
+  return builder.Finalize(PermissiveOptions());
+}
+
+}  // namespace prefcover

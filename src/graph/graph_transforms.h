@@ -1,0 +1,55 @@
+// Structural transforms over preference graphs.
+
+#ifndef PREFCOVER_GRAPH_GRAPH_TRANSFORMS_H_
+#define PREFCOVER_GRAPH_GRAPH_TRANSFORMS_H_
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Reverses all edge orientations; node weights unchanged.
+Result<PreferenceGraph> ReverseGraph(const PreferenceGraph& graph);
+
+/// \brief Induced subgraph on `nodes` (ids into `graph`), with node ids
+/// renumbered densely in the given order.
+///
+/// If `renormalize` is true the surviving node weights are rescaled to sum
+/// to 1 (the usual choice when carving experiment subsets, mirroring the
+/// paper's "subset of the YC dataset reduced to 30 products").
+Result<PreferenceGraph> InducedSubgraph(const PreferenceGraph& graph,
+                                        const std::vector<NodeId>& nodes,
+                                        bool renormalize = true);
+
+/// \brief Subgraph on the `count` highest-weight nodes (ties to smaller id).
+Result<PreferenceGraph> TopWeightSubgraph(const PreferenceGraph& graph,
+                                          size_t count,
+                                          bool renormalize = true);
+
+/// \brief Copy with node weights scaled to sum to 1.
+Result<PreferenceGraph> NormalizeNodeWeights(const PreferenceGraph& graph);
+
+/// \brief The self-loop completion step of the NPC_k -> VC_k reduction
+/// (proof of Theorem 3.1): each node whose outgoing weights sum to s < 1
+/// gains a self-loop of weight 1 - s, representing requests no alternative
+/// can cover. Requires out-weight sums <= 1.
+Result<PreferenceGraph> CompleteWithSelfLoops(const PreferenceGraph& graph);
+
+/// \brief Caps each node's outgoing weight sum at 1 by proportional
+/// scaling (no-op for nodes already at or below 1). Adapts an Independent-
+/// style graph for use with the Normalized variant.
+Result<PreferenceGraph> ClampOutWeights(const PreferenceGraph& graph);
+
+/// \brief Keeps only each node's `max_out_degree` strongest outgoing edges
+/// (ties by smaller target id). Constructed graphs accumulate long tails
+/// of weak noise edges (single co-click observations); pruning them cuts
+/// memory and solver time with negligible cover impact.
+Result<PreferenceGraph> KeepStrongestEdges(const PreferenceGraph& graph,
+                                           size_t max_out_degree);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_GRAPH_GRAPH_TRANSFORMS_H_

@@ -1,0 +1,129 @@
+// The preference graph of the Preference Cover problem (paper Section 2).
+//
+// A directed graph with weighted nodes and edges:
+//   - node weight W(v) in [0, 1]: probability item v is the one requested
+//     (node weights sum to 1 over the catalog);
+//   - edge weight W(v, u) in (0, 1]: probability a consumer requesting v
+//     accepts u as an alternative when v is not retained.
+//
+// Storage is immutable compressed-sparse-row in BOTH orientations. The
+// greedy solver's Gain/AddNode procedures iterate the *incoming* edges of a
+// candidate (all nodes that list the candidate as an alternative), while
+// construction and cover evaluation iterate outgoing edges; keeping both
+// CSRs makes each access contiguous.
+
+#ifndef PREFCOVER_GRAPH_PREFERENCE_GRAPH_H_
+#define PREFCOVER_GRAPH_PREFERENCE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace prefcover {
+
+/// Dense node identifier in [0, NumNodes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// \brief One adjacency list: parallel spans of endpoints and weights.
+struct AdjacencyView {
+  std::span<const NodeId> nodes;
+  std::span<const double> weights;
+
+  size_t size() const { return nodes.size(); }
+  bool empty() const { return nodes.empty(); }
+};
+
+/// \brief Immutable weighted directed preference graph.
+///
+/// Construct via GraphBuilder (graph_builder.h). Copyable (deep) and
+/// movable; all read accessors are thread-safe.
+class PreferenceGraph {
+ public:
+  PreferenceGraph() = default;
+
+  size_t NumNodes() const { return node_weights_.size(); }
+  size_t NumEdges() const { return out_targets_.size(); }
+
+  /// W(v): request probability of item v.
+  double NodeWeight(NodeId v) const {
+    PREFCOVER_DCHECK(v < NumNodes());
+    return node_weights_[v];
+  }
+
+  /// All node weights, indexable by NodeId.
+  std::span<const double> NodeWeights() const { return node_weights_; }
+
+  /// Outgoing alternatives of v: nodes u with an edge (v, u) and W(v, u).
+  AdjacencyView OutNeighbors(NodeId v) const {
+    PREFCOVER_DCHECK(v < NumNodes());
+    size_t b = out_offsets_[v], e = out_offsets_[v + 1];
+    return {std::span(out_targets_).subspan(b, e - b),
+            std::span(out_weights_).subspan(b, e - b)};
+  }
+
+  /// Incoming edges of v: nodes u with an edge (u, v) and W(u, v).
+  AdjacencyView InNeighbors(NodeId v) const {
+    PREFCOVER_DCHECK(v < NumNodes());
+    size_t b = in_offsets_[v], e = in_offsets_[v + 1];
+    return {std::span(in_sources_).subspan(b, e - b),
+            std::span(in_weights_).subspan(b, e - b)};
+  }
+
+  size_t OutDegree(NodeId v) const {
+    PREFCOVER_DCHECK(v < NumNodes());
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  size_t InDegree(NodeId v) const {
+    PREFCOVER_DCHECK(v < NumNodes());
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// Sum of outgoing edge weights of v (== 1 − "no alternative fits"
+  /// probability under the Normalized variant).
+  double OutWeightSum(NodeId v) const;
+
+  /// Sum of all node weights (1.0 for a well-formed catalog; transforms may
+  /// produce unnormalized graphs).
+  double TotalNodeWeight() const;
+
+  /// Maximum in-degree D (the paper's complexity parameter in O(nkD)).
+  size_t MaxInDegree() const;
+
+  /// Weight of edge (v, u), or 0 when absent. O(out-degree of v).
+  double EdgeWeight(NodeId v, NodeId u) const;
+
+  /// True if the edge (v, u) exists.
+  bool HasEdge(NodeId v, NodeId u) const;
+
+  /// Optional human-readable item labels. Empty when unlabeled.
+  bool HasLabels() const { return !labels_.empty(); }
+  const std::string& Label(NodeId v) const {
+    PREFCOVER_DCHECK(HasLabels() && v < labels_.size());
+    return labels_[v];
+  }
+  /// Label if present, otherwise "item<id>".
+  std::string DisplayName(NodeId v) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<double> node_weights_;
+  std::vector<size_t> out_offsets_;  // size NumNodes()+1
+  std::vector<NodeId> out_targets_;
+  std::vector<double> out_weights_;
+  std::vector<size_t> in_offsets_;  // size NumNodes()+1
+  std::vector<NodeId> in_sources_;
+  std::vector<double> in_weights_;
+  std::vector<std::string> labels_;  // empty or size NumNodes()
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_GRAPH_PREFERENCE_GRAPH_H_

@@ -1,0 +1,46 @@
+#include "synth/catalog.h"
+
+#include <cstdio>
+
+namespace prefcover {
+
+Result<Catalog> Catalog::Generate(const CatalogParams& params, Rng* rng) {
+  if (params.num_items == 0 || params.num_categories == 0 ||
+      params.num_brands == 0 || params.num_price_tiers == 0) {
+    return Status::InvalidArgument("catalog dimensions must be positive");
+  }
+  if (params.num_categories > params.num_items) {
+    return Status::InvalidArgument("more categories than items");
+  }
+
+  Catalog catalog;
+  catalog.num_categories_ = params.num_categories;
+  catalog.items_.reserve(params.num_items);
+  catalog.members_.resize(params.num_categories);
+
+  // One item per category first, so no category is empty; the rest follow
+  // the skewed category-size distribution.
+  ZipfDistribution category_dist(params.num_categories,
+                                 params.category_size_skew);
+  for (uint32_t i = 0; i < params.num_items; ++i) {
+    uint32_t category = i < params.num_categories
+                            ? i
+                            : category_dist.Sample(rng);
+    uint32_t brand = static_cast<uint32_t>(rng->NextBounded(params.num_brands));
+    uint32_t tier =
+        static_cast<uint32_t>(rng->NextBounded(params.num_price_tiers));
+    catalog.items_.push_back({category, brand, tier});
+    catalog.members_[category].push_back(i);
+  }
+  return catalog;
+}
+
+std::string Catalog::ItemName(uint32_t id) const {
+  const Item& it = items_[id];
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "c%u/b%u/t%u/i%05u", it.category, it.brand,
+                it.price_tier, id);
+  return buf;
+}
+
+}  // namespace prefcover

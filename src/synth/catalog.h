@@ -1,0 +1,67 @@
+// Synthetic item catalog: the universe of items with the structure that
+// drives substitutability in e-commerce — category (a 55" TV substitutes
+// for a 55" TV, not for a phone case), brand and price tier.
+//
+// This replaces the paper's proprietary eBay catalogs (see DESIGN.md,
+// Substitutions): the algorithms only ever see the derived preference
+// graph, so a catalog with realistic category/brand/price structure
+// exercises the same code paths.
+
+#ifndef PREFCOVER_SYNTH_CATALOG_H_
+#define PREFCOVER_SYNTH_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Parameters of the synthetic catalog.
+struct CatalogParams {
+  uint32_t num_items = 1000;
+  uint32_t num_categories = 50;
+  uint32_t num_brands = 20;
+  uint32_t num_price_tiers = 5;
+
+  /// Zipf skew of category sizes (0 = equal-size categories). Real
+  /// catalogs are head-heavy: a few huge categories, a long tail.
+  double category_size_skew = 0.8;
+};
+
+/// \brief An immutable synthetic catalog.
+class Catalog {
+ public:
+  /// One item: its category, brand, and price tier.
+  struct Item {
+    uint32_t category;
+    uint32_t brand;
+    uint32_t price_tier;
+  };
+
+  /// Builds a catalog; deterministic in (params, rng seed).
+  static Result<Catalog> Generate(const CatalogParams& params, Rng* rng);
+
+  size_t NumItems() const { return items_.size(); }
+  const Item& item(uint32_t id) const { return items_[id]; }
+  uint32_t num_categories() const { return num_categories_; }
+
+  /// Item ids of one category, ascending.
+  const std::vector<uint32_t>& CategoryMembers(uint32_t category) const {
+    return members_[category];
+  }
+
+  /// Stable display name, e.g. "c12/b3/t2/i00047".
+  std::string ItemName(uint32_t id) const;
+
+ private:
+  std::vector<Item> items_;
+  std::vector<std::vector<uint32_t>> members_;
+  uint32_t num_categories_ = 0;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SYNTH_CATALOG_H_

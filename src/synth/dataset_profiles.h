@@ -1,0 +1,67 @@
+// Synthetic stand-ins for the paper's evaluation corpora (Table 2).
+//
+// The paper uses three private eBay datasets — Electronics (PE), Fashion
+// (PF), Motors (PM) — and the public YooChoose clickstream (YC). None can
+// ship with this repository, so each profile reproduces its Table 2 shape:
+// item count, session count, purchase count, edge density, popularity
+// skew, and the dependency structure that made the paper pick its variant
+// (PM fits Normalized, the rest Independent). A scale factor shrinks
+// everything proportionally so experiments run at any budget; scale 1.0 is
+// the paper's full size.
+
+#ifndef PREFCOVER_SYNTH_DATASET_PROFILES_H_
+#define PREFCOVER_SYNTH_DATASET_PROFILES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "clickstream/clickstream.h"
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief The four evaluation datasets of the paper.
+enum class DatasetProfile { kPE, kPF, kPM, kYC };
+
+/// \brief Paper-reported shape of one dataset (Table 2) plus the variant
+/// its dependency structure fits.
+struct ProfileSpec {
+  const char* name;
+  uint64_t sessions;
+  uint64_t purchases;
+  uint64_t items;
+  uint64_t edges;
+  Variant natural_variant;
+};
+
+/// Table 2 constants.
+const ProfileSpec& GetProfileSpec(DatasetProfile profile);
+
+/// Parses "PE"/"PF"/"PM"/"YC".
+Result<DatasetProfile> ParseProfileName(const std::string& name);
+
+/// \brief Generates a clickstream with the profile's shape at
+/// `scale_factor` (items and sessions scaled proportionally; factor 1.0 is
+/// paper scale). Deterministic in (profile, scale_factor, seed).
+Result<Clickstream> GenerateProfileClickstream(DatasetProfile profile,
+                                               double scale_factor,
+                                               uint64_t seed);
+
+/// \brief Directly generates the profile's preference graph (skipping the
+/// session layer) — the fast path for solver scalability experiments where
+/// only the graph matters (Figures 4d / 4e).
+Result<PreferenceGraph> GenerateProfileGraph(DatasetProfile profile,
+                                             double scale_factor,
+                                             uint64_t seed);
+
+/// \brief Directly generates a profile-shaped graph with an explicit node
+/// count (used by the Figure 4d sweep over n).
+Result<PreferenceGraph> GenerateProfileGraphWithNodes(DatasetProfile profile,
+                                                      uint32_t num_nodes,
+                                                      uint64_t seed);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SYNTH_DATASET_PROFILES_H_

@@ -1,0 +1,212 @@
+#include "synth/preference_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace prefcover {
+
+namespace {
+
+// Partition a category's members (in a shuffled order) into variant
+// groups of size 1 + Poisson(mean - 1). Returns per-member group index
+// aligned with `shuffled`.
+std::vector<std::vector<uint32_t>> PartitionIntoGroups(
+    std::vector<uint32_t> shuffled, double mean_size, Rng* rng) {
+  std::vector<std::vector<uint32_t>> groups;
+  size_t i = 0;
+  while (i < shuffled.size()) {
+    size_t size = 1;
+    if (mean_size > 1.0) {
+      size += rng->NextPoisson(mean_size - 1.0);
+    }
+    size = std::min(size, shuffled.size() - i);
+    groups.emplace_back(shuffled.begin() + static_cast<ptrdiff_t>(i),
+                        shuffled.begin() + static_cast<ptrdiff_t>(i + size));
+    i += size;
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<PreferenceModel> PreferenceModel::Build(
+    const Catalog* catalog, const PreferenceModelParams& params, Rng* rng) {
+  if (catalog == nullptr || catalog->NumItems() == 0) {
+    return Status::InvalidArgument("model needs a nonempty catalog");
+  }
+  const uint32_t n = static_cast<uint32_t>(catalog->NumItems());
+  const uint32_t num_categories = catalog->num_categories();
+
+  GraphBuilder builder;
+  builder.Reserve(n, static_cast<size_t>(
+                         static_cast<double>(n) *
+                         (params.mean_alternatives +
+                          params.variant_group_mean_size)));
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddNode(0.0, catalog->ItemName(i));
+  }
+
+  // Category popularity factors over a random permutation.
+  std::vector<uint32_t> category_ranks(num_categories);
+  for (uint32_t c = 0; c < num_categories; ++c) category_ranks[c] = c;
+  rng->Shuffle(&category_ranks);
+  ZipfDistribution category_zipf(num_categories,
+                                 params.category_popularity_skew);
+
+  std::vector<double> weights(n, 0.0);
+  std::vector<uint32_t> group_of(n, 0);
+  double weight_total = 0.0;
+  uint32_t next_group_id = 0;
+
+  // Per-category: build variant groups, assign popularity, wire edges.
+  std::vector<uint32_t> targets;
+  std::vector<double> accepts;
+  struct PendingEdge {
+    uint32_t from, to;
+    double weight;
+  };
+  std::vector<PendingEdge> edges;
+
+  for (uint32_t c = 0; c < num_categories; ++c) {
+    std::vector<uint32_t> shuffled = catalog->CategoryMembers(c);
+    rng->Shuffle(&shuffled);
+    auto groups =
+        PartitionIntoGroups(std::move(shuffled),
+                            params.variant_group_mean_size, rng);
+    const double category_factor = category_zipf.Pmf(category_ranks[c]);
+
+    // Popularity: group factor within the category, item factor within the
+    // group.
+    ZipfDistribution group_zipf(static_cast<uint32_t>(groups.size()),
+                                params.popularity_skew);
+    for (uint32_t gi = 0; gi < groups.size(); ++gi) {
+      const auto& group = groups[gi];
+      ZipfDistribution member_zipf(static_cast<uint32_t>(group.size()),
+                                   params.within_group_skew);
+      double group_factor = group_zipf.Pmf(gi);
+      for (uint32_t mi = 0; mi < group.size(); ++mi) {
+        double w = category_factor * group_factor * member_zipf.Pmf(mi);
+        weights[group[mi]] = w;
+        weight_total += w;
+        group_of[group[mi]] = next_group_id;
+      }
+      ++next_group_id;
+
+      // Variant edges: every ordered pair within the group.
+      for (uint32_t a = 0; a < group.size(); ++a) {
+        for (uint32_t b = 0; b < group.size(); ++b) {
+          if (a == b) continue;
+          edges.push_back({group[a], group[b],
+                           rng->NextDouble(params.group_acceptance_lo,
+                                           params.group_acceptance_hi)});
+        }
+      }
+    }
+
+    // Cross-product edges within the category (plus rare cross-category).
+    const std::vector<uint32_t>& members = catalog->CategoryMembers(c);
+    for (uint32_t v : members) {
+      targets.clear();
+      accepts.clear();
+      uint32_t degree = static_cast<uint32_t>(
+          rng->NextPoisson(params.mean_alternatives));
+      uint32_t cross = 0;
+      for (uint32_t d = 0; d < degree; ++d) {
+        if (rng->NextBernoulli(params.cross_category_share)) ++cross;
+      }
+      uint32_t intra_avail = static_cast<uint32_t>(members.size()) - 1;
+      uint32_t intra = std::min(degree - cross, intra_avail);
+
+      if (intra > 0) {
+        const Catalog::Item& self = catalog->item(v);
+        std::vector<uint32_t> picks =
+            rng->SampleWithoutReplacement(intra_avail, intra);
+        for (uint32_t p : picks) {
+          uint32_t idx = p;
+          // members is ascending; skip over v's own slot.
+          if (members[idx] >= v) ++idx;
+          uint32_t u = members[idx];
+          if (group_of[u] == group_of[v]) continue;  // already variants
+          const Catalog::Item& other = catalog->item(u);
+          double acceptance = rng->NextDouble(params.base_acceptance_lo,
+                                              params.base_acceptance_hi);
+          if (other.brand == self.brand) {
+            acceptance += params.same_brand_boost;
+          }
+          uint32_t tier_gap = other.price_tier > self.price_tier
+                                  ? other.price_tier - self.price_tier
+                                  : self.price_tier - other.price_tier;
+          acceptance *= std::pow(params.tier_distance_damping,
+                                 static_cast<double>(tier_gap));
+          acceptance = std::clamp(acceptance, 1e-6, 0.95);
+          targets.push_back(u);
+          accepts.push_back(acceptance);
+        }
+      }
+      for (uint32_t x = 0; x < cross && n > members.size(); ++x) {
+        uint32_t u;
+        do {
+          u = static_cast<uint32_t>(rng->NextBounded(n));
+        } while (catalog->item(u).category == c);
+        if (std::find(targets.begin(), targets.end(), u) != targets.end()) {
+          continue;
+        }
+        targets.push_back(u);
+        accepts.push_back(rng->NextDouble(params.cross_category_lo,
+                                          params.cross_category_hi));
+      }
+      for (size_t i = 0; i < targets.size(); ++i) {
+        edges.push_back({v, targets[i], accepts[i]});
+      }
+    }
+  }
+
+  // Node weights.
+  for (uint32_t v = 0; v < n; ++v) {
+    PREFCOVER_RETURN_NOT_OK(
+        builder.SetNodeWeight(v, weights[v] / weight_total));
+  }
+
+  // Normalized mode: scale each node's outgoing weights to a target sum
+  // drawn from [0.4, 0.95]. Group the pending edges by source first.
+  if (params.normalized) {
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const PendingEdge& a, const PendingEdge& b) {
+                       return a.from < b.from;
+                     });
+    size_t i = 0;
+    while (i < edges.size()) {
+      size_t j = i;
+      double sum = 0.0;
+      while (j < edges.size() && edges[j].from == edges[i].from) {
+        sum += edges[j].weight;
+        ++j;
+      }
+      double target = rng->NextDouble(0.4, 0.95);
+      if (sum > target) {
+        double scale = target / sum;
+        for (size_t e = i; e < j; ++e) edges[e].weight *= scale;
+      }
+      i = j;
+    }
+  }
+  for (const PendingEdge& e : edges) {
+    PREFCOVER_RETURN_NOT_OK(builder.AddEdge(e.from, e.to, e.weight));
+  }
+
+  GraphValidationOptions options;
+  options.require_normalized_out_weights = params.normalized;
+  PREFCOVER_ASSIGN_OR_RETURN(PreferenceGraph graph,
+                             builder.Finalize(options));
+  PreferenceModel model;
+  model.catalog_ = catalog;
+  model.graph_ = std::move(graph);
+  model.group_of_ = std::move(group_of);
+  model.normalized_ = params.normalized;
+  return model;
+}
+
+}  // namespace prefcover

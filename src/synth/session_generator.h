@@ -1,0 +1,75 @@
+// Session generation from a ground-truth preference model.
+//
+// Each buying session draws the desired item from the model's popularity,
+// purchases it (the paper's setting: in the full-catalog store everything
+// is in stock, so the desired item is the purchased one), and clicks the
+// alternatives the consumer would have accepted — each out-neighbor
+// independently with its edge probability (Independent behavior), or at
+// most one alternative chosen by the edge weights (SingleAlternative
+// behavior, producing Normalized-shaped data).
+
+#ifndef PREFCOVER_SYNTH_SESSION_GENERATOR_H_
+#define PREFCOVER_SYNTH_SESSION_GENERATOR_H_
+
+#include <cstdint>
+
+#include "clickstream/clickstream.h"
+#include "synth/preference_model.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Session generation parameters.
+struct SessionGeneratorParams {
+  uint64_t num_sessions = 100'000;
+
+  /// How clicked alternatives are produced.
+  enum class ClickBehavior {
+    /// Click each alternative independently with its acceptance
+    /// probability — Independent-variant-shaped data.
+    kIndependent,
+    /// Click at most one alternative, chosen with the edge probabilities
+    /// (residual probability = no alternative) — Normalized-shaped data.
+    kSingleAlternative,
+  };
+  ClickBehavior behavior = ClickBehavior::kIndependent;
+
+  /// Share of sessions that browse without buying (clicks on popular
+  /// items, no purchase). The YC dataset is dominated by such sessions.
+  double browse_only_share = 0.0;
+
+  /// Mean clicks in a browse-only session (Poisson, min 1).
+  double browse_clicks_mean = 3.0;
+
+  /// Probability the purchased item itself is also clicked before the
+  /// purchase (realistic logs almost always have it; exercises the
+  /// engine's purchase-click exclusion).
+  double click_purchase_share = 0.8;
+
+  /// Mean number of low-intent "noise" clicks per buying session (Poisson)
+  /// on popularity-sampled items the consumer merely browsed. Real
+  /// clickstreams are full of these; they become the long tail of weak
+  /// edges that gives constructed graphs their paper-like edge density.
+  /// Must be 0 for SingleAlternative behavior (it would break the <= 1
+  /// alternative shape that defines Normalized-fitting data).
+  double noise_clicks_mean = 0.0;
+
+  /// When true, every click carries a dwell time: accepted alternatives
+  /// dwell long (Exp, mean 30 s), the purchased item longer (mean 45 s),
+  /// and low-intent noise clicks briefly (mean 4 s) — the behavioral
+  /// signal the dwell correction of Section 5.2 exploits.
+  bool emit_dwell_times = false;
+};
+
+/// \brief Generates a clickstream from the model. The clickstream's
+/// ItemIds coincide with the model's NodeIds (every catalog item is
+/// interned up front, in catalog order), so the reconstructed graph is
+/// directly comparable to the ground truth.
+Result<Clickstream> GenerateSessions(const PreferenceModel& model,
+                                     const SessionGeneratorParams& params,
+                                     Rng* rng);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SYNTH_SESSION_GENERATOR_H_

@@ -1,0 +1,121 @@
+#include "synth/similarity_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace prefcover {
+
+namespace {
+
+double Acceptance(const Catalog::Item& self, const Catalog::Item& other,
+                  const SimilarityGraphParams& params) {
+  double acceptance = params.base_acceptance;
+  if (self.brand == other.brand) acceptance += params.same_brand_boost;
+  uint32_t tier_gap = other.price_tier > self.price_tier
+                          ? other.price_tier - self.price_tier
+                          : self.price_tier - other.price_tier;
+  acceptance *= std::pow(params.tier_distance_damping,
+                         static_cast<double>(tier_gap));
+  return std::clamp(acceptance, 0.0, 0.95);
+}
+
+}  // namespace
+
+Result<PreferenceGraph> BuildSimilarityGraph(
+    const Catalog& catalog, const std::vector<double>& node_weights,
+    const SimilarityGraphParams& params) {
+  const size_t n = catalog.NumItems();
+  if (node_weights.size() != n) {
+    return Status::InvalidArgument(
+        "node weight vector must match the catalog size");
+  }
+  if (params.max_alternatives == 0) {
+    return Status::InvalidArgument("max_alternatives must be positive");
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(n, n * params.max_alternatives);
+  for (uint32_t i = 0; i < n; ++i) {
+    builder.AddNode(node_weights[i], catalog.ItemName(i));
+  }
+
+  struct Candidate {
+    uint32_t item;
+    double acceptance;
+  };
+  std::vector<Candidate> candidates;
+  for (uint32_t c = 0; c < catalog.num_categories(); ++c) {
+    const std::vector<uint32_t>& members = catalog.CategoryMembers(c);
+    for (uint32_t v : members) {
+      candidates.clear();
+      const Catalog::Item& self = catalog.item(v);
+      for (uint32_t u : members) {
+        if (u == v) continue;
+        double acceptance = Acceptance(self, catalog.item(u), params);
+        if (acceptance < params.min_acceptance) continue;
+        candidates.push_back({u, acceptance});
+      }
+      if (candidates.size() > params.max_alternatives) {
+        std::partial_sort(
+            candidates.begin(),
+            candidates.begin() + params.max_alternatives, candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.acceptance != b.acceptance) {
+                return a.acceptance > b.acceptance;
+              }
+              return a.item < b.item;
+            });
+        candidates.resize(params.max_alternatives);
+      }
+      for (const Candidate& candidate : candidates) {
+        PREFCOVER_RETURN_NOT_OK(
+            builder.AddEdge(v, candidate.item, candidate.acceptance));
+      }
+    }
+  }
+  return builder.Finalize();
+}
+
+Result<PreferenceGraph> BlendPreferenceGraphs(const PreferenceGraph& primary,
+                                              const PreferenceGraph& prior,
+                                              double alpha) {
+  if (primary.NumNodes() != prior.NumNodes()) {
+    return Status::InvalidArgument(
+        "blended graphs must share the item universe");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must be in [0, 1]");
+  }
+  GraphBuilder builder;
+  builder.Reserve(primary.NumNodes(),
+                  primary.NumEdges() + prior.NumEdges());
+  for (NodeId v = 0; v < primary.NumNodes(); ++v) {
+    builder.AddNode(primary.NodeWeight(v),
+                    primary.HasLabels() ? primary.Label(v) : "");
+  }
+  for (NodeId v = 0; v < primary.NumNodes(); ++v) {
+    // Union of both adjacency lists; weights blend with 0 for absences.
+    std::unordered_map<NodeId, double> blended;
+    AdjacencyView out_primary = primary.OutNeighbors(v);
+    for (size_t i = 0; i < out_primary.size(); ++i) {
+      blended[out_primary.nodes[i]] += alpha * out_primary.weights[i];
+    }
+    AdjacencyView out_prior = prior.OutNeighbors(v);
+    for (size_t i = 0; i < out_prior.size(); ++i) {
+      blended[out_prior.nodes[i]] += (1.0 - alpha) * out_prior.weights[i];
+    }
+    for (const auto& [to, weight] : blended) {
+      if (weight <= 0.0) continue;
+      PREFCOVER_RETURN_NOT_OK(
+          builder.AddEdge(v, to, std::min(weight, 1.0)));
+    }
+  }
+  GraphValidationOptions options;
+  options.require_normalized_node_weights = false;
+  return builder.Finalize(options);
+}
+
+}  // namespace prefcover

@@ -1,0 +1,66 @@
+// Attribute-similarity edge estimation — the paper's footnote 4: "one may
+// also use semantic similarity between items to approximate edge weights".
+//
+// When clickstream volume is too thin to estimate alternative-acceptance
+// probabilities (new items, new regions), catalog attributes still carry
+// signal: items of the same category substitute; a shared brand and a
+// close price tier make the substitution likelier. This module turns that
+// prior into a preference graph, and provides blending so the prior can
+// back-fill a behaviorally-constructed graph where observations are
+// scarce (cold-start).
+
+#ifndef PREFCOVER_SYNTH_SIMILARITY_GRAPH_H_
+#define PREFCOVER_SYNTH_SIMILARITY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/preference_graph.h"
+#include "synth/catalog.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Parameters of the attribute-similarity acceptance model.
+struct SimilarityGraphParams {
+  /// Acceptance assigned to a same-category pair before modifiers.
+  double base_acceptance = 0.3;
+
+  /// Additive boost when brands match.
+  double same_brand_boost = 0.15;
+
+  /// Multiplicative dampening per price-tier step of distance.
+  double tier_distance_damping = 0.55;
+
+  /// Per item, keep only the `max_alternatives` most similar candidates
+  /// (caps the O(category²) blowup on huge categories).
+  uint32_t max_alternatives = 8;
+
+  /// Drop estimated edges below this acceptance.
+  double min_acceptance = 0.05;
+};
+
+/// \brief Estimates a preference graph from catalog attributes alone.
+///
+/// `node_weights` are the request probabilities (e.g. estimated from the
+/// few purchases available); must match the catalog size and sum to 1.
+/// Edges connect items within a category, scored by the similarity model;
+/// ties in similarity break toward the smaller item id.
+Result<PreferenceGraph> BuildSimilarityGraph(
+    const Catalog& catalog, const std::vector<double>& node_weights,
+    const SimilarityGraphParams& params = SimilarityGraphParams());
+
+/// \brief Blends two preference graphs over the same item universe:
+/// `alpha * primary + (1 - alpha) * prior` edge-wise (union of edge sets;
+/// missing edges count as 0). Node weights are taken from `primary`.
+///
+/// Intended use: primary = behaviorally constructed graph (sparse but
+/// unbiased), prior = similarity graph (dense but approximate);
+/// alpha rises with observation volume.
+Result<PreferenceGraph> BlendPreferenceGraphs(const PreferenceGraph& primary,
+                                              const PreferenceGraph& prior,
+                                              double alpha);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SYNTH_SIMILARITY_GRAPH_H_

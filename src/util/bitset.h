@@ -1,0 +1,50 @@
+// Dynamic bitset used for retained-set membership tests in the solvers.
+//
+// std::vector<bool> would work but its proxy references pessimize hot loops;
+// this fixed-word implementation keeps Test/Set branch-free and inlineable.
+
+#ifndef PREFCOVER_UTIL_BITSET_H_
+#define PREFCOVER_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prefcover {
+
+/// \brief Fixed-size bitset sized at construction.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  void Reset() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  size_t size() const { return num_bits_; }
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_BITSET_H_

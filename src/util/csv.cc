@@ -1,0 +1,132 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+
+namespace prefcover {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty() || field_was_quoted) {
+        return Status::InvalidArgument(
+            "unexpected quote inside unquoted field");
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      field_was_quoted = false;
+      ++i;
+      continue;
+    }
+    if (field_was_quoted) {
+      return Status::InvalidArgument("characters after closing quote");
+    }
+    current += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char delimiter) {
+  std::string out;
+  for (size_t f = 0; f < fields.size(); ++f) {
+    if (f > 0) out += delimiter;
+    const std::string& field = fields[f];
+    bool needs_quotes = false;
+    for (char c : field) {
+      if (c == delimiter || c == '"' || c == '\n' || c == '\r') {
+        needs_quotes = true;
+        break;
+      }
+    }
+    if (!needs_quotes) {
+      out += field;
+      continue;
+    }
+    out += '"';
+    for (char c : field) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+CsvReader::CsvReader(std::istream* input, char delimiter)
+    : input_(input), delimiter_(delimiter) {}
+
+bool CsvReader::Next(std::vector<std::string>* fields) {
+  if (!status_.ok()) return false;
+  std::string record;
+  bool have_any = false;
+  // Accumulate physical lines until quotes balance, to support embedded
+  // newlines inside quoted fields.
+  for (;;) {
+    std::string line;
+    if (!std::getline(*input_, line)) break;
+    have_any = true;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!record.empty()) record += '\n';
+    record += line;
+    size_t quote_count = 0;
+    for (char c : record) {
+      if (c == '"') ++quote_count;
+    }
+    if (quote_count % 2 == 0) break;
+  }
+  if (!have_any) return false;
+  ++record_number_;
+  auto parsed = ParseCsvLine(record, delimiter_);
+  if (!parsed.ok()) {
+    status_ = Status::InvalidArgument("record " +
+                                      std::to_string(record_number_) + ": " +
+                                      parsed.status().message());
+    return false;
+  }
+  *fields = std::move(parsed).value();
+  return true;
+}
+
+CsvWriter::CsvWriter(std::ostream* output, char delimiter)
+    : output_(output), delimiter_(delimiter) {}
+
+void CsvWriter::WriteRecord(const std::vector<std::string>& fields) {
+  *output_ << FormatCsvLine(fields, delimiter_) << '\n';
+  ++records_written_;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,76 @@
+// Minimal CSV reading/writing used by the clickstream I/O layer and the
+// benchmark harness (--csv output).
+//
+// Supports RFC-4180-style quoting (fields containing the delimiter, quotes
+// or newlines are double-quoted; embedded quotes are doubled). No external
+// dependencies.
+
+#ifndef PREFCOVER_UTIL_CSV_H_
+#define PREFCOVER_UTIL_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Parses one CSV record (no trailing newline) into fields.
+///
+/// Returns InvalidArgument on malformed quoting (unterminated quote,
+/// characters after a closing quote).
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char delimiter = ',');
+
+/// \brief Serializes fields into one CSV record (no trailing newline),
+/// quoting only where required.
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char delimiter = ',');
+
+/// \brief Streaming CSV reader over an istream.
+///
+/// Handles quoted fields spanning multiple physical lines and both LF and
+/// CRLF line endings.
+class CsvReader {
+ public:
+  /// The stream must outlive the reader.
+  explicit CsvReader(std::istream* input, char delimiter = ',');
+
+  /// Reads the next record into `*fields`. Returns false at end of input.
+  /// A malformed record surfaces through status().
+  bool Next(std::vector<std::string>* fields);
+
+  /// OK unless a malformed record has been encountered.
+  const Status& status() const { return status_; }
+
+  /// 1-based index of the last record returned by Next.
+  size_t record_number() const { return record_number_; }
+
+ private:
+  std::istream* input_;
+  char delimiter_;
+  Status status_;
+  size_t record_number_ = 0;
+};
+
+/// \brief Streaming CSV writer over an ostream.
+class CsvWriter {
+ public:
+  /// The stream must outlive the writer.
+  explicit CsvWriter(std::ostream* output, char delimiter = ',');
+
+  void WriteRecord(const std::vector<std::string>& fields);
+
+  size_t records_written() const { return records_written_; }
+
+ private:
+  std::ostream* output_;
+  char delimiter_;
+  size_t records_written_ = 0;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_CSV_H_

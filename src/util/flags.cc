@@ -1,0 +1,188 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace prefcover {
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+FlagParser& FlagParser::AddString(const std::string& name,
+                                  std::string default_value,
+                                  const std::string& help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = help;
+  f.string_value = std::move(default_value);
+  flags_[name] = std::move(f);
+  return *this;
+}
+
+FlagParser& FlagParser::AddInt(const std::string& name, int64_t default_value,
+                               const std::string& help) {
+  Flag f;
+  f.type = Type::kInt;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+  return *this;
+}
+
+FlagParser& FlagParser::AddDouble(const std::string& name,
+                                  double default_value,
+                                  const std::string& help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+  return *this;
+}
+
+FlagParser& FlagParser::AddBool(const std::string& name, bool default_value,
+                                const std::string& help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+  return *this;
+}
+
+Status FlagParser::SetFlag(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Flag& f = it->second;
+  errno = 0;
+  char* end = nullptr;
+  switch (f.type) {
+    case Type::kString:
+      f.string_value = value;
+      return Status::OK();
+    case Type::kInt: {
+      long long v = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      f.int_value = v;
+      return Status::OK();
+    }
+    case Type::kDouble: {
+      double v = std::strtod(value.c_str(), &end);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      f.double_value = v;
+      return Status::OK();
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value.empty()) {
+        f.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        f.bool_value = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(UsageString().c_str(), stdout);
+      return Status::OutOfRange("help requested");
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        return Status::InvalidArgument("unknown flag --" + name);
+      }
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " missing value");
+      }
+    }
+    PREFCOVER_RETURN_NOT_OK(SetFlag(name, value));
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::GetFlagOrDie(const std::string& name,
+                                                 Type type) const {
+  auto it = flags_.find(name);
+  PREFCOVER_CHECK_MSG(it != flags_.end(), "flag not registered: " + name);
+  PREFCOVER_CHECK_MSG(it->second.type == type,
+                      "flag accessed with wrong type: " + name);
+  return it->second;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kString).string_value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetFlagOrDie(name, Type::kBool).bool_value;
+}
+
+std::string FlagParser::UsageString() const {
+  std::string out = description_ + "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += "  --" + name;
+    switch (flag.type) {
+      case Type::kString:
+        out += "=<string> (default \"" + flag.string_value + "\")";
+        break;
+      case Type::kInt:
+        out += "=<int> (default " + std::to_string(flag.int_value) + ")";
+        break;
+      case Type::kDouble:
+        out += "=<double> (default " + std::to_string(flag.double_value) + ")";
+        break;
+      case Type::kBool:
+        out += std::string("=<bool> (default ") +
+               (flag.bool_value ? "true" : "false") + ")";
+        break;
+    }
+    out += "\n      " + flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace prefcover

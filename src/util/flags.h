@@ -1,0 +1,76 @@
+// Tiny command-line flag parser for the benchmark and example binaries.
+//
+// Syntax: --name=value or --name value; bare --name sets a boolean flag to
+// true. Positional arguments are collected in order. Unknown flags are an
+// error so typos fail loudly.
+
+#ifndef PREFCOVER_UTIL_FLAGS_H_
+#define PREFCOVER_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Declarative flag set: register flags, parse argv, read values.
+class FlagParser {
+ public:
+  /// `description` is shown by --help.
+  explicit FlagParser(std::string program_description);
+
+  /// \name Flag registration. Each returns *this for chaining.
+  /// @{
+  FlagParser& AddString(const std::string& name, std::string default_value,
+                        const std::string& help);
+  FlagParser& AddInt(const std::string& name, int64_t default_value,
+                     const std::string& help);
+  FlagParser& AddDouble(const std::string& name, double default_value,
+                        const std::string& help);
+  FlagParser& AddBool(const std::string& name, bool default_value,
+                      const std::string& help);
+  /// @}
+
+  /// Parses argv (argv[0] is skipped). On `--help` prints usage and returns
+  /// OutOfRange so callers can exit cleanly.
+  Status Parse(int argc, const char* const* argv);
+
+  /// \name Typed accessors; the flag must have been registered with the
+  /// matching type (checked).
+  /// @{
+  const std::string& GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  /// @}
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Usage text listing every flag with its default and help string.
+  std::string UsageString() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string string_value;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+  };
+
+  Status SetFlag(const std::string& name, const std::string& value);
+  const Flag& GetFlagOrDie(const std::string& name, Type type) const;
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_FLAGS_H_

@@ -1,0 +1,76 @@
+// Minimal leveled logging and check macros.
+//
+// Logging goes to stderr. PREFCOVER_CHECK-style macros abort on violation in
+// all build types; they guard internal invariants, not user input (user
+// input errors are reported via Status).
+
+#ifndef PREFCOVER_UTIL_LOGGING_H_
+#define PREFCOVER_UTIL_LOGGING_H_
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+namespace prefcover {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Accumulates a message and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace internal
+
+/// Sets the process-wide minimum log level.
+inline void SetLogLevel(LogLevel level) { internal::SetLogLevel(level); }
+
+#define PREFCOVER_LOG(level)                                              \
+  ::prefcover::internal::LogMessage(::prefcover::LogLevel::k##level,     \
+                                    __FILE__, __LINE__)
+
+#define PREFCOVER_CHECK(expr)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::prefcover::internal::CheckFailed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                     \
+  } while (false)
+
+#define PREFCOVER_CHECK_MSG(expr, msg)                                    \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::prefcover::internal::CheckFailed(#expr, __FILE__, __LINE__,      \
+                                         (msg));                          \
+    }                                                                     \
+  } while (false)
+
+#define PREFCOVER_DCHECK(expr) assert(expr)
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_LOGGING_H_

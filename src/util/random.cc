@@ -1,0 +1,231 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace prefcover {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  PREFCOVER_DCHECK(bound > 0);
+  // Lemire-style rejection: accept only values below the largest multiple of
+  // bound, so every residue is equally likely.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  PREFCOVER_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 is kept away from 0 to avoid log(0).
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::NextExponential(double lambda) {
+  PREFCOVER_DCHECK(lambda > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+uint64_t Rng::NextPoisson(double lambda) {
+  PREFCOVER_DCHECK(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-lambda.
+    const double limit = std::exp(-lambda);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // synthesis at large means.
+  double g = lambda + std::sqrt(lambda) * NextGaussian() + 0.5;
+  if (g < 0.0) return 0;
+  return static_cast<uint64_t>(g);
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t m) {
+  PREFCOVER_CHECK(m <= n);
+  if (m == 0) return {};
+  if (m * 3 >= n) {
+    // Dense case: partial Fisher-Yates over the full index range.
+    std::vector<uint32_t> all(n);
+    for (uint32_t i = 0; i < n; ++i) all[i] = i;
+    for (uint32_t i = 0; i < m; ++i) {
+      uint32_t j =
+          i + static_cast<uint32_t>(NextBounded(static_cast<uint64_t>(n - i)));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(m);
+    return all;
+  }
+  // Sparse case: Floyd's algorithm, O(m) expected insertions.
+  std::vector<uint32_t> out;
+  out.reserve(m);
+  // A small open-addressing set would be faster, but m is small here and the
+  // linear membership scan is dominated by RNG cost only for tiny m.
+  auto contains = [&out](uint32_t x) {
+    for (uint32_t v : out) {
+      if (v == x) return true;
+    }
+    return false;
+  };
+  for (uint32_t j = n - m; j < n; ++j) {
+    uint32_t t = static_cast<uint32_t>(NextBounded(j + 1));
+    out.push_back(contains(t) ? j : t);
+  }
+  return out;
+}
+
+Rng Rng::Split() { return Rng(NextUint64()); }
+
+ZipfDistribution::ZipfDistribution(uint32_t n, double s) : n_(n), s_(s) {
+  PREFCOVER_CHECK(n > 0);
+  PREFCOVER_CHECK(s >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  normalizer_ = 0.0;
+  for (uint32_t r = 0; r < n; ++r) {
+    normalizer_ += std::pow(static_cast<double>(r) + 1.0, -s_);
+  }
+}
+
+double ZipfDistribution::H(double x) const {
+  // Integral of x^-s: primitive used by rejection-inversion.
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint32_t ZipfDistribution::Sample(Rng* rng) const {
+  if (s_ == 0.0) return static_cast<uint32_t>(rng->NextBounded(n_));
+  // Hörmann-Derflinger rejection-inversion over the continuous envelope.
+  for (;;) {
+    double u = h_x1_ + rng->NextDouble() * (h_n_ - h_x1_);
+    double x = HInverse(u);
+    uint32_t k = static_cast<uint32_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    if (u >= H(static_cast<double>(k) + 0.5) -
+                 std::pow(static_cast<double>(k), -s_)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+}
+
+double ZipfDistribution::Pmf(uint32_t rank) const {
+  PREFCOVER_DCHECK(rank < n_);
+  return std::pow(static_cast<double>(rank) + 1.0, -s_) / normalizer_;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  PREFCOVER_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    PREFCOVER_CHECK_MSG(w >= 0.0, "alias sampler weight must be nonnegative");
+    total += w;
+  }
+  PREFCOVER_CHECK_MSG(total > 0.0, "alias sampler needs a positive total");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+uint32_t AliasSampler::Sample(Rng* rng) const {
+  uint32_t col = static_cast<uint32_t>(rng->NextBounded(prob_.size()));
+  return rng->NextDouble() < prob_[col] ? col : alias_[col];
+}
+
+}  // namespace prefcover

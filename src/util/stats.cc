@@ -1,0 +1,118 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace prefcover {
+
+void SummaryStats::Add(double value) {
+  ++count_;
+  sum_ += value;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double SummaryStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+void SummaryStats::Merge(const SummaryStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge update.
+  double delta = other.mean_ - mean_;
+  uint64_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(n);
+  mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+  sum_ += other.sum_;
+  count_ = n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double QuantileSketch::Quantile(double q) {
+  if (values_.empty()) return std::nan("");
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  if (q <= 0.0) return values_.front();
+  if (q >= 1.0) return values_.back();
+  double pos = q * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t num_buckets)
+    : lo_(lo), hi_(hi), buckets_(num_buckets, 0) {
+  PREFCOVER_CHECK(hi > lo);
+  PREFCOVER_CHECK(num_buckets > 0);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  size_t b = static_cast<size_t>((value - lo_) / width);
+  if (b >= buckets_.size()) b = buckets_.size() - 1;  // fp edge
+  ++buckets_[b];
+}
+
+double Histogram::bucket_lo(size_t bucket) const {
+  double width = (hi_ - lo_) / static_cast<double>(buckets_.size());
+  return lo_ + width * static_cast<double>(bucket);
+}
+
+std::string Histogram::ToString(size_t max_bar_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : buckets_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    size_t bar = static_cast<size_t>(
+        static_cast<double>(buckets_[b]) /
+        static_cast<double>(peak) * static_cast<double>(max_bar_width));
+    std::snprintf(line, sizeof(line), "[%10.4g, %10.4g) %8llu ",
+                  bucket_lo(b), bucket_lo(b + 1),
+                  static_cast<unsigned long long>(buckets_[b]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "underflow: %llu\n",
+                  static_cast<unsigned long long>(underflow_));
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "overflow: %llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,87 @@
+// Streaming summary statistics and quantile estimation.
+
+#ifndef PREFCOVER_UTIL_STATS_H_
+#define PREFCOVER_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace prefcover {
+
+/// \brief Streaming mean/variance/min/max (Welford's algorithm).
+class SummaryStats {
+ public:
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const SummaryStats& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Exact quantiles over a retained sample vector.
+///
+/// Suitable for the dataset sizes in this library (tens of millions of
+/// doubles at most); uses linear interpolation between order statistics.
+class QuantileSketch {
+ public:
+  void Add(double value) { values_.push_back(value); }
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  /// Quantile q in [0, 1]. Returns NaN when empty. Sorts lazily.
+  double Quantile(double q);
+
+  size_t count() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+/// \brief Fixed-bucket histogram over [lo, hi) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t num_buckets);
+
+  void Add(double value);
+
+  uint64_t bucket_count(size_t bucket) const { return buckets_[bucket]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Lower bound of bucket b.
+  double bucket_lo(size_t bucket) const;
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string ToString(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<uint64_t> buckets_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_STATS_H_

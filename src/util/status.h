@@ -1,0 +1,181 @@
+// Status / Result<T> error model, in the style of RocksDB and Apache Arrow.
+//
+// Library code never throws across public API boundaries: fallible
+// operations return Status (no payload) or Result<T> (payload or error).
+
+#ifndef PREFCOVER_UTIL_STATUS_H_
+#define PREFCOVER_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace prefcover {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation with no payload.
+///
+/// An OK status carries no allocation. Non-OK statuses carry a code and a
+/// message. Statuses are cheap to move and to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factory helpers, one per error category.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// \brief "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return 42;` inside a Result<int> function.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status. The status must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Error status; Status::OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok() && "value() called on errored Result");
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define PREFCOVER_RETURN_NOT_OK(expr)              \
+  do {                                             \
+    ::prefcover::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// Evaluates a Result expression; assigns the value to `lhs` or returns the
+/// error. `lhs` may be a declaration (`auto x`).
+#define PREFCOVER_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  PREFCOVER_ASSIGN_OR_RETURN_IMPL_(                       \
+      PREFCOVER_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define PREFCOVER_CONCAT_INNER_(a, b) a##b
+#define PREFCOVER_CONCAT_(a, b) PREFCOVER_CONCAT_INNER_(a, b)
+#define PREFCOVER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                     \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_STATUS_H_

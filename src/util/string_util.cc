@@ -1,0 +1,86 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace prefcover {
+
+std::vector<std::string> SplitString(std::string_view input, char delimiter) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delimiter) {
+      out.emplace_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view input) {
+  size_t b = 0;
+  size_t e = input.size();
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+           c == '\v';
+  };
+  while (b < e && is_space(input[b])) ++b;
+  while (e > b && is_space(input[e - 1])) --e;
+  return input.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  std::string buf(TrimWhitespace(text));
+  if (buf.empty()) return Status::InvalidArgument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not an integer: '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint32_t> ParseUint32(std::string_view text) {
+  PREFCOVER_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+  if (v < 0 || v > std::numeric_limits<uint32_t>::max()) {
+    return Status::OutOfRange("value out of uint32 range: " +
+                              std::to_string(v));
+  }
+  return static_cast<uint32_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buf(TrimWhitespace(text));
+  if (buf.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) {
+    return Status::InvalidArgument("not a number: '" + buf + "'");
+  }
+  return v;
+}
+
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+}  // namespace prefcover

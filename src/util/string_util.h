@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+
+#ifndef PREFCOVER_UTIL_STRING_UTIL_H_
+#define PREFCOVER_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prefcover {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> SplitString(std::string_view input, char delimiter);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// Case-sensitive prefix / suffix tests.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Strict numeric parses (whole string must be consumed).
+Result<int64_t> ParseInt64(std::string_view text);
+Result<uint32_t> ParseUint32(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// Joins items with a separator.
+std::string JoinStrings(const std::vector<std::string>& items,
+                        std::string_view separator);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_STRING_UTIL_H_

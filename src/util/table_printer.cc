@@ -1,0 +1,71 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace prefcover {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PREFCOVER_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  PREFCOVER_CHECK_MSG(cells.size() == headers_.size(),
+                      "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::Percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::Scientific(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", decimals, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream* out, const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  if (!title.empty()) *out << title << '\n';
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      *out << (c == 0 ? "| " : " | ");
+      *out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) *out << ' ';
+    }
+    *out << " |\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    *out << (c == 0 ? "|-" : "-|-");
+    for (size_t i = 0; i < widths[c]; ++i) *out << '-';
+  }
+  *out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream* out) const {
+  *out << FormatCsvLine(headers_) << '\n';
+  for (const auto& row : rows_) *out << FormatCsvLine(row) << '\n';
+}
+
+}  // namespace prefcover

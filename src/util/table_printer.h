@@ -1,0 +1,47 @@
+// Aligned console tables for the benchmark harness output.
+//
+// Every experiment binary prints paper-style tables through this class so
+// the formatting is uniform; --csv switches the same rows to CSV.
+
+#ifndef PREFCOVER_UTIL_TABLE_PRINTER_H_
+#define PREFCOVER_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace prefcover {
+
+/// \brief Collects rows of string cells and renders them aligned, or as CSV.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; it must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \name Cell formatting helpers.
+  /// @{
+  static std::string Fixed(double value, int decimals);
+  static std::string Percent(double fraction, int decimals = 1);
+  static std::string Scientific(double value, int decimals = 2);
+  /// @}
+
+  /// Renders the table with column alignment, a header separator and
+  /// optional `title` line.
+  void Print(std::ostream* out, const std::string& title = "") const;
+
+  /// Renders as CSV (header row first).
+  void PrintCsv(std::ostream* out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_TABLE_PRINTER_H_

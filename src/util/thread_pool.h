@@ -1,0 +1,61 @@
+// Fixed-size worker pool used by the parallel greedy solver.
+//
+// The pool executes opaque tasks; ParallelFor (parallel_for.h) layers a
+// blocking data-parallel loop on top. Workers are started once and reused
+// across solver iterations, which matters because the greedy algorithm
+// dispatches k rounds of short parallel scans.
+
+#ifndef PREFCOVER_UTIL_THREAD_POOL_H_
+#define PREFCOVER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prefcover {
+
+/// \brief Fixed-size FIFO thread pool.
+///
+/// Thread-safe: Submit may be called from any thread, including from inside
+/// a task. Destruction waits for all queued tasks to finish.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_THREAD_POOL_H_

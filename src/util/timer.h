@@ -1,0 +1,46 @@
+// Wall-clock timing utilities for benchmarks and experiment harnesses.
+
+#ifndef PREFCOVER_UTIL_TIMER_H_
+#define PREFCOVER_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace prefcover {
+
+/// \brief Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Formats a duration with an auto-selected unit, e.g. "1.23 ms".
+std::string FormatDuration(double seconds);
+
+/// \brief Formats a count with thousands separators, e.g. "1,921,701".
+std::string FormatCount(uint64_t count);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_TIMER_H_

@@ -1,0 +1,73 @@
+// Bounded top-k selection by score.
+//
+// Used by the TopK-W / TopK-C baselines: streams (id, score) pairs and keeps
+// the k best, with deterministic smaller-id tie-breaking to match the
+// solvers' argmax rule.
+
+#ifndef PREFCOVER_UTIL_TOP_K_HEAP_H_
+#define PREFCOVER_UTIL_TOP_K_HEAP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace prefcover {
+
+/// \brief Keeps the k highest-scoring (id, score) entries seen.
+///
+/// Ordering: higher score wins; equal scores prefer the smaller id. O(log k)
+/// per Push, O(k log k) extraction.
+class TopKHeap {
+ public:
+  struct Entry {
+    uint32_t id;
+    double score;
+  };
+
+  explicit TopKHeap(size_t k) : k_(k) {}
+
+  void Push(uint32_t id, double score) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({id, score});
+      std::push_heap(heap_.begin(), heap_.end(), WorseOnTop);
+      return;
+    }
+    // heap_.front() is the current worst of the kept set.
+    if (Better({id, score}, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), WorseOnTop);
+      heap_.back() = {id, score};
+      std::push_heap(heap_.begin(), heap_.end(), WorseOnTop);
+    }
+  }
+
+  /// Entries sorted best-first. Leaves the heap empty.
+  std::vector<Entry> Extract() {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const Entry& a, const Entry& b) { return Better(a, b); });
+    return std::move(heap_);
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return k_; }
+
+ private:
+  /// True when a should rank ahead of b in the final order.
+  static bool Better(const TopKHeap::Entry& a, const TopKHeap::Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  }
+
+  /// Min-heap comparator: keep the worst entry on top for O(1) eviction.
+  static bool WorseOnTop(const Entry& a, const Entry& b) {
+    return Better(a, b);
+  }
+
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_TOP_K_HEAP_H_

@@ -1,0 +1,233 @@
+#include "clickstream/graph_construction.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace prefcover {
+namespace {
+
+// The paper's Figure 3 example: iPhone 8 in Silver, Gold and Space Gray;
+// five sessions, each ending in a purchase.
+Clickstream MakeIphoneClickstream() {
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId silver = dict->Intern("iphone8-silver");
+  ItemId gold = dict->Intern("iphone8-gold");
+  ItemId space = dict->Intern("iphone8-space-gray");
+
+  auto add = [&cs](std::vector<ItemId> clicks, ItemId purchase) {
+    Session s;
+    s.clicks = std::move(clicks);
+    s.purchase = purchase;
+    cs.AddSession(std::move(s));
+  };
+  add({silver, gold}, silver);   // Silver bought, Gold clicked
+  add({silver, space}, silver);  // Silver bought, Space Gray clicked
+  add({space}, space);           // Space Gray bought, no other clicks
+  add({space, silver}, space);   // Space Gray bought, Silver clicked
+  add({gold, space}, gold);      // Gold bought, Space Gray clicked
+  return cs;
+}
+
+class IphoneExampleTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(IphoneExampleTest, ReconstructsFigureThreeGraph) {
+  Clickstream cs = MakeIphoneClickstream();
+  GraphConstructionOptions options;
+  options.variant = GetParam();
+  auto g = BuildPreferenceGraph(cs, options);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->NumNodes(), 3u);
+
+  ItemId silver = cs.dictionary().Lookup("iphone8-silver");
+  ItemId gold = cs.dictionary().Lookup("iphone8-gold");
+  ItemId space = cs.dictionary().Lookup("iphone8-space-gray");
+
+  // Node weights 0.4 / 0.2 / 0.4 (Figure 3b).
+  EXPECT_DOUBLE_EQ(g->NodeWeight(silver), 0.4);
+  EXPECT_DOUBLE_EQ(g->NodeWeight(gold), 0.2);
+  EXPECT_DOUBLE_EQ(g->NodeWeight(space), 0.4);
+
+  // Edges: Silver -> {Gold 1/2, Space 1/2}, Space -> Silver 1/2,
+  // Gold -> Space 1. Every session implies at most one alternative, so both
+  // variants construct the same graph.
+  EXPECT_EQ(g->NumEdges(), 4u);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(silver, gold), 0.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(silver, space), 0.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(space, silver), 0.5);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(gold, space), 1.0);
+  EXPECT_FALSE(g->HasEdge(gold, silver));
+  EXPECT_FALSE(g->HasEdge(space, gold));
+
+  // Labels carry the item names.
+  EXPECT_EQ(g->Label(silver), "iphone8-silver");
+  EXPECT_TRUE(IsNormalizedAdmissible(*g));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, IphoneExampleTest,
+                         ::testing::Values(Variant::kIndependent,
+                                           Variant::kNormalized),
+                         [](const auto& param_info) {
+                           return std::string(VariantName(param_info.param));
+                         });
+
+TEST(GraphConstructionTest, NormalizedUsesFractionalClicks) {
+  // One purchased item with a session clicking two alternatives: under the
+  // Normalized rule each counts 1/t = 1/2.
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId p = dict->Intern("p");
+  ItemId x = dict->Intern("x");
+  ItemId y = dict->Intern("y");
+  Session s;
+  s.clicks = {x, y};
+  s.purchase = p;
+  cs.AddSession(s);
+
+  GraphConstructionOptions normalized;
+  normalized.variant = Variant::kNormalized;
+  auto gn = BuildPreferenceGraph(cs, normalized);
+  ASSERT_TRUE(gn.ok());
+  EXPECT_DOUBLE_EQ(gn->EdgeWeight(p, x), 0.5);
+  EXPECT_DOUBLE_EQ(gn->EdgeWeight(p, y), 0.5);
+
+  GraphConstructionOptions independent;
+  independent.variant = Variant::kIndependent;
+  auto gi = BuildPreferenceGraph(cs, independent);
+  ASSERT_TRUE(gi.ok());
+  EXPECT_DOUBLE_EQ(gi->EdgeWeight(p, x), 1.0);
+  EXPECT_DOUBLE_EQ(gi->EdgeWeight(p, y), 1.0);
+}
+
+TEST(GraphConstructionTest, NormalizedOutSumsNeverExceedOne) {
+  // Even with heavy multi-click sessions, fractional counting keeps every
+  // node's outgoing sum at most 1.
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId p = dict->Intern("p");
+  std::vector<ItemId> alts;
+  for (int i = 0; i < 6; ++i) {
+    alts.push_back(dict->Intern("alt" + std::to_string(i)));
+  }
+  for (int session = 0; session < 10; ++session) {
+    Session s;
+    s.purchase = p;
+    for (size_t i = 0; i <= static_cast<size_t>(session % 6); ++i) {
+      s.clicks.push_back(alts[i]);
+    }
+    cs.AddSession(s);
+  }
+  GraphConstructionOptions options;
+  options.variant = Variant::kNormalized;
+  auto g = BuildPreferenceGraph(cs, options);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(IsNormalizedAdmissible(*g));
+}
+
+TEST(GraphConstructionTest, BrowseOnlySessionsIgnored) {
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId a = dict->Intern("a");
+  ItemId b = dict->Intern("b");
+  Session buy;
+  buy.purchase = a;
+  cs.AddSession(buy);
+  // 100 browse-only sessions clicking b must not create nodes weights or
+  // edges.
+  for (int i = 0; i < 100; ++i) {
+    Session s;
+    s.clicks = {b, a};
+    cs.AddSession(s);
+  }
+  auto g = BuildPreferenceGraph(cs);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->NodeWeight(a), 1.0);
+  EXPECT_DOUBLE_EQ(g->NodeWeight(b), 0.0);
+  EXPECT_EQ(g->NumEdges(), 0u);
+}
+
+TEST(GraphConstructionTest, ClickOnPurchasedItemExcluded) {
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId a = dict->Intern("a");
+  Session s;
+  s.clicks = {a, a, a};
+  s.purchase = a;
+  cs.AddSession(s);
+  auto g = BuildPreferenceGraph(cs);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 0u);  // no self-loop from self-clicks
+}
+
+TEST(GraphConstructionTest, MinEdgeWeightFilter) {
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId p = dict->Intern("p");
+  ItemId frequent = dict->Intern("frequent");
+  ItemId rare = dict->Intern("rare");
+  for (int i = 0; i < 10; ++i) {
+    Session s;
+    s.purchase = p;
+    s.clicks = {frequent};
+    if (i == 0) s.clicks.push_back(rare);
+    cs.AddSession(s);
+  }
+  GraphConstructionOptions options;
+  options.variant = Variant::kIndependent;
+  options.min_edge_weight = 0.2;
+  auto g = BuildPreferenceGraph(cs, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(p, frequent));   // weight 1.0
+  EXPECT_FALSE(g->HasEdge(p, rare));      // weight 0.1, filtered
+}
+
+TEST(GraphConstructionTest, MinPurchasesFilter) {
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId popular = dict->Intern("popular");
+  ItemId niche = dict->Intern("niche");
+  ItemId alt = dict->Intern("alt");
+  for (int i = 0; i < 5; ++i) {
+    Session s;
+    s.purchase = popular;
+    s.clicks = {alt};
+    cs.AddSession(s);
+  }
+  Session s;
+  s.purchase = niche;
+  s.clicks = {alt};
+  cs.AddSession(s);
+
+  GraphConstructionOptions options;
+  options.min_purchases_for_edges = 3;
+  auto g = BuildPreferenceGraph(cs, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(popular, alt));
+  EXPECT_FALSE(g->HasEdge(niche, alt));  // only 1 purchase: edges dropped
+  EXPECT_GT(g->NodeWeight(niche), 0.0);  // but the node weight stays
+}
+
+TEST(GraphConstructionTest, NoPurchasesFails) {
+  Clickstream cs;
+  cs.mutable_dictionary()->Intern("x");
+  Session s;
+  s.clicks = {0};
+  cs.AddSession(s);
+  EXPECT_TRUE(BuildPreferenceGraph(cs).status().IsFailedPrecondition());
+}
+
+TEST(GraphConstructionTest, EmptyClickstreamFails) {
+  Clickstream cs;
+  EXPECT_TRUE(BuildPreferenceGraph(cs).status().IsFailedPrecondition());
+}
+
+TEST(GraphConstructionTest, NodeWeightsFormDistribution) {
+  Clickstream cs = MakeIphoneClickstream();
+  auto g = BuildPreferenceGraph(cs);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(g->TotalNodeWeight(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace prefcover

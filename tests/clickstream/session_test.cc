@@ -1,0 +1,99 @@
+#include "clickstream/session.h"
+
+#include <gtest/gtest.h>
+
+#include "clickstream/clickstream.h"
+
+namespace prefcover {
+namespace {
+
+TEST(SessionTest, AlternativesExcludePurchase) {
+  Session s;
+  s.clicks = {3, 1, 3, 2, 1};
+  s.purchase = 1;
+  EXPECT_EQ(s.Alternatives(), (std::vector<ItemId>{3, 2}));
+}
+
+TEST(SessionTest, AlternativesDedupePreservingOrder) {
+  Session s;
+  s.clicks = {5, 4, 5, 4, 6};
+  s.purchase = 9;
+  EXPECT_EQ(s.Alternatives(), (std::vector<ItemId>{5, 4, 6}));
+}
+
+TEST(SessionTest, NoPurchaseSession) {
+  Session s;
+  s.clicks = {1, 2};
+  EXPECT_FALSE(s.HasPurchase());
+  EXPECT_EQ(s.Alternatives(), (std::vector<ItemId>{1, 2}));
+}
+
+TEST(SessionTest, EmptySession) {
+  Session s;
+  EXPECT_FALSE(s.HasPurchase());
+  EXPECT_TRUE(s.Alternatives().empty());
+}
+
+TEST(ItemDictionaryTest, InternAssignsDenseIds) {
+  ItemDictionary dict;
+  EXPECT_EQ(dict.Intern("iphone-silver"), 0u);
+  EXPECT_EQ(dict.Intern("iphone-gold"), 1u);
+  EXPECT_EQ(dict.Intern("iphone-silver"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Name(0), "iphone-silver");
+  EXPECT_EQ(dict.Name(1), "iphone-gold");
+}
+
+TEST(ItemDictionaryTest, LookupUnknownReturnsInvalid) {
+  ItemDictionary dict;
+  dict.Intern("known");
+  EXPECT_EQ(dict.Lookup("known"), 0u);
+  EXPECT_EQ(dict.Lookup("unknown"), kInvalidItem);
+}
+
+TEST(ClickstreamTest, StatsOnMixedSessions) {
+  Clickstream cs;
+  ItemDictionary* dict = cs.mutable_dictionary();
+  ItemId a = dict->Intern("a");
+  ItemId b = dict->Intern("b");
+  ItemId c = dict->Intern("c");
+
+  // Purchase session with 1 alternative.
+  Session s1;
+  s1.clicks = {a, b};
+  s1.purchase = a;
+  cs.AddSession(s1);
+  // Purchase session with 2 alternatives.
+  Session s2;
+  s2.clicks = {a, b, c};
+  s2.purchase = a;
+  cs.AddSession(s2);
+  // Browse-only session.
+  Session s3;
+  s3.clicks = {c};
+  cs.AddSession(s3);
+  // Purchase with no alternatives.
+  Session s4;
+  s4.purchase = b;
+  cs.AddSession(s4);
+
+  ClickstreamStats stats = cs.ComputeStats();
+  EXPECT_EQ(stats.num_sessions, 4u);
+  EXPECT_EQ(stats.num_purchases, 3u);
+  EXPECT_EQ(stats.num_items, 3u);
+  EXPECT_EQ(stats.num_clicks, 6u);
+  EXPECT_NEAR(stats.mean_alternatives, (1.0 + 2.0 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(stats.at_most_one_alternative_share, 2.0 / 3.0, 1e-12);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(ClickstreamTest, EmptyStats) {
+  Clickstream cs;
+  ClickstreamStats stats = cs.ComputeStats();
+  EXPECT_EQ(stats.num_sessions, 0u);
+  EXPECT_EQ(stats.num_purchases, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_alternatives, 0.0);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,168 @@
+#include "clickstream/streaming_construction.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "clickstream/clickstream_io.h"
+#include "synth/dataset_profiles.h"
+
+namespace prefcover {
+namespace {
+
+// Equality modulo nothing: both paths intern items in CSV appearance
+// order, so ids coincide.
+void ExpectSameGraph(const PreferenceGraph& a, const PreferenceGraph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    ASSERT_EQ(a.Label(v), b.Label(v));
+    ASSERT_DOUBLE_EQ(a.NodeWeight(v), b.NodeWeight(v));
+    AdjacencyView oa = a.OutNeighbors(v), ob = b.OutNeighbors(v);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (size_t i = 0; i < oa.size(); ++i) {
+      ASSERT_EQ(oa.nodes[i], ob.nodes[i]);
+      ASSERT_DOUBLE_EQ(oa.weights[i], ob.weights[i]);
+    }
+  }
+}
+
+class StreamingParityTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(StreamingParityTest, MatchesInMemoryConstructionOnProfileData) {
+  DatasetProfile profile = GetParam() == Variant::kNormalized
+                               ? DatasetProfile::kPM
+                               : DatasetProfile::kYC;
+  auto cs = GenerateProfileClickstream(profile, 0.003, 7);
+  ASSERT_TRUE(cs.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClickstreamCsv(*cs, &out).ok());
+  const std::string csv = out.str();
+
+  GraphConstructionOptions options;
+  options.variant = GetParam();
+
+  // In-memory path: re-read the CSV so interning order matches.
+  std::istringstream in_memory_src(csv);
+  auto reloaded = ReadClickstreamCsv(&in_memory_src);
+  ASSERT_TRUE(reloaded.ok());
+  auto in_memory = BuildPreferenceGraph(*reloaded, options);
+  ASSERT_TRUE(in_memory.ok());
+
+  std::istringstream streaming_src(csv);
+  auto streaming = BuildPreferenceGraphStreaming(&streaming_src, options);
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+
+  ExpectSameGraph(*in_memory, *streaming);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, StreamingParityTest,
+                         ::testing::Values(Variant::kIndependent,
+                                           Variant::kNormalized),
+                         [](const auto& param_info) {
+                           return std::string(VariantName(param_info.param));
+                         });
+
+TEST(StreamingParityTest, FiltersMatchInMemory) {
+  auto cs = GenerateProfileClickstream(DatasetProfile::kYC, 0.003, 9);
+  ASSERT_TRUE(cs.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteClickstreamCsv(*cs, &out).ok());
+  GraphConstructionOptions options;
+  options.min_edge_weight = 0.15;
+  options.min_purchases_for_edges = 3;
+
+  std::istringstream src1(out.str());
+  auto reloaded = ReadClickstreamCsv(&src1);
+  ASSERT_TRUE(reloaded.ok());
+  auto in_memory = BuildPreferenceGraph(*reloaded, options);
+  std::istringstream src2(out.str());
+  auto streaming = BuildPreferenceGraphStreaming(&src2, options);
+  ASSERT_TRUE(in_memory.ok() && streaming.ok());
+  ExpectSameGraph(*in_memory, *streaming);
+}
+
+TEST(StreamingBuilderTest, IncrementalSessionsApi) {
+  StreamingGraphBuilder builder;
+  ItemId silver = builder.InternItem("silver");
+  ItemId gold = builder.InternItem("gold");
+  Session s1;
+  s1.clicks = {gold};
+  s1.purchase = silver;
+  builder.AddSession(std::move(s1));
+  Session s2;
+  s2.purchase = silver;
+  builder.AddSession(std::move(s2));
+  EXPECT_EQ(builder.sessions_seen(), 2u);
+  EXPECT_EQ(builder.purchases_seen(), 2u);
+
+  auto g = builder.Finish();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->NodeWeight(silver), 1.0);
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(silver, gold), 0.5);
+
+  // Builder stays usable: another session shifts the estimate.
+  Session s3;
+  s3.clicks = {gold};
+  s3.purchase = silver;
+  builder.AddSession(std::move(s3));
+  auto g2 = builder.Finish();
+  ASSERT_TRUE(g2.ok());
+  EXPECT_NEAR(g2->EdgeWeight(silver, gold), 2.0 / 3.0, 1e-12);
+}
+
+TEST(StreamingBuilderTest, NoPurchasesFails) {
+  StreamingGraphBuilder builder;
+  builder.InternItem("x");
+  Session s;
+  s.clicks = {0};
+  builder.AddSession(std::move(s));
+  EXPECT_TRUE(builder.Finish().status().IsFailedPrecondition());
+}
+
+TEST(StreamingCsvTest, MalformedInputRejected) {
+  {
+    std::istringstream in("bad,header,row\n");
+    EXPECT_TRUE(BuildPreferenceGraphStreaming(&in)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  {
+    std::istringstream in(
+        "session_id,event_type,item_id\n0,hover,x\n");
+    EXPECT_TRUE(BuildPreferenceGraphStreaming(&in)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  {
+    std::istringstream in(
+        "session_id,event_type,item_id\n0,purchase,x\n0,purchase,y\n");
+    EXPECT_TRUE(BuildPreferenceGraphStreaming(&in)
+                    .status()
+                    .IsInvalidArgument());
+  }
+}
+
+TEST(StreamingCsvTest, FilePathConvenience) {
+  auto missing = BuildPreferenceGraphStreamingFile("/no/such/file.csv");
+  EXPECT_TRUE(missing.status().IsIOError());
+
+  std::string path = ::testing::TempDir() + "/streaming_test.csv";
+  {
+    std::ofstream out(path);
+    out << "session_id,event_type,item_id\n"
+           "0,click,b\n0,purchase,a\n"
+           "1,purchase,b\n";
+  }
+  auto g = BuildPreferenceGraphStreamingFile(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_DOUBLE_EQ(g->NodeWeight(1), 0.5);  // "a" interned second? No:
+  // appearance order: b (clicked first) = 0, a = 1; each purchased once.
+  EXPECT_DOUBLE_EQ(g->NodeWeight(0), 0.5);
+  EXPECT_TRUE(g->HasEdge(1, 0));  // a -> b
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,155 @@
+#include "core/complementary_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cover_function.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+TEST(ComplementarySolverTest, GreedyFindsMinimalPrefixOnExample) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  // Greedy order is B (0.66), D (0.873), ...
+  auto r1 = SolveCoverageThreshold(g, 0.6, Variant::kNormalized,
+                                   ThresholdAlgorithm::kGreedy);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->reached);
+  EXPECT_EQ(r1->set_size, 1u);
+  EXPECT_EQ(r1->solution.items, std::vector<NodeId>{1});
+
+  auto r2 = SolveCoverageThreshold(g, 0.8, Variant::kNormalized,
+                                   ThresholdAlgorithm::kGreedy);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->reached);
+  EXPECT_EQ(r2->set_size, 2u);
+  EXPECT_NEAR(r2->solution.cover, 0.873, 1e-9);
+}
+
+TEST(ComplementarySolverTest, ZeroThresholdNeedsNothing) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto r = SolveCoverageThreshold(g, 0.0, Variant::kIndependent,
+                                  ThresholdAlgorithm::kGreedy);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reached);
+  EXPECT_EQ(r->set_size, 0u);
+}
+
+TEST(ComplementarySolverTest, FullCoverageThreshold) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto r = SolveCoverageThreshold(g, 1.0, Variant::kNormalized,
+                                  ThresholdAlgorithm::kGreedy);
+  ASSERT_TRUE(r.ok());
+  // Retaining everything reaches cover 1 (within fp tolerance the solver
+  // treats >= threshold).
+  EXPECT_EQ(r->set_size, r->reached ? r->set_size : g.NumNodes());
+  EXPECT_GE(r->solution.cover, 1.0 - 1e-9);
+}
+
+TEST(ComplementarySolverTest, UnreachableThresholdReportsNotReached) {
+  // Two isolated nodes, only one can be kept... threshold 1.0 with cover
+  // capped below 1 when one node can never be covered: build a graph where
+  // even all nodes cover 1, so instead test with an impossible epsilon
+  // above achievable cover using a subset: use threshold 1.0 but retain
+  // everything is achievable, so craft unreachable via zero-weight node?
+  // Simplest: a graph whose total achievable cover with all nodes is 1,
+  // but we can create genuinely unreachable thresholds only above 1, which
+  // the API rejects. Instead verify the rejection path.
+  PreferenceGraph g = MakePaperExampleGraph();
+  EXPECT_TRUE(SolveCoverageThreshold(g, 1.5, Variant::kIndependent,
+                                     ThresholdAlgorithm::kGreedy)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SolveCoverageThreshold(g, -0.1, Variant::kIndependent,
+                                     ThresholdAlgorithm::kGreedy)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ComplementarySolverTest, BaselinesNeedLargerSetsOnExample) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  const double threshold = 0.85;
+  auto greedy = SolveCoverageThreshold(g, threshold, Variant::kNormalized,
+                                       ThresholdAlgorithm::kGreedy);
+  auto topw = SolveCoverageThreshold(g, threshold, Variant::kNormalized,
+                                     ThresholdAlgorithm::kTopKWeight);
+  auto topc = SolveCoverageThreshold(g, threshold, Variant::kNormalized,
+                                     ThresholdAlgorithm::kTopKCoverage);
+  ASSERT_TRUE(greedy.ok() && topw.ok() && topc.ok());
+  EXPECT_EQ(greedy->set_size, 2u);  // {B, D} = 0.873
+  EXPECT_GE(topw->set_size, greedy->set_size);
+  EXPECT_GE(topc->set_size, greedy->set_size);
+}
+
+TEST(ComplementarySolverTest, GreedyNeverLargerThanBaselinesOnRandomGraphs) {
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    Rng rng(seed);
+    ClusteredGraphParams params;
+    params.num_nodes = 150;
+    params.num_clusters = 15;
+    auto g = GenerateClusteredGraph(params, &rng);
+    ASSERT_TRUE(g.ok());
+    for (double threshold : {0.5, 0.7, 0.9}) {
+      auto greedy = SolveCoverageThreshold(
+          *g, threshold, Variant::kIndependent, ThresholdAlgorithm::kGreedy);
+      auto topw = SolveCoverageThreshold(*g, threshold,
+                                         Variant::kIndependent,
+                                         ThresholdAlgorithm::kTopKWeight);
+      auto topc = SolveCoverageThreshold(*g, threshold,
+                                         Variant::kIndependent,
+                                         ThresholdAlgorithm::kTopKCoverage);
+      ASSERT_TRUE(greedy.ok() && topw.ok() && topc.ok());
+      ASSERT_TRUE(greedy->reached);
+      EXPECT_LE(greedy->set_size, topw->set_size)
+          << "seed " << seed << " threshold " << threshold;
+      EXPECT_LE(greedy->set_size, topc->set_size)
+          << "seed " << seed << " threshold " << threshold;
+    }
+  }
+}
+
+TEST(ComplementarySolverTest, SolutionCoverConsistentWithItems) {
+  Rng rng(13);
+  UniformGraphParams params;
+  params.num_nodes = 80;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto r = SolveCoverageThreshold(*g, 0.75, Variant::kIndependent,
+                                  ThresholdAlgorithm::kGreedy);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->reached);
+  EXPECT_GE(r->solution.cover, 0.75);
+  EXPECT_EQ(r->solution.items.size(), r->set_size);
+  EXPECT_TRUE(r->solution.Validate(*g).ok());
+  // Minimality within the greedy order: one fewer item falls short.
+  if (r->set_size > 0) {
+    EXPECT_LT(r->solution.PrefixCover(r->set_size - 1), 0.75);
+  }
+}
+
+TEST(ComplementarySolverTest, ThresholdRunsMatchBudgetRunsViaPrefixes) {
+  // The direct threshold solver must agree with "solve for k = n, then cut
+  // at the smallest qualifying prefix" (Section 3.2's claim).
+  Rng rng(29);
+  UniformGraphParams params;
+  params.num_nodes = 60;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  GreedyOptions options;
+  options.variant = Variant::kIndependent;
+  auto full = SolveGreedy(*g, g->NumNodes(), options);
+  ASSERT_TRUE(full.ok());
+  for (double threshold : {0.4, 0.6, 0.8}) {
+    auto direct = SolveCoverageThreshold(
+        *g, threshold, Variant::kIndependent, ThresholdAlgorithm::kGreedy);
+    ASSERT_TRUE(direct.ok());
+    size_t expected = full->SmallestPrefixReaching(threshold);
+    EXPECT_EQ(direct->set_size, expected) << "threshold " << threshold;
+    EXPECT_EQ(direct->solution.items, full->PrefixItems(expected));
+  }
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,166 @@
+#include "core/cover_function.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+
+namespace prefcover {
+namespace {
+
+constexpr NodeId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+
+class PaperExampleCoverTest : public ::testing::TestWithParam<Variant> {
+ protected:
+  PreferenceGraph graph_ = MakePaperExampleGraph();
+};
+
+TEST_P(PaperExampleCoverTest, EmptySetCoversNothing) {
+  Bitset none(graph_.NumNodes());
+  EXPECT_DOUBLE_EQ(EvaluateCover(graph_, none, GetParam()), 0.0);
+}
+
+TEST_P(PaperExampleCoverTest, FullSetCoversEverything) {
+  Bitset all(graph_.NumNodes());
+  for (NodeId v = 0; v < graph_.NumNodes(); ++v) all.Set(v);
+  EXPECT_NEAR(EvaluateCover(graph_, all, GetParam()), 1.0, 1e-12);
+}
+
+TEST_P(PaperExampleCoverTest, OptimalPairFromExample) {
+  // Example 1.1 / 3.2: {B, D} covers 87.3% in both variants (no node has
+  // two retained in-neighbors, so the variants agree on this instance).
+  auto cover = EvaluateCover(graph_, std::vector<NodeId>{kB, kD}, GetParam());
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(*cover, 0.873, 1e-9);
+}
+
+TEST_P(PaperExampleCoverTest, TopSellersPairFromExample) {
+  // Example 1.1: the naive top-2 {A, B} covers 77%.
+  auto cover = EvaluateCover(graph_, std::vector<NodeId>{kA, kB}, GetParam());
+  ASSERT_TRUE(cover.ok());
+  EXPECT_NEAR(*cover, 0.77, 1e-9);
+}
+
+TEST_P(PaperExampleCoverTest, ItemCoverageMatchesFigureTwo) {
+  // Figure 2: with {B, D} retained, coverage of A is 67%, C 100%, E 90%.
+  Bitset retained(graph_.NumNodes());
+  retained.Set(kB);
+  retained.Set(kD);
+  Variant variant = GetParam();
+  EXPECT_NEAR(CoverOfItem(graph_, retained, kA, variant), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CoverOfItem(graph_, retained, kC, variant), 1.0);
+  EXPECT_DOUBLE_EQ(CoverOfItem(graph_, retained, kE, variant), 0.9);
+  EXPECT_DOUBLE_EQ(CoverOfItem(graph_, retained, kB, variant), 1.0);
+  EXPECT_DOUBLE_EQ(CoverOfItem(graph_, retained, kD, variant), 1.0);
+}
+
+TEST_P(PaperExampleCoverTest, ContributionsSumToCover) {
+  Bitset retained(graph_.NumNodes());
+  retained.Set(kB);
+  retained.Set(kD);
+  Variant variant = GetParam();
+  std::vector<double> contrib =
+      ComputeItemCoverContributions(graph_, retained, variant);
+  double sum = 0.0;
+  for (double c : contrib) sum += c;
+  EXPECT_NEAR(sum, EvaluateCover(graph_, retained, variant), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, PaperExampleCoverTest,
+                         ::testing::Values(Variant::kIndependent,
+                                           Variant::kNormalized),
+                         [](const auto& param_info) {
+                           return std::string(VariantName(param_info.param));
+                         });
+
+TEST(CoverFunctionTest, VariantsDifferWithTwoRetainedAlternatives) {
+  // v has two alternatives at 0.5 each. Independent: 1-(0.5)^2 = 0.75.
+  // Normalized: 0.5+0.5 = 1.0.
+  GraphBuilder b;
+  NodeId v = b.AddNode(1.0);
+  NodeId x = b.AddNode(0.0);
+  NodeId y = b.AddNode(0.0);
+  ASSERT_TRUE(b.AddEdge(v, x, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(v, y, 0.5).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  Bitset retained(3);
+  retained.Set(x);
+  retained.Set(y);
+  EXPECT_DOUBLE_EQ(CoverOfItem(*g, retained, v, Variant::kIndependent), 0.75);
+  EXPECT_DOUBLE_EQ(CoverOfItem(*g, retained, v, Variant::kNormalized), 1.0);
+}
+
+TEST(CoverFunctionTest, IndependentNeverExceedsNormalized) {
+  // With identical admissible weights, the union-bound structure means the
+  // Normalized cover dominates the Independent one pointwise.
+  Rng rng(3);
+  UniformGraphParams params;
+  params.num_nodes = 60;
+  params.out_degree = 5;
+  params.normalized_out_weights = true;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    Bitset retained(g->NumNodes());
+    for (NodeId v = 0; v < g->NumNodes(); ++v) {
+      if (rng.NextBernoulli(0.3)) retained.Set(v);
+    }
+    double independent =
+        EvaluateCover(*g, retained, Variant::kIndependent);
+    double normalized = EvaluateCover(*g, retained, Variant::kNormalized);
+    EXPECT_LE(independent, normalized + 1e-12) << "trial " << trial;
+  }
+}
+
+TEST(CoverFunctionTest, RejectsOutOfRangeItem) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto cover = EvaluateCover(g, std::vector<NodeId>{99}, Variant::kIndependent);
+  EXPECT_TRUE(cover.status().IsInvalidArgument());
+}
+
+TEST(CoverFunctionTest, RejectsDuplicateItems) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto cover = EvaluateCover(g, std::vector<NodeId>{kA, kA}, Variant::kIndependent);
+  EXPECT_TRUE(cover.status().IsInvalidArgument());
+}
+
+TEST(ValidateInstanceTest, AcceptsAdmissibleInstances) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  EXPECT_TRUE(ValidateInstance(g, 2, Variant::kNormalized).ok());
+  EXPECT_TRUE(ValidateInstance(g, 5, Variant::kIndependent).ok());
+}
+
+TEST(ValidateInstanceTest, RejectsOversizedBudget) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  EXPECT_TRUE(ValidateInstance(g, 6, Variant::kIndependent)
+                  .IsInvalidArgument());
+}
+
+TEST(ValidateInstanceTest, RejectsNormalizedOnNonAdmissibleGraph) {
+  // Out-weight sum 1.5 > 1: valid for Independent, forbidden for
+  // Normalized (its cover formula would exceed the node weight).
+  GraphBuilder b;
+  NodeId v = b.AddNode(0.5);
+  NodeId x = b.AddNode(0.25);
+  NodeId y = b.AddNode(0.25);
+  ASSERT_TRUE(b.AddEdge(v, x, 0.8).ok());
+  ASSERT_TRUE(b.AddEdge(v, y, 0.7).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(ValidateInstance(*g, 2, Variant::kNormalized)
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(ValidateInstance(*g, 2, Variant::kIndependent).ok());
+}
+
+TEST(CoverFunctionTest, UncoveredItemWithNoRetainedNeighbors) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Bitset retained(g.NumNodes());
+  retained.Set(kD);
+  // A has no edge into D, so A is entirely uncovered.
+  EXPECT_DOUBLE_EQ(CoverOfItem(g, retained, kA, Variant::kIndependent), 0.0);
+  EXPECT_DOUBLE_EQ(CoverOfItem(g, retained, kA, Variant::kNormalized), 0.0);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,224 @@
+// Property tests: the incremental CoverState (Algorithms 2-5) must agree
+// exactly with the from-scratch oracle in cover_function.h, on every prefix
+// of every insertion order, for both variants.
+
+#include "core/cover_state.h"
+
+#include <thread>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/cover_function.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_generators.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+class CoverStatePropertyTest
+    : public ::testing::TestWithParam<std::tuple<Variant, uint64_t>> {
+ protected:
+  Variant variant() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  PreferenceGraph MakeRandomGraph(Rng* rng) {
+    UniformGraphParams params;
+    params.num_nodes = 80;
+    params.out_degree = 6;
+    params.normalized_out_weights = variant() == Variant::kNormalized;
+    auto g = GenerateUniformGraph(params, rng);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+};
+
+TEST_P(CoverStatePropertyTest, IncrementalCoverMatchesOracleOnEveryPrefix) {
+  Rng rng(seed());
+  PreferenceGraph g = MakeRandomGraph(&rng);
+  CoverState state(&g, variant());
+  Bitset retained(g.NumNodes());
+
+  std::vector<NodeId> order(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) order[v] = v;
+  rng.Shuffle(&order);
+
+  for (NodeId v : order) {
+    state.AddNode(v);
+    retained.Set(v);
+    double exact = EvaluateCover(g, retained, variant());
+    ASSERT_NEAR(state.cover(), exact, 1e-9)
+        << "after adding " << state.NumRetained() << " nodes";
+  }
+  EXPECT_NEAR(state.cover(), 1.0, 1e-9);
+}
+
+TEST_P(CoverStatePropertyTest, GainEqualsCoverDelta) {
+  Rng rng(seed() + 1000);
+  PreferenceGraph g = MakeRandomGraph(&rng);
+  CoverState state(&g, variant());
+
+  std::vector<NodeId> order(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) order[v] = v;
+  rng.Shuffle(&order);
+
+  for (size_t i = 0; i < 30; ++i) {
+    NodeId v = order[i];
+    double before = state.cover();
+    double predicted_gain = state.GainOf(v);
+    state.AddNode(v);
+    ASSERT_NEAR(state.cover() - before, predicted_gain, 1e-9)
+        << "node " << v << " step " << i;
+  }
+}
+
+TEST_P(CoverStatePropertyTest, ItemContributionsMatchOracle) {
+  Rng rng(seed() + 2000);
+  PreferenceGraph g = MakeRandomGraph(&rng);
+  CoverState state(&g, variant());
+  Bitset retained(g.NumNodes());
+  for (NodeId v = 0; v < 25; ++v) {
+    state.AddNode(v);
+    retained.Set(v);
+  }
+  std::vector<double> exact =
+      ComputeItemCoverContributions(g, retained, variant());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_NEAR(state.item_contributions()[v], exact[v], 1e-9)
+        << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, CoverStatePropertyTest,
+    ::testing::Combine(::testing::Values(Variant::kIndependent,
+                                         Variant::kNormalized),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const auto& param_info) {
+      return std::string(VariantName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(CoverStateTest, InitialStateIsEmpty) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  CoverState state(&g, Variant::kIndependent);
+  EXPECT_DOUBLE_EQ(state.cover(), 0.0);
+  EXPECT_EQ(state.NumRetained(), 0u);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_FALSE(state.IsRetained(v));
+    EXPECT_DOUBLE_EQ(state.item_contributions()[v], 0.0);
+  }
+}
+
+TEST(CoverStateTest, PaperExampleGains) {
+  // Example 3.2's first iteration: gain(B) = 66%.
+  PreferenceGraph g = MakePaperExampleGraph();
+  CoverState state(&g, Variant::kNormalized);
+  EXPECT_NEAR(state.GainOf(1), 0.66, 1e-9);   // B
+  EXPECT_NEAR(state.GainOf(0), 0.33, 1e-9);   // A (no in-edges)
+  EXPECT_NEAR(state.GainOf(3), 0.213, 1e-9);  // D = 0.06 + 0.9*0.17
+  EXPECT_NEAR(state.GainOf(4), 0.17, 1e-9);   // E
+
+  // Second iteration (Example 3.2): after B, the marginal gain of A drops
+  // to 11% (the 1/3 of W(A) not accepting B) and C's own coverage drops to
+  // 0 (everyone wanting C takes B); C's remaining gain is covering others
+  // via in-edges A->C (0.33*0.2) and D->C (0.06*0.8). D stays at 21.3%.
+  state.AddNode(1);
+  EXPECT_NEAR(state.GainOf(0), 0.11, 1e-9);
+  EXPECT_NEAR(state.GainOf(3), 0.213, 1e-9);
+  EXPECT_NEAR(state.GainOf(2), 0.33 * 0.2 + 0.06 * 0.8, 1e-9);
+  state.AddNode(3);
+  EXPECT_NEAR(state.cover(), 0.873, 1e-9);
+}
+
+TEST(CoverStateTest, ItemCoverageAfterPaperSolution) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  CoverState state(&g, Variant::kNormalized);
+  state.AddNode(1);  // B
+  state.AddNode(3);  // D
+  EXPECT_NEAR(state.ItemCoverage(0), 2.0 / 3.0, 1e-12);  // A: 67%
+  EXPECT_DOUBLE_EQ(state.ItemCoverage(1), 1.0);
+  EXPECT_DOUBLE_EQ(state.ItemCoverage(2), 1.0);           // C: 100%
+  EXPECT_DOUBLE_EQ(state.ItemCoverage(4), 0.9);           // E: 90%
+}
+
+TEST(CoverStateTest, ItemCoverageOfZeroWeightNode) {
+  GraphBuilder b;
+  NodeId v = b.AddNode(1.0);
+  NodeId z = b.AddNode(0.0);
+  ASSERT_TRUE(b.AddEdge(v, z, 0.5).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  CoverState state(&*g, Variant::kIndependent);
+  EXPECT_DOUBLE_EQ(state.ItemCoverage(z), 0.0);  // unretained, zero weight
+  state.AddNode(z);
+  EXPECT_DOUBLE_EQ(state.ItemCoverage(z), 1.0);
+}
+
+TEST(CoverStateTest, ResetRestoresEmptyState) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  CoverState state(&g, Variant::kIndependent);
+  state.AddNode(1);
+  state.AddNode(3);
+  state.Reset();
+  EXPECT_DOUBLE_EQ(state.cover(), 0.0);
+  EXPECT_EQ(state.NumRetained(), 0u);
+  EXPECT_FALSE(state.IsRetained(1));
+  // State behaves identically after reset.
+  EXPECT_NEAR(state.GainOf(1), 0.66, 1e-9);
+}
+
+TEST(CoverStateTest, SelfLoopDoesNotInflateGain) {
+  // A self-loop (as produced by the VC reduction) must not be counted as
+  // an in-neighbor gain of its own node.
+  GraphBuilder b;
+  NodeId v = b.AddNode(0.6);
+  NodeId u = b.AddNode(0.4);
+  ASSERT_TRUE(b.AddEdge(v, v, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(v, u, 0.5).ok());
+  GraphValidationOptions options;
+  options.allow_self_loops = true;
+  auto g = b.Finalize(options);
+  ASSERT_TRUE(g.ok());
+  for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+    CoverState state(&*g, variant);
+    EXPECT_NEAR(state.GainOf(v), 0.6, 1e-12) << VariantName(variant);
+    state.AddNode(v);
+    double exact = EvaluateCover(*g, state.retained(), variant);
+    EXPECT_NEAR(state.cover(), exact, 1e-12);
+  }
+}
+
+TEST(CoverStateTest, GainIsThreadSafeForConcurrentReads) {
+  Rng rng(77);
+  UniformGraphParams params;
+  params.num_nodes = 500;
+  params.out_degree = 8;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  CoverState state(&*g, Variant::kIndependent);
+  for (NodeId v = 0; v < 50; ++v) state.AddNode(v);
+
+  // Serial reference.
+  std::vector<double> expected(g->NumNodes());
+  for (NodeId v = 50; v < g->NumNodes(); ++v) expected[v] = state.GainOf(v);
+
+  std::vector<double> observed(g->NumNodes(), 0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (NodeId v = 50 + static_cast<NodeId>(t);
+           v < g->NumNodes(); v += 4) {
+        observed[v] = state.GainOf(v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (NodeId v = 50; v < g->NumNodes(); ++v) {
+    EXPECT_DOUBLE_EQ(observed[v], expected[v]) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,205 @@
+// Edge-case coverage for the solver family: degenerate graphs, extreme
+// weights, early-termination paths, and agreement of all executions on
+// unusual inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline_solvers.h"
+#include "core/brute_force_solver.h"
+#include "core/complementary_solver.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace prefcover {
+namespace {
+
+PreferenceGraph SingleNodeGraph() {
+  GraphBuilder b;
+  b.AddNode(1.0, "only");
+  auto g = b.Finalize();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+// All weight on one node, the rest zero; edges from the zero nodes in.
+PreferenceGraph StarGraph(uint32_t spokes) {
+  GraphBuilder b;
+  NodeId hub = b.AddNode(1.0, "hub");
+  for (uint32_t i = 0; i < spokes; ++i) {
+    NodeId spoke = b.AddNode(0.0);
+    EXPECT_TRUE(b.AddEdge(spoke, hub, 0.5).ok());
+  }
+  auto g = b.Finalize();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(EdgeCaseTest, SingleNodeGraphAllSolvers) {
+  PreferenceGraph g = SingleNodeGraph();
+  Rng rng(1);
+  for (size_t k : {0u, 1u}) {
+    auto greedy = SolveGreedy(g, k);
+    auto lazy = SolveGreedyLazy(g, k);
+    auto bf = SolveBruteForce(g, k);
+    auto topw = SolveTopKWeight(g, k, Variant::kIndependent);
+    ASSERT_TRUE(greedy.ok() && lazy.ok() && bf.ok() && topw.ok());
+    double expected = k == 0 ? 0.0 : 1.0;
+    EXPECT_NEAR(greedy->cover, expected, 1e-12);
+    EXPECT_NEAR(lazy->cover, expected, 1e-12);
+    EXPECT_NEAR(bf->cover, expected, 1e-12);
+    EXPECT_NEAR(topw->cover, expected, 1e-12);
+  }
+}
+
+TEST(EdgeCaseTest, EmptyGraphSolvers) {
+  GraphBuilder b;
+  GraphValidationOptions options;
+  options.require_normalized_node_weights = false;
+  auto g = b.Finalize(options);
+  ASSERT_TRUE(g.ok());
+  auto greedy = SolveGreedy(*g, 0);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(greedy->items.empty());
+  EXPECT_DOUBLE_EQ(greedy->cover, 0.0);
+  EXPECT_TRUE(SolveGreedy(*g, 1).status().IsInvalidArgument());
+}
+
+TEST(EdgeCaseTest, ZeroWeightSpokesSelectedLastButCorrectly) {
+  PreferenceGraph g = StarGraph(4);
+  auto sol = SolveGreedy(g, 5);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->items.size(), 5u);
+  EXPECT_EQ(sol->items[0], 0u);  // the hub carries all the weight
+  EXPECT_NEAR(sol->cover, 1.0, 1e-12);
+  // Prefix covers flat after the hub: spokes add nothing.
+  for (size_t i = 1; i < 5; ++i) {
+    EXPECT_NEAR(sol->cover_after_prefix[i], 1.0, 1e-12);
+  }
+}
+
+TEST(EdgeCaseTest, GraphWithNoEdgesBehavesLikeTopKWeight) {
+  GraphBuilder b;
+  b.AddNode(0.4);
+  b.AddNode(0.3);
+  b.AddNode(0.2);
+  b.AddNode(0.1);
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+    GreedyOptions options;
+    options.variant = variant;
+    auto greedy = SolveGreedy(*g, 2, options);
+    auto topw = SolveTopKWeight(*g, 2, variant);
+    ASSERT_TRUE(greedy.ok() && topw.ok());
+    EXPECT_EQ(greedy->items, topw->items);
+    EXPECT_NEAR(greedy->cover, 0.7, 1e-12);
+  }
+}
+
+TEST(EdgeCaseTest, EdgeWeightOneMakesPerfectSubstitute) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(0.5);
+  NodeId c = b.AddNode(0.5);
+  ASSERT_TRUE(b.AddEdge(a, c, 1.0).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  auto sol = SolveGreedy(*g, 1);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->items, std::vector<NodeId>{c});  // covers everything
+  EXPECT_NEAR(sol->cover, 1.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, StopAtCoverAgreesAcrossExecutions) {
+  Rng rng(9);
+  GraphBuilder b;
+  for (int i = 0; i < 40; ++i) b.AddNode(1.0 / 40.0);
+  for (int i = 0; i < 40; ++i) {
+    int to = (i * 7 + 3) % 40;
+    if (to != i) {
+      ASSERT_TRUE(b.AddEdge(static_cast<NodeId>(i),
+                            static_cast<NodeId>(to), 0.5)
+                      .ok());
+    }
+  }
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  GreedyOptions options;
+  options.stop_at_cover = 0.6;
+  auto plain = SolveGreedy(*g, 40, options);
+  auto lazy = SolveGreedyLazy(*g, 40, options);
+  ThreadPool pool(2);
+  auto parallel = SolveGreedyParallel(*g, 40, &pool, options);
+  ASSERT_TRUE(plain.ok() && lazy.ok() && parallel.ok());
+  EXPECT_EQ(plain->items, lazy->items);
+  EXPECT_EQ(plain->items, parallel->items);
+  EXPECT_GE(plain->cover, 0.6);
+  EXPECT_LT(plain->items.size(), 40u);
+}
+
+TEST(EdgeCaseTest, TinyWeightsPreserveDeterminism) {
+  GraphBuilder b;
+  // Weights differing at the 1e-15 level: ordering must stay stable and
+  // identical across executions.
+  double base = 1.0 / 8.0;
+  for (int i = 0; i < 8; ++i) {
+    b.AddNode(base + (i % 2 == 0 ? 1e-15 : -1e-15));
+  }
+  GraphValidationOptions options;
+  options.weight_sum_tolerance = 1e-6;
+  auto g = b.Finalize(options);
+  ASSERT_TRUE(g.ok());
+  auto plain = SolveGreedy(*g, 4);
+  auto lazy = SolveGreedyLazy(*g, 4);
+  ASSERT_TRUE(plain.ok() && lazy.ok());
+  EXPECT_EQ(plain->items, lazy->items);
+}
+
+TEST(EdgeCaseTest, ThresholdOnGraphWithUncoverableTail) {
+  // Node 2 has zero weight and node 1 carries 0.3 with no alternatives;
+  // threshold 0.8 requires retaining both heavy nodes.
+  GraphBuilder b;
+  b.AddNode(0.7);
+  b.AddNode(0.3);
+  b.AddNode(0.0);
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  auto result = SolveCoverageThreshold(*g, 0.8, Variant::kIndependent,
+                                       ThresholdAlgorithm::kGreedy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->reached);
+  EXPECT_EQ(result->set_size, 2u);
+}
+
+TEST(EdgeCaseTest, RandomSolverOnFullBudget) {
+  PreferenceGraph g = StarGraph(3);
+  Rng rng(5);
+  auto sol = SolveRandom(g, 4, Variant::kIndependent, &rng);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->items.size(), 4u);
+  EXPECT_NEAR(sol->cover, 1.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, BruteForceOnStarPicksHub) {
+  PreferenceGraph g = StarGraph(3);
+  auto sol = SolveBruteForce(g, 1);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->items, std::vector<NodeId>{0});
+}
+
+TEST(EdgeCaseTest, LazyGreedyHandlesAllZeroGains) {
+  // After the hub, every remaining candidate has gain exactly 0; the lazy
+  // heap must still emit k items deterministically (smallest ids).
+  PreferenceGraph g = StarGraph(5);
+  auto sol = SolveGreedyLazy(g, 4);
+  ASSERT_TRUE(sol.ok());
+  ASSERT_EQ(sol->items.size(), 4u);
+  EXPECT_EQ(sol->items[0], 0u);
+  EXPECT_EQ(sol->items[1], 1u);
+  EXPECT_EQ(sol->items[2], 2u);
+  EXPECT_EQ(sol->items[3], 3u);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,255 @@
+#include "core/greedy_solver.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_solver.h"
+#include "core/cover_function.h"
+#include "graph/graph_generators.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace prefcover {
+namespace {
+
+constexpr NodeId kB = 1, kD = 3;
+
+TEST(GreedySolverTest, PaperExampleWalkthrough) {
+  // Example 3.2: greedy picks B (66%), then D (+21.3%), total 87.3%.
+  PreferenceGraph g = MakePaperExampleGraph();
+  for (Variant variant : {Variant::kNormalized, Variant::kIndependent}) {
+    GreedyOptions options;
+    options.variant = variant;
+    auto sol = SolveGreedy(g, 2, options);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    ASSERT_EQ(sol->items.size(), 2u);
+    EXPECT_EQ(sol->items[0], kB);
+    EXPECT_EQ(sol->items[1], kD);
+    EXPECT_NEAR(sol->cover_after_prefix[0], 0.66, 1e-9);
+    EXPECT_NEAR(sol->cover, 0.873, 1e-9);
+    EXPECT_TRUE(sol->Validate(g).ok());
+  }
+}
+
+TEST(GreedySolverTest, KZeroReturnsEmpty) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 0);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->items.empty());
+  EXPECT_DOUBLE_EQ(sol->cover, 0.0);
+}
+
+TEST(GreedySolverTest, KEqualsNCoversEverything) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, g.NumNodes());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->items.size(), g.NumNodes());
+  EXPECT_NEAR(sol->cover, 1.0, 1e-9);
+}
+
+TEST(GreedySolverTest, KTooLargeRejected) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  EXPECT_TRUE(SolveGreedy(g, 6).status().IsInvalidArgument());
+}
+
+TEST(GreedySolverTest, PrefixCoversAreMonotone) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 5);
+  ASSERT_TRUE(sol.ok());
+  for (size_t i = 1; i < sol->cover_after_prefix.size(); ++i) {
+    EXPECT_GE(sol->cover_after_prefix[i], sol->cover_after_prefix[i - 1]);
+  }
+}
+
+TEST(GreedySolverTest, OrderedPrefixPropertyFromSectionThreeTwo) {
+  // Solving for k = n yields, as prefixes, the solutions for every k' < n.
+  Rng rng(5);
+  UniformGraphParams params;
+  params.num_nodes = 60;
+  params.out_degree = 5;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto full = SolveGreedy(*g, g->NumNodes());
+  ASSERT_TRUE(full.ok());
+  for (size_t k : {1u, 5u, 17u, 33u}) {
+    auto partial = SolveGreedy(*g, k);
+    ASSERT_TRUE(partial.ok());
+    EXPECT_EQ(partial->items, full->PrefixItems(k)) << "k=" << k;
+    EXPECT_NEAR(partial->cover, full->PrefixCover(k), 1e-12);
+  }
+}
+
+TEST(GreedySolverTest, StopAtCoverStopsEarly) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  GreedyOptions options;
+  options.variant = Variant::kNormalized;
+  options.stop_at_cover = 0.6;  // B alone reaches 0.66
+  auto sol = SolveGreedy(g, 5, options);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->items.size(), 1u);
+  EXPECT_EQ(sol->items[0], kB);
+}
+
+class GreedyEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<Variant, uint64_t, size_t>> {
+};
+
+TEST_P(GreedyEquivalenceTest, ThreeExecutionsProduceIdenticalSolutions) {
+  auto [variant, seed, threads] = GetParam();
+  Rng rng(seed);
+  UniformGraphParams params;
+  params.num_nodes = 150;
+  params.out_degree = 7;
+  params.normalized_out_weights = variant == Variant::kNormalized;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+
+  GreedyOptions options;
+  options.variant = variant;
+  const size_t k = 40;
+  auto plain = SolveGreedy(*g, k, options);
+  auto lazy = SolveGreedyLazy(*g, k, options);
+  ThreadPool pool(threads);
+  auto parallel = SolveGreedyParallel(*g, k, &pool, options);
+  ASSERT_TRUE(plain.ok() && lazy.ok() && parallel.ok());
+
+  EXPECT_EQ(plain->items, lazy->items);
+  EXPECT_EQ(plain->items, parallel->items);
+  EXPECT_NEAR(plain->cover, lazy->cover, 1e-12);
+  EXPECT_NEAR(plain->cover, parallel->cover, 1e-12);
+  EXPECT_TRUE(plain->Validate(*g).ok());
+  EXPECT_TRUE(lazy->Validate(*g).ok());
+  EXPECT_TRUE(parallel->Validate(*g).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyEquivalenceTest,
+    ::testing::Combine(::testing::Values(Variant::kIndependent,
+                                         Variant::kNormalized),
+                       ::testing::Values(1, 7, 21),
+                       ::testing::Values(1, 4)),
+    [](const auto& param_info) {
+      return std::string(VariantName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param)) + "_threads" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(GreedySolverTest, ParallelWithNullPoolMatchesPlain) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto plain = SolveGreedy(g, 3);
+  auto parallel = SolveGreedyParallel(g, 3, nullptr);
+  ASSERT_TRUE(plain.ok() && parallel.ok());
+  EXPECT_EQ(plain->items, parallel->items);
+}
+
+class GreedyApproximationTest
+    : public ::testing::TestWithParam<std::tuple<Variant, uint64_t>> {};
+
+TEST_P(GreedyApproximationTest, MeetsTheoreticalGuaranteeAgainstOptimum) {
+  auto [variant, seed] = GetParam();
+  Rng rng(seed);
+  UniformGraphParams params;
+  params.num_nodes = 12;
+  params.out_degree = 3;
+  params.normalized_out_weights = variant == Variant::kNormalized;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  for (size_t k : {2u, 4u, 6u}) {
+    GreedyOptions greedy_options;
+    greedy_options.variant = variant;
+    auto greedy = SolveGreedy(*g, k, greedy_options);
+    BruteForceOptions bf_options;
+    bf_options.variant = variant;
+    auto optimal = SolveBruteForce(*g, k, bf_options);
+    ASSERT_TRUE(greedy.ok() && optimal.ok());
+    double guarantee =
+        GreedyApproximationGuarantee(variant, k, g->NumNodes());
+    EXPECT_GE(greedy->cover, guarantee * optimal->cover - 1e-9)
+        << "k=" << k << " greedy=" << greedy->cover
+        << " optimal=" << optimal->cover;
+    EXPECT_LE(greedy->cover, optimal->cover + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, GreedyApproximationTest,
+    ::testing::Combine(::testing::Values(Variant::kIndependent,
+                                         Variant::kNormalized),
+                       ::testing::Values(31, 32, 33, 34)),
+    [](const auto& param_info) {
+      return std::string(VariantName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(GreedyGuaranteeTest, FormulaMatchesTableOne) {
+  const double e_bound = 1.0 - 1.0 / std::exp(1.0);
+  // Independent: always 1 - 1/e.
+  EXPECT_NEAR(GreedyApproximationGuarantee(Variant::kIndependent, 1, 100),
+              e_bound, 1e-12);
+  EXPECT_NEAR(GreedyApproximationGuarantee(Variant::kIndependent, 99, 100),
+              e_bound, 1e-12);
+  // Normalized: max{1 - 1/e, 1 - (1 - k/n)^2}; the VC bound takes over
+  // around k/n ~ 0.39 (Table 1).
+  EXPECT_NEAR(GreedyApproximationGuarantee(Variant::kNormalized, 10, 100),
+              e_bound, 1e-12);
+  EXPECT_NEAR(GreedyApproximationGuarantee(Variant::kNormalized, 50, 100),
+              0.75, 1e-12);
+  EXPECT_NEAR(GreedyApproximationGuarantee(Variant::kNormalized, 80, 100),
+              0.96, 1e-12);
+  // Crossover point: 1 - (1 - r)^2 == 1 - 1/e at r = 1 - 1/sqrt(e) ~ 0.3935.
+  double r = 1.0 - 1.0 / std::sqrt(std::exp(1.0));
+  EXPECT_NEAR(GreedyApproximationGuarantee(
+                  Variant::kNormalized,
+                  static_cast<size_t>(r * 1000000), 1000000),
+              e_bound, 1e-3);
+}
+
+TEST(GreedySolverTest, LazyMatchesPlainOnClusteredGraphs) {
+  // Clustered graphs have heavier gain overlap, stressing CELF staleness.
+  Rng rng(55);
+  ClusteredGraphParams params;
+  params.num_nodes = 400;
+  params.num_clusters = 20;
+  params.intra_cluster_degree = 6.0;
+  auto g = GenerateClusteredGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto plain = SolveGreedy(*g, 60);
+  auto lazy = SolveGreedyLazy(*g, 60);
+  ASSERT_TRUE(plain.ok() && lazy.ok());
+  EXPECT_EQ(plain->items, lazy->items);
+}
+
+TEST(GreedySolverTest, SolveSecondsPopulated) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GE(sol->solve_seconds, 0.0);
+  EXPECT_EQ(sol->algorithm, "greedy");
+  auto lazy = SolveGreedyLazy(g, 2);
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_EQ(lazy->algorithm, "greedy-lazy");
+}
+
+TEST(SolutionTest, SmallestPrefixReaching) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 5);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->SmallestPrefixReaching(0.0), 0u);   // empty prefix
+  EXPECT_EQ(sol->SmallestPrefixReaching(0.5), 1u);   // B alone: 0.66
+  EXPECT_EQ(sol->SmallestPrefixReaching(0.7), 2u);   // B + D: 0.873
+  EXPECT_EQ(sol->SmallestPrefixReaching(0.999), 4u);  // {B,D,A,E} covers 1.0
+  EXPECT_EQ(sol->SmallestPrefixReaching(1.5), 6u);   // unreachable
+}
+
+TEST(SolutionTest, ItemCoverageHelper) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->ItemCoverage(g, kB), 1.0);
+  EXPECT_NEAR(sol->ItemCoverage(g, 0), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,293 @@
+#include "core/inventory_maintainer.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+// A churning catalog with enough structure for meaningful covers.
+DynamicPreferenceGraph MakeCatalog(uint32_t items, Rng* rng) {
+  DynamicPreferenceGraph g;
+  std::vector<StableId> ids;
+  for (uint32_t i = 0; i < items; ++i) {
+    ids.push_back(g.AddItem(rng->NextDouble(0.1, 10.0)));
+  }
+  for (uint32_t i = 0; i < items; ++i) {
+    uint32_t degree = 2 + static_cast<uint32_t>(rng->NextBounded(4));
+    for (uint32_t d = 0; d < degree; ++d) {
+      StableId to = ids[rng->NextBounded(items)];
+      if (to == ids[i]) continue;
+      EXPECT_TRUE(
+          g.UpsertEdge(ids[i], to, rng->NextDouble(0.1, 0.9)).ok());
+    }
+  }
+  return g;
+}
+
+// Cover of the maintainer's current set, freshly greedy-solved baseline,
+// on the current snapshot.
+double FreshGreedyCover(const DynamicPreferenceGraph& g, size_t k,
+                        Variant variant) {
+  auto snap = g.Snapshot();
+  EXPECT_TRUE(snap.ok());
+  GreedyOptions options;
+  options.variant = variant;
+  auto sol = SolveGreedyLazy(*snap, std::min(k, snap->NumNodes()), options);
+  EXPECT_TRUE(sol.ok());
+  return sol->cover;
+}
+
+TEST(MaintainerTest, FirstMaintainSolves) {
+  Rng rng(1);
+  DynamicPreferenceGraph g = MakeCatalog(100, &rng);
+  MaintainerOptions options;
+  options.k = 20;
+  InventoryMaintainer maintainer(&g, options);
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kResolved);
+  EXPECT_EQ(maintainer.retained().size(), 20u);
+  EXPECT_NEAR(maintainer.current_cover(),
+              FreshGreedyCover(g, 20, Variant::kIndependent), 1e-12);
+}
+
+TEST(MaintainerTest, NoChangeIsNoop) {
+  Rng rng(2);
+  DynamicPreferenceGraph g = MakeCatalog(50, &rng);
+  MaintainerOptions options;
+  options.k = 10;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kNone);
+  EXPECT_EQ(maintainer.full_resolves(), 1u);
+}
+
+TEST(MaintainerTest, SmallWeightDriftOnlyEvaluates) {
+  Rng rng(3);
+  DynamicPreferenceGraph g = MakeCatalog(100, &rng);
+  MaintainerOptions options;
+  options.k = 20;
+  options.resolve_drift_tolerance = 0.5;  // very tolerant
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+
+  // Nudge one non-retained item's weight slightly.
+  StableId some_item = 0;
+  while (std::find(maintainer.retained().begin(),
+                   maintainer.retained().end(),
+                   some_item) != maintainer.retained().end()) {
+    ++some_item;
+  }
+  ASSERT_TRUE(g.SetItemWeight(some_item, g.ItemWeight(some_item) * 1.01)
+                  .ok());
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kEvaluated);
+  EXPECT_EQ(maintainer.full_resolves(), 1u);  // no second solve
+}
+
+TEST(MaintainerTest, RemovedRetainedItemTriggersRepair) {
+  Rng rng(4);
+  DynamicPreferenceGraph g = MakeCatalog(100, &rng);
+  MaintainerOptions options;
+  options.k = 20;
+  options.resolve_drift_tolerance = 1.0;  // never full-resolve on drift
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+
+  StableId victim = maintainer.retained()[0];
+  ASSERT_TRUE(g.RemoveItem(victim).ok());
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kRepaired);
+  EXPECT_EQ(maintainer.retained().size(), 20u);  // refilled
+  EXPECT_EQ(std::count(maintainer.retained().begin(),
+                       maintainer.retained().end(), victim),
+            0);
+  EXPECT_EQ(maintainer.repairs(), 1u);
+}
+
+TEST(MaintainerTest, LargeDriftTriggersResolve) {
+  Rng rng(5);
+  DynamicPreferenceGraph g = MakeCatalog(100, &rng);
+  MaintainerOptions options;
+  options.k = 10;
+  options.resolve_drift_tolerance = 0.01;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+
+  // Crush the weight of every retained item: the old set's cover share
+  // collapses, forcing a re-solve.
+  for (StableId id : maintainer.retained()) {
+    ASSERT_TRUE(g.SetItemWeight(id, 1e-6).ok());
+  }
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kResolved);
+  EXPECT_EQ(maintainer.full_resolves(), 2u);
+  EXPECT_NEAR(maintainer.current_cover(),
+              FreshGreedyCover(g, 10, Variant::kIndependent), 1e-12);
+}
+
+TEST(MaintainerTest, ForcedResolveCadence) {
+  Rng rng(6);
+  DynamicPreferenceGraph g = MakeCatalog(60, &rng);
+  MaintainerOptions options;
+  options.k = 10;
+  options.resolve_drift_tolerance = 1.0;
+  options.force_resolve_every = 3;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+  int resolved = 0;
+  for (int step = 0; step < 9; ++step) {
+    ASSERT_TRUE(g.SetItemWeight(static_cast<StableId>(step % 60),
+                                rng.NextDouble(0.1, 10.0))
+                    .ok());
+    auto action = maintainer.Maintain();
+    ASSERT_TRUE(action.ok());
+    if (*action == MaintenanceAction::kResolved) ++resolved;
+  }
+  EXPECT_EQ(resolved, 3);  // every third changed step
+}
+
+TEST(MaintainerTest, RepairedSetQualityNearFreshGreedy) {
+  // After a long random churn handled only by repairs, the maintained
+  // cover should remain within the drift tolerance of a fresh greedy
+  // solve — that is the contract the tolerance expresses.
+  Rng rng(7);
+  DynamicPreferenceGraph g = MakeCatalog(150, &rng);
+  MaintainerOptions options;
+  options.k = 30;
+  options.resolve_drift_tolerance = 0.05;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+
+  for (int step = 0; step < 60; ++step) {
+    uint64_t pick = rng.NextBounded(10);
+    if (pick < 6) {
+      StableId item = static_cast<StableId>(rng.NextBounded(150));
+      if (g.HasItem(item)) {
+        ASSERT_TRUE(
+            g.SetItemWeight(item, rng.NextDouble(0.1, 10.0)).ok());
+      }
+    } else if (pick < 8) {
+      StableId from = static_cast<StableId>(rng.NextBounded(150));
+      StableId to = static_cast<StableId>(rng.NextBounded(150));
+      if (g.HasItem(from) && g.HasItem(to) && from != to) {
+        ASSERT_TRUE(
+            g.UpsertEdge(from, to, rng.NextDouble(0.1, 0.9)).ok());
+      }
+    } else {
+      StableId item = static_cast<StableId>(rng.NextBounded(150));
+      if (g.HasItem(item) && g.NumItems() > 50) {
+        ASSERT_TRUE(g.RemoveItem(item).ok());
+      }
+    }
+    ASSERT_TRUE(maintainer.Maintain().ok());
+  }
+  double fresh = FreshGreedyCover(g, 30, Variant::kIndependent);
+  EXPECT_GE(maintainer.current_cover(),
+            fresh - options.resolve_drift_tolerance - 1e-9);
+  // The set is always valid: distinct live items, right size.
+  std::set<StableId> unique(maintainer.retained().begin(),
+                            maintainer.retained().end());
+  EXPECT_EQ(unique.size(), maintainer.retained().size());
+  EXPECT_EQ(unique.size(), std::min<size_t>(30, g.NumItems()));
+  for (StableId id : unique) EXPECT_TRUE(g.HasItem(id));
+}
+
+TEST(MaintainerTest, NormalizedVariantSupported) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(3.0, "A");
+  StableId b = g.AddItem(2.0, "B");
+  StableId c = g.AddItem(1.0, "C");
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.6).ok());
+  ASSERT_TRUE(g.UpsertEdge(c, b, 0.9).ok());
+  MaintainerOptions options;
+  options.variant = Variant::kNormalized;
+  options.k = 1;
+  InventoryMaintainer maintainer(&g, options);
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  // B covers itself (2/6) + 0.6 of A (3/6) + 0.9 of C (1/6) = best single.
+  EXPECT_EQ(maintainer.retained(), std::vector<StableId>{b});
+}
+
+TEST(MaintainerTest, BudgetLargerThanCatalogIsCapped) {
+  DynamicPreferenceGraph g;
+  for (int i = 0; i < 5; ++i) g.AddItem(1.0);
+  MaintainerOptions options;
+  options.k = 10;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+  EXPECT_EQ(maintainer.retained().size(), 5u);
+  EXPECT_NEAR(maintainer.current_cover(), 1.0, 1e-12);
+}
+
+TEST(MaintainerTest, CatalogShrinkingBelowBudgetRepairs) {
+  Rng rng(21);
+  DynamicPreferenceGraph g = MakeCatalog(12, &rng);
+  MaintainerOptions options;
+  options.k = 10;
+  options.resolve_drift_tolerance = 1.0;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+  // Remove catalog items until fewer than k remain.
+  for (StableId id = 0; id < 5; ++id) {
+    ASSERT_TRUE(g.RemoveItem(id).ok());
+  }
+  ASSERT_TRUE(maintainer.Maintain().ok());
+  EXPECT_EQ(maintainer.retained().size(), 7u);  // all live items
+  for (StableId id : maintainer.retained()) {
+    EXPECT_TRUE(g.HasItem(id));
+  }
+}
+
+TEST(MaintainerTest, ExplicitResolveResetsBaseline) {
+  Rng rng(22);
+  DynamicPreferenceGraph g = MakeCatalog(50, &rng);
+  MaintainerOptions options;
+  options.k = 10;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Resolve().ok());
+  double first = maintainer.last_solved_cover();
+  ASSERT_TRUE(g.SetItemWeight(0, 20.0).ok());  // big shift
+  ASSERT_TRUE(maintainer.Resolve().ok());
+  EXPECT_EQ(maintainer.full_resolves(), 2u);
+  EXPECT_NE(maintainer.last_solved_cover(), first);
+  // Next Maintain with no further change is a no-op.
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kNone);
+}
+
+TEST(MaintainerTest, EdgeUpdatesAreObserved) {
+  // Adding a strong alternative edge should raise the evaluated cover of
+  // the unchanged retained set.
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(5.0, "A");
+  StableId b = g.AddItem(5.0, "B");
+  MaintainerOptions options;
+  options.k = 1;
+  options.resolve_drift_tolerance = 1.0;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+  EXPECT_EQ(maintainer.retained(), std::vector<StableId>{a});
+  EXPECT_NEAR(maintainer.current_cover(), 0.5, 1e-12);
+  ASSERT_TRUE(g.UpsertEdge(b, a, 0.8).ok());  // A now covers B at 0.8
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kEvaluated);
+  EXPECT_NEAR(maintainer.current_cover(), 0.5 + 0.5 * 0.8, 1e-12);
+}
+
+}  // namespace
+}  // namespace prefcover

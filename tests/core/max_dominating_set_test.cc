@@ -1,0 +1,145 @@
+// Tests for DS_k and the Theorem 4.1 reduction DS_k -> IPC_k.
+
+#include "core/max_dominating_set.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cover_function.h"
+#include "core/greedy_solver.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+DominatingSetInstance RandomInstance(size_t n, size_t edges, Rng* rng) {
+  DominatingSetInstance instance(n);
+  size_t added = 0;
+  while (added < edges) {
+    NodeId u = static_cast<NodeId>(rng->NextBounded(n));
+    NodeId v = static_cast<NodeId>(rng->NextBounded(n));
+    if (u == v) continue;
+    EXPECT_TRUE(instance.AddEdge(u, v).ok());
+    ++added;
+  }
+  return instance;
+}
+
+TEST(DominatingSetTest, DominatedCountSemantics) {
+  DominatingSetInstance instance(5);
+  ASSERT_TRUE(instance.AddEdge(0, 1).ok());
+  ASSERT_TRUE(instance.AddEdge(0, 2).ok());
+  ASSERT_TRUE(instance.AddEdge(3, 4).ok());
+  EXPECT_EQ(instance.DominatedCount({}), 0u);
+  EXPECT_EQ(instance.DominatedCount({0}), 3u);  // 0, 1, 2
+  EXPECT_EQ(instance.DominatedCount({0, 3}), 5u);
+  EXPECT_EQ(instance.DominatedCount({1}), 1u);  // edges are directed
+  // Incoming edges do not dominate the source.
+  EXPECT_EQ(instance.DominatedCount({4}), 1u);
+}
+
+TEST(DominatingSetTest, RejectsBadEdges) {
+  DominatingSetInstance instance(3);
+  EXPECT_TRUE(instance.AddEdge(0, 0).IsInvalidArgument());
+  EXPECT_TRUE(instance.AddEdge(0, 9).IsInvalidArgument());
+}
+
+TEST(DominatingSetGreedyTest, CoversStarInOneStep) {
+  DominatingSetInstance instance(6);
+  for (NodeId v = 1; v < 6; ++v) {
+    ASSERT_TRUE(instance.AddEdge(0, v).ok());
+  }
+  auto set = SolveDominatingSetGreedy(instance, 1);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(*set, std::vector<NodeId>{0});
+  EXPECT_EQ(instance.DominatedCount(*set), 6u);
+}
+
+TEST(DominatingSetGreedyTest, MeetsGuaranteeAgainstBruteForce) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Rng rng(seed);
+    DominatingSetInstance instance = RandomInstance(11, 20, &rng);
+    for (size_t k : {1u, 3u, 5u}) {
+      auto greedy = SolveDominatingSetGreedy(instance, k);
+      auto optimal = SolveDominatingSetBruteForce(instance, k);
+      ASSERT_TRUE(greedy.ok() && optimal.ok());
+      double g = static_cast<double>(instance.DominatedCount(*greedy));
+      double o = static_cast<double>(instance.DominatedCount(*optimal));
+      EXPECT_LE(g, o + 1e-12);
+      EXPECT_GE(g, (1.0 - 1.0 / std::exp(1.0)) * o - 1e-9)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(DominatingSetGreedyTest, BudgetValidation) {
+  DominatingSetInstance instance(3);
+  EXPECT_TRUE(SolveDominatingSetGreedy(instance, 4)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SolveDominatingSetBruteForce(instance, 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+class DsToIpcTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DsToIpcTest, DominatedCountEqualsNTimesCover) {
+  Rng rng(GetParam());
+  const size_t n = 40;
+  DominatingSetInstance instance = RandomInstance(n, 90, &rng);
+  auto graph = ReduceDsToIpc(instance);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ASSERT_EQ(graph->NumNodes(), n);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<NodeId> set;
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.NextBernoulli(0.3)) set.push_back(v);
+    }
+    auto cover = EvaluateCover(*graph, set, Variant::kIndependent);
+    ASSERT_TRUE(cover.ok());
+    EXPECT_NEAR(static_cast<double>(instance.DominatedCount(set)),
+                static_cast<double>(n) * *cover, 1e-6)
+        << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsToIpcTest, ::testing::Values(7, 8, 9));
+
+TEST(DsToIpcTest, GreedySolutionsAgreeThroughTheReduction) {
+  // Greedy IPC on the reduced graph dominates exactly as many vertices as
+  // greedy DS_k on the original (identical tie-breaking makes the sets
+  // themselves equal too).
+  Rng rng(11);
+  DominatingSetInstance instance = RandomInstance(30, 70, &rng);
+  auto graph = ReduceDsToIpc(instance);
+  ASSERT_TRUE(graph.ok());
+  for (size_t k : {2u, 5u, 10u}) {
+    auto ds = SolveDominatingSetGreedy(instance, k);
+    auto ipc = SolveGreedy(*graph, k);
+    ASSERT_TRUE(ds.ok() && ipc.ok());
+    EXPECT_EQ(*ds, ipc->items) << "k=" << k;
+    EXPECT_NEAR(static_cast<double>(instance.DominatedCount(*ds)),
+                30.0 * ipc->cover, 1e-6);
+  }
+}
+
+TEST(DsToIpcTest, DuplicateEdgesCollapse) {
+  DominatingSetInstance instance(3);
+  ASSERT_TRUE(instance.AddEdge(0, 1).ok());
+  ASSERT_TRUE(instance.AddEdge(0, 1).ok());  // parallel
+  auto graph = ReduceDsToIpc(instance);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(graph->EdgeWeight(1, 0), 1.0);  // reversed
+}
+
+TEST(DsToIpcTest, EmptyInstanceRejected) {
+  DominatingSetInstance instance(0);
+  EXPECT_TRUE(ReduceDsToIpc(instance).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace prefcover

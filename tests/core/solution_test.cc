@@ -1,0 +1,84 @@
+// Direct tests of the Solution object's integrity checks and helpers.
+
+#include "core/solution.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+
+namespace prefcover {
+namespace {
+
+Solution ValidSolution(const PreferenceGraph& g) {
+  auto sol = SolveGreedy(g, 2);
+  EXPECT_TRUE(sol.ok());
+  return std::move(sol).value();
+}
+
+TEST(SolutionValidateTest, AcceptsSolverOutput) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Solution sol = ValidSolution(g);
+  EXPECT_TRUE(sol.Validate(g).ok());
+}
+
+TEST(SolutionValidateTest, RejectsOutOfRangeItem) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Solution sol = ValidSolution(g);
+  sol.items[0] = 99;
+  EXPECT_TRUE(sol.Validate(g).IsInternal());
+}
+
+TEST(SolutionValidateTest, RejectsDuplicateItems) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Solution sol = ValidSolution(g);
+  sol.items[1] = sol.items[0];
+  EXPECT_TRUE(sol.Validate(g).IsInternal());
+}
+
+TEST(SolutionValidateTest, RejectsCoverMismatch) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Solution sol = ValidSolution(g);
+  sol.cover += 0.01;
+  EXPECT_TRUE(sol.Validate(g).IsInternal());
+}
+
+TEST(SolutionValidateTest, RejectsPrefixLengthMismatch) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Solution sol = ValidSolution(g);
+  sol.cover_after_prefix.pop_back();
+  EXPECT_TRUE(sol.Validate(g).IsInternal());
+}
+
+TEST(SolutionValidateTest, RejectsInconsistentFinalPrefix) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Solution sol = ValidSolution(g);
+  // Shift the final prefix cover but keep `cover` consistent with the
+  // exact evaluation: only the prefix/final consistency check can fire.
+  sol.cover_after_prefix.back() += 0.005;
+  sol.cover_after_prefix.front() = sol.cover_after_prefix.back();
+  EXPECT_TRUE(sol.Validate(g).IsInternal());
+}
+
+TEST(SolutionHelpersTest, PrefixQueries) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 4);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->PrefixCover(0), 0.0);
+  EXPECT_DOUBLE_EQ(sol->PrefixCover(4), sol->cover);
+  EXPECT_TRUE(sol->PrefixItems(0).empty());
+  EXPECT_EQ(sol->PrefixItems(2).size(), 2u);
+  EXPECT_EQ(sol->PrefixItems(2)[0], sol->items[0]);
+}
+
+TEST(SolutionHelpersTest, ItemCoverageOfRetainedIsOne) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 3);
+  ASSERT_TRUE(sol.ok());
+  for (NodeId v : sol->items) {
+    EXPECT_DOUBLE_EQ(sol->ItemCoverage(g, v), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,109 @@
+// Property tests for the structural results the greedy guarantees rest on:
+// both variants' cover functions are nonnegative, monotone and submodular
+// (proved for IPC_k in Theorem 4.1; NPC_k is a weighted coverage function).
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/cover_function.h"
+#include "graph/graph_generators.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+class SubmodularityTest
+    : public ::testing::TestWithParam<std::tuple<Variant, uint64_t>> {
+ protected:
+  Variant variant() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+
+  PreferenceGraph MakeGraph(Rng* rng) {
+    UniformGraphParams params;
+    params.num_nodes = 40;
+    params.out_degree = 6;
+    params.normalized_out_weights = variant() == Variant::kNormalized;
+    auto g = GenerateUniformGraph(params, rng);
+    EXPECT_TRUE(g.ok());
+    return std::move(g).value();
+  }
+};
+
+TEST_P(SubmodularityTest, CoverIsNonnegativeAndAtMostOne) {
+  Rng rng(seed());
+  PreferenceGraph g = MakeGraph(&rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    Bitset s(g.NumNodes());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (rng.NextBernoulli(rng.NextDouble())) s.Set(v);
+    }
+    double cover = EvaluateCover(g, s, variant());
+    EXPECT_GE(cover, 0.0);
+    EXPECT_LE(cover, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(SubmodularityTest, Monotone) {
+  // f(S + v) >= f(S) for random S and every v.
+  Rng rng(seed() + 10);
+  PreferenceGraph g = MakeGraph(&rng);
+  for (int trial = 0; trial < 15; ++trial) {
+    Bitset s(g.NumNodes());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (rng.NextBernoulli(0.3)) s.Set(v);
+    }
+    double base = EvaluateCover(g, s, variant());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (s.Test(v)) continue;
+      s.Set(v);
+      double with_v = EvaluateCover(g, s, variant());
+      s.Clear(v);
+      ASSERT_GE(with_v, base - 1e-12) << "trial " << trial << " v " << v;
+    }
+  }
+}
+
+TEST_P(SubmodularityTest, DiminishingReturns) {
+  // f(S + v) - f(S) >= f(T + v) - f(T) for random nested S subseteq T.
+  Rng rng(seed() + 20);
+  PreferenceGraph g = MakeGraph(&rng);
+  for (int trial = 0; trial < 15; ++trial) {
+    Bitset s(g.NumNodes()), t(g.NumNodes());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      double r = rng.NextDouble();
+      if (r < 0.2) {  // in both
+        s.Set(v);
+        t.Set(v);
+      } else if (r < 0.5) {  // only in T
+        t.Set(v);
+      }
+    }
+    double fs = EvaluateCover(g, s, variant());
+    double ft = EvaluateCover(g, t, variant());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (t.Test(v)) continue;
+      s.Set(v);
+      t.Set(v);
+      double gain_s = EvaluateCover(g, s, variant()) - fs;
+      double gain_t = EvaluateCover(g, t, variant()) - ft;
+      s.Clear(v);
+      t.Clear(v);
+      ASSERT_GE(gain_s, gain_t - 1e-12)
+          << "trial " << trial << " v " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, SubmodularityTest,
+    ::testing::Combine(::testing::Values(Variant::kIndependent,
+                                         Variant::kNormalized),
+                       ::testing::Values(11, 12, 13)),
+    [](const auto& param_info) {
+      return std::string(VariantName(std::get<0>(param_info.param))) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace prefcover

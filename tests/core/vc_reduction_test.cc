@@ -1,0 +1,236 @@
+// Tests for the Max Vertex Cover module and the NPC_k <-> VC_k reductions
+// of Theorem 3.1, validated as executable properties:
+//   forward:  covered weight in the reduced VC instance == C(S) for all S;
+//   backward: covered weight == N * C(S) with the reported scale N;
+//   composition: reducing the backward result forward recovers the
+//   original instance's covers.
+
+#include "core/vc_reduction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cover_function.h"
+#include "graph/graph_builder.h"
+#include "core/greedy_solver.h"
+#include "core/max_vertex_cover.h"
+#include "graph/graph_generators.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+VertexCoverInstance MakeSmallVcInstance() {
+  VertexCoverInstance instance(5);
+  EXPECT_TRUE(instance.AddEdge(0, 1, 2.0).ok());
+  EXPECT_TRUE(instance.AddEdge(1, 2, 1.0).ok());
+  EXPECT_TRUE(instance.AddEdge(2, 3, 3.0).ok());
+  EXPECT_TRUE(instance.AddEdge(3, 4, 1.5).ok());
+  EXPECT_TRUE(instance.AddEdge(0, 4, 0.5).ok());
+  EXPECT_TRUE(instance.AddEdge(2, 2, 1.0).ok());  // self-loop
+  return instance;
+}
+
+TEST(VertexCoverInstanceTest, CoveredWeight) {
+  VertexCoverInstance instance = MakeSmallVcInstance();
+  EXPECT_DOUBLE_EQ(instance.TotalWeight(), 9.0);
+  EXPECT_DOUBLE_EQ(instance.CoveredWeight({}), 0.0);
+  // Node 2 covers edges {1,2}, {2,3} and the self-loop {2,2}.
+  EXPECT_DOUBLE_EQ(instance.CoveredWeight({2}), 5.0);
+  EXPECT_DOUBLE_EQ(instance.CoveredWeight({0, 1, 2, 3, 4}), 9.0);
+  // Parallel edges count separately.
+  VertexCoverInstance parallel(2);
+  ASSERT_TRUE(parallel.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(parallel.AddEdge(1, 0, 2.0).ok());
+  EXPECT_DOUBLE_EQ(parallel.CoveredWeight({0}), 3.0);
+}
+
+TEST(VertexCoverInstanceTest, RejectsBadEdges) {
+  VertexCoverInstance instance(2);
+  EXPECT_TRUE(instance.AddEdge(0, 5, 1.0).IsInvalidArgument());
+  EXPECT_TRUE(instance.AddEdge(0, 1, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(instance.AddEdge(0, 1, -1.0).IsInvalidArgument());
+}
+
+TEST(VertexCoverGreedyTest, MatchesBruteForceWeightOnSmallInstances) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    VertexCoverInstance instance(9);
+    for (int e = 0; e < 14; ++e) {
+      NodeId u = static_cast<NodeId>(rng.NextBounded(9));
+      NodeId v = static_cast<NodeId>(rng.NextBounded(9));
+      ASSERT_TRUE(instance.AddEdge(u, v, rng.NextDouble(0.1, 2.0)).ok());
+    }
+    for (size_t k : {1u, 3u, 5u}) {
+      auto greedy = SolveVertexCoverGreedy(instance, k);
+      auto optimal = SolveVertexCoverBruteForce(instance, k);
+      ASSERT_TRUE(greedy.ok() && optimal.ok());
+      double greedy_w = instance.CoveredWeight(*greedy);
+      double optimal_w = instance.CoveredWeight(*optimal);
+      EXPECT_LE(greedy_w, optimal_w + 1e-12);
+      // Feige-Langberg guarantee.
+      double guarantee = std::max(1.0 - 1.0 / std::exp(1.0),
+                                  1.0 - (1.0 - static_cast<double>(k) / 9.0) *
+                                            (1.0 - static_cast<double>(k) / 9.0));
+      EXPECT_GE(greedy_w, guarantee * optimal_w - 1e-9)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(VertexCoverGreedyTest, BudgetValidation) {
+  VertexCoverInstance instance(3);
+  EXPECT_TRUE(SolveVertexCoverGreedy(instance, 4).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(SolveVertexCoverBruteForce(instance, 4).status()
+                  .IsInvalidArgument());
+}
+
+class NpcToVcTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NpcToVcTest, CoversAgreeForRandomSets) {
+  Rng rng(GetParam());
+  UniformGraphParams params;
+  params.num_nodes = 50;
+  params.out_degree = 5;
+  params.normalized_out_weights = true;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto instance = ReduceNpcToVc(*g);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<NodeId> set;
+    Bitset retained(g->NumNodes());
+    for (NodeId v = 0; v < g->NumNodes(); ++v) {
+      if (rng.NextBernoulli(0.3)) {
+        set.push_back(v);
+        retained.Set(v);
+      }
+    }
+    double npc_cover = EvaluateCover(*g, retained, Variant::kNormalized);
+    double vc_weight = instance->CoveredWeight(set);
+    ASSERT_NEAR(npc_cover, vc_weight, 1e-9) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NpcToVcTest, ::testing::Values(41, 42, 43));
+
+TEST(NpcToVcTest, PaperExampleReduction) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto instance = ReduceNpcToVc(g);
+  ASSERT_TRUE(instance.ok());
+  // Total edge weight equals total node weight (each node's outgoing edges
+  // plus its completion loop carry exactly W(v)).
+  EXPECT_NEAR(instance->TotalWeight(), 1.0, 1e-9);
+  // The optimum {B, D} covers 0.873 there too.
+  EXPECT_NEAR(instance->CoveredWeight({1, 3}), 0.873, 1e-9);
+}
+
+TEST(NpcToVcTest, RejectsNonAdmissibleGraph) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(0.5);
+  NodeId c = b.AddNode(0.25);
+  NodeId d = b.AddNode(0.25);
+  ASSERT_TRUE(b.AddEdge(a, c, 0.9).ok());
+  ASSERT_TRUE(b.AddEdge(a, d, 0.9).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(ReduceNpcToVc(*g).status().IsFailedPrecondition());
+}
+
+class VcToNpcTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VcToNpcTest, CoversScaleByN) {
+  Rng rng(GetParam());
+  VertexCoverInstance instance(20);
+  for (int e = 0; e < 40; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(20));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(20));
+    ASSERT_TRUE(instance.AddEdge(u, v, rng.NextDouble(0.1, 3.0)).ok());
+  }
+  double scale = 0.0;
+  auto g = ReduceVcToNpc(instance, &scale);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_GT(scale, 0.0);
+  EXPECT_NEAR(g->TotalNodeWeight(), 1.0, 1e-9);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<NodeId> set;
+    Bitset retained(g->NumNodes());
+    for (NodeId v = 0; v < g->NumNodes(); ++v) {
+      if (rng.NextBernoulli(0.35)) {
+        set.push_back(v);
+        retained.Set(v);
+      }
+    }
+    double npc_cover = EvaluateCover(*g, retained, Variant::kNormalized);
+    double vc_weight = instance.CoveredWeight(set);
+    ASSERT_NEAR(vc_weight, scale * npc_cover, 1e-9) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VcToNpcTest, ::testing::Values(51, 52, 53));
+
+TEST(VcToNpcTest, RoundTripPreservesCovers) {
+  // VC -> NPC -> VC must yield an instance with identical covered weights
+  // (the proof's composition argument).
+  Rng rng(61);
+  VertexCoverInstance original(12);
+  for (int e = 0; e < 20; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(12));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(12));
+    ASSERT_TRUE(original.AddEdge(u, v, rng.NextDouble(0.2, 2.0)).ok());
+  }
+  double scale = 0.0;
+  auto npc = ReduceVcToNpc(original, &scale);
+  ASSERT_TRUE(npc.ok());
+  auto back = ReduceNpcToVc(*npc);
+  ASSERT_TRUE(back.ok());
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<NodeId> set;
+    for (NodeId v = 0; v < 12; ++v) {
+      if (rng.NextBernoulli(0.4)) set.push_back(v);
+    }
+    ASSERT_NEAR(original.CoveredWeight(set),
+                scale * back->CoveredWeight(set), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(VcToNpcTest, GreedyThroughReductionMatchesDirectGreedyCover) {
+  // Solving NPC_k directly on the reduced graph and solving VC_k greedily
+  // must produce solutions of equal objective value (the adapted greedy
+  // "would have chosen the same nodes", Section 3.2).
+  Rng rng(71);
+  VertexCoverInstance instance(25);
+  for (int e = 0; e < 60; ++e) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(25));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(25));
+    ASSERT_TRUE(instance.AddEdge(u, v, rng.NextDouble(0.1, 2.0)).ok());
+  }
+  double scale = 0.0;
+  auto g = ReduceVcToNpc(instance, &scale);
+  ASSERT_TRUE(g.ok());
+  for (size_t k : {3u, 8u, 15u}) {
+    GreedyOptions options;
+    options.variant = Variant::kNormalized;
+    auto npc_sol = SolveGreedy(*g, k, options);
+    auto vc_sol = SolveVertexCoverGreedy(instance, k);
+    ASSERT_TRUE(npc_sol.ok() && vc_sol.ok());
+    EXPECT_NEAR(scale * npc_sol->cover, instance.CoveredWeight(*vc_sol),
+                1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(VcToNpcTest, EmptyInstanceRejected) {
+  VertexCoverInstance instance(3);
+  double scale = 0.0;
+  EXPECT_TRUE(ReduceVcToNpc(instance, &scale).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace prefcover

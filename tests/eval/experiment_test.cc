@@ -1,0 +1,69 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+Status ParseArgs(ExperimentEnv* env, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  return env->Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ExperimentEnvTest, Defaults) {
+  ExperimentEnv env("test");
+  ASSERT_TRUE(ParseArgs(&env, {}).ok());
+  EXPECT_FALSE(env.csv);
+  EXPECT_EQ(env.seed, 42u);
+  EXPECT_EQ(env.threads, 1u);
+  EXPECT_DOUBLE_EQ(env.scale, 0.0);
+  EXPECT_DOUBLE_EQ(env.ScaleOr(0.25), 0.25);
+}
+
+TEST(ExperimentEnvTest, ExplicitScaleWinsOverDefault) {
+  ExperimentEnv env("test");
+  ASSERT_TRUE(ParseArgs(&env, {"--scale=0.5"}).ok());
+  EXPECT_DOUBLE_EQ(env.ScaleOr(0.25), 0.5);
+}
+
+TEST(ExperimentEnvTest, FullBeatsScale) {
+  ExperimentEnv env("test");
+  ASSERT_TRUE(ParseArgs(&env, {"--scale=0.5", "--full"}).ok());
+  EXPECT_DOUBLE_EQ(env.scale, 1.0);
+}
+
+TEST(ExperimentEnvTest, BadScaleRejected) {
+  ExperimentEnv env("test");
+  EXPECT_FALSE(ParseArgs(&env, {"--scale=1.5"}).ok());
+  ExperimentEnv env2("test");
+  EXPECT_FALSE(ParseArgs(&env2, {"--scale=-0.1"}).ok());
+}
+
+TEST(ExperimentEnvTest, BadThreadsRejected) {
+  ExperimentEnv env("test");
+  EXPECT_FALSE(ParseArgs(&env, {"--threads=0"}).ok());
+}
+
+TEST(ExperimentEnvTest, SeedAndCsvParsed) {
+  ExperimentEnv env("test");
+  ASSERT_TRUE(ParseArgs(&env, {"--seed=7", "--csv", "--threads=3"}).ok());
+  EXPECT_EQ(env.seed, 7u);
+  EXPECT_TRUE(env.csv);
+  EXPECT_EQ(env.threads, 3u);
+}
+
+TEST(ExperimentEnvTest, HelpIsOutOfRange) {
+  ExperimentEnv env("test");
+  EXPECT_TRUE(ParseArgs(&env, {"--help"}).IsOutOfRange());
+}
+
+TEST(ExperimentEnvTest, ExtraFlagsComposable) {
+  ExperimentEnv env("test");
+  env.flags.AddInt("n", 100, "custom knob");
+  ASSERT_TRUE(ParseArgs(&env, {"--n=32", "--seed=9"}).ok());
+  EXPECT_EQ(env.flags.GetInt("n"), 32);
+  EXPECT_EQ(env.seed, 9u);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,111 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+
+namespace prefcover {
+namespace {
+
+TEST(JaccardTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1}, {}), 0.0);
+}
+
+TEST(JaccardTest, DuplicatesDeduplicated) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 1, 2}, {2, 2, 1}), 1.0);
+}
+
+TEST(PrefixOverlapTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(PrefixOverlap({1, 2, 3, 4}, {1, 2, 3, 4}, 4), 1.0);
+  EXPECT_DOUBLE_EQ(PrefixOverlap({1, 2, 3, 4}, {4, 3, 2, 1}, 4), 1.0);
+  EXPECT_DOUBLE_EQ(PrefixOverlap({1, 2, 3, 4}, {5, 6, 1, 2}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(PrefixOverlap({1, 2, 3, 4}, {2, 9, 8, 7}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrefixOverlap({}, {}, 5), 1.0);
+  // k capped at the shorter list.
+  EXPECT_DOUBLE_EQ(PrefixOverlap({1, 2}, {1}, 5), 1.0);
+}
+
+TEST(RetainedWeightDeltaTest, SumsOnlyAMinusB) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  // A (0.33) and D (0.06) are in a but not b; B shared.
+  EXPECT_NEAR(RetainedWeightDelta(g, {0, 1, 3}, {1, 2}), 0.39, 1e-12);
+  EXPECT_DOUBLE_EQ(RetainedWeightDelta(g, {1}, {1}), 0.0);
+  EXPECT_NEAR(RetainedWeightDelta(g, {0, 0}, {}), 0.33, 1e-12);  // dedupe
+}
+
+TEST(CoverageShiftTest, IdenticalSolutionsShiftNothing) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  auto shift = ComputeCoverageShift(g, *sol, *sol);
+  ASSERT_TRUE(shift.ok());
+  EXPECT_DOUBLE_EQ(shift->mean_abs_difference, 0.0);
+  EXPECT_EQ(shift->items_better_in_a, 0u);
+  EXPECT_EQ(shift->items_better_in_b, 0u);
+}
+
+TEST(CoverageShiftTest, GreedyVsTopSellers) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto greedy = SolveGreedy(g, 2);  // {B, D}
+  ASSERT_TRUE(greedy.ok());
+  // Fake a "top sellers" solution {A, B} with its contributions.
+  GreedyOptions options;
+  options.force_include = {0, 1};
+  auto top = SolveGreedy(g, 2, options);
+  ASSERT_TRUE(top.ok());
+  auto shift = ComputeCoverageShift(g, *greedy, *top);
+  ASSERT_TRUE(shift.ok());
+  // Greedy covers D and E better; top sellers cover A better.
+  EXPECT_EQ(shift->items_better_in_a, 2u);  // D, E
+  EXPECT_EQ(shift->items_better_in_b, 1u);  // A
+  EXPECT_GT(shift->max_abs_difference, 0.8);  // D: 1.0 vs 0.0
+}
+
+TEST(CoverageShiftTest, SizeMismatchRejected) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  Solution broken = *sol;
+  broken.item_contributions.resize(2);
+  EXPECT_TRUE(
+      ComputeCoverageShift(g, *sol, broken).status().IsInvalidArgument());
+}
+
+TEST(OrderCorrelationTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(SelectionOrderCorrelation({1, 2, 3, 4}, {1, 2, 3, 4}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(SelectionOrderCorrelation({1, 2, 3, 4}, {4, 3, 2, 1}),
+                   -1.0);
+  EXPECT_DOUBLE_EQ(SelectionOrderCorrelation({1}, {1}), 0.0);  // < 2 common
+  EXPECT_DOUBLE_EQ(SelectionOrderCorrelation({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(OrderCorrelationTest, PartialOverlapUsesCommonItemsOnly) {
+  // Common items {1, 3}: order 1<3 in both -> tau = 1.
+  EXPECT_DOUBLE_EQ(
+      SelectionOrderCorrelation({1, 9, 3}, {1, 3, 7}), 1.0);
+  // Common {1, 3}: 1 before 3 vs 3 before 1 -> tau = -1.
+  EXPECT_DOUBLE_EQ(
+      SelectionOrderCorrelation({1, 9, 3}, {3, 8, 1}), -1.0);
+}
+
+TEST(OrderCorrelationTest, GreedyExecutionsPerfectlyCorrelated) {
+  Rng rng(3);
+  UniformGraphParams params;
+  params.num_nodes = 100;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto plain = SolveGreedy(*g, 25);
+  auto lazy = SolveGreedyLazy(*g, 25);
+  ASSERT_TRUE(plain.ok() && lazy.ok());
+  EXPECT_DOUBLE_EQ(
+      SelectionOrderCorrelation(plain->items, lazy->items), 1.0);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,112 @@
+#include "eval/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "util/csv.h"
+
+namespace prefcover {
+namespace {
+
+TEST(ReportTest, SummaryFieldsOnPaperExample) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  GreedyOptions options;
+  options.variant = Variant::kNormalized;
+  auto sol = SolveGreedy(g, 2, options);
+  ASSERT_TRUE(sol.ok());
+  auto report = BuildSolutionReport(g, *sol);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->catalog_size, 5u);
+  EXPECT_EQ(report->retained_size, 2u);
+  EXPECT_NEAR(report->cover, 0.873, 1e-9);
+  // {B, D}: direct weight 0.28, via alternatives 0.593.
+  EXPECT_NEAR(report->retained_weight, 0.28, 1e-9);
+  EXPECT_NEAR(report->covered_via_alternatives, 0.593, 1e-9);
+  ASSERT_EQ(report->retained.size(), 2u);
+  EXPECT_EQ(report->retained[0].name, "B");
+  EXPECT_EQ(report->retained[1].name, "D");
+}
+
+TEST(ReportTest, RiskSectionRanksUnservedDemand) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  auto report = BuildSolutionReport(g, *sol, /*max_unserved=*/2);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->top_unserved.size(), 2u);
+  // Unserved demand: A = 0.33 * 1/3 = 0.11, E = 0.17 * 0.1 = 0.017,
+  // C = 0. A tops the list.
+  EXPECT_EQ(report->top_unserved[0].name, "A");
+  EXPECT_EQ(report->top_unserved[1].name, "E");
+  // Demand-weighted unretained coverage: (0.22+0.22+0.153)/0.72.
+  EXPECT_NEAR(report->mean_unretained_coverage,
+              (0.33 * (2.0 / 3.0) + 0.22 * 1.0 + 0.17 * 0.9) / 0.72, 1e-9);
+}
+
+TEST(ReportTest, RejectsCorruptSolution) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  Solution broken = *sol;
+  broken.cover += 0.5;
+  EXPECT_FALSE(BuildSolutionReport(g, broken).ok());
+}
+
+TEST(ReportTest, PrintRendersAllSections) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  auto report = BuildSolutionReport(g, *sol);
+  ASSERT_TRUE(report.ok());
+  std::ostringstream out;
+  PrintSolutionReport(*report, &out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("Preference Cover report"), std::string::npos);
+  EXPECT_NE(text.find("87.30%"), std::string::npos);
+  EXPECT_NE(text.find("Retained"), std::string::npos);
+  EXPECT_NE(text.find("unserved"), std::string::npos);
+  EXPECT_NE(text.find("B"), std::string::npos);
+}
+
+TEST(ReportTest, PrintTruncatesRetainedListing) {
+  Rng rng(3);
+  UniformGraphParams params;
+  params.num_nodes = 60;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto sol = SolveGreedy(*g, 30);
+  ASSERT_TRUE(sol.ok());
+  auto report = BuildSolutionReport(*g, *sol);
+  ASSERT_TRUE(report.ok());
+  std::ostringstream out;
+  PrintSolutionReport(*report, &out, /*max_retained_lines=*/5);
+  EXPECT_NE(out.str().find("... 25 more"), std::string::npos);
+}
+
+TEST(ReportTest, CoverageCsvHasOneRowPerItem) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sol = SolveGreedy(g, 2);
+  ASSERT_TRUE(sol.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCoverageCsv(g, *sol, &out).ok());
+  std::istringstream in(out.str());
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(&fields));  // header
+  EXPECT_EQ(fields[0], "item_id");
+  size_t rows = 0;
+  size_t retained_rows = 0;
+  while (reader.Next(&fields)) {
+    ASSERT_EQ(fields.size(), 5u);
+    ++rows;
+    if (fields[3] == "1") ++retained_rows;
+  }
+  EXPECT_EQ(rows, 5u);
+  EXPECT_EQ(retained_rows, 2u);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,74 @@
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+
+namespace prefcover {
+namespace {
+
+TEST(RunnerTest, DisplayNamesMatchPaper) {
+  EXPECT_EQ(AlgorithmDisplayName(Algorithm::kGreedy), "Greedy");
+  EXPECT_EQ(AlgorithmDisplayName(Algorithm::kBruteForce), "BF");
+  EXPECT_EQ(AlgorithmDisplayName(Algorithm::kTopKWeight), "TopK-W");
+  EXPECT_EQ(AlgorithmDisplayName(Algorithm::kTopKCoverage), "TopK-C");
+  EXPECT_EQ(AlgorithmDisplayName(Algorithm::kRandom), "Random");
+}
+
+TEST(RunnerTest, RunAlgorithmDispatchesEachSolver) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Rng rng(1);
+  for (Algorithm algorithm :
+       {Algorithm::kGreedy, Algorithm::kGreedyLazy,
+        Algorithm::kGreedyParallel, Algorithm::kBruteForce,
+        Algorithm::kTopKWeight, Algorithm::kTopKCoverage,
+        Algorithm::kRandom}) {
+    auto sol = RunAlgorithm(algorithm, g, 2, Variant::kNormalized, &rng,
+                            /*num_threads=*/2);
+    ASSERT_TRUE(sol.ok()) << AlgorithmDisplayName(algorithm) << ": "
+                          << sol.status().ToString();
+    EXPECT_EQ(sol->items.size(), 2u);
+    EXPECT_TRUE(sol->Validate(g).ok()) << AlgorithmDisplayName(algorithm);
+  }
+}
+
+TEST(RunnerTest, GreedyFamilyAgreesThroughRunner) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Rng rng(2);
+  auto plain = RunAlgorithm(Algorithm::kGreedy, g, 2,
+                            Variant::kIndependent, &rng);
+  auto lazy = RunAlgorithm(Algorithm::kGreedyLazy, g, 2,
+                           Variant::kIndependent, &rng);
+  auto parallel = RunAlgorithm(Algorithm::kGreedyParallel, g, 2,
+                               Variant::kIndependent, &rng, 4);
+  ASSERT_TRUE(plain.ok() && lazy.ok() && parallel.ok());
+  EXPECT_EQ(plain->items, lazy->items);
+  EXPECT_EQ(plain->items, parallel->items);
+}
+
+TEST(RunnerTest, SuiteRunsAllAndPreservesOrder) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Rng rng(3);
+  std::vector<Algorithm> algorithms = {
+      Algorithm::kGreedy, Algorithm::kTopKWeight, Algorithm::kRandom};
+  auto entries = RunSuite(algorithms, g, 2, Variant::kNormalized, &rng);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].algorithm, Algorithm::kGreedy);
+  EXPECT_EQ((*entries)[1].algorithm, Algorithm::kTopKWeight);
+  EXPECT_EQ((*entries)[2].algorithm, Algorithm::kRandom);
+  // Greedy is optimal here (0.873) and dominates the others.
+  EXPECT_GE((*entries)[0].solution.cover, (*entries)[1].solution.cover);
+  EXPECT_GE((*entries)[0].solution.cover, (*entries)[2].solution.cover);
+}
+
+TEST(RunnerTest, ErrorsPropagateFromSolvers) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Rng rng(4);
+  auto bad = RunAlgorithm(Algorithm::kGreedy, g, 10, Variant::kIndependent,
+                          &rng);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,101 @@
+// Monte-Carlo validation: the empirical match rate of simulated consumer
+// sessions converges to the analytical cover C(S) under both variants'
+// behavioral models.
+
+#include "eval/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cover_function.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+
+namespace prefcover {
+namespace {
+
+constexpr uint64_t kRequests = 200'000;
+
+class SimulationTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(SimulationTest, EmpiricalMatchesAnalyticalOnPaperExample) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  std::vector<NodeId> retained = {1, 3};  // {B, D}: C(S) = 0.873
+  Rng rng(5);
+  auto sim = SimulateMatchRate(g, retained, GetParam(), kRequests, &rng);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  double analytical = EvaluateCover(g, retained, GetParam()).value();
+  EXPECT_NEAR(sim->MatchRate(), analytical, 4.0 * sim->StandardError());
+  // Direct matches alone equal the retained weight (0.28).
+  double direct = static_cast<double>(sim->matched_directly) /
+                  static_cast<double>(sim->requests);
+  EXPECT_NEAR(direct, 0.28, 0.01);
+}
+
+TEST_P(SimulationTest, EmpiricalMatchesAnalyticalOnRandomGraphs) {
+  for (uint64_t seed : {11u, 12u}) {
+    Rng rng(seed);
+    UniformGraphParams params;
+    params.num_nodes = 60;
+    params.out_degree = 5;
+    params.normalized_out_weights = GetParam() == Variant::kNormalized;
+    auto g = GenerateUniformGraph(params, &rng);
+    ASSERT_TRUE(g.ok());
+    GreedyOptions options;
+    options.variant = GetParam();
+    auto sol = SolveGreedy(*g, 12, options);
+    ASSERT_TRUE(sol.ok());
+    auto sim =
+        SimulateMatchRate(*g, sol->items, GetParam(), kRequests, &rng);
+    ASSERT_TRUE(sim.ok());
+    EXPECT_NEAR(sim->MatchRate(), sol->cover,
+                4.0 * sim->StandardError() + 1e-4)
+        << "seed " << seed;
+  }
+}
+
+TEST_P(SimulationTest, FullRetentionAlwaysMatches) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  std::vector<NodeId> all = {0, 1, 2, 3, 4};
+  Rng rng(7);
+  auto sim = SimulateMatchRate(g, all, GetParam(), 10'000, &rng);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim->matched, sim->requests);
+  EXPECT_EQ(sim->matched_directly, sim->requests);
+}
+
+TEST_P(SimulationTest, EmptyRetentionNeverMatches) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Rng rng(8);
+  auto sim = SimulateMatchRate(g, {}, GetParam(), 10'000, &rng);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim->matched, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, SimulationTest,
+                         ::testing::Values(Variant::kIndependent,
+                                           Variant::kNormalized),
+                         [](const auto& param_info) {
+                           return std::string(VariantName(param_info.param));
+                         });
+
+TEST(SimulationTest, RejectsBadInput) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Rng rng(1);
+  EXPECT_FALSE(
+      SimulateMatchRate(g, {99}, Variant::kIndependent, 10, &rng).ok());
+  EXPECT_FALSE(
+      SimulateMatchRate(g, {1, 1}, Variant::kIndependent, 10, &rng).ok());
+}
+
+TEST(SimulationTest, StandardErrorShrinksWithRequests) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  Rng rng(9);
+  auto small = SimulateMatchRate(g, {1}, Variant::kIndependent, 1'000, &rng);
+  auto large =
+      SimulateMatchRate(g, {1}, Variant::kIndependent, 100'000, &rng);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(small->StandardError(), large->StandardError());
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,166 @@
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+TEST(DynamicGraphTest, AddItemsAndSnapshot) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(3.0, "A");
+  StableId b = g.AddItem(1.0, "B");
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.5).ok());
+  EXPECT_EQ(g.NumItems(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+
+  std::vector<StableId> ids;
+  auto snap = g.Snapshot(&ids);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ(snap->NumNodes(), 2u);
+  EXPECT_EQ(ids, (std::vector<StableId>{a, b}));
+  // Raw weights 3:1 normalize to 0.75 / 0.25.
+  EXPECT_DOUBLE_EQ(snap->NodeWeight(0), 0.75);
+  EXPECT_DOUBLE_EQ(snap->NodeWeight(1), 0.25);
+  EXPECT_DOUBLE_EQ(snap->EdgeWeight(0, 1), 0.5);
+  EXPECT_EQ(snap->Label(0), "A");
+}
+
+TEST(DynamicGraphTest, UpsertOverwritesProbability) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0);
+  StableId b = g.AddItem(1.0);
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.3).ok());
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.8).ok());
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(a, b), 0.8);
+}
+
+TEST(DynamicGraphTest, RemoveEdge) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0);
+  StableId b = g.AddItem(1.0);
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.3).ok());
+  ASSERT_TRUE(g.RemoveEdge(a, b).ok());
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.RemoveEdge(a, b).IsNotFound());
+}
+
+TEST(DynamicGraphTest, RemoveItemDropsIncidentEdges) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0);
+  StableId b = g.AddItem(1.0);
+  StableId c = g.AddItem(1.0);
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.5).ok());
+  ASSERT_TRUE(g.UpsertEdge(b, c, 0.5).ok());
+  ASSERT_TRUE(g.UpsertEdge(c, b, 0.5).ok());
+  ASSERT_TRUE(g.RemoveItem(b).ok());
+  EXPECT_EQ(g.NumItems(), 2u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_FALSE(g.HasItem(b));
+  // Mutations on a removed item fail.
+  EXPECT_TRUE(g.SetItemWeight(b, 1.0).IsFailedPrecondition());
+  EXPECT_TRUE(g.UpsertEdge(a, b, 0.5).IsFailedPrecondition());
+  EXPECT_TRUE(g.RemoveItem(b).IsFailedPrecondition());
+}
+
+TEST(DynamicGraphTest, SnapshotSkipsRemovedWithDenseIds) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0, "A");
+  StableId b = g.AddItem(1.0, "B");
+  StableId c = g.AddItem(2.0, "C");
+  ASSERT_TRUE(g.UpsertEdge(a, c, 0.4).ok());
+  ASSERT_TRUE(g.RemoveItem(b).ok());
+
+  std::vector<StableId> ids;
+  auto snap = g.Snapshot(&ids);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->NumNodes(), 2u);
+  EXPECT_EQ(ids, (std::vector<StableId>{a, c}));
+  EXPECT_EQ(snap->Label(0), "A");
+  EXPECT_EQ(snap->Label(1), "C");
+  EXPECT_DOUBLE_EQ(snap->EdgeWeight(0, 1), 0.4);
+}
+
+TEST(DynamicGraphTest, StableIdsNeverReused) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0);
+  ASSERT_TRUE(g.RemoveItem(a).ok());
+  StableId b = g.AddItem(1.0);
+  EXPECT_NE(a, b);
+}
+
+TEST(DynamicGraphTest, ValidationErrors) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0);
+  EXPECT_TRUE(g.UpsertEdge(a, a, 0.5).IsInvalidArgument());  // self edge
+  EXPECT_TRUE(g.UpsertEdge(a, 99, 0.5).IsInvalidArgument());
+  StableId b = g.AddItem(1.0);
+  EXPECT_TRUE(g.UpsertEdge(a, b, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(g.UpsertEdge(a, b, 1.5).IsInvalidArgument());
+  EXPECT_TRUE(g.SetItemWeight(a, -1.0).IsInvalidArgument());
+}
+
+TEST(DynamicGraphTest, SnapshotFailsWithZeroTotalWeight) {
+  DynamicPreferenceGraph g;
+  g.AddItem(0.0);
+  EXPECT_TRUE(g.Snapshot().status().IsFailedPrecondition());
+}
+
+TEST(DynamicGraphTest, VersionAdvancesOnEveryMutation) {
+  DynamicPreferenceGraph g;
+  uint64_t v0 = g.version();
+  StableId a = g.AddItem(1.0);
+  StableId b = g.AddItem(1.0);
+  EXPECT_GT(g.version(), v0);
+  uint64_t v1 = g.version();
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.5).ok());
+  EXPECT_GT(g.version(), v1);
+  uint64_t v2 = g.version();
+  ASSERT_TRUE(g.SetItemWeight(a, 2.0).ok());
+  EXPECT_GT(g.version(), v2);
+  uint64_t v3 = g.version();
+  // Failed mutations do not advance the version.
+  EXPECT_FALSE(g.UpsertEdge(a, 99, 0.5).ok());
+  EXPECT_EQ(g.version(), v3);
+}
+
+TEST(DynamicGraphTest, EdgeProbabilityQueries) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0);
+  StableId b = g.AddItem(1.0);
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(a, b), 0.0);
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.7).ok());
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(a, b), 0.7);
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(b, a), 0.0);  // directed
+  EXPECT_DOUBLE_EQ(g.ItemWeight(a), 1.0);
+}
+
+TEST(DynamicGraphTest, LargeChurnKeepsCountsConsistent) {
+  DynamicPreferenceGraph g;
+  std::vector<StableId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(g.AddItem(1.0 + i));
+  }
+  size_t edges = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (int d = 1; d <= 3; ++d) {
+      StableId to = ids[static_cast<size_t>((i + d * 37) % 200)];
+      if (to == ids[static_cast<size_t>(i)]) continue;
+      ASSERT_TRUE(g.UpsertEdge(ids[static_cast<size_t>(i)], to, 0.4).ok());
+      ++edges;
+    }
+  }
+  EXPECT_EQ(g.NumEdges(), edges);
+  // Remove every third item.
+  for (int i = 0; i < 200; i += 3) {
+    ASSERT_TRUE(g.RemoveItem(ids[static_cast<size_t>(i)]).ok());
+  }
+  auto snap = g.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->NumNodes(), g.NumItems());
+  EXPECT_EQ(snap->NumEdges(), g.NumEdges());
+  EXPECT_NEAR(snap->TotalNodeWeight(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace prefcover

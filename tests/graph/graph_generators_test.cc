@@ -1,0 +1,218 @@
+#include "graph/graph_generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+TEST(PaperExampleGraphTest, MatchesFigureOne) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  ASSERT_EQ(g.NumNodes(), 5u);
+  EXPECT_EQ(g.NumEdges(), 6u);
+  // Weights from Examples 1.1 / 3.2.
+  EXPECT_DOUBLE_EQ(g.NodeWeight(0), 0.33);  // A
+  EXPECT_DOUBLE_EQ(g.NodeWeight(1), 0.22);  // B
+  EXPECT_DOUBLE_EQ(g.NodeWeight(2), 0.22);  // C
+  EXPECT_DOUBLE_EQ(g.NodeWeight(3), 0.06);  // D
+  EXPECT_DOUBLE_EQ(g.NodeWeight(4), 0.17);  // E
+  EXPECT_NEAR(g.TotalNodeWeight(), 1.0, 1e-12);
+  // Key edges.
+  EXPECT_NEAR(g.EdgeWeight(0, 1), 2.0 / 3.0, 1e-12);  // A -> B
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(2, 1), 1.0);          // C -> B
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(4, 3), 0.9);          // E -> D
+  // No transitive E -> C edge (Example 1.1's point).
+  EXPECT_FALSE(g.HasEdge(4, 2));
+  // Admissible for the Normalized variant.
+  EXPECT_TRUE(IsNormalizedAdmissible(g));
+  EXPECT_TRUE(g.HasLabels());
+  EXPECT_EQ(g.Label(3), "D");
+}
+
+class UniformGraphTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(UniformGraphTest, ShapeMatchesParams) {
+  Rng rng(GetParam());
+  UniformGraphParams params;
+  params.num_nodes = 300;
+  params.out_degree = 5;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumNodes(), 300u);
+  EXPECT_EQ(g->NumEdges(), 300u * 5u);  // exact out-degree per node
+  EXPECT_NEAR(g->TotalNodeWeight(), 1.0, 1e-9);
+  // No self-loops, weights in range.
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    AdjacencyView out = g->OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_NE(out.nodes[i], v);
+      EXPECT_GT(out.weights[i], 0.0);
+      EXPECT_LE(out.weights[i], 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniformGraphTest,
+                         ::testing::Values(1, 2, 3, 42));
+
+TEST(UniformGraphTest, DeterministicInSeed) {
+  UniformGraphParams params;
+  params.num_nodes = 50;
+  Rng rng1(99), rng2(99);
+  auto g1 = GenerateUniformGraph(params, &rng1);
+  auto g2 = GenerateUniformGraph(params, &rng2);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  ASSERT_EQ(g1->NumEdges(), g2->NumEdges());
+  for (NodeId v = 0; v < g1->NumNodes(); ++v) {
+    EXPECT_DOUBLE_EQ(g1->NodeWeight(v), g2->NodeWeight(v));
+    AdjacencyView a = g1->OutNeighbors(v), b = g2->OutNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.nodes[i], b.nodes[i]);
+      EXPECT_DOUBLE_EQ(a.weights[i], b.weights[i]);
+    }
+  }
+}
+
+TEST(UniformGraphTest, NormalizedModeRespectsOutSums) {
+  Rng rng(7);
+  UniformGraphParams params;
+  params.num_nodes = 200;
+  params.out_degree = 8;
+  params.normalized_out_weights = true;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsNormalizedAdmissible(*g));
+}
+
+TEST(UniformGraphTest, DegreeCappedAtNMinusOne) {
+  Rng rng(8);
+  UniformGraphParams params;
+  params.num_nodes = 4;
+  params.out_degree = 100;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g->OutDegree(v), 3u);
+  }
+}
+
+TEST(UniformGraphTest, InvalidParamsRejected) {
+  Rng rng(1);
+  UniformGraphParams params;
+  params.num_nodes = 0;
+  EXPECT_FALSE(GenerateUniformGraph(params, &rng).ok());
+  params.num_nodes = 10;
+  params.min_edge_weight = 0.0;
+  EXPECT_FALSE(GenerateUniformGraph(params, &rng).ok());
+  params.min_edge_weight = 0.9;
+  params.max_edge_weight = 0.1;
+  EXPECT_FALSE(GenerateUniformGraph(params, &rng).ok());
+}
+
+TEST(UniformGraphTest, ZipfSkewConcentratesWeight) {
+  Rng rng(11);
+  UniformGraphParams params;
+  params.num_nodes = 1000;
+  params.popularity_skew = 1.5;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_GT(stats.node_weight_gini, 0.5);  // strongly skewed
+
+  Rng rng2(11);
+  params.popularity_skew = 0.0;
+  auto uniform = GenerateUniformGraph(params, &rng2);
+  ASSERT_TRUE(uniform.ok());
+  GraphStats uniform_stats = ComputeGraphStats(*uniform);
+  EXPECT_LT(uniform_stats.node_weight_gini, 0.01);  // near-equal weights
+}
+
+TEST(ClusteredGraphTest, EdgesMostlyWithinClusters) {
+  Rng rng(13);
+  ClusteredGraphParams params;
+  params.num_nodes = 500;
+  params.num_clusters = 25;
+  params.intra_cluster_degree = 5.0;
+  params.inter_cluster_degree = 0.3;
+  auto g = GenerateClusteredGraph(params, &rng);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumNodes(), 500u);
+  EXPECT_GT(g->NumEdges(), 500u);  // roughly 5.3 * 500 expected
+  // Cluster assignment is round-robin (v % 25); count intra edges.
+  size_t intra = 0;
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    AdjacencyView out = g->OutNeighbors(v);
+    for (NodeId u : out.nodes) {
+      if (u % 25 == v % 25) ++intra;
+    }
+  }
+  EXPECT_GT(static_cast<double>(intra),
+            0.8 * static_cast<double>(g->NumEdges()));
+}
+
+TEST(ClusteredGraphTest, NormalizedModeAdmissible) {
+  Rng rng(17);
+  ClusteredGraphParams params;
+  params.num_nodes = 300;
+  params.num_clusters = 30;
+  params.normalized_out_weights = true;
+  auto g = GenerateClusteredGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsNormalizedAdmissible(*g));
+}
+
+TEST(ClusteredGraphTest, InvalidParamsRejected) {
+  Rng rng(1);
+  ClusteredGraphParams params;
+  params.num_nodes = 10;
+  params.num_clusters = 20;
+  EXPECT_FALSE(GenerateClusteredGraph(params, &rng).ok());
+  params.num_clusters = 0;
+  EXPECT_FALSE(GenerateClusteredGraph(params, &rng).ok());
+}
+
+TEST(GraphStatsTest, PaperExampleStats) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 6u);
+  EXPECT_NEAR(stats.total_node_weight, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.mean_out_degree, 6.0 / 5.0);
+  EXPECT_EQ(stats.max_out_degree, 2u);  // A has 2 outgoing edges
+  EXPECT_EQ(stats.max_in_degree, 3u);   // C: in-edges from A, B and D
+  EXPECT_EQ(stats.isolated_nodes, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_edge_weight, 1.0);
+  EXPECT_DOUBLE_EQ(stats.min_edge_weight, 0.2);
+  EXPECT_LE(stats.max_out_weight_sum, 1.0 + 1e-12);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(GraphStatsTest, IsolatedNodesCounted) {
+  GraphBuilder b;
+  b.AddNode(0.5);
+  b.AddNode(0.25);
+  b.AddNode(0.25);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.5).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_EQ(stats.isolated_nodes, 1u);  // node 2
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphBuilder b;
+  GraphValidationOptions options;
+  options.require_normalized_node_weights = false;
+  auto g = b.Finalize(options);
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+}
+
+}  // namespace
+}  // namespace prefcover

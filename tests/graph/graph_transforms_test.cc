@@ -1,0 +1,237 @@
+#include "graph/graph_transforms.h"
+
+#include "core/cover_function.h"
+#include "core/greedy_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_generators.h"
+#include "graph/graph_stats.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+TEST(ReverseGraphTest, ReversesEdges) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto r = ReverseGraph(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumNodes(), g.NumNodes());
+  EXPECT_EQ(r->NumEdges(), g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    AdjacencyView out = g.OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_TRUE(r->HasEdge(out.nodes[i], v));
+      EXPECT_DOUBLE_EQ(r->EdgeWeight(out.nodes[i], v), out.weights[i]);
+    }
+    EXPECT_DOUBLE_EQ(r->NodeWeight(v), g.NodeWeight(v));
+  }
+}
+
+TEST(ReverseGraphTest, DoubleReverseIsIdentity) {
+  Rng rng(3);
+  UniformGraphParams params;
+  params.num_nodes = 100;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto rr = ReverseGraph(ReverseGraph(*g).value());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr->NumEdges(), g->NumEdges());
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    AdjacencyView a = g->OutNeighbors(v);
+    AdjacencyView b = rr->OutNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.nodes[i], b.nodes[i]);
+      EXPECT_DOUBLE_EQ(a.weights[i], b.weights[i]);
+    }
+  }
+}
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  PreferenceGraph g = MakePaperExampleGraph();  // A,B,C,D,E = 0..4
+  auto sub = InducedSubgraph(g, {1, 2}, /*renormalize=*/false);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->NumNodes(), 2u);
+  // B<->C survive; edges to/from A, D, E are dropped.
+  EXPECT_EQ(sub->NumEdges(), 2u);
+  EXPECT_TRUE(sub->HasEdge(0, 1));
+  EXPECT_TRUE(sub->HasEdge(1, 0));
+  EXPECT_DOUBLE_EQ(sub->NodeWeight(0), 0.22);
+  EXPECT_EQ(sub->Label(0), "B");
+  EXPECT_EQ(sub->Label(1), "C");
+}
+
+TEST(InducedSubgraphTest, RenormalizesWeights) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sub = InducedSubgraph(g, {0, 1}, /*renormalize=*/true);  // A, B
+  ASSERT_TRUE(sub.ok());
+  EXPECT_NEAR(sub->TotalNodeWeight(), 1.0, 1e-12);
+  EXPECT_NEAR(sub->NodeWeight(0), 0.33 / 0.55, 1e-12);
+}
+
+TEST(InducedSubgraphTest, RejectsDuplicatesAndOutOfRange) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  EXPECT_TRUE(InducedSubgraph(g, {0, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE(InducedSubgraph(g, {99}).status().IsInvalidArgument());
+}
+
+TEST(InducedSubgraphTest, OrderDefinesNewIds) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sub = InducedSubgraph(g, {4, 3}, /*renormalize=*/false);  // E, D
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->Label(0), "E");
+  EXPECT_EQ(sub->Label(1), "D");
+  EXPECT_TRUE(sub->HasEdge(0, 1));  // E -> D, weight 0.9
+  EXPECT_DOUBLE_EQ(sub->EdgeWeight(0, 1), 0.9);
+}
+
+TEST(TopWeightSubgraphTest, KeepsHeaviestNodes) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sub = TopWeightSubgraph(g, 2, /*renormalize=*/false);
+  ASSERT_TRUE(sub.ok());
+  ASSERT_EQ(sub->NumNodes(), 2u);
+  // A (0.33) is heaviest; B and C tie at 0.22, stable sort keeps B.
+  EXPECT_EQ(sub->Label(0), "A");
+  EXPECT_EQ(sub->Label(1), "B");
+}
+
+TEST(TopWeightSubgraphTest, FullSizeIsWholeGraph) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto sub = TopWeightSubgraph(g, g.NumNodes());
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->NumNodes(), g.NumNodes());
+  EXPECT_EQ(sub->NumEdges(), g.NumEdges());
+}
+
+TEST(TopWeightSubgraphTest, TooLargeRejected) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  EXPECT_TRUE(TopWeightSubgraph(g, 10).status().IsInvalidArgument());
+}
+
+TEST(NormalizeNodeWeightsTest, ScalesToOne) {
+  GraphBuilder b;
+  b.AddNode(0.2);
+  b.AddNode(0.2);
+  GraphValidationOptions permissive;
+  permissive.require_normalized_node_weights = false;
+  auto g = b.Finalize(permissive);
+  ASSERT_TRUE(g.ok());
+  auto norm = NormalizeNodeWeights(*g);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_NEAR(norm->TotalNodeWeight(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(norm->NodeWeight(0), 0.5);
+}
+
+TEST(CompleteWithSelfLoopsTest, AddsResidualLoops) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto completed = CompleteWithSelfLoops(g);
+  ASSERT_TRUE(completed.ok());
+  // Every node's out-sum must now be exactly 1.
+  for (NodeId v = 0; v < completed->NumNodes(); ++v) {
+    EXPECT_NEAR(completed->OutWeightSum(v), 1.0, 1e-9) << "node " << v;
+  }
+  // A had out-sum 2/3 + 0.2; its loop weight is the residual.
+  EXPECT_NEAR(completed->EdgeWeight(0, 0), 1.0 - (2.0 / 3.0 + 0.2), 1e-12);
+  // C already sums to 1 (single edge of weight 1): no loop added.
+  EXPECT_FALSE(completed->HasEdge(2, 2));
+}
+
+TEST(CompleteWithSelfLoopsTest, RejectsOverweightNodes) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(0.5);
+  NodeId c = b.AddNode(0.25);
+  NodeId d = b.AddNode(0.25);
+  ASSERT_TRUE(b.AddEdge(a, c, 0.8).ok());
+  ASSERT_TRUE(b.AddEdge(a, d, 0.8).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(CompleteWithSelfLoops(*g).status().IsFailedPrecondition());
+}
+
+TEST(ClampOutWeightsTest, ScalesOverweightNodesOnly) {
+  GraphBuilder b;
+  NodeId a = b.AddNode(0.5);
+  NodeId c = b.AddNode(0.25);
+  NodeId d = b.AddNode(0.25);
+  ASSERT_TRUE(b.AddEdge(a, c, 0.8).ok());
+  ASSERT_TRUE(b.AddEdge(a, d, 0.8).ok());  // sum 1.6 -> scaled to 1.0
+  ASSERT_TRUE(b.AddEdge(c, d, 0.5).ok());  // already fine
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  auto clamped = ClampOutWeights(*g);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_NEAR(clamped->OutWeightSum(a), 1.0, 1e-12);
+  EXPECT_NEAR(clamped->EdgeWeight(a, c), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(clamped->EdgeWeight(c, d), 0.5);
+  EXPECT_TRUE(IsNormalizedAdmissible(*clamped));
+}
+
+TEST(KeepStrongestEdgesTest, PrunesToRequestedDegree) {
+  PreferenceGraph g = MakePaperExampleGraph();  // A has 2 out edges
+  auto pruned = KeepStrongestEdges(g, 1);
+  ASSERT_TRUE(pruned.ok());
+  for (NodeId v = 0; v < pruned->NumNodes(); ++v) {
+    EXPECT_LE(pruned->OutDegree(v), 1u);
+  }
+  // A keeps its strongest edge (A -> B, 2/3) and drops A -> C (0.2).
+  EXPECT_TRUE(pruned->HasEdge(0, 1));
+  EXPECT_FALSE(pruned->HasEdge(0, 2));
+  // Node weights untouched.
+  EXPECT_DOUBLE_EQ(pruned->NodeWeight(0), 0.33);
+}
+
+TEST(KeepStrongestEdgesTest, NoOpWhenDegreeAlreadyBounded) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  auto pruned = KeepStrongestEdges(g, 10);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->NumEdges(), g.NumEdges());
+}
+
+TEST(KeepStrongestEdgesTest, TiesBreakToSmallerTarget) {
+  GraphBuilder b;
+  NodeId v = b.AddNode(0.4);
+  NodeId x = b.AddNode(0.3);
+  NodeId y = b.AddNode(0.3);
+  ASSERT_TRUE(b.AddEdge(v, y, 0.5).ok());
+  ASSERT_TRUE(b.AddEdge(v, x, 0.5).ok());
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  auto pruned = KeepStrongestEdges(*g, 1);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_TRUE(pruned->HasEdge(v, x));
+  EXPECT_FALSE(pruned->HasEdge(v, y));
+}
+
+TEST(KeepStrongestEdgesTest, ZeroDegreeRejected) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  EXPECT_TRUE(KeepStrongestEdges(g, 0).status().IsInvalidArgument());
+}
+
+TEST(KeepStrongestEdgesTest, CoverLossSmallOnConstructedGraphs) {
+  // Pruning to the top-8 edges of a dense random graph barely moves the
+  // greedy cover — the operational claim the transform exists for.
+  Rng rng(21);
+  UniformGraphParams params;
+  params.num_nodes = 300;
+  params.out_degree = 20;
+  params.min_edge_weight = 0.01;
+  params.max_edge_weight = 0.9;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+  auto pruned = KeepStrongestEdges(*g, 8);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_LT(pruned->NumEdges(), g->NumEdges());
+  // Covers of the same greedy budget, each solved on its own graph but
+  // both evaluated on the FULL graph.
+  auto full_sol = SolveGreedyLazy(*g, 30);
+  auto pruned_sol = SolveGreedyLazy(*pruned, 30);
+  ASSERT_TRUE(full_sol.ok() && pruned_sol.ok());
+  auto pruned_on_full =
+      EvaluateCover(*g, pruned_sol->items, Variant::kIndependent);
+  ASSERT_TRUE(pruned_on_full.ok());
+  EXPECT_GT(*pruned_on_full, 0.9 * full_sol->cover);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,165 @@
+// End-to-end tests of the `prefcover` CLI binary: each subcommand is run
+// as a real subprocess against temp files, exactly as a user would.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef PREFCOVER_CLI_PATH
+#error "PREFCOVER_CLI_PATH must be defined by the build"
+#endif
+
+namespace prefcover {
+namespace {
+
+std::string CliPath() { return PREFCOVER_CLI_PATH; }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/cli_test_" + name;
+}
+
+// Runs a command line, returns its exit code.
+int RunCli(const std::string& command_line) {
+  int rc = std::system((command_line + " > /dev/null 2>&1").c_str());
+  return rc == -1 ? -1 : WEXITSTATUS(rc);
+}
+
+bool FileNonEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::ate);
+  return in.good() && in.tellg() > 0;
+}
+
+class CliPipelineTest : public ::testing::Test {
+ protected:
+  // The full generate -> construct chain shared by several tests.
+  void SetUpPipeline() {
+    clicks_ = TempPath("clicks.csv");
+    graph_ = TempPath("graph.pcg");
+    ASSERT_EQ(RunCli(CliPath() + " generate --profile=YC --scale=0.004 --out=" +
+                  clicks_),
+              0);
+    ASSERT_TRUE(FileNonEmpty(clicks_));
+    ASSERT_EQ(RunCli(CliPath() + " construct --input=" + clicks_ +
+                  " --out=" + graph_),
+              0);
+    ASSERT_TRUE(FileNonEmpty(graph_));
+  }
+
+  std::string clicks_, graph_;
+};
+
+TEST_F(CliPipelineTest, GenerateConstructStatsSolveThresholdExport) {
+  SetUpPipeline();
+  EXPECT_EQ(RunCli(CliPath() + " stats --graph=" + graph_), 0);
+
+  std::string retained = TempPath("retained.csv");
+  EXPECT_EQ(RunCli(CliPath() + " solve --graph=" + graph_ +
+                " --k=20 --out=" + retained),
+            0);
+  ASSERT_TRUE(FileNonEmpty(retained));
+  // The solution CSV has a header plus 20 rows.
+  std::ifstream in(retained);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 21);
+
+  EXPECT_EQ(RunCli(CliPath() + " threshold --graph=" + graph_ +
+                " --coverage=0.5"),
+            0);
+
+  std::string nodes = TempPath("nodes.csv"), edges = TempPath("edges.csv");
+  EXPECT_EQ(RunCli(CliPath() + " export --graph=" + graph_ + " --nodes=" +
+                nodes + " --edges=" + edges),
+            0);
+  EXPECT_TRUE(FileNonEmpty(nodes));
+  EXPECT_TRUE(FileNonEmpty(edges));
+}
+
+TEST_F(CliPipelineTest, SolveWithEachAlgorithm) {
+  SetUpPipeline();
+  for (const char* algorithm :
+       {"greedy", "lazy", "parallel", "topk-w", "topk-c", "random"}) {
+    EXPECT_EQ(RunCli(CliPath() + " solve --graph=" + graph_ + " --k=10" +
+                  " --algorithm=" + algorithm),
+              0)
+        << algorithm;
+  }
+  EXPECT_NE(RunCli(CliPath() + " solve --graph=" + graph_ +
+                " --k=10 --algorithm=bogus"),
+            0);
+}
+
+TEST(CliTest, NoArgumentsShowsUsageAndFails) {
+  EXPECT_NE(RunCli(CliPath()), 0);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  EXPECT_EQ(RunCli(CliPath() + " --help"), 0);
+  EXPECT_EQ(RunCli(CliPath() + " solve --help"), 0);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  EXPECT_NE(RunCli(CliPath() + " frobnicate"), 0);
+}
+
+TEST(CliTest, MissingInputFileFails) {
+  EXPECT_NE(RunCli(CliPath() + " stats --graph=/no/such/file.pcg"), 0);
+  EXPECT_NE(RunCli(CliPath() + " construct --input=/no/such/clicks.csv"), 0);
+}
+
+TEST(CliTest, BadFlagFails) {
+  EXPECT_NE(RunCli(CliPath() + " generate --bogus-flag=1"), 0);
+}
+
+TEST_F(CliPipelineTest, StreamingConstructMatchesInMemory) {
+  SetUpPipeline();
+  std::string streamed = TempPath("graph_streamed.pcg");
+  EXPECT_EQ(RunCli(CliPath() + " construct --input=" + clicks_ +
+                   " --streaming --variant=independent --out=" + streamed),
+            0);
+  EXPECT_TRUE(FileNonEmpty(streamed));
+  // Streaming without an explicit variant must fail.
+  EXPECT_NE(RunCli(CliPath() + " construct --input=" + clicks_ +
+                   " --streaming --out=" + streamed),
+            0);
+}
+
+TEST_F(CliPipelineTest, SolveWithReportAndConstraints) {
+  SetUpPipeline();
+  std::string coverage = TempPath("coverage.csv");
+  EXPECT_EQ(RunCli(CliPath() + " solve --graph=" + graph_ +
+                   " --k=10 --report --force-include=5"
+                   " --force-exclude=6,7 --coverage-out=" + coverage),
+            0);
+  EXPECT_TRUE(FileNonEmpty(coverage));
+  // Constraints reject non-greedy algorithms.
+  EXPECT_NE(RunCli(CliPath() + " solve --graph=" + graph_ +
+                   " --k=10 --algorithm=topk-w --force-include=5"),
+            0);
+  // Conflicting constraints fail.
+  EXPECT_NE(RunCli(CliPath() + " solve --graph=" + graph_ +
+                   " --k=10 --force-include=5 --force-exclude=5"),
+            0);
+}
+
+TEST(CliTest, ConstructWithExplicitVariant) {
+  std::string clicks = TempPath("pm_clicks.csv");
+  std::string graph = TempPath("pm_graph.pcg");
+  ASSERT_EQ(RunCli(CliPath() + " generate --profile=PM --scale=0.002 --out=" +
+                clicks),
+            0);
+  EXPECT_EQ(RunCli(CliPath() + " construct --input=" + clicks +
+                " --variant=normalized --out=" + graph),
+            0);
+  EXPECT_EQ(RunCli(CliPath() + " solve --graph=" + graph +
+                " --k=20 --variant=normalized"),
+            0);
+}
+
+}  // namespace
+}  // namespace prefcover

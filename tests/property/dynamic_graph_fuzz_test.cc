@@ -1,0 +1,145 @@
+// Randomized-operation test: DynamicPreferenceGraph against a trivially
+// correct shadow model (maps and sets), over thousands of random
+// mutations, then snapshot equivalence.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/dynamic_graph.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+// The obviously-correct reference implementation.
+struct ShadowModel {
+  struct Item {
+    double weight = 0.0;
+    bool removed = false;
+    std::map<StableId, double> out;
+  };
+  std::vector<Item> items;
+
+  size_t LiveItems() const {
+    size_t n = 0;
+    for (const Item& item : items) {
+      if (!item.removed) ++n;
+    }
+    return n;
+  }
+  size_t LiveEdges() const {
+    size_t n = 0;
+    for (const Item& item : items) {
+      if (!item.removed) n += item.out.size();
+    }
+    return n;
+  }
+};
+
+class DynamicGraphFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicGraphFuzzTest, MatchesShadowModelUnderRandomOps) {
+  Rng rng(GetParam());
+  DynamicPreferenceGraph graph;
+  ShadowModel shadow;
+
+  auto random_id = [&]() -> StableId {
+    return shadow.items.empty()
+               ? 0
+               : static_cast<StableId>(rng.NextBounded(shadow.items.size()));
+  };
+
+  for (int op = 0; op < 3000; ++op) {
+    uint64_t pick = rng.NextBounded(100);
+    if (pick < 20 || shadow.items.empty()) {
+      double w = rng.NextDouble(0.01, 5.0);
+      StableId id = graph.AddItem(w);
+      ASSERT_EQ(id, shadow.items.size());
+      shadow.items.push_back({w, false, {}});
+    } else if (pick < 55) {
+      StableId from = random_id(), to = random_id();
+      double p = rng.NextDouble(0.01, 1.0);
+      Status st = graph.UpsertEdge(from, to, p);
+      bool expect_ok = !shadow.items[from].removed &&
+                       !shadow.items[to].removed && from != to;
+      ASSERT_EQ(st.ok(), expect_ok) << st.ToString();
+      if (expect_ok) shadow.items[from].out[to] = p;
+    } else if (pick < 70) {
+      StableId id = random_id();
+      double w = rng.NextDouble(0.01, 5.0);
+      Status st = graph.SetItemWeight(id, w);
+      bool expect_ok = !shadow.items[id].removed;
+      ASSERT_EQ(st.ok(), expect_ok);
+      if (expect_ok) shadow.items[id].weight = w;
+    } else if (pick < 85) {
+      StableId from = random_id(), to = random_id();
+      Status st = graph.RemoveEdge(from, to);
+      bool from_live = !shadow.items[from].removed;
+      bool edge_exists = from_live && shadow.items[from].out.count(to) > 0;
+      ASSERT_EQ(st.ok(), edge_exists) << st.ToString();
+      if (edge_exists) shadow.items[from].out.erase(to);
+    } else if (pick < 93) {
+      StableId id = random_id();
+      Status st = graph.RemoveItem(id);
+      bool expect_ok = !shadow.items[id].removed;
+      ASSERT_EQ(st.ok(), expect_ok);
+      if (expect_ok) {
+        shadow.items[id].removed = true;
+        shadow.items[id].out.clear();
+        for (auto& item : shadow.items) item.out.erase(id);
+      }
+    } else {
+      // Read-only probes.
+      StableId from = random_id(), to = random_id();
+      double expected = 0.0;
+      if (!shadow.items[from].removed) {
+        auto it = shadow.items[from].out.find(to);
+        if (it != shadow.items[from].out.end()) expected = it->second;
+      }
+      ASSERT_DOUBLE_EQ(graph.EdgeProbability(from, to), expected);
+      ASSERT_EQ(graph.HasItem(from), !shadow.items[from].removed);
+    }
+    // Counters stay exact throughout.
+    ASSERT_EQ(graph.NumItems(), shadow.LiveItems()) << "op " << op;
+    ASSERT_EQ(graph.NumEdges(), shadow.LiveEdges()) << "op " << op;
+  }
+
+  // Snapshot equivalence (if any weight survives).
+  double total = 0.0;
+  for (const auto& item : shadow.items) {
+    if (!item.removed) total += item.weight;
+  }
+  std::vector<StableId> ids;
+  auto snap = graph.Snapshot(&ids);
+  if (!(total > 0.0) || graph.NumItems() == 0) {
+    EXPECT_FALSE(snap.ok());
+    return;
+  }
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_EQ(snap->NumNodes(), shadow.LiveItems());
+  ASSERT_EQ(snap->NumEdges(), shadow.LiveEdges());
+  for (NodeId v = 0; v < snap->NumNodes(); ++v) {
+    const auto& item = shadow.items[ids[v]];
+    ASSERT_FALSE(item.removed);
+    ASSERT_NEAR(snap->NodeWeight(v), item.weight / total, 1e-12);
+  }
+  // Every shadow edge appears with its probability.
+  std::map<StableId, NodeId> dense;
+  for (NodeId v = 0; v < ids.size(); ++v) dense[ids[v]] = v;
+  for (StableId id = 0; id < shadow.items.size(); ++id) {
+    const auto& item = shadow.items[id];
+    if (item.removed) continue;
+    for (const auto& [to, p] : item.out) {
+      ASSERT_DOUBLE_EQ(snap->EdgeWeight(dense[id], dense[to]), p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicGraphFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,124 @@
+#include "synth/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+TEST(CatalogTest, GeneratesRequestedShape) {
+  Rng rng(1);
+  CatalogParams params;
+  params.num_items = 500;
+  params.num_categories = 20;
+  params.num_brands = 10;
+  params.num_price_tiers = 5;
+  auto catalog = Catalog::Generate(params, &rng);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->NumItems(), 500u);
+  EXPECT_EQ(catalog->num_categories(), 20u);
+  for (uint32_t i = 0; i < 500; ++i) {
+    const Catalog::Item& item = catalog->item(i);
+    EXPECT_LT(item.category, 20u);
+    EXPECT_LT(item.brand, 10u);
+    EXPECT_LT(item.price_tier, 5u);
+  }
+}
+
+TEST(CatalogTest, NoCategoryIsEmpty) {
+  Rng rng(2);
+  CatalogParams params;
+  params.num_items = 100;
+  params.num_categories = 100;  // one item per category minimum
+  auto catalog = Catalog::Generate(params, &rng);
+  ASSERT_TRUE(catalog.ok());
+  for (uint32_t c = 0; c < 100; ++c) {
+    EXPECT_FALSE(catalog->CategoryMembers(c).empty()) << "category " << c;
+  }
+}
+
+TEST(CatalogTest, CategoryMembersConsistentAndSorted) {
+  Rng rng(3);
+  CatalogParams params;
+  params.num_items = 300;
+  params.num_categories = 10;
+  auto catalog = Catalog::Generate(params, &rng);
+  ASSERT_TRUE(catalog.ok());
+  size_t total = 0;
+  for (uint32_t c = 0; c < 10; ++c) {
+    const auto& members = catalog->CategoryMembers(c);
+    total += members.size();
+    for (size_t i = 0; i < members.size(); ++i) {
+      EXPECT_EQ(catalog->item(members[i]).category, c);
+      if (i > 0) {
+        EXPECT_LT(members[i - 1], members[i]);
+      }
+    }
+  }
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(CatalogTest, SkewedCategorySizes) {
+  Rng rng(4);
+  CatalogParams params;
+  params.num_items = 5000;
+  params.num_categories = 50;
+  params.category_size_skew = 1.2;
+  auto catalog = Catalog::Generate(params, &rng);
+  ASSERT_TRUE(catalog.ok());
+  size_t largest = 0, smallest = SIZE_MAX;
+  for (uint32_t c = 0; c < 50; ++c) {
+    size_t size = catalog->CategoryMembers(c).size();
+    largest = std::max(largest, size);
+    smallest = std::min(smallest, size);
+  }
+  EXPECT_GT(largest, 4 * smallest);  // heavy head
+}
+
+TEST(CatalogTest, ItemNamesEncodeAttributes) {
+  Rng rng(5);
+  CatalogParams params;
+  params.num_items = 10;
+  params.num_categories = 2;
+  auto catalog = Catalog::Generate(params, &rng);
+  ASSERT_TRUE(catalog.ok());
+  std::set<std::string> names;
+  for (uint32_t i = 0; i < 10; ++i) {
+    std::string name = catalog->ItemName(i);
+    EXPECT_EQ(name[0], 'c');
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 10u);  // unique
+}
+
+TEST(CatalogTest, DeterministicInSeed) {
+  CatalogParams params;
+  params.num_items = 200;
+  params.num_categories = 20;
+  Rng rng1(77), rng2(77);
+  auto a = Catalog::Generate(params, &rng1);
+  auto b = Catalog::Generate(params, &rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(a->item(i).category, b->item(i).category);
+    EXPECT_EQ(a->item(i).brand, b->item(i).brand);
+    EXPECT_EQ(a->item(i).price_tier, b->item(i).price_tier);
+  }
+}
+
+TEST(CatalogTest, InvalidParamsRejected) {
+  Rng rng(1);
+  CatalogParams params;
+  params.num_items = 0;
+  EXPECT_FALSE(Catalog::Generate(params, &rng).ok());
+  params.num_items = 5;
+  params.num_categories = 10;
+  EXPECT_FALSE(Catalog::Generate(params, &rng).ok());
+  params.num_categories = 2;
+  params.num_brands = 0;
+  EXPECT_FALSE(Catalog::Generate(params, &rng).ok());
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,125 @@
+#include "synth/dataset_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "clickstream/variant_selection.h"
+#include "graph/graph_stats.h"
+
+namespace prefcover {
+namespace {
+
+TEST(ProfileSpecTest, TableTwoConstants) {
+  const ProfileSpec& pe = GetProfileSpec(DatasetProfile::kPE);
+  EXPECT_STREQ(pe.name, "PE");
+  EXPECT_EQ(pe.sessions, 10'782'918u);
+  EXPECT_EQ(pe.items, 1'921'701u);
+  EXPECT_EQ(pe.edges, 9'250'131u);
+  EXPECT_EQ(pe.natural_variant, Variant::kIndependent);
+
+  const ProfileSpec& pm = GetProfileSpec(DatasetProfile::kPM);
+  EXPECT_EQ(pm.natural_variant, Variant::kNormalized);
+
+  const ProfileSpec& yc = GetProfileSpec(DatasetProfile::kYC);
+  EXPECT_EQ(yc.sessions, 9'249'729u);
+  EXPECT_EQ(yc.purchases, 259'579u);
+  EXPECT_EQ(yc.items, 52'739u);
+  EXPECT_EQ(yc.edges, 249'008u);
+}
+
+TEST(ProfileSpecTest, ParseNames) {
+  EXPECT_EQ(ParseProfileName("PE").value(), DatasetProfile::kPE);
+  EXPECT_EQ(ParseProfileName("PF").value(), DatasetProfile::kPF);
+  EXPECT_EQ(ParseProfileName("PM").value(), DatasetProfile::kPM);
+  EXPECT_EQ(ParseProfileName("YC").value(), DatasetProfile::kYC);
+  EXPECT_FALSE(ParseProfileName("XX").ok());
+}
+
+TEST(ProfileGraphTest, ScaledGraphMatchesSpecShape) {
+  const double scale = 0.005;
+  for (DatasetProfile profile :
+       {DatasetProfile::kPE, DatasetProfile::kYC}) {
+    const ProfileSpec& spec = GetProfileSpec(profile);
+    auto g = GenerateProfileGraph(profile, scale, /*seed=*/1);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    double expected_nodes = static_cast<double>(spec.items) * scale;
+    EXPECT_NEAR(static_cast<double>(g->NumNodes()), expected_nodes,
+                expected_nodes * 0.02 + 20);
+    // Edge density within 40% of the paper's edges/items ratio.
+    double expected_density =
+        static_cast<double>(spec.edges) / static_cast<double>(spec.items);
+    double actual_density = static_cast<double>(g->NumEdges()) /
+                            static_cast<double>(g->NumNodes());
+    EXPECT_NEAR(actual_density, expected_density, expected_density * 0.4)
+        << spec.name;
+    EXPECT_NEAR(g->TotalNodeWeight(), 1.0, 1e-9);
+  }
+}
+
+TEST(ProfileGraphTest, PmGraphIsNormalizedAdmissible) {
+  auto g = GenerateProfileGraph(DatasetProfile::kPM, 0.003, 7);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(IsNormalizedAdmissible(*g));
+}
+
+TEST(ProfileGraphTest, ExplicitNodeCount) {
+  auto g = GenerateProfileGraphWithNodes(DatasetProfile::kPE, 5000, 3);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 5000u);
+}
+
+TEST(ProfileGraphTest, InvalidScaleRejected) {
+  EXPECT_FALSE(GenerateProfileGraph(DatasetProfile::kPE, 0.0, 1).ok());
+  EXPECT_FALSE(GenerateProfileGraph(DatasetProfile::kPE, 1.5, 1).ok());
+  EXPECT_FALSE(
+      GenerateProfileGraphWithNodes(DatasetProfile::kPE, 0, 1).ok());
+}
+
+TEST(ProfileGraphTest, DeterministicInSeed) {
+  auto a = GenerateProfileGraph(DatasetProfile::kYC, 0.01, 5);
+  auto b = GenerateProfileGraph(DatasetProfile::kYC, 0.01, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->NumNodes(), b->NumNodes());
+  EXPECT_EQ(a->NumEdges(), b->NumEdges());
+  auto c = GenerateProfileGraph(DatasetProfile::kYC, 0.01, 6);
+  ASSERT_TRUE(c.ok());
+  bool differs = c->NumEdges() != a->NumEdges();
+  if (!differs) {
+    for (NodeId v = 0; v < a->NumNodes() && !differs; ++v) {
+      differs = a->NodeWeight(v) != c->NodeWeight(v);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ProfileClickstreamTest, YcShapeHasBrowseDominance) {
+  auto cs = GenerateProfileClickstream(DatasetProfile::kYC, 0.01, 11);
+  ASSERT_TRUE(cs.ok()) << cs.status().ToString();
+  ClickstreamStats stats = cs->ComputeStats();
+  const ProfileSpec& spec = GetProfileSpec(DatasetProfile::kYC);
+  double expected_purchase_share = static_cast<double>(spec.purchases) /
+                                   static_cast<double>(spec.sessions);
+  double actual = static_cast<double>(stats.num_purchases) /
+                  static_cast<double>(stats.num_sessions);
+  EXPECT_NEAR(actual, expected_purchase_share,
+              expected_purchase_share * 0.25);
+}
+
+TEST(ProfileClickstreamTest, PmFitsNormalizedVariant) {
+  auto cs = GenerateProfileClickstream(DatasetProfile::kPM, 0.002, 13);
+  ASSERT_TRUE(cs.ok());
+  VariantRecommendation rec = RecommendVariant(*cs);
+  EXPECT_EQ(rec.variant, Variant::kNormalized);
+  EXPECT_GE(rec.normalized_fit, 0.9);
+}
+
+TEST(ProfileClickstreamTest, PeFitsIndependentVariant) {
+  auto cs = GenerateProfileClickstream(DatasetProfile::kPE, 0.002, 17);
+  ASSERT_TRUE(cs.ok());
+  VariantRecommendation rec = RecommendVariant(*cs);
+  EXPECT_EQ(rec.variant, Variant::kIndependent);
+  EXPECT_TRUE(rec.independent_fits)
+      << "independence measure: " << rec.independence;
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,219 @@
+#include "synth/preference_model.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+
+namespace prefcover {
+namespace {
+
+Catalog MakeCatalog(Rng* rng, uint32_t items = 400, uint32_t categories = 20) {
+  CatalogParams params;
+  params.num_items = items;
+  params.num_categories = categories;
+  auto catalog = Catalog::Generate(params, rng);
+  EXPECT_TRUE(catalog.ok());
+  return std::move(catalog).value();
+}
+
+TEST(PreferenceModelTest, GraphShapeMatchesParams) {
+  Rng rng(1);
+  Catalog catalog = MakeCatalog(&rng);
+  PreferenceModelParams params;
+  params.mean_alternatives = 5.0;
+  auto model = PreferenceModel::Build(&catalog, params, &rng);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const PreferenceGraph& g = model->graph();
+  EXPECT_EQ(g.NumNodes(), 400u);
+  EXPECT_NEAR(g.TotalNodeWeight(), 1.0, 1e-9);
+  double mean_degree =
+      static_cast<double>(g.NumEdges()) / static_cast<double>(g.NumNodes());
+  EXPECT_GT(mean_degree, 3.0);
+  EXPECT_LT(mean_degree, 7.0);
+  EXPECT_TRUE(g.HasLabels());
+}
+
+TEST(PreferenceModelTest, AlternativesMostlyWithinCategory) {
+  Rng rng(2);
+  Catalog catalog = MakeCatalog(&rng);
+  PreferenceModelParams params;
+  params.cross_category_share = 0.05;
+  auto model = PreferenceModel::Build(&catalog, params, &rng);
+  ASSERT_TRUE(model.ok());
+  const PreferenceGraph& g = model->graph();
+  size_t intra = 0, total = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId u : g.OutNeighbors(v).nodes) {
+      ++total;
+      if (catalog.item(u).category == catalog.item(v).category) ++intra;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(total), 0.85);
+}
+
+TEST(PreferenceModelTest, SameBrandEdgesAreStronger) {
+  Rng rng(3);
+  Catalog catalog = MakeCatalog(&rng, 1000, 10);
+  PreferenceModelParams params;
+  params.same_brand_boost = 0.3;
+  params.tier_distance_damping = 1.0;  // isolate the brand effect
+  auto model = PreferenceModel::Build(&catalog, params, &rng);
+  ASSERT_TRUE(model.ok());
+  const PreferenceGraph& g = model->graph();
+  double same_sum = 0.0, diff_sum = 0.0;
+  size_t same_n = 0, diff_n = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    AdjacencyView out = g.OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      NodeId u = out.nodes[i];
+      if (catalog.item(u).category != catalog.item(v).category) continue;
+      // Variant-group edges are brand-independent by design; skip them.
+      if (model->group_of()[u] == model->group_of()[v]) continue;
+      if (catalog.item(u).brand == catalog.item(v).brand) {
+        same_sum += out.weights[i];
+        ++same_n;
+      } else {
+        diff_sum += out.weights[i];
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 50u);
+  ASSERT_GT(diff_n, 50u);
+  EXPECT_GT(same_sum / static_cast<double>(same_n),
+            diff_sum / static_cast<double>(diff_n) + 0.1);
+}
+
+TEST(PreferenceModelTest, PriceTierDistanceWeakensEdges) {
+  Rng rng(4);
+  Catalog catalog = MakeCatalog(&rng, 1000, 10);
+  PreferenceModelParams params;
+  params.same_brand_boost = 0.0;  // isolate the tier effect
+  params.tier_distance_damping = 0.5;
+  auto model = PreferenceModel::Build(&catalog, params, &rng);
+  ASSERT_TRUE(model.ok());
+  const PreferenceGraph& g = model->graph();
+  double near_sum = 0.0, far_sum = 0.0;
+  size_t near_n = 0, far_n = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    AdjacencyView out = g.OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      NodeId u = out.nodes[i];
+      if (catalog.item(u).category != catalog.item(v).category) continue;
+      // Variant-group edges are tier-independent by design; skip them.
+      if (model->group_of()[u] == model->group_of()[v]) continue;
+      uint32_t gap = catalog.item(u).price_tier > catalog.item(v).price_tier
+                         ? catalog.item(u).price_tier -
+                               catalog.item(v).price_tier
+                         : catalog.item(v).price_tier -
+                               catalog.item(u).price_tier;
+      if (gap == 0) {
+        near_sum += out.weights[i];
+        ++near_n;
+      } else if (gap >= 2) {
+        far_sum += out.weights[i];
+        ++far_n;
+      }
+    }
+  }
+  ASSERT_GT(near_n, 50u);
+  ASSERT_GT(far_n, 50u);
+  EXPECT_GT(near_sum / static_cast<double>(near_n),
+            2.0 * far_sum / static_cast<double>(far_n));
+}
+
+TEST(PreferenceModelTest, VariantGroupsAreStrongSubstitutes) {
+  Rng rng(11);
+  Catalog catalog = MakeCatalog(&rng, 600, 12);
+  PreferenceModelParams params;
+  params.variant_group_mean_size = 3.0;
+  auto model = PreferenceModel::Build(&catalog, params, &rng);
+  ASSERT_TRUE(model.ok());
+  const PreferenceGraph& g = model->graph();
+  const auto& group_of = model->group_of();
+  ASSERT_EQ(group_of.size(), g.NumNodes());
+
+  size_t group_edges = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    AdjacencyView out = g.OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      NodeId u = out.nodes[i];
+      if (group_of[u] != group_of[v]) continue;
+      ++group_edges;
+      // Same group implies same category and a strong acceptance.
+      EXPECT_EQ(catalog.item(u).category, catalog.item(v).category);
+      EXPECT_GE(out.weights[i], params.group_acceptance_lo - 1e-12);
+      EXPECT_LE(out.weights[i], params.group_acceptance_hi + 1e-12);
+      // Variant edges are symmetric (both directions exist).
+      EXPECT_TRUE(g.HasEdge(u, v));
+    }
+  }
+  EXPECT_GT(group_edges, 200u);  // groups of mean size 3 produce plenty
+}
+
+TEST(PreferenceModelTest, GroupPopularityIsCorrelated) {
+  // Items in the same variant group must have similar popularity: within
+  // a group, max/min weight is bounded by the mild within-group skew,
+  // whereas across random items it varies by orders of magnitude.
+  Rng rng(12);
+  Catalog catalog = MakeCatalog(&rng, 600, 12);
+  PreferenceModelParams params;
+  params.variant_group_mean_size = 3.0;
+  params.within_group_skew = 0.5;
+  auto model = PreferenceModel::Build(&catalog, params, &rng);
+  ASSERT_TRUE(model.ok());
+  const PreferenceGraph& g = model->graph();
+  const auto& group_of = model->group_of();
+
+  std::map<uint32_t, std::vector<double>> groups;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    groups[group_of[v]].push_back(g.NodeWeight(v));
+  }
+  for (const auto& [gid, weights] : groups) {
+    if (weights.size() < 2) continue;
+    double lo = *std::min_element(weights.begin(), weights.end());
+    double hi = *std::max_element(weights.begin(), weights.end());
+    ASSERT_GT(lo, 0.0);
+    // Zipf(0.5) over at most ~8 variants: ratio bounded by ~sqrt(8) ~ 2.9.
+    EXPECT_LT(hi / lo, 4.0) << "group " << gid;
+  }
+}
+
+TEST(PreferenceModelTest, NormalizedModeIsAdmissible) {
+  Rng rng(5);
+  Catalog catalog = MakeCatalog(&rng);
+  PreferenceModelParams params;
+  params.normalized = true;
+  params.mean_alternatives = 6.0;
+  auto model = PreferenceModel::Build(&catalog, params, &rng);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(IsNormalizedAdmissible(model->graph()));
+  EXPECT_TRUE(model->normalized());
+}
+
+TEST(PreferenceModelTest, RejectsNullOrEmptyCatalog) {
+  Rng rng(6);
+  PreferenceModelParams params;
+  EXPECT_FALSE(PreferenceModel::Build(nullptr, params, &rng).ok());
+}
+
+TEST(PreferenceModelTest, DeterministicInSeed) {
+  Rng crng(7);
+  Catalog catalog = MakeCatalog(&crng, 100, 10);
+  PreferenceModelParams params;
+  Rng rng1(88), rng2(88);
+  auto a = PreferenceModel::Build(&catalog, params, &rng1);
+  auto b = PreferenceModel::Build(&catalog, params, &rng2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph().NumEdges(), b->graph().NumEdges());
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_DOUBLE_EQ(a->graph().NodeWeight(v), b->graph().NodeWeight(v));
+  }
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,212 @@
+#include "synth/similarity_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+#include "clickstream/graph_construction.h"
+#include "core/cover_function.h"
+#include "core/greedy_solver.h"
+#include "synth/session_generator.h"
+
+namespace prefcover {
+namespace {
+
+Catalog MakeCatalog(Rng* rng, uint32_t items = 200, uint32_t categories = 10) {
+  CatalogParams params;
+  params.num_items = items;
+  params.num_categories = categories;
+  auto catalog = Catalog::Generate(params, rng);
+  EXPECT_TRUE(catalog.ok());
+  return std::move(catalog).value();
+}
+
+std::vector<double> UniformWeights(size_t n) {
+  return std::vector<double>(n, 1.0 / static_cast<double>(n));
+}
+
+TEST(SimilarityGraphTest, EdgesStayWithinCategories) {
+  Rng rng(1);
+  Catalog catalog = MakeCatalog(&rng);
+  auto g = BuildSimilarityGraph(catalog, UniformWeights(200));
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumNodes(), 200u);
+  EXPECT_GT(g->NumEdges(), 0u);
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    for (NodeId u : g->OutNeighbors(v).nodes) {
+      EXPECT_EQ(catalog.item(u).category, catalog.item(v).category);
+    }
+  }
+}
+
+TEST(SimilarityGraphTest, MaxAlternativesRespected) {
+  Rng rng(2);
+  Catalog catalog = MakeCatalog(&rng, 300, 3);  // big categories
+  SimilarityGraphParams params;
+  params.max_alternatives = 5;
+  auto g = BuildSimilarityGraph(catalog, UniformWeights(300), params);
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    EXPECT_LE(g->OutDegree(v), 5u);
+  }
+}
+
+TEST(SimilarityGraphTest, SameBrandScoresHigher) {
+  Rng rng(3);
+  Catalog catalog = MakeCatalog(&rng, 400, 4);
+  SimilarityGraphParams params;
+  params.max_alternatives = 100;  // keep everything
+  params.min_acceptance = 0.0;
+  params.tier_distance_damping = 1.0;  // isolate brand effect
+  auto g = BuildSimilarityGraph(catalog, UniformWeights(400), params);
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    AdjacencyView out = g->OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      double expected = catalog.item(out.nodes[i]).brand ==
+                                catalog.item(v).brand
+                            ? params.base_acceptance +
+                                  params.same_brand_boost
+                            : params.base_acceptance;
+      EXPECT_NEAR(out.weights[i], expected, 1e-12);
+    }
+  }
+}
+
+TEST(SimilarityGraphTest, TierDistanceWeakensAcceptance) {
+  Rng rng(4);
+  Catalog catalog = MakeCatalog(&rng, 400, 4);
+  SimilarityGraphParams params;
+  params.max_alternatives = 100;
+  params.min_acceptance = 0.0;
+  params.same_brand_boost = 0.0;  // isolate tier effect
+  auto g = BuildSimilarityGraph(catalog, UniformWeights(400), params);
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < g->NumNodes(); ++v) {
+    AdjacencyView out = g->OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      uint32_t gap =
+          std::max(catalog.item(out.nodes[i]).price_tier,
+                   catalog.item(v).price_tier) -
+          std::min(catalog.item(out.nodes[i]).price_tier,
+                   catalog.item(v).price_tier);
+      double expected = params.base_acceptance *
+                        std::pow(params.tier_distance_damping,
+                                 static_cast<double>(gap));
+      EXPECT_NEAR(out.weights[i], expected, 1e-12);
+    }
+  }
+}
+
+TEST(SimilarityGraphTest, ValidationErrors) {
+  Rng rng(5);
+  Catalog catalog = MakeCatalog(&rng);
+  EXPECT_TRUE(BuildSimilarityGraph(catalog, UniformWeights(5))
+                  .status()
+                  .IsInvalidArgument());
+  SimilarityGraphParams params;
+  params.max_alternatives = 0;
+  EXPECT_TRUE(BuildSimilarityGraph(catalog, UniformWeights(200), params)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BlendGraphsTest, AlphaOneIsPrimaryAlphaZeroIsPrior) {
+  Rng rng(6);
+  Catalog catalog = MakeCatalog(&rng, 50, 5);
+  auto prior = BuildSimilarityGraph(catalog, UniformWeights(50));
+  ASSERT_TRUE(prior.ok());
+  // Primary: a graph with one hand-made edge.
+  GraphBuilder b;
+  for (uint32_t i = 0; i < 50; ++i) b.AddNode(1.0 / 50.0);
+  ASSERT_TRUE(b.AddEdge(0, 1, 0.9).ok());
+  auto primary = b.Finalize();
+  ASSERT_TRUE(primary.ok());
+
+  auto all_primary = BlendPreferenceGraphs(*primary, *prior, 1.0);
+  ASSERT_TRUE(all_primary.ok());
+  EXPECT_EQ(all_primary->NumEdges(), 1u);
+  EXPECT_DOUBLE_EQ(all_primary->EdgeWeight(0, 1), 0.9);
+
+  auto all_prior = BlendPreferenceGraphs(*primary, *prior, 0.0);
+  ASSERT_TRUE(all_prior.ok());
+  EXPECT_EQ(all_prior->NumEdges(), prior->NumEdges());
+}
+
+TEST(BlendGraphsTest, OverlappingEdgesBlendLinearly) {
+  GraphBuilder b1, b2;
+  for (int i = 0; i < 3; ++i) {
+    b1.AddNode(1.0 / 3.0);
+    b2.AddNode(1.0 / 3.0);
+  }
+  ASSERT_TRUE(b1.AddEdge(0, 1, 0.8).ok());
+  ASSERT_TRUE(b2.AddEdge(0, 1, 0.4).ok());
+  ASSERT_TRUE(b2.AddEdge(0, 2, 0.6).ok());
+  auto primary = b1.Finalize();
+  auto prior = b2.Finalize();
+  ASSERT_TRUE(primary.ok() && prior.ok());
+  auto blended = BlendPreferenceGraphs(*primary, *prior, 0.75);
+  ASSERT_TRUE(blended.ok());
+  EXPECT_NEAR(blended->EdgeWeight(0, 1), 0.75 * 0.8 + 0.25 * 0.4, 1e-12);
+  EXPECT_NEAR(blended->EdgeWeight(0, 2), 0.25 * 0.6, 1e-12);
+}
+
+TEST(BlendGraphsTest, ValidationErrors) {
+  GraphBuilder b1, b2;
+  b1.AddNode(1.0);
+  b2.AddNode(0.5);
+  b2.AddNode(0.5);
+  auto g1 = b1.Finalize();
+  auto g2 = b2.Finalize();
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_TRUE(
+      BlendPreferenceGraphs(*g1, *g2, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      BlendPreferenceGraphs(*g1, *g1, 1.5).status().IsInvalidArgument());
+}
+
+TEST(ColdStartTest, BlendingImprovesThinClickstreamSolutions) {
+  // The cold-start scenario the footnote motivates: with very few
+  // sessions, the behavioral graph misses most alternatives; blending in
+  // the similarity prior recovers solution quality measured on the truth.
+  Rng rng(7);
+  Catalog catalog = MakeCatalog(&rng, 240, 8);
+  PreferenceModelParams mparams;
+  mparams.popularity_skew = 0.6;
+  auto model = PreferenceModel::Build(&catalog, mparams, &rng);
+  ASSERT_TRUE(model.ok());
+  const PreferenceGraph& truth = model->graph();
+
+  SessionGeneratorParams sparams;
+  sparams.num_sessions = 800;  // very thin
+  auto cs = GenerateSessions(*model, sparams, &rng);
+  ASSERT_TRUE(cs.ok());
+  auto behavioral = BuildPreferenceGraph(*cs);
+  ASSERT_TRUE(behavioral.ok());
+
+  std::vector<double> weights(behavioral->NodeWeights().begin(),
+                              behavioral->NodeWeights().end());
+  auto prior = BuildSimilarityGraph(catalog, weights);
+  ASSERT_TRUE(prior.ok());
+  auto blended = BlendPreferenceGraphs(*behavioral, *prior, 0.5);
+  ASSERT_TRUE(blended.ok());
+
+  const size_t k = 24;
+  auto sol_behavioral = SolveGreedyLazy(*behavioral, k);
+  auto sol_blended = SolveGreedyLazy(*blended, k);
+  ASSERT_TRUE(sol_behavioral.ok() && sol_blended.ok());
+  double cover_behavioral =
+      EvaluateCover(truth, sol_behavioral->items, Variant::kIndependent)
+          .value();
+  double cover_blended =
+      EvaluateCover(truth, sol_blended->items, Variant::kIndependent)
+          .value();
+  EXPECT_GT(cover_blended, cover_behavioral - 0.01)
+      << "blending should not hurt at cold start";
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,223 @@
+// Tests for TopKHeap, Bitset, string_util, TablePrinter, timer formatting.
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "util/top_k_heap.h"
+
+namespace prefcover {
+namespace {
+
+TEST(TopKHeapTest, KeepsKBest) {
+  TopKHeap heap(3);
+  for (uint32_t id = 0; id < 10; ++id) {
+    heap.Push(id, static_cast<double>(id));
+  }
+  auto out = heap.Extract();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 9u);
+  EXPECT_EQ(out[1].id, 8u);
+  EXPECT_EQ(out[2].id, 7u);
+}
+
+TEST(TopKHeapTest, FewerThanKItems) {
+  TopKHeap heap(10);
+  heap.Push(1, 5.0);
+  heap.Push(2, 3.0);
+  auto out = heap.Extract();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+}
+
+TEST(TopKHeapTest, ZeroCapacity) {
+  TopKHeap heap(0);
+  heap.Push(1, 100.0);
+  EXPECT_TRUE(heap.Extract().empty());
+}
+
+TEST(TopKHeapTest, TiesPreferSmallerId) {
+  TopKHeap heap(2);
+  heap.Push(5, 1.0);
+  heap.Push(3, 1.0);
+  heap.Push(9, 1.0);
+  heap.Push(1, 1.0);
+  auto out = heap.Extract();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 3u);
+}
+
+TEST(TopKHeapTest, MatchesSortForRandomInput) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    TopKHeap heap(7);
+    std::vector<TopKHeap::Entry> all;
+    uint64_t state = seed;
+    for (uint32_t id = 0; id < 100; ++id) {
+      state = state * 6364136223846793005ULL + 1;
+      double score = static_cast<double>((state >> 33) % 50);
+      heap.Push(id, score);
+      all.push_back({id, score});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const TopKHeap::Entry& a, const TopKHeap::Entry& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.id < b.id;
+              });
+    auto out = heap.Extract();
+    ASSERT_EQ(out.size(), 7u);
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(out[i].id, all[i].id) << "seed " << seed << " pos " << i;
+    }
+  }
+}
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset bits(200);
+  EXPECT_EQ(bits.size(), 200u);
+  EXPECT_FALSE(bits.Test(0));
+  EXPECT_FALSE(bits.Test(199));
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(199);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(199));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Clear(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(BitsetTest, ResetClearsEverything) {
+  Bitset bits(100);
+  for (size_t i = 0; i < 100; i += 3) bits.Set(i);
+  bits.Reset();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitsetTest, WordBoundarySizes) {
+  for (size_t n : {1u, 63u, 64u, 65u, 128u}) {
+    Bitset bits(n);
+    bits.Set(n - 1);
+    EXPECT_TRUE(bits.Test(n - 1));
+    EXPECT_EQ(bits.Count(), 1u);
+  }
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString(",x,", ','),
+            (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(SplitString("", ','), std::vector<std::string>{""});
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello.csv", "hello"));
+  EXPECT_FALSE(StartsWith("hi", "hello"));
+  EXPECT_TRUE(EndsWith("hello.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", "hello.csv"));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64(" 13 ").value(), 13);
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(StringUtilTest, ParseUint32Range) {
+  EXPECT_EQ(ParseUint32("4294967295").value(), 4294967295u);
+  EXPECT_TRUE(ParseUint32("4294967296").status().IsOutOfRange());
+  EXPECT_TRUE(ParseUint32("-1").status().IsOutOfRange());
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e-3").value(), -1e-3);
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::ostringstream out;
+  table.Print(&out, "Title");
+  std::string s = out.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "x,y"});
+  std::ostringstream out;
+  table.PrintCsv(&out);
+  EXPECT_EQ(out.str(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Percent(0.873), "87.3%");
+  EXPECT_EQ(TablePrinter::Percent(0.5, 0), "50%");
+  EXPECT_EQ(TablePrinter::Scientific(12345.0, 2), "1.23e+04");
+}
+
+TEST(TimerTest, FormatDurationUnits) {
+  EXPECT_EQ(FormatDuration(5e-9), "5.0 ns");
+  EXPECT_EQ(FormatDuration(2.5e-5), "25.00 us");
+  EXPECT_EQ(FormatDuration(0.0031), "3.10 ms");
+  EXPECT_EQ(FormatDuration(1.5), "1.50 s");
+  EXPECT_EQ(FormatDuration(600.0), "10.0 min");
+}
+
+TEST(TimerTest, FormatCount) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1921701), "1,921,701");
+  EXPECT_EQ(FormatCount(1234567890), "1,234,567,890");
+}
+
+TEST(TimerTest, StopwatchAdvances) {
+  Stopwatch sw;
+  double t1 = sw.ElapsedSeconds();
+  // Burn a little CPU.
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  double t2 = sw.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), t2 + 1.0);
+}
+
+}  // namespace
+}  // namespace prefcover

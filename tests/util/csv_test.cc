@@ -1,0 +1,173 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+TEST(ParseCsvLineTest, SimpleFields) {
+  auto r = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  auto r = ParseCsvLine(",,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvLineTest, SingleField) {
+  auto r = ParseCsvLine("only");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, std::vector<std::string>{"only"});
+}
+
+TEST(ParseCsvLineTest, EmptyLineIsOneEmptyField) {
+  auto r = ParseCsvLine("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, std::vector<std::string>{""});
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithDelimiter) {
+  auto r = ParseCsvLine(R"("a,b",c)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EscapedQuote) {
+  auto r = ParseCsvLine(R"("say ""hi""",x)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(ParseCsvLineTest, QuotedNewline) {
+  auto r = ParseCsvLine("\"line1\nline2\",x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"line1\nline2", "x"}));
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine(R"("abc)").ok());
+}
+
+TEST(ParseCsvLineTest, QuoteInsideUnquotedFieldFails) {
+  EXPECT_FALSE(ParseCsvLine(R"(ab"c)").ok());
+}
+
+TEST(ParseCsvLineTest, TrailingCharsAfterQuoteFail) {
+  EXPECT_FALSE(ParseCsvLine(R"("abc"def)").ok());
+}
+
+TEST(ParseCsvLineTest, CustomDelimiter) {
+  auto r = ParseCsvLine("a;b;c", ';');
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FormatCsvLineTest, PlainFields) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+}
+
+TEST(FormatCsvLineTest, QuotesWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(FormatCsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(FormatCsvLine({"two\nlines"}), "\"two\nlines\"");
+}
+
+TEST(CsvRoundTripTest, ParseOfFormatIsIdentity) {
+  std::vector<std::vector<std::string>> cases = {
+      {"a", "b", "c"},
+      {"", "", ""},
+      {"with,comma", "with\"quote", "with\nnewline"},
+      {"plain"},
+  };
+  for (const auto& fields : cases) {
+    auto parsed = ParseCsvLine(FormatCsvLine(fields));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, fields);
+  }
+}
+
+TEST(CsvReaderTest, ReadsMultipleRecords) {
+  std::istringstream in("h1,h2\n1,2\n3,4\n");
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"1", "2"}));
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"3", "4"}));
+  EXPECT_FALSE(reader.Next(&fields));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(CsvReaderTest, HandlesCrlf) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b"}));
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReaderTest, QuotedFieldSpanningLines) {
+  std::istringstream in("\"multi\nline\",x\nnext,y\n");
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"multi\nline", "x"}));
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"next", "y"}));
+}
+
+TEST(CsvReaderTest, MalformedRecordSetsStatus) {
+  std::istringstream in("good,row\nbad\"row,x\n");
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  ASSERT_TRUE(reader.Next(&fields));
+  EXPECT_FALSE(reader.Next(&fields));
+  EXPECT_FALSE(reader.status().ok());
+  EXPECT_TRUE(reader.status().IsInvalidArgument());
+}
+
+TEST(CsvReaderTest, EmptyInput) {
+  std::istringstream in("");
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  EXPECT_FALSE(reader.Next(&fields));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST(CsvWriterTest, WritesRecordsWithNewlines) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.WriteRecord({"a", "b"});
+  writer.WriteRecord({"1,5", "2"});
+  EXPECT_EQ(out.str(), "a,b\n\"1,5\",2\n");
+  EXPECT_EQ(writer.records_written(), 2u);
+}
+
+TEST(CsvWriterReaderTest, RoundTripThroughStreams) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  std::vector<std::vector<std::string>> records = {
+      {"id", "name"}, {"1", "quoted \"x\""}, {"2", "a,b"}};
+  for (const auto& r : records) writer.WriteRecord(r);
+
+  std::istringstream in(out.str());
+  CsvReader reader(&in);
+  std::vector<std::string> fields;
+  for (const auto& expected : records) {
+    ASSERT_TRUE(reader.Next(&fields));
+    EXPECT_EQ(fields, expected);
+  }
+  EXPECT_FALSE(reader.Next(&fields));
+}
+
+}  // namespace
+}  // namespace prefcover

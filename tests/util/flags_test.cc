@@ -1,0 +1,127 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test program");
+  parser.AddString("name", "default", "a string flag")
+      .AddInt("count", 10, "an int flag")
+      .AddDouble("ratio", 0.5, "a double flag")
+      .AddBool("verbose", false, "a bool flag");
+  return parser;
+}
+
+Status ParseArgs(FlagParser* parser, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return parser->Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagParserTest, DefaultsApplyWithoutArgs) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {}).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt("count"), 10);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.5);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--name=abc", "--count=42",
+                                  "--ratio=0.25", "--verbose=true"})
+                  .ok());
+  EXPECT_EQ(parser.GetString("name"), "abc");
+  EXPECT_EQ(parser.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.25);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, SpaceSeparatedValue) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--count", "7"}).ok());
+  EXPECT_EQ(parser.GetInt("count"), 7);
+}
+
+TEST(FlagParserTest, BareBoolSetsTrue) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, BoolFalseValues) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--verbose=false"}).ok());
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  FlagParser parser2 = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser2, {"--verbose=0"}).ok());
+  EXPECT_FALSE(parser2.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, NegativeNumbers) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--count=-5", "--ratio=-1.5"}).ok());
+  EXPECT_EQ(parser.GetInt("count"), -5);
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), -1.5);
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser parser = MakeParser();
+  Status st = ParseArgs(&parser, {"--bogus=1"});
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(FlagParserTest, BadIntFails) {
+  FlagParser parser = MakeParser();
+  EXPECT_TRUE(ParseArgs(&parser, {"--count=abc"}).IsInvalidArgument());
+  FlagParser parser2 = MakeParser();
+  EXPECT_TRUE(ParseArgs(&parser2, {"--count=1.5"}).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, BadDoubleFails) {
+  FlagParser parser = MakeParser();
+  EXPECT_TRUE(ParseArgs(&parser, {"--ratio=xyz"}).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, BadBoolFails) {
+  FlagParser parser = MakeParser();
+  EXPECT_TRUE(ParseArgs(&parser, {"--verbose=maybe"}).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  FlagParser parser = MakeParser();
+  EXPECT_TRUE(ParseArgs(&parser, {"--count"}).IsInvalidArgument());
+}
+
+TEST(FlagParserTest, PositionalArgsCollected) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"input.csv", "--count=3", "out.csv"}).ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"input.csv", "out.csv"}));
+}
+
+TEST(FlagParserTest, HelpReturnsOutOfRange) {
+  FlagParser parser = MakeParser();
+  EXPECT_TRUE(ParseArgs(&parser, {"--help"}).IsOutOfRange());
+}
+
+TEST(FlagParserTest, UsageMentionsEveryFlag) {
+  FlagParser parser = MakeParser();
+  std::string usage = parser.UsageString();
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("--ratio"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+  EXPECT_NE(usage.find("a string flag"), std::string::npos);
+}
+
+TEST(FlagParserTest, LaterValueWins) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(&parser, {"--count=1", "--count=2"}).ok());
+  EXPECT_EQ(parser.GetInt("count"), 2);
+}
+
+}  // namespace
+}  // namespace prefcover

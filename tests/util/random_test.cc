@@ -1,0 +1,291 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBound)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBound, 0.1 * kSamples / kBound);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(21);
+  constexpr int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(33);
+  constexpr int kSamples = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  double mean = sum / kSamples;
+  double var = sumsq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(41);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextExponential(2.0);
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(55);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(3.5));
+  }
+  EXPECT_NEAR(sum / kSamples, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesApproximation) {
+  Rng rng(56);
+  constexpr int kSamples = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(100.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(57);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextPoisson(0.0), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(60);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(61);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(70);
+  for (uint32_t n : {10u, 100u, 1000u}) {
+    for (uint32_t m : {0u, 1u, 5u, n / 2, n}) {
+      std::vector<uint32_t> sample = rng.SampleWithoutReplacement(n, m);
+      EXPECT_EQ(sample.size(), m);
+      std::set<uint32_t> seen(sample.begin(), sample.end());
+      EXPECT_EQ(seen.size(), m);  // distinct
+      for (uint32_t s : sample) EXPECT_LT(s, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversUniformly) {
+  Rng rng(71);
+  constexpr uint32_t kN = 20;
+  constexpr int kTrials = 20000;
+  std::vector<int> counts(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (uint32_t s : rng.SampleWithoutReplacement(kN, 3)) ++counts[s];
+  }
+  double expected = 3.0 * kTrials / kN;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 0.15 * expected);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(80);
+  Rng child = parent.Split();
+  // Streams should diverge immediately.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double s : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+    ZipfDistribution zipf(100, s);
+    double total = 0.0;
+    for (uint32_t r = 0; r < 100; ++r) total += zipf.Pmf(r);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "s=" << s;
+  }
+}
+
+TEST(ZipfTest, PmfDecreasesWithRank) {
+  ZipfDistribution zipf(50, 1.2);
+  for (uint32_t r = 1; r < 50; ++r) {
+    EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  ZipfDistribution zipf(20, 1.0);
+  Rng rng(90);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint32_t r = 0; r < 20; ++r) {
+    double expected = zipf.Pmf(r) * kSamples;
+    EXPECT_NEAR(counts[r], expected, 0.05 * expected + 30.0) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (uint32_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-12);
+  }
+  Rng rng(91);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(ZipfTest, SkewOneUsesLogBranch) {
+  ZipfDistribution zipf(1000, 1.0);
+  Rng rng(92);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 1000u);
+  }
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  Rng rng(100);
+  constexpr int kSamples = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[sampler.Sample(&rng)];
+  for (size_t i = 0; i < 4; ++i) {
+    double expected = weights[i] / 10.0 * kSamples;
+    EXPECT_NEAR(counts[i], expected, 0.03 * expected);
+  }
+}
+
+TEST(AliasSamplerTest, HandlesZeroWeightEntries) {
+  AliasSampler sampler({0.0, 1.0, 0.0, 1.0});
+  Rng rng(101);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t s = sampler.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  AliasSampler sampler({5.0});
+  Rng rng(102);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+TEST(AliasSamplerTest, HighlySkewedWeights) {
+  AliasSampler sampler({1e-9, 1.0});
+  Rng rng(103);
+  int zero_count = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (sampler.Sample(&rng) == 0) ++zero_count;
+  }
+  EXPECT_LT(zero_count, 5);
+}
+
+}  // namespace
+}  // namespace prefcover

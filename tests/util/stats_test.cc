@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  SummaryStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(SummaryStatsTest, KnownSequence) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesSequential) {
+  SummaryStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    double v = i * 0.37 - 5.0;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  SummaryStats c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(QuantileSketchTest, EmptyReturnsNan) {
+  QuantileSketch q;
+  EXPECT_TRUE(std::isnan(q.Quantile(0.5)));
+}
+
+TEST(QuantileSketchTest, ExactQuantiles) {
+  QuantileSketch q;
+  for (int i = 1; i <= 5; ++i) q.Add(i);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.25), 2.0);
+}
+
+TEST(QuantileSketchTest, InterpolatesBetweenOrderStats) {
+  QuantileSketch q;
+  q.Add(0.0);
+  q.Add(10.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.75), 7.5);
+}
+
+TEST(QuantileSketchTest, UnsortedInsertOrder) {
+  QuantileSketch q;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) q.Add(v);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.5), 5.0);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.0);   // bucket 0
+  h.Add(0.5);   // bucket 0
+  h.Add(9.99);  // bucket 9
+  h.Add(5.0);   // bucket 5
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-0.1);
+  h.Add(1.0);  // hi is exclusive
+  h.Add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, BucketBounds) {
+  Histogram h(0.0, 100.0, 4);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 25.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 100.0);
+}
+
+TEST(HistogramTest, ToStringRendersBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.Add(0.5);
+  h.Add(1.5);
+  std::string s = h.ToString(10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+  EXPECT_NE(s.find("#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prefcover

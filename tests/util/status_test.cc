@@ -1,0 +1,109 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, EveryCodePredicateMatchesOnlyItsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::NotFound("x").IsIOError());
+  EXPECT_FALSE(Status::IOError("x").IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(7);
+  EXPECT_EQ(r.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailingOperation() { return Status::IOError("disk"); }
+
+Status Propagates() {
+  PREFCOVER_RETURN_NOT_OK(FailingOperation());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Propagates().IsIOError());
+}
+
+Result<int> ProducesValue() { return 10; }
+Result<int> ProducesError() { return Status::OutOfRange("too big"); }
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  PREFCOVER_ASSIGN_OR_RETURN(int v, fail ? ProducesError() : ProducesValue());
+  return v + 1;
+}
+
+TEST(StatusMacroTest, AssignOrReturnBothPaths) {
+  Result<int> ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 11);
+  Result<int> err = UsesAssignOrReturn(true);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,404 @@
+// prefcover — command-line front end to the Preference Cover library.
+//
+// Subcommands (run `prefcover <command> --help` for flags):
+//   generate    synthesize a profile-shaped clickstream CSV
+//   construct   build a preference graph (.pcg) from a clickstream CSV,
+//               with automatic variant selection
+//   stats       describe a graph file
+//   solve       select k items maximizing the cover
+//   threshold   smallest set reaching a coverage target
+//   export      dump a .pcg graph to nodes/edges CSV
+//
+// Typical session:
+//   prefcover generate --profile=YC --scale=0.01 --out=clicks.csv
+//   prefcover construct --input=clicks.csv --out=graph.pcg
+//   prefcover solve --graph=graph.pcg --k=500 --out=retained.csv
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "clickstream/clickstream_io.h"
+#include "clickstream/graph_construction.h"
+#include "clickstream/streaming_construction.h"
+#include "clickstream/variant_selection.h"
+#include "core/complementary_solver.h"
+#include "core/greedy_solver.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "synth/dataset_profiles.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace prefcover;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Returns 0/1 exit code semantics from flag parsing; 2 = --help shown.
+int ParseOrExit(FlagParser* flags, int argc, char** argv) {
+  Status st = flags->Parse(argc, argv);
+  if (st.IsOutOfRange()) return 2;
+  if (!st.ok()) {
+    Fail(st);
+    return 1;
+  }
+  return 0;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  FlagParser flags("prefcover generate: synthesize a clickstream CSV");
+  flags.AddString("profile", "YC", "dataset profile: PE|PF|PM|YC");
+  flags.AddDouble("scale", 0.01, "scale factor in (0,1]");
+  flags.AddInt("seed", 42, "RNG seed");
+  flags.AddString("out", "clickstream.csv", "output CSV path");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+
+  auto profile = ParseProfileName(flags.GetString("profile"));
+  if (!profile.ok()) return Fail(profile.status());
+  auto cs = GenerateProfileClickstream(
+      *profile, flags.GetDouble("scale"),
+      static_cast<uint64_t>(flags.GetInt("seed")));
+  if (!cs.ok()) return Fail(cs.status());
+  Status st = WriteClickstreamCsvFile(*cs, flags.GetString("out"));
+  if (!st.ok()) return Fail(st);
+  ClickstreamStats stats = cs->ComputeStats();
+  std::printf("wrote %s\n%s\n", flags.GetString("out").c_str(),
+              stats.ToString().c_str());
+  return 0;
+}
+
+int CmdConstruct(int argc, char** argv) {
+  FlagParser flags(
+      "prefcover construct: clickstream CSV -> preference graph (.pcg)");
+  flags.AddString("input", "clickstream.csv", "clickstream CSV path");
+  flags.AddString("out", "graph.pcg", "output graph path");
+  flags.AddString("variant", "auto",
+                  "independent|normalized|auto (auto applies the paper's "
+                  "selection rules)");
+  flags.AddDouble("min-edge-weight", 0.0, "drop edges weaker than this");
+  flags.AddInt("min-purchases", 0,
+               "drop edges out of items with fewer purchases");
+  flags.AddBool("streaming", false,
+                "single-pass construction without loading sessions into "
+                "memory (for very large inputs; requires an explicit "
+                "--variant)");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+
+  GraphConstructionOptions options;
+  options.min_edge_weight = flags.GetDouble("min-edge-weight");
+  options.min_purchases_for_edges =
+      static_cast<size_t>(flags.GetInt("min-purchases"));
+  const std::string& variant_flag = flags.GetString("variant");
+
+  Result<PreferenceGraph> graph = Status::Internal("unset");
+  if (flags.GetBool("streaming")) {
+    // Variant selection needs the sessions in memory; the streaming path
+    // therefore requires the caller to commit to a variant.
+    auto variant = ParseVariant(variant_flag);
+    if (!variant.ok()) {
+      return Fail(Status::InvalidArgument(
+          "--streaming requires --variant=independent|normalized"));
+    }
+    options.variant = *variant;
+    graph = BuildPreferenceGraphStreamingFile(flags.GetString("input"),
+                                              options);
+  } else {
+    auto cs = ReadClickstreamCsvFile(flags.GetString("input"));
+    if (!cs.ok()) return Fail(cs.status());
+    if (variant_flag == "auto") {
+      VariantRecommendation rec = RecommendVariant(*cs);
+      std::printf("variant selection: %s\n", rec.ToString().c_str());
+      options.variant = rec.variant;
+    } else {
+      auto variant = ParseVariant(variant_flag);
+      if (!variant.ok()) return Fail(variant.status());
+      options.variant = *variant;
+    }
+    graph = BuildPreferenceGraph(*cs, options);
+  }
+  if (!graph.ok()) return Fail(graph.status());
+  Status st = WriteGraphBinaryFile(*graph, flags.GetString("out"));
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s: %zu nodes, %zu edges (variant hint: %s)\n",
+              flags.GetString("out").c_str(), graph->NumNodes(),
+              graph->NumEdges(),
+              std::string(VariantName(options.variant)).c_str());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  FlagParser flags("prefcover stats: describe a graph file");
+  flags.AddString("graph", "graph.pcg", "graph path");
+  flags.AddBool("degrees", false, "also print the out-degree histogram");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  GraphStats stats = ComputeGraphStats(*graph);
+  std::printf("%s\n", stats.ToString().c_str());
+  std::printf("normalized-admissible: %s\n",
+              IsNormalizedAdmissible(*graph) ? "yes" : "no");
+  if (flags.GetBool("degrees")) {
+    double hi = static_cast<double>(stats.max_out_degree) + 1.0;
+    Histogram degrees(0.0, hi, std::min<size_t>(16, stats.max_out_degree + 1));
+    for (NodeId v = 0; v < graph->NumNodes(); ++v) {
+      degrees.Add(static_cast<double>(graph->OutDegree(v)));
+    }
+    std::printf("\nout-degree distribution:\n%s",
+                degrees.ToString().c_str());
+  }
+  return 0;
+}
+
+Result<Variant> ResolveVariant(const std::string& name,
+                               const PreferenceGraph& graph) {
+  if (name == "auto") {
+    // Without session data, pick Normalized only when admissible.
+    return IsNormalizedAdmissible(graph) ? Variant::kNormalized
+                                         : Variant::kIndependent;
+  }
+  return ParseVariant(name);
+}
+
+Status WriteSolutionCsv(const PreferenceGraph& graph,
+                        const Solution& solution, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  CsvWriter writer(&out);
+  writer.WriteRecord({"rank", "item_id", "label", "weight",
+                      "cover_after_prefix"});
+  for (size_t i = 0; i < solution.items.size(); ++i) {
+    NodeId v = solution.items[i];
+    char weight[32], cover[32];
+    std::snprintf(weight, sizeof(weight), "%.10g", graph.NodeWeight(v));
+    std::snprintf(cover, sizeof(cover), "%.10g",
+                  solution.cover_after_prefix[i]);
+    writer.WriteRecord({std::to_string(i + 1), std::to_string(v),
+                        graph.DisplayName(v), weight, cover});
+  }
+  return Status::OK();
+}
+
+int CmdSolve(int argc, char** argv) {
+  FlagParser flags("prefcover solve: select k items maximizing the cover");
+  flags.AddString("graph", "graph.pcg", "graph path");
+  flags.AddInt("k", 100, "number of items to retain");
+  flags.AddString("variant", "auto", "independent|normalized|auto");
+  flags.AddString("algorithm", "lazy",
+                  "greedy|lazy|parallel|topk-w|topk-c|random");
+  flags.AddInt("threads", 4, "threads for --algorithm=parallel");
+  flags.AddInt("seed", 42, "seed for --algorithm=random");
+  flags.AddString("out", "", "optional CSV for the retained items");
+  flags.AddString("coverage-out", "",
+                  "optional per-item coverage CSV (whole catalog)");
+  flags.AddBool("report", false, "print the full solution report");
+  flags.AddString("force-include", "",
+                  "comma-separated item ids that must be retained "
+                  "(greedy algorithms only)");
+  flags.AddString("force-exclude", "",
+                  "comma-separated item ids that must not be retained "
+                  "(greedy algorithms only)");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+
+  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto variant = ResolveVariant(flags.GetString("variant"), *graph);
+  if (!variant.ok()) return Fail(variant.status());
+
+  const std::string& algo_name = flags.GetString("algorithm");
+  Algorithm algorithm;
+  if (algo_name == "greedy") {
+    algorithm = Algorithm::kGreedy;
+  } else if (algo_name == "lazy") {
+    algorithm = Algorithm::kGreedyLazy;
+  } else if (algo_name == "parallel") {
+    algorithm = Algorithm::kGreedyParallel;
+  } else if (algo_name == "topk-w") {
+    algorithm = Algorithm::kTopKWeight;
+  } else if (algo_name == "topk-c") {
+    algorithm = Algorithm::kTopKCoverage;
+  } else if (algo_name == "random") {
+    algorithm = Algorithm::kRandom;
+  } else {
+    return Fail(Status::InvalidArgument("unknown algorithm " + algo_name));
+  }
+
+  GreedyOptions greedy_options;
+  greedy_options.variant = *variant;
+  for (const std::string& field :
+       SplitString(flags.GetString("force-include"), ',')) {
+    if (field.empty()) continue;
+    auto id = ParseUint32(field);
+    if (!id.ok()) return Fail(id.status());
+    greedy_options.force_include.push_back(*id);
+  }
+  for (const std::string& field :
+       SplitString(flags.GetString("force-exclude"), ',')) {
+    if (field.empty()) continue;
+    auto id = ParseUint32(field);
+    if (!id.ok()) return Fail(id.status());
+    greedy_options.force_exclude.push_back(*id);
+  }
+  const bool constrained = !greedy_options.force_include.empty() ||
+                           !greedy_options.force_exclude.empty();
+  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  Result<Solution> solution = Status::Internal("unset");
+  if (constrained) {
+    switch (algorithm) {
+      case Algorithm::kGreedy:
+        solution = SolveGreedy(*graph, k, greedy_options);
+        break;
+      case Algorithm::kGreedyLazy:
+        solution = SolveGreedyLazy(*graph, k, greedy_options);
+        break;
+      case Algorithm::kGreedyParallel: {
+        ThreadPool pool(static_cast<size_t>(flags.GetInt("threads")));
+        solution = SolveGreedyParallel(*graph, k, &pool, greedy_options);
+        break;
+      }
+      default:
+        return Fail(Status::InvalidArgument(
+            "--force-include/--force-exclude require a greedy algorithm"));
+    }
+  } else {
+    solution = RunAlgorithm(algorithm, *graph, k, *variant, &rng,
+                            static_cast<size_t>(flags.GetInt("threads")));
+  }
+  if (!solution.ok()) return Fail(solution.status());
+
+  std::printf("%s (%s variant): retained %zu of %zu items, cover %.4f%% "
+              "in %s\n",
+              AlgorithmDisplayName(algorithm).c_str(),
+              std::string(VariantName(*variant)).c_str(),
+              solution->items.size(), graph->NumNodes(),
+              solution->cover * 100.0,
+              FormatDuration(solution->solve_seconds).c_str());
+  if (flags.GetBool("report")) {
+    auto report = BuildSolutionReport(*graph, *solution);
+    if (!report.ok()) return Fail(report.status());
+    PrintSolutionReport(*report, &std::cout);
+  }
+  if (!flags.GetString("out").empty()) {
+    Status st = WriteSolutionCsv(*graph, *solution, flags.GetString("out"));
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", flags.GetString("out").c_str());
+  }
+  if (!flags.GetString("coverage-out").empty()) {
+    std::ofstream cov(flags.GetString("coverage-out"));
+    if (!cov) return Fail(Status::IOError("cannot open coverage-out"));
+    Status st = WriteCoverageCsv(*graph, *solution, &cov);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", flags.GetString("coverage-out").c_str());
+  }
+  return 0;
+}
+
+int CmdThreshold(int argc, char** argv) {
+  FlagParser flags(
+      "prefcover threshold: smallest set reaching a coverage target");
+  flags.AddString("graph", "graph.pcg", "graph path");
+  flags.AddDouble("coverage", 0.8, "coverage target in [0,1]");
+  flags.AddString("variant", "auto", "independent|normalized|auto");
+  flags.AddString("out", "", "optional CSV for the retained items");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+
+  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto variant = ResolveVariant(flags.GetString("variant"), *graph);
+  if (!variant.ok()) return Fail(variant.status());
+
+  auto result = SolveCoverageThreshold(*graph, flags.GetDouble("coverage"),
+                                       *variant,
+                                       ThresholdAlgorithm::kGreedy);
+  if (!result.ok()) return Fail(result.status());
+  if (!result->reached) {
+    std::printf("target unreachable: full catalog covers %.4f%%\n",
+                result->solution.cover * 100.0);
+    return 1;
+  }
+  std::printf("%zu items (%.2f%% of the catalog) cover %.4f%%\n",
+              result->set_size,
+              100.0 * static_cast<double>(result->set_size) /
+                  static_cast<double>(graph->NumNodes()),
+              result->solution.cover * 100.0);
+  if (!flags.GetString("out").empty()) {
+    Status st =
+        WriteSolutionCsv(*graph, result->solution, flags.GetString("out"));
+    if (!st.ok()) return Fail(st);
+  }
+  return 0;
+}
+
+int CmdExport(int argc, char** argv) {
+  FlagParser flags("prefcover export: dump a .pcg graph to CSV");
+  flags.AddString("graph", "graph.pcg", "graph path");
+  flags.AddString("nodes", "nodes.csv", "output node CSV");
+  flags.AddString("edges", "edges.csv", "output edge CSV");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  std::ofstream nodes(flags.GetString("nodes"));
+  std::ofstream edges(flags.GetString("edges"));
+  if (!nodes || !edges) {
+    return Fail(Status::IOError("cannot open output files"));
+  }
+  Status st = WriteGraphCsv(*graph, &nodes, &edges);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %s and %s\n", flags.GetString("nodes").c_str(),
+              flags.GetString("edges").c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::fputs(
+      "usage: prefcover <command> [flags]\n\n"
+      "commands:\n"
+      "  generate    synthesize a profile-shaped clickstream CSV\n"
+      "  construct   clickstream CSV -> preference graph (.pcg)\n"
+      "  stats       describe a graph file\n"
+      "  solve       select k items maximizing the cover\n"
+      "  threshold   smallest set reaching a coverage target\n"
+      "  export      dump a .pcg graph to nodes/edges CSV\n\n"
+      "run `prefcover <command> --help` for command flags\n",
+      stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  std::string command = argv[1];
+  // Shift argv so each command parses its own flags from argv[1:].
+  int sub_argc = argc - 1;
+  char** sub_argv = argv + 1;
+  if (command == "generate") return CmdGenerate(sub_argc, sub_argv);
+  if (command == "construct") return CmdConstruct(sub_argc, sub_argv);
+  if (command == "stats") return CmdStats(sub_argc, sub_argv);
+  if (command == "solve") return CmdSolve(sub_argc, sub_argv);
+  if (command == "threshold") return CmdThreshold(sub_argc, sub_argv);
+  if (command == "export") return CmdExport(sub_argc, sub_argv);
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintUsage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n\n", command.c_str());
+  PrintUsage();
+  return 1;
+}
