@@ -2,6 +2,8 @@
 // node insertion, exact cover evaluation, graph finalization, and the
 // full lazy greedy, across graph sizes.
 
+#include <cstdint>
+
 #include <benchmark/benchmark.h>
 
 #include "core/cover_function.h"
@@ -11,6 +13,7 @@
 #include "graph/graph_generators.h"
 #include "synth/dataset_profiles.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace prefcover {
 namespace {
@@ -111,13 +114,50 @@ void BM_LazyGreedy(benchmark::State& state) {
       DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
   PREFCOVER_CHECK(g.ok());
   const size_t k = static_cast<size_t>(state.range(0)) / 20;
+  uint64_t gain_evals = 0, heap_pops = 0;
   for (auto _ : state) {
     auto sol = SolveGreedyLazy(*g, k);
     PREFCOVER_CHECK(sol.ok());
     benchmark::DoNotOptimize(sol->cover);
+    gain_evals = sol->stats.gain_evaluations;
+    heap_pops = sol->stats.heap_pops;
   }
+  state.counters["gain_evals"] = static_cast<double>(gain_evals);
+  state.counters["heap_pops"] = static_cast<double>(heap_pops);
 }
 BENCHMARK(BM_LazyGreedy)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+// Batched CELF across pool widths and batch sizes; the telemetry counters
+// expose how much work the pruning saves vs. the full O(nk) scan.
+void BM_LazyParallelGreedy(benchmark::State& state) {
+  auto g = GenerateProfileGraphWithNodes(
+      DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
+  PREFCOVER_CHECK(g.ok());
+  const size_t k = static_cast<size_t>(state.range(0)) / 20;
+  ThreadPool pool(static_cast<size_t>(state.range(1)));
+  GreedyOptions options;
+  options.batch_size = static_cast<size_t>(state.range(2));
+  uint64_t gain_evals = 0;
+  double stale_ratio = 0.0, utilization = 0.0;
+  for (auto _ : state) {
+    auto sol = SolveGreedyLazyParallel(*g, k, &pool, options);
+    PREFCOVER_CHECK(sol.ok());
+    benchmark::DoNotOptimize(sol->cover);
+    gain_evals = sol->stats.gain_evaluations;
+    stale_ratio = sol->stats.StaleRatio();
+    utilization = sol->stats.PoolUtilization();
+  }
+  state.counters["gain_evals"] = static_cast<double>(gain_evals);
+  state.counters["stale_ratio"] = stale_ratio;
+  state.counters["pool_util"] = utilization;
+}
+BENCHMARK(BM_LazyParallelGreedy)
+    ->Args({10000, 1, 0})
+    ->Args({10000, 4, 0})
+    ->Args({10000, 4, 4})
+    ->Args({10000, 4, 64})
+    ->Args({50000, 4, 0})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PlainGreedy(benchmark::State& state) {

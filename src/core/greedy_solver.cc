@@ -1,6 +1,7 @@
 #include "core/greedy_solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numbers>
@@ -17,96 +18,137 @@ namespace prefcover {
 
 namespace {
 
-Solution FinishSolution(const CoverState& state, std::vector<NodeId> items,
-                        std::vector<double> prefix_covers, Variant variant,
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// Working set shared by the four executions: the incremental cover state,
+// the partial solution, the exclusion mask and the telemetry counters.
+struct GreedyRun {
+  GreedyRun(const PreferenceGraph* graph, Variant variant)
+      : state(graph, variant) {}
+
+  CoverState state;
+  std::vector<NodeId> items;
+  std::vector<double> prefix_covers;
+  Bitset excluded;
+  SolverStats stats;
+  Stopwatch iteration_timer;
+
+  // Commits one greedy selection and records its wall time.
+  void Select(NodeId v) {
+    state.AddNode(v);
+    items.push_back(v);
+    prefix_covers.push_back(state.cover());
+    ++stats.iterations;
+    double seconds = iteration_timer.ElapsedSeconds();
+    stats.total_iteration_seconds += seconds;
+    stats.max_iteration_seconds =
+        std::max(stats.max_iteration_seconds, seconds);
+    iteration_timer.Reset();
+  }
+};
+
+// Validates options (exactly ValidateGreedyOptions) and seeds the run with
+// the forced items, recording them as the first selections. Forced picks
+// are not search iterations, so they bypass Select() and its counters.
+Status InitGreedyRun(const PreferenceGraph& graph, size_t k,
+                     const GreedyOptions& options, GreedyRun* run) {
+  PREFCOVER_RETURN_NOT_OK(ValidateGreedyOptions(graph, k, options));
+  run->items.reserve(k);
+  run->prefix_covers.reserve(k);
+  run->excluded = Bitset(graph.NumNodes());
+  for (NodeId v : options.force_exclude) run->excluded.Set(v);
+  for (NodeId v : options.force_include) {
+    run->state.AddNode(v);
+    run->items.push_back(v);
+    run->prefix_covers.push_back(run->state.cover());
+  }
+  run->iteration_timer.Reset();
+  return Status::OK();
+}
+
+Solution FinishSolution(GreedyRun&& run, Variant variant,
                         const char* algorithm, double seconds) {
   Solution sol;
-  sol.items = std::move(items);
-  sol.cover_after_prefix = std::move(prefix_covers);
-  sol.cover = state.cover();
-  sol.item_contributions = state.item_contributions();
+  sol.items = std::move(run.items);
+  sol.cover_after_prefix = std::move(run.prefix_covers);
+  sol.cover = run.state.cover();
+  sol.item_contributions = run.state.item_contributions();
   sol.variant = variant;
   sol.algorithm = algorithm;
   sol.solve_seconds = seconds;
+  sol.stats = run.stats;
   return sol;
 }
 
-// Validates force_include / force_exclude and seeds the solver state with
-// the forced items (recording them as the first selections). On return
-// `excluded` marks the nodes barred from selection.
-Status ApplyConstraints(const PreferenceGraph& graph, size_t k,
-                        const GreedyOptions& options, CoverState* state,
-                        std::vector<NodeId>* items,
-                        std::vector<double>* prefix_covers,
-                        Bitset* excluded) {
-  *excluded = Bitset(graph.NumNodes());
+}  // namespace
+
+Status ValidateGreedyOptions(const PreferenceGraph& graph, size_t k,
+                             const GreedyOptions& options) {
+  if (std::isnan(options.stop_at_cover)) {
+    return Status::InvalidArgument("stop_at_cover must not be NaN");
+  }
+  const size_t n = graph.NumNodes();
+  Bitset excluded(n);
   for (NodeId v : options.force_exclude) {
-    if (v >= graph.NumNodes()) {
+    if (v >= n) {
       return Status::InvalidArgument("force_exclude item out of range: " +
                                      std::to_string(v));
     }
-    excluded->Set(v);
+    if (excluded.Test(v)) {
+      return Status::InvalidArgument("force_exclude item duplicated: " +
+                                     std::to_string(v));
+    }
+    excluded.Set(v);
   }
   if (options.force_include.size() > k) {
-    return Status::InvalidArgument(
-        "force_include larger than the budget k");
+    return Status::InvalidArgument("force_include larger than the budget k");
   }
+  Bitset included(n);
   for (NodeId v : options.force_include) {
-    if (v >= graph.NumNodes()) {
+    if (v >= n) {
       return Status::InvalidArgument("force_include item out of range: " +
                                      std::to_string(v));
     }
-    if (excluded->Test(v)) {
+    if (excluded.Test(v)) {
       return Status::InvalidArgument(
           "item " + std::to_string(v) +
           " is both force_include and force_exclude");
     }
-    if (state->IsRetained(v)) {
+    if (included.Test(v)) {
       return Status::InvalidArgument("force_include item duplicated: " +
                                      std::to_string(v));
     }
-    state->AddNode(v);
-    items->push_back(v);
-    prefix_covers->push_back(state->cover());
+    included.Set(v);
   }
   return Status::OK();
 }
 
-}  // namespace
 Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
                              const GreedyOptions& options) {
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
   const size_t n = graph.NumNodes();
-  CoverState state(&graph, options.variant);
-  std::vector<NodeId> items;
-  std::vector<double> prefix_covers;
-  items.reserve(k);
-  prefix_covers.reserve(k);
-  Bitset excluded;
-  PREFCOVER_RETURN_NOT_OK(ApplyConstraints(graph, k, options, &state,
-                                           &items, &prefix_covers,
-                                           &excluded));
+  GreedyRun run(&graph, options.variant);
+  PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
 
-  while (items.size() < k) {
-    if (state.cover() >= options.stop_at_cover) break;
+  while (run.items.size() < k) {
+    if (run.state.cover() >= options.stop_at_cover) break;
     double best_gain = -1.0;
     NodeId best = kInvalidNode;
     for (NodeId v = 0; v < n; ++v) {
-      if (state.IsRetained(v) || excluded.Test(v)) continue;
-      double gain = state.GainOf(v);
+      if (run.state.IsRetained(v) || run.excluded.Test(v)) continue;
+      double gain = run.state.GainOf(v);
+      ++run.stats.gain_evaluations;
       if (gain > best_gain) {  // strict: ties keep the smaller id
         best_gain = gain;
         best = v;
       }
     }
     if (best == kInvalidNode) break;  // all nodes retained
-    state.AddNode(best);
-    items.push_back(best);
-    prefix_covers.push_back(state.cover());
+    run.Select(best);
   }
-  return FinishSolution(state, std::move(items), std::move(prefix_covers),
-                        options.variant, "greedy", timer.ElapsedSeconds());
+  return FinishSolution(std::move(run), options.variant, "greedy",
+                        timer.ElapsedSeconds());
 }
 
 Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
@@ -115,106 +157,218 @@ Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
   const size_t n = graph.NumNodes();
-  CoverState state(&graph, options.variant);
-  std::vector<NodeId> items;
-  std::vector<double> prefix_covers;
-  items.reserve(k);
-  prefix_covers.reserve(k);
-  Bitset excluded;
-  PREFCOVER_RETURN_NOT_OK(ApplyConstraints(graph, k, options, &state,
-                                           &items, &prefix_covers,
-                                           &excluded));
+  GreedyRun run(&graph, options.variant);
+  PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
+  run.stats.threads = pool == nullptr ? 1 : pool->num_threads();
 
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  while (items.size() < k) {
-    if (state.cover() >= options.stop_at_cover) break;
+  std::atomic<uint64_t> gain_evaluations{0};
+  while (run.items.size() < k) {
+    if (run.state.cover() >= options.stop_at_cover) break;
     double best_gain = kNegInf;
     size_t best = ParallelArgMax(
         pool, n,
-        [&state, &excluded](size_t v) {
+        [&run, &gain_evaluations](size_t v) {
           NodeId node = static_cast<NodeId>(v);
-          if (state.IsRetained(node) || excluded.Test(node)) {
-            return -std::numeric_limits<double>::infinity();
+          if (run.state.IsRetained(node) || run.excluded.Test(node)) {
+            return kNegInf;
           }
-          return state.GainOf(node);
+          gain_evaluations.fetch_add(1, std::memory_order_relaxed);
+          return run.state.GainOf(node);
         },
         &best_gain);
+    ++run.stats.parallel_batches;
+    run.stats.parallel_items += n;
     if (best == n || best_gain == kNegInf) break;
-    NodeId chosen = static_cast<NodeId>(best);
-    state.AddNode(chosen);
-    items.push_back(chosen);
-    prefix_covers.push_back(state.cover());
+    run.Select(static_cast<NodeId>(best));
   }
-  return FinishSolution(state, std::move(items), std::move(prefix_covers),
-                        options.variant, "greedy-parallel",
+  run.stats.gain_evaluations = gain_evaluations.load();
+  return FinishSolution(std::move(run), options.variant, "greedy-parallel",
                         timer.ElapsedSeconds());
 }
+
+namespace {
+
+// Shared by the two CELF executions.
+struct HeapEntry {
+  double gain;
+  NodeId node;
+  // Selection round the gain was computed in; stale entries are
+  // re-evaluated before they can win.
+  uint32_t round;
+};
+struct Worse {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;  // smaller id wins ties, as in plain greedy
+  }
+};
+using LazyHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Worse>;
+
+}  // namespace
 
 Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
                                  const GreedyOptions& options) {
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
   const size_t n = graph.NumNodes();
-  CoverState state(&graph, options.variant);
-  std::vector<NodeId> items;
-  std::vector<double> prefix_covers;
-  items.reserve(k);
-  prefix_covers.reserve(k);
-  Bitset excluded;
-  PREFCOVER_RETURN_NOT_OK(ApplyConstraints(graph, k, options, &state,
-                                           &items, &prefix_covers,
-                                           &excluded));
+  GreedyRun run(&graph, options.variant);
+  PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
 
-  struct HeapEntry {
-    double gain;
-    NodeId node;
-    // Selection round the gain was computed in; stale entries are
-    // re-evaluated before they can win.
-    uint32_t round;
-  };
-  struct Worse {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.gain != b.gain) return a.gain < b.gain;
-      return a.node > b.node;  // smaller id wins ties, as in plain greedy
-    }
-  };
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Worse> heap;
-
+  LazyHeap heap;
   {
     // Initial gains: I is all zeros, so GainOf reduces to the static
     // standalone value; one pass over the in-adjacency.
     std::vector<HeapEntry> initial;
     initial.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
-      if (state.IsRetained(v) || excluded.Test(v)) continue;
-      initial.push_back({state.GainOf(v), v, 0});
+      if (run.state.IsRetained(v) || run.excluded.Test(v)) continue;
+      initial.push_back({run.state.GainOf(v), v, 0});
+      ++run.stats.gain_evaluations;
     }
-    heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, Worse>(
-        Worse(), std::move(initial));
+    heap = LazyHeap(Worse(), std::move(initial));
   }
 
   uint32_t round = 0;
-  while (items.size() < k && !heap.empty()) {
-    if (state.cover() >= options.stop_at_cover) break;
+  run.iteration_timer.Reset();
+  while (run.items.size() < k && !heap.empty()) {
+    if (run.state.cover() >= options.stop_at_cover) break;
     HeapEntry top = heap.top();
     heap.pop();
-    if (state.IsRetained(top.node)) continue;
+    ++run.stats.heap_pops;
+    if (run.state.IsRetained(top.node)) continue;
     if (top.round != round) {
       // Submodularity: the true gain can only be <= the stale value, so
       // after refreshing, re-inserting preserves heap correctness.
-      top.gain = state.GainOf(top.node);
+      top.gain = run.state.GainOf(top.node);
       top.round = round;
+      ++run.stats.gain_evaluations;
+      ++run.stats.stale_refreshes;
       heap.push(top);
       continue;
     }
-    state.AddNode(top.node);
-    items.push_back(top.node);
-    prefix_covers.push_back(state.cover());
+    run.Select(top.node);
     ++round;
   }
-  return FinishSolution(state, std::move(items), std::move(prefix_covers),
-                        options.variant, "greedy-lazy",
+  return FinishSolution(std::move(run), options.variant, "greedy-lazy",
                         timer.ElapsedSeconds());
+}
+
+Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
+                                         size_t k, ThreadPool* pool,
+                                         const GreedyOptions& options) {
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
+  Stopwatch timer;
+  const size_t n = graph.NumNodes();
+  GreedyRun run(&graph, options.variant);
+  PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
+
+  const size_t threads = pool == nullptr ? 1 : pool->num_threads();
+  const size_t batch_size =
+      options.batch_size > 0 ? options.batch_size
+                             : std::max<size_t>(size_t{1}, 4 * threads);
+  run.stats.threads = threads;
+  run.stats.batch_size = batch_size;
+
+  LazyHeap heap;
+  {
+    // Initial gains are independent of each other (GainOf is const), so
+    // the heap seed itself is evaluated on the pool.
+    std::vector<double> initial_gains(n, kNegInf);
+    ParallelFor(pool, 0, n, [&run, &initial_gains](size_t i) {
+      NodeId v = static_cast<NodeId>(i);
+      if (run.state.IsRetained(v) || run.excluded.Test(v)) return;
+      initial_gains[i] = run.state.GainOf(v);
+    });
+    ++run.stats.parallel_batches;
+    run.stats.parallel_items += n;
+    std::vector<HeapEntry> initial;
+    initial.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (initial_gains[v] == kNegInf) continue;
+      initial.push_back({initial_gains[v], v, 0});
+      ++run.stats.gain_evaluations;
+    }
+    heap = LazyHeap(Worse(), std::move(initial));
+  }
+
+  std::vector<size_t> batch;
+  std::vector<double> batch_gains;
+  // The heap never holds more than n entries, so an oversized (or
+  // size_t-max) batch_size must not translate into an oversized reserve.
+  batch.reserve(std::min(batch_size, n));
+  uint32_t round = 0;
+  run.iteration_timer.Reset();
+  while (run.items.size() < k && !heap.empty()) {
+    if (run.state.cover() >= options.stop_at_cover) break;
+    HeapEntry top = heap.top();
+    if (run.state.IsRetained(top.node)) {
+      heap.pop();
+      ++run.stats.heap_pops;
+      continue;
+    }
+    if (top.round == round) {
+      // A fresh top dominates every other entry's stored gain, and stored
+      // gains upper-bound true gains (submodularity), so this is exactly
+      // the plain-greedy argmax; the heap comparator already broke gain
+      // ties toward the smaller id.
+      heap.pop();
+      ++run.stats.heap_pops;
+      run.Select(top.node);
+      ++round;
+      continue;
+    }
+
+    // Batched CELF: pop up to B stale candidates and refresh their gains
+    // concurrently. Stop early if a fresh entry surfaces — it may already
+    // be the winner, no need to refresh anything beneath it.
+    batch.clear();
+    while (batch.size() < batch_size && !heap.empty()) {
+      HeapEntry e = heap.top();
+      if (run.state.IsRetained(e.node)) {
+        heap.pop();
+        ++run.stats.heap_pops;
+        continue;
+      }
+      if (e.round == round) break;
+      heap.pop();
+      ++run.stats.heap_pops;
+      batch.push_back(e.node);
+    }
+
+    double best_gain = kNegInf;
+    size_t best_pos = ParallelArgMaxBatch(
+        pool, batch,
+        [&run](size_t v) {
+          return run.state.GainOf(static_cast<NodeId>(v));
+        },
+        &batch_gains, &best_gain);
+    ++run.stats.parallel_batches;
+    run.stats.parallel_items += batch.size();
+    run.stats.gain_evaluations += batch.size();
+    run.stats.stale_refreshes += batch.size();
+
+    // Fast path: if the best refreshed gain strictly beats the top stored
+    // gain left in the heap, it beats every remaining true gain (true <=
+    // stored), and ParallelArgMaxBatch already resolved in-batch ties
+    // toward the smaller id — so it is exactly the plain-greedy argmax.
+    // On equality we cannot decide here (a remaining entry might refresh
+    // to the same gain with a smaller id), so everything is reinserted
+    // fresh and the next loop iteration selects via the heap comparator.
+    const bool select_now =
+        best_pos != batch.size() &&
+        (heap.empty() || best_gain > heap.top().gain);
+    for (size_t j = 0; j < batch.size(); ++j) {
+      if (select_now && j == best_pos) continue;
+      heap.push({batch_gains[j], static_cast<NodeId>(batch[j]), round});
+    }
+    if (select_now) {
+      run.Select(static_cast<NodeId>(batch[best_pos]));
+      ++round;
+    }
+  }
+  return FinishSolution(std::move(run), options.variant,
+                        "greedy-lazy-parallel", timer.ElapsedSeconds());
 }
 
 double GreedyApproximationGuarantee(Variant variant, size_t k, size_t n) {

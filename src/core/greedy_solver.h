@@ -1,16 +1,26 @@
-// The paper's greedy scheme (Algorithm 1) in three executions that produce
+// The paper's greedy scheme (Algorithm 1) in four executions that produce
 // identical solutions:
 //
-//   - plain:    the literal O(nkD) loop — each of the k iterations scans
-//               every unretained candidate's Gain;
-//   - parallel: the paper's parallelization — the per-iteration candidate
-//               scan fans out over a thread pool, O(k + nkD/N) for N
-//               threads;
-//   - lazy:     CELF-style stale-gain pruning. Both variants' cover
-//               functions are monotone submodular, so a candidate's gain
-//               only decreases as S grows; re-evaluating the heap top until
-//               it is fresh selects exactly the plain-greedy argmax (ties
-//               break to the smaller id in all three executions).
+//   - plain:         the literal O(nkD) loop — each of the k iterations
+//                    scans every unretained candidate's Gain;
+//   - parallel:      the paper's parallelization — the per-iteration
+//                    candidate scan fans out over a thread pool,
+//                    O(k + nkD/N) for N threads;
+//   - lazy:          CELF-style stale-gain pruning. Both variants' cover
+//                    functions are monotone submodular, so a candidate's
+//                    gain only decreases as S grows; re-evaluating the heap
+//                    top until it is fresh selects exactly the plain-greedy
+//                    argmax (ties break to the smaller id in every
+//                    execution);
+//   - lazy-parallel: batched CELF — pops the top-B stale candidates,
+//                    re-evaluates their gains concurrently on the pool, and
+//                    reinserts until the top is fresh. Combines the lazy
+//                    execution's pruning with the parallel execution's
+//                    throughput while still selecting the identical node
+//                    sequence (see docs/ALGORITHMS.md for the argument).
+//
+// Every execution fills `Solution::stats` (SolverStats) so pruning
+// effectiveness and parallel utilization are measurable.
 //
 // Approximation guarantees (paper Theorems 3.1 / 4.1 and Table 1):
 //   Independent: (1 - 1/e), tight unless P = NP.
@@ -37,6 +47,7 @@ struct GreedyOptions {
   /// Stop early once C(S) reaches this threshold (the complementary
   /// minimization problem of Section 3.2); 1.0 keeps the budget semantics
   /// (C(S) can reach 1 exactly only when S covers everything).
+  /// Must not be NaN.
   double stop_at_cover = 2.0;  // > 1 == never stop early
 
   /// Items that MUST be retained (e.g. contracted with a vendor). They are
@@ -47,8 +58,22 @@ struct GreedyOptions {
 
   /// Items that must NOT be retained (e.g. restricted from cross-border
   /// shipping). They can still be *covered* by retained alternatives.
+  /// Must be distinct and within range.
   std::vector<NodeId> force_exclude;
+
+  /// Batch size B for SolveGreedyLazyParallel: how many stale heap entries
+  /// are re-evaluated per parallel dispatch. 0 = auto (4x the pool width).
+  /// The selected node sequence is identical for every value.
+  size_t batch_size = 0;
 };
+
+/// \brief Validates a GreedyOptions instance against the problem size: NaN
+/// stop_at_cover, duplicate or out-of-range force_include/force_exclude,
+/// overlap between the two lists, force_include larger than k. Every
+/// greedy entry point applies exactly this check, so all four executions
+/// accept and reject the same inputs with the same errors.
+Status ValidateGreedyOptions(const PreferenceGraph& graph, size_t k,
+                             const GreedyOptions& options);
 
 /// \brief Plain greedy (Algorithm 1). k must be <= NumNodes().
 Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
@@ -65,6 +90,15 @@ Result<Solution> SolveGreedyParallel(
 /// typically orders of magnitude faster for large n with small k/n.
 Result<Solution> SolveGreedyLazy(
     const PreferenceGraph& graph, size_t k,
+    const GreedyOptions& options = GreedyOptions());
+
+/// \brief Batched-CELF greedy: lazy pruning with the stale re-evaluations
+/// fanned out over `pool` (nullptr degrades to a serial batched loop).
+/// Produces the same solution as SolveGreedy for any thread count and any
+/// batch size, including under force_include/force_exclude and
+/// stop_at_cover.
+Result<Solution> SolveGreedyLazyParallel(
+    const PreferenceGraph& graph, size_t k, ThreadPool* pool,
     const GreedyOptions& options = GreedyOptions());
 
 /// \brief The theoretical greedy approximation guarantee for a problem

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/solver_stats.h"
 #include "core/variant.h"
 #include "graph/preference_graph.h"
 #include "util/status.h"
@@ -42,6 +43,11 @@ struct Solution {
 
   /// Wall-clock seconds spent inside the solver.
   double solve_seconds = 0.0;
+
+  /// Execution telemetry (gain evaluations, heap pops, stale ratio,
+  /// iteration timings, pool utilization). Filled by the greedy-family
+  /// solvers; zero-initialized for solvers that don't report it.
+  SolverStats stats;
 
   /// Coverage of item v by S: 1 for retained, item_contributions[v]/W(v)
   /// otherwise (0 when W(v) == 0).

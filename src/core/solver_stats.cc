@@ -1,0 +1,43 @@
+#include "core/solver_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/timer.h"
+
+namespace prefcover {
+
+double SolverStats::StaleRatio() const {
+  if (heap_pops == 0) return 0.0;
+  return static_cast<double>(stale_refreshes) /
+         static_cast<double>(heap_pops);
+}
+
+double SolverStats::AvgIterationSeconds() const {
+  if (iterations == 0) return 0.0;
+  return total_iteration_seconds / static_cast<double>(iterations);
+}
+
+double SolverStats::PoolUtilization() const {
+  if (parallel_batches == 0 || threads == 0) return 0.0;
+  double per_dispatch = static_cast<double>(parallel_items) /
+                        static_cast<double>(parallel_batches);
+  return std::min(1.0, per_dispatch / static_cast<double>(threads));
+}
+
+std::string SolverStats::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "iters=%llu gains=%llu pops=%llu stale=%.1f%% "
+                "avg-iter=%s max-iter=%s threads=%zu batch=%zu util=%.0f%%",
+                static_cast<unsigned long long>(iterations),
+                static_cast<unsigned long long>(gain_evaluations),
+                static_cast<unsigned long long>(heap_pops),
+                StaleRatio() * 100.0,
+                FormatDuration(AvgIterationSeconds()).c_str(),
+                FormatDuration(max_iteration_seconds).c_str(), threads,
+                batch_size, PoolUtilization() * 100.0);
+  return buffer;
+}
+
+}  // namespace prefcover

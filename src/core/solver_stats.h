@@ -1,0 +1,79 @@
+// Lightweight solver telemetry: counters every greedy execution fills in
+// while it runs, so speedups and pruning effectiveness are measurable
+// rather than asserted.
+//
+// The counters are deliberately cheap (plain integers bumped on paths that
+// already do O(degree) work); the only per-iteration overhead is two
+// steady_clock reads for the iteration timer.
+
+#ifndef PREFCOVER_CORE_SOLVER_STATS_H_
+#define PREFCOVER_CORE_SOLVER_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace prefcover {
+
+/// \brief Execution counters for one solver run, surfaced in `Solution`.
+///
+/// Which fields are populated depends on the execution:
+///   - every greedy execution fills `iterations`, `gain_evaluations` and
+///     the iteration timings;
+///   - the lazy executions additionally fill `heap_pops` /
+///     `stale_refreshes`;
+///   - the parallel executions additionally fill `threads`,
+///     `parallel_batches` and `parallel_items` (and, for lazy-parallel,
+///     `batch_size`).
+struct SolverStats {
+  /// Greedy selection rounds performed by the search loop (force_include
+  /// seeding is not counted — it performs no candidate search).
+  uint64_t iterations = 0;
+
+  /// Calls to `CoverState::GainOf`. The headline pruning metric: lazy
+  /// executions should report far fewer than `iterations * n`.
+  uint64_t gain_evaluations = 0;
+
+  /// Heap pops in the lazy executions (including pops of retained or
+  /// stale entries).
+  uint64_t heap_pops = 0;
+
+  /// Popped entries whose gain was stale and had to be re-evaluated.
+  uint64_t stale_refreshes = 0;
+
+  /// Parallel dispatches (one per `ParallelArgMax` / batched call) and the
+  /// total work items they carried.
+  uint64_t parallel_batches = 0;
+  uint64_t parallel_items = 0;
+
+  /// Worker count of the pool the run used (1 for serial executions or a
+  /// null pool).
+  size_t threads = 1;
+
+  /// Effective CELF batch size B (lazy-parallel only; 1 otherwise).
+  size_t batch_size = 1;
+
+  /// Wall time spent inside search iterations, in total and for the single
+  /// slowest iteration.
+  double total_iteration_seconds = 0.0;
+  double max_iteration_seconds = 0.0;
+
+  /// stale_refreshes / heap_pops — the fraction of pops that needed a
+  /// re-evaluation; 0 when nothing was popped.
+  double StaleRatio() const;
+
+  /// total_iteration_seconds / iterations; 0 when nothing ran.
+  double AvgIterationSeconds() const;
+
+  /// How full the average parallel dispatch kept the pool:
+  /// min(1, parallel_items / (parallel_batches * threads)).
+  /// 0 when no parallel dispatch happened.
+  double PoolUtilization() const;
+
+  /// One-line human-readable rendering, e.g. for CLI and bench output.
+  std::string ToString() const;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_SOLVER_STATS_H_

@@ -15,6 +15,8 @@ std::string AlgorithmDisplayName(Algorithm algorithm) {
       return "Greedy(lazy)";
     case Algorithm::kGreedyParallel:
       return "Greedy(parallel)";
+    case Algorithm::kGreedyLazyParallel:
+      return "Greedy(lazy-parallel)";
     case Algorithm::kBruteForce:
       return "BF";
     case Algorithm::kTopKWeight:
@@ -41,6 +43,10 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
     case Algorithm::kGreedyParallel: {
       ThreadPool pool(num_threads);
       return SolveGreedyParallel(graph, k, &pool, greedy_options);
+    }
+    case Algorithm::kGreedyLazyParallel: {
+      ThreadPool pool(num_threads);
+      return SolveGreedyLazyParallel(graph, k, &pool, greedy_options);
     }
     case Algorithm::kBruteForce: {
       BruteForceOptions bf_options;

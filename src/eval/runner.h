@@ -18,9 +18,10 @@ namespace prefcover {
 /// \brief Solver identifiers for suite runs; mirrors the paper's
 /// competitor list (Section 5.3).
 enum class Algorithm {
-  kGreedy,          // plain Algorithm 1
-  kGreedyLazy,      // CELF execution of Algorithm 1 (same output)
-  kGreedyParallel,  // thread-pooled execution of Algorithm 1 (same output)
+  kGreedy,              // plain Algorithm 1
+  kGreedyLazy,          // CELF execution of Algorithm 1 (same output)
+  kGreedyParallel,      // thread-pooled execution of Algorithm 1 (same output)
+  kGreedyLazyParallel,  // batched CELF on a thread pool (same output)
   kBruteForce,
   kTopKWeight,
   kTopKCoverage,

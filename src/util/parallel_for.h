@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <vector>
 
 #include "util/thread_pool.h"
 
@@ -42,6 +43,25 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
 size_t ParallelArgMax(ThreadPool* pool, size_t n,
                       const std::function<double(size_t)>& score,
                       double* best_score);
+
+/// \brief Batched variant of ParallelArgMax over an explicit candidate
+/// list (the batched-CELF re-evaluation primitive).
+///
+/// Evaluates `score(candidates[j])` for every j concurrently. If `scores`
+/// is non-null it is resized to `candidates.size()` and receives every
+/// evaluated score, so the caller can reinsert refreshed heap entries.
+///
+/// Returns the *position* j of the best candidate, or `candidates.size()`
+/// when the list is empty or every score is -infinity. Ties break toward
+/// the smaller candidate *value* (not position) — candidates may arrive in
+/// arbitrary (e.g. heap-pop) order, and the solvers' deterministic rule is
+/// "smaller node id wins", independent of evaluation order or thread
+/// count.
+size_t ParallelArgMaxBatch(ThreadPool* pool,
+                           const std::vector<size_t>& candidates,
+                           const std::function<double(size_t)>& score,
+                           std::vector<double>* scores,
+                           double* best_score);
 
 }  // namespace prefcover
 

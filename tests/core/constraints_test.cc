@@ -2,6 +2,7 @@
 // solver family.
 
 #include <algorithm>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -52,37 +53,75 @@ TEST(ConstraintsTest, ExcludedItemStillCoverable) {
   EXPECT_DOUBLE_EQ(sol->ItemCoverage(g, 2), 1.0);
 }
 
-TEST(ConstraintsTest, ValidationErrors) {
+// Runs one options instance through all four greedy entry points and
+// asserts they reject (or accept) it identically — same status code, same
+// message — so no solver can drift into private validation behavior.
+void ExpectUniformValidation(const PreferenceGraph& g, size_t k,
+                             const GreedyOptions& options,
+                             bool expect_invalid) {
+  ThreadPool pool(2);
+  auto plain = SolveGreedy(g, k, options);
+  auto lazy = SolveGreedyLazy(g, k, options);
+  auto parallel = SolveGreedyParallel(g, k, &pool, options);
+  auto lazy_parallel = SolveGreedyLazyParallel(g, k, &pool, options);
+  EXPECT_EQ(plain.status().IsInvalidArgument(), expect_invalid);
+  EXPECT_EQ(lazy.status().ToString(), plain.status().ToString());
+  EXPECT_EQ(parallel.status().ToString(), plain.status().ToString());
+  EXPECT_EQ(lazy_parallel.status().ToString(), plain.status().ToString());
+  // The standalone validator agrees with what the solvers enforced.
+  EXPECT_EQ(ValidateGreedyOptions(g, k, options).IsInvalidArgument(),
+            expect_invalid);
+}
+
+TEST(ConstraintsTest, ValidationErrorsUniformAcrossAllFourExecutions) {
   PreferenceGraph g = MakePaperExampleGraph();
   {
     GreedyOptions options;
     options.force_include = {99};
-    EXPECT_TRUE(SolveGreedy(g, 2, options).status().IsInvalidArgument());
+    ExpectUniformValidation(g, 2, options, true);
   }
   {
     GreedyOptions options;
     options.force_exclude = {99};
-    EXPECT_TRUE(SolveGreedy(g, 2, options).status().IsInvalidArgument());
+    ExpectUniformValidation(g, 2, options, true);
   }
   {
     GreedyOptions options;
     options.force_include = {kA, kB, kD};  // more than k = 2
-    EXPECT_TRUE(SolveGreedy(g, 2, options).status().IsInvalidArgument());
+    ExpectUniformValidation(g, 2, options, true);
   }
   {
     GreedyOptions options;
     options.force_include = {kA};
     options.force_exclude = {kA};
-    EXPECT_TRUE(SolveGreedy(g, 2, options).status().IsInvalidArgument());
+    ExpectUniformValidation(g, 2, options, true);
   }
   {
     GreedyOptions options;
     options.force_include = {kA, kA};  // duplicate
-    EXPECT_TRUE(SolveGreedy(g, 2, options).status().IsInvalidArgument());
+    ExpectUniformValidation(g, 2, options, true);
+  }
+  {
+    GreedyOptions options;
+    options.force_exclude = {kB, kB};  // duplicate
+    ExpectUniformValidation(g, 2, options, true);
+  }
+  {
+    GreedyOptions options;
+    options.stop_at_cover = std::nan("");
+    ExpectUniformValidation(g, 2, options, true);
+  }
+  {
+    // A fully-loaded valid instance is accepted by all four.
+    GreedyOptions options;
+    options.force_include = {kE};
+    options.force_exclude = {kA};
+    options.stop_at_cover = 0.9;
+    ExpectUniformValidation(g, 2, options, false);
   }
 }
 
-TEST(ConstraintsTest, AllThreeExecutionsAgreeUnderConstraints) {
+TEST(ConstraintsTest, AllFourExecutionsAgreeUnderConstraints) {
   Rng rng(31);
   UniformGraphParams params;
   params.num_nodes = 120;
@@ -97,9 +136,12 @@ TEST(ConstraintsTest, AllThreeExecutionsAgreeUnderConstraints) {
   auto lazy = SolveGreedyLazy(*g, k, options);
   ThreadPool pool(3);
   auto parallel = SolveGreedyParallel(*g, k, &pool, options);
-  ASSERT_TRUE(plain.ok() && lazy.ok() && parallel.ok());
+  auto lazy_parallel = SolveGreedyLazyParallel(*g, k, &pool, options);
+  ASSERT_TRUE(plain.ok() && lazy.ok() && parallel.ok() &&
+              lazy_parallel.ok());
   EXPECT_EQ(plain->items, lazy->items);
   EXPECT_EQ(plain->items, parallel->items);
+  EXPECT_EQ(plain->items, lazy_parallel->items);
   EXPECT_EQ(plain->items[0], 7u);
   EXPECT_EQ(plain->items[1], 33u);
   for (NodeId banned : options.force_exclude) {

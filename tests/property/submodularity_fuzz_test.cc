@@ -1,0 +1,132 @@
+// Fuzz tests for the two invariants the CELF executions and the greedy
+// guarantees rest on:
+//
+//   1. Marginal gains are non-increasing as S grows (submodularity of both
+//      variants' cover functions) — the property that makes stale-gain
+//      pruning exact: a heap entry's stored gain always upper-bounds its
+//      true gain.
+//   2. GreedyApproximationGuarantee lower-bounds greedy cover against the
+//      brute-force optimum on instances small enough to enumerate
+//      (n <= 12).
+//
+// Unlike tests/core/submodularity_test.cc (which checks the set-function
+// definition f(S+v) - f(S) via from-scratch evaluation), this fuzzes the
+// *incremental* CoverState::GainOf along random growth trajectories — the
+// exact quantity the lazy heaps cache.
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force_solver.h"
+#include "core/cover_state.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+class GainDecayFuzzTest
+    : public ::testing::TestWithParam<std::tuple<Variant, uint64_t>> {
+ protected:
+  Variant variant() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(GainDecayFuzzTest, MarginalGainsNeverIncreaseAsSGrows) {
+  Rng rng(seed());
+  for (int trial = 0; trial < 8; ++trial) {
+    UniformGraphParams params;
+    params.num_nodes = static_cast<uint32_t>(20 + rng.NextBounded(40));
+    params.out_degree = static_cast<uint32_t>(2 + rng.NextBounded(6));
+    params.popularity_skew = rng.NextDouble(0.0, 1.5);
+    params.normalized_out_weights = variant() == Variant::kNormalized;
+    auto g = GenerateUniformGraph(params, &rng);
+    ASSERT_TRUE(g.ok());
+    const size_t n = g->NumNodes();
+
+    CoverState state(&*g, variant());
+    std::vector<double> last_gain(n);
+    for (NodeId v = 0; v < n; ++v) last_gain[v] = state.GainOf(v);
+
+    // Grow S along a random insertion order; every unretained node's gain
+    // must decay monotonically at every step.
+    std::vector<uint32_t> order = rng.SampleWithoutReplacement(
+        static_cast<uint32_t>(n), static_cast<uint32_t>(n / 2 + 1));
+    for (uint32_t added : order) {
+      state.AddNode(added);
+      for (NodeId v = 0; v < n; ++v) {
+        if (state.IsRetained(v)) continue;
+        double gain = state.GainOf(v);
+        EXPECT_LE(gain, last_gain[v] + 1e-12)
+            << "gain of node " << v << " increased after adding " << added
+            << " (trial " << trial << ")";
+        EXPECT_GE(gain, -1e-12) << "negative gain for node " << v;
+        last_gain[v] = gain;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, GainDecayFuzzTest,
+    ::testing::Combine(::testing::Values(Variant::kIndependent,
+                                         Variant::kNormalized),
+                       ::testing::Values(101, 202, 303)),
+    [](const auto& param_info) {
+      return std::string(VariantName(std::get<0>(param_info.param))) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+class GuaranteeFuzzTest
+    : public ::testing::TestWithParam<std::tuple<Variant, uint64_t>> {
+ protected:
+  Variant variant() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(GuaranteeFuzzTest, GuaranteeLowerBoundsGreedyAgainstBruteForce) {
+  Rng rng(seed());
+  for (int trial = 0; trial < 6; ++trial) {
+    UniformGraphParams params;
+    params.num_nodes = static_cast<uint32_t>(6 + rng.NextBounded(7));  // <= 12
+    params.out_degree = static_cast<uint32_t>(2 + rng.NextBounded(3));
+    params.popularity_skew = rng.NextDouble(0.0, 1.2);
+    params.normalized_out_weights = variant() == Variant::kNormalized;
+    auto g = GenerateUniformGraph(params, &rng);
+    ASSERT_TRUE(g.ok());
+    const size_t n = g->NumNodes();
+    const size_t k = 1 + rng.NextBounded(n / 2);
+
+    GreedyOptions greedy_options;
+    greedy_options.variant = variant();
+    auto greedy = SolveGreedy(*g, k, greedy_options);
+    BruteForceOptions bf_options;
+    bf_options.variant = variant();
+    auto optimal = SolveBruteForce(*g, k, bf_options);
+    ASSERT_TRUE(greedy.ok() && optimal.ok());
+
+    double guarantee = GreedyApproximationGuarantee(variant(), k, n);
+    EXPECT_GE(greedy->cover, guarantee * optimal->cover - 1e-9)
+        << "trial " << trial << " n=" << n << " k=" << k
+        << " greedy=" << greedy->cover << " optimal=" << optimal->cover;
+    EXPECT_LE(greedy->cover, optimal->cover + 1e-9)
+        << "greedy beat the enumerated optimum?!";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, GuaranteeFuzzTest,
+    ::testing::Combine(::testing::Values(Variant::kIndependent,
+                                         Variant::kNormalized),
+                       ::testing::Values(11, 22, 33)),
+    [](const auto& param_info) {
+      return std::string(VariantName(std::get<0>(param_info.param))) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace prefcover

@@ -197,9 +197,16 @@ int CmdSolve(int argc, char** argv) {
   flags.AddInt("k", 100, "number of items to retain");
   flags.AddString("variant", "auto", "independent|normalized|auto");
   flags.AddString("algorithm", "lazy",
-                  "greedy|lazy|parallel|topk-w|topk-c|random");
-  flags.AddInt("threads", 4, "threads for --algorithm=parallel");
+                  "greedy|lazy|parallel|lazy-parallel|topk-w|topk-c|random");
+  flags.AddInt("threads", 4,
+               "threads for --algorithm=parallel|lazy-parallel");
+  flags.AddInt("batch", 0,
+               "CELF batch size for --algorithm=lazy-parallel (0 = auto: "
+               "4x threads)");
   flags.AddInt("seed", 42, "seed for --algorithm=random");
+  flags.AddBool("stats", false,
+                "print solver telemetry (gain evaluations, heap pops, "
+                "stale ratio, pool utilization)");
   flags.AddString("out", "", "optional CSV for the retained items");
   flags.AddString("coverage-out", "",
                   "optional per-item coverage CSV (whole catalog)");
@@ -225,6 +232,8 @@ int CmdSolve(int argc, char** argv) {
     algorithm = Algorithm::kGreedyLazy;
   } else if (algo_name == "parallel") {
     algorithm = Algorithm::kGreedyParallel;
+  } else if (algo_name == "lazy-parallel") {
+    algorithm = Algorithm::kGreedyLazyParallel;
   } else if (algo_name == "topk-w") {
     algorithm = Algorithm::kTopKWeight;
   } else if (algo_name == "topk-c") {
@@ -251,32 +260,46 @@ int CmdSolve(int argc, char** argv) {
     if (!id.ok()) return Fail(id.status());
     greedy_options.force_exclude.push_back(*id);
   }
+  const int64_t batch_flag = flags.GetInt("batch");
+  if (batch_flag < 0) {
+    return Fail(Status::InvalidArgument("--batch must be >= 0, got " +
+                                        std::to_string(batch_flag)));
+  }
+  greedy_options.batch_size = static_cast<size_t>(batch_flag);
   const bool constrained = !greedy_options.force_include.empty() ||
                            !greedy_options.force_exclude.empty();
   const size_t k = static_cast<size_t>(flags.GetInt("k"));
+  const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
 
+  // Greedy-family algorithms are dispatched directly so the full
+  // GreedyOptions (constraints, batch size) reach the solver; the
+  // remaining baselines go through the shared runner.
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   Result<Solution> solution = Status::Internal("unset");
-  if (constrained) {
-    switch (algorithm) {
-      case Algorithm::kGreedy:
-        solution = SolveGreedy(*graph, k, greedy_options);
-        break;
-      case Algorithm::kGreedyLazy:
-        solution = SolveGreedyLazy(*graph, k, greedy_options);
-        break;
-      case Algorithm::kGreedyParallel: {
-        ThreadPool pool(static_cast<size_t>(flags.GetInt("threads")));
-        solution = SolveGreedyParallel(*graph, k, &pool, greedy_options);
-        break;
-      }
-      default:
+  switch (algorithm) {
+    case Algorithm::kGreedy:
+      solution = SolveGreedy(*graph, k, greedy_options);
+      break;
+    case Algorithm::kGreedyLazy:
+      solution = SolveGreedyLazy(*graph, k, greedy_options);
+      break;
+    case Algorithm::kGreedyParallel: {
+      ThreadPool pool(threads);
+      solution = SolveGreedyParallel(*graph, k, &pool, greedy_options);
+      break;
+    }
+    case Algorithm::kGreedyLazyParallel: {
+      ThreadPool pool(threads);
+      solution = SolveGreedyLazyParallel(*graph, k, &pool, greedy_options);
+      break;
+    }
+    default:
+      if (constrained) {
         return Fail(Status::InvalidArgument(
             "--force-include/--force-exclude require a greedy algorithm"));
-    }
-  } else {
-    solution = RunAlgorithm(algorithm, *graph, k, *variant, &rng,
-                            static_cast<size_t>(flags.GetInt("threads")));
+      }
+      solution = RunAlgorithm(algorithm, *graph, k, *variant, &rng, threads);
+      break;
   }
   if (!solution.ok()) return Fail(solution.status());
 
@@ -287,6 +310,9 @@ int CmdSolve(int argc, char** argv) {
               solution->items.size(), graph->NumNodes(),
               solution->cover * 100.0,
               FormatDuration(solution->solve_seconds).c_str());
+  if (flags.GetBool("stats")) {
+    std::printf("stats: %s\n", solution->stats.ToString().c_str());
+  }
   if (flags.GetBool("report")) {
     auto report = BuildSolutionReport(*graph, *solution);
     if (!report.ok()) return Fail(report.status());
