@@ -1,25 +1,38 @@
-// Google-benchmark microbenchmarks for the hot paths: gain evaluation,
-// node insertion, exact cover evaluation, graph finalization, and the
-// full lazy greedy, across graph sizes.
+// Microbenchmarks for the hot paths: gain evaluation, node insertion,
+// exact cover evaluation, graph finalization, and the full greedy family,
+// across graph sizes — on the BenchRunner harness, so `--json` emits the
+// machine-readable BENCH_core.json record the perf trajectory tracks.
+//
+// Sub-millisecond operations run a fixed internal batch per repetition;
+// the batch size is recorded in the "items" counter so per-op cost is
+// derivable (p50_ms / items).
+//
+// Usage: micro_core [--csv] [--seed=S] [--reps=R] [--warmup=W]
+//                   [--json=PATH]
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <tuple>
+#include <vector>
 
-#include <benchmark/benchmark.h>
-
+#include "bench/bench_runner.h"
 #include "core/cover_function.h"
 #include "core/cover_state.h"
 #include "core/greedy_solver.h"
+#include "eval/experiment.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_generators.h"
 #include "synth/dataset_profiles.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
-namespace prefcover {
+using namespace prefcover;
+
 namespace {
 
-PreferenceGraph MakeGraph(uint32_t n, bool normalized) {
-  Rng rng(42);
+PreferenceGraph MakeGraph(uint32_t n, bool normalized, uint64_t seed) {
+  Rng rng(seed);
   UniformGraphParams params;
   params.num_nodes = n;
   params.out_degree = 5;
@@ -29,152 +42,254 @@ PreferenceGraph MakeGraph(uint32_t n, bool normalized) {
   return std::move(g).value();
 }
 
-void BM_GainIndependent(benchmark::State& state) {
-  PreferenceGraph g =
-      MakeGraph(static_cast<uint32_t>(state.range(0)), false);
-  CoverState cover_state(&g, Variant::kIndependent);
-  for (NodeId v = 0; v < g.NumNodes() / 10; ++v) cover_state.AddNode(v);
-  NodeId probe = static_cast<NodeId>(g.NumNodes() - 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cover_state.GainOf(probe));
-  }
+// Repeated single-gain probes against a partially-covered state.
+BenchCase GainCase(const PreferenceGraph& g, Variant variant,
+                   std::shared_ptr<CoverState> state, uint32_t n) {
+  constexpr uint64_t kProbes = 1'000'000;
+  BenchCase bench_case;
+  bench_case.name = std::string("gain/") + std::string(VariantName(variant)) +
+                    "/n" + std::to_string(n);
+  bench_case.profile = "uniform";
+  bench_case.variant = VariantName(variant);
+  bench_case.solver = "gain_of";
+  bench_case.n = n;
+  bench_case.run = [&g, state](BenchRecorder* recorder) -> Status {
+    NodeId probe = static_cast<NodeId>(g.NumNodes() - 1);
+    double sink = 0.0;
+    for (uint64_t i = 0; i < kProbes; ++i) sink += state->GainOf(probe);
+    recorder->Record("items", static_cast<double>(kProbes));
+    recorder->Record("gain_sum", sink);
+    return Status::OK();
+  };
+  return bench_case;
 }
-BENCHMARK(BM_GainIndependent)->Arg(1000)->Arg(100000);
-
-void BM_GainNormalized(benchmark::State& state) {
-  PreferenceGraph g = MakeGraph(static_cast<uint32_t>(state.range(0)), true);
-  CoverState cover_state(&g, Variant::kNormalized);
-  for (NodeId v = 0; v < g.NumNodes() / 10; ++v) cover_state.AddNode(v);
-  NodeId probe = static_cast<NodeId>(g.NumNodes() - 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cover_state.GainOf(probe));
-  }
-}
-BENCHMARK(BM_GainNormalized)->Arg(1000)->Arg(100000);
-
-void BM_AddNodeSweep(benchmark::State& state) {
-  PreferenceGraph g =
-      MakeGraph(static_cast<uint32_t>(state.range(0)), false);
-  for (auto _ : state) {
-    CoverState cover_state(&g, Variant::kIndependent);
-    for (NodeId v = 0; v < g.NumNodes(); v += 7) cover_state.AddNode(v);
-    benchmark::DoNotOptimize(cover_state.cover());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(g.NumNodes() / 7));
-}
-BENCHMARK(BM_AddNodeSweep)->Arg(1000)->Arg(100000);
-
-void BM_EvaluateCoverExact(benchmark::State& state) {
-  PreferenceGraph g =
-      MakeGraph(static_cast<uint32_t>(state.range(0)), false);
-  Bitset retained(g.NumNodes());
-  for (NodeId v = 0; v < g.NumNodes(); v += 3) retained.Set(v);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        EvaluateCover(g, retained, Variant::kIndependent));
-  }
-}
-BENCHMARK(BM_EvaluateCoverExact)->Arg(1000)->Arg(100000);
-
-void BM_GraphFinalize(benchmark::State& state) {
-  const uint32_t n = static_cast<uint32_t>(state.range(0));
-  Rng rng(7);
-  // Pre-draw the edge list so only Finalize is measured per iteration.
-  std::vector<std::tuple<NodeId, NodeId, double>> edges;
-  for (uint32_t v = 0; v < n; ++v) {
-    for (int e = 0; e < 5; ++e) {
-      NodeId u = static_cast<NodeId>(rng.NextBounded(n));
-      if (u == v) continue;
-      edges.emplace_back(v, u, 0.5);
-    }
-  }
-  for (auto _ : state) {
-    GraphBuilder builder;
-    builder.Reserve(n, edges.size());
-    builder.AddNodes(n);
-    for (uint32_t v = 0; v < n; ++v) {
-      PREFCOVER_CHECK(builder.SetNodeWeight(v, 1.0 / n).ok());
-    }
-    for (auto& [from, to, w] : edges) {
-      benchmark::DoNotOptimize(builder.AddEdge(from, to, w));
-    }
-    GraphValidationOptions options;
-    options.require_normalized_node_weights = false;
-    auto g = builder.Finalize(options);
-    // Duplicate random edges are possible; only the success path is
-    // interesting for timing, so tolerate either.
-    benchmark::DoNotOptimize(g.ok());
-  }
-}
-BENCHMARK(BM_GraphFinalize)->Arg(10000)->Arg(100000);
-
-void BM_LazyGreedy(benchmark::State& state) {
-  auto g = GenerateProfileGraphWithNodes(
-      DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
-  PREFCOVER_CHECK(g.ok());
-  const size_t k = static_cast<size_t>(state.range(0)) / 20;
-  uint64_t gain_evals = 0, heap_pops = 0;
-  for (auto _ : state) {
-    auto sol = SolveGreedyLazy(*g, k);
-    PREFCOVER_CHECK(sol.ok());
-    benchmark::DoNotOptimize(sol->cover);
-    gain_evals = sol->stats.gain_evaluations;
-    heap_pops = sol->stats.heap_pops;
-  }
-  state.counters["gain_evals"] = static_cast<double>(gain_evals);
-  state.counters["heap_pops"] = static_cast<double>(heap_pops);
-}
-BENCHMARK(BM_LazyGreedy)->Arg(10000)->Arg(50000)
-    ->Unit(benchmark::kMillisecond);
-
-// Batched CELF across pool widths and batch sizes; the telemetry counters
-// expose how much work the pruning saves vs. the full O(nk) scan.
-void BM_LazyParallelGreedy(benchmark::State& state) {
-  auto g = GenerateProfileGraphWithNodes(
-      DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
-  PREFCOVER_CHECK(g.ok());
-  const size_t k = static_cast<size_t>(state.range(0)) / 20;
-  ThreadPool pool(static_cast<size_t>(state.range(1)));
-  GreedyOptions options;
-  options.batch_size = static_cast<size_t>(state.range(2));
-  uint64_t gain_evals = 0;
-  double stale_ratio = 0.0, utilization = 0.0;
-  for (auto _ : state) {
-    auto sol = SolveGreedyLazyParallel(*g, k, &pool, options);
-    PREFCOVER_CHECK(sol.ok());
-    benchmark::DoNotOptimize(sol->cover);
-    gain_evals = sol->stats.gain_evaluations;
-    stale_ratio = sol->stats.StaleRatio();
-    utilization = sol->stats.PoolUtilization();
-  }
-  state.counters["gain_evals"] = static_cast<double>(gain_evals);
-  state.counters["stale_ratio"] = stale_ratio;
-  state.counters["pool_util"] = utilization;
-}
-BENCHMARK(BM_LazyParallelGreedy)
-    ->Args({10000, 1, 0})
-    ->Args({10000, 4, 0})
-    ->Args({10000, 4, 4})
-    ->Args({10000, 4, 64})
-    ->Args({50000, 4, 0})
-    ->Unit(benchmark::kMillisecond);
-
-void BM_PlainGreedy(benchmark::State& state) {
-  auto g = GenerateProfileGraphWithNodes(
-      DatasetProfile::kPE, static_cast<uint32_t>(state.range(0)), 42);
-  PREFCOVER_CHECK(g.ok());
-  const size_t k = static_cast<size_t>(state.range(0)) / 20;
-  for (auto _ : state) {
-    auto sol = SolveGreedy(*g, k);
-    PREFCOVER_CHECK(sol.ok());
-    benchmark::DoNotOptimize(sol->cover);
-  }
-}
-BENCHMARK(BM_PlainGreedy)->Arg(2000)->Arg(10000)
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
-}  // namespace prefcover
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ExperimentEnv env("micro_core: hot-path microbenchmarks");
+  AddBenchFlags(&env.flags, /*default_reps=*/3, /*default_warmup=*/1);
+  Status st = env.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto config = BenchConfigFromFlags(env.flags, "micro_core", env.seed);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  BenchRunner runner(*config);
+  PrintExperimentHeader(env, "micro_core", "hot-path microbenchmarks");
+
+  auto run_or_die = [&runner](const BenchCase& bench_case) {
+    Status run_status = runner.Run(bench_case);
+    if (!run_status.ok()) {
+      std::fprintf(stderr, "%s\n", run_status.ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  // Gain evaluation, both variants, small and large graphs. The graphs and
+  // cover states outlive the cases; the shared_ptr keeps the lambda valid.
+  std::vector<PreferenceGraph> graphs;
+  graphs.reserve(4);
+  for (uint32_t n : {1'000u, 100'000u}) {
+    for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+      graphs.push_back(
+          MakeGraph(n, variant == Variant::kNormalized, env.seed));
+      const PreferenceGraph& g = graphs.back();
+      auto state = std::make_shared<CoverState>(&g, variant);
+      for (NodeId v = 0; v < g.NumNodes() / 10; ++v) state->AddNode(v);
+      run_or_die(GainCase(g, variant, state, n));
+    }
+  }
+
+  // AddNode sweep: build up a cover state over every 7th node.
+  for (uint32_t n : {1'000u, 100'000u}) {
+    PreferenceGraph g = MakeGraph(n, false, env.seed);
+    BenchCase bench_case;
+    bench_case.name = "add_node_sweep/n" + std::to_string(n);
+    bench_case.profile = "uniform";
+    bench_case.variant = "independent";
+    bench_case.solver = "add_node";
+    bench_case.n = n;
+    auto graph = std::make_shared<PreferenceGraph>(std::move(g));
+    bench_case.run = [graph](BenchRecorder* recorder) -> Status {
+      CoverState state(graph.get(), Variant::kIndependent);
+      for (NodeId v = 0; v < graph->NumNodes(); v += 7) state.AddNode(v);
+      recorder->Record("items",
+                       static_cast<double>(graph->NumNodes() / 7));
+      recorder->Record("cover", state.cover());
+      return Status::OK();
+    };
+    run_or_die(bench_case);
+  }
+
+  // Exact cover evaluation over a fixed retained set.
+  for (uint32_t n : {1'000u, 100'000u}) {
+    auto graph =
+        std::make_shared<PreferenceGraph>(MakeGraph(n, false, env.seed));
+    auto retained = std::make_shared<Bitset>(graph->NumNodes());
+    for (NodeId v = 0; v < graph->NumNodes(); v += 3) retained->Set(v);
+    BenchCase bench_case;
+    bench_case.name = "evaluate_cover_exact/n" + std::to_string(n);
+    bench_case.profile = "uniform";
+    bench_case.variant = "independent";
+    bench_case.solver = "evaluate_cover";
+    bench_case.n = n;
+    bench_case.run = [graph, retained](BenchRecorder* recorder) -> Status {
+      double cover =
+          EvaluateCover(*graph, *retained, Variant::kIndependent);
+      recorder->Record("cover", cover);
+      return Status::OK();
+    };
+    run_or_die(bench_case);
+  }
+
+  // CSR finalization from a pre-drawn edge list.
+  for (uint32_t n : {10'000u, 100'000u}) {
+    auto edges = std::make_shared<
+        std::vector<std::tuple<NodeId, NodeId, double>>>();
+    Rng rng(env.seed ^ 7);
+    for (uint32_t v = 0; v < n; ++v) {
+      for (int e = 0; e < 5; ++e) {
+        NodeId u = static_cast<NodeId>(rng.NextBounded(n));
+        if (u == v) continue;
+        edges->emplace_back(v, u, 0.5);
+      }
+    }
+    BenchCase bench_case;
+    bench_case.name = "graph_finalize/n" + std::to_string(n);
+    bench_case.profile = "uniform";
+    bench_case.solver = "finalize";
+    bench_case.n = n;
+    bench_case.run = [n, edges](BenchRecorder* recorder) -> Status {
+      GraphBuilder builder;
+      builder.Reserve(n, edges->size());
+      builder.AddNodes(n);
+      for (uint32_t v = 0; v < n; ++v) {
+        PREFCOVER_RETURN_NOT_OK(builder.SetNodeWeight(v, 1.0 / n));
+      }
+      for (auto& [from, to, w] : *edges) {
+        // Duplicate random edges are possible; only the success path is
+        // interesting for timing, so tolerate either.
+        std::ignore = builder.AddEdge(from, to, w);
+      }
+      GraphValidationOptions options;
+      options.require_normalized_node_weights = false;
+      auto g = builder.Finalize(options);
+      recorder->Record("items", static_cast<double>(edges->size()));
+      recorder->Record("finalize_ok", g.ok() ? 1.0 : 0.0);
+      return Status::OK();
+    };
+    run_or_die(bench_case);
+  }
+
+  // The greedy family on PE-shaped graphs, k = n/20.
+  for (uint32_t n : {10'000u, 50'000u}) {
+    auto g = GenerateProfileGraphWithNodes(DatasetProfile::kPE, n, env.seed);
+    PREFCOVER_CHECK(g.ok());
+    auto graph = std::make_shared<PreferenceGraph>(std::move(*g));
+    const size_t k = n / 20;
+    BenchCase bench_case;
+    bench_case.name = "solve/lazy/n" + std::to_string(n);
+    bench_case.profile = "PE";
+    bench_case.variant = "independent";
+    bench_case.solver = "lazy";
+    bench_case.n = n;
+    bench_case.k = k;
+    bench_case.run = [graph, k](BenchRecorder* recorder) -> Status {
+      auto sol = SolveGreedyLazy(*graph, k);
+      if (!sol.ok()) return sol.status();
+      recorder->Record("cover", sol->cover);
+      recorder->Record("gain_evaluations",
+                       static_cast<double>(sol->stats.gain_evaluations));
+      recorder->Record("heap_pops",
+                       static_cast<double>(sol->stats.heap_pops));
+      return Status::OK();
+    };
+    run_or_die(bench_case);
+  }
+
+  // Batched CELF across pool widths and batch sizes; the telemetry
+  // counters expose how much work the pruning saves vs. the full O(nk)
+  // scan.
+  {
+    struct ParallelConfig {
+      uint32_t n;
+      size_t workers;
+      size_t batch;
+    };
+    for (const ParallelConfig& pc :
+         {ParallelConfig{10'000, 1, 0}, ParallelConfig{10'000, 4, 0},
+          ParallelConfig{10'000, 4, 4}, ParallelConfig{10'000, 4, 64},
+          ParallelConfig{50'000, 4, 0}}) {
+      auto g = GenerateProfileGraphWithNodes(DatasetProfile::kPE, pc.n,
+                                             env.seed);
+      PREFCOVER_CHECK(g.ok());
+      auto graph = std::make_shared<PreferenceGraph>(std::move(*g));
+      auto pool = std::make_shared<ThreadPool>(pc.workers);
+      const size_t k = pc.n / 20;
+      BenchCase bench_case;
+      bench_case.name = "solve/lazy_parallel/n" + std::to_string(pc.n) +
+                        "/w" + std::to_string(pc.workers) + "/b" +
+                        std::to_string(pc.batch);
+      bench_case.profile = "PE";
+      bench_case.variant = "independent";
+      bench_case.solver = "lazy_parallel";
+      bench_case.n = pc.n;
+      bench_case.k = k;
+      bench_case.threads = pc.workers;
+      bench_case.run = [graph, pool, k,
+                        pc](BenchRecorder* recorder) -> Status {
+        GreedyOptions options;
+        options.batch_size = pc.batch;
+        auto sol =
+            SolveGreedyLazyParallel(*graph, k, pool.get(), options);
+        if (!sol.ok()) return sol.status();
+        recorder->Record("cover", sol->cover);
+        recorder->Record("gain_evaluations",
+                         static_cast<double>(sol->stats.gain_evaluations));
+        recorder->Record("stale_ratio", sol->stats.StaleRatio());
+        recorder->Record("pool_utilization",
+                         sol->stats.PoolUtilization());
+        return Status::OK();
+      };
+      run_or_die(bench_case);
+    }
+  }
+
+  // The literal O(nkD) loop, as the pruning reference point.
+  for (uint32_t n : {2'000u, 10'000u}) {
+    auto g = GenerateProfileGraphWithNodes(DatasetProfile::kPE, n, env.seed);
+    PREFCOVER_CHECK(g.ok());
+    auto graph = std::make_shared<PreferenceGraph>(std::move(*g));
+    const size_t k = n / 20;
+    BenchCase bench_case;
+    bench_case.name = "solve/plain/n" + std::to_string(n);
+    bench_case.profile = "PE";
+    bench_case.variant = "independent";
+    bench_case.solver = "plain";
+    bench_case.n = n;
+    bench_case.k = k;
+    bench_case.run = [graph, k](BenchRecorder* recorder) -> Status {
+      auto sol = SolveGreedy(*graph, k);
+      if (!sol.ok()) return sol.status();
+      recorder->Record("cover", sol->cover);
+      recorder->Record("gain_evaluations",
+                       static_cast<double>(sol->stats.gain_evaluations));
+      return Status::OK();
+    };
+    run_or_die(bench_case);
+  }
+
+  env.Emit(runner.SummaryTable(), "micro_core hot paths");
+  st = MaybeWriteBenchJson(runner, env.flags);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

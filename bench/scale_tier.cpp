@@ -1,0 +1,118 @@
+// Scale-tier benchmark: the pinned large-instance suite behind the
+// nightly perf-smoke job. Generates the tier's Zipf-skewed PE-shaped
+// graph (S=20K, M=200K, L=1M nodes) and times graph generation plus the
+// batched-CELF lazy-parallel solve at the tier's pinned budget (k=100),
+// emitting the machine-readable BENCH_core.json trajectory record.
+//
+// Usage: scale_tier [--tier=S|M|L] [--threads=N] [--seed=S]
+//                   [--reps=R] [--warmup=W] [--json=PATH] [--csv]
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_runner.h"
+#include "core/greedy_solver.h"
+#include "eval/experiment.h"
+#include "synth/dataset_profiles.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace prefcover;
+
+int main(int argc, char** argv) {
+  ExperimentEnv env("Scale-tier benchmark: perf-smoke instance suite");
+  env.flags.AddString("tier", "S", "instance tier: S (20K), M (200K) or "
+                                   "L (1M nodes)");
+  AddBenchFlags(&env.flags, /*default_reps=*/3, /*default_warmup=*/1);
+  Status st = env.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto tier = ParseScaleTierName(env.flags.GetString("tier"));
+  if (!tier.ok()) {
+    std::fprintf(stderr, "%s\n", tier.status().ToString().c_str());
+    return 1;
+  }
+  const ScaleTierSpec& spec = GetScaleTierSpec(*tier);
+  size_t threads = env.threads > 1
+                       ? env.threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+
+  auto config =
+      BenchConfigFromFlags(env.flags, "scale_tier", env.seed);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  BenchRunner runner(*config);
+
+  PrintExperimentHeader(
+      env, "scale_tier",
+      std::string("tier ") + spec.name + " (n=" + FormatCount(spec.num_nodes) +
+          ", k=" + FormatCount(spec.solve_k) + ", " +
+          std::to_string(threads) + " worker thread(s))");
+
+  // The solve cases reuse one generated graph; the generate case rebuilds
+  // per repetition because construction is exactly what it measures.
+  std::unique_ptr<PreferenceGraph> graph;
+
+  BenchCase generate;
+  generate.name = std::string("generate/") + spec.name;
+  generate.profile = "PE";
+  generate.solver = "synth";
+  generate.n = spec.num_nodes;
+  generate.run = [&](BenchRecorder* recorder) -> Status {
+    auto g = GenerateScaleTierGraph(*tier, env.seed);
+    if (!g.ok()) return g.status();
+    recorder->Record("edges", static_cast<double>(g->NumEdges()));
+    recorder->Record("max_in_degree",
+                     static_cast<double>(g->MaxInDegree()));
+    graph = std::make_unique<PreferenceGraph>(std::move(*g));
+    return Status::OK();
+  };
+  st = runner.Run(generate);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  ThreadPool pool(threads);
+  BenchCase solve;
+  solve.name = std::string("solve/lazy_parallel/") + spec.name;
+  solve.profile = "PE";
+  solve.variant = "independent";
+  solve.solver = "lazy_parallel";
+  solve.n = spec.num_nodes;
+  solve.k = spec.solve_k;
+  solve.threads = threads;
+  solve.run = [&](BenchRecorder* recorder) -> Status {
+    auto sol = SolveGreedyLazyParallel(*graph, spec.solve_k, &pool);
+    if (!sol.ok()) return sol.status();
+    recorder->Record("cover", sol->cover);
+    recorder->Record("gain_evaluations",
+                     static_cast<double>(sol->stats.gain_evaluations));
+    recorder->Record("heap_pops",
+                     static_cast<double>(sol->stats.heap_pops));
+    recorder->Record("stale_refreshes",
+                     static_cast<double>(sol->stats.stale_refreshes));
+    return Status::OK();
+  };
+  st = runner.Run(solve);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  env.Emit(runner.SummaryTable(),
+           std::string("Scale tier ") + spec.name);
+  st = MaybeWriteBenchJson(runner, env.flags);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "bench/bench_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace prefcover {
+
+namespace {
+
+// Per-process CPU time (all threads), so parallel cases report their true
+// compute cost next to wall time.
+double ProcessCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace
+
+void BenchRecorder::Record(const std::string& name, double value) {
+  for (auto& [existing, v] : counters_) {
+    if (existing == name) {
+      v = value;
+      return;
+    }
+  }
+  counters_.emplace_back(name, value);
+}
+
+std::vector<std::pair<std::string, double>> BenchRecorder::Sorted() const {
+  auto sorted = counters_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return sorted;
+}
+
+LatencySummary LatencySummary::FromSamples(std::vector<double> samples_ms) {
+  LatencySummary summary;
+  if (samples_ms.empty()) return summary;
+  QuantileSketch sketch;
+  SummaryStats stats;
+  sketch.Reserve(samples_ms.size());
+  for (double s : samples_ms) {
+    sketch.Add(s);
+    stats.Add(s);
+  }
+  summary.p50_ms = sketch.Quantile(0.50);
+  summary.p90_ms = sketch.Quantile(0.90);
+  summary.p95_ms = sketch.Quantile(0.95);
+  summary.mean_ms = stats.mean();
+  summary.min_ms = stats.min();
+  summary.max_ms = stats.max();
+  return summary;
+}
+
+JsonValue LatencySummary::ToJson() const {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("p50", JsonValue::Number(p50_ms));
+  obj.Set("p90", JsonValue::Number(p90_ms));
+  obj.Set("p95", JsonValue::Number(p95_ms));
+  obj.Set("mean", JsonValue::Number(mean_ms));
+  obj.Set("min", JsonValue::Number(min_ms));
+  obj.Set("max", JsonValue::Number(max_ms));
+  return obj;
+}
+
+BenchRunner::BenchRunner(BenchConfig config)
+    : config_(std::move(config)), env_(EnvCapture::Capture()) {
+  PREFCOVER_CHECK_MSG(config_.repetitions >= 1,
+                      "BenchConfig.repetitions must be >= 1");
+}
+
+Status BenchRunner::Run(const BenchCase& bench_case) {
+  if (bench_case.name.empty() || !bench_case.run) {
+    return Status::InvalidArgument("BenchCase needs a name and a body");
+  }
+  for (const BenchResult& existing : results_) {
+    if (existing.name == bench_case.name) {
+      return Status::AlreadyExists("duplicate bench case '" +
+                                   bench_case.name + "'");
+    }
+  }
+
+  BenchRecorder recorder;
+  for (uint64_t i = 0; i < config_.warmup; ++i) {
+    PREFCOVER_RETURN_NOT_OK(bench_case.run(&recorder));
+    recorder.Clear();
+  }
+
+  std::vector<double> wall_ms, cpu_ms;
+  wall_ms.reserve(config_.repetitions);
+  cpu_ms.reserve(config_.repetitions);
+  for (uint64_t i = 0; i < config_.repetitions; ++i) {
+    recorder.Clear();
+    double cpu_before = ProcessCpuSeconds();
+    Stopwatch watch;
+    PREFCOVER_RETURN_NOT_OK(bench_case.run(&recorder));
+    wall_ms.push_back(watch.ElapsedMillis());
+    cpu_ms.push_back((ProcessCpuSeconds() - cpu_before) * 1e3);
+  }
+
+  BenchResult result;
+  result.name = bench_case.name;
+  result.profile = bench_case.profile;
+  result.variant = bench_case.variant;
+  result.solver = bench_case.solver;
+  result.n = bench_case.n;
+  result.k = bench_case.k;
+  result.threads = bench_case.threads;
+  result.wall = LatencySummary::FromSamples(std::move(wall_ms));
+  result.cpu = LatencySummary::FromSamples(std::move(cpu_ms));
+  result.counters = recorder.Sorted();
+  results_.push_back(std::move(result));
+  return Status::OK();
+}
+
+JsonValue BenchRunner::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Int(kBenchSchemaVersion));
+  doc.Set("suite", JsonValue::Str(config_.suite));
+  doc.Set("env", env_.ToJson());
+
+  JsonValue config = JsonValue::Object();
+  config.Set("seed", JsonValue::Uint(config_.seed));
+  config.Set("warmup", JsonValue::Uint(config_.warmup));
+  config.Set("repetitions", JsonValue::Uint(config_.repetitions));
+  doc.Set("config", std::move(config));
+
+  JsonValue cases = JsonValue::Array();
+  for (const BenchResult& r : results_) {
+    JsonValue c = JsonValue::Object();
+    c.Set("name", JsonValue::Str(r.name));
+    c.Set("profile", JsonValue::Str(r.profile));
+    c.Set("variant", JsonValue::Str(r.variant));
+    c.Set("solver", JsonValue::Str(r.solver));
+    c.Set("n", JsonValue::Uint(r.n));
+    c.Set("k", JsonValue::Uint(r.k));
+    c.Set("threads", JsonValue::Uint(r.threads));
+    c.Set("wall_ms", r.wall.ToJson());
+    c.Set("cpu_ms", r.cpu.ToJson());
+    JsonValue counters = JsonValue::Object();
+    for (const auto& [name, value] : r.counters) {
+      counters.Set(name, JsonValue::Number(value));
+    }
+    c.Set("counters", std::move(counters));
+    cases.Append(std::move(c));
+  }
+  doc.Set("cases", std::move(cases));
+  return doc;
+}
+
+Status BenchRunner::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << ToJson().Dump();
+  out.flush();
+  if (!out) return Status::IOError("failed writing: " + path);
+  return Status::OK();
+}
+
+TablePrinter BenchRunner::SummaryTable() const {
+  TablePrinter table(
+      {"case", "n", "k", "threads", "wall p50", "wall p95", "cpu p50"});
+  for (const BenchResult& r : results_) {
+    table.AddRow({r.name, FormatCount(r.n), FormatCount(r.k),
+                  std::to_string(r.threads),
+                  FormatDuration(r.wall.p50_ms * 1e-3),
+                  FormatDuration(r.wall.p95_ms * 1e-3),
+                  FormatDuration(r.cpu.p50_ms * 1e-3)});
+  }
+  return table;
+}
+
+void AddBenchFlags(FlagParser* flags, int64_t default_reps,
+                   int64_t default_warmup) {
+  flags->AddString("json", "",
+                   "write the BENCH_core.json document to this path");
+  flags->AddInt("reps", default_reps, "timed repetitions per case");
+  flags->AddInt("warmup", default_warmup,
+                "untimed warmup executions per case");
+}
+
+Result<BenchConfig> BenchConfigFromFlags(const FlagParser& flags,
+                                         std::string suite, uint64_t seed) {
+  int64_t reps = flags.GetInt("reps");
+  int64_t warmup = flags.GetInt("warmup");
+  if (reps < 1) return Status::InvalidArgument("--reps must be >= 1");
+  if (warmup < 0) return Status::InvalidArgument("--warmup must be >= 0");
+  BenchConfig config;
+  config.suite = std::move(suite);
+  config.seed = seed;
+  config.warmup = static_cast<uint64_t>(warmup);
+  config.repetitions = static_cast<uint64_t>(reps);
+  return config;
+}
+
+Status MaybeWriteBenchJson(const BenchRunner& runner,
+                           const FlagParser& flags) {
+  const std::string& path = flags.GetString("json");
+  if (path.empty()) return Status::OK();
+  PREFCOVER_RETURN_NOT_OK(runner.WriteJsonFile(path));
+  std::fprintf(stderr, "wrote %zu case(s) to %s\n",
+               runner.results().size(), path.c_str());
+  return Status::OK();
+}
+
+}  // namespace prefcover

@@ -1,0 +1,270 @@
+#include "bench/compare.h"
+
+#include <cmath>
+
+#include "bench/bench_runner.h"
+
+namespace prefcover {
+
+namespace {
+
+Status SchemaError(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("BENCH_core.json schema violation at " +
+                                 path + ": " + what);
+}
+
+Status RequireMember(const JsonValue& obj, const std::string& path,
+                     const std::string& key, JsonValue::Type type,
+                     const JsonValue** out) {
+  const JsonValue* member = obj.Find(key);
+  if (member == nullptr) {
+    return SchemaError(path, "missing key '" + key + "'");
+  }
+  if (member->type() != type) {
+    return SchemaError(path + "." + key, "wrong type");
+  }
+  *out = member;
+  return Status::OK();
+}
+
+Status ValidateLatency(const JsonValue& obj, const std::string& path) {
+  static const char* kFields[] = {"p50", "p90", "p95", "mean", "min", "max"};
+  if (obj.size() != 6) {
+    return SchemaError(path, "expected exactly the six summary fields");
+  }
+  for (const char* field : kFields) {
+    const JsonValue* value = nullptr;
+    PREFCOVER_RETURN_NOT_OK(
+        RequireMember(obj, path, field, JsonValue::Type::kNumber, &value));
+    if (value->number_value() < 0.0) {
+      return SchemaError(path + "." + field, "negative duration");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateCase(const JsonValue& c, const std::string& path) {
+  const JsonValue* member = nullptr;
+  for (const char* key : {"name", "profile", "variant", "solver"}) {
+    PREFCOVER_RETURN_NOT_OK(
+        RequireMember(c, path, key, JsonValue::Type::kString, &member));
+  }
+  if (c.Find("name")->string_value().empty()) {
+    return SchemaError(path + ".name", "empty case name");
+  }
+  for (const char* key : {"n", "k", "threads"}) {
+    PREFCOVER_RETURN_NOT_OK(
+        RequireMember(c, path, key, JsonValue::Type::kNumber, &member));
+  }
+  for (const char* key : {"wall_ms", "cpu_ms"}) {
+    PREFCOVER_RETURN_NOT_OK(
+        RequireMember(c, path, key, JsonValue::Type::kObject, &member));
+    PREFCOVER_RETURN_NOT_OK(
+        ValidateLatency(*member, path + "." + key));
+  }
+  PREFCOVER_RETURN_NOT_OK(
+      RequireMember(c, path, "counters", JsonValue::Type::kObject, &member));
+  for (const auto& [name, value] : member->members()) {
+    if (!value.is_number()) {
+      return SchemaError(path + ".counters." + name, "wrong type");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateBenchDocument(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return SchemaError("$", "document must be an object");
+  }
+  const JsonValue* member = nullptr;
+  PREFCOVER_RETURN_NOT_OK(RequireMember(doc, "$", "schema_version",
+                                        JsonValue::Type::kNumber, &member));
+  if (member->number_value() != kBenchSchemaVersion) {
+    return SchemaError("$.schema_version",
+                       "unsupported version (expected " +
+                           std::to_string(kBenchSchemaVersion) + ")");
+  }
+  PREFCOVER_RETURN_NOT_OK(
+      RequireMember(doc, "$", "suite", JsonValue::Type::kString, &member));
+
+  const JsonValue* env = nullptr;
+  PREFCOVER_RETURN_NOT_OK(
+      RequireMember(doc, "$", "env", JsonValue::Type::kObject, &env));
+  for (const char* key :
+       {"git_sha", "build_type", "compiler", "cxx_flags", "os"}) {
+    PREFCOVER_RETURN_NOT_OK(
+        RequireMember(*env, "$.env", key, JsonValue::Type::kString, &member));
+  }
+  PREFCOVER_RETURN_NOT_OK(RequireMember(
+      *env, "$.env", "hardware_threads", JsonValue::Type::kNumber, &member));
+
+  const JsonValue* config = nullptr;
+  PREFCOVER_RETURN_NOT_OK(
+      RequireMember(doc, "$", "config", JsonValue::Type::kObject, &config));
+  for (const char* key : {"seed", "warmup", "repetitions"}) {
+    PREFCOVER_RETURN_NOT_OK(RequireMember(*config, "$.config", key,
+                                          JsonValue::Type::kNumber, &member));
+  }
+
+  const JsonValue* cases = nullptr;
+  PREFCOVER_RETURN_NOT_OK(
+      RequireMember(doc, "$", "cases", JsonValue::Type::kArray, &cases));
+  for (size_t i = 0; i < cases->size(); ++i) {
+    const std::string path = "$.cases[" + std::to_string(i) + "]";
+    if (!cases->at(i).is_object()) return SchemaError(path, "wrong type");
+    PREFCOVER_RETURN_NOT_OK(ValidateCase(cases->at(i), path));
+    const std::string& name = cases->at(i).Find("name")->string_value();
+    for (size_t j = 0; j < i; ++j) {
+      if (cases->at(j).Find("name")->string_value() == name) {
+        return SchemaError(path + ".name",
+                           "duplicate case name '" + name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+bool IsTimingKey(const std::string& key) {
+  return key == "wall_ms" || key == "cpu_ms";
+}
+
+// Structural equality of two validated documents, ignoring the values (but
+// not the shape) of the env and timing subtrees. `relaxed` marks a subtree
+// whose leaf values are exempt from comparison.
+void DiffValues(const JsonValue& a, const JsonValue& b,
+                const std::string& path, bool relaxed, double tolerance,
+                std::vector<std::string>* problems) {
+  if (a.type() != b.type()) {
+    problems->push_back(path + ": type differs");
+    return;
+  }
+  switch (a.type()) {
+    case JsonValue::Type::kNull:
+      return;
+    case JsonValue::Type::kBool:
+      if (!relaxed && a.bool_value() != b.bool_value()) {
+        problems->push_back(path + ": value differs");
+      }
+      return;
+    case JsonValue::Type::kNumber:
+      if (!relaxed &&
+          !(std::fabs(a.number_value() - b.number_value()) <= tolerance)) {
+        problems->push_back(path + ": " + FormatJsonNumber(a.number_value()) +
+                            " != " + FormatJsonNumber(b.number_value()));
+      }
+      return;
+    case JsonValue::Type::kString:
+      if (!relaxed && a.string_value() != b.string_value()) {
+        problems->push_back(path + ": \"" + a.string_value() + "\" != \"" +
+                            b.string_value() + "\"");
+      }
+      return;
+    case JsonValue::Type::kArray: {
+      if (a.size() != b.size()) {
+        problems->push_back(path + ": array length " +
+                            std::to_string(a.size()) + " != " +
+                            std::to_string(b.size()));
+        return;
+      }
+      for (size_t i = 0; i < a.size(); ++i) {
+        DiffValues(a.at(i), b.at(i), path + "[" + std::to_string(i) + "]",
+                   relaxed, tolerance, problems);
+      }
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      // Key sets and order must match exactly in both modes — the schema
+      // is part of the determinism contract.
+      if (a.size() != b.size()) {
+        problems->push_back(path + ": member count differs");
+        return;
+      }
+      for (size_t i = 0; i < a.size(); ++i) {
+        const auto& [key, value] = a.members()[i];
+        const auto& [other_key, other_value] = b.members()[i];
+        if (key != other_key) {
+          problems->push_back(path + ": key '" + key + "' vs '" + other_key +
+                              "'");
+          return;
+        }
+        bool child_relaxed =
+            relaxed || IsTimingKey(key) || (path == "$" && key == "env");
+        DiffValues(value, other_value, path + "." + key, child_relaxed,
+                   tolerance, problems);
+      }
+      return;
+    }
+  }
+}
+
+const JsonValue* FindCase(const JsonValue& cases, const std::string& name) {
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (cases.at(i).Find("name")->string_value() == name) {
+      return &cases.at(i);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<BenchCompareReport> CompareBenchDocuments(
+    const JsonValue& baseline, const JsonValue& current,
+    const BenchCompareOptions& options) {
+  PREFCOVER_RETURN_NOT_OK(ValidateBenchDocument(baseline));
+  PREFCOVER_RETURN_NOT_OK(ValidateBenchDocument(current));
+
+  BenchCompareReport report;
+  if (options.determinism) {
+    DiffValues(baseline, current, "$", /*relaxed=*/false, options.tolerance,
+               &report.problems);
+    return report;
+  }
+
+  const JsonValue& baseline_cases = *baseline.Find("cases");
+  const JsonValue& current_cases = *current.Find("cases");
+  for (size_t i = 0; i < baseline_cases.size(); ++i) {
+    const JsonValue& base = baseline_cases.at(i);
+    const std::string& name = base.Find("name")->string_value();
+    const JsonValue* cur = FindCase(current_cases, name);
+    if (cur == nullptr) {
+      report.problems.push_back("case '" + name +
+                                "' is in the baseline but missing from the "
+                                "current run");
+      continue;
+    }
+    CaseComparison cmp;
+    cmp.name = name;
+    cmp.baseline_p50_ms = base.Find("wall_ms")->Find("p50")->number_value();
+    cmp.current_p50_ms = cur->Find("wall_ms")->Find("p50")->number_value();
+    cmp.ratio = cmp.baseline_p50_ms > 0.0
+                    ? cmp.current_p50_ms / cmp.baseline_p50_ms
+                    : (cmp.current_p50_ms > 0.0 ? HUGE_VAL : 1.0);
+    double delta_ms = cmp.current_p50_ms - cmp.baseline_p50_ms;
+    cmp.regressed =
+        cmp.ratio > 1.0 + options.p50_regression_threshold &&
+        delta_ms > options.min_effect_ms;
+    if (cmp.regressed) {
+      report.problems.push_back(
+          "case '" + name + "' regressed: p50 " +
+          FormatJsonNumber(cmp.baseline_p50_ms) + " ms -> " +
+          FormatJsonNumber(cmp.current_p50_ms) + " ms (" +
+          FormatJsonNumber(cmp.ratio) + "x)");
+    }
+    report.cases.push_back(cmp);
+  }
+  for (size_t i = 0; i < current_cases.size(); ++i) {
+    const std::string& name =
+        current_cases.at(i).Find("name")->string_value();
+    if (FindCase(baseline_cases, name) == nullptr) {
+      report.new_cases.push_back(name);
+    }
+  }
+  return report;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,76 @@
+// Schema validation and comparison of BENCH_core.json documents: the
+// regression gate (p50 wall-time deltas per case), the determinism check
+// (every non-timing field identical across two runs with the same seed),
+// and the golden-file check (same, with a numeric tolerance).
+
+#ifndef PREFCOVER_BENCH_COMPARE_H_
+#define PREFCOVER_BENCH_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief Validates that `doc` conforms to the BENCH_core.json schema
+/// (see EXPERIMENTS.md): required keys with the right types, per-case
+/// latency summaries, numeric counters, unique case names.
+Status ValidateBenchDocument(const JsonValue& doc);
+
+/// \brief Comparison knobs.
+struct BenchCompareOptions {
+  /// Perf mode: fail when a case's current p50 wall time exceeds the
+  /// baseline's by more than this fraction (0.2 == 20% slower).
+  double p50_regression_threshold = 0.20;
+
+  /// Perf mode: ignore regressions whose absolute p50 delta is below this
+  /// floor — percentage noise on micro-cases is not signal.
+  double min_effect_ms = 0.05;
+
+  /// Determinism mode: instead of timings, require every non-timing,
+  /// non-env field of the two documents to match. Timing objects
+  /// ("wall_ms"/"cpu_ms") and "env" values must still exist with the
+  /// exact schema, but their values are not compared.
+  bool determinism = false;
+
+  /// Determinism mode: numeric tolerance. 0 demands bit-equality (two
+  /// runs of one binary); the golden test uses 1e-9.
+  double tolerance = 0.0;
+};
+
+/// \brief Per-case p50 delta (perf mode).
+struct CaseComparison {
+  std::string name;
+  double baseline_p50_ms = 0.0;
+  double current_p50_ms = 0.0;
+  /// current / baseline; > 1 is a slowdown.
+  double ratio = 1.0;
+  bool regressed = false;
+};
+
+/// \brief Outcome of a comparison.
+struct BenchCompareReport {
+  /// Matched cases, in baseline order (perf mode only).
+  std::vector<CaseComparison> cases;
+
+  /// Case names present only in the current document (informational).
+  std::vector<std::string> new_cases;
+
+  /// Everything that makes the comparison fail: regressions, baseline
+  /// cases that disappeared, determinism mismatches.
+  std::vector<std::string> problems;
+
+  bool ok() const { return problems.empty(); }
+};
+
+/// \brief Compares `current` against `baseline`. Both documents must
+/// validate; the mode is selected by `options.determinism`.
+Result<BenchCompareReport> CompareBenchDocuments(
+    const JsonValue& baseline, const JsonValue& current,
+    const BenchCompareOptions& options);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_BENCH_COMPARE_H_

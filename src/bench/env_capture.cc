@@ -1,0 +1,71 @@
+#include "bench/env_capture.h"
+
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/utsname.h>
+#endif
+
+namespace prefcover {
+
+namespace {
+
+// The three configure-time definitions are optional: a build outside the
+// repo checkout (e.g. an installed source tarball) still works.
+#ifndef PREFCOVER_GIT_SHA
+#define PREFCOVER_GIT_SHA "unknown"
+#endif
+#ifndef PREFCOVER_BUILD_TYPE
+#define PREFCOVER_BUILD_TYPE "unknown"
+#endif
+#ifndef PREFCOVER_CXX_FLAGS
+#define PREFCOVER_CXX_FLAGS "unknown"
+#endif
+
+std::string CompilerId() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string OsId() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct utsname info;
+  if (uname(&info) == 0) {
+    return std::string(info.sysname) + " " + info.machine;
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+EnvCapture EnvCapture::Capture() {
+  EnvCapture env;
+  env.git_sha = PREFCOVER_GIT_SHA;
+  env.build_type = PREFCOVER_BUILD_TYPE;
+  env.compiler = CompilerId();
+  env.cxx_flags = PREFCOVER_CXX_FLAGS;
+  env.os = OsId();
+  env.hardware_threads = std::thread::hardware_concurrency();
+  return env;
+}
+
+JsonValue EnvCapture::ToJson() const {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("git_sha", JsonValue::Str(git_sha));
+  obj.Set("build_type", JsonValue::Str(build_type));
+  obj.Set("compiler", JsonValue::Str(compiler));
+  obj.Set("cxx_flags", JsonValue::Str(cxx_flags));
+  obj.Set("os", JsonValue::Str(os));
+  obj.Set("hardware_threads", JsonValue::Uint(hardware_threads));
+  return obj;
+}
+
+}  // namespace prefcover

@@ -1,0 +1,37 @@
+// Capture of the environment a benchmark run executed in, embedded in
+// every BENCH_core.json so a perf trajectory is interpretable later:
+// numbers without the build flags and host shape behind them are noise.
+
+#ifndef PREFCOVER_BENCH_ENV_CAPTURE_H_
+#define PREFCOVER_BENCH_ENV_CAPTURE_H_
+
+#include <string>
+
+#include "bench/json.h"
+
+namespace prefcover {
+
+/// \brief Build- and host-level provenance of a benchmark run.
+///
+/// git_sha / build_type / cxx_flags are baked in at configure time (CMake
+/// compile definitions); the rest is read from the running host. Every
+/// field is a stable string ("unknown" when unavailable) so the JSON
+/// schema never changes shape.
+struct EnvCapture {
+  std::string git_sha;
+  std::string build_type;
+  std::string compiler;
+  std::string cxx_flags;
+  std::string os;
+  unsigned hardware_threads = 0;
+
+  /// Captures the current process's environment.
+  static EnvCapture Capture();
+
+  /// The "env" object of the BENCH_core.json schema.
+  JsonValue ToJson() const;
+};
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_BENCH_ENV_CAPTURE_H_

@@ -1,0 +1,459 @@
+#include "bench/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace prefcover {
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  PREFCOVER_CHECK_MSG(std::isfinite(value),
+                      "JSON cannot represent NaN or infinity");
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Int(int64_t value) {
+  return Number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::Uint(uint64_t value) {
+  return Number(static_cast<double>(value));
+}
+
+JsonValue JsonValue::Str(std::string value) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool JsonValue::bool_value() const {
+  PREFCOVER_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::number_value() const {
+  PREFCOVER_CHECK(is_number());
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  PREFCOVER_CHECK(is_string());
+  return string_;
+}
+
+size_t JsonValue::size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t index) const {
+  PREFCOVER_CHECK(is_array() && index < array_.size());
+  return array_[index];
+}
+
+JsonValue& JsonValue::Append(JsonValue element) {
+  PREFCOVER_CHECK(is_array());
+  array_.push_back(std::move(element));
+  return array_.back();
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  PREFCOVER_CHECK(is_object());
+  PREFCOVER_CHECK_MSG(Find(key) == nullptr, "duplicate JSON object key");
+  object_.emplace_back(std::move(key), std::move(value));
+  return object_.back().second;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  PREFCOVER_CHECK(is_object());
+  return object_;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+std::string FormatJsonNumber(double value) {
+  // Integral values within the exactly-representable range print without
+  // a fraction, so counters look like counters.
+  constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+  if (value == std::floor(value) && std::fabs(value) <= kMaxExactInt) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  // Shortest round-trip representation, stable across runs.
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  PREFCOVER_CHECK(ec == std::errc());
+  return std::string(buf, ptr);
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(std::string* out, int indent) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += FormatJsonNumber(number_);
+      return;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(out, indent);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      for (size_t i = 0; i < object_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        AppendEscaped(out, object_[i].first);
+        *out += ": ";
+        object_[i].second.DumpTo(out, indent + 1);
+        if (i + 1 < object_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(out, indent);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    PREFCOVER_ASSIGN_OR_RETURN(JsonValue v, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        PREFCOVER_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::Str(std::move(s));
+      }
+      case 't':
+        return ParseKeyword("true", JsonValue::Bool(true));
+      case 'f':
+        return ParseKeyword("false", JsonValue::Bool(false));
+      case 'n':
+        return ParseKeyword("null", JsonValue::Null());
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseKeyword(std::string_view word, JsonValue value) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    // JSON forbids leading zeros ("01") even though from_chars accepts
+    // them.
+    size_t digits = start + (text_[start] == '-' ? 1 : 0);
+    if (pos_ > digits + 1 && text_[digits] == '0' &&
+        std::isdigit(static_cast<unsigned char>(text_[digits + 1]))) {
+      return Error("leading zeros are not allowed");
+    }
+    double value = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return Error("malformed number");
+    }
+    return JsonValue::Number(value);
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode (BMP only; the harness never emits surrogates).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    Consume('[');
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      PREFCOVER_ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      arr.Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    Consume('{');
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      PREFCOVER_ASSIGN_OR_RETURN(std::string key, ParseString());
+      if (obj.Find(key) != nullptr) return Error("duplicate key '" + key +
+                                                 "'");
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      PREFCOVER_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      obj.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+}  // namespace prefcover

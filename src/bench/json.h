@@ -1,0 +1,109 @@
+// Minimal JSON document model for the benchmark harness: build, serialize
+// and parse the BENCH_core.json perf-trajectory files.
+//
+// Deliberately small instead of a third-party dependency: insertion-ordered
+// objects and round-trip-stable number formatting are what the harness
+// needs so that two runs with the same seed serialize byte-identically in
+// every non-timing field (the determinism contract bench_compare checks).
+
+#ifndef PREFCOVER_BENCH_JSON_H_
+#define PREFCOVER_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace prefcover {
+
+/// \brief A JSON value: null, bool, number, string, array or object.
+///
+/// Objects preserve insertion order (serialization is deterministic) and
+/// reject duplicate keys on Set. Numbers are doubles; integral values in
+/// the exactly-representable range serialize without a decimal point.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Defaults to null.
+  JsonValue() = default;
+
+  /// \name Factories.
+  /// @{
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool value);
+  static JsonValue Number(double value);
+  static JsonValue Int(int64_t value);
+  static JsonValue Uint(uint64_t value);
+  static JsonValue Str(std::string value);
+  static JsonValue Array();
+  static JsonValue Object();
+  /// @}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// \name Scalar accessors; the value must have the matching type
+  /// (checked).
+  /// @{
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  /// @}
+
+  /// Array/object element count; 0 for scalars.
+  size_t size() const;
+
+  /// \name Array access. `at` bounds-checks.
+  /// @{
+  const JsonValue& at(size_t index) const;
+  JsonValue& Append(JsonValue element);
+  /// @}
+
+  /// \name Object access.
+  /// @{
+  /// Inserts `key`; dies on duplicates (schema bugs should fail loudly).
+  JsonValue& Set(std::string key, JsonValue value);
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue* Find(std::string_view key) const;
+  /// Members in insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// @}
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level; formatting is deterministic for equal documents.
+  std::string Dump() const;
+
+  /// Strict JSON parse of a complete document (trailing garbage is an
+  /// error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// \brief Formats a double the way the harness serializes JSON numbers:
+/// integral values without a decimal point, everything else shortest
+/// round-trip. Exposed for tests and table rendering.
+std::string FormatJsonNumber(double value);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_BENCH_JSON_H_

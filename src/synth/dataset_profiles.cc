@@ -153,4 +153,33 @@ Result<PreferenceGraph> GenerateProfileGraphWithNodes(DatasetProfile profile,
   return model.graph();
 }
 
+namespace {
+
+constexpr ScaleTierSpec kScaleTiers[] = {
+    {"S", 20'000, 100},
+    {"M", 200'000, 100},
+    {"L", 1'000'000, 100},
+};
+
+}  // namespace
+
+const ScaleTierSpec& GetScaleTierSpec(ScaleTier tier) {
+  return kScaleTiers[static_cast<int>(tier)];
+}
+
+Result<ScaleTier> ParseScaleTierName(const std::string& name) {
+  if (name == "S") return ScaleTier::kS;
+  if (name == "M") return ScaleTier::kM;
+  if (name == "L") return ScaleTier::kL;
+  return Status::InvalidArgument("unknown scale tier '" + name +
+                                 "' (expected S|M|L)");
+}
+
+Result<PreferenceGraph> GenerateScaleTierGraph(ScaleTier tier,
+                                               uint64_t seed) {
+  const ScaleTierSpec& spec = GetScaleTierSpec(tier);
+  return GenerateProfileGraphWithNodes(DatasetProfile::kPE, spec.num_nodes,
+                                       seed);
+}
+
 }  // namespace prefcover

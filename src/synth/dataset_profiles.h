@@ -62,6 +62,34 @@ Result<PreferenceGraph> GenerateProfileGraphWithNodes(DatasetProfile profile,
                                                       uint32_t num_nodes,
                                                       uint64_t seed);
 
+/// \brief Pinned benchmark instance sizes for the perf-trajectory suite
+/// (`bench/scale_tier`): Zipf-skewed PE-shaped graphs at three fixed node
+/// counts, so timings are comparable across commits.
+enum class ScaleTier {
+  kS,  //     20,000 nodes — CI determinism checks, quick local runs
+  kM,  //    200,000 nodes — local perf iteration
+  kL,  //  1,000,000 nodes — the nightly perf-smoke scale tier
+};
+
+/// \brief Shape of one tier: node count plus the pinned solve budget used
+/// by the benchmark (k is fixed per tier so the measured work is stable).
+struct ScaleTierSpec {
+  const char* name;
+  uint32_t num_nodes;
+  size_t solve_k;
+};
+
+const ScaleTierSpec& GetScaleTierSpec(ScaleTier tier);
+
+/// Parses "S"/"M"/"L".
+Result<ScaleTier> ParseScaleTierName(const std::string& name);
+
+/// \brief Generates the tier's graph: the PE profile (Zipf popularity
+/// skew, Independent-variant shape) at the tier's pinned node count.
+/// Deterministic in (tier, seed).
+Result<PreferenceGraph> GenerateScaleTierGraph(ScaleTier tier,
+                                               uint64_t seed);
+
 }  // namespace prefcover
 
 #endif  // PREFCOVER_SYNTH_DATASET_PROFILES_H_

@@ -1,0 +1,128 @@
+// End-to-end tests of the `bench_compare` binary: real subprocess runs
+// against temp BENCH_core.json files, exercising the documented exit
+// codes (0 pass, 1 regression/mismatch, 2 usage/IO/parse error).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_runner.h"
+#include "bench/json.h"
+
+#ifndef PREFCOVER_BENCH_COMPARE_PATH
+#error "PREFCOVER_BENCH_COMPARE_PATH must be defined by the build"
+#endif
+
+namespace prefcover {
+namespace {
+
+std::string ToolPath() { return PREFCOVER_BENCH_COMPARE_PATH; }
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/bench_compare_cli_" + name;
+}
+
+int RunTool(const std::string& arguments) {
+  int rc =
+      std::system((ToolPath() + " " + arguments + " > /dev/null 2>&1").c_str());
+  return rc == -1 ? -1 : WEXITSTATUS(rc);
+}
+
+// A minimal valid document produced by the real harness, with the wall
+// timings replaced by pinned values scaled by `slowdown` — the measured
+// micro-timings of the empty case bodies are pure noise and would make
+// the regression direction random.
+std::string WriteDoc(const std::string& name, double slowdown) {
+  BenchConfig config;
+  config.suite = "cli_test";
+  config.seed = 1;
+  config.warmup = 0;
+  config.repetitions = 2;
+  BenchRunner runner(config);
+  for (const char* case_name : {"case/a", "case/b"}) {
+    BenchCase bench_case;
+    bench_case.name = case_name;
+    bench_case.run = [](BenchRecorder* recorder) -> Status {
+      recorder->Record("cover", 0.5);
+      return Status::OK();
+    };
+    EXPECT_TRUE(runner.Run(bench_case).ok());
+  }
+  // Replace the wall_ms subtrees with pinned values so the document
+  // stays schema-valid but the timings are deterministic.
+  auto doc = JsonValue::Parse(runner.ToJson().Dump());
+  EXPECT_TRUE(doc.ok());
+  JsonValue patched = JsonValue::Object();
+  for (const auto& [key, value] : doc->members()) {
+    if (key != "cases") {
+      patched.Set(key, value);
+      continue;
+    }
+    JsonValue cases = JsonValue::Array();
+    for (size_t i = 0; i < value.size(); ++i) {
+      JsonValue c = JsonValue::Object();
+      for (const auto& [ckey, cvalue] : value.at(i).members()) {
+        if (ckey != "wall_ms") {
+          c.Set(ckey, cvalue);
+          continue;
+        }
+        JsonValue lat = JsonValue::Object();
+        for (const auto& [lkey, lvalue] : cvalue.members()) {
+          (void)lvalue;
+          lat.Set(lkey, JsonValue::Number(10.0 * slowdown));
+        }
+        c.Set(ckey, std::move(lat));
+      }
+      cases.Append(std::move(c));
+    }
+    patched.Set(key, std::move(cases));
+  }
+  std::string text = patched.Dump();
+  std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+TEST(BenchCompareCliTest, IdenticalInputsExitZero) {
+  std::string path = WriteDoc("identical.json", 1.0);
+  EXPECT_EQ(RunTool(path + " " + path), 0);
+}
+
+TEST(BenchCompareCliTest, InjectedSlowdownExitsNonzero) {
+  std::string baseline = WriteDoc("base.json", 1.0);
+  std::string slow = WriteDoc("slow.json", 1.5);
+  EXPECT_EQ(RunTool(baseline + " " + slow), 1);
+  // The reverse direction is a speedup, not a regression.
+  EXPECT_EQ(RunTool(slow + " " + baseline), 0);
+}
+
+TEST(BenchCompareCliTest, DeterminismModeIgnoresTimings) {
+  std::string baseline = WriteDoc("det_base.json", 1.0);
+  std::string slow = WriteDoc("det_slow.json", 3.0);
+  EXPECT_EQ(RunTool("--determinism " + baseline + " " + slow), 0);
+}
+
+TEST(BenchCompareCliTest, UsageAndIoErrorsExitTwo) {
+  std::string path = WriteDoc("usage.json", 1.0);
+  EXPECT_EQ(RunTool(""), 2);
+  EXPECT_EQ(RunTool(path), 2);
+  EXPECT_EQ(RunTool(path + " /nonexistent/missing.json"), 2);
+
+  std::string garbage = TempPath("garbage.json");
+  std::ofstream(garbage) << "{not json";
+  EXPECT_EQ(RunTool(path + " " + garbage), 2);
+
+  // Valid JSON that violates the schema is also an input error.
+  std::string invalid = TempPath("invalid.json");
+  std::ofstream(invalid) << "{\"schema_version\": 1}\n";
+  EXPECT_EQ(RunTool(path + " " + invalid), 2);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,240 @@
+#include "bench/compare.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_runner.h"
+#include "bench/json.h"
+
+namespace prefcover {
+namespace {
+
+JsonValue MakeLatency(double base) {
+  JsonValue lat = JsonValue::Object();
+  lat.Set("p50", JsonValue::Number(base));
+  lat.Set("p90", JsonValue::Number(base * 1.2));
+  lat.Set("p95", JsonValue::Number(base * 1.3));
+  lat.Set("mean", JsonValue::Number(base * 1.05));
+  lat.Set("min", JsonValue::Number(base * 0.9));
+  lat.Set("max", JsonValue::Number(base * 1.4));
+  return lat;
+}
+
+JsonValue MakeCase(const std::string& name, double p50_ms,
+                   double cover = 0.5) {
+  JsonValue c = JsonValue::Object();
+  c.Set("name", JsonValue::Str(name));
+  c.Set("profile", JsonValue::Str("PE"));
+  c.Set("variant", JsonValue::Str("independent"));
+  c.Set("solver", JsonValue::Str("lazy"));
+  c.Set("n", JsonValue::Uint(1000));
+  c.Set("k", JsonValue::Uint(50));
+  c.Set("threads", JsonValue::Uint(1));
+  c.Set("wall_ms", MakeLatency(p50_ms));
+  c.Set("cpu_ms", MakeLatency(p50_ms * 0.98));
+  JsonValue counters = JsonValue::Object();
+  counters.Set("cover", JsonValue::Number(cover));
+  counters.Set("gain_evaluations", JsonValue::Number(1234));
+  c.Set("counters", std::move(counters));
+  return c;
+}
+
+JsonValue MakeDoc(std::vector<JsonValue> cases,
+                  const std::string& git_sha = "abc123") {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Int(kBenchSchemaVersion));
+  doc.Set("suite", JsonValue::Str("compare_test"));
+  JsonValue env = JsonValue::Object();
+  env.Set("git_sha", JsonValue::Str(git_sha));
+  env.Set("build_type", JsonValue::Str("Release"));
+  env.Set("compiler", JsonValue::Str("gcc 12"));
+  env.Set("cxx_flags", JsonValue::Str("-O3"));
+  env.Set("os", JsonValue::Str("Linux"));
+  env.Set("hardware_threads", JsonValue::Uint(8));
+  doc.Set("env", std::move(env));
+  JsonValue config = JsonValue::Object();
+  config.Set("seed", JsonValue::Uint(42));
+  config.Set("warmup", JsonValue::Uint(1));
+  config.Set("repetitions", JsonValue::Uint(5));
+  doc.Set("config", std::move(config));
+  JsonValue case_array = JsonValue::Array();
+  for (JsonValue& c : cases) case_array.Append(std::move(c));
+  doc.Set("cases", std::move(case_array));
+  return doc;
+}
+
+TEST(ValidateBenchDocumentTest, AcceptsWellFormedDocument) {
+  JsonValue doc = MakeDoc({MakeCase("a", 1.0), MakeCase("b", 2.0)});
+  Status st = ValidateBenchDocument(doc);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST(ValidateBenchDocumentTest, RejectsBadDocuments) {
+  // Not an object.
+  EXPECT_FALSE(ValidateBenchDocument(JsonValue::Array()).ok());
+
+  // Wrong schema version (patched in the serialized text, then re-parsed).
+  {
+    std::string text = MakeDoc({MakeCase("a", 1.0)}).Dump();
+    size_t pos = text.find("\"schema_version\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 19, "\"schema_version\": 99");
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(ValidateBenchDocument(*parsed).ok());
+  }
+
+  // Duplicate case names.
+  EXPECT_FALSE(
+      ValidateBenchDocument(MakeDoc({MakeCase("a", 1.0), MakeCase("a", 2.0)}))
+          .ok());
+
+  // Empty case name.
+  EXPECT_FALSE(ValidateBenchDocument(MakeDoc({MakeCase("", 1.0)})).ok());
+
+  // Missing top-level key.
+  {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema_version", JsonValue::Int(kBenchSchemaVersion));
+    doc.Set("suite", JsonValue::Str("s"));
+    EXPECT_FALSE(ValidateBenchDocument(doc).ok());
+  }
+
+  // Negative latency.
+  {
+    JsonValue c = MakeCase("a", 1.0);
+    std::string text = MakeDoc({std::move(c)}).Dump();
+    size_t pos = text.find("\"p50\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 8, "\"p50\": -1");
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(ValidateBenchDocument(*parsed).ok());
+  }
+
+  // Latency object with an extra field.
+  {
+    std::string text = MakeDoc({MakeCase("a", 1.0)}).Dump();
+    size_t pos = text.find("\"p50\": 1,");
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos, "\"p49\": 1,\n      ");
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(ValidateBenchDocument(*parsed).ok());
+  }
+
+  // Non-numeric counter.
+  {
+    std::string text = MakeDoc({MakeCase("a", 1.0)}).Dump();
+    size_t pos = text.find("\"gain_evaluations\": 1234");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 24, "\"gain_evaluations\": \"many\"");
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(ValidateBenchDocument(*parsed).ok());
+  }
+}
+
+TEST(CompareBenchDocumentsTest, IdenticalDocumentsPass) {
+  JsonValue doc = MakeDoc({MakeCase("a", 1.0)});
+  auto report = CompareBenchDocuments(doc, doc, BenchCompareOptions());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+  ASSERT_EQ(report->cases.size(), 1u);
+  EXPECT_DOUBLE_EQ(report->cases[0].ratio, 1.0);
+  EXPECT_FALSE(report->cases[0].regressed);
+}
+
+TEST(CompareBenchDocumentsTest, FlagsRegressionPastThreshold) {
+  JsonValue baseline = MakeDoc({MakeCase("a", 10.0), MakeCase("b", 10.0)});
+  JsonValue current = MakeDoc({MakeCase("a", 15.1), MakeCase("b", 11.0)});
+  BenchCompareOptions options;
+  options.p50_regression_threshold = 0.20;
+  auto report = CompareBenchDocuments(baseline, current, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->cases.size(), 2u);
+  EXPECT_TRUE(report->cases[0].regressed);   // +51%
+  EXPECT_FALSE(report->cases[1].regressed);  // +10%
+  EXPECT_EQ(report->problems.size(), 1u);
+}
+
+TEST(CompareBenchDocumentsTest, MinEffectFloorSuppressesMicroNoise) {
+  // +100% but only 0.01 ms absolute — below the floor, not a regression.
+  JsonValue baseline = MakeDoc({MakeCase("a", 0.01)});
+  JsonValue current = MakeDoc({MakeCase("a", 0.02)});
+  BenchCompareOptions options;
+  options.min_effect_ms = 0.05;
+  auto report = CompareBenchDocuments(baseline, current, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+}
+
+TEST(CompareBenchDocumentsTest, MissingBaselineCaseIsAProblem) {
+  JsonValue baseline = MakeDoc({MakeCase("a", 1.0), MakeCase("gone", 1.0)});
+  JsonValue current = MakeDoc({MakeCase("a", 1.0), MakeCase("fresh", 1.0)});
+  auto report = CompareBenchDocuments(baseline, current,
+                                      BenchCompareOptions());
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  ASSERT_EQ(report->new_cases.size(), 1u);
+  EXPECT_EQ(report->new_cases[0], "fresh");
+}
+
+TEST(CompareBenchDocumentsTest, DeterminismIgnoresTimingsAndEnv) {
+  JsonValue a = MakeDoc({MakeCase("a", 1.0)}, "sha_one");
+  JsonValue b = MakeDoc({MakeCase("a", 99.0)}, "sha_two");
+  BenchCompareOptions options;
+  options.determinism = true;
+  auto report = CompareBenchDocuments(a, b, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << (report->problems.empty()
+                                    ? ""
+                                    : report->problems.front());
+}
+
+TEST(CompareBenchDocumentsTest, DeterminismCatchesCounterDrift) {
+  JsonValue a = MakeDoc({MakeCase("a", 1.0, /*cover=*/0.5)});
+  JsonValue b = MakeDoc({MakeCase("a", 1.0, /*cover=*/0.5000001)});
+  BenchCompareOptions options;
+  options.determinism = true;
+  auto report = CompareBenchDocuments(a, b, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+
+  // With a tolerance above the drift it passes (the golden-file mode).
+  options.tolerance = 1e-3;
+  report = CompareBenchDocuments(a, b, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+
+  // With a tolerance below the drift it still fails.
+  options.tolerance = 1e-9;
+  report = CompareBenchDocuments(a, b, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST(CompareBenchDocumentsTest, DeterminismCatchesMissingCase) {
+  JsonValue a = MakeDoc({MakeCase("a", 1.0), MakeCase("b", 1.0)});
+  JsonValue b = MakeDoc({MakeCase("a", 1.0)});
+  BenchCompareOptions options;
+  options.determinism = true;
+  auto report = CompareBenchDocuments(a, b, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST(CompareBenchDocumentsTest, RejectsInvalidInputs) {
+  JsonValue good = MakeDoc({MakeCase("a", 1.0)});
+  JsonValue bad = JsonValue::Object();
+  EXPECT_FALSE(
+      CompareBenchDocuments(bad, good, BenchCompareOptions()).ok());
+  EXPECT_FALSE(
+      CompareBenchDocuments(good, bad, BenchCompareOptions()).ok());
+}
+
+}  // namespace
+}  // namespace prefcover

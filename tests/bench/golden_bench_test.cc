@@ -1,0 +1,128 @@
+// Golden-file lockdown of the BENCH_core.json emission: a fig4-style
+// coverage-vs-k experiment on a small synthetic PE-shaped graph with a
+// pinned seed must serialize to exactly the checked-in document — schema
+// byte-for-byte, numbers within 1e-9, timing values free to vary.
+//
+// To refresh after an intentional change, run bench_test with
+// PREFCOVER_REGENERATE_GOLDEN=1 in the environment, then commit the
+// rewritten tests/golden/bench_core_pe_small.json.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_runner.h"
+#include "bench/compare.h"
+#include "bench/json.h"
+#include "core/greedy_solver.h"
+#include "synth/dataset_profiles.h"
+
+#ifndef PREFCOVER_GOLDEN_DIR
+#error "PREFCOVER_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace prefcover {
+namespace {
+
+constexpr uint64_t kSeed = 4242;
+constexpr uint32_t kNodes = 2'000;
+
+std::string GoldenPath() {
+  return std::string(PREFCOVER_GOLDEN_DIR) + "/bench_core_pe_small.json";
+}
+
+// The pinned experiment: greedy coverage at three budgets on the small
+// PE profile. Everything that lands in counters is bit-deterministic in
+// (profile, n, seed).
+JsonValue RunPinnedExperiment() {
+  BenchConfig config;
+  config.suite = "golden_pe_small";
+  config.seed = kSeed;
+  config.warmup = 0;
+  config.repetitions = 1;
+  BenchRunner runner(config);
+
+  auto graph = GenerateProfileGraphWithNodes(DatasetProfile::kPE, kNodes,
+                                             kSeed);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+
+  for (size_t k : {10u, 50u, 200u}) {
+    BenchCase bench_case;
+    bench_case.name = "solve/lazy/k" + std::to_string(k);
+    bench_case.profile = "PE";
+    bench_case.variant = "independent";
+    bench_case.solver = "lazy";
+    bench_case.n = kNodes;
+    bench_case.k = k;
+    bench_case.run = [&graph, k](BenchRecorder* recorder) -> Status {
+      auto sol = SolveGreedyLazy(*graph, k);
+      if (!sol.ok()) return sol.status();
+      recorder->Record("cover", sol->cover);
+      recorder->Record("gain_evaluations",
+                       static_cast<double>(sol->stats.gain_evaluations));
+      recorder->Record("heap_pops",
+                       static_cast<double>(sol->stats.heap_pops));
+      // Order-sensitive checksum: any change to the selected sequence
+      // shows up even when the cover value happens to match.
+      double checksum = 0.0;
+      for (size_t i = 0; i < sol->items.size(); ++i) {
+        checksum += static_cast<double>(i + 1) *
+                    static_cast<double>(sol->items[i]);
+      }
+      recorder->Record("selection_checksum", checksum);
+      return Status::OK();
+    };
+    EXPECT_TRUE(runner.Run(bench_case).ok());
+  }
+  return runner.ToJson();
+}
+
+TEST(GoldenBenchTest, MatchesCheckedInDocument) {
+  JsonValue doc = RunPinnedExperiment();
+  ASSERT_TRUE(ValidateBenchDocument(doc).ok());
+
+  if (std::getenv("PREFCOVER_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    out << doc.Dump();
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << GoldenPath()
+      << " missing; run with PREFCOVER_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto golden = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+
+  BenchCompareOptions options;
+  options.determinism = true;
+  options.tolerance = 1e-9;
+  auto report = CompareBenchDocuments(*golden, doc, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  std::string diffs;
+  for (const std::string& p : report->problems) diffs += "\n  " + p;
+  EXPECT_TRUE(report->ok())
+      << "emitted document diverged from " << GoldenPath() << ":" << diffs
+      << "\nIf intentional, regenerate with PREFCOVER_REGENERATE_GOLDEN=1.";
+}
+
+TEST(GoldenBenchTest, ExperimentIsRunToRunDeterministic) {
+  JsonValue first = RunPinnedExperiment();
+  JsonValue second = RunPinnedExperiment();
+  BenchCompareOptions options;
+  options.determinism = true;  // tolerance 0: bit-identical counters
+  auto report = CompareBenchDocuments(first, second, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << (report->problems.empty()
+                                    ? ""
+                                    : report->problems.front());
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,164 @@
+#include "bench/json.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+TEST(JsonValueTest, DefaultIsNull) {
+  JsonValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.Dump(), "null\n");
+}
+
+TEST(JsonValueTest, ScalarFactoriesAndAccessors) {
+  EXPECT_TRUE(JsonValue::Bool(true).bool_value());
+  EXPECT_FALSE(JsonValue::Bool(false).bool_value());
+  EXPECT_DOUBLE_EQ(JsonValue::Number(2.5).number_value(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Int(-7).number_value(), -7.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Uint(42).number_value(), 42.0);
+  EXPECT_EQ(JsonValue::Str("hi").string_value(), "hi");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("zebra", JsonValue::Int(1));
+  obj.Set("alpha", JsonValue::Int(2));
+  obj.Set("mid", JsonValue::Int(3));
+  ASSERT_EQ(obj.members().size(), 3u);
+  EXPECT_EQ(obj.members()[0].first, "zebra");
+  EXPECT_EQ(obj.members()[1].first, "alpha");
+  EXPECT_EQ(obj.members()[2].first, "mid");
+  ASSERT_NE(obj.Find("alpha"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.Find("alpha")->number_value(), 2.0);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DuplicateKeyDies) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("k", JsonValue::Int(1));
+  EXPECT_DEATH(obj.Set("k", JsonValue::Int(2)), "duplicate");
+}
+
+TEST(JsonValueTest, NonFiniteNumberDies) {
+  EXPECT_DEATH(JsonValue::Number(std::numeric_limits<double>::quiet_NaN()),
+               "finite");
+  EXPECT_DEATH(JsonValue::Number(std::numeric_limits<double>::infinity()),
+               "finite");
+}
+
+TEST(JsonValueTest, DumpIsStableAndIndented) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", JsonValue::Str("s"));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Int(1));
+  arr.Append(JsonValue::Bool(false));
+  arr.Append(JsonValue::Null());
+  doc.Set("values", std::move(arr));
+  doc.Set("empty_obj", JsonValue::Object());
+  doc.Set("empty_arr", JsonValue::Array());
+  const std::string expected =
+      "{\n"
+      "  \"name\": \"s\",\n"
+      "  \"values\": [\n"
+      "    1,\n"
+      "    false,\n"
+      "    null\n"
+      "  ],\n"
+      "  \"empty_obj\": {},\n"
+      "  \"empty_arr\": []\n"
+      "}\n";
+  EXPECT_EQ(doc.Dump(), expected);
+  // Deterministic: dumping twice is byte-identical.
+  EXPECT_EQ(doc.Dump(), expected);
+}
+
+TEST(JsonValueTest, NumberFormatting) {
+  EXPECT_EQ(FormatJsonNumber(0.0), "0");
+  EXPECT_EQ(FormatJsonNumber(42.0), "42");
+  EXPECT_EQ(FormatJsonNumber(-3.0), "-3");
+  EXPECT_EQ(FormatJsonNumber(9007199254740992.0), "9007199254740992");
+  EXPECT_EQ(FormatJsonNumber(2.5), "2.5");
+  EXPECT_EQ(FormatJsonNumber(0.1), "0.1");
+  // Shortest round-trip representation parses back to the same double.
+  for (double v : {1.0 / 3.0, 1e-9, 123.456789, 1.7976931348623157e308}) {
+    std::string s = FormatJsonNumber(v);
+    EXPECT_DOUBLE_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(JsonValueTest, ParseRoundTrip) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("a", JsonValue::Number(1.5));
+  doc.Set("b", JsonValue::Str("text with \"quotes\" and \\ and \n"));
+  JsonValue nested = JsonValue::Object();
+  nested.Set("t", JsonValue::Bool(true));
+  doc.Set("c", std::move(nested));
+  auto parsed = JsonValue::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(*parsed == doc);
+  EXPECT_EQ(parsed->Dump(), doc.Dump());
+}
+
+TEST(JsonValueTest, ParseScalars) {
+  auto v = JsonValue::Parse("  -12.5e2 ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->number_value(), -1250.0);
+  EXPECT_TRUE(JsonValue::Parse("true")->bool_value());
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("\"a\\u0041b\"")->string_value(), "aAb");
+}
+
+TEST(JsonValueTest, ParseUnicodeEscapeToUtf8) {
+  auto v = JsonValue::Parse("\"\\u00e9\\u20ac\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "\xC3\xA9\xE2\x82\xAC");  // é €
+}
+
+TEST(JsonValueTest, ParseErrors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'a':1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nan").ok());
+  EXPECT_FALSE(JsonValue::Parse("+1").ok());
+  EXPECT_FALSE(JsonValue::Parse("01").ok());
+  // Duplicate keys are rejected (the harness never writes them).
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":1,\"a\":2}").ok());
+  // Unterminated string, bad escape.
+  EXPECT_FALSE(JsonValue::Parse("\"abc").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\x\"").ok());
+}
+
+TEST(JsonValueTest, ParseDepthLimit) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  std::string shallow(10, '[');
+  shallow += std::string(10, ']');
+  EXPECT_TRUE(JsonValue::Parse(shallow).ok());
+}
+
+TEST(JsonValueTest, EqualityIsOrderSensitiveForObjects) {
+  JsonValue a = JsonValue::Object();
+  a.Set("x", JsonValue::Int(1));
+  a.Set("y", JsonValue::Int(2));
+  JsonValue b = JsonValue::Object();
+  b.Set("y", JsonValue::Int(2));
+  b.Set("x", JsonValue::Int(1));
+  // Key order is part of the determinism contract.
+  EXPECT_FALSE(a == b);
+  JsonValue c = JsonValue::Object();
+  c.Set("x", JsonValue::Int(1));
+  c.Set("y", JsonValue::Int(2));
+  EXPECT_TRUE(a == c);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -144,6 +144,139 @@ TEST(StreamingCsvTest, MalformedInputRejected) {
   }
 }
 
+// A session id reappearing after other sessions is the documented
+// divergence between the two paths: the batch reader rejects the input,
+// the streaming pass (which cannot remember every past id) opens a NEW
+// session and keeps the statistics correct for that reading.
+TEST(StreamingCsvTest, ReappearingSessionIdStartsNewSession) {
+  const std::string csv =
+      "session_id,event_type,item_id\n"
+      "0,click,b\n0,purchase,a\n"
+      "1,purchase,b\n"
+      "0,purchase,a\n";  // id 0 again, after session 1
+
+  std::istringstream batch_src(csv);
+  EXPECT_TRUE(ReadClickstreamCsv(&batch_src).status().IsInvalidArgument());
+
+  std::istringstream streaming_src(csv);
+  auto g = BuildPreferenceGraphStreaming(&streaming_src);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  // Three sessions, three purchases: a twice, b once.
+  ASSERT_EQ(g->NumNodes(), 2u);
+  ItemId b = 0, a = 1;  // interned in appearance order
+  EXPECT_EQ(g->Label(a), "a");
+  EXPECT_DOUBLE_EQ(g->NodeWeight(a), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g->NodeWeight(b), 1.0 / 3.0);
+  // Only the first a-purchase session clicked b: weight 1/2.
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(a, b), 0.5);
+}
+
+// Events inside a session block need not be ordered: clicks recorded
+// after the purchase row are still the session's alternatives.
+TEST(StreamingCsvTest, ClicksAfterPurchaseRowStillCount) {
+  const std::string before =
+      "session_id,event_type,item_id\n"
+      "0,click,b\n0,purchase,a\n1,purchase,b\n";
+  const std::string after =
+      "session_id,event_type,item_id\n"
+      "0,purchase,a\n0,click,b\n1,purchase,b\n";
+  std::istringstream src1(before), src2(after);
+  auto g1 = BuildPreferenceGraphStreaming(&src1);
+  auto g2 = BuildPreferenceGraphStreaming(&src2);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  // Interning order differs (ids swap), so compare by label.
+  auto by_label = [](const PreferenceGraph& g, const std::string& label) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (g.Label(v) == label) return v;
+    }
+    ADD_FAILURE() << "no node labeled " << label;
+    return kInvalidItem;
+  };
+  for (const PreferenceGraph* g : {&*g1, &*g2}) {
+    NodeId a = by_label(*g, "a"), b = by_label(*g, "b");
+    EXPECT_DOUBLE_EQ(g->NodeWeight(a), 0.5);
+    EXPECT_DOUBLE_EQ(g->EdgeWeight(a, b), 1.0);
+  }
+}
+
+// Browse-only ("empty") sessions carry no intent: their items become
+// weight-0 nodes, no edges, and they do not dilute edge denominators
+// (which divide by per-item purchase counts, not session counts).
+TEST(StreamingCsvTest, BrowseOnlySessionsContributeNoMass) {
+  const std::string csv =
+      "session_id,event_type,item_id\n"
+      "0,click,b\n0,purchase,a\n"
+      "1,click,c\n"             // browse-only, new item c
+      "2,click,b\n2,click,c\n"  // browse-only again
+      "3,purchase,a\n";
+  std::istringstream src(csv);
+  auto g = BuildPreferenceGraphStreaming(&src);
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->NumNodes(), 3u);
+  ItemId b = 0, a = 1, c = 2;
+  EXPECT_DOUBLE_EQ(g->NodeWeight(a), 1.0);  // both purchases are a
+  EXPECT_DOUBLE_EQ(g->NodeWeight(c), 0.0);
+  EXPECT_EQ(g->OutNeighbors(c).size(), 0u);
+  EXPECT_EQ(g->InNeighbors(c).size(), 0u);
+  // 1 of 2 a-purchase sessions clicked b.
+  EXPECT_DOUBLE_EQ(g->EdgeWeight(a, b), 0.5);
+}
+
+// Duplicate clicks within one session count once, and a click on the
+// purchased item itself is not an alternative.
+TEST(StreamingCsvTest, DuplicateAndSelfClicksDedupe) {
+  const std::string csv =
+      "session_id,event_type,item_id\n"
+      "0,click,b\n0,click,b\n0,click,b\n"  // same alternative thrice
+      "0,click,a\n"                        // click preceding own purchase
+      "0,purchase,a\n";
+  for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+    GraphConstructionOptions options;
+    options.variant = variant;
+    std::istringstream src(csv);
+    auto g = BuildPreferenceGraphStreaming(&src, options);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    ItemId b = 0, a = 1;
+    // One distinct alternative in one a-purchase session: weight 1 under
+    // both variants (Normalized's 1/t rule has t == 1).
+    EXPECT_DOUBLE_EQ(g->EdgeWeight(a, b), 1.0)
+        << VariantName(variant);
+    EXPECT_FALSE(g->HasEdge(a, a)) << "self-edge from self-click";
+    EXPECT_EQ(g->OutNeighbors(a).size(), 1u);
+  }
+}
+
+// Batch/streaming equivalence on a handcrafted event log that stacks the
+// awkward cases: duplicate clicks, self-clicks, browse-only and
+// click-free-purchase sessions, shared alternatives — under both
+// variants and with the pruning filters on.
+TEST(StreamingCsvTest, HandcraftedLogMatchesBatchConstruction) {
+  const std::string csv =
+      "session_id,event_type,item_id\n"
+      "s0,click,tv_b\ns0,click,tv_b\ns0,click,tv_a\ns0,purchase,tv_a\n"
+      "s1,click,tv_b\ns1,click,tv_c\ns1,purchase,tv_a\n"
+      "s2,purchase,tv_b\n"
+      "s3,click,tv_a\ns3,click,tv_d\n"  // browse-only
+      "s4,click,tv_a\ns4,purchase,tv_b\n"
+      "s5,click,tv_d\ns5,purchase,tv_a\n";
+  for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+    for (double min_edge_weight : {0.0, 0.4}) {
+      GraphConstructionOptions options;
+      options.variant = variant;
+      options.min_edge_weight = min_edge_weight;
+      options.min_purchases_for_edges = min_edge_weight > 0 ? 2 : 0;
+      std::istringstream batch_src(csv);
+      auto reloaded = ReadClickstreamCsv(&batch_src);
+      ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+      auto batch = BuildPreferenceGraph(*reloaded, options);
+      std::istringstream streaming_src(csv);
+      auto streaming = BuildPreferenceGraphStreaming(&streaming_src, options);
+      ASSERT_TRUE(batch.ok() && streaming.ok());
+      ExpectSameGraph(*batch, *streaming);
+    }
+  }
+}
+
 TEST(StreamingCsvTest, FilePathConvenience) {
   auto missing = BuildPreferenceGraphStreamingFile("/no/such/file.csv");
   EXPECT_TRUE(missing.status().IsIOError());

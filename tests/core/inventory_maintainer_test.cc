@@ -289,5 +289,134 @@ TEST(MaintainerTest, EdgeUpdatesAreObserved) {
   EXPECT_NEAR(maintainer.current_cover(), 0.5 + 0.5 * 0.8, 1e-12);
 }
 
+// After a burst of node and edge removals, a forced re-solve must land on
+// exactly the cover a from-scratch greedy run achieves on the mutated
+// catalog — maintenance never leaves money on the table relative to a
+// fresh solve at the same budget.
+TEST(MaintainerTest, RemovalsThenResolveMatchesFreshSolve) {
+  for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+    Rng rng(variant == Variant::kNormalized ? 31 : 13);
+    // Out-weight sums stay <= 1 so the catalog is valid under BOTH
+    // variants (MakeCatalog's random degrees violate Normalized).
+    DynamicPreferenceGraph g;
+    std::vector<StableId> ids;
+    for (uint32_t i = 0; i < 80; ++i) {
+      ids.push_back(g.AddItem(rng.NextDouble(0.1, 10.0)));
+    }
+    for (uint32_t i = 0; i < 80; ++i) {
+      ASSERT_TRUE(
+          g.UpsertEdge(ids[i], ids[(i + 13) % 80], 0.45).ok());
+      ASSERT_TRUE(
+          g.UpsertEdge(ids[i], ids[(i + 29) % 80], 0.35).ok());
+    }
+    MaintainerOptions options;
+    options.variant = variant;
+    options.k = 15;
+    InventoryMaintainer maintainer(&g, options);
+    ASSERT_TRUE(maintainer.Resolve().ok());
+
+    // Remove a third of the catalog — including retained items — plus a
+    // sweep of edges.
+    std::vector<StableId> retained = maintainer.retained();
+    for (size_t i = 0; i < retained.size(); i += 2) {
+      ASSERT_TRUE(g.RemoveItem(retained[i]).ok());
+    }
+    for (StableId id = 1; id < 80; id += 4) {
+      if (g.HasItem(id)) {
+        ASSERT_TRUE(g.RemoveItem(id).ok());
+      }
+    }
+    for (StableId from = 0; from < 80; ++from) {
+      for (StableId to = 0; to < 80; ++to) {
+        if (g.EdgeProbability(from, to) > 0.0 && (from + to) % 7 == 0) {
+          ASSERT_TRUE(g.RemoveEdge(from, to).ok());
+        }
+      }
+    }
+
+    ASSERT_TRUE(maintainer.Resolve().ok());
+    EXPECT_EQ(maintainer.retained().size(), 15u);
+    for (StableId id : maintainer.retained()) {
+      EXPECT_TRUE(g.HasItem(id)) << "retained a removed item";
+    }
+    EXPECT_NEAR(maintainer.current_cover(),
+                FreshGreedyCover(g, 15, variant), 1e-12)
+        << VariantName(variant);
+  }
+}
+
+// Same, through the Maintain() path: removing retained items triggers a
+// repair, and the repaired set must stay valid (alive, right size) with a
+// cover no better than fresh greedy and within the adequacy bound the
+// repair policy promises.
+TEST(MaintainerTest, RemovalsThenMaintainKeepsSetValid) {
+  Rng rng(47);
+  DynamicPreferenceGraph g = MakeCatalog(100, &rng);
+  MaintainerOptions options;
+  options.k = 20;
+  options.resolve_drift_tolerance = 1.0;  // force the repair path
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+
+  std::vector<StableId> victims(maintainer.retained().begin(),
+                                maintainer.retained().begin() + 5);
+  for (StableId id : victims) ASSERT_TRUE(g.RemoveItem(id).ok());
+
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kRepaired);
+  EXPECT_EQ(maintainer.retained().size(), 20u);
+  std::set<StableId> alive(maintainer.retained().begin(),
+                           maintainer.retained().end());
+  EXPECT_EQ(alive.size(), 20u) << "duplicate retained ids";
+  for (StableId id : alive) EXPECT_TRUE(g.HasItem(id));
+  for (StableId id : victims) EXPECT_EQ(alive.count(id), 0u);
+  double fresh = FreshGreedyCover(g, 20, Variant::kIndependent);
+  EXPECT_LE(maintainer.current_cover(), fresh + 1e-12);
+  EXPECT_GE(maintainer.current_cover(), 0.5 * fresh)
+      << "repair fell far below fresh greedy";
+}
+
+// Renormalization edge cases flowing through maintenance: zero-weight
+// items may join the catalog (weight renormalizes around them), and
+// removals that strand would-be-dangling edges must not corrupt the
+// maintained set.
+TEST(MaintainerTest, ZeroWeightAndDanglingEdgeChurn) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(4.0, "A");
+  StableId b = g.AddItem(4.0, "B");
+  StableId c = g.AddItem(2.0, "C");
+  ASSERT_TRUE(g.UpsertEdge(b, a, 0.5).ok());
+  ASSERT_TRUE(g.UpsertEdge(c, a, 1.0).ok());
+
+  MaintainerOptions options;
+  options.k = 1;
+  options.resolve_drift_tolerance = 1.0;
+  InventoryMaintainer maintainer(&g, options);
+  ASSERT_TRUE(maintainer.Maintain().ok());
+  // A covers itself (0.4), half of B (0.2) and all of C (0.2): clear win.
+  EXPECT_EQ(maintainer.retained(), std::vector<StableId>{a});
+  EXPECT_NEAR(maintainer.current_cover(), 0.8, 1e-12);
+
+  // A zero-weight arrival renormalizes nothing (weights are shares of
+  // demand; zero demand adds zero) but is a graph change to observe.
+  StableId z = g.AddItem(0.0, "Z");
+  ASSERT_TRUE(g.UpsertEdge(z, a, 1.0).ok());
+  auto action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kEvaluated);
+  EXPECT_NEAR(maintainer.current_cover(), 0.8, 1e-12);
+
+  // Removing the retained item strands B's and C's edges toward it; the
+  // repair must pick the next-best live item without tripping on them.
+  ASSERT_TRUE(g.RemoveItem(a).ok());
+  action = maintainer.Maintain();
+  ASSERT_TRUE(action.ok());
+  EXPECT_EQ(*action, MaintenanceAction::kRepaired);
+  // B now holds 4/6 of demand and covers nothing else; C holds 2/6.
+  EXPECT_EQ(maintainer.retained(), std::vector<StableId>{b});
+  EXPECT_NEAR(maintainer.current_cover(), 4.0 / 6.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace prefcover

@@ -2,8 +2,26 @@
 
 #include <gtest/gtest.h>
 
+#include "core/greedy_solver.h"
+
 namespace prefcover {
 namespace {
+
+// Structural equality of two snapshots: nodes, labels, weights, adjacency.
+void ExpectSameSnapshot(const PreferenceGraph& a, const PreferenceGraph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.Label(v), b.Label(v));
+    EXPECT_DOUBLE_EQ(a.NodeWeight(v), b.NodeWeight(v));
+    AdjacencyView oa = a.OutNeighbors(v), ob = b.OutNeighbors(v);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa.nodes[i], ob.nodes[i]);
+      EXPECT_DOUBLE_EQ(oa.weights[i], ob.weights[i]);
+    }
+  }
+}
 
 TEST(DynamicGraphTest, AddItemsAndSnapshot) {
   DynamicPreferenceGraph g;
@@ -160,6 +178,152 @@ TEST(DynamicGraphTest, LargeChurnKeepsCountsConsistent) {
   EXPECT_EQ(snap->NumNodes(), g.NumItems());
   EXPECT_EQ(snap->NumEdges(), g.NumEdges());
   EXPECT_NEAR(snap->TotalNodeWeight(), 1.0, 1e-9);
+}
+
+// A mutated graph's snapshot is indistinguishable from a graph built
+// fresh with only the surviving structure — so a re-solve after removals
+// selects exactly what a fresh solve on the mutated catalog selects.
+TEST(DynamicGraphTest, RemovalThenResolveMatchesFreshBuild) {
+  constexpr uint32_t kItems = 60;
+
+  // Mutated path: build everything, then remove items 0,5,10,... plus a
+  // handful of edges.
+  DynamicPreferenceGraph mutated;
+  std::vector<StableId> ids;
+  std::vector<std::tuple<uint32_t, uint32_t, double>> edges;
+  for (uint32_t i = 0; i < kItems; ++i) {
+    ids.push_back(mutated.AddItem(0.5 + static_cast<double>(i % 7),
+                                  "item" + std::to_string(i)));
+  }
+  for (uint32_t i = 0; i < kItems; ++i) {
+    for (uint32_t d = 1; d <= 3; ++d) {
+      uint32_t j = (i + d * 11) % kItems;
+      if (j == i) continue;
+      // Per-node out-weights sum to 0.9, valid under both variants.
+      double p = 0.1 + 0.1 * static_cast<double>(d);
+      ASSERT_TRUE(mutated.UpsertEdge(ids[i], ids[j], p).ok());
+      edges.emplace_back(i, j, p);
+    }
+  }
+  auto removed = [](uint32_t i) { return i % 5 == 0; };
+  for (uint32_t i = 0; i < kItems; ++i) {
+    if (removed(i)) {
+      ASSERT_TRUE(mutated.RemoveItem(ids[i]).ok());
+    }
+  }
+  auto edge_dropped = [&](uint32_t i, uint32_t j) {
+    return !removed(i) && !removed(j) && (i + j) % 9 == 0;
+  };
+  for (const auto& [i, j, p] : edges) {
+    if (edge_dropped(i, j)) {
+      ASSERT_TRUE(mutated.RemoveEdge(ids[i], ids[j]).ok());
+    }
+  }
+
+  // Fresh path: only the survivors, same insertion order.
+  DynamicPreferenceGraph fresh;
+  std::vector<StableId> fresh_ids(kItems, 0);
+  for (uint32_t i = 0; i < kItems; ++i) {
+    if (removed(i)) continue;
+    fresh_ids[i] = fresh.AddItem(0.5 + static_cast<double>(i % 7),
+                                 "item" + std::to_string(i));
+  }
+  for (const auto& [i, j, p] : edges) {
+    if (removed(i) || removed(j) || edge_dropped(i, j)) continue;
+    ASSERT_TRUE(fresh.UpsertEdge(fresh_ids[i], fresh_ids[j], p).ok());
+  }
+
+  auto mutated_snap = mutated.Snapshot();
+  auto fresh_snap = fresh.Snapshot();
+  ASSERT_TRUE(mutated_snap.ok() && fresh_snap.ok());
+  ExpectSameSnapshot(*mutated_snap, *fresh_snap);
+
+  for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+    GreedyOptions options;
+    options.variant = variant;
+    auto a = SolveGreedyLazy(*mutated_snap, 12, options);
+    auto b = SolveGreedyLazy(*fresh_snap, 12, options);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->items, b->items) << VariantName(variant);
+    EXPECT_DOUBLE_EQ(a->cover, b->cover);
+  }
+}
+
+// Zero-weight items are legal: they normalize to weight 0, stay solvable
+// (never worth retaining on their own, but still able to cover others as
+// edge targets contribute nothing — and as edge SOURCES their outgoing
+// coverage of real demand still counts).
+TEST(DynamicGraphTest, ZeroWeightItemsRenormalizeAndSolve) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(3.0, "A");
+  StableId z = g.AddItem(0.0, "Z");  // zero demand
+  StableId b = g.AddItem(1.0, "B");
+  // Z can serve A's demand at 0.9; B is an alternative for Z's demand,
+  // but Z has no demand to cover.
+  ASSERT_TRUE(g.UpsertEdge(a, z, 0.9).ok());
+  ASSERT_TRUE(g.UpsertEdge(z, b, 1.0).ok());
+
+  std::vector<StableId> ids;
+  auto snap = g.Snapshot(&ids);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  ASSERT_EQ(snap->NumNodes(), 3u);
+  EXPECT_DOUBLE_EQ(snap->NodeWeight(0), 0.75);
+  EXPECT_DOUBLE_EQ(snap->NodeWeight(1), 0.0);
+  EXPECT_DOUBLE_EQ(snap->NodeWeight(2), 0.25);
+
+  auto sol = SolveGreedyLazy(*snap, 1);
+  ASSERT_TRUE(sol.ok());
+  // Best single item: A retains its own 0.75 of demand, beating Z (covers
+  // A's demand at 0.9 -> 0.675) and B (0.25).
+  EXPECT_EQ(sol->items, std::vector<NodeId>{0});
+
+  // Drop every positive-weight item: normalization has nothing to work
+  // with and the snapshot must fail rather than divide by zero.
+  ASSERT_TRUE(g.RemoveItem(a).ok());
+  ASSERT_TRUE(g.RemoveItem(b).ok());
+  EXPECT_FALSE(g.Snapshot().ok());
+
+  // Weight updates re-enter the normalization: give Z demand and the
+  // snapshot recovers.
+  ASSERT_TRUE(g.SetItemWeight(z, 2.0).ok());
+  auto revived = g.Snapshot();
+  ASSERT_TRUE(revived.ok());
+  EXPECT_DOUBLE_EQ(revived->NodeWeight(0), 1.0);
+  EXPECT_EQ(revived->NumEdges(), 0u);  // both incident edges died with A, B
+}
+
+// Edges whose endpoint is removed must not dangle: they disappear from
+// counts, snapshots, and probability queries, and do not resurrect when
+// new items reuse the catalog.
+TEST(DynamicGraphTest, RemovalLeavesNoDanglingEdges) {
+  DynamicPreferenceGraph g;
+  StableId a = g.AddItem(1.0, "A");
+  StableId b = g.AddItem(1.0, "B");
+  StableId c = g.AddItem(1.0, "C");
+  ASSERT_TRUE(g.UpsertEdge(a, b, 0.5).ok());
+  ASSERT_TRUE(g.UpsertEdge(b, a, 0.5).ok());
+  ASSERT_TRUE(g.UpsertEdge(c, b, 0.4).ok());
+  ASSERT_TRUE(g.UpsertEdge(b, c, 0.3).ok());
+  ASSERT_EQ(g.NumEdges(), 4u);
+
+  ASSERT_TRUE(g.RemoveItem(b).ok());
+  EXPECT_EQ(g.NumEdges(), 0u);  // every edge touched B
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(c, b), 0.0);
+
+  // Mutating edges of a dead item is an error, in both directions.
+  EXPECT_FALSE(g.UpsertEdge(a, b, 0.5).ok());
+  EXPECT_FALSE(g.UpsertEdge(b, c, 0.5).ok());
+  EXPECT_FALSE(g.RemoveEdge(a, b).ok());
+
+  // A new item does not inherit B's dead edges.
+  StableId d = g.AddItem(1.0, "D");
+  EXPECT_NE(d, b);
+  EXPECT_DOUBLE_EQ(g.EdgeProbability(a, d), 0.0);
+  auto snap = g.Snapshot();
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->NumNodes(), 3u);
+  EXPECT_EQ(snap->NumEdges(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// Property test for the incremental-prefix claim behind the complementary
+// solver (paper Section 3.2): because greedy's output is ordered, the
+// minimal retained set reaching a coverage threshold tau IS the shortest
+// greedy prefix with C(prefix) >= tau. SolveCoverageThreshold(kGreedy)
+// must therefore agree exactly — same size, same items, same order — with
+// SmallestPrefixReaching on a full greedy run, for every tau, on both
+// variants, across 30 seeded random graphs.
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/complementary_solver.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+class ComplementaryPrefixTest
+    : public ::testing::TestWithParam<std::tuple<Variant, uint64_t>> {
+ protected:
+  Variant variant() const { return std::get<0>(GetParam()); }
+  uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ComplementaryPrefixTest, MinimalSetIsShortestGreedyPrefix) {
+  Rng rng(seed() * 0x9E3779B97F4A7C15ULL + 1);
+  UniformGraphParams params;
+  params.num_nodes = static_cast<uint32_t>(30 + rng.NextBounded(50));
+  params.out_degree = static_cast<uint32_t>(2 + rng.NextBounded(5));
+  params.popularity_skew = rng.NextDouble(0.0, 1.2);
+  params.normalized_out_weights = variant() == Variant::kNormalized;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const size_t n = g->NumNodes();
+
+  // The full greedy ordering: every threshold answer is one of its
+  // prefixes.
+  GreedyOptions options;
+  options.variant = variant();
+  auto full = SolveGreedyLazy(*g, n, options);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  ASSERT_EQ(full->items.size(), n);
+
+  for (double tau : {0.05, 0.3, 0.5, 0.75, 0.9, 0.99}) {
+    SCOPED_TRACE("tau=" + std::to_string(tau));
+    auto result = SolveCoverageThreshold(*g, tau, variant(),
+                                         ThresholdAlgorithm::kGreedy);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    size_t expected = full->SmallestPrefixReaching(tau);
+    if (expected <= n) {
+      // Reachable: the solver's set is exactly the shortest qualifying
+      // prefix, in greedy selection order.
+      EXPECT_TRUE(result->reached);
+      ASSERT_EQ(result->set_size, expected);
+      EXPECT_EQ(result->solution.items, full->PrefixItems(expected));
+      EXPECT_GE(result->solution.cover, tau - 1e-12);
+      // Minimality: one fewer item falls short of tau.
+      if (expected > 0) {
+        EXPECT_LT(full->PrefixCover(expected - 1), tau);
+      }
+    } else {
+      // Unreachable: the full achievable solution comes back, flagged.
+      EXPECT_FALSE(result->reached);
+      EXPECT_LT(result->solution.cover, tau);
+    }
+  }
+}
+
+// Thresholds derived from the solution itself probe the exact boundary:
+// tau == C(prefix) must be answered by that prefix (>= is inclusive), and
+// tau just above it must cost one more item.
+TEST_P(ComplementaryPrefixTest, ExactBoundaryThresholds) {
+  Rng rng(seed() ^ 0xABCDEF);
+  UniformGraphParams params;
+  params.num_nodes = 40;
+  params.out_degree = 3;
+  params.normalized_out_weights = variant() == Variant::kNormalized;
+  auto g = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(g.ok());
+
+  GreedyOptions options;
+  options.variant = variant();
+  auto full = SolveGreedyLazy(*g, g->NumNodes(), options);
+  ASSERT_TRUE(full.ok());
+
+  for (size_t prefix : {size_t{3}, size_t{10}, size_t{25}}) {
+    double cover_at_prefix = full->PrefixCover(prefix);
+    // Strictly-increasing check only makes sense while gains are positive.
+    if (prefix > 0 && cover_at_prefix <= full->PrefixCover(prefix - 1)) {
+      continue;
+    }
+    SCOPED_TRACE("prefix=" + std::to_string(prefix));
+    auto at = SolveCoverageThreshold(*g, cover_at_prefix, variant(),
+                                     ThresholdAlgorithm::kGreedy);
+    ASSERT_TRUE(at.ok());
+    EXPECT_TRUE(at->reached);
+    EXPECT_EQ(at->set_size, full->SmallestPrefixReaching(cover_at_prefix));
+    EXPECT_LE(at->set_size, prefix);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsAndSeeds, ComplementaryPrefixTest,
+    ::testing::Combine(::testing::Values(Variant::kIndependent,
+                                         Variant::kNormalized),
+                       ::testing::Range(uint64_t{1}, uint64_t{31})),
+    [](const auto& param_info) {
+      return std::string(VariantName(std::get<0>(param_info.param))) +
+             "_seed" + std::to_string(std::get<1>(param_info.param));
+    });
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,119 @@
+// bench_compare: diffs two BENCH_core.json documents.
+//
+// Perf mode (default):
+//   bench_compare [--threshold=0.20] [--min_effect_ms=0.05] old.json new.json
+// fails (exit 1) when any case's current p50 wall time regresses past the
+// threshold, or a baseline case disappeared.
+//
+// Determinism / golden mode:
+//   bench_compare --determinism [--tolerance=1e-9] a.json b.json
+// fails (exit 1) when any non-timing, non-env field differs between the
+// two documents beyond the tolerance. Timing subtrees and env values must
+// still match the schema exactly.
+//
+// Exit codes: 0 pass, 1 comparison failure, 2 usage / IO / parse error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/compare.h"
+#include "bench/json.h"
+#include "util/flags.h"
+
+namespace prefcover {
+namespace {
+
+Result<JsonValue> LoadBenchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed for '" + path + "'");
+  }
+  PREFCOVER_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(buffer.str()));
+  return doc;
+}
+
+int Main(int argc, char** argv) {
+  FlagParser flags(
+      "bench_compare: diff two BENCH_core.json perf-trajectory files");
+  flags.AddDouble("threshold", 0.20,
+                  "fail when current p50 exceeds baseline p50 by more than "
+                  "this fraction (perf mode)");
+  flags.AddDouble("min_effect_ms", 0.05,
+                  "ignore p50 regressions smaller than this absolute delta "
+                  "(perf mode)");
+  flags.AddBool("determinism", false,
+                "compare non-timing fields for equality instead of timings");
+  flags.AddDouble("tolerance", 0.0,
+                  "numeric tolerance in determinism mode (golden files use "
+                  "1e-9)");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;  // --help
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags.UsageString().c_str());
+    return 2;
+  }
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "expected exactly two positional arguments: "
+                 "baseline.json current.json\n%s",
+                 flags.UsageString().c_str());
+    return 2;
+  }
+
+  auto baseline = LoadBenchFile(flags.positional()[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = LoadBenchFile(flags.positional()[1]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "current: %s\n",
+                 current.status().ToString().c_str());
+    return 2;
+  }
+
+  BenchCompareOptions options;
+  options.p50_regression_threshold = flags.GetDouble("threshold");
+  options.min_effect_ms = flags.GetDouble("min_effect_ms");
+  options.determinism = flags.GetBool("determinism");
+  options.tolerance = flags.GetDouble("tolerance");
+
+  auto report = CompareBenchDocuments(*baseline, *current, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+
+  for (const CaseComparison& c : report->cases) {
+    std::printf("%-48s  %10.3f ms -> %10.3f ms  (%+.1f%%)%s\n",
+                c.name.c_str(), c.baseline_p50_ms, c.current_p50_ms,
+                (c.ratio - 1.0) * 100.0, c.regressed ? "  REGRESSED" : "");
+  }
+  for (const std::string& name : report->new_cases) {
+    std::printf("%-48s  (new case, no baseline)\n", name.c_str());
+  }
+  if (!report->ok()) {
+    for (const std::string& problem : report->problems) {
+      std::fprintf(stderr, "FAIL: %s\n", problem.c_str());
+    }
+    return 1;
+  }
+  std::printf("OK: %s\n", options.determinism
+                              ? "documents match on all non-timing fields"
+                              : "no p50 regressions past threshold");
+  return 0;
+}
+
+}  // namespace
+}  // namespace prefcover
+
+int main(int argc, char** argv) { return prefcover::Main(argc, argv); }
