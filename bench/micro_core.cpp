@@ -23,6 +23,7 @@
 #include "eval/experiment.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_generators.h"
+#include "obs/trace.h"
 #include "synth/dataset_profiles.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -259,6 +260,77 @@ int main(int argc, char** argv) {
       };
       run_or_die(bench_case);
     }
+  }
+
+  // Observability overhead. span_disabled measures the cost every
+  // uninstrumented-feeling hot path actually pays (one relaxed load per
+  // Span); span_enabled measures full recording (two clock reads plus a
+  // ring append per span, args formatted). lazy_traced runs a whole solve
+  // with tracing armed, to compare against solve/lazy/n10000 above.
+  {
+    constexpr uint64_t kSpans = 1'000'000;
+    BenchCase disabled_case;
+    disabled_case.name = "obs/span_disabled";
+    disabled_case.profile = "uniform";
+    disabled_case.solver = "span";
+    disabled_case.run = [](BenchRecorder* recorder) -> Status {
+      obs::Tracing::Stop();
+      for (uint64_t i = 0; i < kSpans; ++i) {
+        obs::Span span("bench.noop", "bench");
+        span.Arg("i", i);
+      }
+      recorder->Record("items", static_cast<double>(kSpans));
+      return Status::OK();
+    };
+    run_or_die(disabled_case);
+
+    BenchCase enabled_case;
+    enabled_case.name = "obs/span_enabled";
+    enabled_case.profile = "uniform";
+    enabled_case.solver = "span";
+    enabled_case.run = [](BenchRecorder* recorder) -> Status {
+      // A small ring keeps the memory bill flat; overwriting the oldest
+      // event costs the same as appending.
+      obs::TracingOptions options;
+      options.ring_capacity = 4096;
+      obs::Tracing::Start(options);
+      for (uint64_t i = 0; i < kSpans; ++i) {
+        obs::Span span("bench.noop", "bench");
+        span.Arg("i", i);
+      }
+      obs::Tracing::Stop();
+      recorder->Record("items", static_cast<double>(kSpans));
+      recorder->Record("dropped",
+                       static_cast<double>(obs::Tracing::DroppedEvents()));
+      return Status::OK();
+    };
+    run_or_die(enabled_case);
+  }
+
+  {
+    const uint32_t n = 10'000;
+    auto g = GenerateProfileGraphWithNodes(DatasetProfile::kPE, n, env.seed);
+    PREFCOVER_CHECK(g.ok());
+    auto graph = std::make_shared<PreferenceGraph>(std::move(*g));
+    const size_t k = n / 20;
+    BenchCase bench_case;
+    bench_case.name = "solve/lazy_traced/n" + std::to_string(n);
+    bench_case.profile = "PE";
+    bench_case.variant = "independent";
+    bench_case.solver = "lazy_traced";
+    bench_case.n = n;
+    bench_case.k = k;
+    bench_case.run = [graph, k](BenchRecorder* recorder) -> Status {
+      obs::Tracing::Start();
+      auto sol = SolveGreedyLazy(*graph, k);
+      obs::Tracing::Stop();
+      if (!sol.ok()) return sol.status();
+      recorder->Record("cover", sol->cover);
+      recorder->Record("gain_evaluations",
+                       static_cast<double>(sol->stats.gain_evaluations));
+      return Status::OK();
+    };
+    run_or_die(bench_case);
   }
 
   // The literal O(nkD) loop, as the pruning reference point.

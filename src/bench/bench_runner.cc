@@ -5,6 +5,7 @@
 #include <ctime>
 #include <fstream>
 
+#include "bench/metrics_json.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -157,6 +158,12 @@ JsonValue BenchRunner::ToJson() const {
     cases.Append(std::move(c));
   }
   doc.Set("cases", std::move(cases));
+  // Process-wide observability counters accumulated while the cases ran.
+  // The subtree is schema-versioned on its own and excluded from the
+  // determinism comparison (its totals depend on warmup counts and pool
+  // scheduling), so it can grow without bumping kBenchSchemaVersion.
+  doc.Set("metrics", MetricsSnapshotToJson(
+                         obs::MetricsRegistry::Global().Snapshot()));
   return doc;
 }
 

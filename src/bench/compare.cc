@@ -108,6 +108,23 @@ Status ValidateBenchDocument(const JsonValue& doc) {
                                           JsonValue::Type::kNumber, &member));
   }
 
+  // Optional (documents predating the observability subsystem lack it):
+  // the embedded process-metrics snapshot. When present it must carry its
+  // own schema_version and the three instrument maps.
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics != nullptr) {
+    if (!metrics->is_object()) {
+      return SchemaError("$.metrics", "wrong type");
+    }
+    PREFCOVER_RETURN_NOT_OK(RequireMember(*metrics, "$.metrics",
+                                          "schema_version",
+                                          JsonValue::Type::kNumber, &member));
+    for (const char* key : {"counters", "gauges", "histograms"}) {
+      PREFCOVER_RETURN_NOT_OK(RequireMember(
+          *metrics, "$.metrics", key, JsonValue::Type::kObject, &member));
+    }
+  }
+
   const JsonValue* cases = nullptr;
   PREFCOVER_RETURN_NOT_OK(
       RequireMember(doc, "$", "cases", JsonValue::Type::kArray, &cases));
@@ -191,6 +208,11 @@ void DiffValues(const JsonValue& a, const JsonValue& b,
                               "'");
           return;
         }
+        // The metrics snapshot is skipped outright — values and shape.
+        // Its totals fold in warmup executions and pool scheduling, and
+        // its key set is whatever instruments happened to fire, none of
+        // which the determinism contract covers.
+        if (path == "$" && key == "metrics") continue;
         bool child_relaxed =
             relaxed || IsTimingKey(key) || (path == "$" && key == "env");
         DiffValues(value, other_value, path + "." + key, child_relaxed,

@@ -1,0 +1,38 @@
+#include "bench/metrics_json.h"
+
+namespace prefcover {
+
+JsonValue MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Int(kMetricsSchemaVersion));
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& c : snapshot.counters) {
+    counters.Set(c.name, JsonValue::Uint(c.value));
+  }
+  doc.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& g : snapshot.gauges) {
+    gauges.Set(g.name, JsonValue::Int(g.value));
+  }
+  doc.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& h : snapshot.histograms) {
+    JsonValue entry = JsonValue::Object();
+    JsonValue bounds = JsonValue::Array();
+    for (double b : h.bounds) bounds.Append(JsonValue::Number(b));
+    entry.Set("bounds", std::move(bounds));
+    JsonValue counts = JsonValue::Array();
+    for (uint64_t c : h.counts) counts.Append(JsonValue::Uint(c));
+    entry.Set("counts", std::move(counts));
+    entry.Set("total_count", JsonValue::Uint(h.total_count));
+    entry.Set("sum", JsonValue::Number(h.sum));
+    histograms.Set(h.name, std::move(entry));
+  }
+  doc.Set("histograms", std::move(histograms));
+  return doc;
+}
+
+}  // namespace prefcover

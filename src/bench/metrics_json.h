@@ -1,0 +1,30 @@
+// JSON rendering of an obs::MetricsSnapshot, used to embed a process-wide
+// metrics subtree in BENCH_core.json and to implement the CLI's
+// --metrics_out flag. The subtree carries its own schema version
+// (independent of kBenchSchemaVersion) because its key set grows with
+// instrumentation rather than with the perf-trajectory contract; the
+// determinism comparison skips it entirely (see compare.cc).
+
+#ifndef PREFCOVER_BENCH_METRICS_JSON_H_
+#define PREFCOVER_BENCH_METRICS_JSON_H_
+
+#include "bench/json.h"
+#include "obs/metrics.h"
+
+namespace prefcover {
+
+/// \brief Current schema of the metrics JSON subtree. Bump on any
+/// backwards-incompatible shape change and update OBSERVABILITY.md.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// \brief Renders a snapshot as
+/// `{"schema_version": 1, "counters": {...}, "gauges": {...},
+///   "histograms": {name: {"bounds": [...], "counts": [...],
+///   "total_count": N, "sum": S}}}`.
+/// Entries appear in snapshot order (sorted by name), so the output is
+/// byte-stable for a fixed set of instruments and values.
+JsonValue MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_BENCH_METRICS_JSON_H_

@@ -5,6 +5,8 @@
 #include <istream>
 
 #include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/string_util.h"
 
@@ -12,7 +14,13 @@ namespace prefcover {
 
 StreamingGraphBuilder::StreamingGraphBuilder(
     const GraphConstructionOptions& options)
-    : options_(options) {}
+    : options_(options),
+      sessions_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "clickstream.sessions")),
+      purchases_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "clickstream.purchases")),
+      edges_counter_(obs::MetricsRegistry::Global().GetCounter(
+          "clickstream.edges")) {}
 
 ItemId StreamingGraphBuilder::InternItem(const std::string& name) {
   ItemId id = dictionary_.Intern(name);
@@ -22,7 +30,9 @@ ItemId StreamingGraphBuilder::InternItem(const std::string& name) {
 
 void StreamingGraphBuilder::AddSession(Session session) {
   ++sessions_seen_;
+  sessions_counter_->Increment();
   if (!session.HasPurchase()) return;
+  purchases_counter_->Increment();
   ItemId p = session.purchase;
   PREFCOVER_CHECK_MSG(p < purchase_count_.size(),
                       "purchase id not interned through this builder");
@@ -48,6 +58,9 @@ void StreamingGraphBuilder::AddSession(Session session) {
 }
 
 Result<PreferenceGraph> StreamingGraphBuilder::Finish() const {
+  obs::Span finish_span("clickstream.finish", "clickstream");
+  finish_span.Arg("items", static_cast<uint64_t>(dictionary_.size()));
+  finish_span.Arg("sessions", sessions_seen_);
   const size_t num_items = dictionary_.size();
   if (num_items == 0) {
     return Status::FailedPrecondition("no items observed");
@@ -63,6 +76,7 @@ Result<PreferenceGraph> StreamingGraphBuilder::Finish() const {
                         static_cast<double>(purchases_seen_),
                     dictionary_.Name(item));
   }
+  uint64_t edges_emitted = 0;
   for (const auto& [key, mass] : pair_mass_) {
     ItemId from = static_cast<ItemId>(key >> 32);
     ItemId to = static_cast<ItemId>(key & 0xFFFFFFFFu);
@@ -75,7 +89,10 @@ Result<PreferenceGraph> StreamingGraphBuilder::Finish() const {
     if (weight > 1.0) weight = 1.0;
     if (weight < options_.min_edge_weight) continue;
     PREFCOVER_RETURN_NOT_OK(builder.AddEdge(from, to, weight));
+    ++edges_emitted;
   }
+  edges_counter_->Increment(edges_emitted);
+  finish_span.Arg("edges", edges_emitted);
   GraphValidationOptions validation;
   validation.require_normalized_out_weights =
       options_.variant == Variant::kNormalized;
@@ -84,6 +101,7 @@ Result<PreferenceGraph> StreamingGraphBuilder::Finish() const {
 
 Result<PreferenceGraph> BuildPreferenceGraphStreaming(
     std::istream* events, const GraphConstructionOptions& options) {
+  obs::Span build_span("clickstream.build", "clickstream");
   StreamingGraphBuilder builder(options);
   CsvReader reader(events);
   std::vector<std::string> fields;
@@ -91,9 +109,12 @@ Result<PreferenceGraph> BuildPreferenceGraphStreaming(
   bool has_dwell_column = false;
   std::string current_sid;
   bool have_session = false;
+  uint64_t rows = 0;
   Session current;
 
   auto flush = [&builder, &current]() {
+    obs::Span flush_span("clickstream.flush", "clickstream");
+    flush_span.Arg("clicks", static_cast<uint64_t>(current.clicks.size()));
     builder.AddSession(std::move(current));
     current = Session();
   };
@@ -110,6 +131,7 @@ Result<PreferenceGraph> BuildPreferenceGraphStreaming(
       has_dwell_column = fields.size() == 4;
       continue;
     }
+    ++rows;
     if (fields.size() != (has_dwell_column ? 4u : 3u)) {
       return Status::InvalidArgument(
           "clickstream record " + std::to_string(reader.record_number()) +
@@ -150,6 +172,10 @@ Result<PreferenceGraph> BuildPreferenceGraphStreaming(
   }
   PREFCOVER_RETURN_NOT_OK(reader.status());
   if (have_session) flush();
+  obs::MetricsRegistry::Global().GetCounter("clickstream.rows")
+      ->Increment(rows);
+  build_span.Arg("rows", rows);
+  build_span.Arg("sessions", builder.sessions_seen());
   return builder.Finish();
 }
 

@@ -16,6 +16,7 @@
 
 #include "clickstream/graph_construction.h"
 #include "clickstream/session.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace prefcover {
@@ -55,6 +56,11 @@ class StreamingGraphBuilder {
   std::unordered_map<uint64_t, double> pair_mass_;
   uint64_t sessions_seen_ = 0;
   uint64_t purchases_seen_ = 0;
+  // Global-registry counters (clickstream.sessions / .purchases / .edges);
+  // see OBSERVABILITY.md for the full metric list.
+  obs::Counter* sessions_counter_;
+  obs::Counter* purchases_counter_;
+  obs::Counter* edges_counter_;
 };
 
 /// \brief One-pass construction from an event-CSV stream (same format as

@@ -10,6 +10,8 @@
 
 #include "core/cover_function.h"
 #include "core/cover_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bitset.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
@@ -21,28 +23,96 @@ namespace {
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 // Working set shared by the four executions: the incremental cover state,
-// the partial solution, the exclusion mask and the telemetry counters.
+// the partial solution, the exclusion mask and the telemetry instruments.
+//
+// Telemetry lives in a run-scoped MetricsRegistry (SolverStats is built
+// as a view over its snapshot at the end). Parallel workers bump the
+// sharded counters directly; the serial hot loops accumulate into the
+// `pending_*` tallies, flushed at each selection round so the inner scans
+// stay plain integer increments.
 struct GreedyRun {
   GreedyRun(const PreferenceGraph* graph, Variant variant)
-      : state(graph, variant) {}
+      : state(graph, variant),
+        iterations(metrics.GetCounter(solver_metric::kIterations)),
+        gain_evaluations(
+            metrics.GetCounter(solver_metric::kGainEvaluations)),
+        heap_pops(metrics.GetCounter(solver_metric::kHeapPops)),
+        stale_refreshes(
+            metrics.GetCounter(solver_metric::kStaleRefreshes)),
+        parallel_batches(
+            metrics.GetCounter(solver_metric::kParallelBatches)),
+        parallel_items(metrics.GetCounter(solver_metric::kParallelItems)) {}
 
   CoverState state;
   std::vector<NodeId> items;
   std::vector<double> prefix_covers;
   Bitset excluded;
-  SolverStats stats;
+
+  obs::MetricsRegistry metrics;  // run-scoped; declared before handles
+  obs::Counter* iterations;
+  obs::Counter* gain_evaluations;
+  obs::Counter* heap_pops;
+  obs::Counter* stale_refreshes;
+  obs::Counter* parallel_batches;
+  obs::Counter* parallel_items;
+
+  // Serial-path tallies, flushed into the counters once per round.
+  uint64_t pending_gain_evals = 0;
+  uint64_t pending_heap_pops = 0;
+  uint64_t pending_stale_refreshes = 0;
+
+  // Counter readings at the previous round boundary, for the per-round
+  // deltas attached to "solver.round" trace events.
+  uint64_t prev_gain_evals = 0;
+  uint64_t prev_stale_refreshes = 0;
+
+  SolverStats stats;  // timing / threads / batch fields only, until Finish
   Stopwatch iteration_timer;
 
-  // Commits one greedy selection and records its wall time.
+  void FlushPending() {
+    if (pending_gain_evals > 0) {
+      gain_evaluations->Increment(pending_gain_evals);
+      pending_gain_evals = 0;
+    }
+    if (pending_heap_pops > 0) {
+      heap_pops->Increment(pending_heap_pops);
+      pending_heap_pops = 0;
+    }
+    if (pending_stale_refreshes > 0) {
+      stale_refreshes->Increment(pending_stale_refreshes);
+      pending_stale_refreshes = 0;
+    }
+  }
+
+  // Commits one greedy selection, records its wall time, and emits the
+  // per-round trace event with the round's cost deltas.
   void Select(NodeId v) {
     state.AddNode(v);
     items.push_back(v);
     prefix_covers.push_back(state.cover());
-    ++stats.iterations;
+    FlushPending();
+    iterations->Increment();
     double seconds = iteration_timer.ElapsedSeconds();
     stats.total_iteration_seconds += seconds;
     stats.max_iteration_seconds =
         std::max(stats.max_iteration_seconds, seconds);
+    if (obs::Tracing::IsEnabled()) {
+      const uint64_t evals = gain_evaluations->Value();
+      const uint64_t stale = stale_refreshes->Value();
+      obs::TraceArgs args;
+      args.Add("round", static_cast<uint64_t>(items.size() - 1))
+          .Add("node", static_cast<uint64_t>(v))
+          .Add("gain_evals", evals - prev_gain_evals)
+          .Add("stale_refreshes", stale - prev_stale_refreshes)
+          .Add("cover", prefix_covers.back());
+      prev_gain_evals = evals;
+      prev_stale_refreshes = stale;
+      const uint64_t dur_ns = static_cast<uint64_t>(seconds * 1e9);
+      const uint64_t now_ns = obs::Tracing::NowNanos();
+      obs::Tracing::RecordComplete(
+          "solver.round", "solver",
+          now_ns > dur_ns ? now_ns - dur_ns : 0, dur_ns, args.body());
+    }
     iteration_timer.Reset();
   }
 };
@@ -68,6 +138,12 @@ Status InitGreedyRun(const PreferenceGraph& graph, size_t k,
 
 Solution FinishSolution(GreedyRun&& run, Variant variant,
                         const char* algorithm, double seconds) {
+  run.FlushPending();
+  // SolverStats is a view over the run registry; the totals also feed the
+  // process-wide registry so cross-run snapshots see solver work.
+  obs::MetricsSnapshot run_metrics = run.metrics.Snapshot();
+  run.stats.LoadCounters(run_metrics);
+  obs::MetricsRegistry::Global().MergeCounters(run_metrics);
   Solution sol;
   sol.items = std::move(run.items);
   sol.cover_after_prefix = std::move(run.prefix_covers);
@@ -127,6 +203,9 @@ Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
                              const GreedyOptions& options) {
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
+  obs::Span solve_span("solver.solve", "solver");
+  solve_span.Arg("algorithm", "greedy");
+  solve_span.Arg("k", static_cast<uint64_t>(k));
   const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
@@ -138,7 +217,7 @@ Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
     for (NodeId v = 0; v < n; ++v) {
       if (run.state.IsRetained(v) || run.excluded.Test(v)) continue;
       double gain = run.state.GainOf(v);
-      ++run.stats.gain_evaluations;
+      ++run.pending_gain_evals;
       if (gain > best_gain) {  // strict: ties keep the smaller id
         best_gain = gain;
         best = v;
@@ -156,32 +235,34 @@ Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
                                      const GreedyOptions& options) {
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
+  obs::Span solve_span("solver.solve", "solver");
+  solve_span.Arg("algorithm", "greedy-parallel");
+  solve_span.Arg("k", static_cast<uint64_t>(k));
   const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
   run.stats.threads = pool == nullptr ? 1 : pool->num_threads();
 
-  std::atomic<uint64_t> gain_evaluations{0};
   while (run.items.size() < k) {
     if (run.state.cover() >= options.stop_at_cover) break;
     double best_gain = kNegInf;
     size_t best = ParallelArgMax(
         pool, n,
-        [&run, &gain_evaluations](size_t v) {
+        [&run](size_t v) {
           NodeId node = static_cast<NodeId>(v);
           if (run.state.IsRetained(node) || run.excluded.Test(node)) {
             return kNegInf;
           }
-          gain_evaluations.fetch_add(1, std::memory_order_relaxed);
+          // Sharded counter: workers each hit their own cell.
+          run.gain_evaluations->Increment();
           return run.state.GainOf(node);
         },
         &best_gain);
-    ++run.stats.parallel_batches;
-    run.stats.parallel_items += n;
+    run.parallel_batches->Increment();
+    run.parallel_items->Increment(n);
     if (best == n || best_gain == kNegInf) break;
     run.Select(static_cast<NodeId>(best));
   }
-  run.stats.gain_evaluations = gain_evaluations.load();
   return FinishSolution(std::move(run), options.variant, "greedy-parallel",
                         timer.ElapsedSeconds());
 }
@@ -211,12 +292,17 @@ Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
                                  const GreedyOptions& options) {
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
+  obs::Span solve_span("solver.solve", "solver");
+  solve_span.Arg("algorithm", "greedy-lazy");
+  solve_span.Arg("k", static_cast<uint64_t>(k));
   const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
 
   LazyHeap heap;
   {
+    obs::Span seed_span("solver.init_heap", "solver");
+    seed_span.Arg("n", static_cast<uint64_t>(n));
     // Initial gains: I is all zeros, so GainOf reduces to the static
     // standalone value; one pass over the in-adjacency.
     std::vector<HeapEntry> initial;
@@ -224,7 +310,7 @@ Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
     for (NodeId v = 0; v < n; ++v) {
       if (run.state.IsRetained(v) || run.excluded.Test(v)) continue;
       initial.push_back({run.state.GainOf(v), v, 0});
-      ++run.stats.gain_evaluations;
+      ++run.pending_gain_evals;
     }
     heap = LazyHeap(Worse(), std::move(initial));
   }
@@ -235,15 +321,15 @@ Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
     if (run.state.cover() >= options.stop_at_cover) break;
     HeapEntry top = heap.top();
     heap.pop();
-    ++run.stats.heap_pops;
+    ++run.pending_heap_pops;
     if (run.state.IsRetained(top.node)) continue;
     if (top.round != round) {
       // Submodularity: the true gain can only be <= the stale value, so
       // after refreshing, re-inserting preserves heap correctness.
       top.gain = run.state.GainOf(top.node);
       top.round = round;
-      ++run.stats.gain_evaluations;
-      ++run.stats.stale_refreshes;
+      ++run.pending_gain_evals;
+      ++run.pending_stale_refreshes;
       heap.push(top);
       continue;
     }
@@ -259,6 +345,9 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
                                          const GreedyOptions& options) {
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
+  obs::Span solve_span("solver.solve", "solver");
+  solve_span.Arg("algorithm", "greedy-lazy-parallel");
+  solve_span.Arg("k", static_cast<uint64_t>(k));
   const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
@@ -272,6 +361,8 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
 
   LazyHeap heap;
   {
+    obs::Span seed_span("solver.init_heap", "solver");
+    seed_span.Arg("n", static_cast<uint64_t>(n));
     // Initial gains are independent of each other (GainOf is const), so
     // the heap seed itself is evaluated on the pool.
     std::vector<double> initial_gains(n, kNegInf);
@@ -280,14 +371,14 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
       if (run.state.IsRetained(v) || run.excluded.Test(v)) return;
       initial_gains[i] = run.state.GainOf(v);
     });
-    ++run.stats.parallel_batches;
-    run.stats.parallel_items += n;
+    run.parallel_batches->Increment();
+    run.parallel_items->Increment(n);
     std::vector<HeapEntry> initial;
     initial.reserve(n);
     for (NodeId v = 0; v < n; ++v) {
       if (initial_gains[v] == kNegInf) continue;
       initial.push_back({initial_gains[v], v, 0});
-      ++run.stats.gain_evaluations;
+      ++run.pending_gain_evals;
     }
     heap = LazyHeap(Worse(), std::move(initial));
   }
@@ -304,7 +395,7 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
     HeapEntry top = heap.top();
     if (run.state.IsRetained(top.node)) {
       heap.pop();
-      ++run.stats.heap_pops;
+      ++run.pending_heap_pops;
       continue;
     }
     if (top.round == round) {
@@ -313,7 +404,7 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
       // the plain-greedy argmax; the heap comparator already broke gain
       // ties toward the smaller id.
       heap.pop();
-      ++run.stats.heap_pops;
+      ++run.pending_heap_pops;
       run.Select(top.node);
       ++round;
       continue;
@@ -327,12 +418,12 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
       HeapEntry e = heap.top();
       if (run.state.IsRetained(e.node)) {
         heap.pop();
-        ++run.stats.heap_pops;
+        ++run.pending_heap_pops;
         continue;
       }
       if (e.round == round) break;
       heap.pop();
-      ++run.stats.heap_pops;
+      ++run.pending_heap_pops;
       batch.push_back(e.node);
     }
 
@@ -343,10 +434,10 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
           return run.state.GainOf(static_cast<NodeId>(v));
         },
         &batch_gains, &best_gain);
-    ++run.stats.parallel_batches;
-    run.stats.parallel_items += batch.size();
-    run.stats.gain_evaluations += batch.size();
-    run.stats.stale_refreshes += batch.size();
+    run.parallel_batches->Increment();
+    run.parallel_items->Increment(batch.size());
+    run.pending_gain_evals += batch.size();
+    run.pending_stale_refreshes += batch.size();
 
     // Fast path: if the best refreshed gain strictly beats the top stored
     // gain left in the heap, it beats every remaining true gain (true <=

@@ -7,6 +7,15 @@
 
 namespace prefcover {
 
+void SolverStats::LoadCounters(const obs::MetricsSnapshot& snapshot) {
+  iterations = snapshot.CounterOr(solver_metric::kIterations);
+  gain_evaluations = snapshot.CounterOr(solver_metric::kGainEvaluations);
+  heap_pops = snapshot.CounterOr(solver_metric::kHeapPops);
+  stale_refreshes = snapshot.CounterOr(solver_metric::kStaleRefreshes);
+  parallel_batches = snapshot.CounterOr(solver_metric::kParallelBatches);
+  parallel_items = snapshot.CounterOr(solver_metric::kParallelItems);
+}
+
 double SolverStats::StaleRatio() const {
   if (heap_pops == 0) return 0.0;
   return static_cast<double>(stale_refreshes) /

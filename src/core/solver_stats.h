@@ -1,10 +1,15 @@
-// Lightweight solver telemetry: counters every greedy execution fills in
-// while it runs, so speedups and pruning effectiveness are measurable
-// rather than asserted.
+// Solver telemetry: every greedy execution drives a run-scoped
+// obs::MetricsRegistry while it runs, and SolverStats is the end-of-run
+// *view* over that registry (plus the timing fields, which are plain
+// doubles measured by the run's stopwatch).
 //
-// The counters are deliberately cheap (plain integers bumped on paths that
-// already do O(degree) work); the only per-iteration overhead is two
-// steady_clock reads for the iteration timer.
+// The registry counters are sharded per thread, so the parallel
+// executions' workers bump them without a shared atomic; the serial hot
+// loops batch their tallies and flush once per selection round. At the
+// end of a run the totals are also merged into
+// obs::MetricsRegistry::Global() under the same names, so a process-wide
+// metrics snapshot (CLI --metrics_out, bench harness) accumulates
+// solver work across runs.
 
 #ifndef PREFCOVER_CORE_SOLVER_STATS_H_
 #define PREFCOVER_CORE_SOLVER_STATS_H_
@@ -13,7 +18,20 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace prefcover {
+
+/// \brief Names of the counters every greedy execution publishes, both in
+/// its run-scoped registry and (merged, cumulative) in the global one.
+namespace solver_metric {
+inline constexpr char kIterations[] = "solver.iterations";
+inline constexpr char kGainEvaluations[] = "solver.gain_evaluations";
+inline constexpr char kHeapPops[] = "solver.heap_pops";
+inline constexpr char kStaleRefreshes[] = "solver.stale_refreshes";
+inline constexpr char kParallelBatches[] = "solver.parallel_batches";
+inline constexpr char kParallelItems[] = "solver.parallel_items";
+}  // namespace solver_metric
 
 /// \brief Execution counters for one solver run, surfaced in `Solution`.
 ///
@@ -58,6 +76,11 @@ struct SolverStats {
   double total_iteration_seconds = 0.0;
   double max_iteration_seconds = 0.0;
 
+  /// \brief Fills the counter fields from a run-scoped registry snapshot
+  /// (the `solver_metric` names); timing/threads/batch fields are left
+  /// untouched. This is how the greedy executions build their stats.
+  void LoadCounters(const obs::MetricsSnapshot& snapshot);
+
   /// stale_refreshes / heap_pops — the fraction of pops that needed a
   /// re-evaluation; 0 when nothing was popped.
   double StaleRatio() const;
@@ -67,7 +90,7 @@ struct SolverStats {
 
   /// How full the average parallel dispatch kept the pool:
   /// min(1, parallel_items / (parallel_batches * threads)).
-  /// 0 when no parallel dispatch happened.
+  /// 0 when no parallel dispatch happened (or the divisor would be 0).
   double PoolUtilization() const;
 
   /// One-line human-readable rendering, e.g. for CLI and bench output.

@@ -3,6 +3,7 @@
 #include "core/baseline_solvers.h"
 #include "core/brute_force_solver.h"
 #include "core/greedy_solver.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace prefcover {
@@ -35,18 +36,31 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
                               size_t num_threads) {
   GreedyOptions greedy_options;
   greedy_options.variant = variant;
+  return RunAlgorithm(algorithm, graph, k, greedy_options, rng,
+                      num_threads);
+}
+
+Result<Solution> RunAlgorithm(Algorithm algorithm,
+                              const PreferenceGraph& graph, size_t k,
+                              const GreedyOptions& options, Rng* rng,
+                              size_t num_threads) {
+  const Variant variant = options.variant;
+  obs::Span phase_span("eval.run_algorithm", "eval");
+  phase_span.Arg("algorithm", AlgorithmDisplayName(algorithm).c_str());
+  phase_span.Arg("k", static_cast<uint64_t>(k));
+  phase_span.Arg("n", static_cast<uint64_t>(graph.NumNodes()));
   switch (algorithm) {
     case Algorithm::kGreedy:
-      return SolveGreedy(graph, k, greedy_options);
+      return SolveGreedy(graph, k, options);
     case Algorithm::kGreedyLazy:
-      return SolveGreedyLazy(graph, k, greedy_options);
+      return SolveGreedyLazy(graph, k, options);
     case Algorithm::kGreedyParallel: {
       ThreadPool pool(num_threads);
-      return SolveGreedyParallel(graph, k, &pool, greedy_options);
+      return SolveGreedyParallel(graph, k, &pool, options);
     }
     case Algorithm::kGreedyLazyParallel: {
       ThreadPool pool(num_threads);
-      return SolveGreedyLazyParallel(graph, k, &pool, greedy_options);
+      return SolveGreedyLazyParallel(graph, k, &pool, options);
     }
     case Algorithm::kBruteForce: {
       BruteForceOptions bf_options;
@@ -66,6 +80,9 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
 Result<std::vector<SuiteEntry>> RunSuite(
     const std::vector<Algorithm>& algorithms, const PreferenceGraph& graph,
     size_t k, Variant variant, Rng* rng, size_t num_threads) {
+  obs::Span suite_span("eval.suite", "eval");
+  suite_span.Arg("algorithms", static_cast<uint64_t>(algorithms.size()));
+  suite_span.Arg("k", static_cast<uint64_t>(k));
   std::vector<SuiteEntry> entries;
   entries.reserve(algorithms.size());
   for (Algorithm algorithm : algorithms) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/greedy_solver.h"
 #include "core/solution.h"
 #include "core/variant.h"
 #include "graph/preference_graph.h"
@@ -38,10 +39,23 @@ struct SuiteEntry {
 };
 
 /// \brief Runs `algorithm` on the instance. `rng` is used by Random only;
-/// `num_threads` by GreedyParallel only.
+/// `num_threads` by the parallel greedy executions only.
+///
+/// Every run is wrapped in an `eval.run_algorithm` trace span (category
+/// `eval`), so traces of CLI/bench solves show the experiment phase above
+/// the solver's own spans.
 Result<Solution> RunAlgorithm(Algorithm algorithm,
                               const PreferenceGraph& graph, size_t k,
                               Variant variant, Rng* rng,
+                              size_t num_threads = 1);
+
+/// \brief As above, but with full greedy options (stop_at_cover,
+/// force_include, batch_size, ...) for the greedy family; `options.variant`
+/// is used for every algorithm. This is the entry point the CLI uses so
+/// traced solves carry the eval phase span.
+Result<Solution> RunAlgorithm(Algorithm algorithm,
+                              const PreferenceGraph& graph, size_t k,
+                              const GreedyOptions& options, Rng* rng,
                               size_t num_threads = 1);
 
 /// \brief Runs each algorithm on the same instance.

@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace prefcover {
+namespace obs {
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{0};
+  thread_local uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      cells_(kMetricShards * (bounds_.size() + 1)) {}
+
+void Histogram::Record(double value) {
+  // Branchless-ish bucket pick: first bound >= value, else overflow.
+  const size_t stride = bounds_.size() + 1;
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                           value) -
+                          bounds_.begin());
+  const size_t shard = CurrentThreadId() % kMetricShards;
+  cells_[shard * stride + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  count_[shard].value.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::Counts() const {
+  const size_t stride = bounds_.size() + 1;
+  std::vector<uint64_t> counts(stride, 0);
+  for (size_t shard = 0; shard < kMetricShards; ++shard) {
+    for (size_t b = 0; b < stride; ++b) {
+      counts[b] +=
+          cells_[shard * stride + b].value.load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const internal::ShardCell& cell : count_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyBucketsSeconds() {
+  // 1us .. 10s, one bucket per decade boundary and its 3x midpoint.
+  return {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+          1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0};
+}
+
+uint64_t MetricsSnapshot::CounterOr(std::string_view name,
+                                    uint64_t fallback) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return fallback;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+[[noreturn]] void DieKindMismatch(std::string_view name) {
+  std::fprintf(stderr,
+               "metric '%.*s' already registered with a different kind or "
+               "shape\n",
+               static_cast<int>(name.size()), name.data());
+  std::abort();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.counter.reset(new Counter());
+  }
+  if (it->second.counter == nullptr) DieKindMismatch(name);
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.gauge.reset(new Gauge());
+  }
+  if (it->second.gauge == nullptr) DieKindMismatch(name);
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.histogram.reset(new Histogram(std::move(bounds)));
+    return it->second.histogram.get();
+  }
+  if (it->second.histogram == nullptr ||
+      it->second.histogram->bounds() != bounds) {
+    DieKindMismatch(name);
+  }
+  return it->second.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      snapshot.counters.push_back({name, entry.counter->Value()});
+    } else if (entry.gauge != nullptr) {
+      snapshot.gauges.push_back({name, entry.gauge->Value()});
+    } else if (entry.histogram != nullptr) {
+      snapshot.histograms.push_back({name, entry.histogram->bounds(),
+                                     entry.histogram->Counts(),
+                                     entry.histogram->TotalCount(),
+                                     entry.histogram->Sum()});
+    }
+  }
+  // std::map iteration is already name-sorted; keep the contract explicit
+  // in case the container ever changes.
+  return snapshot;
+}
+
+void MetricsRegistry::MergeCounters(const MetricsSnapshot& snapshot) {
+  for (const MetricsSnapshot::CounterValue& c : snapshot.counters) {
+    if (c.value == 0) continue;
+    GetCounter(c.name)->Increment(c.value);
+  }
+}
+
+}  // namespace obs
+}  // namespace prefcover

@@ -1,0 +1,201 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket
+// histograms with sharded per-thread cells.
+//
+// Design goals, in order:
+//   1. Hot-path increments must be branch-cheap and contention-free: each
+//      instrument keeps an array of cache-line-padded atomic cells and a
+//      thread picks its cell by a stable per-thread shard index, so
+//      concurrent increments from solver / thread-pool workers never
+//      bounce a shared cache line.
+//   2. Reads are rare and may be slow: Snapshot() sums the shards under
+//      the registry lock and returns a name-sorted, self-contained value.
+//   3. No dependencies: obs sits below util so the thread pool and the
+//      logger can use it without a cycle.
+//
+// Instruments are created through a MetricsRegistry (registration takes a
+// lock; keep the returned handle) and live as long as the registry.
+// `MetricsRegistry::Global()` is the process-wide instance every subsystem
+// shares; run-scoped registries (e.g. one greedy execution) can be stack
+// constructed for isolated, deterministic per-run readings.
+
+#ifndef PREFCOVER_OBS_METRICS_H_
+#define PREFCOVER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prefcover {
+namespace obs {
+
+/// Number of per-thread cells each instrument shards over. Threads map to
+/// cells by `CurrentThreadId() % kMetricShards`; collisions only cost an
+/// occasional shared cache line, never correctness.
+inline constexpr size_t kMetricShards = 16;
+
+/// \brief Stable, dense id of the calling thread (0 for the first thread
+/// that asks, 1 for the next, ...). Shared by the tracing layer and the
+/// logger so a "tid" means the same thread everywhere in the output.
+uint32_t CurrentThreadId();
+
+namespace internal {
+
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// \brief Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    cells_[CurrentThreadId() % kMetricShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Monotone between calls, but not a consistent
+  /// cut with other instruments.
+  uint64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  internal::ShardCell cells_[kMetricShards];
+};
+
+/// \brief Last-writer-wins / up-down instrument (e.g. queue depth).
+/// Signed; Add(-1) balances Add(1).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-boundary histogram. A sample lands in the first bucket
+/// whose upper bound is >= the sample; samples above the last bound land
+/// in the implicit overflow bucket. Counts are sharded like Counter;
+/// `sum` accumulates in nanos-as-integers when used via RecordSeconds, or
+/// raw units via Record.
+class Histogram {
+ public:
+  /// Records `value` (same unit as the bucket bounds).
+  void Record(double value);
+
+  /// Upper bucket bounds, ascending, as given at creation.
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Aggregated per-bucket counts (bounds().size() + 1 entries; the last
+  /// is the overflow bucket).
+  std::vector<uint64_t> Counts() const;
+
+  uint64_t TotalCount() const;
+  double Sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  // cells_[shard * stride + bucket]; stride = bounds_.size() + 1.
+  std::vector<internal::ShardCell> cells_;
+  internal::ShardCell count_[kMetricShards];
+  std::atomic<double> sum_{0.0};
+};
+
+/// \brief Exponential seconds buckets from 1us to ~10s, the default shape
+/// for latency histograms (pool task latency, flush durations).
+std::vector<double> LatencyBucketsSeconds();
+
+/// \brief Aggregated, self-contained reading of a registry. Entries are
+/// sorted by name; the snapshot owns its data and is safe to keep after
+/// the registry is gone.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  // bounds.size() + 1, last = overflow
+    uint64_t total_count;
+    double sum;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Counter value by exact name; 0 when absent (snapshots are views for
+  /// telemetry structs, and an instrument that never fired may not have
+  /// been registered).
+  uint64_t CounterOr(std::string_view name, uint64_t fallback = 0) const;
+};
+
+/// \brief Owner and directory of instruments. Registration is mutex
+/// guarded; returned handles are valid for the registry's lifetime and
+/// their mutation paths are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. A name identifies exactly one instrument kind: asking for an
+  /// existing name with a different kind (or a histogram with different
+  /// bounds) aborts — metric names are a schema, not a namespace.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds);
+
+  /// Aggregates every instrument into a sorted snapshot.
+  MetricsSnapshot Snapshot() const;
+
+  /// Adds every counter of `snapshot` into this registry (creating
+  /// counters as needed). Used to publish run-scoped registries into the
+  /// global one.
+  void MergeCounters(const MetricsSnapshot& snapshot);
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace obs
+}  // namespace prefcover
+
+#endif  // PREFCOVER_OBS_METRICS_H_

@@ -1,0 +1,278 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace prefcover {
+namespace obs {
+
+std::atomic<bool> Tracing::enabled_{false};
+
+namespace {
+
+uint64_t SteadyNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One thread's event storage. Grows to `capacity` then wraps; `head` is
+// the next write position once full. The owning thread writes; Flush (any
+// thread) drains — both under `mu`, which is uncontended in steady state.
+struct ThreadRing {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t capacity = 0;
+  size_t head = 0;  // next overwrite position, valid once full
+  uint32_t tid = 0;
+  uint64_t dropped = 0;
+};
+
+struct TracingState {
+  std::mutex mu;  // guards rings list, session fields, Start/Stop/Flush
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  size_t ring_capacity = TracingOptions().ring_capacity;
+  std::atomic<uint64_t> epoch_ns{0};
+  std::atomic<uint64_t> dropped_total{0};
+  Counter* dropped_counter = nullptr;
+};
+
+TracingState& State() {
+  static TracingState* state = new TracingState();
+  return *state;
+}
+
+ThreadRing& LocalRing() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    r->tid = CurrentThreadId();
+    TracingState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    r->capacity = state.ring_capacity;
+    state.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void PushEvent(const TraceEvent& event) {
+  TracingState& state = State();
+  ThreadRing& ring = LocalRing();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  if (ring.events.size() < ring.capacity) {
+    ring.events.push_back(event);
+    return;
+  }
+  if (ring.capacity == 0) return;
+  // Full: overwrite the oldest event.
+  ring.events[ring.head] = event;
+  ring.head = (ring.head + 1) % ring.capacity;
+  ++ring.dropped;
+  state.dropped_total.fetch_add(1, std::memory_order_relaxed);
+  Counter* dropped = state.dropped_counter;
+  if (dropped != nullptr) dropped->Increment();
+}
+
+}  // namespace
+
+bool Tracing::Start(const TracingOptions& options) {
+#if PREFCOVER_TRACING_ENABLED
+  TracingState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.ring_capacity = options.ring_capacity;
+  if (state.dropped_counter == nullptr) {
+    state.dropped_counter =
+        MetricsRegistry::Global().GetCounter("trace.dropped_events");
+  }
+  for (const std::shared_ptr<ThreadRing>& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->head = 0;
+    ring->dropped = 0;
+    ring->capacity = options.ring_capacity;
+  }
+  state.dropped_total.store(0, std::memory_order_relaxed);
+  state.epoch_ns.store(SteadyNowNanos(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+  return true;
+#else
+  (void)options;
+  return false;
+#endif
+}
+
+void Tracing::Stop() { enabled_.store(false, std::memory_order_release); }
+
+uint64_t Tracing::NowNanos() {
+  return SteadyNowNanos() -
+         State().epoch_ns.load(std::memory_order_relaxed);
+}
+
+uint64_t Tracing::DroppedEvents() {
+  return State().dropped_total.load(std::memory_order_relaxed);
+}
+
+void Tracing::RecordComplete(const char* name, const char* category,
+                             uint64_t start_ns, uint64_t duration_ns,
+                             const char* args_body) {
+#if PREFCOVER_TRACING_ENABLED
+  TraceEvent event;
+  event.name = name;
+  event.category = category == nullptr ? "prefcover" : category;
+  event.start_ns = start_ns;
+  event.duration_ns = duration_ns;
+  event.tid = CurrentThreadId();
+  if (args_body != nullptr && args_body[0] != '\0') {
+    size_t len = std::strlen(args_body);
+    if (len > TraceEvent::kArgsCapacity - 1) {
+      len = TraceEvent::kArgsCapacity - 1;
+    }
+    std::memcpy(event.args, args_body, len);
+    event.args_len = static_cast<uint16_t>(len);
+  }
+  event.args[event.args_len] = '\0';
+  PushEvent(event);
+#else
+  (void)name;
+  (void)category;
+  (void)start_ns;
+  (void)duration_ns;
+  (void)args_body;
+#endif
+}
+
+size_t Tracing::Flush(TraceSink* sink) {
+  TracingState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<TraceEvent> all;
+  for (const std::shared_ptr<ThreadRing>& ring : state.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    const size_t count = ring->events.size();
+    all.reserve(all.size() + count);
+    // Oldest first: once the ring wrapped, `head` is the oldest entry.
+    const size_t start = count == ring->capacity ? ring->head : 0;
+    for (size_t i = 0; i < count; ++i) {
+      all.push_back(ring->events[(start + i) % count]);
+    }
+    ring->events.clear();
+    ring->head = 0;
+  }
+  // Viewer- and validator-friendly order: per-thread, by start time;
+  // parents (longer, equal-start) before children so containment reads
+  // top-down.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     return a.duration_ns > b.duration_ns;
+                   });
+  if (sink != nullptr) {
+    sink->Begin();
+    for (const TraceEvent& event : all) sink->Consume(event);
+    sink->End();
+  }
+  return all.size();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream* out) : out_(out) {}
+
+void ChromeTraceSink::Begin() {
+  (*out_) << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  first_ = true;
+}
+
+void ChromeTraceSink::Consume(const TraceEvent& event) {
+  char line[512];
+  const double ts_us = static_cast<double>(event.start_ns) / 1e3;
+  const double dur_us = static_cast<double>(event.duration_ns) / 1e3;
+  int len = std::snprintf(
+      line, sizeof(line),
+      "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+      "\"dur\":%.3f,\"pid\":1,\"tid\":%" PRIu32,
+      first_ ? "" : ",", event.name, event.category, ts_us, dur_us,
+      event.tid);
+  (*out_) << std::string_view(line, static_cast<size_t>(len));
+  if (event.args_len > 0) {
+    (*out_) << ",\"args\":{"
+            << std::string_view(event.args, event.args_len) << "}";
+  }
+  (*out_) << "}";
+  first_ = false;
+}
+
+void ChromeTraceSink::End() { (*out_) << "\n]}\n"; }
+
+TraceArgs& TraceArgs::Add(const char* key, uint64_t value) {
+  AppendPrefix(key);
+  int n = std::snprintf(buffer_ + len_, sizeof(buffer_) - len_,
+                        "%" PRIu64, value);
+  if (n > 0) len_ = std::min(len_ + static_cast<size_t>(n),
+                             sizeof(buffer_) - 1);
+  return *this;
+}
+
+TraceArgs& TraceArgs::Add(const char* key, int64_t value) {
+  AppendPrefix(key);
+  int n = std::snprintf(buffer_ + len_, sizeof(buffer_) - len_,
+                        "%" PRId64, value);
+  if (n > 0) len_ = std::min(len_ + static_cast<size_t>(n),
+                             sizeof(buffer_) - 1);
+  return *this;
+}
+
+TraceArgs& TraceArgs::Add(const char* key, double value) {
+  AppendPrefix(key);
+  int n = std::snprintf(buffer_ + len_, sizeof(buffer_) - len_, "%.6g",
+                        value);
+  if (n > 0) len_ = std::min(len_ + static_cast<size_t>(n),
+                             sizeof(buffer_) - 1);
+  return *this;
+}
+
+TraceArgs& TraceArgs::Add(const char* key, const char* value) {
+  AppendPrefix(key);
+  int n = std::snprintf(buffer_ + len_, sizeof(buffer_) - len_, "\"%s\"",
+                        value);
+  if (n > 0) len_ = std::min(len_ + static_cast<size_t>(n),
+                             sizeof(buffer_) - 1);
+  return *this;
+}
+
+void TraceArgs::AppendPrefix(const char* key) {
+  int n = std::snprintf(buffer_ + len_, sizeof(buffer_) - len_,
+                        "%s\"%s\":", len_ == 0 ? "" : ",", key);
+  if (n > 0) len_ = std::min(len_ + static_cast<size_t>(n),
+                             sizeof(buffer_) - 1);
+}
+
+bool WriteChromeTraceFile(const std::string& path, std::string* error) {
+  Tracing::Stop();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open for writing: " + path;
+    return false;
+  }
+  ChromeTraceSink sink(&out);
+  Tracing::Flush(&sink);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "failed writing: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace prefcover

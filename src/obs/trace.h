@@ -1,0 +1,222 @@
+// Scoped tracing with Chrome trace-event export.
+//
+// `Span` is an RAII scope marker: construction stamps the start time,
+// destruction records one *complete* event ("ph":"X") — name, category,
+// start, duration, thread id, optional args — into a per-thread ring
+// buffer. Complete events make nesting implicit (Perfetto/chrome://tracing
+// reconstructs the stack from containment on each tid), so a ring
+// overwrite can never orphan a begin/end pair.
+//
+// Cost model:
+//   - tracing disabled (runtime): one relaxed atomic load per Span; no
+//     clock reads, no allocation, no formatting;
+//   - compiled out (PREFCOVER_TRACING_ENABLED=0): Span is an empty struct
+//     and every call site folds to nothing;
+//   - tracing enabled: two clock reads plus a short per-thread critical
+//     section per span; args are formatted into a fixed inline buffer.
+//
+// Rings are fixed capacity (TracingOptions::ring_capacity events per
+// thread). On overflow the oldest event is dropped and the
+// `trace.dropped_events` counter in MetricsRegistry::Global() is bumped —
+// a trace is a window, not an archive.
+//
+// Lifecycle: `Tracing::Start()` arms collection, `Tracing::Stop()`
+// disarms it, `Tracing::Flush(sink)` drains every thread's ring (oldest
+// first) into a TraceSink; `WriteChromeTraceFile` is the one-call export
+// used by the CLI's --trace_out.
+
+#ifndef PREFCOVER_OBS_TRACE_H_
+#define PREFCOVER_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef PREFCOVER_TRACING_ENABLED
+#define PREFCOVER_TRACING_ENABLED 1
+#endif
+
+namespace prefcover {
+namespace obs {
+
+/// \brief One finished span. `name` and `category` must be string
+/// literals (or otherwise outlive the trace session): events store the
+/// pointers, not copies — recording must not allocate.
+struct TraceEvent {
+  static constexpr size_t kArgsCapacity = 120;
+
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t start_ns = 0;  // nanoseconds since the session started
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;
+  uint16_t args_len = 0;
+  // Preformatted JSON object *body* ("\"k\":1,\"s\":\"v\""), no braces.
+  char args[kArgsCapacity];
+};
+
+/// \brief Receives drained events. Flush calls Begin once, then Consume
+/// for every event (grouped by thread, oldest first within a thread),
+/// then End.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Begin() {}
+  virtual void Consume(const TraceEvent& event) = 0;
+  virtual void End() {}
+};
+
+/// \brief TraceSink that writes the Chrome trace-event JSON object format:
+/// {"displayTimeUnit":"ms","traceEvents":[...]} with one "X" (complete)
+/// event per span, `ts`/`dur` in fractional microseconds. Loadable in
+/// Perfetto and chrome://tracing.
+class ChromeTraceSink : public TraceSink {
+ public:
+  /// The stream must outlive the sink. The caller owns error checking on
+  /// the stream after End().
+  explicit ChromeTraceSink(std::ostream* out);
+
+  void Begin() override;
+  void Consume(const TraceEvent& event) override;
+  void End() override;
+
+ private:
+  std::ostream* out_;
+  bool first_ = true;
+};
+
+/// \brief Collection knobs for Tracing::Start.
+struct TracingOptions {
+  /// Events retained per thread; the oldest is dropped on overflow.
+  size_t ring_capacity = 64 * 1024;
+};
+
+/// \brief Global tracing control. All methods are safe to call from any
+/// thread; Start/Stop/Flush serialize against each other.
+class Tracing {
+ public:
+  /// Arms collection. Resets previously collected events and the session
+  /// clock. No-op (returns false) when compiled out.
+  static bool Start(const TracingOptions& options = TracingOptions());
+
+  /// Disarms collection. Already-recorded events stay buffered for Flush.
+  static void Stop();
+
+  static bool IsEnabled() {
+#if PREFCOVER_TRACING_ENABLED
+    return enabled_.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+  }
+
+  /// Drains every thread's ring into `sink`, oldest-first per thread, and
+  /// clears the rings. Returns the number of events delivered.
+  static size_t Flush(TraceSink* sink);
+
+  /// Total events dropped to ring overflow since Start.
+  static uint64_t DroppedEvents();
+
+  /// Nanoseconds since the session clock started (0 before any Start).
+  static uint64_t NowNanos();
+
+  /// \brief Records an already-timed complete event — for callers that
+  /// measure a scope themselves (e.g. the solver's per-round stopwatch).
+  /// `args_body` is a preformatted JSON object body and may be empty; it
+  /// is truncated at TraceEvent::kArgsCapacity - 1.
+  static void RecordComplete(const char* name, const char* category,
+                             uint64_t start_ns, uint64_t duration_ns,
+                             const char* args_body = nullptr);
+
+ private:
+  friend class Span;
+  static std::atomic<bool> enabled_;
+};
+
+/// \brief Small helper that appends `"key":value` JSON members into a
+/// fixed buffer; shared by Span and the solver's round events.
+class TraceArgs {
+ public:
+  TraceArgs() { buffer_[0] = '\0'; }
+
+  TraceArgs& Add(const char* key, uint64_t value);
+  TraceArgs& Add(const char* key, int64_t value);
+  TraceArgs& Add(const char* key, double value);
+  /// `value` must not need JSON escaping (identifiers, enum names).
+  TraceArgs& Add(const char* key, const char* value);
+
+  const char* body() const { return buffer_; }
+  size_t size() const { return len_; }
+
+ private:
+  void AppendPrefix(const char* key);
+
+  char buffer_[TraceEvent::kArgsCapacity];
+  size_t len_ = 0;
+};
+
+#if PREFCOVER_TRACING_ENABLED
+
+/// \brief RAII scope span. Construction is a no-op unless tracing is
+/// enabled at that moment; a span that started enabled records even if
+/// tracing is stopped mid-scope (the session clock keeps counting).
+class Span {
+ public:
+  Span(const char* name, const char* category = "prefcover")
+      : enabled_(Tracing::IsEnabled()) {
+    if (enabled_) {
+      name_ = name;
+      category_ = category;
+      start_ns_ = Tracing::NowNanos();
+    }
+  }
+
+  ~Span() {
+    if (enabled_) {
+      Tracing::RecordComplete(name_, category_, start_ns_,
+                              Tracing::NowNanos() - start_ns_,
+                              args_.body());
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches an argument shown in the trace viewer. Cheap no-op when the
+  /// span is disabled.
+  template <typename T>
+  void Arg(const char* key, T value) {
+    if (enabled_) args_.Add(key, value);
+  }
+
+ private:
+  bool enabled_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  uint64_t start_ns_ = 0;
+  TraceArgs args_;
+};
+
+#else  // !PREFCOVER_TRACING_ENABLED
+
+class Span {
+ public:
+  Span(const char*, const char* = "prefcover") {}
+  template <typename T>
+  void Arg(const char*, T) {}
+};
+
+#endif  // PREFCOVER_TRACING_ENABLED
+
+/// \brief Convenience: Stop(), then Flush() through a ChromeTraceSink
+/// into `path`. Returns false (with a human-readable message in *error,
+/// if non-null) on IO failure.
+bool WriteChromeTraceFile(const std::string& path, std::string* error);
+
+}  // namespace obs
+}  // namespace prefcover
+
+#endif  // PREFCOVER_OBS_TRACE_H_

@@ -1,22 +1,19 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include <cstring>
+#include <ctime>
+#include <unistd.h>
+
+#include "obs/metrics.h"
 
 namespace prefcover {
 namespace internal {
 
 namespace {
-
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
-
-// Serializes emission so concurrent log lines do not interleave.
-std::mutex& EmitMutex() {
-  static std::mutex mu;
-  return mu;
-}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -32,7 +29,72 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+// Startup level: PREFCOVER_LOG_LEVEL=debug|info|warning|error (or 0..3),
+// read once when the first translation unit touches the logger; unset or
+// unparsable falls back to info.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("PREFCOVER_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) return level;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_log_level{InitialLogLevel()};
+
+// One write(2) for the whole record (prefix, message, newline) so
+// concurrent writers never interleave mid-line: POSIX guarantees
+// atomicity for pipes up to PIPE_BUF, and a single syscall is the best
+// available guarantee for files/terminals. Partial writes (signals,
+// full pipes) retry on the remainder.
+void WriteRecord(const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(STDERR_FILENO, data + written, size - written);
+    if (n <= 0) return;  // nowhere to report a logging failure
+    written += static_cast<size_t>(n);
+  }
+}
+
 }  // namespace
+
+bool ParseLogLevel(const char* text, LogLevel* level) {
+  if (text == nullptr || level == nullptr) return false;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string FormatLogTimestamp(int64_t unix_nanos) {
+  time_t seconds = static_cast<time_t>(unix_nanos / 1'000'000'000);
+  int millis = static_cast<int>((unix_nanos % 1'000'000'000) / 1'000'000);
+  if (millis < 0) {  // keep pre-epoch inputs well-formed
+    millis += 1000;
+    seconds -= 1;
+  }
+  struct tm utc;
+  gmtime_r(&seconds, &utc);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, millis);
+  return buffer;
+}
 
 LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
 
@@ -47,20 +109,34 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p != '\0'; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+    struct timespec ts;
+    clock_gettime(CLOCK_REALTIME, &ts);
+    stream_ << "[" << FormatLogTimestamp(static_cast<int64_t>(ts.tv_sec) *
+                                             1'000'000'000 +
+                                         ts.tv_nsec)
+            << " " << LevelTag(level_) << " tid=" << obs::CurrentThreadId()
+            << " " << base << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(EmitMutex());
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::string record = stream_.str();
+  record.push_back('\n');
+  WriteRecord(record.data(), record.size());
 }
 
 void CheckFailed(const char* expr, const char* file, int line,
                  const std::string& message) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
-               message.empty() ? "" : " — ", message.c_str());
+  char buffer[1024];
+  int len = std::snprintf(buffer, sizeof(buffer),
+                          "CHECK failed at %s:%d: %s%s%s\n", file, line,
+                          expr, message.empty() ? "" : " — ",
+                          message.c_str());
+  if (len > 0) {
+    WriteRecord(buffer, std::min(sizeof(buffer) - 1,
+                                 static_cast<size_t>(len)));
+  }
   std::abort();
 }
 

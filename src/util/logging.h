@@ -1,13 +1,20 @@
 // Minimal leveled logging and check macros.
 //
-// Logging goes to stderr. PREFCOVER_CHECK-style macros abort on violation in
-// all build types; they guard internal invariants, not user input (user
-// input errors are reported via Status).
+// Logging goes to stderr. Each record is one line —
+// `[<ISO-8601 UTC> <level> tid=<N> <file>:<line>] <message>` — emitted
+// with a single write(2) so concurrent threads never interleave
+// mid-record. The startup level honors the PREFCOVER_LOG_LEVEL
+// environment variable (debug|info|warning|error or 0..3).
+//
+// PREFCOVER_CHECK-style macros abort on violation in all build types;
+// they guard internal invariants, not user input (user input errors are
+// reported via Status).
 
 #ifndef PREFCOVER_UTIL_LOGGING_H_
 #define PREFCOVER_UTIL_LOGGING_H_
 
 #include <cassert>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -20,6 +27,15 @@ namespace internal {
 /// Process-wide minimum level; messages below it are dropped.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses "debug"|"info"|"warning"|"warn"|"error" (case-insensitive) or
+/// "0".."3" into *level; false on anything else. Used for the
+/// PREFCOVER_LOG_LEVEL environment variable; exposed for tests.
+bool ParseLogLevel(const char* text, LogLevel* level);
+
+/// "2026-08-06T12:34:56.789Z" for a CLOCK_REALTIME reading in
+/// nanoseconds. Exposed for tests.
+std::string FormatLogTimestamp(int64_t unix_nanos);
 
 /// Accumulates a message and emits it to stderr on destruction.
 class LogMessage {

@@ -3,6 +3,8 @@
 #include <limits>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace prefcover {
 
 void ParallelForChunked(
@@ -16,6 +18,9 @@ void ParallelForChunked(
     return;
   }
   const size_t num_chunks = n < num_workers ? n : num_workers;
+  obs::Span dispatch_span("pool.parallel_for", "pool");
+  dispatch_span.Arg("items", static_cast<uint64_t>(n));
+  dispatch_span.Arg("chunks", static_cast<uint64_t>(num_chunks));
   const size_t base = n / num_chunks;
   const size_t extra = n % num_chunks;
 
@@ -28,7 +33,12 @@ void ParallelForChunked(
     const size_t chunk_size = base + (c < extra ? 1 : 0);
     const size_t chunk_end = chunk_begin + chunk_size;
     pool->Submit([&, chunk_begin, chunk_end, c] {
-      body(chunk_begin, chunk_end, c);
+      {
+        obs::Span chunk_span("pool.chunk", "pool");
+        chunk_span.Arg("lo", static_cast<uint64_t>(chunk_begin));
+        chunk_span.Arg("hi", static_cast<uint64_t>(chunk_end));
+        body(chunk_begin, chunk_end, c);
+      }
       std::lock_guard<std::mutex> lock(mu);
       if (--remaining == 0) done_cv.notify_one();
     });

@@ -2,9 +2,18 @@
 
 #include <utility>
 
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace prefcover {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : queue_depth_(obs::MetricsRegistry::Global().GetGauge(
+          "pool.queue_depth")),
+      tasks_executed_(obs::MetricsRegistry::Global().GetCounter(
+          "pool.tasks_executed")),
+      task_seconds_(obs::MetricsRegistry::Global().GetHistogram(
+          "pool.task_seconds", obs::LatencyBucketsSeconds())) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -27,6 +36,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
+  queue_depth_->Add(1);
   task_available_.notify_one();
 }
 
@@ -54,7 +64,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    queue_depth_->Add(-1);
+    {
+      obs::Span span("pool.task", "pool");
+      Stopwatch watch;
+      task();
+      task_seconds_->Record(watch.ElapsedSeconds());
+    }
+    tasks_executed_->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_.notify_all();

@@ -4,6 +4,12 @@
 // blocking data-parallel loop on top. Workers are started once and reused
 // across solver iterations, which matters because the greedy algorithm
 // dispatches k rounds of short parallel scans.
+//
+// Observability: every pool shares the global instruments
+// `pool.queue_depth` (gauge: queued, not yet executing tasks),
+// `pool.tasks_executed` (counter) and `pool.task_seconds` (latency
+// histogram of task bodies), and each executed task is wrapped in a
+// "pool.task" trace span on the worker thread.
 
 #ifndef PREFCOVER_UTIL_THREAD_POOL_H_
 #define PREFCOVER_UTIL_THREAD_POOL_H_
@@ -15,6 +21,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace prefcover {
 
@@ -46,6 +54,12 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
+
+  // Shared global instruments; registered once in the constructor so
+  // worker hot paths only touch lock-free cells.
+  obs::Gauge* queue_depth_;
+  obs::Counter* tasks_executed_;
+  obs::Histogram* task_seconds_;
 
   std::mutex mu_;
   std::condition_variable task_available_;

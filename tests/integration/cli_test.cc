@@ -147,6 +147,40 @@ TEST_F(CliPipelineTest, SolveWithReportAndConstraints) {
             0);
 }
 
+TEST_F(CliPipelineTest, SolveWritesTraceAndMetrics) {
+  SetUpPipeline();
+  std::string trace = TempPath("trace.json");
+  std::string metrics = TempPath("metrics.json");
+  ASSERT_EQ(RunCli(CliPath() + " solve --clicks=" + clicks_ +
+                   " --variant=independent --k=10 --algorithm=lazy-parallel"
+                   " --threads=2 --trace_out=" + trace +
+                   " --metrics_out=" + metrics),
+            0);
+  ASSERT_TRUE(FileNonEmpty(trace));
+  ASSERT_TRUE(FileNonEmpty(metrics));
+
+  std::ostringstream trace_text;
+  {
+    std::ifstream in(trace);
+    trace_text << in.rdbuf();
+  }
+  // Chrome trace-event envelope plus spans from several subsystems.
+  EXPECT_NE(trace_text.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("solver.solve"), std::string::npos);
+  EXPECT_NE(trace_text.str().find("clickstream.build"), std::string::npos);
+  EXPECT_NE(trace_text.str().find("eval.run_algorithm"), std::string::npos);
+
+  std::ostringstream metrics_text;
+  {
+    std::ifstream in(metrics);
+    metrics_text << in.rdbuf();
+  }
+  EXPECT_NE(metrics_text.str().find("\"schema_version\""),
+            std::string::npos);
+  EXPECT_NE(metrics_text.str().find("solver.gain_evaluations"),
+            std::string::npos);
+}
+
 TEST(CliTest, ConstructWithExplicitVariant) {
   std::string clicks = TempPath("pm_clicks.csv");
   std::string graph = TempPath("pm_graph.pcg");

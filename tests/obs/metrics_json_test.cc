@@ -1,0 +1,109 @@
+#include "bench/metrics_json.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/json.h"
+#include "obs/metrics.h"
+
+namespace prefcover {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(PREFCOVER_GOLDEN_DIR) + "/metrics_snapshot.json";
+}
+
+// A fixed registry whose snapshot exercises every instrument kind; the
+// rendered JSON is pinned as a golden file so the metrics subtree schema
+// cannot drift silently (bump kMetricsSchemaVersion when it must).
+obs::MetricsSnapshot PinnedSnapshot() {
+  static obs::MetricsRegistry* registry = [] {
+    auto* r = new obs::MetricsRegistry();
+    r->GetCounter("solver.gain_evaluations")->Increment(1234);
+    r->GetCounter("clickstream.rows")->Increment(98765);
+    r->GetGauge("pool.queue_depth")->Set(-2);
+    obs::Histogram* h = r->GetHistogram("pool.task_seconds",
+                                        {0.001, 0.01, 0.1});
+    h->Record(0.0005);
+    h->Record(0.05);
+    h->Record(2.0);
+    return r;
+  }();
+  return registry->Snapshot();
+}
+
+TEST(MetricsJsonTest, ShapeMatchesDocumentedSchema) {
+  JsonValue doc = MetricsSnapshotToJson(PinnedSnapshot());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* version = doc.Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number_value(), kMetricsSchemaVersion);
+
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  EXPECT_EQ(counters->Find("solver.gain_evaluations")->number_value(),
+            1234.0);
+  // Snapshot order is name-sorted: clickstream.* precedes solver.*.
+  EXPECT_EQ(counters->members()[0].first, "clickstream.rows");
+
+  const JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("pool.queue_depth")->number_value(), -2.0);
+
+  const JsonValue* histograms = doc.Find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* hist = histograms->Find("pool.task_seconds");
+  ASSERT_NE(hist, nullptr);
+  ASSERT_EQ(hist->Find("bounds")->size(), 3u);
+  ASSERT_EQ(hist->Find("counts")->size(), 4u);  // bounds + overflow
+  EXPECT_EQ(hist->Find("counts")->at(0).number_value(), 1.0);
+  EXPECT_EQ(hist->Find("counts")->at(3).number_value(), 1.0);
+  EXPECT_EQ(hist->Find("total_count")->number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->number_value(), 0.0005 + 0.05 + 2.0);
+}
+
+TEST(MetricsJsonTest, SerializationIsByteStable) {
+  std::string first = MetricsSnapshotToJson(PinnedSnapshot()).Dump();
+  std::string second = MetricsSnapshotToJson(PinnedSnapshot()).Dump();
+  EXPECT_EQ(first, second);
+}
+
+TEST(MetricsJsonTest, MatchesGoldenDocument) {
+  std::string rendered = MetricsSnapshotToJson(PinnedSnapshot()).Dump();
+
+  if (std::getenv("PREFCOVER_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    out << rendered;
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << GoldenPath()
+      << " missing; run with PREFCOVER_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), rendered)
+      << "metrics JSON schema drifted; if intentional, bump "
+         "kMetricsSchemaVersion and regenerate with "
+         "PREFCOVER_REGENERATE_GOLDEN=1.";
+}
+
+TEST(MetricsJsonTest, EmptySnapshotRendersEmptySections) {
+  obs::MetricsRegistry registry;
+  JsonValue doc = MetricsSnapshotToJson(registry.Snapshot());
+  EXPECT_EQ(doc.Find("counters")->size(), 0u);
+  EXPECT_EQ(doc.Find("gauges")->size(), 0u);
+  EXPECT_EQ(doc.Find("histograms")->size(), 0u);
+  auto reparsed = JsonValue::Parse(doc.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+}  // namespace
+}  // namespace prefcover

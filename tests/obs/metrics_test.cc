@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(CounterTest, ShardedIncrementsSumAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  EXPECT_EQ(g->Value(), 0);
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 7);
+  g->Add(-10);
+  EXPECT_EQ(g->Value(), -3);
+}
+
+TEST(HistogramTest, BucketAssignmentAndTotals) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0, 100.0});
+  h->Record(0.5);    // <= 1       -> bucket 0
+  h->Record(1.0);    // == bound   -> bucket 0 (bounds are inclusive)
+  h->Record(5.0);    // <= 10      -> bucket 1
+  h->Record(100.0);  // == bound   -> bucket 2
+  h->Record(1e6);    // above last -> overflow
+  std::vector<uint64_t> counts = h->Counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->TotalCount(), 5u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h", {1.0}),
+            registry.GetHistogram("h", {1.0}));
+}
+
+TEST(MetricsRegistryDeathTest, KindMismatchAborts) {
+  EXPECT_DEATH(
+      {
+        MetricsRegistry registry;
+        registry.GetCounter("same.name");
+        registry.GetGauge("same.name");
+      },
+      "same.name");
+  EXPECT_DEATH(
+      {
+        MetricsRegistry registry;
+        registry.GetHistogram("same.hist", {1.0, 2.0});
+        registry.GetHistogram("same.hist", {5.0});
+      },
+      "same.hist");
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.counter")->Increment(3);
+  registry.GetCounter("a.counter")->Increment(1);
+  registry.GetGauge("m.gauge")->Set(-5);
+  registry.GetHistogram("h.hist", {2.0})->Record(1.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.counter");
+  EXPECT_EQ(snapshot.counters[0].value, 1u);
+  EXPECT_EQ(snapshot.counters[1].name, "z.counter");
+  EXPECT_EQ(snapshot.counters[1].value, 3u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, -5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].total_count, 1u);
+  ASSERT_EQ(snapshot.histograms[0].counts.size(), 2u);
+  EXPECT_EQ(snapshot.histograms[0].counts[0], 1u);
+}
+
+TEST(MetricsRegistryTest, CounterOrFallsBackWhenAbsent) {
+  MetricsRegistry registry;
+  registry.GetCounter("present")->Increment(9);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("present"), 9u);
+  EXPECT_EQ(snapshot.CounterOr("absent"), 0u);
+  EXPECT_EQ(snapshot.CounterOr("absent", 123), 123u);
+}
+
+TEST(MetricsRegistryTest, MergeCountersAddsAndCreates) {
+  MetricsRegistry run;
+  run.GetCounter("shared")->Increment(5);
+  run.GetCounter("run.only")->Increment(2);
+  run.GetCounter("zero");  // never fired; merge skips zeros
+
+  MetricsRegistry target;
+  target.GetCounter("shared")->Increment(10);
+  target.MergeCounters(run.Snapshot());
+
+  MetricsSnapshot merged = target.Snapshot();
+  EXPECT_EQ(merged.CounterOr("shared"), 15u);
+  EXPECT_EQ(merged.CounterOr("run.only"), 2u);
+  // The zero-valued counter must not have been created in the target.
+  for (const auto& c : merged.counters) EXPECT_NE(c.name, "zero");
+}
+
+TEST(MetricsRegistryTest, RunScopedRegistryIsIsolatedFromGlobal) {
+  MetricsRegistry run;
+  uint64_t global_before =
+      MetricsRegistry::Global().Snapshot().CounterOr("isolated.counter");
+  run.GetCounter("isolated.counter")->Increment(7);
+  EXPECT_EQ(
+      MetricsRegistry::Global().Snapshot().CounterOr("isolated.counter"),
+      global_before);
+  EXPECT_EQ(run.Snapshot().CounterOr("isolated.counter"), 7u);
+}
+
+TEST(CurrentThreadIdTest, StablePerThreadAndDistinctAcrossThreads) {
+  uint32_t main_id = CurrentThreadId();
+  EXPECT_EQ(CurrentThreadId(), main_id);
+  uint32_t other_id = main_id;
+  std::thread t([&other_id] { other_id = CurrentThreadId(); });
+  t.join();
+  EXPECT_NE(other_id, main_id);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prefcover

@@ -1,0 +1,254 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/json.h"
+#include "obs/metrics.h"
+#include "util/parallel_for.h"
+#include "util/thread_pool.h"
+
+namespace prefcover {
+namespace obs {
+namespace {
+
+// Collects drained events verbatim for structural assertions.
+struct CollectSink : public TraceSink {
+  std::vector<TraceEvent> events;
+  void Consume(const TraceEvent& event) override {
+    events.push_back(event);
+  }
+};
+
+uint64_t GlobalDropped() {
+  return MetricsRegistry::Global().Snapshot().CounterOr(
+      "trace.dropped_events");
+}
+
+TEST(TracingTest, DisabledRecordsNothing) {
+  ASSERT_TRUE(Tracing::Start());  // reset rings from earlier tests
+  Tracing::Stop();
+  {
+    Span span("test.disabled", "test");
+    span.Arg("ignored", uint64_t{1});
+  }
+  CollectSink sink;
+  EXPECT_EQ(Tracing::Flush(&sink), 0u);
+  EXPECT_TRUE(sink.events.empty());
+}
+
+TEST(TracingTest, SpanThatStartedEnabledRecordsAfterStop) {
+  ASSERT_TRUE(Tracing::Start());
+  {
+    Span span("test.straddle", "test");
+    Tracing::Stop();
+  }
+  CollectSink sink;
+  ASSERT_EQ(Tracing::Flush(&sink), 1u);
+  EXPECT_STREQ(sink.events[0].name, "test.straddle");
+}
+
+TEST(TracingTest, SpanRecordsNameCategoryArgsAndTid) {
+  ASSERT_TRUE(Tracing::Start());
+  {
+    Span span("test.full", "unit");
+    span.Arg("count", uint64_t{7});
+    span.Arg("label", "abc");
+  }
+  Tracing::Stop();
+  CollectSink sink;
+  ASSERT_EQ(Tracing::Flush(&sink), 1u);
+  const TraceEvent& e = sink.events[0];
+  EXPECT_STREQ(e.name, "test.full");
+  EXPECT_STREQ(e.category, "unit");
+  EXPECT_EQ(e.tid, CurrentThreadId());
+  EXPECT_EQ(std::string(e.args, e.args_len),
+            "\"count\":7,\"label\":\"abc\"");
+}
+
+TEST(TracingTest, RingOverflowDropsOldestAndCountsDrops) {
+  const uint64_t dropped_before = GlobalDropped();
+  TracingOptions options;
+  options.ring_capacity = 8;
+  ASSERT_TRUE(Tracing::Start(options));
+  for (uint64_t i = 0; i < 20; ++i) {
+    TraceArgs args;
+    args.Add("i", i);
+    Tracing::RecordComplete("test.overflow", "test", /*start_ns=*/i,
+                            /*duration_ns=*/1, args.body());
+  }
+  Tracing::Stop();
+  EXPECT_EQ(Tracing::DroppedEvents(), 12u);
+  EXPECT_EQ(GlobalDropped() - dropped_before, 12u);
+
+  CollectSink sink;
+  ASSERT_EQ(Tracing::Flush(&sink), 8u);
+  // The survivors are the NEWEST eight (i = 12..19), oldest first.
+  for (size_t j = 0; j < sink.events.size(); ++j) {
+    EXPECT_EQ(sink.events[j].start_ns, 12 + j);
+  }
+}
+
+TEST(TracingTest, SpansNestUnderParallelForOnDistinctThreads) {
+  ASSERT_TRUE(Tracing::Start());
+  const uint32_t main_tid = CurrentThreadId();
+  {
+    ThreadPool pool(2);
+    // Both chunk bodies hold at a barrier until the other arrives, which
+    // forces the two chunks onto two distinct pool threads (a single
+    // worker could never release the barrier).
+    std::atomic<int> arrived{0};
+    ParallelForChunked(&pool, 0, 2,
+                       [&arrived](size_t lo, size_t hi, size_t /*worker*/) {
+                         arrived.fetch_add(1);
+                         while (arrived.load() < 2) std::this_thread::yield();
+                         Span child("test.child", "test");
+                         child.Arg("lo", static_cast<uint64_t>(lo));
+                         child.Arg("hi", static_cast<uint64_t>(hi));
+                       });
+  }
+  Tracing::Stop();
+
+  CollectSink sink;
+  Tracing::Flush(&sink);
+  const TraceEvent* dispatch = nullptr;
+  std::vector<const TraceEvent*> chunks;
+  std::vector<const TraceEvent*> children;
+  for (const TraceEvent& e : sink.events) {
+    if (std::string(e.name) == "pool.parallel_for") dispatch = &e;
+    if (std::string(e.name) == "pool.chunk") chunks.push_back(&e);
+    if (std::string(e.name) == "test.child") children.push_back(&e);
+  }
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->tid, main_tid);
+  ASSERT_EQ(chunks.size(), 2u);
+  ASSERT_EQ(children.size(), 2u);
+
+  // The two chunks ran on two distinct worker threads, neither of them
+  // the dispatching thread.
+  EXPECT_NE(chunks[0]->tid, chunks[1]->tid);
+  EXPECT_NE(chunks[0]->tid, main_tid);
+  EXPECT_NE(chunks[1]->tid, main_tid);
+
+  // Each child span is nested (time-contained, same thread) in exactly
+  // one chunk span, and every chunk is contained in the dispatch window.
+  for (const TraceEvent* child : children) {
+    bool contained = false;
+    for (const TraceEvent* chunk : chunks) {
+      if (child->tid != chunk->tid) continue;
+      contained = child->start_ns >= chunk->start_ns &&
+                  child->start_ns + child->duration_ns <=
+                      chunk->start_ns + chunk->duration_ns;
+    }
+    EXPECT_TRUE(contained);
+  }
+  for (const TraceEvent* chunk : chunks) {
+    EXPECT_GE(chunk->start_ns, dispatch->start_ns);
+    EXPECT_LE(chunk->start_ns + chunk->duration_ns,
+              dispatch->start_ns + dispatch->duration_ns);
+  }
+}
+
+TEST(TracingTest, FlushOrdersEventsByThreadThenStart) {
+  ASSERT_TRUE(Tracing::Start());
+  Tracing::RecordComplete("b", "test", /*start_ns=*/100, /*duration_ns=*/1);
+  Tracing::RecordComplete("a", "test", /*start_ns=*/50, /*duration_ns=*/1);
+  std::thread other([] {
+    Tracing::RecordComplete("c", "test", /*start_ns=*/10,
+                            /*duration_ns=*/1);
+  });
+  other.join();
+  Tracing::Stop();
+  CollectSink sink;
+  ASSERT_EQ(Tracing::Flush(&sink), 3u);
+  uint32_t last_tid = 0;
+  uint64_t last_start = 0;
+  for (size_t i = 0; i < sink.events.size(); ++i) {
+    const TraceEvent& e = sink.events[i];
+    if (i > 0) {
+      EXPECT_TRUE(e.tid > last_tid ||
+                  (e.tid == last_tid && e.start_ns >= last_start));
+    }
+    last_tid = e.tid;
+    last_start = e.start_ns;
+  }
+}
+
+TEST(TraceArgsTest, FormatsEveryValueKind) {
+  TraceArgs args;
+  args.Add("u", uint64_t{42})
+      .Add("i", int64_t{-7})
+      .Add("d", 1.5)
+      .Add("s", "text");
+  EXPECT_STREQ(args.body(), "\"u\":42,\"i\":-7,\"d\":1.5,\"s\":\"text\"");
+}
+
+TEST(TraceArgsTest, TruncatesAtCapacityWithoutOverflow) {
+  TraceArgs args;
+  for (int i = 0; i < 100; ++i) args.Add("long_key_name", uint64_t{1});
+  EXPECT_LT(args.size(), TraceEvent::kArgsCapacity);
+}
+
+TEST(ChromeTraceExportTest, WritesParsableChromeTraceJson) {
+  ASSERT_TRUE(Tracing::Start());
+  {
+    Span outer("test.outer", "export");
+    outer.Arg("k", uint64_t{3});
+    Span inner("test.inner", "export");
+  }
+  std::string path = testing::TempDir() + "/trace_test_export.json";
+  std::string error;
+  ASSERT_TRUE(WriteChromeTraceFile(path, &error)) << error;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* unit = doc->Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string_value(), "ms");
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  for (size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    EXPECT_EQ(e.Find("ph")->string_value(), "X");
+    EXPECT_EQ(e.Find("pid")->number_value(), 1.0);
+    EXPECT_GE(e.Find("dur")->number_value(), 0.0);
+  }
+  // Same tid + sorted flush: the outer span (earlier start) comes first.
+  EXPECT_EQ(events->at(0).Find("name")->string_value(), "test.outer");
+  EXPECT_EQ(events->at(1).Find("name")->string_value(), "test.inner");
+  const JsonValue* outer_args = events->at(0).Find("args");
+  ASSERT_NE(outer_args, nullptr);
+  EXPECT_EQ(outer_args->Find("k")->number_value(), 3.0);
+}
+
+TEST(ChromeTraceExportTest, EmptySessionStillWritesValidDocument) {
+  ASSERT_TRUE(Tracing::Start());
+  Tracing::Stop();
+  Tracing::Flush(nullptr);  // drain leftovers
+  ASSERT_TRUE(Tracing::Start());
+  Tracing::Stop();
+  std::string path = testing::TempDir() + "/trace_test_empty.json";
+  ASSERT_TRUE(WriteChromeTraceFile(path, nullptr));
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = JsonValue::Parse(buffer.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("traceEvents")->size(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prefcover

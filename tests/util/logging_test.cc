@@ -36,5 +36,61 @@ TEST(LoggingTest, CheckPassesSilently) {
   SUCCEED();
 }
 
+TEST(ParseLogLevelTest, AcceptsNamesAndDigits) {
+  LogLevel level;
+  ASSERT_TRUE(internal::ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(internal::ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  ASSERT_TRUE(internal::ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  ASSERT_TRUE(internal::ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  ASSERT_TRUE(internal::ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  ASSERT_TRUE(internal::ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(internal::ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(ParseLogLevelTest, IsCaseInsensitive) {
+  LogLevel level;
+  ASSERT_TRUE(internal::ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(internal::ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST(ParseLogLevelTest, RejectsGarbage) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(internal::ParseLogLevel("", &level));
+  EXPECT_FALSE(internal::ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(internal::ParseLogLevel("4", &level));
+  EXPECT_FALSE(internal::ParseLogLevel("-1", &level));
+  EXPECT_FALSE(internal::ParseLogLevel(nullptr, &level));
+  EXPECT_FALSE(internal::ParseLogLevel("info", nullptr));
+  // A failed parse leaves the output untouched.
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(FormatLogTimestampTest, FormatsEpochAndKnownInstants) {
+  EXPECT_EQ(internal::FormatLogTimestamp(0), "1970-01-01T00:00:00.000Z");
+  // 2026-08-06 12:34:56.789 UTC.
+  constexpr int64_t kNanos =
+      INT64_C(1786019696) * 1'000'000'000 + 789'000'000;
+  EXPECT_EQ(internal::FormatLogTimestamp(kNanos),
+            "2026-08-06T12:34:56.789Z");
+  // Sub-millisecond residue truncates toward zero.
+  EXPECT_EQ(internal::FormatLogTimestamp(1'999'999),
+            "1970-01-01T00:00:00.001Z");
+}
+
+TEST(FormatLogTimestampTest, HandlesPreEpochInstants) {
+  // 1 ms before the epoch: milliseconds stay in [0, 999].
+  EXPECT_EQ(internal::FormatLogTimestamp(-1'000'000),
+            "1969-12-31T23:59:59.999Z");
+}
+
 }  // namespace
 }  // namespace prefcover

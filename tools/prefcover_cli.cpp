@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/metrics_json.h"
 #include "clickstream/clickstream_io.h"
 #include "clickstream/graph_construction.h"
 #include "clickstream/streaming_construction.h"
@@ -28,6 +29,7 @@
 #include "core/greedy_solver.h"
 #include "eval/report.h"
 #include "eval/runner.h"
+#include "obs/trace.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "synth/dataset_profiles.h"
@@ -217,9 +219,42 @@ int CmdSolve(int argc, char** argv) {
   flags.AddString("force-exclude", "",
                   "comma-separated item ids that must not be retained "
                   "(greedy algorithms only)");
+  flags.AddString("clicks", "",
+                  "clickstream CSV to construct the graph from in-process "
+                  "(streaming, instead of --graph; requires an explicit "
+                  "--variant)");
+  flags.AddString("trace_out", "",
+                  "write a Chrome trace-event JSON of this run to the "
+                  "path (open in Perfetto / chrome://tracing)");
+  flags.AddString("metrics_out", "",
+                  "write a JSON snapshot of the process metrics registry "
+                  "to the path");
   if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
 
-  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  // Arm tracing before any traced work (construction included) runs.
+  const std::string& trace_out = flags.GetString("trace_out");
+  if (!trace_out.empty() && !obs::Tracing::Start()) {
+    std::fprintf(stderr,
+                 "warning: tracing was compiled out "
+                 "(PREFCOVER_ENABLE_TRACING=OFF); %s will be empty\n",
+                 trace_out.c_str());
+  }
+
+  Result<PreferenceGraph> graph = Status::Internal("unset");
+  if (!flags.GetString("clicks").empty()) {
+    auto clicks_variant = ParseVariant(flags.GetString("variant"));
+    if (!clicks_variant.ok()) {
+      return Fail(Status::InvalidArgument(
+          "--clicks requires --variant=independent|normalized (streaming "
+          "construction cannot auto-select)"));
+    }
+    GraphConstructionOptions construction;
+    construction.variant = *clicks_variant;
+    graph = BuildPreferenceGraphStreamingFile(flags.GetString("clicks"),
+                                              construction);
+  } else {
+    graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  }
   if (!graph.ok()) return Fail(graph.status());
   auto variant = ResolveVariant(flags.GetString("variant"), *graph);
   if (!variant.ok()) return Fail(variant.status());
@@ -271,36 +306,20 @@ int CmdSolve(int argc, char** argv) {
   const size_t k = static_cast<size_t>(flags.GetInt("k"));
   const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
 
-  // Greedy-family algorithms are dispatched directly so the full
-  // GreedyOptions (constraints, batch size) reach the solver; the
-  // remaining baselines go through the shared runner.
-  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
-  Result<Solution> solution = Status::Internal("unset");
-  switch (algorithm) {
-    case Algorithm::kGreedy:
-      solution = SolveGreedy(*graph, k, greedy_options);
-      break;
-    case Algorithm::kGreedyLazy:
-      solution = SolveGreedyLazy(*graph, k, greedy_options);
-      break;
-    case Algorithm::kGreedyParallel: {
-      ThreadPool pool(threads);
-      solution = SolveGreedyParallel(*graph, k, &pool, greedy_options);
-      break;
-    }
-    case Algorithm::kGreedyLazyParallel: {
-      ThreadPool pool(threads);
-      solution = SolveGreedyLazyParallel(*graph, k, &pool, greedy_options);
-      break;
-    }
-    default:
-      if (constrained) {
-        return Fail(Status::InvalidArgument(
-            "--force-include/--force-exclude require a greedy algorithm"));
-      }
-      solution = RunAlgorithm(algorithm, *graph, k, *variant, &rng, threads);
-      break;
+  // Everything routes through the eval runner (which forwards the full
+  // GreedyOptions to the greedy family), so traced solves carry the
+  // eval.run_algorithm phase span above the solver's own spans.
+  const bool greedy_family = algorithm == Algorithm::kGreedy ||
+                             algorithm == Algorithm::kGreedyLazy ||
+                             algorithm == Algorithm::kGreedyParallel ||
+                             algorithm == Algorithm::kGreedyLazyParallel;
+  if (constrained && !greedy_family) {
+    return Fail(Status::InvalidArgument(
+        "--force-include/--force-exclude require a greedy algorithm"));
   }
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  Result<Solution> solution =
+      RunAlgorithm(algorithm, *graph, k, greedy_options, &rng, threads);
   if (!solution.ok()) return Fail(solution.status());
 
   std::printf("%s (%s variant): retained %zu of %zu items, cover %.4f%% "
@@ -329,6 +348,25 @@ int CmdSolve(int argc, char** argv) {
     Status st = WriteCoverageCsv(*graph, *solution, &cov);
     if (!st.ok()) return Fail(st);
     std::printf("wrote %s\n", flags.GetString("coverage-out").c_str());
+  }
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::WriteChromeTraceFile(trace_out, &error)) {
+      return Fail(Status::IOError(error));
+    }
+    std::printf("wrote %s (%llu event(s) dropped to ring overflow)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(obs::Tracing::DroppedEvents()));
+  }
+  if (!flags.GetString("metrics_out").empty()) {
+    const std::string& path = flags.GetString("metrics_out");
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Fail(Status::IOError("cannot open " + path));
+    out << MetricsSnapshotToJson(obs::MetricsRegistry::Global().Snapshot())
+               .Dump();
+    out.flush();
+    if (!out) return Fail(Status::IOError("failed writing " + path));
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,147 @@
+// trace_validate — structural validator for Chrome trace-event JSON files
+// produced by `prefcover solve --trace_out` (and any other obs::Tracing
+// export). Used by the nightly perf workflow to gate the traced-solve
+// artifact, and convenient locally before loading a trace into Perfetto.
+//
+// Checks:
+//   - the document is {"displayTimeUnit":"ms","traceEvents":[...]};
+//   - every event carries the required keys (name, cat, ph, ts, dur, pid,
+//     tid) with the right types, ph == "X", and non-negative ts/dur;
+//   - per thread, ts is monotonically non-decreasing (the exporter sorts
+//     by (tid, start), so a violation means a broken exporter);
+//   - optional: --require_categories=a,b,... each have >= 1 event, and
+//     the file holds at least --min_events events.
+//
+// Exit codes: 0 = valid, 1 = invalid, 2 = usage/IO error.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace prefcover;
+
+namespace {
+
+int Usage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
+int Invalid(const std::string& message) {
+  std::fprintf(stderr, "invalid trace: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "trace_validate: check a Chrome trace-event JSON file\n"
+      "usage: trace_validate --input=trace.json [flags]");
+  flags.AddString("input", "", "trace JSON path (required)");
+  flags.AddString("require_categories", "",
+                  "comma-separated categories that must each appear in at "
+                  "least one event");
+  flags.AddInt("min_events", 1, "minimum number of events required");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;  // --help
+  if (!st.ok()) return Usage(st.ToString());
+  if (flags.GetString("input").empty()) {
+    return Usage("--input is required");
+  }
+
+  std::ifstream in(flags.GetString("input"));
+  if (!in) return Usage("cannot open " + flags.GetString("input"));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto doc = JsonValue::Parse(buffer.str());
+  if (!doc.ok()) return Invalid(doc.status().ToString());
+  if (!doc->is_object()) return Invalid("document must be an object");
+
+  const JsonValue* unit = doc->Find("displayTimeUnit");
+  if (unit == nullptr || !unit->is_string() ||
+      unit->string_value() != "ms") {
+    return Invalid("displayTimeUnit must be the string \"ms\"");
+  }
+  const JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Invalid("traceEvents must be an array");
+  }
+
+  std::map<std::string, uint64_t> category_counts;
+  std::map<double, double> last_ts_by_tid;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    const JsonValue& e = events->at(i);
+    if (!e.is_object()) return Invalid(at + " is not an object");
+    for (const char* key : {"name", "cat", "ph"}) {
+      const JsonValue* v = e.Find(key);
+      if (v == nullptr || !v->is_string()) {
+        return Invalid(at + "." + key + " missing or not a string");
+      }
+    }
+    for (const char* key : {"ts", "dur", "pid", "tid"}) {
+      const JsonValue* v = e.Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return Invalid(at + "." + key + " missing or not a number");
+      }
+    }
+    if (e.Find("ph")->string_value() != "X") {
+      return Invalid(at + ".ph must be \"X\" (complete event)");
+    }
+    if (e.Find("name")->string_value().empty()) {
+      return Invalid(at + ".name is empty");
+    }
+    const double ts = e.Find("ts")->number_value();
+    const double dur = e.Find("dur")->number_value();
+    if (ts < 0.0 || dur < 0.0) {
+      return Invalid(at + " has a negative ts or dur");
+    }
+    const JsonValue* args = e.Find("args");
+    if (args != nullptr && !args->is_object()) {
+      return Invalid(at + ".args is not an object");
+    }
+
+    const double tid = e.Find("tid")->number_value();
+    auto [it, inserted] = last_ts_by_tid.try_emplace(tid, ts);
+    if (!inserted) {
+      if (ts < it->second) {
+        return Invalid(at + ": ts goes backwards on tid " +
+                       FormatJsonNumber(tid));
+      }
+      it->second = ts;
+    }
+    ++category_counts[e.Find("cat")->string_value()];
+  }
+
+  if (events->size() <
+      static_cast<uint64_t>(flags.GetInt("min_events"))) {
+    return Invalid("only " + std::to_string(events->size()) +
+                   " event(s); --min_events=" +
+                   std::to_string(flags.GetInt("min_events")));
+  }
+  for (const std::string& category :
+       SplitString(flags.GetString("require_categories"), ',')) {
+    if (category.empty()) continue;
+    if (category_counts.find(category) == category_counts.end()) {
+      return Invalid("no events in required category '" + category + "'");
+    }
+  }
+
+  std::printf("valid: %zu event(s) on %zu thread(s)", events->size(),
+              last_ts_by_tid.size());
+  for (const auto& [category, count] : category_counts) {
+    std::printf(" %s=%llu", category.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  return 0;
+}
