@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "bench/metrics_json.h"
+#include "util/fs.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -168,12 +169,9 @@ JsonValue BenchRunner::ToJson() const {
 }
 
 Status BenchRunner::WriteJsonFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out << ToJson().Dump();
-  out.flush();
-  if (!out) return Status::IOError("failed writing: " + path);
-  return Status::OK();
+  // Atomic replace: bench trajectories are append-compared across runs,
+  // so a crash must never leave a truncated JSON behind.
+  return WriteFileAtomic(path, ToJson().Dump());
 }
 
 TablePrinter BenchRunner::SummaryTable() const {

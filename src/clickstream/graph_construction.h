@@ -17,6 +17,7 @@
 #include "clickstream/clickstream.h"
 #include "core/variant.h"
 #include "graph/preference_graph.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace prefcover {
@@ -43,6 +44,13 @@ struct GraphConstructionOptions {
   /// min(1, dwell / dwell_saturation_seconds) instead of a full count.
   /// Sessions without dwell data always contribute full clicks.
   double dwell_saturation_seconds = 0.0;
+
+  /// Cooperative cancellation for the streaming construction: checked at
+  /// session-flush boundaries; a tripped token makes
+  /// BuildPreferenceGraphStreaming return Status::Cancelled (unlike a
+  /// solve, a half-built graph has no useful prefix to salvage). The
+  /// in-memory BuildPreferenceGraph ignores it. nullptr disables.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Builds the preference graph. Node ids equal the clickstream's

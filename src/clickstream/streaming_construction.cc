@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace prefcover {
@@ -139,7 +140,18 @@ Result<PreferenceGraph> BuildPreferenceGraphStreaming(
     }
     const std::string& sid = fields[0];
     if (!have_session || sid != current_sid) {
-      if (have_session) flush();
+      if (have_session) {
+        flush();
+        // Session boundaries are the construction's round boundaries:
+        // cheap (one flag read per session, not per row) and always at a
+        // consistent point — no half-consumed session ever reaches the
+        // builder.
+        if (options.cancel != nullptr && options.cancel->IsCancelled()) {
+          return Status::Cancelled(
+              "graph construction cancelled after " +
+              std::to_string(builder.sessions_seen()) + " sessions");
+        }
+      }
       current_sid = sid;
       have_session = true;
     }
@@ -181,6 +193,7 @@ Result<PreferenceGraph> BuildPreferenceGraphStreaming(
 
 Result<PreferenceGraph> BuildPreferenceGraphStreamingFile(
     const std::string& path, const GraphConstructionOptions& options) {
+  PREFCOVER_FAILPOINT_STATUS("clickstream.read");
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   return BuildPreferenceGraphStreaming(&in, options);

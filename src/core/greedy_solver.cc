@@ -8,11 +8,13 @@
 #include <queue>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/cover_function.h"
 #include "core/cover_state.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/bitset.h"
+#include "util/logging.h"
 #include "util/parallel_for.h"
 #include "util/timer.h"
 
@@ -69,6 +71,55 @@ struct GreedyRun {
   SolverStats stats;  // timing / threads / batch fields only, until Finish
   Stopwatch iteration_timer;
 
+  // Cooperative cancellation + periodic checkpointing (both optional).
+  const CancelToken* cancel = nullptr;
+  const CheckpointConfig* checkpoint_cfg = nullptr;
+  Checkpoint checkpoint_base;  // digest/hash/variant/k; prefix per write
+  bool checkpoint_warned = false;
+  bool truncated = false;
+
+  // Round-boundary cancellation check. True when the search must stop:
+  // the token tripped AND at least one item is already selected — the
+  // nonempty-prefix guarantee means even a pre-expired deadline yields
+  // the first selection. Sticky: the first firing marks the run
+  // truncated and bumps the global solver.cancelled counter.
+  bool ShouldStop() {
+    if (cancel == nullptr || items.empty()) return false;
+    if (!truncated) {
+      if (!cancel->IsCancelled()) return false;
+      truncated = true;
+      obs::MetricsRegistry::Global()
+          .GetCounter(solver_metric::kCancelled)
+          ->Increment();
+    }
+    return true;
+  }
+
+  // Writes a checkpoint when one is due (`force` ignores the cadence —
+  // the final write of a truncated run). Checkpoint IO never affects the
+  // solve: a failure warns once, bumps checkpoint.write_failures and the
+  // search carries on without durability.
+  void MaybeCheckpoint(bool force) {
+    if (checkpoint_cfg == nullptr || checkpoint_cfg->path.empty()) return;
+    const uint32_t every = std::max(1u, checkpoint_cfg->every_rounds);
+    if (!force && items.size() % every != 0) return;
+    Checkpoint ckpt = checkpoint_base;
+    ckpt.prefix = items;
+    Status st = WriteCheckpoint(checkpoint_cfg->path, ckpt);
+    if (!st.ok()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter(checkpoint_metric::kWriteFailures)
+          ->Increment();
+      if (!checkpoint_warned) {
+        checkpoint_warned = true;
+        PREFCOVER_LOG(Warning)
+            << "checkpoint write failed (solve continues, further "
+               "failures suppressed): "
+            << st.ToString();
+      }
+    }
+  }
+
   void FlushPending() {
     if (pending_gain_evals > 0) {
       gain_evaluations->Increment(pending_gain_evals);
@@ -114,6 +165,7 @@ struct GreedyRun {
           now_ns > dur_ns ? now_ns - dur_ns : 0, dur_ns, args.body());
     }
     iteration_timer.Reset();
+    MaybeCheckpoint(/*force=*/false);
   }
 };
 
@@ -123,14 +175,52 @@ struct GreedyRun {
 Status InitGreedyRun(const PreferenceGraph& graph, size_t k,
                      const GreedyOptions& options, GreedyRun* run) {
   PREFCOVER_RETURN_NOT_OK(ValidateGreedyOptions(graph, k, options));
+  run->cancel = options.cancel;
   run->items.reserve(k);
   run->prefix_covers.reserve(k);
   run->excluded = Bitset(graph.NumNodes());
   for (NodeId v : options.force_exclude) run->excluded.Set(v);
-  for (NodeId v : options.force_include) {
+  // A resume prefix replaces force_include seeding: a validated
+  // checkpoint prefix already begins with the forced items. Replaying
+  // AddNode over it reproduces the exact cover state (and the exact
+  // floating-point prefix covers) of the run that wrote the checkpoint.
+  const std::vector<NodeId>& seed =
+      options.checkpoint.resume_prefix.empty()
+          ? options.force_include
+          : options.checkpoint.resume_prefix;
+  if (!options.checkpoint.resume_prefix.empty()) {
+    if (seed.size() > k) {
+      return Status::InvalidArgument(
+          "resume prefix larger than the budget k");
+    }
+    Bitset seen(graph.NumNodes());
+    for (NodeId v : seed) {
+      if (v >= graph.NumNodes()) {
+        return Status::InvalidArgument(
+            "resume prefix item out of range: " + std::to_string(v));
+      }
+      if (seen.Test(v)) {
+        return Status::InvalidArgument(
+            "resume prefix item duplicated: " + std::to_string(v));
+      }
+      if (run->excluded.Test(v)) {
+        return Status::InvalidArgument(
+            "resume prefix item is force-excluded: " + std::to_string(v));
+      }
+      seen.Set(v);
+    }
+  }
+  for (NodeId v : seed) {
     run->state.AddNode(v);
     run->items.push_back(v);
     run->prefix_covers.push_back(run->state.cover());
+  }
+  if (!options.checkpoint.path.empty()) {
+    run->checkpoint_cfg = &options.checkpoint;
+    run->checkpoint_base.graph_digest = GraphDigest(graph);
+    run->checkpoint_base.options_hash = GreedyOptionsHash(options, k);
+    run->checkpoint_base.variant = options.variant;
+    run->checkpoint_base.k = k;
   }
   run->iteration_timer.Reset();
   return Status::OK();
@@ -139,6 +229,10 @@ Status InitGreedyRun(const PreferenceGraph& graph, size_t k,
 Solution FinishSolution(GreedyRun&& run, Variant variant,
                         const char* algorithm, double seconds) {
   run.FlushPending();
+  // A truncated run writes one final checkpoint so a later resume starts
+  // from everything that was selected, not the last cadence boundary.
+  if (run.truncated) run.MaybeCheckpoint(/*force=*/true);
+  run.stats.truncated = run.truncated;
   // SolverStats is a view over the run registry; the totals also feed the
   // process-wide registry so cross-run snapshots see solver work.
   obs::MetricsSnapshot run_metrics = run.metrics.Snapshot();
@@ -211,6 +305,7 @@ Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
 
   while (run.items.size() < k) {
+    if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
     double best_gain = -1.0;
     NodeId best = kInvalidNode;
@@ -244,7 +339,14 @@ Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
   run.stats.threads = pool == nullptr ? 1 : pool->num_threads();
 
   while (run.items.size() < k) {
+    if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
+    // Forward the token only once truncation is permissible: the first
+    // selection's scan must run to completion (both the nonempty-prefix
+    // guarantee and the prefix-of-the-deterministic-order property need
+    // a complete argmax).
+    const CancelToken* round_cancel =
+        run.items.empty() ? nullptr : options.cancel;
     double best_gain = kNegInf;
     size_t best = ParallelArgMax(
         pool, n,
@@ -257,7 +359,10 @@ Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
           run.gain_evaluations->Increment();
           return run.state.GainOf(node);
         },
-        &best_gain);
+        &best_gain, round_cancel);
+    // A cancelled argmax may have skipped chunks; discard the round
+    // rather than select from a partial scan.
+    if (round_cancel != nullptr && run.ShouldStop()) break;
     run.parallel_batches->Increment();
     run.parallel_items->Increment(n);
     if (best == n || best_gain == kNegInf) break;
@@ -318,6 +423,7 @@ Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
   uint32_t round = 0;
   run.iteration_timer.Reset();
   while (run.items.size() < k && !heap.empty()) {
+    if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
     HeapEntry top = heap.top();
     heap.pop();
@@ -391,6 +497,7 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
   uint32_t round = 0;
   run.iteration_timer.Reset();
   while (run.items.size() < k && !heap.empty()) {
+    if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
     HeapEntry top = heap.top();
     if (run.state.IsRetained(top.node)) {
@@ -427,13 +534,19 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
       batch.push_back(e.node);
     }
 
+    // As in the parallel execution, only forward the token when a
+    // truncation break is permissible; a cancelled refresh produces
+    // partial gains that must be discarded, never reinserted.
+    const CancelToken* round_cancel =
+        run.items.empty() ? nullptr : options.cancel;
     double best_gain = kNegInf;
     size_t best_pos = ParallelArgMaxBatch(
         pool, batch,
         [&run](size_t v) {
           return run.state.GainOf(static_cast<NodeId>(v));
         },
-        &batch_gains, &best_gain);
+        &batch_gains, &best_gain, round_cancel);
+    if (round_cancel != nullptr && run.ShouldStop()) break;
     run.parallel_batches->Increment();
     run.parallel_items->Increment(batch.size());
     run.pending_gain_evals += batch.size();

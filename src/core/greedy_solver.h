@@ -30,15 +30,44 @@
 #define PREFCOVER_CORE_GREEDY_SOLVER_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/solution.h"
 #include "core/variant.h"
 #include "graph/preference_graph.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace prefcover {
+
+/// \brief Periodic crash-safe checkpointing of a greedy solve (see
+/// core/checkpoint.h for the file format and ROBUSTNESS.md for the
+/// model).
+///
+/// When `path` is set, the solver writes the selected prefix every
+/// `every_rounds` selections (and once more if the solve is truncated by
+/// cancellation), via util::WriteFileAtomic so a crash never leaves a
+/// torn file. A write failure degrades gracefully: the solve continues,
+/// logs one warning, and bumps `checkpoint.write_failures` — the
+/// solution is never affected by checkpoint IO.
+struct CheckpointConfig {
+  /// Checkpoint file path; empty disables checkpointing.
+  std::string path;
+
+  /// Write cadence in selection rounds (>= 1).
+  uint32_t every_rounds = 16;
+
+  /// Selections to replay before the search starts (loaded from a
+  /// checkpoint by ReadCheckpoint + ValidateCheckpointForResume). The
+  /// greedy prefix property guarantees the resumed run re-joins the
+  /// deterministic selection order, so the final solution is identical
+  /// to an uninterrupted run. When set, `force_include` is ignored (the
+  /// prefix already contains it).
+  std::vector<NodeId> resume_prefix;
+};
 
 /// \brief Options shared by the greedy-family entry points.
 struct GreedyOptions {
@@ -65,6 +94,17 @@ struct GreedyOptions {
   /// are re-evaluated per parallel dispatch. 0 = auto (4x the pool width).
   /// The selected node sequence is identical for every value.
   size_t batch_size = 0;
+
+  /// Cooperative cancellation (explicit Cancel() or a deadline). Checked
+  /// at round boundaries: a tripped token stops the search and returns
+  /// the best greedy prefix selected so far — never an error, never an
+  /// empty solution when at least one selection was possible — with
+  /// `Solution::stats.truncated` set and the `solver.cancelled` counter
+  /// bumped. nullptr (the default) costs one pointer test per round.
+  const CancelToken* cancel = nullptr;
+
+  /// Periodic crash-safe checkpointing / resume; disabled by default.
+  CheckpointConfig checkpoint;
 };
 
 /// \brief Validates a GreedyOptions instance against the problem size: NaN

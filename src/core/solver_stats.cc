@@ -46,7 +46,9 @@ std::string SolverStats::ToString() const {
                 FormatDuration(AvgIterationSeconds()).c_str(),
                 FormatDuration(max_iteration_seconds).c_str(), threads,
                 batch_size, PoolUtilization() * 100.0);
-  return buffer;
+  std::string out = buffer;
+  if (truncated) out += " TRUNCATED";
+  return out;
 }
 
 }  // namespace prefcover

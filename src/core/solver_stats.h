@@ -31,6 +31,9 @@ inline constexpr char kHeapPops[] = "solver.heap_pops";
 inline constexpr char kStaleRefreshes[] = "solver.stale_refreshes";
 inline constexpr char kParallelBatches[] = "solver.parallel_batches";
 inline constexpr char kParallelItems[] = "solver.parallel_items";
+/// Bumped once per solve that was truncated by cancellation or deadline
+/// expiry (global registry only — a run registry would always read 0/1).
+inline constexpr char kCancelled[] = "solver.cancelled";
 }  // namespace solver_metric
 
 /// \brief Execution counters for one solver run, surfaced in `Solution`.
@@ -75,6 +78,12 @@ struct SolverStats {
   /// slowest iteration.
   double total_iteration_seconds = 0.0;
   double max_iteration_seconds = 0.0;
+
+  /// True when the search stopped early because `GreedyOptions::cancel`
+  /// tripped (explicit Cancel() or deadline expiry). The solution is the
+  /// valid greedy prefix selected up to that point — shorter than k, but
+  /// every guarantee about its own length still holds.
+  bool truncated = false;
 
   /// \brief Fills the counter fields from a run-scoped registry snapshot
   /// (the `solver_metric` names); timing/threads/batch fields are left

@@ -79,16 +79,26 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
 
 Result<std::vector<SuiteEntry>> RunSuite(
     const std::vector<Algorithm>& algorithms, const PreferenceGraph& graph,
-    size_t k, Variant variant, Rng* rng, size_t num_threads) {
+    size_t k, Variant variant, Rng* rng, size_t num_threads,
+    const CancelToken* cancel) {
   obs::Span suite_span("eval.suite", "eval");
   suite_span.Arg("algorithms", static_cast<uint64_t>(algorithms.size()));
   suite_span.Arg("k", static_cast<uint64_t>(k));
+  GreedyOptions greedy_options;
+  greedy_options.variant = variant;
+  greedy_options.cancel = cancel;
   std::vector<SuiteEntry> entries;
   entries.reserve(algorithms.size());
   for (Algorithm algorithm : algorithms) {
+    // Between-algorithm boundary: a tripped token ends the suite with the
+    // prefix of entries already finished (never mid-entry).
+    if (cancel != nullptr && cancel->IsCancelled() && !entries.empty()) {
+      break;
+    }
     PREFCOVER_ASSIGN_OR_RETURN(
         Solution solution,
-        RunAlgorithm(algorithm, graph, k, variant, rng, num_threads));
+        RunAlgorithm(algorithm, graph, k, greedy_options, rng,
+                     num_threads));
     entries.push_back({algorithm, std::move(solution)});
   }
   return entries;

@@ -59,9 +59,17 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
                               size_t num_threads = 1);
 
 /// \brief Runs each algorithm on the same instance.
+///
+/// `cancel` is threaded into the greedy family (their solves become
+/// anytime) and checked between algorithms: once it trips, remaining
+/// algorithms are skipped and the entries finished so far are returned —
+/// like a truncated solve, a cancelled suite is a valid prefix, not an
+/// error. (If the token trips before the first algorithm completes, that
+/// first — possibly truncated — entry is still produced.)
 Result<std::vector<SuiteEntry>> RunSuite(
     const std::vector<Algorithm>& algorithms, const PreferenceGraph& graph,
-    size_t k, Variant variant, Rng* rng, size_t num_threads = 1);
+    size_t k, Variant variant, Rng* rng, size_t num_threads = 1,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace prefcover
 

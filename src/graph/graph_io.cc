@@ -9,6 +9,8 @@
 
 #include "graph/graph_builder.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 
 namespace prefcover {
@@ -168,6 +170,20 @@ Result<PreferenceGraph> ReadGraphBinary(std::istream* in) {
   uint64_t edges_seen = 0;
   for (uint64_t v = 0; v < n; ++v) {
     PREFCOVER_ASSIGN_OR_RETURN(uint32_t deg, r.ReadScalar<uint32_t>());
+    // A simple graph's out-degree cannot exceed n, and the per-node
+    // degrees cannot sum past the header's edge count; checking both
+    // before consuming the adjacency turns a corrupted degree field into
+    // a descriptive error instead of a multi-gigabyte read attempt.
+    if (deg > n) {
+      return Status::Corruption(
+          "node " + std::to_string(v) + " declares out-degree " +
+          std::to_string(deg) + " > node count " + std::to_string(n));
+    }
+    if (edges_seen + deg > m) {
+      return Status::Corruption(
+          "adjacency lists exceed the header edge count " +
+          std::to_string(m) + " at node " + std::to_string(v));
+    }
     for (uint32_t i = 0; i < deg; ++i) {
       PREFCOVER_ASSIGN_OR_RETURN(NodeId to, r.ReadScalar<NodeId>());
       PREFCOVER_ASSIGN_OR_RETURN(double w, r.ReadScalar<double>());
@@ -231,12 +247,16 @@ Result<PreferenceGraph> ReadGraphBinary(std::istream* in) {
 
 Status WriteGraphBinaryFile(const PreferenceGraph& graph,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  return WriteGraphBinary(graph, &out);
+  PREFCOVER_FAILPOINT_STATUS("graph_io.write");
+  // Atomic replace: a crash mid-write leaves the previous file (or no
+  // file), never a torn .pcg that a later load would reject.
+  return WriteFileAtomic(path, [&graph](std::ostream* out) {
+    return WriteGraphBinary(graph, out);
+  });
 }
 
 Result<PreferenceGraph> ReadGraphBinaryFile(const std::string& path) {
+  PREFCOVER_FAILPOINT_STATUS("graph_io.read");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   return ReadGraphBinary(&in);

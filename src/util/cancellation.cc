@@ -1,0 +1,43 @@
+#include "util/cancellation.h"
+
+#include <csignal>
+
+namespace prefcover {
+
+namespace {
+
+// The handler only performs lock-free atomic operations, which is the
+// async-signal-safe subset. `g_signal_token` is written exclusively from
+// InstallSignalCancel (normal context) and read from the handler.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+std::atomic<int> g_last_signal{0};
+
+void HandleCancelSignal(int signum) {
+  CancelToken* token = g_signal_token.load(std::memory_order_relaxed);
+  if (token != nullptr) token->Cancel();
+  g_last_signal.store(signum, std::memory_order_relaxed);
+  // Escalation path: the next delivery of this signal gets the default
+  // disposition (terminate), so a process stuck before its next
+  // cooperative check can still be killed with a second Ctrl-C.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallSignalCancel(CancelToken* token) {
+  g_signal_token.store(token, std::memory_order_relaxed);
+  if (token == nullptr) {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    return;
+  }
+  g_last_signal.store(0, std::memory_order_relaxed);
+  std::signal(SIGINT, HandleCancelSignal);
+  std::signal(SIGTERM, HandleCancelSignal);
+}
+
+int LastCancelSignal() {
+  return g_last_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace prefcover

@@ -1,0 +1,211 @@
+#include "util/failpoint.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace prefcover {
+namespace failpoint {
+
+namespace {
+
+enum class Kind {
+  kOff,
+  kError,
+  kErrorOnce,
+  kCrash,
+  kCrashOnce,
+  kDelay,
+};
+
+struct Entry {
+  Kind kind = Kind::kOff;
+  uint32_t delay_ms = 0;
+  uint64_t hits = 0;   // reached while armed
+  bool spent = false;  // *_once already fired
+};
+
+// The registry is mutex-guarded: failpoints are a test/debug facility,
+// and the armed path is allowed to serialize. The unarmed hot path never
+// reaches here (AnyActive() gates it).
+std::mutex g_mu;
+std::map<std::string, Entry>& Registry() {
+  static auto* registry = new std::map<std::string, Entry>();
+  return *registry;
+}
+
+Result<Entry> ParseAction(std::string_view action) {
+  Entry entry;
+  std::string a(TrimWhitespace(action));
+  if (a == "off") {
+    entry.kind = Kind::kOff;
+  } else if (a == "error") {
+    entry.kind = Kind::kError;
+  } else if (a == "error_once") {
+    entry.kind = Kind::kErrorOnce;
+  } else if (a == "crash") {
+    entry.kind = Kind::kCrash;
+  } else if (a == "crash_once") {
+    entry.kind = Kind::kCrashOnce;
+  } else if (a.rfind("delay(", 0) == 0 && a.size() > 8 &&
+             a.compare(a.size() - 3, 3, "ms)") == 0) {
+    PREFCOVER_ASSIGN_OR_RETURN(
+        int64_t ms, ParseInt64(a.substr(6, a.size() - 9)));
+    if (ms < 0 || ms > 60'000) {
+      return Status::InvalidArgument("failpoint delay out of [0,60000]ms: " +
+                                     a);
+    }
+    entry.kind = Kind::kDelay;
+    entry.delay_ms = static_cast<uint32_t>(ms);
+  } else {
+    return Status::InvalidArgument(
+        "unknown failpoint action '" + a +
+        "' (expected off|error|error_once|crash|crash_once|delay(Nms))");
+  }
+  return entry;
+}
+
+void RecountArmedLocked() {
+  int armed = 0;
+  for (const auto& [name, entry] : Registry()) {
+    (void)name;
+    if (entry.kind != Kind::kOff && !entry.spent) ++armed;
+  }
+  internal::g_armed_count.store(armed, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int> g_armed_count{0};
+
+Status Evaluate(const char* name) {
+  Kind kind;
+  uint32_t delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto it = Registry().find(name);
+    if (it == Registry().end() || it->second.spent) return Status::OK();
+    Entry& entry = it->second;
+    if (entry.kind == Kind::kOff) return Status::OK();
+    ++entry.hits;
+    if (entry.kind == Kind::kErrorOnce || entry.kind == Kind::kCrashOnce) {
+      entry.spent = true;
+      RecountArmedLocked();
+    }
+    kind = entry.kind;
+    delay_ms = entry.delay_ms;
+  }
+  switch (kind) {
+    case Kind::kError:
+    case Kind::kErrorOnce:
+      return Status::IOError(std::string("failpoint '") + name +
+                             "' injected error");
+    case Kind::kCrash:
+    case Kind::kCrashOnce:
+      // SIGKILL, not exit(): no atexit handlers, no stream flushes, no
+      // destructors — exactly the crash the atomic-write path must
+      // survive.
+      std::fprintf(stderr, "failpoint '%s' crashing process\n", name);
+      std::fflush(stderr);
+      ::kill(::getpid(), SIGKILL);
+      return Status::OK();  // unreachable
+    case Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return Status::OK();
+    case Kind::kOff:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+bool Enabled() {
+#if defined(PREFCOVER_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Status LoadFromSpec(std::string_view spec) {
+  std::map<std::string, Entry> parsed;
+  for (const std::string& pair : SplitString(std::string(spec), ';')) {
+    std::string trimmed(TrimWhitespace(pair));
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec entry '" + trimmed +
+                                     "' is not name=action");
+    }
+    std::string name(TrimWhitespace(trimmed.substr(0, eq)));
+    PREFCOVER_ASSIGN_OR_RETURN(Entry entry,
+                               ParseAction(trimmed.substr(eq + 1)));
+    parsed[name] = entry;
+  }
+  std::lock_guard<std::mutex> lock(g_mu);
+  Registry() = std::move(parsed);
+  RecountArmedLocked();
+  return Status::OK();
+}
+
+Status LoadFromEnv() {
+  const char* spec = std::getenv("PREFCOVER_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return LoadFromSpec(spec);
+}
+
+namespace {
+
+// $PREFCOVER_FAILPOINTS is armed before main so every site — including
+// static-initialization-time code — sees it. A malformed spec aborts
+// loudly rather than silently injecting nothing.
+[[maybe_unused]] const bool g_env_armed = [] {
+  Status st = LoadFromEnv();
+  if (!st.ok()) {
+    std::fprintf(stderr, "fatal: bad PREFCOVER_FAILPOINTS: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  return true;
+}();
+
+}  // namespace
+
+Status Set(const std::string& name, const std::string& action) {
+  PREFCOVER_ASSIGN_OR_RETURN(Entry entry, ParseAction(action));
+  std::lock_guard<std::mutex> lock(g_mu);
+  uint64_t hits = 0;
+  auto it = Registry().find(name);
+  if (it != Registry().end()) hits = it->second.hits;
+  entry.hits = hits;
+  Registry()[name] = entry;
+  RecountArmedLocked();
+  return Status::OK();
+}
+
+void Clear() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  Registry().clear();
+  RecountArmedLocked();
+}
+
+uint64_t HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+}  // namespace failpoint
+}  // namespace prefcover

@@ -1,0 +1,118 @@
+// Named failpoints: deterministic fault injection for robustness tests.
+//
+// A failpoint is a named site in production code where a test (or an
+// operator reproducing an incident) can inject a failure without
+// recompiling:
+//
+//   PREFCOVER_FAILPOINTS="graph_io.read=error;pool.task=delay(5ms)"
+//   PREFCOVER_FAILPOINTS="checkpoint.after_write=crash_once"
+//
+// Syntax: `name=action` pairs separated by ';'. Actions:
+//   off          — registered but inert (useful to park a spec)
+//   error        — the site returns Status::IOError every hit
+//   error_once   — as `error`, but only the first hit
+//   crash        — SIGKILL the process at the site (no cleanup runs, so
+//                  crash-safety claims are tested for real)
+//   crash_once   — as `crash`, but only the first hit; later hits pass
+//                  (meaningful when the spec is re-applied after restart)
+//   delay(Nms)   — sleep N milliseconds, then pass
+//
+// Call sites use the macros:
+//   PREFCOVER_FAILPOINT(name)         — void site (crash/delay only;
+//                                       error acts like off)
+//   PREFCOVER_FAILPOINT_STATUS(name)  — returns the injected Status from
+//                                       the enclosing function
+//
+// Cost: compiled out entirely (macros expand to nothing) unless the
+// build sets -DPREFCOVER_ENABLE_FAILPOINTS=ON, which defines
+// PREFCOVER_FAILPOINTS_ENABLED. When compiled in but no failpoint is
+// armed, each site costs one relaxed atomic load.
+//
+// The catalog of planted sites lives in ROBUSTNESS.md.
+
+#ifndef PREFCOVER_UTIL_FAILPOINT_H_
+#define PREFCOVER_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace prefcover {
+namespace failpoint {
+
+/// \brief True when the harness was compiled in
+/// (-DPREFCOVER_ENABLE_FAILPOINTS=ON). Tests that need injection skip
+/// themselves when this is false.
+bool Enabled();
+
+/// \brief Parses a `name=action;name=action` spec and arms it, replacing
+/// any previously armed set. An empty spec clears everything.
+Status LoadFromSpec(std::string_view spec);
+
+/// \brief Arms the spec from $PREFCOVER_FAILPOINTS (no-op when unset).
+/// Runs automatically before main(); a malformed env spec aborts the
+/// process loudly rather than silently injecting nothing.
+Status LoadFromEnv();
+
+/// \brief Arms a single failpoint programmatically (test hook).
+Status Set(const std::string& name, const std::string& action);
+
+/// \brief Disarms everything.
+void Clear();
+
+/// \brief Times the named site was reached while armed (0 if never or
+/// unknown).
+uint64_t HitCount(const std::string& name);
+
+namespace internal {
+
+extern std::atomic<int> g_armed_count;
+
+/// Fast gate: true when at least one failpoint is armed.
+inline bool AnyActive() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+/// Applies the action armed for `name` (if any). Returns the injected
+/// error for `error*`; crashes the process for `crash*`; sleeps for
+/// `delay`; OK otherwise.
+Status Evaluate(const char* name);
+
+}  // namespace internal
+}  // namespace failpoint
+}  // namespace prefcover
+
+#if defined(PREFCOVER_FAILPOINTS_ENABLED)
+
+#define PREFCOVER_FAILPOINT(name)                                      \
+  do {                                                                 \
+    if (::prefcover::failpoint::internal::AnyActive()) {               \
+      (void)::prefcover::failpoint::internal::Evaluate(name);          \
+    }                                                                  \
+  } while (false)
+
+#define PREFCOVER_FAILPOINT_STATUS(name)                               \
+  do {                                                                 \
+    if (::prefcover::failpoint::internal::AnyActive()) {               \
+      ::prefcover::Status _fp_st =                                     \
+          ::prefcover::failpoint::internal::Evaluate(name);            \
+      if (!_fp_st.ok()) return _fp_st;                                 \
+    }                                                                  \
+  } while (false)
+
+#else  // !PREFCOVER_FAILPOINTS_ENABLED
+
+#define PREFCOVER_FAILPOINT(name) \
+  do {                            \
+  } while (false)
+
+#define PREFCOVER_FAILPOINT_STATUS(name) \
+  do {                                   \
+  } while (false)
+
+#endif  // PREFCOVER_FAILPOINTS_ENABLED
+
+#endif  // PREFCOVER_UTIL_FAILPOINT_H_

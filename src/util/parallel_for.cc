@@ -9,8 +9,10 @@ namespace prefcover {
 
 void ParallelForChunked(
     ThreadPool* pool, size_t begin, size_t end,
-    const std::function<void(size_t, size_t, size_t)>& body) {
+    const std::function<void(size_t, size_t, size_t)>& body,
+    const CancelToken* cancel) {
   if (begin >= end) return;
+  if (cancel != nullptr && cancel->IsCancelled()) return;
   const size_t n = end - begin;
   const size_t num_workers = pool == nullptr ? 1 : pool->num_threads();
   if (num_workers <= 1 || n == 1) {
@@ -33,7 +35,9 @@ void ParallelForChunked(
     const size_t chunk_size = base + (c < extra ? 1 : 0);
     const size_t chunk_end = chunk_begin + chunk_size;
     pool->Submit([&, chunk_begin, chunk_end, c] {
-      {
+      // Cooperative cancellation: a chunk that has not started when the
+      // token trips is skipped whole; a started chunk always completes.
+      if (cancel == nullptr || !cancel->IsCancelled()) {
         obs::Span chunk_span("pool.chunk", "pool");
         chunk_span.Arg("lo", static_cast<uint64_t>(chunk_begin));
         chunk_span.Arg("hi", static_cast<uint64_t>(chunk_end));
@@ -49,16 +53,19 @@ void ParallelForChunked(
 }
 
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& body) {
-  ParallelForChunked(pool, begin, end,
-                     [&body](size_t lo, size_t hi, size_t /*worker*/) {
-                       for (size_t i = lo; i < hi; ++i) body(i);
-                     });
+                 const std::function<void(size_t)>& body,
+                 const CancelToken* cancel) {
+  ParallelForChunked(
+      pool, begin, end,
+      [&body](size_t lo, size_t hi, size_t /*worker*/) {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      },
+      cancel);
 }
 
 size_t ParallelArgMax(ThreadPool* pool, size_t n,
                       const std::function<double(size_t)>& score,
-                      double* best_score) {
+                      double* best_score, const CancelToken* cancel) {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   const size_t num_workers = pool == nullptr ? 1 : pool->num_threads();
   const size_t num_slots = num_workers < n ? num_workers : (n > 0 ? n : 1);
@@ -78,7 +85,8 @@ size_t ParallelArgMax(ThreadPool* pool, size_t n,
                        }
                        local_best[worker] = best;
                        local_arg[worker] = arg;
-                     });
+                     },
+                     cancel);
 
   double best = kNegInf;
   size_t arg = n;
@@ -98,7 +106,7 @@ size_t ParallelArgMaxBatch(ThreadPool* pool,
                            const std::vector<size_t>& candidates,
                            const std::function<double(size_t)>& score,
                            std::vector<double>* scores,
-                           double* best_score) {
+                           double* best_score, const CancelToken* cancel) {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   const size_t m = candidates.size();
   if (scores != nullptr) scores->assign(m, kNegInf);
@@ -126,7 +134,8 @@ size_t ParallelArgMaxBatch(ThreadPool* pool,
                        }
                        local_best[worker] = best;
                        local_arg[worker] = arg;
-                     });
+                     },
+                     cancel);
 
   double best = kNegInf;
   size_t arg = m;

@@ -27,6 +27,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kCancelled,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -74,6 +75,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -93,6 +97,7 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// \brief "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace prefcover {
@@ -68,6 +69,9 @@ void ThreadPool::WorkerLoop() {
     {
       obs::Span span("pool.task", "pool");
       Stopwatch watch;
+      // Fault-injection site: `pool.task=delay(Nms)` stretches every task
+      // dispatch, exercising cancellation under a slow pool.
+      PREFCOVER_FAILPOINT("pool.task");
       task();
       task_seconds_->Record(watch.ElapsedSeconds());
     }

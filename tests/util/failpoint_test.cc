@@ -1,0 +1,125 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/fs.h"
+
+namespace prefcover {
+namespace {
+
+// Every test disarms on entry and exit: the registry is process-global,
+// and a leaked armed failpoint would inject faults into unrelated tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::Enabled()) {
+      GTEST_SKIP() << "built with -DPREFCOVER_ENABLE_FAILPOINTS=OFF";
+    }
+    failpoint::Clear();
+  }
+  void TearDown() override { failpoint::Clear(); }
+
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/failpoint_test_" + name;
+  }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsTransparent) {
+  // "fs.write_atomic" is planted at the head of WriteFileAtomic.
+  std::string path = TempPath("unarmed.txt");
+  EXPECT_TRUE(WriteFileAtomic(path, "payload").ok());
+  EXPECT_EQ(failpoint::HitCount("fs.write_atomic"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorActionInjectsIOError) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "error").ok());
+  std::string path = TempPath("error.txt");
+  Status st = WriteFileAtomic(path, "payload");
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("fs.write_atomic"), std::string::npos);
+  // The injection fires before any filesystem work: no file appears.
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+  EXPECT_EQ(failpoint::HitCount("fs.write_atomic"), 1u);
+  // Still armed: every hit fails.
+  EXPECT_TRUE(WriteFileAtomic(path, "payload").IsIOError());
+  EXPECT_EQ(failpoint::HitCount("fs.write_atomic"), 2u);
+}
+
+TEST_F(FailpointTest, ErrorOnceFiresExactlyOnce) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "error_once").ok());
+  std::string path = TempPath("error_once.txt");
+  EXPECT_TRUE(WriteFileAtomic(path, "first").IsIOError());
+  EXPECT_TRUE(WriteFileAtomic(path, "second").ok());
+  EXPECT_TRUE(WriteFileAtomic(path, "third").ok());
+  EXPECT_EQ(failpoint::HitCount("fs.write_atomic"), 1u);
+}
+
+TEST_F(FailpointTest, DelayActionSleeps) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "delay(30ms)").ok());
+  std::string path = TempPath("delay.txt");
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(WriteFileAtomic(path, "payload").ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            30);
+}
+
+TEST_F(FailpointTest, OffActionIsInert) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "off").ok());
+  EXPECT_TRUE(WriteFileAtomic(TempPath("off.txt"), "payload").ok());
+  EXPECT_EQ(failpoint::HitCount("fs.write_atomic"), 0u);
+}
+
+TEST_F(FailpointTest, ClearDisarms) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "error").ok());
+  failpoint::Clear();
+  EXPECT_TRUE(WriteFileAtomic(TempPath("cleared.txt"), "payload").ok());
+}
+
+TEST_F(FailpointTest, SpecParsesMultipleEntries) {
+  ASSERT_TRUE(failpoint::LoadFromSpec(
+                  "fs.write_atomic=error; graph_io.read = off ;;")
+                  .ok());
+  EXPECT_TRUE(WriteFileAtomic(TempPath("spec.txt"), "x").IsIOError());
+}
+
+TEST_F(FailpointTest, SpecReplacesPreviousSet) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "error").ok());
+  ASSERT_TRUE(failpoint::LoadFromSpec("graph_io.read=error").ok());
+  // The old entry is gone wholesale, not merely turned off.
+  EXPECT_TRUE(WriteFileAtomic(TempPath("replaced.txt"), "x").ok());
+}
+
+TEST_F(FailpointTest, EmptySpecClears) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "error").ok());
+  ASSERT_TRUE(failpoint::LoadFromSpec("").ok());
+  EXPECT_TRUE(WriteFileAtomic(TempPath("empty_spec.txt"), "x").ok());
+}
+
+TEST_F(FailpointTest, MalformedSpecsRejected) {
+  EXPECT_TRUE(failpoint::LoadFromSpec("no_equals_sign").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::LoadFromSpec("=error").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::LoadFromSpec("site=explode").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::LoadFromSpec("site=delay(ms)").IsInvalidArgument());
+  EXPECT_TRUE(
+      failpoint::LoadFromSpec("site=delay(-5ms)").IsInvalidArgument());
+  EXPECT_TRUE(
+      failpoint::LoadFromSpec("site=delay(999999ms)").IsInvalidArgument());
+}
+
+TEST_F(FailpointTest, UnknownActionLeavesRegistryUntouched) {
+  ASSERT_TRUE(failpoint::Set("fs.write_atomic", "error").ok());
+  EXPECT_TRUE(
+      failpoint::LoadFromSpec("fs.write_atomic=bogus").IsInvalidArgument());
+  // The failed load must not have replaced the armed set.
+  EXPECT_TRUE(WriteFileAtomic(TempPath("atomic_load.txt"), "x").IsIOError());
+}
+
+}  // namespace
+}  // namespace prefcover

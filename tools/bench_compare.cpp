@@ -11,12 +11,17 @@
 // two documents beyond the tolerance. Timing subtrees and env values must
 // still match the schema exactly.
 //
-// Exit codes: 0 pass, 1 comparison failure, 2 usage / IO / parse error.
+// Exit codes: 0 pass, 1 comparison failure, 2 usage / IO / parse error,
+// 124 timeout (--timeout_s exceeded).
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "bench/compare.h"
 #include "bench/json.h"
@@ -53,12 +58,35 @@ int Main(int argc, char** argv) {
   flags.AddDouble("tolerance", 0.0,
                   "numeric tolerance in determinism mode (golden files use "
                   "1e-9)");
+  flags.AddDouble("timeout_s", 0.0,
+                  "abort with exit code 124 if the comparison has not "
+                  "finished within this many seconds (0 = no timeout); a "
+                  "hung or pathologically slow run then fails CI crisply "
+                  "instead of eating the job time limit");
   Status st = flags.Parse(argc, argv);
   if (st.IsOutOfRange()) return 0;  // --help
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
                  flags.UsageString().c_str());
     return 2;
+  }
+  const double timeout_s = flags.GetDouble("timeout_s");
+  if (timeout_s < 0.0) {
+    std::fprintf(stderr, "--timeout_s must be >= 0\n");
+    return 2;
+  }
+  if (timeout_s > 0.0) {
+    // Detached watchdog: if the comparison wedges (e.g. a failpoint-driven
+    // delay in a file read, or a pathological input), the process dies
+    // with the conventional timeout code instead of hanging CI. _exit()
+    // on purpose — a wedged process cannot be trusted to unwind cleanly.
+    std::thread([timeout_s] {
+      std::this_thread::sleep_for(std::chrono::duration<double>(timeout_s));
+      std::fprintf(stderr, "bench_compare: timed out after %.3fs\n",
+                   timeout_s);
+      std::fflush(stderr);
+      ::_exit(124);
+    }).detach();
   }
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,

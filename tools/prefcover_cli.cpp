@@ -14,9 +14,11 @@
 //   prefcover construct --input=clicks.csv --out=graph.pcg
 //   prefcover solve --graph=graph.pcg --k=500 --out=retained.csv
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "clickstream/graph_construction.h"
 #include "clickstream/streaming_construction.h"
 #include "clickstream/variant_selection.h"
+#include "core/checkpoint.h"
 #include "core/complementary_solver.h"
 #include "core/greedy_solver.h"
 #include "eval/report.h"
@@ -33,7 +36,10 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "synth/dataset_profiles.h"
+#include "util/cancellation.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 #include "util/flags.h"
 #include "util/stats.h"
@@ -48,6 +54,20 @@ int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
+
+// Exit code for a solve truncated by SIGINT/SIGTERM: nonzero so scripts
+// notice the budget was the signal's, not the solver's — but distinct
+// from 1 (error) and 2 (usage) so the partial result is recognizable.
+constexpr int kExitSignalTruncated = 3;
+
+// Uninstalls the process signal->CancelToken hook when the command
+// returns, so the token (a stack local) never dangles behind the handler.
+struct ScopedSignalCancel {
+  explicit ScopedSignalCancel(CancelToken* token) {
+    InstallSignalCancel(token);
+  }
+  ~ScopedSignalCancel() { InstallSignalCancel(nullptr); }
+};
 
 // Returns 0/1 exit code semantics from flag parsing; 2 = --help shown.
 int ParseOrExit(FlagParser* flags, int argc, char** argv) {
@@ -176,21 +196,21 @@ Result<Variant> ResolveVariant(const std::string& name,
 
 Status WriteSolutionCsv(const PreferenceGraph& graph,
                         const Solution& solution, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path);
-  CsvWriter writer(&out);
-  writer.WriteRecord({"rank", "item_id", "label", "weight",
-                      "cover_after_prefix"});
-  for (size_t i = 0; i < solution.items.size(); ++i) {
-    NodeId v = solution.items[i];
-    char weight[32], cover[32];
-    std::snprintf(weight, sizeof(weight), "%.10g", graph.NodeWeight(v));
-    std::snprintf(cover, sizeof(cover), "%.10g",
-                  solution.cover_after_prefix[i]);
-    writer.WriteRecord({std::to_string(i + 1), std::to_string(v),
-                        graph.DisplayName(v), weight, cover});
-  }
-  return Status::OK();
+  return WriteFileAtomic(path, [&](std::ostream* out) {
+    CsvWriter writer(out);
+    writer.WriteRecord({"rank", "item_id", "label", "weight",
+                        "cover_after_prefix"});
+    for (size_t i = 0; i < solution.items.size(); ++i) {
+      NodeId v = solution.items[i];
+      char weight[32], cover[32];
+      std::snprintf(weight, sizeof(weight), "%.10g", graph.NodeWeight(v));
+      std::snprintf(cover, sizeof(cover), "%.10g",
+                    solution.cover_after_prefix[i]);
+      writer.WriteRecord({std::to_string(i + 1), std::to_string(v),
+                          graph.DisplayName(v), weight, cover});
+    }
+    return Status::OK();
+  });
 }
 
 int CmdSolve(int argc, char** argv) {
@@ -229,7 +249,32 @@ int CmdSolve(int argc, char** argv) {
   flags.AddString("metrics_out", "",
                   "write a JSON snapshot of the process metrics registry "
                   "to the path");
+  flags.AddInt("deadline_ms", 0,
+               "wall-clock budget in milliseconds; 0 = none. An expired "
+               "deadline returns the best prefix found so far (exit 0, "
+               "stats marked TRUNCATED), never an error");
+  flags.AddString("checkpoint_path", "",
+                  "write a crash-safe solve checkpoint to this path every "
+                  "--checkpoint_every selections (greedy algorithms only)");
+  flags.AddInt("checkpoint_every", 16,
+               "checkpoint cadence in selections (>= 1)");
+  flags.AddBool("resume", false,
+                "resume from --checkpoint_path when it exists: the "
+                "checkpointed prefix is replayed and the final solution "
+                "is identical to an uninterrupted run");
   if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+
+  // One token for the whole command: SIGINT/SIGTERM and --deadline_ms
+  // both trip it, construction and solve both watch it.
+  CancelToken cancel;
+  const int64_t deadline_ms = flags.GetInt("deadline_ms");
+  if (deadline_ms < 0) {
+    return Fail(Status::InvalidArgument("--deadline_ms must be >= 0"));
+  }
+  if (deadline_ms > 0) {
+    cancel.SetTimeout(static_cast<double>(deadline_ms) / 1000.0);
+  }
+  ScopedSignalCancel signal_hookup(&cancel);
 
   // Arm tracing before any traced work (construction included) runs.
   const std::string& trace_out = flags.GetString("trace_out");
@@ -239,6 +284,41 @@ int CmdSolve(int argc, char** argv) {
                  "(PREFCOVER_ENABLE_TRACING=OFF); %s will be empty\n",
                  trace_out.c_str());
   }
+
+  // Exports run on success, cancellation AND failure paths — the trace
+  // of a cancelled or failed run is often exactly what one wants to see.
+  auto export_observability = [&flags, &trace_out]() -> Status {
+    if (!trace_out.empty()) {
+      PREFCOVER_FAILPOINT_STATUS("trace.export");
+      obs::Tracing::Stop();
+      std::ostringstream json;
+      obs::ChromeTraceSink sink(&json);
+      obs::Tracing::Flush(&sink);
+      PREFCOVER_RETURN_NOT_OK(WriteFileAtomic(trace_out, json.str()));
+      std::printf(
+          "wrote %s (%llu event(s) dropped to ring overflow)\n",
+          trace_out.c_str(),
+          static_cast<unsigned long long>(obs::Tracing::DroppedEvents()));
+    }
+    const std::string& metrics_out = flags.GetString("metrics_out");
+    if (!metrics_out.empty()) {
+      PREFCOVER_FAILPOINT_STATUS("metrics.export");
+      PREFCOVER_RETURN_NOT_OK(WriteFileAtomic(
+          metrics_out,
+          MetricsSnapshotToJson(obs::MetricsRegistry::Global().Snapshot())
+              .Dump()));
+      std::printf("wrote %s\n", metrics_out.c_str());
+    }
+    return Status::OK();
+  };
+  auto fail_with_observability = [&export_observability](
+                                     const Status& status) {
+    Status obs_st = export_observability();
+    if (!obs_st.ok()) {
+      std::fprintf(stderr, "warning: %s\n", obs_st.ToString().c_str());
+    }
+    return Fail(status);
+  };
 
   Result<PreferenceGraph> graph = Status::Internal("unset");
   if (!flags.GetString("clicks").empty()) {
@@ -250,12 +330,13 @@ int CmdSolve(int argc, char** argv) {
     }
     GraphConstructionOptions construction;
     construction.variant = *clicks_variant;
+    construction.cancel = &cancel;
     graph = BuildPreferenceGraphStreamingFile(flags.GetString("clicks"),
                                               construction);
   } else {
     graph = ReadGraphBinaryFile(flags.GetString("graph"));
   }
-  if (!graph.ok()) return Fail(graph.status());
+  if (!graph.ok()) return fail_with_observability(graph.status());
   auto variant = ResolveVariant(flags.GetString("variant"), *graph);
   if (!variant.ok()) return Fail(variant.status());
 
@@ -317,10 +398,52 @@ int CmdSolve(int argc, char** argv) {
     return Fail(Status::InvalidArgument(
         "--force-include/--force-exclude require a greedy algorithm"));
   }
+  greedy_options.cancel = &cancel;
+
+  const std::string& checkpoint_path = flags.GetString("checkpoint_path");
+  const int64_t checkpoint_every = flags.GetInt("checkpoint_every");
+  if (!checkpoint_path.empty() || flags.GetBool("resume")) {
+    if (!greedy_family) {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint_path/--resume require a greedy algorithm"));
+    }
+    if (checkpoint_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--resume requires --checkpoint_path"));
+    }
+    if (checkpoint_every <= 0) {
+      return Fail(Status::InvalidArgument(
+          "--checkpoint_every must be >= 1"));
+    }
+    greedy_options.checkpoint.path = checkpoint_path;
+    greedy_options.checkpoint.every_rounds =
+        static_cast<uint32_t>(checkpoint_every);
+  }
+  if (flags.GetBool("resume")) {
+    auto checkpoint = ReadCheckpoint(checkpoint_path);
+    if (checkpoint.ok()) {
+      auto prefix = ValidateCheckpointForResume(*checkpoint, *graph, k,
+                                                greedy_options);
+      if (!prefix.ok()) return Fail(prefix.status());
+      std::printf("resuming from %s: replaying %zu selection(s)\n",
+                  checkpoint_path.c_str(), prefix->size());
+      greedy_options.checkpoint.resume_prefix = std::move(*prefix);
+    } else if (checkpoint.status().IsIOError()) {
+      // No checkpoint yet (first run, or it never got written before the
+      // crash): a cold start is the correct resume of "nothing".
+      std::printf("no checkpoint at %s; starting fresh\n",
+                  checkpoint_path.c_str());
+    } else {
+      // Corrupt or stale files are refused loudly — resuming the wrong
+      // prefix would silently produce a non-greedy solution.
+      return Fail(checkpoint.status());
+    }
+  }
+
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   Result<Solution> solution =
       RunAlgorithm(algorithm, *graph, k, greedy_options, &rng, threads);
-  if (!solution.ok()) return Fail(solution.status());
+  if (!solution.ok()) return fail_with_observability(solution.status());
 
   std::printf("%s (%s variant): retained %zu of %zu items, cover %.4f%% "
               "in %s\n",
@@ -329,6 +452,14 @@ int CmdSolve(int argc, char** argv) {
               solution->items.size(), graph->NumNodes(),
               solution->cover * 100.0,
               FormatDuration(solution->solve_seconds).c_str());
+  const bool signal_truncated =
+      solution->stats.truncated && LastCancelSignal() != 0;
+  if (solution->stats.truncated) {
+    std::printf("solve truncated by %s after %zu selection(s); the prefix "
+                "above is a valid (shorter) greedy solution\n",
+                signal_truncated ? "signal" : "deadline",
+                solution->items.size());
+  }
   if (flags.GetBool("stats")) {
     std::printf("stats: %s\n", solution->stats.ToString().c_str());
   }
@@ -349,26 +480,12 @@ int CmdSolve(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
     std::printf("wrote %s\n", flags.GetString("coverage-out").c_str());
   }
-  if (!trace_out.empty()) {
-    std::string error;
-    if (!obs::WriteChromeTraceFile(trace_out, &error)) {
-      return Fail(Status::IOError(error));
-    }
-    std::printf("wrote %s (%llu event(s) dropped to ring overflow)\n",
-                trace_out.c_str(),
-                static_cast<unsigned long long>(obs::Tracing::DroppedEvents()));
-  }
-  if (!flags.GetString("metrics_out").empty()) {
-    const std::string& path = flags.GetString("metrics_out");
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) return Fail(Status::IOError("cannot open " + path));
-    out << MetricsSnapshotToJson(obs::MetricsRegistry::Global().Snapshot())
-               .Dump();
-    out.flush();
-    if (!out) return Fail(Status::IOError("failed writing " + path));
-    std::printf("wrote %s\n", path.c_str());
-  }
-  return 0;
+  Status export_st = export_observability();
+  if (!export_st.ok()) return Fail(export_st);
+  // A deadline-truncated solve exits 0 — the user asked for a time budget
+  // and got the best solution it bought. A signal-truncated one exits
+  // with a distinct nonzero code so scripts can tell it was interrupted.
+  return signal_truncated ? kExitSignalTruncated : 0;
 }
 
 int CmdThreshold(int argc, char** argv) {
