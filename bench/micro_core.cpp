@@ -24,6 +24,8 @@
 #include "graph/graph_builder.h"
 #include "graph/graph_generators.h"
 #include "obs/trace.h"
+#include "serve/query_engine.h"
+#include "serve/serving_index.h"
 #include "synth/dataset_profiles.h"
 #include "util/cancellation.h"
 #include "util/random.h"
@@ -384,6 +386,55 @@ int main(int argc, char** argv) {
       recorder->Record("cover", sol->cover);
       recorder->Record("gain_evaluations",
                        static_cast<double>(sol->stats.gain_evaluations));
+      return Status::OK();
+    };
+    run_or_die(bench_case);
+  }
+
+  // Serving hot path: sequential SubmitAndWait through the full engine
+  // (queue, dispatcher, cache) against a prebuilt index. Sequential
+  // submission keeps the cache traffic deterministic: misses = distinct
+  // subs keys, everything else hits.
+  {
+    const uint32_t n = 10'000;
+    auto graph =
+        std::make_shared<PreferenceGraph>(MakeGraph(n, false, env.seed));
+    auto sol = SolveGreedyLazy(*graph, n / 20);
+    PREFCOVER_CHECK(sol.ok());
+    auto built = serve::ServingIndex::Build(*graph, *sol);
+    PREFCOVER_CHECK(built.ok());
+    auto index =
+        std::make_shared<const serve::ServingIndex>(std::move(*built));
+    BenchCase bench_case;
+    bench_case.name = "serve/query_engine/n" + std::to_string(n);
+    bench_case.profile = "uniform";
+    bench_case.variant = "independent";
+    bench_case.solver = "query_engine";
+    bench_case.n = n;
+    bench_case.run = [index, n](BenchRecorder* recorder) -> Status {
+      constexpr uint64_t kQueries = 10'000;
+      serve::QueryEngineOptions options;
+      options.batch_window_us = 0;  // latency mode: no fill wait
+      serve::QueryEngine engine(index);
+      uint64_t ok_count = 0;
+      for (uint64_t i = 0; i < kQueries; ++i) {
+        serve::Request request;
+        if (i % 4 == 0) {
+          request.type = serve::QueryType::kCovered;
+          request.v = static_cast<NodeId>((i * 7) % n);
+        } else {
+          request.type = serve::QueryType::kSubstitutes;
+          request.v = static_cast<NodeId>((i * 13) % 512);  // cacheable set
+          request.top_j = 4;
+        }
+        if (engine.SubmitAndWait(request).status.ok()) ++ok_count;
+      }
+      serve::QueryEngineStats stats = engine.Stats();
+      recorder->Record("items", static_cast<double>(kQueries));
+      recorder->Record("ok", static_cast<double>(ok_count));
+      recorder->Record("cache_hits", static_cast<double>(stats.cache_hits));
+      recorder->Record("cache_misses",
+                       static_cast<double>(stats.cache_misses));
       return Status::OK();
     };
     run_or_die(bench_case);

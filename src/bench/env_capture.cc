@@ -21,6 +21,9 @@ namespace {
 #ifndef PREFCOVER_CXX_FLAGS
 #define PREFCOVER_CXX_FLAGS "unknown"
 #endif
+#ifndef PREFCOVER_GIT_DESCRIBE
+#define PREFCOVER_GIT_DESCRIBE "unknown"
+#endif
 
 std::string CompilerId() {
 #if defined(__clang__)
@@ -56,6 +59,8 @@ EnvCapture EnvCapture::Capture() {
   env.hardware_threads = std::thread::hardware_concurrency();
   return env;
 }
+
+std::string BuildVersionString() { return PREFCOVER_GIT_DESCRIBE; }
 
 JsonValue EnvCapture::ToJson() const {
   JsonValue obj = JsonValue::Object();

@@ -32,6 +32,12 @@ struct EnvCapture {
   JsonValue ToJson() const;
 };
 
+/// \brief Human-readable build version captured at configure time via
+/// `git describe --tags --always --dirty` ("v1.2-4-gabc123", or the bare
+/// short SHA when no tag exists; "unknown" for out-of-git builds). Behind
+/// the CLI's `version` subcommand.
+std::string BuildVersionString();
+
 }  // namespace prefcover
 
 #endif  // PREFCOVER_BENCH_ENV_CAPTURE_H_

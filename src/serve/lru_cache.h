@@ -1,0 +1,126 @@
+// Sharded, bounded LRU cache for hot substitute lookups.
+//
+// The serving hot path is read-mostly and Zipf-skewed: a few thousand
+// head items absorb most of the traffic, so caching their formatted
+// responses removes the per-request formatting cost entirely. The cache
+// is sharded by key hash — each shard holds its own mutex, hash map and
+// recency list — so concurrent batch workers touching different shards
+// never contend. Capacity is bounded per shard (total / shards, floor 1);
+// on overflow the shard's least-recently-used entry is evicted.
+//
+// Consistency with hot reload: the QueryEngine never clears this cache —
+// it allocates a FRESH cache alongside every swapped-in ServingIndex and
+// publishes {index, cache} as one RCU snapshot, so a cached line can
+// never outlive the index whose answers it memoizes.
+
+#ifndef PREFCOVER_SERVE_LRU_CACHE_H_
+#define PREFCOVER_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace prefcover {
+namespace serve {
+
+/// \brief Thread-safe bounded LRU mapping uint64 keys to strings.
+class LruCache {
+ public:
+  /// `capacity` entries total across `shards` shards. capacity == 0
+  /// disables the cache (Get always misses, Put is a no-op).
+  explicit LruCache(size_t capacity, size_t shards = 8);
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// Copies the cached value into `*value` and marks the entry
+  /// most-recently-used. False on miss.
+  bool Get(uint64_t key, std::string* value);
+
+  /// Inserts (or refreshes) the entry, evicting the shard's LRU tail when
+  /// full.
+  void Put(uint64_t key, std::string value);
+
+  bool enabled() const { return !shards_.empty(); }
+
+  /// Entries currently held (sums shard sizes under their locks).
+  size_t Size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Most-recently-used at the front.
+    std::list<std::pair<uint64_t, std::string>> order;
+    std::unordered_map<
+        uint64_t, std::list<std::pair<uint64_t, std::string>>::iterator>
+        map;
+  };
+
+  Shard& ShardFor(uint64_t key) {
+    // Multiplicative mix so sequential node ids spread across shards.
+    return shards_[(key * 0x9E3779B97F4A7C15ULL) >> shard_shift_];
+  }
+
+  size_t per_shard_capacity_ = 0;
+  unsigned shard_shift_ = 64;
+  std::vector<Shard> shards_;
+};
+
+inline LruCache::LruCache(size_t capacity, size_t shards) {
+  if (capacity == 0) return;
+  // Round the shard count down to a power of two so ShardFor is a shift.
+  size_t pow2 = 1;
+  while (pow2 * 2 <= shards) pow2 *= 2;
+  if (pow2 > capacity) pow2 = 1;
+  shard_shift_ = 64;
+  for (size_t s = pow2; s > 1; s >>= 1) --shard_shift_;
+  shards_ = std::vector<Shard>(pow2);
+  per_shard_capacity_ = (capacity + pow2 - 1) / pow2;
+}
+
+inline bool LruCache::Get(uint64_t key, std::string* value) {
+  if (shards_.empty()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  shard.order.splice(shard.order.begin(), shard.order, it->second);
+  *value = it->second->second;
+  return true;
+}
+
+inline void LruCache::Put(uint64_t key, std::string value) {
+  if (shards_.empty()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = std::move(value);
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return;
+  }
+  shard.order.emplace_front(key, std::move(value));
+  shard.map[key] = shard.order.begin();
+  if (shard.order.size() > per_shard_capacity_) {
+    shard.map.erase(shard.order.back().first);
+    shard.order.pop_back();
+  }
+}
+
+inline size_t LruCache::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.order.size();
+  }
+  return total;
+}
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SERVE_LRU_CACHE_H_

@@ -1,0 +1,166 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace prefcover {
+namespace serve {
+
+namespace {
+
+Response ErrorResponse(Status status) {
+  Response response;
+  response.line = FormatErrorLine(status);
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+std::string_view QueryTypeName(QueryType type) {
+  switch (type) {
+    case QueryType::kCovered:
+      return "covered";
+    case QueryType::kSubstitutes:
+      return "subs";
+    case QueryType::kCoverageAtK:
+      return "coverk";
+    case QueryType::kBatchCovered:
+      return "batch";
+  }
+  return "unknown";
+}
+
+std::string FormatProbability(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string FormatErrorLine(const Status& status) {
+  return std::string("ERR ") +
+         std::string(StatusCodeToString(status.code())) + " " +
+         status.message();
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  std::vector<std::string> fields = SplitString(trimmed, ' ');
+  // SplitString keeps empty fields from repeated separators; the grammar
+  // is single-space, so any empty field is a malformed request.
+  for (const std::string& field : fields) {
+    if (field.empty()) {
+      return Status::InvalidArgument("malformed request (empty field)");
+    }
+  }
+  const std::string& verb = fields[0];
+  Request request;
+  if (verb == "covered") {
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("usage: covered <id>");
+    }
+    request.type = QueryType::kCovered;
+    PREFCOVER_ASSIGN_OR_RETURN(request.v, ParseUint32(fields[1]));
+    return request;
+  }
+  if (verb == "subs") {
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("usage: subs <id> <j>");
+    }
+    request.type = QueryType::kSubstitutes;
+    PREFCOVER_ASSIGN_OR_RETURN(request.v, ParseUint32(fields[1]));
+    PREFCOVER_ASSIGN_OR_RETURN(request.top_j, ParseUint32(fields[2]));
+    return request;
+  }
+  if (verb == "coverk") {
+    if (fields.size() != 2) {
+      return Status::InvalidArgument("usage: coverk <k>");
+    }
+    request.type = QueryType::kCoverageAtK;
+    PREFCOVER_ASSIGN_OR_RETURN(auto k64, ParseInt64(fields[1]));
+    if (k64 < 0) {
+      return Status::InvalidArgument("coverk: k must be >= 0");
+    }
+    request.coverage_k = static_cast<uint64_t>(k64);
+    return request;
+  }
+  if (verb == "batch") {
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("usage: batch <id> [<id> ...]");
+    }
+    request.type = QueryType::kBatchCovered;
+    request.batch.reserve(fields.size() - 1);
+    for (size_t i = 1; i < fields.size(); ++i) {
+      PREFCOVER_ASSIGN_OR_RETURN(NodeId v, ParseUint32(fields[i]));
+      request.batch.push_back(v);
+    }
+    return request;
+  }
+  return Status::InvalidArgument("unknown request verb '" + verb + "'");
+}
+
+Response AnswerOnIndex(const ServingIndex& index, const Request& request) {
+  const size_t n = index.NumNodes();
+  Response response;
+  switch (request.type) {
+    case QueryType::kCovered: {
+      if (request.v >= n) {
+        return ErrorResponse(Status::NotFound(
+            "item " + std::to_string(request.v) + " not in the catalog"));
+      }
+      response.line = std::string("OK covered ") +
+                      (index.Covered(request.v) ? "1" : "0") + " " +
+                      FormatProbability(index.CoverageOf(request.v));
+      return response;
+    }
+    case QueryType::kSubstitutes: {
+      if (request.v >= n) {
+        return ErrorResponse(Status::NotFound(
+            "item " + std::to_string(request.v) + " not in the catalog"));
+      }
+      AdjacencyView subs = index.SubstitutesOf(request.v);
+      const size_t count =
+          std::min<size_t>(request.top_j, subs.size());
+      response.line = "OK subs " + std::to_string(count);
+      for (size_t i = 0; i < count; ++i) {
+        response.line += " " + std::to_string(subs.nodes[i]) + ":" +
+                         FormatProbability(subs.weights[i]);
+      }
+      return response;
+    }
+    case QueryType::kCoverageAtK: {
+      if (request.coverage_k > index.NumRetained()) {
+        return ErrorResponse(Status::OutOfRange(
+            "coverk: prefix length " + std::to_string(request.coverage_k) +
+            " exceeds the retained-set size " +
+            std::to_string(index.NumRetained())));
+      }
+      response.line =
+          "OK coverk " +
+          FormatProbability(
+              index.CoverageAtK(static_cast<size_t>(request.coverage_k)));
+      return response;
+    }
+    case QueryType::kBatchCovered: {
+      for (NodeId v : request.batch) {
+        if (v >= n) {
+          return ErrorResponse(Status::NotFound(
+              "item " + std::to_string(v) + " not in the catalog"));
+        }
+      }
+      response.line = "OK batch " + std::to_string(request.batch.size()) + " ";
+      for (NodeId v : request.batch) {
+        response.line += index.Covered(v) ? '1' : '0';
+      }
+      return response;
+    }
+  }
+  return ErrorResponse(Status::Internal("unhandled query type"));
+}
+
+}  // namespace serve
+}  // namespace prefcover

@@ -1,0 +1,206 @@
+// Concurrent query engine: micro-batching, caching, admission control and
+// hot reload on top of a ServingIndex.
+//
+// Shape (the same skeleton an inference server uses):
+//
+//   Submit(Request) -> future<Response>
+//        |                        requests queue (bounded: admission control)
+//        v
+//   dispatcher thread: drains up to `batch_limit` requests every
+//   `batch_window_us` microseconds (or immediately when a full batch is
+//   waiting), answers them against one consistent {index, cache} snapshot,
+//   optionally fanning chunks out to a ThreadPool, and fulfills the
+//   promises with the engine-side completion timestamp.
+//
+// Micro-batching amortizes the queue handoff and snapshot load across
+// many requests and gives every batch a single consistent view of the
+// index — a reload can never split one batch across two indexes.
+//
+// Hot reload: SwapIndex publishes a new State{index, fresh cache} by
+// swapping a mutex-guarded shared_ptr (the critical section is a pointer
+// copy, so readers never wait meaningfully). In-flight batches keep the
+// snapshot
+// they started with; new batches see the new one. The cache travels WITH
+// the index (a fresh cache per swap), so a cached response can never
+// outlive the index it was computed from.
+//
+// Deadlines: a request carries an absolute steady-clock deadline
+// (defaulted from QueryEngineOptions::default_deadline_us at admission).
+// The dispatcher rejects requests whose deadline passed while queued with
+// Status::Cancelled instead of doing work nobody is waiting for.
+//
+// Admission: when the queue holds max_queue requests, Submit resolves the
+// future immediately with Status::OutOfRange ("queue full") — shedding
+// load at the door keeps queueing delay bounded under overload.
+//
+// Observability (all in MetricsRegistry::Global; catalog in
+// OBSERVABILITY.md): serve.requests, serve.batches, serve.batch_size
+// histogram, serve.latency_us histogram (queue + service time),
+// serve.cache.hit / serve.cache.miss, serve.admission_rejected,
+// serve.deadline_expired, serve.index_reloads, serve.qps gauge (updated
+// once a second by the dispatcher), plus a "serve.batch" span per batch.
+// Failpoint: `serve.reload_swap` fires inside SwapIndex before the swap.
+
+#ifndef PREFCOVER_SERVE_QUERY_ENGINE_H_
+#define PREFCOVER_SERVE_QUERY_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "serve/lru_cache.h"
+#include "serve/protocol.h"
+#include "serve/serving_index.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace prefcover {
+namespace serve {
+
+/// \brief Engine knobs; every one maps to a `prefcover_cli serve` flag.
+struct QueryEngineOptions {
+  /// Max requests answered per batch.
+  size_t batch_limit = 64;
+  /// Max microseconds the dispatcher waits for a batch to fill once the
+  /// first request arrives. 0 = drain whatever is queued immediately.
+  int64_t batch_window_us = 100;
+  /// Total entries in the substitute-response cache; 0 disables caching.
+  size_t cache_capacity = 65536;
+  /// Queued-request bound; Submit sheds load beyond it.
+  size_t max_queue = 8192;
+  /// Default per-request deadline applied at admission when the request
+  /// has none; 0 = no deadline.
+  int64_t default_deadline_us = 0;
+  /// Optional worker pool for intra-batch fan-out. nullptr = the
+  /// dispatcher thread answers the whole batch itself (right for small
+  /// batches and single-core hosts; also makes cache traffic
+  /// deterministic, which the micro-bench relies on).
+  ThreadPool* pool = nullptr;
+  /// Batch size at or above which the pool (when given) is engaged.
+  size_t pool_fanout_threshold = 32;
+};
+
+/// \brief Point-in-time engine counters (for the `stats` control verb).
+struct QueryEngineStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t admission_rejected = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t index_reloads = 0;
+};
+
+/// \brief Concurrent serving engine over an atomically swappable index.
+class QueryEngine {
+ public:
+  QueryEngine(std::shared_ptr<const ServingIndex> index,
+              QueryEngineOptions options = QueryEngineOptions());
+
+  /// Drains the queue (every pending future is fulfilled) and joins the
+  /// dispatcher.
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Enqueues a request. The future always becomes ready — with the
+  /// answer, a deadline/shutdown Cancelled error, or an immediate
+  /// queue-full OutOfRange error.
+  std::future<Response> Submit(Request request);
+
+  /// Submit + wait, for callers without pipelining.
+  Response SubmitAndWait(Request request);
+
+  /// Atomically replaces the served index (and starts a fresh cache).
+  /// In-flight batches finish on the snapshot they started with.
+  /// Failpoint `serve.reload_swap` can inject an error before the swap.
+  Status SwapIndex(std::shared_ptr<const ServingIndex> index);
+
+  /// The currently served index snapshot.
+  std::shared_ptr<const ServingIndex> index() const;
+
+  /// Counters since construction (reads the engine's own tallies, not the
+  /// global registry, so concurrent engines don't bleed together).
+  QueryEngineStats Stats() const;
+
+  /// Stops accepting requests, answers everything queued, joins the
+  /// dispatcher. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  /// One index snapshot plus the cache scoped to it.
+  struct State {
+    std::shared_ptr<const ServingIndex> index;
+    std::shared_ptr<LruCache> cache;
+  };
+
+  struct Pending {
+    Request request;
+    std::promise<Response> promise;
+    /// Admission timestamp; serve.latency_us measures from here, so the
+    /// histogram includes queueing delay, not just service time.
+    int64_t enqueue_ns = 0;
+  };
+
+  void DispatcherLoop();
+  /// Answers `pending` against `state`, fulfilling its promise.
+  void AnswerOne(const State& state, Pending* pending);
+
+  QueryEngineOptions options_;
+
+  // Global instruments, resolved once (names in OBSERVABILITY.md).
+  obs::Counter* requests_total_;
+  obs::Counter* batches_total_;
+  obs::Counter* cache_hit_;
+  obs::Counter* cache_miss_;
+  obs::Counter* admission_rejected_;
+  obs::Counter* deadline_expired_;
+  obs::Counter* index_reloads_;
+  obs::Histogram* batch_size_hist_;
+  obs::Histogram* latency_us_hist_;
+  obs::Gauge* qps_gauge_;
+
+  // Engine-local tallies behind Stats(); the dispatcher and Submit
+  // maintain them with relaxed atomics.
+  std::atomic<uint64_t> n_requests_{0};
+  std::atomic<uint64_t> n_batches_{0};
+  std::atomic<uint64_t> n_cache_hits_{0};
+  std::atomic<uint64_t> n_cache_misses_{0};
+  std::atomic<uint64_t> n_admission_rejected_{0};
+  std::atomic<uint64_t> n_deadline_expired_{0};
+  std::atomic<uint64_t> n_index_reloads_{0};
+
+  std::shared_ptr<const State> LoadState() const;
+
+  // Published {index, cache} snapshot. Guarded by its own mutex rather
+  // than std::atomic<shared_ptr>: the critical section is a pointer
+  // copy, and libstdc++ 12's _Sp_atomic unlocks its spinlock with
+  // relaxed ordering, which TSan (correctly, per the memory model)
+  // reports as a race between store() and load().
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const State> state_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool shutting_down_ = false;
+
+  std::thread dispatcher_;
+};
+
+/// \brief Absolute steady-clock "now" in nanoseconds — the clock domain
+/// of Request::deadline_ns and Response::done_ns.
+int64_t SteadyNowNanos();
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SERVE_QUERY_ENGINE_H_

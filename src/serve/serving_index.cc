@@ -1,0 +1,328 @@
+#include "serve/serving_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/checkpoint.h"
+#include "core/cover_function.h"
+#include "core/cover_state.h"
+#include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/fs.h"
+
+namespace prefcover {
+namespace serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'C', 'S', 'I', 'D', 'X', '0', '1'};
+constexpr uint32_t kVersion = 1;
+// magic + version + variant + top_m + graph digest + n + k.
+constexpr size_t kHeaderSize = 8 + 4 + 1 + 4 + 8 + 8 + 8;
+constexpr size_t kFooterSize = 4;  // CRC-32
+
+void AppendBytes(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void Append(std::string* out, T value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+template <typename T>
+void AppendVector(std::string* out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (!values.empty()) {
+    AppendBytes(out, values.data(), values.size() * sizeof(T));
+  }
+}
+
+template <typename T>
+T ReadScalarAt(std::string_view data, size_t offset) {
+  T value;
+  std::memcpy(&value, data.data() + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void ReadVectorAt(std::string_view data, size_t offset, size_t count,
+                  std::vector<T>* out) {
+  out->resize(count);
+  if (count != 0) {
+    std::memcpy(out->data(), data.data() + offset, count * sizeof(T));
+  }
+}
+
+}  // namespace
+
+Result<ServingIndex> ServingIndex::Build(const PreferenceGraph& graph,
+                                         const Solution& solution,
+                                         const ServingIndexOptions& options) {
+  if (solution.cover_after_prefix.size() != solution.items.size()) {
+    return Status::InvalidArgument(
+        "solution cover_after_prefix does not parallel items; cannot "
+        "derive coverage-at-k prefix sums");
+  }
+  obs::Span span("serve.index_build", "serve");
+  span.Arg("n", static_cast<uint64_t>(graph.NumNodes()));
+  span.Arg("k", static_cast<uint64_t>(solution.items.size()));
+
+  ServingIndex index;
+  index.variant_ = solution.variant;
+  index.top_m_ = options.top_m;
+  index.graph_digest_ = GraphDigest(graph);
+  index.items_ = solution.items;
+  index.cover_at_k_.reserve(solution.items.size() + 1);
+  index.cover_at_k_.push_back(0.0);
+  index.cover_at_k_.insert(index.cover_at_k_.end(),
+                           solution.cover_after_prefix.begin(),
+                           solution.cover_after_prefix.end());
+
+  const size_t n = graph.NumNodes();
+  Bitset retained(n);
+  for (NodeId v : index.items_) {
+    if (v >= n) {
+      return Status::InvalidArgument("solution item out of range: " +
+                                     std::to_string(v));
+    }
+    if (retained.Test(v)) {
+      return Status::InvalidArgument("solution item duplicated: " +
+                                     std::to_string(v));
+    }
+    retained.Set(v);
+  }
+
+  // Exact per-item coverage from the full adjacency — the serving answer
+  // for CoverageOf must be byte-identical to a direct CoverOfItem call.
+  index.item_coverage_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    index.item_coverage_[v] = CoverOfItem(graph, retained, v,
+                                          solution.variant);
+  }
+
+  // Substitute CSR: retained out-neighbors, strongest first, top-m.
+  index.sub_offsets_.assign(n + 1, 0);
+  std::vector<std::pair<double, NodeId>> candidates;
+  for (NodeId v = 0; v < n; ++v) {
+    index.sub_offsets_[v] = index.sub_targets_.size();
+    if (retained.Test(v)) continue;  // a retained item is its own match
+    candidates.clear();
+    AdjacencyView out = graph.OutNeighbors(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (retained.Test(out.nodes[i])) {
+        candidates.emplace_back(out.weights[i], out.nodes[i]);
+      }
+    }
+    // Strongest alternative first; equal weights break to the smaller id
+    // so emission is deterministic.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const size_t keep = std::min(options.top_m, candidates.size());
+    for (size_t i = 0; i < keep; ++i) {
+      index.sub_targets_.push_back(candidates[i].second);
+      index.sub_weights_.push_back(candidates[i].first);
+    }
+  }
+  index.sub_offsets_[n] = index.sub_targets_.size();
+  PREFCOVER_RETURN_NOT_OK(index.FinishAndValidate());
+  return index;
+}
+
+Result<ServingIndex> ServingIndex::BuildFromRetained(
+    const PreferenceGraph& graph, const std::vector<NodeId>& retained,
+    Variant variant, const ServingIndexOptions& options) {
+  Solution solution;
+  solution.variant = variant;
+  solution.items = retained;
+  solution.algorithm = "maintainer";
+  CoverState state(&graph, variant);
+  solution.cover_after_prefix.reserve(retained.size());
+  for (NodeId v : retained) {
+    if (v >= graph.NumNodes()) {
+      return Status::InvalidArgument("retained item out of range: " +
+                                     std::to_string(v));
+    }
+    if (state.IsRetained(v)) {
+      return Status::InvalidArgument("retained item duplicated: " +
+                                     std::to_string(v));
+    }
+    state.AddNode(v);
+    solution.cover_after_prefix.push_back(state.cover());
+  }
+  solution.cover = state.cover();
+  return Build(graph, solution, options);
+}
+
+size_t ServingIndex::MemoryBytes() const {
+  return items_.size() * sizeof(NodeId) +
+         cover_at_k_.size() * sizeof(double) +
+         item_coverage_.size() * sizeof(double) +
+         sub_offsets_.size() * sizeof(uint64_t) +
+         sub_targets_.size() * sizeof(NodeId) +
+         sub_weights_.size() * sizeof(double) +
+         (retained_.size() + 7) / 8;
+}
+
+Status ServingIndex::FinishAndValidate() {
+  const size_t n = item_coverage_.size();
+  if (sub_offsets_.size() != n + 1) {
+    return Status::Corruption("serving index: offsets array size mismatch");
+  }
+  if (cover_at_k_.size() != items_.size() + 1) {
+    return Status::Corruption(
+        "serving index: coverage-at-k array does not parallel items");
+  }
+  if (items_.size() > n) {
+    return Status::Corruption("serving index: more items than nodes");
+  }
+  if (sub_offsets_[0] != 0 || sub_offsets_[n] != sub_targets_.size() ||
+      sub_targets_.size() != sub_weights_.size()) {
+    return Status::Corruption("serving index: substitute CSR inconsistent");
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (sub_offsets_[v] > sub_offsets_[v + 1]) {
+      return Status::Corruption(
+          "serving index: substitute offsets not monotone");
+    }
+    if (sub_offsets_[v + 1] - sub_offsets_[v] > top_m_) {
+      return Status::Corruption(
+          "serving index: substitute list longer than top_m");
+    }
+  }
+  for (NodeId u : sub_targets_) {
+    if (u >= n) {
+      return Status::Corruption("serving index: substitute target " +
+                                std::to_string(u) + " out of range");
+    }
+  }
+  retained_ = Bitset(n);
+  for (NodeId v : items_) {
+    if (v >= n) {
+      return Status::Corruption("serving index: item " + std::to_string(v) +
+                                " out of range");
+    }
+    if (retained_.Test(v)) {
+      return Status::Corruption("serving index: item " + std::to_string(v) +
+                                " duplicated");
+    }
+    retained_.Set(v);
+  }
+  return Status::OK();
+}
+
+std::string ServingIndex::Serialize() const {
+  const uint64_t n = item_coverage_.size();
+  const uint64_t k = items_.size();
+  const uint64_t m = sub_targets_.size();
+  std::string payload;
+  payload.reserve(kHeaderSize + k * 4 + (k + 1) * 8 + n * 8 + (n + 1) * 8 +
+                  m * 12 + kFooterSize);
+  payload.append(kMagic, sizeof(kMagic));
+  Append<uint32_t>(&payload, kVersion);
+  Append<uint8_t>(&payload, variant_ == Variant::kNormalized ? 1 : 0);
+  Append<uint32_t>(&payload, static_cast<uint32_t>(top_m_));
+  Append<uint64_t>(&payload, graph_digest_);
+  Append<uint64_t>(&payload, n);
+  Append<uint64_t>(&payload, k);
+  AppendVector(&payload, items_);
+  AppendVector(&payload, cover_at_k_);
+  AppendVector(&payload, item_coverage_);
+  AppendVector(&payload, sub_offsets_);
+  AppendVector(&payload, sub_targets_);
+  AppendVector(&payload, sub_weights_);
+  Append<uint32_t>(&payload, Crc32(payload.data(), payload.size()));
+  return payload;
+}
+
+Status ServingIndex::Save(const std::string& path) const {
+  PREFCOVER_FAILPOINT_STATUS("serve.index_save");
+  return WriteFileAtomic(path, Serialize());
+}
+
+Result<ServingIndex> ServingIndex::Deserialize(std::string_view data) {
+  if (data.size() < kHeaderSize + kFooterSize) {
+    return Status::Corruption("serving index truncated");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("not a prefcover serving index (bad magic)");
+  }
+  const size_t body_size = data.size() - kFooterSize;
+  const uint32_t stored_crc = ReadScalarAt<uint32_t>(data, body_size);
+  const uint32_t actual_crc = Crc32(data.data(), body_size);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("serving index CRC mismatch");
+  }
+  const uint32_t version = ReadScalarAt<uint32_t>(data, 8);
+  if (version != kVersion) {
+    return Status::Corruption("unsupported serving index version " +
+                              std::to_string(version));
+  }
+  const uint8_t variant_byte = ReadScalarAt<uint8_t>(data, 12);
+  if (variant_byte > 1) {
+    return Status::Corruption("serving index variant byte invalid: " +
+                              std::to_string(variant_byte));
+  }
+  ServingIndex index;
+  index.variant_ =
+      variant_byte == 1 ? Variant::kNormalized : Variant::kIndependent;
+  index.top_m_ = ReadScalarAt<uint32_t>(data, 13);
+  index.graph_digest_ = ReadScalarAt<uint64_t>(data, 17);
+  const uint64_t n = ReadScalarAt<uint64_t>(data, 25);
+  const uint64_t k = ReadScalarAt<uint64_t>(data, 33);
+  if (k > n || n > 0xFFFFFFFFull) {
+    return Status::Corruption("serving index header sizes implausible");
+  }
+  // The fixed-size arrays determine where the substitute CSR starts; the
+  // edge count m then has to account for every remaining byte exactly.
+  size_t offset = kHeaderSize;
+  const size_t fixed = k * 4 + (k + 1) * 8 + n * 8 + (n + 1) * 8;
+  if (body_size < kHeaderSize + fixed) {
+    return Status::Corruption("serving index truncated inside arrays");
+  }
+  const size_t edge_bytes = body_size - kHeaderSize - fixed;
+  if (edge_bytes % 12 != 0) {
+    return Status::Corruption(
+        "serving index edge payload not a whole number of entries");
+  }
+  const size_t m = edge_bytes / 12;
+  ReadVectorAt(data, offset, k, &index.items_);
+  offset += k * 4;
+  ReadVectorAt(data, offset, k + 1, &index.cover_at_k_);
+  offset += (k + 1) * 8;
+  ReadVectorAt(data, offset, n, &index.item_coverage_);
+  offset += n * 8;
+  ReadVectorAt(data, offset, n + 1, &index.sub_offsets_);
+  offset += (n + 1) * 8;
+  ReadVectorAt(data, offset, m, &index.sub_targets_);
+  offset += m * 4;
+  ReadVectorAt(data, offset, m, &index.sub_weights_);
+  PREFCOVER_RETURN_NOT_OK(index.FinishAndValidate());
+  return index;
+}
+
+Result<ServingIndex> ServingIndex::Load(const std::string& path,
+                                        uint64_t expected_graph_digest) {
+  PREFCOVER_FAILPOINT_STATUS("serve.index_load");
+  obs::Span span("serve.index_load", "serve");
+  PREFCOVER_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  auto index = Deserialize(data);
+  if (!index.ok()) {
+    return Status(index.status().code(),
+                  index.status().message() + ": " + path);
+  }
+  if (expected_graph_digest != 0 &&
+      index->graph_digest() != expected_graph_digest) {
+    return Status::FailedPrecondition(
+        "serving index " + path +
+        " was built from a different graph (digest mismatch); re-solve "
+        "and rebuild the index");
+  }
+  return index;
+}
+
+}  // namespace serve
+}  // namespace prefcover

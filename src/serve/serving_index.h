@@ -1,0 +1,167 @@
+// The immutable query-serving artifact built from a solved prefix and its
+// preference graph.
+//
+// A solve answers "which k items to keep"; production traffic asks the
+// inverse question per request: "is item v covered by the reduced
+// inventory S, and which substitute do I show?" The ServingIndex
+// precomputes everything those queries need so answering is an O(1) CSR
+// probe, independent of the original graph:
+//
+//   - per-node retained flag (v in S);
+//   - per-node exact coverage probability, identical to
+//     CoverOfItem(graph, S, v, variant) — computed from the FULL
+//     adjacency, never from the truncated substitute list;
+//   - per-node substitute list: v's retained out-neighbors sorted by
+//     descending edge weight (ties to the smaller id), truncated to the
+//     top m (retained nodes store an empty list — they are their own
+//     substitute);
+//   - coverage-at-k prefix sums over the greedy selection order, so
+//     "what would a budget of k' buy" is a single array read.
+//
+// The index is immutable after Build/Load; all read accessors are
+// thread-safe. It serializes to the PCSIDX01 binary format (see
+// SERVING.md for the layout diagram) with a CRC-32 footer, written via
+// util::WriteFileAtomic, so a serving process restarted after a crash
+// reloads the artifact without re-solving. Emission is byte-deterministic
+// for a given (graph, solution, options) — locked by a golden test.
+
+#ifndef PREFCOVER_SERVE_SERVING_INDEX_H_
+#define PREFCOVER_SERVE_SERVING_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/solution.h"
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/bitset.h"
+#include "util/status.h"
+
+namespace prefcover {
+namespace serve {
+
+/// \brief Build-time knobs of the serving artifact.
+struct ServingIndexOptions {
+  /// Substitutes retained per node (top-m by edge weight). Queries can ask
+  /// for fewer; asking for more is capped here at build time.
+  size_t top_m = 8;
+};
+
+/// \brief Immutable, memory-compact substitute-query artifact.
+class ServingIndex {
+ public:
+  /// \brief Builds the index from a solver output. The solution's items
+  /// must be distinct and within the graph; `cover_after_prefix` must
+  /// parallel `items` (every greedy-family Solution satisfies both).
+  static Result<ServingIndex> Build(
+      const PreferenceGraph& graph, const Solution& solution,
+      const ServingIndexOptions& options = ServingIndexOptions());
+
+  /// \brief Builds from an unordered retained set (e.g. the
+  /// InventoryMaintainer's): coverage-at-k prefix sums are computed by
+  /// replaying AddNode over `retained` in the given order.
+  static Result<ServingIndex> BuildFromRetained(
+      const PreferenceGraph& graph, const std::vector<NodeId>& retained,
+      Variant variant,
+      const ServingIndexOptions& options = ServingIndexOptions());
+
+  /// \name Shape.
+  /// @{
+  size_t NumNodes() const { return item_coverage_.size(); }
+  size_t NumRetained() const { return items_.size(); }
+  Variant variant() const { return variant_; }
+  size_t top_m() const { return top_m_; }
+  /// GraphDigest of the instance the index was built from; lets a loader
+  /// refuse to serve a mismatched graph.
+  uint64_t graph_digest() const { return graph_digest_; }
+  /// @}
+
+  /// \name Queries. All O(1) (SubstitutesOf returns a view, no copy).
+  /// @{
+
+  /// True if v is in the retained set S.
+  bool Retained(NodeId v) const { return retained_.Test(v); }
+
+  /// True if a request for v can be matched at all: v is retained, or at
+  /// least one retained substitute exists.
+  bool Covered(NodeId v) const {
+    return retained_.Test(v) || SubDegree(v) > 0;
+  }
+
+  /// Exact match probability of a request for v, identical to
+  /// CoverOfItem(graph, S, v, variant): 1 for retained v, the
+  /// variant-specific combination of ALL retained alternatives otherwise.
+  double CoverageOf(NodeId v) const { return item_coverage_[v]; }
+
+  /// v's retained substitutes, strongest first (weight desc, id asc),
+  /// truncated to top_m at build time. Empty for retained v.
+  AdjacencyView SubstitutesOf(NodeId v) const {
+    size_t b = sub_offsets_[v], e = sub_offsets_[v + 1];
+    return {std::span(sub_targets_).subspan(b, e - b),
+            std::span(sub_weights_).subspan(b, e - b)};
+  }
+
+  /// C(first k items of the selection order); k <= NumRetained().
+  /// CoverageAtK(0) == 0.
+  double CoverageAtK(size_t k) const { return cover_at_k_[k]; }
+
+  /// The retained items in selection order.
+  std::span<const NodeId> items() const { return items_; }
+  /// @}
+
+  /// Bytes held by the index payload arrays (capacity not counted).
+  size_t MemoryBytes() const;
+
+  /// \name PCSIDX01 serialization.
+  /// @{
+
+  /// Byte-deterministic binary emission (magic, version, payload, CRC-32
+  /// footer).
+  std::string Serialize() const;
+
+  /// Atomically replaces `path` with Serialize() via WriteFileAtomic.
+  Status Save(const std::string& path) const;
+
+  /// Parses and integrity-checks a serialized index. Corruption on any
+  /// mismatch (magic, version, CRC, internal consistency).
+  static Result<ServingIndex> Deserialize(std::string_view bytes);
+
+  /// Load from a file. Failpoint `serve.index_load` fires before the
+  /// read. `expected_graph_digest`, when nonzero, must match the stored
+  /// digest (FailedPrecondition otherwise) — pass GraphDigest(graph) when
+  /// the graph is at hand to refuse serving a stale artifact.
+  static Result<ServingIndex> Load(const std::string& path,
+                                   uint64_t expected_graph_digest = 0);
+  /// @}
+
+ private:
+  ServingIndex() = default;
+
+  size_t SubDegree(NodeId v) const {
+    return sub_offsets_[v + 1] - sub_offsets_[v];
+  }
+
+  /// Validation shared by Build and Deserialize; rebuilds `retained_`.
+  Status FinishAndValidate();
+
+  Variant variant_ = Variant::kIndependent;
+  size_t top_m_ = 0;
+  uint64_t graph_digest_ = 0;
+  std::vector<NodeId> items_;         // selection order
+  std::vector<double> cover_at_k_;    // items_.size() + 1 prefix covers
+  std::vector<double> item_coverage_; // size n, exact CoverOfItem
+  std::vector<uint64_t> sub_offsets_; // size n + 1
+  std::vector<NodeId> sub_targets_;
+  std::vector<double> sub_weights_;
+  Bitset retained_;                   // rebuilt from items_, not serialized
+};
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SERVE_SERVING_INDEX_H_

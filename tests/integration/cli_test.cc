@@ -181,6 +181,88 @@ TEST_F(CliPipelineTest, SolveWritesTraceAndMetrics) {
             std::string::npos);
 }
 
+// Runs a command line feeding `input` on stdin; captures stdout into
+// `stdout_out` and returns the exit code.
+int RunCliWithStdin(const std::string& command_line, const std::string& input,
+                    std::string* stdout_out) {
+  std::string in_path = TempPath("stdin.txt");
+  std::string out_path = TempPath("stdout.txt");
+  {
+    std::ofstream out(in_path);
+    out << input;
+  }
+  int rc = std::system((command_line + " < " + in_path + " > " + out_path +
+                        " 2> /dev/null")
+                           .c_str());
+  std::ostringstream captured;
+  std::ifstream in(out_path);
+  captured << in.rdbuf();
+  *stdout_out = captured.str();
+  return rc == -1 ? -1 : WEXITSTATUS(rc);
+}
+
+TEST(CliTest, VersionPrintsProvenance) {
+  std::string out;
+  ASSERT_EQ(RunCliWithStdin(CliPath() + " version", "", &out), 0);
+  EXPECT_EQ(out.substr(0, 10), "prefcover ");
+  EXPECT_NE(out.find("git: "), std::string::npos);
+  EXPECT_NE(out.find("build: "), std::string::npos);
+  // --version is an alias.
+  EXPECT_EQ(RunCli(CliPath() + " --version"), 0);
+}
+
+TEST_F(CliPipelineTest, SolveClampsOversizedBudget) {
+  SetUpPipeline();
+  // k beyond the catalog clamps with a warning instead of failing ...
+  EXPECT_EQ(RunCli(CliPath() + " solve --graph=" + graph_ + " --k=1000000"),
+            0);
+  // ... but a non-positive k is a usage error.
+  EXPECT_NE(RunCli(CliPath() + " solve --graph=" + graph_ + " --k=0"), 0);
+}
+
+TEST_F(CliPipelineTest, SolveEmitsLoadableServingIndex) {
+  SetUpPipeline();
+  std::string index = TempPath("index.pcsidx");
+  ASSERT_EQ(RunCli(CliPath() + " solve --graph=" + graph_ +
+                   " --k=15 --index_out=" + index),
+            0);
+  ASSERT_TRUE(FileNonEmpty(index));
+
+  // The emitted artifact serves a full stdin session end to end.
+  std::string out;
+  ASSERT_EQ(RunCliWithStdin(CliPath() + " serve --index=" + index,
+                            "covered 0\n"
+                            "subs 0 4\n"
+                            "coverk 15\n"
+                            "batch 0 1 2\n"
+                            "stats\n"
+                            "bogus request\n"
+                            "quit\n",
+                            &out),
+            0);
+  EXPECT_NE(out.find("OK covered "), std::string::npos);
+  EXPECT_NE(out.find("OK subs "), std::string::npos);
+  EXPECT_NE(out.find("OK coverk "), std::string::npos);
+  EXPECT_NE(out.find("OK batch 3 "), std::string::npos);
+  EXPECT_NE(out.find("OK stats requests="), std::string::npos);
+  EXPECT_NE(out.find("ERR InvalidArgument"), std::string::npos);
+  EXPECT_NE(out.find("OK bye"), std::string::npos);
+
+  // Serving a corrupt artifact fails at startup.
+  std::string corrupt = TempPath("corrupt.pcsidx");
+  {
+    std::ifstream src(index, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << src.rdbuf();
+    std::string mutated = bytes.str();
+    mutated[mutated.size() / 2] =
+        static_cast<char>(mutated[mutated.size() / 2] ^ 0x20);
+    std::ofstream dst(corrupt, std::ios::binary);
+    dst << mutated;
+  }
+  EXPECT_NE(RunCli(CliPath() + " serve --index=" + corrupt), 0);
+}
+
 TEST(CliTest, ConstructWithExplicitVariant) {
   std::string clicks = TempPath("pm_clicks.csv");
   std::string graph = TempPath("pm_graph.pcg");

@@ -1,0 +1,199 @@
+// Protocol grammar: parsing, formatting, and AnswerOnIndex edge cases.
+
+#include "serve/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "serve/serving_index.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace serve {
+namespace {
+
+ServingIndex MakeIndex() {
+  Rng rng(5);
+  UniformGraphParams params;
+  params.num_nodes = 40;
+  params.out_degree = 4;
+  auto graph = GenerateUniformGraph(params, &rng);
+  EXPECT_TRUE(graph.ok());
+  auto solution = SolveGreedyLazy(*graph, 8, GreedyOptions());
+  EXPECT_TRUE(solution.ok());
+  auto index = ServingIndex::Build(*graph, *solution);
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(ParseRequestTest, ParsesEveryVerb) {
+  auto covered = ParseRequest("covered 17");
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(covered->type, QueryType::kCovered);
+  EXPECT_EQ(covered->v, 17u);
+
+  auto subs = ParseRequest("subs 3 5");
+  ASSERT_TRUE(subs.ok());
+  EXPECT_EQ(subs->type, QueryType::kSubstitutes);
+  EXPECT_EQ(subs->v, 3u);
+  EXPECT_EQ(subs->top_j, 5u);
+
+  auto coverk = ParseRequest("coverk 12");
+  ASSERT_TRUE(coverk.ok());
+  EXPECT_EQ(coverk->type, QueryType::kCoverageAtK);
+  EXPECT_EQ(coverk->coverage_k, 12u);
+
+  auto batch = ParseRequest("batch 1 2 3");
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->type, QueryType::kBatchCovered);
+  EXPECT_EQ(batch->batch, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(ParseRequestTest, TrimsSurroundingWhitespace) {
+  auto request = ParseRequest("  covered 4 \n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->v, 4u);
+}
+
+TEST(ParseRequestTest, RejectsMalformedLines) {
+  EXPECT_TRUE(ParseRequest("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("   ").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("covered").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("covered 1 2").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("covered  1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("covered x").status().IsInvalidArgument());
+  // Negative ids surface as OutOfRange from the uint32 parse.
+  EXPECT_FALSE(ParseRequest("covered -1").ok());
+  EXPECT_TRUE(ParseRequest("subs 1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("coverk -2").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("batch").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("batch 1 two").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("frobnicate 1").status().IsInvalidArgument());
+  // Control verbs are transport-level, not queries.
+  EXPECT_TRUE(ParseRequest("stats").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseRequest("quit").status().IsInvalidArgument());
+}
+
+TEST(FormatTest, ProbabilityUses17SignificantDigits) {
+  EXPECT_EQ(FormatProbability(0.0), "0");
+  EXPECT_EQ(FormatProbability(1.0), "1");
+  EXPECT_EQ(FormatProbability(0.1), "0.10000000000000001");
+  // %.17g always round-trips a double exactly.
+  const double value = 0.123456789012345678;
+  EXPECT_EQ(std::stod(FormatProbability(value)), value);
+}
+
+TEST(FormatTest, ErrorLineCarriesCodeAndMessage) {
+  EXPECT_EQ(FormatErrorLine(Status::NotFound("nope")),
+            "ERR NotFound nope");
+  EXPECT_EQ(FormatErrorLine(Status::OutOfRange("queue full")),
+            "ERR OutOfRange queue full");
+}
+
+TEST(AnswerOnIndexTest, CoveredAndSubsAnswerFromTheIndex) {
+  ServingIndex index = MakeIndex();
+  for (NodeId v = 0; v < index.NumNodes(); ++v) {
+    Request request;
+    request.type = QueryType::kCovered;
+    request.v = v;
+    Response response = AnswerOnIndex(index, request);
+    ASSERT_TRUE(response.status.ok());
+    const std::string expected = std::string("OK covered ") +
+                                 (index.Covered(v) ? "1" : "0") + " " +
+                                 FormatProbability(index.CoverageOf(v));
+    EXPECT_EQ(response.line, expected);
+  }
+
+  // A retained node has no substitutes; its coverage is exactly 1.
+  NodeId retained = index.items()[0];
+  Request subs;
+  subs.type = QueryType::kSubstitutes;
+  subs.v = retained;
+  subs.top_j = 8;
+  EXPECT_EQ(AnswerOnIndex(index, subs).line, "OK subs 0");
+  Request covered;
+  covered.type = QueryType::kCovered;
+  covered.v = retained;
+  EXPECT_EQ(AnswerOnIndex(index, covered).line, "OK covered 1 1");
+}
+
+TEST(AnswerOnIndexTest, SubsHonorsTopJ) {
+  ServingIndex index = MakeIndex();
+  // Find a node with at least 2 substitutes.
+  NodeId rich = static_cast<NodeId>(index.NumNodes());
+  for (NodeId v = 0; v < index.NumNodes(); ++v) {
+    if (index.SubstitutesOf(v).size() >= 2) {
+      rich = v;
+      break;
+    }
+  }
+  ASSERT_LT(rich, index.NumNodes()) << "test graph too sparse";
+
+  Request request;
+  request.type = QueryType::kSubstitutes;
+  request.v = rich;
+  request.top_j = 1;
+  Response one = AnswerOnIndex(index, request);
+  AdjacencyView view = index.SubstitutesOf(rich);
+  EXPECT_EQ(one.line, "OK subs 1 " + std::to_string(view.nodes[0]) + ":" +
+                          FormatProbability(view.weights[0]));
+
+  request.top_j = 1000;  // capped at what the index holds
+  Response all = AnswerOnIndex(index, request);
+  EXPECT_EQ(all.line.substr(0, 8 + std::to_string(view.size()).size()),
+            "OK subs " + std::to_string(view.size()));
+}
+
+TEST(AnswerOnIndexTest, OutOfCatalogIdsAreNotFound) {
+  ServingIndex index = MakeIndex();
+  const NodeId bad = static_cast<NodeId>(index.NumNodes());
+
+  Request covered;
+  covered.type = QueryType::kCovered;
+  covered.v = bad;
+  EXPECT_TRUE(AnswerOnIndex(index, covered).status.IsNotFound());
+
+  Request subs;
+  subs.type = QueryType::kSubstitutes;
+  subs.v = bad;
+  subs.top_j = 1;
+  EXPECT_TRUE(AnswerOnIndex(index, subs).status.IsNotFound());
+
+  Request batch;
+  batch.type = QueryType::kBatchCovered;
+  batch.batch = {0, bad};
+  Response response = AnswerOnIndex(index, batch);
+  EXPECT_TRUE(response.status.IsNotFound());
+  EXPECT_EQ(response.line.substr(0, 12), "ERR NotFound");
+}
+
+TEST(AnswerOnIndexTest, CoverkBoundsAndBatchBits) {
+  ServingIndex index = MakeIndex();
+
+  Request coverk;
+  coverk.type = QueryType::kCoverageAtK;
+  coverk.coverage_k = 0;
+  EXPECT_EQ(AnswerOnIndex(index, coverk).line, "OK coverk 0");
+  coverk.coverage_k = index.NumRetained();
+  EXPECT_EQ(AnswerOnIndex(index, coverk).line,
+            "OK coverk " +
+                FormatProbability(index.CoverageAtK(index.NumRetained())));
+  coverk.coverage_k = index.NumRetained() + 1;
+  EXPECT_TRUE(AnswerOnIndex(index, coverk).status.IsOutOfRange());
+
+  Request batch;
+  batch.type = QueryType::kBatchCovered;
+  std::string bits;
+  for (NodeId v = 0; v < 10; ++v) {
+    batch.batch.push_back(v);
+    bits += index.Covered(v) ? '1' : '0';
+  }
+  EXPECT_EQ(AnswerOnIndex(index, batch).line, "OK batch 10 " + bits);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prefcover

@@ -1,0 +1,252 @@
+// QueryEngine: batching, caching, admission control, deadlines, hot
+// reload, and shutdown semantics.
+
+#include "serve/query_engine.h"
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "serve/protocol.h"
+#include "serve/serving_index.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace serve {
+namespace {
+
+std::shared_ptr<const ServingIndex> MakeIndex(uint64_t seed = 3,
+                                              uint32_t num_nodes = 60,
+                                              size_t k = 12) {
+  Rng rng(seed);
+  UniformGraphParams params;
+  params.num_nodes = num_nodes;
+  params.out_degree = 4;
+  auto graph = GenerateUniformGraph(params, &rng);
+  EXPECT_TRUE(graph.ok());
+  auto solution = SolveGreedyLazy(*graph, k, GreedyOptions());
+  EXPECT_TRUE(solution.ok());
+  auto index = ServingIndex::Build(*graph, *solution);
+  EXPECT_TRUE(index.ok());
+  return std::make_shared<const ServingIndex>(std::move(index).value());
+}
+
+Request Covered(NodeId v) {
+  Request request;
+  request.type = QueryType::kCovered;
+  request.v = v;
+  return request;
+}
+
+Request Subs(NodeId v, uint32_t top_j) {
+  Request request;
+  request.type = QueryType::kSubstitutes;
+  request.v = v;
+  request.top_j = top_j;
+  return request;
+}
+
+TEST(QueryEngineTest, AnswersMatchAnswerOnIndex) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+  for (NodeId v = 0; v < index->NumNodes(); ++v) {
+    Response served = engine.SubmitAndWait(Covered(v));
+    Response direct = AnswerOnIndex(*index, Covered(v));
+    EXPECT_EQ(served.line, direct.line);
+    EXPECT_GT(served.done_ns, 0);
+
+    Response served_subs = engine.SubmitAndWait(Subs(v, 4));
+    EXPECT_EQ(served_subs.line, AnswerOnIndex(*index, Subs(v, 4)).line);
+  }
+  // Out-of-catalog errors travel through the engine unchanged.
+  const NodeId bad = static_cast<NodeId>(index->NumNodes());
+  EXPECT_TRUE(engine.SubmitAndWait(Covered(bad)).status.IsNotFound());
+}
+
+TEST(QueryEngineTest, PipelinedSubmissionsCoalesceIntoBatches) {
+  auto index = MakeIndex();
+  QueryEngineOptions options;
+  options.batch_limit = 64;
+  options.batch_window_us = 20000;  // generous: let the queue pile up
+  QueryEngine engine(index, options);
+
+  constexpr size_t kRequests = 200;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kRequests);
+  for (size_t i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        engine.Submit(Covered(static_cast<NodeId>(i % index->NumNodes()))));
+  }
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.requests, kRequests);
+  // If every request rode its own batch, micro-batching is broken.
+  EXPECT_LT(stats.batches, kRequests);
+  EXPECT_GE(stats.batches, kRequests / options.batch_limit);
+}
+
+TEST(QueryEngineTest, SubsCacheHitsAreDeterministicWhenSequential) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);  // dispatcher-only: deterministic cache path
+  // Pick a non-retained node so the subs line is non-trivial.
+  NodeId v = 0;
+  while (index->Retained(v)) ++v;
+
+  constexpr uint64_t kRepeats = 50;
+  std::string first;
+  for (uint64_t i = 0; i < kRepeats; ++i) {
+    Response response = engine.SubmitAndWait(Subs(v, 4));
+    ASSERT_TRUE(response.status.ok());
+    if (i == 0) {
+      first = response.line;
+    } else {
+      EXPECT_EQ(response.line, first);
+    }
+  }
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, kRepeats - 1);
+}
+
+TEST(QueryEngineTest, ZeroCapacityDisablesTheCache) {
+  QueryEngineOptions options;
+  options.cache_capacity = 0;
+  QueryEngine engine(MakeIndex(), options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.SubmitAndWait(Subs(1, 4)).status.ok());
+  }
+  // With the cache disabled there is no cache traffic at all — neither
+  // hits nor misses are counted.
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 0u);
+}
+
+TEST(QueryEngineTest, ExpiredDeadlineIsCancelledNotServed) {
+  QueryEngine engine(MakeIndex());
+  Request request = Covered(0);
+  request.deadline_ns = SteadyNowNanos() - 1;  // already in the past
+  Response response = engine.SubmitAndWait(request);
+  EXPECT_TRUE(response.status.IsCancelled());
+  EXPECT_EQ(response.line.substr(0, 13), "ERR Cancelled");
+  EXPECT_GE(engine.Stats().deadline_expired, 1u);
+
+  // A far-future deadline is honored normally.
+  request.deadline_ns = SteadyNowNanos() + 60'000'000'000;
+  EXPECT_TRUE(engine.SubmitAndWait(request).status.ok());
+}
+
+TEST(QueryEngineTest, FullQueueShedsWithOutOfRange) {
+  QueryEngineOptions options;
+  options.max_queue = 1;
+  options.batch_limit = 1;
+  options.batch_window_us = 0;
+  QueryEngine engine(MakeIndex(3, 200, 20), options);
+
+  // Large batch payloads keep the dispatcher busy long enough for the
+  // 1-deep queue to fill. Retry until shedding is observed — timing
+  // dependent, but each round makes it more likely, and a broken
+  // admission path never sheds at all.
+  Request heavy;
+  heavy.type = QueryType::kBatchCovered;
+  for (NodeId v = 0; v < 200; ++v) heavy.batch.push_back(v);
+
+  bool shed = false;
+  for (int round = 0; round < 200 && !shed; ++round) {
+    std::vector<std::future<Response>> futures;
+    for (int i = 0; i < 64; ++i) futures.push_back(engine.Submit(heavy));
+    for (auto& f : futures) {
+      Response response = f.get();
+      if (response.status.IsOutOfRange()) {
+        EXPECT_EQ(response.line.substr(0, 14), "ERR OutOfRange");
+        shed = true;
+      } else {
+        EXPECT_TRUE(response.status.ok()) << response.line;
+      }
+    }
+  }
+  EXPECT_TRUE(shed) << "queue of depth 1 never rejected under burst load";
+  EXPECT_GE(engine.Stats().admission_rejected, 1u);
+}
+
+TEST(QueryEngineTest, SwapIndexPublishesNewAnswersAndFreshCache) {
+  auto first = MakeIndex(3, 60, 12);
+  auto second = MakeIndex(99, 60, 12);
+  QueryEngine engine(first);
+
+  // Warm the cache on the first index.
+  NodeId v = 0;
+  while (first->Retained(v)) ++v;
+  Response before = engine.SubmitAndWait(Subs(v, 4));
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(engine.Stats().cache_misses, 1u);
+
+  ASSERT_TRUE(engine.SwapIndex(second).ok());
+  EXPECT_EQ(engine.index().get(), second.get());
+  EXPECT_EQ(engine.Stats().index_reloads, 1u);
+
+  // Answers now come from the second index, and the cache restarted —
+  // a stale cached line from the old index must be unreachable.
+  Response after = engine.SubmitAndWait(Subs(v, 4));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.line, AnswerOnIndex(*second, Subs(v, 4)).line);
+  EXPECT_EQ(engine.Stats().cache_misses, 2u);
+}
+
+TEST(QueryEngineTest, SwapIndexRejectsNull) {
+  QueryEngine engine(MakeIndex());
+  EXPECT_TRUE(engine.SwapIndex(nullptr).IsInvalidArgument());
+  EXPECT_EQ(engine.Stats().index_reloads, 0u);
+}
+
+TEST(QueryEngineTest, ReloadSwapFailpointInjectsError) {
+  if (!failpoint::Enabled()) {
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  QueryEngine engine(MakeIndex());
+  auto replacement = MakeIndex(7);
+  ASSERT_TRUE(failpoint::Set("serve.reload_swap", "error").ok());
+  Status status = engine.SwapIndex(replacement);
+  failpoint::Clear();
+  EXPECT_FALSE(status.ok());
+  // The failed swap must not have been published.
+  EXPECT_NE(engine.index().get(), replacement.get());
+  EXPECT_EQ(engine.Stats().index_reloads, 0u);
+  // And the engine still serves.
+  EXPECT_TRUE(engine.SubmitAndWait(Covered(0)).status.ok());
+}
+
+TEST(QueryEngineTest, ShutdownAnswersEverythingThenRejects) {
+  auto index = MakeIndex();
+  QueryEngineOptions options;
+  options.batch_window_us = 5000;
+  auto engine = std::make_unique<QueryEngine>(index, options);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(engine->Submit(Covered(static_cast<NodeId>(i % 10))));
+  }
+  engine->Shutdown();
+  for (auto& f : futures) {
+    Response response = f.get();
+    // Every future is ready: answered, or cancelled by the shutdown.
+    EXPECT_TRUE(response.status.ok() || response.status.IsCancelled())
+        << response.line;
+  }
+  // Post-shutdown submissions fail fast.
+  EXPECT_TRUE(engine->SubmitAndWait(Covered(0)).status.IsCancelled());
+  engine->Shutdown();  // idempotent
+  engine.reset();      // destructor after explicit Shutdown is safe
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prefcover

@@ -1,0 +1,295 @@
+// ServingIndex: build semantics, PCSIDX01 round-trip, golden byte-lock
+// and corruption rejection.
+
+#include "serve/serving_index.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/cover_function.h"
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "graph/graph_transforms.h"
+#include "util/bitset.h"
+#include "util/fs.h"
+#include "util/random.h"
+
+#ifndef PREFCOVER_GOLDEN_DIR
+#error "PREFCOVER_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace prefcover {
+namespace serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/serving_index_test_" + name;
+}
+
+PreferenceGraph MakeGraph(uint64_t seed = 7, uint32_t num_nodes = 60) {
+  Rng rng(seed);
+  UniformGraphParams params;
+  params.num_nodes = num_nodes;
+  params.out_degree = 5;
+  auto g = GenerateUniformGraph(params, &rng);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+Solution Solve(const PreferenceGraph& graph, size_t k,
+               Variant variant = Variant::kIndependent) {
+  GreedyOptions options;
+  options.variant = variant;
+  auto solution = SolveGreedyLazy(graph, k, options);
+  EXPECT_TRUE(solution.ok());
+  return std::move(solution).value();
+}
+
+TEST(ServingIndexBuildTest, QueriesMatchTheirDefinitions) {
+  PreferenceGraph graph = MakeGraph();
+  Solution solution = Solve(graph, 12);
+  auto built = ServingIndex::Build(graph, solution);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const ServingIndex& index = *built;
+
+  EXPECT_EQ(index.NumNodes(), graph.NumNodes());
+  EXPECT_EQ(index.NumRetained(), solution.items.size());
+  EXPECT_EQ(index.variant(), solution.variant);
+  EXPECT_EQ(index.graph_digest(), GraphDigest(graph));
+  EXPECT_GT(index.MemoryBytes(), 0u);
+
+  Bitset retained(graph.NumNodes());
+  for (NodeId v : solution.items) retained.Set(v);
+
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    EXPECT_EQ(index.Retained(v), retained.Test(v));
+    // Coverage must be bit-identical to the direct oracle.
+    const double direct =
+        CoverOfItem(graph, retained, v, solution.variant);
+    EXPECT_EQ(index.CoverageOf(v), direct) << "node " << v;
+
+    AdjacencyView subs = index.SubstitutesOf(v);
+    if (retained.Test(v)) {
+      EXPECT_EQ(subs.size(), 0u) << "retained node " << v;
+      EXPECT_TRUE(index.Covered(v));
+    } else {
+      EXPECT_LE(subs.size(), index.top_m());
+      bool has_retained_neighbor = false;
+      AdjacencyView out = graph.OutNeighbors(v);
+      for (size_t i = 0; i < out.size(); ++i) {
+        if (retained.Test(out.nodes[i])) has_retained_neighbor = true;
+      }
+      EXPECT_EQ(index.Covered(v), has_retained_neighbor) << "node " << v;
+      for (size_t i = 0; i < subs.size(); ++i) {
+        EXPECT_TRUE(retained.Test(subs.nodes[i]));
+        if (i > 0) {
+          // Strongest first, ties to the smaller id.
+          EXPECT_TRUE(subs.weights[i - 1] > subs.weights[i] ||
+                      (subs.weights[i - 1] == subs.weights[i] &&
+                       subs.nodes[i - 1] < subs.nodes[i]))
+              << "node " << v << " position " << i;
+        }
+      }
+    }
+  }
+
+  EXPECT_EQ(index.CoverageAtK(0), 0.0);
+  for (size_t i = 0; i < solution.items.size(); ++i) {
+    EXPECT_EQ(index.CoverageAtK(i + 1), solution.cover_after_prefix[i]);
+  }
+}
+
+TEST(ServingIndexBuildTest, TopMTruncatesSubstituteLists) {
+  PreferenceGraph graph = MakeGraph(11, 80);
+  Solution solution = Solve(graph, 40);
+  ServingIndexOptions options;
+  options.top_m = 2;
+  auto built = ServingIndex::Build(graph, solution, options);
+  ASSERT_TRUE(built.ok());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    EXPECT_LE(built->SubstitutesOf(v).size(), 2u);
+  }
+}
+
+TEST(ServingIndexBuildTest, RejectsMalformedSolutions) {
+  PreferenceGraph graph = MakeGraph();
+  Solution solution = Solve(graph, 5);
+
+  Solution dup = solution;
+  dup.items.push_back(dup.items[0]);
+  dup.cover_after_prefix.push_back(1.0);
+  EXPECT_TRUE(
+      ServingIndex::Build(graph, dup).status().IsInvalidArgument());
+
+  Solution out_of_range = solution;
+  out_of_range.items[0] = static_cast<NodeId>(graph.NumNodes());
+  EXPECT_TRUE(ServingIndex::Build(graph, out_of_range)
+                  .status()
+                  .IsInvalidArgument());
+
+  Solution skewed = solution;
+  skewed.cover_after_prefix.pop_back();
+  EXPECT_TRUE(
+      ServingIndex::Build(graph, skewed).status().IsInvalidArgument());
+}
+
+TEST(ServingIndexBuildTest, BuildFromRetainedMatchesBuild) {
+  // The Normalized variant requires out-weight sums <= 1.
+  auto clamped = ClampOutWeights(MakeGraph(19));
+  ASSERT_TRUE(clamped.ok());
+  PreferenceGraph graph = std::move(clamped).value();
+  Solution solution = Solve(graph, 10, Variant::kNormalized);
+  auto from_solution = ServingIndex::Build(graph, solution);
+  ASSERT_TRUE(from_solution.ok());
+  auto from_retained = ServingIndex::BuildFromRetained(
+      graph, solution.items, Variant::kNormalized);
+  ASSERT_TRUE(from_retained.ok()) << from_retained.status().ToString();
+
+  // The retained set, per-item coverage and substitute lists are pure
+  // functions of (graph, S, variant), so the two construction paths must
+  // agree exactly.
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    EXPECT_EQ(from_solution->CoverageOf(v), from_retained->CoverageOf(v));
+    EXPECT_EQ(from_solution->Covered(v), from_retained->Covered(v));
+    AdjacencyView a = from_solution->SubstitutesOf(v);
+    AdjacencyView b = from_retained->SubstitutesOf(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a.nodes[i], b.nodes[i]);
+      EXPECT_EQ(a.weights[i], b.weights[i]);
+    }
+  }
+  EXPECT_EQ(from_retained->CoverageAtK(solution.items.size()),
+            solution.cover);
+
+  EXPECT_TRUE(ServingIndex::BuildFromRetained(graph, {0, 0},
+                                              Variant::kIndependent)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ServingIndexIoTest, SaveLoadRoundTripIsByteStable) {
+  PreferenceGraph graph = MakeGraph(23);
+  Solution solution = Solve(graph, 9);
+  auto index = ServingIndex::Build(graph, solution);
+  ASSERT_TRUE(index.ok());
+
+  std::string path = TempPath("roundtrip.pcsidx");
+  ASSERT_TRUE(index->Save(path).ok());
+  auto loaded = ServingIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Re-serializing the loaded index reproduces the file byte for byte —
+  // nothing is lost or reordered on the way through the format.
+  EXPECT_EQ(loaded->Serialize(), index->Serialize());
+  EXPECT_EQ(loaded->NumRetained(), index->NumRetained());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    EXPECT_EQ(loaded->CoverageOf(v), index->CoverageOf(v));
+    EXPECT_EQ(loaded->Retained(v), index->Retained(v));
+  }
+}
+
+TEST(ServingIndexIoTest, LoadChecksGraphDigest) {
+  PreferenceGraph graph = MakeGraph(29);
+  auto index = ServingIndex::Build(graph, Solve(graph, 6));
+  ASSERT_TRUE(index.ok());
+  std::string path = TempPath("digest.pcsidx");
+  ASSERT_TRUE(index->Save(path).ok());
+
+  EXPECT_TRUE(ServingIndex::Load(path, GraphDigest(graph)).ok());
+  EXPECT_TRUE(ServingIndex::Load(path, GraphDigest(graph) + 1)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ServingIndexIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ServingIndex::Load(TempPath("never_written.pcsidx"))
+                  .status()
+                  .IsIOError());
+}
+
+TEST(ServingIndexIoTest, EveryTruncationRejected) {
+  PreferenceGraph graph = MakeGraph(31, 24);
+  auto index = ServingIndex::Build(graph, Solve(graph, 5));
+  ASSERT_TRUE(index.ok());
+  const std::string bytes = index->Serialize();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto read = ServingIndex::Deserialize(
+        std::string_view(bytes).substr(0, cut));
+    EXPECT_TRUE(read.status().IsCorruption()) << "cut at " << cut;
+  }
+}
+
+TEST(ServingIndexIoTest, EveryByteFlipRejected) {
+  PreferenceGraph graph = MakeGraph(37, 24);
+  auto index = ServingIndex::Build(graph, Solve(graph, 5));
+  ASSERT_TRUE(index.ok());
+  const std::string bytes = index->Serialize();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupted = bytes;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0x20);
+    auto read = ServingIndex::Deserialize(corrupted);
+    EXPECT_TRUE(read.status().IsCorruption()) << "flip at byte " << i;
+  }
+}
+
+TEST(ServingIndexIoTest, TrailingGarbageAndForeignFilesRejected) {
+  PreferenceGraph graph = MakeGraph(41, 24);
+  auto index = ServingIndex::Build(graph, Solve(graph, 5));
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(ServingIndex::Deserialize(index->Serialize() + "extra")
+                  .status()
+                  .IsCorruption());
+  EXPECT_TRUE(
+      ServingIndex::Deserialize("this is not a serving index at all...")
+          .status()
+          .IsCorruption());
+}
+
+// Locks the PCSIDX01 emission byte for byte on a pinned instance. A diff
+// here means the format changed: bump the version, don't silently break
+// old artifacts. Regenerate with PREFCOVER_REGENERATE_GOLDEN=1.
+TEST(ServingIndexGoldenTest, EmissionMatchesCheckedInArtifact) {
+  PreferenceGraph graph = MakeGraph(13, 40);
+  Solution solution = Solve(graph, 12);
+  ServingIndexOptions options;
+  options.top_m = 4;
+  auto index = ServingIndex::Build(graph, solution, options);
+  ASSERT_TRUE(index.ok());
+  const std::string bytes = index->Serialize();
+
+  const std::string golden_path =
+      std::string(PREFCOVER_GOLDEN_DIR) + "/serving_index_seed13.pcsidx";
+  if (std::getenv("PREFCOVER_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    out << bytes;
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << golden_path
+      << " missing; run with PREFCOVER_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(bytes, buffer.str())
+      << "PCSIDX01 emission diverged from the golden artifact. If "
+         "intentional, bump kVersion and regenerate with "
+         "PREFCOVER_REGENERATE_GOLDEN=1.";
+
+  // The golden artifact must also still parse and validate.
+  auto parsed = ServingIndex::Deserialize(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->NumRetained(), 12u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prefcover

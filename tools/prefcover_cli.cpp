@@ -8,20 +8,33 @@
 //   solve       select k items maximizing the cover
 //   threshold   smallest set reaching a coverage target
 //   export      dump a .pcg graph to nodes/edges CSV
+//   serve       answer substitute queries over a serving index
+//   version     print the build version
 //
 // Typical session:
 //   prefcover generate --profile=YC --scale=0.01 --out=clicks.csv
 //   prefcover construct --input=clicks.csv --out=graph.pcg
 //   prefcover solve --graph=graph.pcg --k=500 --out=retained.csv
+//       --index_out=index.pcsidx
+//   prefcover serve --index=index.pcsidx
 
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#if defined(__unix__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "bench/env_capture.h"
 #include "bench/metrics_json.h"
 #include "clickstream/clickstream_io.h"
 #include "clickstream/graph_construction.h"
@@ -35,6 +48,8 @@
 #include "obs/trace.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "serve/query_engine.h"
+#include "serve/serving_index.h"
 #include "synth/dataset_profiles.h"
 #include "util/cancellation.h"
 #include "util/csv.h"
@@ -232,6 +247,11 @@ int CmdSolve(int argc, char** argv) {
   flags.AddString("out", "", "optional CSV for the retained items");
   flags.AddString("coverage-out", "",
                   "optional per-item coverage CSV (whole catalog)");
+  flags.AddString("index_out", "",
+                  "optional serving-index (PCSIDX01) output for "
+                  "`prefcover serve` / serve_loadgen");
+  flags.AddInt("index_top_m", 8,
+               "substitutes stored per node in --index_out");
   flags.AddBool("report", false, "print the full solution report");
   flags.AddString("force-include", "",
                   "comma-separated item ids that must be retained "
@@ -384,7 +404,23 @@ int CmdSolve(int argc, char** argv) {
   greedy_options.batch_size = static_cast<size_t>(batch_flag);
   const bool constrained = !greedy_options.force_include.empty() ||
                            !greedy_options.force_exclude.empty();
-  const size_t k = static_cast<size_t>(flags.GetInt("k"));
+  if (flags.GetInt("k") <= 0) {
+    return Fail(Status::InvalidArgument("--k must be >= 1, got " +
+                                        std::to_string(flags.GetInt("k"))));
+  }
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+  // A budget beyond the catalog is satisfiable — by the whole catalog.
+  // Clamp with a warning instead of erroring so scripts can pass a
+  // generous bound without sizing the graph first.
+  if (k > graph->NumNodes()) {
+    std::fprintf(stderr,
+                 "warning: --k %zu exceeds the catalog size %zu; "
+                 "clamping to %zu\n",
+                 k, graph->NumNodes(), graph->NumNodes());
+    obs::MetricsRegistry::Global().GetCounter("solver.k_clamped")
+        ->Increment();
+    k = graph->NumNodes();
+  }
   const size_t threads = static_cast<size_t>(flags.GetInt("threads"));
 
   // Everything routes through the eval runner (which forwards the full
@@ -480,6 +516,20 @@ int CmdSolve(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
     std::printf("wrote %s\n", flags.GetString("coverage-out").c_str());
   }
+  if (!flags.GetString("index_out").empty()) {
+    serve::ServingIndexOptions index_options;
+    index_options.top_m =
+        static_cast<size_t>(flags.GetInt("index_top_m"));
+    auto index = serve::ServingIndex::Build(*graph, *solution,
+                                            index_options);
+    if (!index.ok()) return Fail(index.status());
+    Status st = index->Save(flags.GetString("index_out"));
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s (serving index: %zu nodes, %zu retained, "
+                "top_m=%zu)\n",
+                flags.GetString("index_out").c_str(), index->NumNodes(),
+                index->NumRetained(), index->top_m());
+  }
   Status export_st = export_observability();
   if (!export_st.ok()) return Fail(export_st);
   // A deadline-truncated solve exits 0 — the user asked for a time budget
@@ -544,6 +594,223 @@ int CmdExport(int argc, char** argv) {
   return 0;
 }
 
+// Handles one protocol line for `prefcover serve`: control verbs first
+// (stats / reload <path> / quit), then query parsing + the engine.
+// Returns the response line; sets *quit when the session should end.
+std::string HandleServeLine(serve::QueryEngine* engine,
+                            const std::string& line, bool* quit) {
+  std::string_view trimmed = TrimWhitespace(line);
+  if (trimmed == "quit") {
+    *quit = true;
+    return "OK bye";
+  }
+  if (trimmed == "stats") {
+    serve::QueryEngineStats stats = engine->Stats();
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "OK stats requests=%llu batches=%llu cache_hits=%llu "
+                  "cache_misses=%llu shed=%llu deadline_expired=%llu "
+                  "reloads=%llu",
+                  static_cast<unsigned long long>(stats.requests),
+                  static_cast<unsigned long long>(stats.batches),
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  static_cast<unsigned long long>(stats.cache_misses),
+                  static_cast<unsigned long long>(stats.admission_rejected),
+                  static_cast<unsigned long long>(stats.deadline_expired),
+                  static_cast<unsigned long long>(stats.index_reloads));
+    return buffer;
+  }
+  if (trimmed.rfind("reload ", 0) == 0) {
+    std::string path(TrimWhitespace(trimmed.substr(7)));
+    auto index = serve::ServingIndex::Load(path);
+    if (!index.ok()) return serve::FormatErrorLine(index.status());
+    auto shared =
+        std::make_shared<const serve::ServingIndex>(std::move(*index));
+    size_t retained = shared->NumRetained();
+    Status st = engine->SwapIndex(std::move(shared));
+    if (!st.ok()) return serve::FormatErrorLine(st);
+    return "OK reload " + std::to_string(retained);
+  }
+  auto request = serve::ParseRequest(trimmed);
+  if (!request.ok()) return serve::FormatErrorLine(request.status());
+  return engine->SubmitAndWait(std::move(*request)).line;
+}
+
+#if defined(__unix__)
+// Serves one accepted connection: newline-delimited requests in,
+// newline-delimited responses out. Returns false when the server should
+// stop accepting (client sent `shutdown`).
+bool ServeConnection(serve::QueryEngine* engine, int fd) {
+  std::string pending;
+  char chunk[4096];
+  bool keep_serving = true;
+  for (;;) {
+    ssize_t got = read(fd, chunk, sizeof(chunk));
+    if (got <= 0) break;
+    pending.append(chunk, static_cast<size_t>(got));
+    size_t start = 0;
+    for (;;) {
+      size_t eol = pending.find('\n', start);
+      if (eol == std::string::npos) break;
+      std::string line = pending.substr(start, eol - start);
+      start = eol + 1;
+      if (TrimWhitespace(line) == "shutdown") {
+        keep_serving = false;
+        std::string bye = "OK bye\n";
+        (void)!write(fd, bye.data(), bye.size());
+        close(fd);
+        return keep_serving;
+      }
+      bool quit = false;
+      std::string response = HandleServeLine(engine, line, &quit);
+      response.push_back('\n');
+      if (write(fd, response.data(), response.size()) < 0) quit = true;
+      if (quit) {
+        close(fd);
+        return keep_serving;
+      }
+    }
+    pending.erase(0, start);
+  }
+  close(fd);
+  return keep_serving;
+}
+#endif  // __unix__
+
+int CmdServe(int argc, char** argv) {
+  FlagParser flags(
+      "prefcover serve: answer substitute queries over a serving index "
+      "(line protocol on stdin, or a TCP socket with --port; see "
+      "SERVING.md)");
+  flags.AddString("index", "", "PCSIDX01 index file (from solve "
+                  "--index_out); required unless --graph is given");
+  flags.AddString("graph", "",
+                  "solve in-process instead of loading --index "
+                  "(requires --k)");
+  flags.AddInt("k", 0, "items to retain for --graph");
+  flags.AddString("variant", "auto", "independent|normalized|auto");
+  flags.AddInt("top_m", 8, "substitutes per node for --graph");
+  flags.AddInt("batch", 64, "max requests answered per batch");
+  flags.AddInt("batch_window_us", 100,
+               "batch fill window in microseconds (0 = no wait)");
+  flags.AddInt("cache_capacity", 65536,
+               "response cache entries; 0 disables caching");
+  flags.AddInt("max_queue", 8192,
+               "queued-request bound; excess requests are shed");
+  flags.AddInt("deadline_us", 0,
+               "per-request deadline in microseconds; 0 = none");
+  flags.AddInt("threads", 0,
+               "worker pool threads for intra-batch fan-out; 0 = the "
+               "dispatcher answers batches itself");
+  flags.AddInt("port", 0, "TCP port to listen on; 0 = read stdin");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+
+  std::shared_ptr<const serve::ServingIndex> index;
+  if (!flags.GetString("index").empty()) {
+    auto loaded = serve::ServingIndex::Load(flags.GetString("index"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    index = std::make_shared<const serve::ServingIndex>(
+        std::move(*loaded));
+  } else if (!flags.GetString("graph").empty()) {
+    if (flags.GetInt("k") <= 0) {
+      return Fail(Status::InvalidArgument("--graph requires --k >= 1"));
+    }
+    auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+    if (!graph.ok()) return Fail(graph.status());
+    auto variant = ResolveVariant(flags.GetString("variant"), *graph);
+    if (!variant.ok()) return Fail(variant.status());
+    size_t k = static_cast<size_t>(flags.GetInt("k"));
+    if (k > graph->NumNodes()) k = graph->NumNodes();
+    GreedyOptions greedy_options;
+    greedy_options.variant = *variant;
+    auto solution = SolveGreedyLazy(*graph, k, greedy_options);
+    if (!solution.ok()) return Fail(solution.status());
+    serve::ServingIndexOptions index_options;
+    index_options.top_m = static_cast<size_t>(flags.GetInt("top_m"));
+    auto built = serve::ServingIndex::Build(*graph, *solution,
+                                            index_options);
+    if (!built.ok()) return Fail(built.status());
+    index = std::make_shared<const serve::ServingIndex>(
+        std::move(*built));
+  } else {
+    return Fail(
+        Status::InvalidArgument("serve needs --index or --graph"));
+  }
+
+  serve::QueryEngineOptions engine_options;
+  engine_options.batch_limit = static_cast<size_t>(flags.GetInt("batch"));
+  engine_options.batch_window_us = flags.GetInt("batch_window_us");
+  engine_options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache_capacity"));
+  engine_options.max_queue =
+      static_cast<size_t>(flags.GetInt("max_queue"));
+  engine_options.default_deadline_us = flags.GetInt("deadline_us");
+  std::unique_ptr<ThreadPool> pool;
+  if (flags.GetInt("threads") > 0) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<size_t>(flags.GetInt("threads")));
+    engine_options.pool = pool.get();
+  }
+  std::fprintf(stderr,
+               "serving %zu nodes (%zu retained, %s variant, top_m=%zu)\n",
+               index->NumNodes(), index->NumRetained(),
+               std::string(VariantName(index->variant())).c_str(),
+               index->top_m());
+  serve::QueryEngine engine(std::move(index), engine_options);
+
+  const int64_t port = flags.GetInt("port");
+  if (port == 0) {
+    std::string line;
+    bool quit = false;
+    while (!quit && std::getline(std::cin, line)) {
+      std::string response = HandleServeLine(&engine, line, &quit);
+      std::printf("%s\n", response.c_str());
+      std::fflush(stdout);
+    }
+    return 0;
+  }
+
+#if defined(__unix__)
+  int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Fail(Status::IOError("socket() failed"));
+  int reuse = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      listen(listener, 16) < 0) {
+    close(listener);
+    return Fail(Status::IOError("cannot listen on 127.0.0.1:" +
+                                std::to_string(port)));
+  }
+  std::fprintf(stderr, "listening on 127.0.0.1:%lld\n",
+               static_cast<long long>(port));
+  // Connections are served one at a time: concurrency lives in the
+  // engine, and the protocol is request/response, so a multiplexing
+  // accept loop would only add moving parts.
+  for (;;) {
+    int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (!ServeConnection(&engine, fd)) break;
+  }
+  close(listener);
+  return 0;
+#else
+  return Fail(Status::Unimplemented("--port requires a POSIX host"));
+#endif
+}
+
+int CmdVersion() {
+  EnvCapture env = EnvCapture::Capture();
+  std::printf("prefcover %s\n", BuildVersionString().c_str());
+  std::printf("git: %s\nbuild: %s, %s\n", env.git_sha.c_str(),
+              env.build_type.c_str(), env.compiler.c_str());
+  return 0;
+}
+
 void PrintUsage() {
   std::fputs(
       "usage: prefcover <command> [flags]\n\n"
@@ -553,7 +820,9 @@ void PrintUsage() {
       "  stats       describe a graph file\n"
       "  solve       select k items maximizing the cover\n"
       "  threshold   smallest set reaching a coverage target\n"
-      "  export      dump a .pcg graph to nodes/edges CSV\n\n"
+      "  export      dump a .pcg graph to nodes/edges CSV\n"
+      "  serve       answer substitute queries over a serving index\n"
+      "  version     print the build version\n\n"
       "run `prefcover <command> --help` for command flags\n",
       stdout);
 }
@@ -575,6 +844,8 @@ int main(int argc, char** argv) {
   if (command == "solve") return CmdSolve(sub_argc, sub_argv);
   if (command == "threshold") return CmdThreshold(sub_argc, sub_argv);
   if (command == "export") return CmdExport(sub_argc, sub_argv);
+  if (command == "serve") return CmdServe(sub_argc, sub_argv);
+  if (command == "version" || command == "--version") return CmdVersion();
   if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
     return 0;

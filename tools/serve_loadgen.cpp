@@ -1,0 +1,312 @@
+// Load generator for the serving layer.
+//
+// Drives an in-process QueryEngine with a Zipf-distributed query stream at
+// a target QPS (or open throttle) and reports achieved throughput,
+// p50/p95/p99 latency and cache hit-rate. Latency is measured as
+// Response.done_ns - submit_ns, both stamps taken on the engine's steady
+// clock, so the numbers are exact per-request service+queue times and do
+// not race the future hand-off.
+//
+// The traffic mix mirrors production lookups: mostly `subs` (the
+// render-a-substitute path), some `covered` probes, an occasional
+// `coverk` planning query. Item popularity follows Zipf(s) over the
+// catalog, the regime in which the engine's LRU cache is designed to pay
+// off.
+//
+// Exit status: 0 on success; 1 when any SLO assertion fails
+// (--p99_budget_us, --min_qps, --min_hit_rate) or when any protocol error
+// (a response that is neither OK, deadline-cancelled, nor load-shed)
+// occurs — a valid generated stream must never produce one.
+//
+// Methodology notes live in SERVING.md ("Latency methodology").
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/baseline_solvers.h"
+#include "serve/query_engine.h"
+#include "serve/serving_index.h"
+#include "synth/dataset_profiles.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using prefcover::FlagParser;
+using prefcover::NodeId;
+using prefcover::QuantileSketch;
+using prefcover::Rng;
+using prefcover::Status;
+using prefcover::StatusCode;
+using prefcover::ZipfDistribution;
+using prefcover::serve::QueryEngine;
+using prefcover::serve::QueryEngineOptions;
+using prefcover::serve::QueryType;
+using prefcover::serve::Request;
+using prefcover::serve::Response;
+using prefcover::serve::ServingIndex;
+using prefcover::serve::SteadyNowNanos;
+
+struct InFlight {
+  std::future<Response> future;
+  int64_t submit_ns = 0;
+};
+
+struct Tally {
+  uint64_t ok = 0;
+  uint64_t deadline_cancelled = 0;
+  uint64_t shed = 0;
+  uint64_t protocol_errors = 0;
+  QuantileSketch latency_us;
+
+  void Absorb(const Response& response, int64_t submit_ns) {
+    if (response.status.ok()) {
+      ++ok;
+      latency_us.Add(
+          static_cast<double>(response.done_ns - submit_ns) / 1000.0);
+    } else if (response.status.IsCancelled()) {
+      ++deadline_cancelled;
+    } else if (response.status.code() == StatusCode::kOutOfRange) {
+      ++shed;
+    } else {
+      if (protocol_errors < 5) {
+        std::fprintf(stderr, "protocol error: %s\n",
+                     response.line.c_str());
+      }
+      ++protocol_errors;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "Replays a Zipf-distributed query stream against a ServingIndex "
+      "and reports p50/p95/p99 latency, throughput and cache hit-rate.");
+  flags.AddString("index", "",
+                  "PCSIDX01 index file to serve (or --synth_tier)")
+      .AddString("synth_tier", "",
+                 "serve a generated scale-tier graph instead of --index: "
+                 "S|M|L (top-k-by-weight selection, in-process)")
+      .AddInt("synth_k", 0,
+              "retained items for --synth_tier; 0 = 1% of the catalog")
+      .AddInt("synth_seed", 42, "graph seed for --synth_tier")
+      .AddDouble("duration_s", 2.0, "wall-clock run length")
+      .AddInt("qps", 0, "target queries/s; 0 = open throttle")
+      .AddDouble("zipf_s", 1.0, "Zipf skew of item popularity")
+      .AddInt("top_j", 4, "substitutes requested per subs query")
+      .AddDouble("subs_frac", 0.80, "fraction of subs queries")
+      .AddDouble("covered_frac", 0.15,
+                 "fraction of covered queries (rest is coverk)")
+      .AddInt("batch", 64, "engine batch limit")
+      .AddInt("batch_window_us", 100, "engine batch fill window")
+      .AddInt("cache_capacity", 65536, "engine cache entries; 0 disables")
+      .AddInt("max_queue", 8192, "engine admission bound")
+      .AddInt("deadline_us", 0, "per-request deadline; 0 = none")
+      .AddInt("threads", 0, "worker pool threads; 0 = dispatcher only")
+      .AddInt("outstanding", 1024, "max in-flight requests")
+      .AddInt("seed", 7, "traffic stream seed")
+      .AddInt("p99_budget_us", 0, "fail if p99 exceeds this; 0 = off")
+      .AddInt("min_qps", 0, "fail if achieved qps is below this")
+      .AddDouble("min_hit_rate", 0.0,
+                 "fail if cache hit-rate is below this");
+  Status parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) {
+    return parse_status.code() == StatusCode::kOutOfRange ? 0 : 2;
+  }
+  if (flags.GetString("index").empty() ==
+      flags.GetString("synth_tier").empty()) {
+    std::fprintf(stderr, "exactly one of --index/--synth_tier required\n%s",
+                 flags.UsageString().c_str());
+    return 2;
+  }
+
+  std::shared_ptr<const ServingIndex> index;
+  if (!flags.GetString("index").empty()) {
+    auto loaded = ServingIndex::Load(flags.GetString("index"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load index: %s\n",
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    index =
+        std::make_shared<const ServingIndex>(std::move(loaded).value());
+  } else {
+    // Self-contained mode for perf work: tier graph + top-k-by-weight
+    // selection (selection quality is irrelevant to serving load).
+    auto tier =
+        prefcover::ParseScaleTierName(flags.GetString("synth_tier"));
+    if (!tier.ok()) {
+      std::fprintf(stderr, "%s\n", tier.status().ToString().c_str());
+      return 2;
+    }
+    auto graph = prefcover::GenerateScaleTierGraph(
+        *tier, static_cast<uint64_t>(flags.GetInt("synth_seed")));
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+      return 2;
+    }
+    size_t k = static_cast<size_t>(flags.GetInt("synth_k"));
+    if (k == 0) k = std::max<size_t>(1, graph->NumNodes() / 100);
+    auto solution = prefcover::SolveTopKWeight(
+        *graph, k, prefcover::Variant::kIndependent);
+    if (!solution.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   solution.status().ToString().c_str());
+      return 2;
+    }
+    auto built = ServingIndex::Build(*graph, *solution);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 2;
+    }
+    index = std::make_shared<const ServingIndex>(std::move(built).value());
+  }
+  const uint32_t n = static_cast<uint32_t>(index->NumNodes());
+  const uint64_t num_retained = index->NumRetained();
+  std::fprintf(stderr, "index: %" PRIu32 " nodes, %" PRIu64
+                       " retained, top_m=%zu\n",
+               n, num_retained, index->top_m());
+
+  QueryEngineOptions options;
+  options.batch_limit = static_cast<size_t>(flags.GetInt("batch"));
+  options.batch_window_us = flags.GetInt("batch_window_us");
+  options.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache_capacity"));
+  options.max_queue = static_cast<size_t>(flags.GetInt("max_queue"));
+  options.default_deadline_us = flags.GetInt("deadline_us");
+  std::unique_ptr<prefcover::ThreadPool> pool;
+  if (flags.GetInt("threads") > 0) {
+    pool = std::make_unique<prefcover::ThreadPool>(
+        static_cast<size_t>(flags.GetInt("threads")));
+    options.pool = pool.get();
+  }
+  QueryEngine engine(index, options);
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+  ZipfDistribution zipf(n, flags.GetDouble("zipf_s"));
+  const double subs_frac = flags.GetDouble("subs_frac");
+  const double covered_frac = flags.GetDouble("covered_frac");
+  const uint32_t top_j = static_cast<uint32_t>(flags.GetInt("top_j"));
+
+  const int64_t duration_ns =
+      static_cast<int64_t>(flags.GetDouble("duration_s") * 1e9);
+  const int64_t target_qps = flags.GetInt("qps");
+  const int64_t interarrival_ns =
+      target_qps > 0 ? 1000000000 / target_qps : 0;
+  const size_t max_outstanding =
+      static_cast<size_t>(flags.GetInt("outstanding"));
+
+  Tally tally;
+  tally.latency_us.Reserve(1 << 20);
+  std::deque<InFlight> in_flight;
+  uint64_t submitted = 0;
+
+  const int64_t start_ns = SteadyNowNanos();
+  int64_t next_send_ns = start_ns;
+  while (true) {
+    const int64_t now_ns = SteadyNowNanos();
+    if (now_ns - start_ns >= duration_ns) break;
+    if (interarrival_ns > 0) {
+      if (now_ns < next_send_ns) {
+        // Sub-10us gaps: spin instead of sleeping, the OS timer would
+        // blow the pacing budget.
+        continue;
+      }
+      next_send_ns += interarrival_ns;
+    }
+
+    Request request;
+    const double which = rng.NextDouble();
+    if (which < subs_frac) {
+      request.type = QueryType::kSubstitutes;
+      request.v = static_cast<NodeId>(zipf.Sample(&rng));
+      request.top_j = top_j;
+    } else if (which < subs_frac + covered_frac) {
+      request.type = QueryType::kCovered;
+      request.v = static_cast<NodeId>(zipf.Sample(&rng));
+    } else {
+      request.type = QueryType::kCoverageAtK;
+      request.coverage_k = rng.NextBounded(num_retained + 1);
+    }
+
+    InFlight entry;
+    entry.submit_ns = SteadyNowNanos();
+    entry.future = engine.Submit(std::move(request));
+    in_flight.push_back(std::move(entry));
+    ++submitted;
+
+    while (in_flight.size() >= max_outstanding) {
+      InFlight done = std::move(in_flight.front());
+      in_flight.pop_front();
+      tally.Absorb(done.future.get(), done.submit_ns);
+    }
+  }
+  for (InFlight& entry : in_flight) {
+    tally.Absorb(entry.future.get(), entry.submit_ns);
+  }
+  const int64_t end_ns = SteadyNowNanos();
+
+  const double elapsed_s = static_cast<double>(end_ns - start_ns) / 1e9;
+  const double achieved_qps =
+      elapsed_s > 0 ? static_cast<double>(tally.ok) / elapsed_s : 0.0;
+  const auto stats = engine.Stats();
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  const double hit_rate =
+      lookups > 0
+          ? static_cast<double>(stats.cache_hits) /
+                static_cast<double>(lookups)
+          : 0.0;
+  const double p50 = tally.latency_us.Quantile(0.50);
+  const double p95 = tally.latency_us.Quantile(0.95);
+  const double p99 = tally.latency_us.Quantile(0.99);
+
+  std::printf("{\"submitted\": %" PRIu64 ", \"ok\": %" PRIu64
+              ", \"deadline_cancelled\": %" PRIu64 ", \"shed\": %" PRIu64
+              ", \"protocol_errors\": %" PRIu64
+              ", \"elapsed_s\": %.3f, \"qps\": %.0f"
+              ", \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f"
+              ", \"batches\": %" PRIu64
+              ", \"cache_hit_rate\": %.4f}\n",
+              submitted, tally.ok, tally.deadline_cancelled, tally.shed,
+              tally.protocol_errors, elapsed_s, achieved_qps, p50, p95,
+              p99, stats.batches, hit_rate);
+
+  bool failed = false;
+  if (tally.protocol_errors > 0) {
+    std::fprintf(stderr, "FAIL: %" PRIu64 " protocol errors\n",
+                 tally.protocol_errors);
+    failed = true;
+  }
+  if (flags.GetInt("p99_budget_us") > 0 &&
+      p99 > static_cast<double>(flags.GetInt("p99_budget_us"))) {
+    std::fprintf(stderr, "FAIL: p99 %.1fus exceeds budget %" PRId64
+                         "us\n",
+                 p99, flags.GetInt("p99_budget_us"));
+    failed = true;
+  }
+  if (flags.GetInt("min_qps") > 0 &&
+      achieved_qps < static_cast<double>(flags.GetInt("min_qps"))) {
+    std::fprintf(stderr, "FAIL: qps %.0f below floor %" PRId64 "\n",
+                 achieved_qps, flags.GetInt("min_qps"));
+    failed = true;
+  }
+  if (flags.GetDouble("min_hit_rate") > 0.0 &&
+      hit_rate < flags.GetDouble("min_hit_rate")) {
+    std::fprintf(stderr, "FAIL: cache hit-rate %.4f below floor %.4f\n",
+                 hit_rate, flags.GetDouble("min_hit_rate"));
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
