@@ -61,23 +61,25 @@ class LruCache {
   };
 
   Shard& ShardFor(uint64_t key) {
-    // Multiplicative mix so sequential node ids spread across shards.
-    return shards_[(key * 0x9E3779B97F4A7C15ULL) >> shard_shift_];
+    // Multiplicative mix so sequential node ids spread across shards; the
+    // high 32 bits are the best-mixed, and masking (shard count is a power
+    // of two) stays well-defined even for a single shard, where a
+    // shift-by-width would be UB.
+    return shards_[((key * 0x9E3779B97F4A7C15ULL) >> 32) & shard_mask_];
   }
 
   size_t per_shard_capacity_ = 0;
-  unsigned shard_shift_ = 64;
+  uint64_t shard_mask_ = 0;
   std::vector<Shard> shards_;
 };
 
 inline LruCache::LruCache(size_t capacity, size_t shards) {
   if (capacity == 0) return;
-  // Round the shard count down to a power of two so ShardFor is a shift.
+  // Round the shard count down to a power of two so ShardFor is a mask.
   size_t pow2 = 1;
   while (pow2 * 2 <= shards) pow2 *= 2;
   if (pow2 > capacity) pow2 = 1;
-  shard_shift_ = 64;
-  for (size_t s = pow2; s > 1; s >>= 1) --shard_shift_;
+  shard_mask_ = pow2 - 1;
   shards_ = std::vector<Shard>(pow2);
   per_shard_capacity_ = (capacity + pow2 - 1) / pow2;
 }

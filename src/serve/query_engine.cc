@@ -84,10 +84,14 @@ QueryEngine::~QueryEngine() { Shutdown(); }
 void QueryEngine::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && !dispatcher_.joinable()) return;
     shutting_down_ = true;
   }
   queue_cv_.notify_all();
+  // Serialize the join itself: a second caller (e.g. the destructor
+  // racing an explicit Shutdown) blocks here until the first finishes,
+  // then sees joinable() == false. Joining the same thread from two
+  // threads concurrently would be UB.
+  std::lock_guard<std::mutex> join_lock(shutdown_mu_);
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
@@ -174,6 +178,10 @@ void QueryEngine::AnswerOne(const State& state, Pending* pending) {
   if (request.deadline_ns > 0 && SteadyNowNanos() > request.deadline_ns) {
     deadline_expired_->Increment();
     n_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+    // Expired requests still count as requests, so cache_hits +
+    // cache_misses + deadline_expired reconciles against requests.
+    requests_total_->Increment();
+    n_requests_.fetch_add(1, std::memory_order_relaxed);
     const int64_t done_ns = SteadyNowNanos();
     latency_us_hist_->Record(
         static_cast<double>(done_ns - pending->enqueue_ns) / 1000.0);

@@ -193,6 +193,10 @@ class QueryEngine {
   std::deque<Pending> queue_;
   bool shutting_down_ = false;
 
+  // Held across the dispatcher join so concurrent Shutdown callers
+  // (e.g. explicit Shutdown racing the destructor) never join twice.
+  std::mutex shutdown_mu_;
+
   std::thread dispatcher_;
 };
 

@@ -1,0 +1,76 @@
+// LruCache: sharding, eviction, and the small-capacity regression.
+
+#include "serve/lru_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace serve {
+namespace {
+
+TEST(LruCacheTest, SingleShardSmallCapacityIsSafe) {
+  // Regression: capacities 1-7 collapse to a single shard; indexing the
+  // shard array must stay in bounds for arbitrary keys (an earlier
+  // version shifted a uint64_t by 64, which is UB and out-of-bounds on
+  // x86). Reachable from `prefcover serve --cache_capacity=5`.
+  for (size_t capacity = 1; capacity <= 7; ++capacity) {
+    LruCache cache(capacity);
+    for (uint64_t key : {0ULL, 1ULL, 42ULL, 0xFFFFFFFFFFFFFFFFULL,
+                         0x9E3779B97F4A7C15ULL}) {
+      cache.Put(key, "v" + std::to_string(key));
+      std::string value;
+      EXPECT_TRUE(cache.Get(key, &value));
+      EXPECT_EQ(value, "v" + std::to_string(key));
+    }
+    EXPECT_LE(cache.Size(), capacity);
+  }
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Put(1, "x");
+  std::string value;
+  EXPECT_FALSE(cache.Get(1, &value));
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so recency order is global and deterministic.
+  LruCache cache(2, 1);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  std::string value;
+  ASSERT_TRUE(cache.Get(1, &value));  // 2 is now least recently used
+  cache.Put(3, "c");
+  EXPECT_FALSE(cache.Get(2, &value));
+  EXPECT_TRUE(cache.Get(1, &value));
+  EXPECT_TRUE(cache.Get(3, &value));
+}
+
+TEST(LruCacheTest, ConcurrentMixedTraffic) {
+  LruCache cache(256, 8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 2000; ++i) {
+        const uint64_t key = (static_cast<uint64_t>(t) << 32) | (i % 97);
+        cache.Put(key, std::to_string(key));
+        std::string value;
+        if (cache.Get(key, &value)) {
+          EXPECT_EQ(value, std::to_string(key));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_LE(cache.Size(), 256u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prefcover

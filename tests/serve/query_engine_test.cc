@@ -6,6 +6,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -245,6 +246,23 @@ TEST(QueryEngineTest, ShutdownAnswersEverythingThenRejects) {
   EXPECT_TRUE(engine->SubmitAndWait(Covered(0)).status.IsCancelled());
   engine->Shutdown();  // idempotent
   engine.reset();      // destructor after explicit Shutdown is safe
+}
+
+TEST(QueryEngineTest, ConcurrentShutdownIsSafe) {
+  // Regression: two callers racing into Shutdown (e.g. an explicit
+  // Shutdown racing the destructor) must not both join the dispatcher.
+  for (int round = 0; round < 20; ++round) {
+    QueryEngine engine(MakeIndex());
+    for (int i = 0; i < 8; ++i) {
+      (void)engine.Submit(Covered(static_cast<NodeId>(i)));
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&engine] { engine.Shutdown(); });
+    }
+    for (std::thread& thread : threads) thread.join();
+    // Destructor runs a fourth Shutdown.
+  }
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 
 #if defined(__unix__)
 #include <arpa/inet.h>
+#include <cerrno>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -637,6 +638,22 @@ std::string HandleServeLine(serve::QueryEngine* engine,
 }
 
 #if defined(__unix__)
+// Writes the whole buffer, retrying short writes and EINTR. A short
+// write on a TCP socket is routine under backpressure; dropping the tail
+// would desynchronize the line protocol. False on a real write error.
+bool WriteFully(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t wrote = write(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += wrote;
+    size -= static_cast<size_t>(wrote);
+  }
+  return true;
+}
+
 // Serves one accepted connection: newline-delimited requests in,
 // newline-delimited responses out. Returns false when the server should
 // stop accepting (client sent `shutdown`).
@@ -657,14 +674,14 @@ bool ServeConnection(serve::QueryEngine* engine, int fd) {
       if (TrimWhitespace(line) == "shutdown") {
         keep_serving = false;
         std::string bye = "OK bye\n";
-        (void)!write(fd, bye.data(), bye.size());
+        (void)WriteFully(fd, bye.data(), bye.size());
         close(fd);
         return keep_serving;
       }
       bool quit = false;
       std::string response = HandleServeLine(engine, line, &quit);
       response.push_back('\n');
-      if (write(fd, response.data(), response.size()) < 0) quit = true;
+      if (!WriteFully(fd, response.data(), response.size())) quit = true;
       if (quit) {
         close(fd);
         return keep_serving;
