@@ -110,6 +110,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Kernel-level dispatch comparison: the same gain probe and AddNode
+  // sweep pinned to each SimdLevel this process supports (scalar is the
+  // oracle; word/avx2 are the overhauled paths). The per-level case
+  // names make bench_compare surface the kernel speedup directly.
+  {
+    std::vector<SimdLevel> levels = {SimdLevel::kScalar, SimdLevel::kWord};
+    if (MaxSupportedSimdLevel() == SimdLevel::kAvx2) {
+      levels.push_back(SimdLevel::kAvx2);
+    }
+    const uint32_t n = 100'000;
+    for (Variant variant : {Variant::kIndependent, Variant::kNormalized}) {
+      auto graph = std::make_shared<PreferenceGraph>(
+          MakeGraph(n, variant == Variant::kNormalized, env.seed));
+      for (SimdLevel level : levels) {
+        auto state =
+            std::make_shared<CoverState>(graph.get(), variant, level);
+        for (NodeId v = 0; v < graph->NumNodes() / 10; ++v) {
+          state->AddNode(v);
+        }
+        constexpr uint64_t kProbes = 1'000'000;
+        BenchCase bench_case;
+        bench_case.name = std::string("gain_kernel/") +
+                          std::string(VariantName(variant)) + "/" +
+                          std::string(SimdLevelName(level)) + "/n" +
+                          std::to_string(n);
+        bench_case.profile = "uniform";
+        bench_case.variant = VariantName(variant);
+        bench_case.solver = "gain_kernel";
+        bench_case.n = n;
+        bench_case.run = [graph, state](BenchRecorder* recorder) -> Status {
+          NodeId probe = static_cast<NodeId>(graph->NumNodes() - 1);
+          double sink = 0.0;
+          for (uint64_t i = 0; i < kProbes; ++i) {
+            sink += state->GainOf(probe);
+          }
+          recorder->Record("items", static_cast<double>(kProbes));
+          recorder->Record("gain_sum", sink);
+          return Status::OK();
+        };
+        run_or_die(bench_case);
+      }
+    }
+    for (SimdLevel level : levels) {
+      auto graph = std::make_shared<PreferenceGraph>(
+          MakeGraph(n, false, env.seed));
+      BenchCase bench_case;
+      bench_case.name = std::string("add_node_kernel/") +
+                        std::string(SimdLevelName(level)) + "/n" +
+                        std::to_string(n);
+      bench_case.profile = "uniform";
+      bench_case.variant = "independent";
+      bench_case.solver = "add_node_kernel";
+      bench_case.n = n;
+      bench_case.run = [graph, level](BenchRecorder* recorder) -> Status {
+        CoverState state(graph.get(), Variant::kIndependent, level);
+        for (NodeId v = 0; v < graph->NumNodes(); v += 7) {
+          state.AddNode(v);
+        }
+        recorder->Record("items",
+                         static_cast<double>(graph->NumNodes() / 7));
+        recorder->Record("cover", state.cover());
+        return Status::OK();
+      };
+      run_or_die(bench_case);
+    }
+  }
+
   // AddNode sweep: build up a cover state over every 7th node.
   for (uint32_t n : {1'000u, 100'000u}) {
     PreferenceGraph g = MakeGraph(n, false, env.seed);

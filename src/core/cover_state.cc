@@ -1,44 +1,42 @@
 #include "core/cover_state.h"
 
+#include "util/logging.h"
+
 namespace prefcover {
 
 CoverState::CoverState(const PreferenceGraph* graph, Variant variant)
+    : CoverState(graph, variant, ActiveSimdLevel()) {}
+
+CoverState::CoverState(const PreferenceGraph* graph, Variant variant,
+                       SimdLevel level)
     : graph_(graph),
       variant_(variant),
+      level_(ClampKernelLevel(level, graph->NumNodes())),
       retained_(graph->NumNodes()),
-      item_(graph->NumNodes(), 0.0) {}
+      item_(graph->NumNodes(), 0.0),
+      residual_(graph->NumNodes(), 0.0) {
+  RefreshResidualsKernel(graph_->NodeWeights(), item_, residual_, level_);
+  if (variant_ == Variant::kNormalized && level_ != SimdLevel::kScalar) {
+    static_gain_ = BuildStaticGainTable(*graph_);
+  }
+}
+
+CoverStateView CoverState::View() const {
+  return {graph_->NodeWeights(), item_, residual_, static_gain_, &retained_};
+}
+
+MutableCoverStateView CoverState::MutableView() {
+  return {graph_->NodeWeights(), item_, residual_, static_gain_, &retained_};
+}
 
 double CoverState::GainOf(NodeId v) const {
   PREFCOVER_DCHECK(!retained_.Test(v));
-  // Line 1 of Algorithms 2/4: the candidate's own uncovered weight.
-  double gain = graph_->NodeWeight(v) - item_[v];
-  AdjacencyView in = graph_->InNeighbors(v);
-  switch (variant_) {
-    case Variant::kNormalized:
-      // Algorithm 2: each non-retained u with edge (u, v) newly routes
-      // W(u) * W(u, v) of its requests to v. Retained u are fully covered
-      // already (I[u] == W(u)); adding their term would double count.
-      // u == v (a self-loop, as produced by the VC_k reduction) is also
-      // excluded: v's own weight is fully accounted for by line 1.
-      for (size_t i = 0; i < in.size(); ++i) {
-        NodeId u = in.nodes[i];
-        if (u != v && !retained_.Test(u)) {
-          gain += graph_->NodeWeight(u) * in.weights[i];
-        }
-      }
-      break;
-    case Variant::kIndependent:
-      // Algorithm 4: the residual uncovered mass of u, W(u) - I[u], is
-      // matched by v independently with probability W(u, v).
-      for (size_t i = 0; i < in.size(); ++i) {
-        NodeId u = in.nodes[i];
-        if (u != v && !retained_.Test(u)) {
-          gain += in.weights[i] * (graph_->NodeWeight(u) - item_[u]);
-        }
-      }
-      break;
-  }
-  return gain;
+  return GainKernel(*graph_, View(), v, variant_, level_);
+}
+
+void CoverState::GainsInto(size_t begin, size_t end,
+                           std::span<double> gains) const {
+  GainRangeKernel(*graph_, View(), begin, end, variant_, level_, gains);
 }
 
 void CoverState::AddNode(NodeId v) {
@@ -48,28 +46,8 @@ void CoverState::AddNode(NodeId v) {
   // Lines 2-3 of Algorithms 3/5: v now covers itself completely.
   cover_ += graph_->NodeWeight(v) - item_[v];
   item_[v] = graph_->NodeWeight(v);
-
-  AdjacencyView in = graph_->InNeighbors(v);
-  switch (variant_) {
-    case Variant::kNormalized:
-      for (size_t i = 0; i < in.size(); ++i) {
-        NodeId u = in.nodes[i];
-        if (retained_.Test(u)) continue;
-        double delta = graph_->NodeWeight(u) * in.weights[i];
-        cover_ += delta;
-        item_[u] += delta;
-      }
-      break;
-    case Variant::kIndependent:
-      for (size_t i = 0; i < in.size(); ++i) {
-        NodeId u = in.nodes[i];
-        if (retained_.Test(u)) continue;
-        double delta = in.weights[i] * (graph_->NodeWeight(u) - item_[u]);
-        cover_ += delta;
-        item_[u] += delta;
-      }
-      break;
-  }
+  residual_[v] = graph_->NodeWeight(v) - item_[v];  // exactly +0.0
+  AddNodeUpdateKernel(*graph_, MutableView(), v, variant_, level_, &cover_);
 }
 
 double CoverState::ItemCoverage(NodeId v) const {
@@ -82,6 +60,7 @@ double CoverState::ItemCoverage(NodeId v) const {
 void CoverState::Reset() {
   retained_.Reset();
   item_.assign(graph_->NumNodes(), 0.0);
+  RefreshResidualsKernel(graph_->NodeWeights(), item_, residual_, level_);
   cover_ = 0.0;
   num_retained_ = 0;
 }

@@ -6,6 +6,14 @@
 // both requested and matched by the current retained set S, so
 // sum_v I[v] == C(S), and for v in S, I[v] == W(v).
 //
+// Since the SIMD/data-layout overhaul the state is structure-of-arrays —
+// I alongside the residual array W - I (fresh-subtraction invariant, see
+// core/coverage_kernels.h), a packed retained bitset, and the Normalized
+// variant's precomputed per-in-edge static gain table — and Gain/AddNode
+// dispatch to the coverage kernels at the SimdLevel fixed at
+// construction. Every level is bit-identical to the scalar reference, so
+// solutions do not depend on the host CPU.
+//
 // GainOf is const and touches only v's in-neighbors, so concurrent GainOf
 // calls from multiple threads are safe (the parallel greedy solver's
 // per-iteration candidate scan). AddNode requires exclusive access.
@@ -15,22 +23,34 @@
 
 #include <vector>
 
+#include "core/coverage_kernels.h"
 #include "core/variant.h"
 #include "graph/preference_graph.h"
 #include "util/bitset.h"
+#include "util/simd_dispatch.h"
 
 namespace prefcover {
 
 /// \brief Mutable solver state: retained set S, I array and running C(S).
 class CoverState {
  public:
-  /// The graph must outlive the state.
+  /// The graph must outlive the state. `level` picks the kernel dispatch
+  /// tier, clamped to what the build/CPU/instance supports; the default
+  /// honors the PREFCOVER_SIMD_LEVEL override (util/simd_dispatch.h).
   CoverState(const PreferenceGraph* graph, Variant variant);
+  CoverState(const PreferenceGraph* graph, Variant variant, SimdLevel level);
 
   /// Marginal gain to C(S) from adding v to S (Algorithm 2 for the
   /// Normalized variant, Algorithm 4 for the Independent one).
   /// Requires v not retained. Thread-safe against other GainOf calls.
   double GainOf(NodeId v) const;
+
+  /// Batch form: writes GainOf(v) into gains[v] for every v in
+  /// [begin, end) in one in-CSR streaming pass — each value bit-identical
+  /// to the per-node call. Values at retained positions are well-defined
+  /// but meaningless; callers mask them. Thread-safe against GainOf and
+  /// against GainsInto over disjoint ranges (the solvers' heap seed).
+  void GainsInto(size_t begin, size_t end, std::span<double> gains) const;
 
   /// Adds v to S, updating I and C(S) in O(in-degree of v)
   /// (Algorithms 3 / 5). Requires v not retained.
@@ -46,6 +66,11 @@ class CoverState {
   /// The I array: I[v] = P(v requested and matched by S).
   const std::vector<double>& item_contributions() const { return item_; }
 
+  /// Moves the I array out of the state — the terminal step of a solve,
+  /// saving an O(n) copy into the Solution. Afterwards the state is only
+  /// good for destruction or Reset().
+  std::vector<double> TakeItemContributions() { return std::move(item_); }
+
   /// Cover of item v by S, i.e. I[v] / W(v) (1 for retained items,
   /// 0 when W(v) == 0 and v unretained).
   double ItemCoverage(NodeId v) const;
@@ -53,14 +78,24 @@ class CoverState {
   Variant variant() const { return variant_; }
   const PreferenceGraph& graph() const { return *graph_; }
 
+  /// The kernel dispatch tier this state executes at (after clamping).
+  SimdLevel simd_level() const { return level_; }
+
   /// Returns to the empty retained set.
   void Reset();
 
  private:
+  CoverStateView View() const;
+  MutableCoverStateView MutableView();
+
   const PreferenceGraph* graph_;
   Variant variant_;
+  SimdLevel level_;
   Bitset retained_;
-  std::vector<double> item_;  // the paper's I array
+  std::vector<double> item_;      // the paper's I array
+  std::vector<double> residual_;  // W - I, fresh-subtraction invariant
+  // Normalized only: per-in-edge W(u) * W(u,v), indexed by InEdgeOffset.
+  std::vector<double> static_gain_;
   double cover_ = 0.0;
   size_t num_retained_ = 0;
 };

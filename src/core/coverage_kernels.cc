@@ -1,0 +1,323 @@
+#include "core/coverage_kernels.h"
+
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace prefcover {
+
+#if defined(PREFCOVER_HAVE_AVX2)
+// Defined in coverage_kernels_avx2.cc (compiled with -mavx2; reached
+// only when the CPU reports AVX2 — see ClampKernelLevel).
+namespace internal {
+double GainIndependentAvx2(const NodeId* nodes, const double* weights,
+                           size_t degree, const double* residual, NodeId v,
+                           double gain);
+double GainNormalizedAvx2(const NodeId* nodes, const double* static_gain,
+                          size_t degree, const uint64_t* retained_words,
+                          NodeId v, double gain);
+void AddNodeIndependentAvx2(const NodeId* nodes, const double* weights,
+                            size_t degree, const double* node_weights,
+                            double* item, double* residual, double* cover);
+void AddNodeNormalizedAvx2(const NodeId* nodes, const double* static_gain,
+                           size_t degree, const uint64_t* retained_words,
+                           const double* node_weights, double* item,
+                           double* residual, double* cover);
+void RefreshResidualsAvx2(const double* node_weights, const double* item,
+                          double* residual, size_t n);
+void GainRangeIndependentAvx2(const NodeId* src, const double* weights,
+                              const size_t* off, size_t begin, size_t end,
+                              const double* residual, double* out);
+void GainRangeNormalizedAvx2(const NodeId* src, const double* static_gain,
+                             const size_t* off, size_t begin, size_t end,
+                             const uint64_t* retained_words,
+                             const double* residual, double* out);
+}  // namespace internal
+#endif  // PREFCOVER_HAVE_AVX2
+
+namespace {
+
+// ---- kScalar: the pre-overhaul reference loops, verbatim. These are the
+// oracle of the differential suite; do not restructure them.
+
+double GainScalar(const PreferenceGraph& graph, const CoverStateView& s,
+                  NodeId v, Variant variant) {
+  double gain = graph.NodeWeight(v) - s.item[v];
+  AdjacencyView in = graph.InNeighbors(v);
+  switch (variant) {
+    case Variant::kNormalized:
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (u != v && !s.retained->Test(u)) {
+          gain += graph.NodeWeight(u) * in.weights[i];
+        }
+      }
+      break;
+    case Variant::kIndependent:
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (u != v && !s.retained->Test(u)) {
+          gain += in.weights[i] * (graph.NodeWeight(u) - s.item[u]);
+        }
+      }
+      break;
+  }
+  return gain;
+}
+
+void AddNodeScalar(const PreferenceGraph& graph,
+                   const MutableCoverStateView& s, NodeId v, Variant variant,
+                   double* cover) {
+  AdjacencyView in = graph.InNeighbors(v);
+  switch (variant) {
+    case Variant::kNormalized:
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (s.retained->Test(u)) continue;
+        double delta = graph.NodeWeight(u) * in.weights[i];
+        *cover += delta;
+        s.item[u] += delta;
+        s.residual[u] = graph.NodeWeight(u) - s.item[u];
+      }
+      break;
+    case Variant::kIndependent:
+      for (size_t i = 0; i < in.size(); ++i) {
+        NodeId u = in.nodes[i];
+        if (s.retained->Test(u)) continue;
+        double delta = in.weights[i] * (graph.NodeWeight(u) - s.item[u]);
+        *cover += delta;
+        s.item[u] += delta;
+        s.residual[u] = graph.NodeWeight(u) - s.item[u];
+      }
+      break;
+  }
+}
+
+// ---- kWord: branchless portable loops over the SoA layout. Masked-out
+// terms are the bitwise-neutral +0.0 (header: byte-identity argument).
+
+double GainWordIndependent(const AdjacencyView& in, const double* residual,
+                           NodeId v, double gain) {
+  // Retained u carry residual == +0.0, so no membership test is needed;
+  // only the self-loop lane is masked.
+  for (size_t i = 0; i < in.size(); ++i) {
+    NodeId u = in.nodes[i];
+    double term = in.weights[i] * residual[u];
+    gain += (u == v) ? 0.0 : term;
+  }
+  return gain;
+}
+
+double GainWordNormalized(const AdjacencyView& in, const double* static_gain,
+                          const Bitset& retained, NodeId v, double gain) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    NodeId u = in.nodes[i];
+    bool masked = (u == v) || retained.Test(u);
+    gain += masked ? 0.0 : static_gain[i];
+  }
+  return gain;
+}
+
+void AddNodeWordIndependent(const AdjacencyView& in,
+                            const MutableCoverStateView& s, double* cover) {
+  // delta is +0.0 for every retained u (incl. v's self-loop): cover,
+  // item and residual writes are all bitwise no-ops there.
+  for (size_t i = 0; i < in.size(); ++i) {
+    NodeId u = in.nodes[i];
+    double delta = in.weights[i] * s.residual[u];
+    *cover += delta;
+    s.item[u] += delta;
+    s.residual[u] = s.node_weights[u] - s.item[u];
+  }
+}
+
+void AddNodeWordNormalized(const AdjacencyView& in, const double* static_gain,
+                           const MutableCoverStateView& s, double* cover) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    NodeId u = in.nodes[i];
+    double delta = s.retained->Test(u) ? 0.0 : static_gain[i];
+    *cover += delta;
+    s.item[u] += delta;
+    s.residual[u] = s.node_weights[u] - s.item[u];
+  }
+}
+
+}  // namespace
+
+SimdLevel ClampKernelLevel(SimdLevel level, size_t num_nodes) {
+  if (level != SimdLevel::kAvx2) return level;
+  if (num_nodes >
+      static_cast<size_t>(std::numeric_limits<int32_t>::max())) {
+    return SimdLevel::kWord;
+  }
+#if defined(PREFCOVER_HAVE_AVX2)
+  if (CpuSupportsAvx2()) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kWord;
+}
+
+double GainKernel(const PreferenceGraph& graph, const CoverStateView& s,
+                  NodeId v, Variant variant, SimdLevel level) {
+  if (level == SimdLevel::kScalar) return GainScalar(graph, s, v, variant);
+  AdjacencyView in = graph.InNeighbors(v);
+  double gain = s.residual[v];  // == W(v) - item[v], fresh subtraction
+#if defined(PREFCOVER_HAVE_AVX2)
+  if (level == SimdLevel::kAvx2) {
+    switch (variant) {
+      case Variant::kIndependent:
+        return internal::GainIndependentAvx2(in.nodes.data(),
+                                             in.weights.data(), in.size(),
+                                             s.residual.data(), v, gain);
+      case Variant::kNormalized:
+        return internal::GainNormalizedAvx2(
+            in.nodes.data(),
+            s.static_gain.data() + graph.InEdgeOffset(v), in.size(),
+            s.retained->WordData(), v, gain);
+    }
+  }
+#endif
+  switch (variant) {
+    case Variant::kIndependent:
+      return GainWordIndependent(in, s.residual.data(), v, gain);
+    case Variant::kNormalized:
+      return GainWordNormalized(in,
+                                s.static_gain.data() + graph.InEdgeOffset(v),
+                                *s.retained, v, gain);
+  }
+  return gain;
+}
+
+void GainRangeKernel(const PreferenceGraph& graph, const CoverStateView& s,
+                     size_t begin, size_t end, Variant variant,
+                     SimdLevel level, std::span<double> out) {
+  PREFCOVER_DCHECK(begin <= end && end <= graph.NumNodes());
+  PREFCOVER_DCHECK(out.size() >= end);
+  if (level == SimdLevel::kScalar) {
+    // The oracle composition: one reference GainOf per node.
+    for (size_t v = begin; v < end; ++v) {
+      out[v] = GainScalar(graph, s, static_cast<NodeId>(v), variant);
+    }
+    return;
+  }
+  const size_t* off = graph.InEdgeOffsets().data();
+  const NodeId* src = graph.InEdgeSources().data();
+  const double* residual = s.residual.data();
+#if defined(PREFCOVER_HAVE_AVX2)
+  if (level == SimdLevel::kAvx2) {
+    switch (variant) {
+      case Variant::kIndependent:
+        internal::GainRangeIndependentAvx2(src,
+                                           graph.InEdgeWeights().data(), off,
+                                           begin, end, residual, out.data());
+        return;
+      case Variant::kNormalized:
+        internal::GainRangeNormalizedAvx2(src, s.static_gain.data(), off,
+                                          begin, end, s.retained->WordData(),
+                                          residual, out.data());
+        return;
+    }
+  }
+#endif
+  switch (variant) {
+    case Variant::kIndependent: {
+      const double* w = graph.InEdgeWeights().data();
+      for (size_t v = begin; v < end; ++v) {
+        double gain = residual[v];
+        for (size_t i = off[v]; i < off[v + 1]; ++i) {
+          const NodeId u = src[i];
+          const double term = w[i] * residual[u];
+          gain += (u == static_cast<NodeId>(v)) ? 0.0 : term;
+        }
+        out[v] = gain;
+      }
+      return;
+    }
+    case Variant::kNormalized: {
+      const double* sg = s.static_gain.data();
+      const uint64_t* words = s.retained->WordData();
+      for (size_t v = begin; v < end; ++v) {
+        double gain = residual[v];
+        for (size_t i = off[v]; i < off[v + 1]; ++i) {
+          const NodeId u = src[i];
+          const bool masked = (u == static_cast<NodeId>(v)) ||
+                              ((words[u >> 6] >> (u & 63)) & 1ULL);
+          gain += masked ? 0.0 : sg[i];
+        }
+        out[v] = gain;
+      }
+      return;
+    }
+  }
+}
+
+void AddNodeUpdateKernel(const PreferenceGraph& graph,
+                         const MutableCoverStateView& s, NodeId v,
+                         Variant variant, SimdLevel level, double* cover) {
+  if (level == SimdLevel::kScalar) {
+    AddNodeScalar(graph, s, v, variant, cover);
+    return;
+  }
+  AdjacencyView in = graph.InNeighbors(v);
+#if defined(PREFCOVER_HAVE_AVX2)
+  if (level == SimdLevel::kAvx2) {
+    switch (variant) {
+      case Variant::kIndependent:
+        internal::AddNodeIndependentAvx2(
+            in.nodes.data(), in.weights.data(), in.size(),
+            s.node_weights.data(), s.item.data(), s.residual.data(), cover);
+        return;
+      case Variant::kNormalized:
+        internal::AddNodeNormalizedAvx2(
+            in.nodes.data(),
+            s.static_gain.data() + graph.InEdgeOffset(v), in.size(),
+            s.retained->WordData(), s.node_weights.data(), s.item.data(),
+            s.residual.data(), cover);
+        return;
+    }
+  }
+#endif
+  switch (variant) {
+    case Variant::kIndependent:
+      AddNodeWordIndependent(in, s, cover);
+      break;
+    case Variant::kNormalized:
+      AddNodeWordNormalized(in,
+                            s.static_gain.data() + graph.InEdgeOffset(v), s,
+                            cover);
+      break;
+  }
+}
+
+void RefreshResidualsKernel(std::span<const double> node_weights,
+                            std::span<const double> item,
+                            std::span<double> residual, SimdLevel level) {
+  PREFCOVER_DCHECK(node_weights.size() == item.size() &&
+                   item.size() == residual.size());
+#if defined(PREFCOVER_HAVE_AVX2)
+  if (level == SimdLevel::kAvx2) {
+    internal::RefreshResidualsAvx2(node_weights.data(), item.data(),
+                                   residual.data(), residual.size());
+    return;
+  }
+#else
+  (void)level;
+#endif
+  for (size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = node_weights[i] - item[i];
+  }
+}
+
+std::vector<double> BuildStaticGainTable(const PreferenceGraph& graph) {
+  std::vector<double> table(graph.NumEdges());
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    AdjacencyView in = graph.InNeighbors(v);
+    double* slice = table.data() + graph.InEdgeOffset(v);
+    for (size_t i = 0; i < in.size(); ++i) {
+      slice[i] = graph.NodeWeight(in.nodes[i]) * in.weights[i];
+    }
+  }
+  return table;
+}
+
+}  // namespace prefcover

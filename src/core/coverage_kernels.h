@@ -1,0 +1,127 @@
+// The solver hot path as data-layout-aware kernels: GainOf, the AddNode
+// in-edge update, and batch residual refresh over a structure-of-arrays
+// cover state, with runtime SIMD dispatch (util/simd_dispatch.h).
+//
+// Layout. CoverState keeps, besides the paper's I array (`item`):
+//   - `residual[u]` — W(u) - item[u], ALWAYS stored as the result of that
+//     exact subtraction performed after the last item[u] write ("fresh
+//     subtraction" invariant). This makes the Independent-variant gain
+//     term w(u,v) * residual[u] bit-identical to the reference
+//     w(u,v) * (W(u) - item[u]), and makes residual[u] exactly +0.0 for
+//     retained u — so the Independent kernels need no retained test at
+//     all: masked terms contribute a bitwise-neutral +0.0.
+//   - `static_gain[e]` — per-in-edge precomputed W(u) * W(u,v) for the
+//     Normalized variant (whose gain terms do not depend on the evolving
+//     state), indexed by PreferenceGraph::InEdgeOffset. Empty for
+//     Independent.
+//   - the retained set as a packed 64-bit-word Bitset (gatherable by the
+//     AVX2 kernels, word-enumerable by the solvers).
+//
+// Byte-identity. Every level produces bit-identical doubles to kScalar
+// (the pre-overhaul reference loops, kept verbatim as the oracle):
+//   - faster levels replace branches with value-masking to +0.0 (for
+//     sums) — x + (+0.0) == x bitwise for every x except -0.0, and no
+//     partial sum here can be -0.0 (all inputs are non-negative, and
+//     a - b rounds to +0.0, never -0.0, under round-to-nearest);
+//   - SIMD vectorizes the *term* computation (gathers, multiplies,
+//     masking) but accumulates lanes in the reference's sequential
+//     order, so no reassociation ever happens;
+//   - no FMA: multiplies and adds stay separate operations at every
+//     level (the AVX2 translation unit is compiled with -mavx2 only).
+// The differential battery in tests/core/coverage_kernels_test.cc
+// asserts this end to end; docs/DESIGN.md has the full argument.
+//
+// Preconditions (established by graph validation): node weights and edge
+// weights are non-negative (no -0.0 sources), and adjacency lists carry
+// no duplicate endpoints (GraphBuilder rejects duplicate edges) — the
+// AddNode kernels read-modify-write scattered item/residual slots and
+// rely on each endpoint appearing at most once per list.
+
+#ifndef PREFCOVER_CORE_COVERAGE_KERNELS_H_
+#define PREFCOVER_CORE_COVERAGE_KERNELS_H_
+
+#include <span>
+#include <vector>
+
+#include "core/variant.h"
+#include "graph/preference_graph.h"
+#include "util/bitset.h"
+#include "util/simd_dispatch.h"
+
+namespace prefcover {
+
+/// \brief Read-only structure-of-arrays view of a cover state, as
+/// consumed by GainKernel. All spans are indexed by NodeId except
+/// `static_gain`, which is indexed by in-edge position (see
+/// PreferenceGraph::InEdgeOffset) and empty unless the variant is
+/// Normalized.
+struct CoverStateView {
+  std::span<const double> node_weights;
+  std::span<const double> item;
+  std::span<const double> residual;
+  std::span<const double> static_gain;
+  const Bitset* retained = nullptr;
+};
+
+/// \brief Mutable counterpart for the AddNode update kernel.
+struct MutableCoverStateView {
+  std::span<const double> node_weights;
+  std::span<double> item;
+  std::span<double> residual;
+  std::span<const double> static_gain;
+  const Bitset* retained = nullptr;
+};
+
+/// \brief Marginal gain of adding v (Algorithms 2 / 4), dispatched to
+/// `level`. Requires v not retained. Bit-identical across levels.
+/// Thread-safe against concurrent GainKernel calls on the same state.
+double GainKernel(const PreferenceGraph& graph, const CoverStateView& state,
+                  NodeId v, Variant variant, SimdLevel level);
+
+/// \brief Batch gain: writes GainKernel(v) into out[v] for every v in
+/// [begin, end), streaming the in-CSR in one pass — each per-node value
+/// is bit-identical to the corresponding GainKernel call, at every
+/// level. The fast levels amortize the per-call dispatch that dominates
+/// GainKernel on low-degree nodes (the greedy heap seed calls this over
+/// the whole node range). Values at retained positions are computed and
+/// well-defined but carry no meaning; callers mask them out.
+/// Thread-safe against concurrent Gain*Kernel calls on the same state;
+/// disjoint [begin, end) ranges may run concurrently.
+void GainRangeKernel(const PreferenceGraph& graph,
+                     const CoverStateView& state, size_t begin, size_t end,
+                     Variant variant, SimdLevel level,
+                     std::span<double> out);
+
+/// \brief The in-edge half of AddNode (Algorithms 3 / 5): for every
+/// non-retained in-neighbor u of v, accumulates the newly covered mass
+/// into *cover (in in-edge order, matching the reference association),
+/// updates item[u], and re-establishes the fresh-subtraction residual
+/// invariant. The caller must already have marked v retained and applied
+/// v's self-update (cover += W(v) - item[v]; item[v] = W(v);
+/// residual[v] = W(v) - item[v]).
+void AddNodeUpdateKernel(const PreferenceGraph& graph,
+                         const MutableCoverStateView& state, NodeId v,
+                         Variant variant, SimdLevel level, double* cover);
+
+/// \brief Batch residual refresh: residual[i] = node_weights[i] - item[i]
+/// for every i, re-establishing the fresh-subtraction invariant from
+/// scratch (construction, Reset, checkpoint resume).
+void RefreshResidualsKernel(std::span<const double> node_weights,
+                            std::span<const double> item,
+                            std::span<double> residual, SimdLevel level);
+
+/// \brief Precomputes the Normalized-variant static gain table:
+/// entry InEdgeOffset(v) + i is NodeWeight(in.nodes[i]) * in.weights[i]
+/// for the i-th in-edge of v — the exact product the reference loop
+/// computes on the fly. Size NumEdges().
+std::vector<double> BuildStaticGainTable(const PreferenceGraph& graph);
+
+/// \brief Clamps `level` to what this build, the CPU, and the instance
+/// can execute: kAvx2 degrades to kWord when the AVX2 kernels are not
+/// compiled in, the CPU lacks AVX2, or the graph has >= 2^31 nodes (the
+/// AVX2 gathers use signed 32-bit indices).
+SimdLevel ClampKernelLevel(SimdLevel level, size_t num_nodes);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_CORE_COVERAGE_KERNELS_H_

@@ -1,0 +1,216 @@
+// AVX2 implementations of the coverage kernels. This translation unit is
+// compiled with -mavx2 (and ONLY -mavx2 — no FMA: contraction would break
+// the byte-identity contract) and entered only after a runtime CPU check
+// (ClampKernelLevel), so the rest of the binary stays runnable on any
+// x86-64.
+//
+// The vector work computes gain/delta *terms* — index loads, residual or
+// retained-word gathers, multiplies, self-loop and retained masking — four
+// lanes at a time; accumulation into the running sum is done lane by lane
+// in the reference's sequential order, so no floating-point reassociation
+// occurs anywhere (see coverage_kernels.h for the full argument).
+//
+// Gathers use signed 32-bit indices; ClampKernelLevel rejects instances
+// with >= 2^31 nodes before this code can be reached.
+
+#if defined(PREFCOVER_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/preference_graph.h"
+
+// The gather intrinsics are macros that expand to C-style casts and to
+// an undefined-source builtin inside this TU; silence the project-wide
+// style warnings those expansions trip.
+#pragma GCC diagnostic ignored "-Wold-style-cast"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace prefcover {
+namespace internal {
+
+namespace {
+
+// Expands four 32-bit lane masks (0 / -1) to 64-bit and clears the
+// corresponding double lanes.
+inline __m256d MaskOutLanes(__m256d terms, __m128i lane_mask32) {
+  const __m256i mask64 = _mm256_cvtepi32_epi64(lane_mask32);
+  return _mm256_andnot_pd(_mm256_castsi256_pd(mask64), terms);
+}
+
+// 0/-1 64-bit lane masks for "retained bit of ids[lane] is set", read
+// from the packed bitset words.
+inline __m256i RetainedLaneMask(__m128i ids, const uint64_t* words) {
+  const __m128i word_idx = _mm_srli_epi32(ids, 6);
+  const __m256i word_vals = _mm256_i32gather_epi64(
+      reinterpret_cast<const long long*>(words), word_idx, 8);
+  const __m256i shift =
+      _mm256_cvtepi32_epi64(_mm_and_si128(ids, _mm_set1_epi32(63)));
+  const __m256i bit = _mm256_and_si256(_mm256_srlv_epi64(word_vals, shift),
+                                       _mm256_set1_epi64x(1));
+  return _mm256_sub_epi64(_mm256_setzero_si256(), bit);  // 0 or ~0
+}
+
+// Adds the four lanes of `terms` into `gain` in lane order — the exact
+// association of the scalar reference loop. Lanes are extracted with
+// register shuffles; a round-trip through a stack buffer costs a
+// store-forwarding stall per element in this hot loop.
+inline double AccumulateLanes(double gain, __m256d terms) {
+  const __m128d lo = _mm256_castpd256_pd128(terms);
+  const __m128d hi = _mm256_extractf128_pd(terms, 1);
+  gain += _mm_cvtsd_f64(lo);
+  gain += _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+  gain += _mm_cvtsd_f64(hi);
+  gain += _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+  return gain;
+}
+
+}  // namespace
+
+double GainIndependentAvx2(const NodeId* nodes, const double* weights,
+                           size_t degree, const double* residual, NodeId v,
+                           double gain) {
+  const __m128i self = _mm_set1_epi32(static_cast<int>(v));
+  size_t i = 0;
+  for (; i + 4 <= degree; i += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + i));
+    const __m256d res = _mm256_i32gather_pd(residual, ids, 8);
+    __m256d terms = _mm256_mul_pd(_mm256_loadu_pd(weights + i), res);
+    terms = MaskOutLanes(terms, _mm_cmpeq_epi32(ids, self));
+    gain = AccumulateLanes(gain, terms);
+  }
+  for (; i < degree; ++i) {
+    const NodeId u = nodes[i];
+    const double term = weights[i] * residual[u];
+    gain += (u == v) ? 0.0 : term;
+  }
+  return gain;
+}
+
+double GainNormalizedAvx2(const NodeId* nodes, const double* static_gain,
+                          size_t degree, const uint64_t* retained_words,
+                          NodeId v, double gain) {
+  const __m128i self = _mm_set1_epi32(static_cast<int>(v));
+  size_t i = 0;
+  for (; i + 4 <= degree; i += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + i));
+    __m256d terms = _mm256_loadu_pd(static_gain + i);
+    terms = _mm256_andnot_pd(
+        _mm256_castsi256_pd(RetainedLaneMask(ids, retained_words)), terms);
+    terms = MaskOutLanes(terms, _mm_cmpeq_epi32(ids, self));
+    gain = AccumulateLanes(gain, terms);
+  }
+  for (; i < degree; ++i) {
+    const NodeId u = nodes[i];
+    const bool masked =
+        (u == v) || ((retained_words[u >> 6] >> (u & 63)) & 1ULL);
+    gain += masked ? 0.0 : static_gain[i];
+  }
+  return gain;
+}
+
+void AddNodeIndependentAvx2(const NodeId* nodes, const double* weights,
+                            size_t degree, const double* node_weights,
+                            double* item, double* residual, double* cover) {
+  // Deltas are vectorized; the scattered item/residual writes have no
+  // AVX2 scatter and stay scalar. Retained u (incl. v's self-loop) carry
+  // residual == +0.0, so their delta is +0.0 and every write below is a
+  // bitwise no-op — no membership test needed.
+  size_t i = 0;
+  for (; i + 4 <= degree; i += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + i));
+    const __m256d res = _mm256_i32gather_pd(residual, ids, 8);
+    const __m256d deltas =
+        _mm256_mul_pd(_mm256_loadu_pd(weights + i), res);
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, deltas);
+    for (size_t j = 0; j < 4; ++j) {
+      const NodeId u = nodes[i + j];
+      *cover += lane[j];
+      item[u] += lane[j];
+      residual[u] = node_weights[u] - item[u];
+    }
+  }
+  for (; i < degree; ++i) {
+    const NodeId u = nodes[i];
+    const double delta = weights[i] * residual[u];
+    *cover += delta;
+    item[u] += delta;
+    residual[u] = node_weights[u] - item[u];
+  }
+}
+
+void AddNodeNormalizedAvx2(const NodeId* nodes, const double* static_gain,
+                           size_t degree, const uint64_t* retained_words,
+                           const double* node_weights, double* item,
+                           double* residual, double* cover) {
+  size_t i = 0;
+  for (; i + 4 <= degree; i += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nodes + i));
+    __m256d deltas = _mm256_loadu_pd(static_gain + i);
+    deltas = _mm256_andnot_pd(
+        _mm256_castsi256_pd(RetainedLaneMask(ids, retained_words)), deltas);
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, deltas);
+    for (size_t j = 0; j < 4; ++j) {
+      const NodeId u = nodes[i + j];
+      *cover += lane[j];
+      item[u] += lane[j];
+      residual[u] = node_weights[u] - item[u];
+    }
+  }
+  for (; i < degree; ++i) {
+    const NodeId u = nodes[i];
+    const bool retained = (retained_words[u >> 6] >> (u & 63)) & 1ULL;
+    const double delta = retained ? 0.0 : static_gain[i];
+    *cover += delta;
+    item[u] += delta;
+    residual[u] = node_weights[u] - item[u];
+  }
+}
+
+// Range forms of the gain kernels: the per-node bodies inline into the
+// sweep, so the greedy heap seed pays one call for the whole range
+// instead of one dispatch per node.
+void GainRangeIndependentAvx2(const NodeId* src, const double* weights,
+                              const size_t* off, size_t begin, size_t end,
+                              const double* residual, double* out) {
+  for (size_t v = begin; v < end; ++v) {
+    out[v] = GainIndependentAvx2(src + off[v], weights + off[v],
+                                 off[v + 1] - off[v], residual,
+                                 static_cast<NodeId>(v), residual[v]);
+  }
+}
+
+void GainRangeNormalizedAvx2(const NodeId* src, const double* static_gain,
+                             const size_t* off, size_t begin, size_t end,
+                             const uint64_t* retained_words,
+                             const double* residual, double* out) {
+  for (size_t v = begin; v < end; ++v) {
+    out[v] = GainNormalizedAvx2(src + off[v], static_gain + off[v],
+                                off[v + 1] - off[v], retained_words,
+                                static_cast<NodeId>(v), residual[v]);
+  }
+}
+
+void RefreshResidualsAvx2(const double* node_weights, const double* item,
+                          double* residual, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(residual + i,
+                     _mm256_sub_pd(_mm256_loadu_pd(node_weights + i),
+                                   _mm256_loadu_pd(item + i)));
+  }
+  for (; i < n; ++i) residual[i] = node_weights[i] - item[i];
+}
+
+}  // namespace internal
+}  // namespace prefcover
+
+#endif  // PREFCOVER_HAVE_AVX2

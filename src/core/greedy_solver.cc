@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numbers>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "core/checkpoint.h"
@@ -24,6 +26,36 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
+// Word-parallel candidate enumeration: visits every node that is neither
+// retained nor excluded, in increasing id order (the order the plain
+// scan's strict-> tie-break depends on), testing 64 nodes per word load
+// instead of two bit probes per node.
+template <typename Fn>
+void ForEachCandidate(const Bitset& retained, const Bitset& excluded,
+                      Fn&& fn) {
+  const size_t n = retained.size();
+  for (size_t w = 0; w < retained.NumWords(); ++w) {
+    uint64_t live = ~(retained.WordAt(w) | excluded.WordAt(w));
+    const size_t base = w * Bitset::kWordBits;
+    if (n - base < Bitset::kWordBits) {  // ghost bits beyond n
+      live &= (1ULL << (n - base)) - 1;
+    }
+    if (live == ~0ULL) {
+      // Full word (the common case before many selections): skip the
+      // bit-extraction dance entirely.
+      for (size_t b = 0; b < Bitset::kWordBits; ++b) {
+        fn(static_cast<NodeId>(base + b));
+      }
+      continue;
+    }
+    while (live != 0) {
+      const int b = __builtin_ctzll(live);
+      live &= live - 1;
+      fn(static_cast<NodeId>(base + static_cast<size_t>(b)));
+    }
+  }
+}
+
 // Working set shared by the four executions: the incremental cover state,
 // the partial solution, the exclusion mask and the telemetry instruments.
 //
@@ -41,6 +73,7 @@ struct GreedyRun {
         heap_pops(metrics.GetCounter(solver_metric::kHeapPops)),
         stale_refreshes(
             metrics.GetCounter(solver_metric::kStaleRefreshes)),
+        seed_refills(metrics.GetCounter(solver_metric::kSeedRefills)),
         parallel_batches(
             metrics.GetCounter(solver_metric::kParallelBatches)),
         parallel_items(metrics.GetCounter(solver_metric::kParallelItems)) {}
@@ -49,12 +82,14 @@ struct GreedyRun {
   std::vector<NodeId> items;
   std::vector<double> prefix_covers;
   Bitset excluded;
+  size_t num_excluded = 0;  // popcount of `excluded`, fixed at init
 
   obs::MetricsRegistry metrics;  // run-scoped; declared before handles
   obs::Counter* iterations;
   obs::Counter* gain_evaluations;
   obs::Counter* heap_pops;
   obs::Counter* stale_refreshes;
+  obs::Counter* seed_refills;
   obs::Counter* parallel_batches;
   obs::Counter* parallel_items;
 
@@ -180,6 +215,7 @@ Status InitGreedyRun(const PreferenceGraph& graph, size_t k,
   run->prefix_covers.reserve(k);
   run->excluded = Bitset(graph.NumNodes());
   for (NodeId v : options.force_exclude) run->excluded.Set(v);
+  run->num_excluded = options.force_exclude.size();  // validated distinct
   // A resume prefix replaces force_include seeding: a validated
   // checkpoint prefix already begins with the forced items. Replaying
   // AddNode over it reproduces the exact cover state (and the exact
@@ -242,7 +278,7 @@ Solution FinishSolution(GreedyRun&& run, Variant variant,
   sol.items = std::move(run.items);
   sol.cover_after_prefix = std::move(run.prefix_covers);
   sol.cover = run.state.cover();
-  sol.item_contributions = run.state.item_contributions();
+  sol.item_contributions = run.state.TakeItemContributions();
   sol.variant = variant;
   sol.algorithm = algorithm;
   sol.solve_seconds = seconds;
@@ -300,24 +336,30 @@ Result<Solution> SolveGreedy(const PreferenceGraph& graph, size_t k,
   obs::Span solve_span("solver.solve", "solver");
   solve_span.Arg("algorithm", "greedy");
   solve_span.Arg("k", static_cast<uint64_t>(k));
-  const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
+  solve_span.Arg("simd", SimdLevelName(run.state.simd_level()).data());
 
+  // Per-round scratch for the batch gain sweep: one streaming kernel
+  // call computes every node's gain, then the candidate scan reduces.
+  // Uninitialized on purpose — every sweep overwrites [0, n) first.
+  const auto gains_buf =
+      std::make_unique_for_overwrite<double[]>(graph.NumNodes());
+  const std::span<double> gains(gains_buf.get(), graph.NumNodes());
   while (run.items.size() < k) {
     if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
+    run.state.GainsInto(0, graph.NumNodes(), gains);
     double best_gain = -1.0;
     NodeId best = kInvalidNode;
-    for (NodeId v = 0; v < n; ++v) {
-      if (run.state.IsRetained(v) || run.excluded.Test(v)) continue;
-      double gain = run.state.GainOf(v);
+    ForEachCandidate(run.state.retained(), run.excluded, [&](NodeId v) {
+      double gain = gains[v];
       ++run.pending_gain_evals;
       if (gain > best_gain) {  // strict: ties keep the smaller id
         best_gain = gain;
         best = v;
       }
-    }
+    });
     if (best == kInvalidNode) break;  // all nodes retained
     run.Select(best);
   }
@@ -336,6 +378,7 @@ Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
   const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
+  solve_span.Arg("simd", SimdLevelName(run.state.simd_level()).data());
   run.stats.threads = pool == nullptr ? 1 : pool->num_threads();
 
   while (run.items.size() < k) {
@@ -391,6 +434,142 @@ struct Worse {
 using LazyHeap =
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, Worse>;
 
+// --- Threshold-seeded CELF heap ------------------------------------------
+//
+// Seeding the heap with all n candidates costs an O(n) make_heap whose
+// constant dominates large lazy solves (CELF rarely consumes more than a
+// few thousand entries for realistic k), so the seed keeps only the best
+// `cap` candidates by the heap's exact (gain, id) order, remembered
+// together with the cut threshold theta — the worst kept entry.
+//
+// Exactness: gains only decrease as the retained set grows
+// (submodularity) and ids never change, so a cut candidate's (gain, id)
+// pair stays strictly below theta forever (theta itself was kept). While
+// the selection front stays at or above theta the cut pool cannot hold
+// the argmax; the moment it might — the best fresh pair drops below
+// theta, or the kept pool drains — the solver refills: one batch gain
+// sweep over every candidate and a fresh top-`cap` rebuild, after which
+// the new front again dominates the new cut. Refills are counted in
+// solver.seed_refills and their sweeps in solver.gain_evaluations, so
+// the pruning telemetry stays honest.
+struct SeededHeap {
+  LazyHeap heap;
+  // Worst entry kept by the last seed/refill; only meaningful when
+  // `truncated` (its round field is never consulted).
+  HeapEntry theta{0.0, 0, 0};
+  bool truncated = false;  // candidates were cut at theta
+};
+
+// Streams the candidate set over batch-computed `gains`, keeping the top
+// `cap` entries by the heap order. Collect-and-compact: candidates above
+// the running threshold are appended to a 2*cap buffer which is cut back
+// to the exact top `cap` (nth_element by pair order) whenever it fills —
+// O(1) amortized per survivor instead of a push_heap, and one predictable
+// compare for the common below-threshold case. (gain, id) pairs are
+// unique, so the selected set — and therefore every downstream refill
+// decision — does not depend on nth_element's implementation. Tallies
+// one gain evaluation per candidate (the batch sweep computed them all).
+SeededHeap BuildSeededHeap(std::span<const double> gains, size_t cap,
+                           uint32_t round, GreedyRun* run) {
+  const auto best_first = [](const HeapEntry& a, const HeapEntry& b) {
+    return Worse()(b, a);
+  };
+  std::vector<HeapEntry> keep;
+  keep.reserve(2 * cap);
+  size_t candidates = 0;
+  double theta_gain = kNegInf;  // nothing is cut until the first compact
+  NodeId theta_node = 0;
+  const auto compact = [&] {
+    std::nth_element(keep.begin(),
+                     keep.begin() + static_cast<ptrdiff_t>(cap - 1),
+                     keep.end(), best_first);
+    keep.resize(cap);
+    theta_gain = keep[cap - 1].gain;
+    theta_node = keep[cap - 1].node;
+  };
+  ForEachCandidate(run->state.retained(), run->excluded, [&](NodeId v) {
+    ++candidates;
+    ++run->pending_gain_evals;
+    const double g = gains[v];
+    if (g < theta_gain || (g == theta_gain && v > theta_node)) return;
+    keep.push_back({g, v, round});
+    if (keep.size() == 2 * cap) compact();
+  });
+  if (keep.size() > cap) compact();
+  SeededHeap out;
+  out.truncated = candidates > keep.size();
+  if (out.truncated) out.theta = {theta_gain, theta_node, round};
+  out.heap = LazyHeap(Worse(), std::move(keep));
+  return out;
+}
+
+// Bound-ordered seed for the kernel tiers: instead of a full batch gain
+// sweep, walk the graph's precomputed descending static-gain-bound order
+// (PreferenceGraph::NodesByStaticGainBound) evaluating exact gains per
+// node, and STOP once the running threshold theta exceeds every remaining
+// bound — Gain(v) <= bound(v) against any retained set, so no unvisited
+// node can belong to the top `cap`. On skewed catalogs this touches a few
+// thousand nodes instead of every in-edge in the graph, and because the
+// bounds are static the same early exit applies to every refill.
+//
+// theta here is the last compact's cut (a lower bound on the running
+// exact threshold), so the stop test is conservative: it can only visit
+// extra nodes, never skip a needed one. The kept set is the exact top
+// `cap` by (gain, id) — identical to BuildSeededHeap's — so the scalar
+// tier (which seeds via the full sweep, staying the literal reference)
+// and the kernel tiers select identical node sequences.
+SeededHeap BuildSeededHeapBounded(size_t cap, uint32_t round,
+                                  GreedyRun* run) {
+  const auto best_first = [](const HeapEntry& a, const HeapEntry& b) {
+    return Worse()(b, a);
+  };
+  const PreferenceGraph& graph = run->state.graph();
+  const std::span<const double> bounds = graph.StaticGainBounds();
+  const Bitset& retained = run->state.retained();
+  std::vector<HeapEntry> keep;
+  keep.reserve(2 * cap);
+  double theta_gain = kNegInf;  // nothing is cut until the first compact
+  NodeId theta_node = 0;
+  const auto compact = [&] {
+    std::nth_element(keep.begin(),
+                     keep.begin() + static_cast<ptrdiff_t>(cap - 1),
+                     keep.end(), best_first);
+    keep.resize(cap);
+    theta_gain = keep[cap - 1].gain;
+    theta_node = keep[cap - 1].node;
+  };
+  for (const NodeId v : graph.NodesByStaticGainBound()) {
+    // Strict: a bound that ties theta can still hide a gain that ties
+    // theta with a smaller id, which would outrank it in pair order.
+    if (bounds[v] < theta_gain) break;
+    if (retained.Test(v) || run->excluded.Test(v)) continue;
+    const double g = run->state.GainOf(v);
+    ++run->pending_gain_evals;
+    if (g < theta_gain || (g == theta_gain && v > theta_node)) continue;
+    keep.push_back({g, v, round});
+    if (keep.size() == 2 * cap) compact();
+  }
+  if (keep.size() > cap) compact();
+  SeededHeap out;
+  // Candidates below the cut — whether filtered or never visited — were
+  // truncated exactly when fewer entries were kept than candidates exist.
+  const size_t candidates =
+      graph.NumNodes() - run->state.NumRetained() - run->num_excluded;
+  out.truncated = candidates > keep.size();
+  if (out.truncated) out.theta = {theta_gain, theta_node, round};
+  out.heap = LazyHeap(Worse(), std::move(keep));
+  return out;
+}
+
+constexpr size_t kDefaultSeedHeapCapacity = 1024;
+
+size_t EffectiveSeedCapacity(const GreedyOptions& options, size_t n) {
+  const size_t cap = options.seed_heap_capacity > 0
+                         ? options.seed_heap_capacity
+                         : kDefaultSeedHeapCapacity;
+  return std::min(cap, n);
+}
+
 }  // namespace
 
 Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
@@ -403,28 +582,48 @@ Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
   const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
+  solve_span.Arg("simd", SimdLevelName(run.state.simd_level()).data());
 
-  LazyHeap heap;
-  {
+  const size_t seed_cap = EffectiveSeedCapacity(options, n);
+  // The kernel tiers seed via the bound-ordered early-exit scan; the
+  // scalar tier stays the literal reference — a full batch gain sweep
+  // (values at retained/excluded positions are discarded by the
+  // candidate scan) cut to the top seed_cap. Both build the exact same
+  // SeededHeap, so the tiers select identical node sequences.
+  const bool bounded_seed = run.state.simd_level() != SimdLevel::kScalar;
+  std::unique_ptr<double[]> gains_buf;
+  std::span<double> gains;
+  if (!bounded_seed) {
+    // Uninitialized on purpose — every sweep overwrites [0, n) first.
+    gains_buf = std::make_unique_for_overwrite<double[]>(n);
+    gains = std::span<double>(gains_buf.get(), n);
+  }
+  SeededHeap seeded;
+  const auto reseed = [&](uint32_t seed_round) {
     obs::Span seed_span("solver.init_heap", "solver");
     seed_span.Arg("n", static_cast<uint64_t>(n));
-    // Initial gains: I is all zeros, so GainOf reduces to the static
-    // standalone value; one pass over the in-adjacency.
-    std::vector<HeapEntry> initial;
-    initial.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-      if (run.state.IsRetained(v) || run.excluded.Test(v)) continue;
-      initial.push_back({run.state.GainOf(v), v, 0});
-      ++run.pending_gain_evals;
+    if (bounded_seed) {
+      seeded = BuildSeededHeapBounded(seed_cap, seed_round, &run);
+    } else {
+      run.state.GainsInto(0, n, gains);
+      seeded = BuildSeededHeap(gains, seed_cap, seed_round, &run);
     }
-    heap = LazyHeap(Worse(), std::move(initial));
-  }
+  };
+  reseed(0);
+  LazyHeap& heap = seeded.heap;
 
   uint32_t round = 0;
   run.iteration_timer.Reset();
-  while (run.items.size() < k && !heap.empty()) {
+  while (run.items.size() < k) {
     if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
+    if (heap.empty()) {
+      if (!seeded.truncated) break;
+      // The kept pool drained; pull the cut candidates back in.
+      run.seed_refills->Increment();
+      reseed(round);
+      continue;
+    }
     HeapEntry top = heap.top();
     heap.pop();
     ++run.pending_heap_pops;
@@ -437,6 +636,14 @@ Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
       ++run.pending_gain_evals;
       ++run.pending_stale_refreshes;
       heap.push(top);
+      continue;
+    }
+    if (seeded.truncated && Worse()(top, seeded.theta)) {
+      // The fresh front fell below the seed cut: a cut candidate may now
+      // be the true argmax. Rebuild from a fresh full sweep (top's node
+      // is still a candidate, so the rebuild re-covers it).
+      run.seed_refills->Increment();
+      reseed(round);
       continue;
     }
     run.Select(top.node);
@@ -457,6 +664,7 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
   const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
+  solve_span.Arg("simd", SimdLevelName(run.state.simd_level()).data());
 
   const size_t threads = pool == nullptr ? 1 : pool->num_threads();
   const size_t batch_size =
@@ -465,29 +673,43 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
   run.stats.threads = threads;
   run.stats.batch_size = batch_size;
 
-  LazyHeap heap;
-  {
+  const size_t seed_cap = EffectiveSeedCapacity(options, n);
+  // Kernel tiers: bound-ordered early-exit seed, serial — it touches so
+  // few nodes that a pool dispatch costs more than it saves. Scalar
+  // tier: full batch gain sweep as disjoint chunks on the pool. Gains
+  // are independent of each other (GainOf is const), so chunk
+  // boundaries cannot affect the values, and both builders keep the
+  // exact same top seed_cap — the result, and every downstream refill
+  // decision, is identical for every tier and thread count.
+  const bool bounded_seed = run.state.simd_level() != SimdLevel::kScalar;
+  std::unique_ptr<double[]> gains_buf;
+  std::span<double> gains;
+  if (!bounded_seed) {
+    // Uninitialized on purpose — every sweep overwrites [0, n) first.
+    gains_buf = std::make_unique_for_overwrite<double[]>(n);
+    gains = std::span<double>(gains_buf.get(), n);
+  }
+  SeededHeap seeded;
+  const auto reseed = [&](uint32_t seed_round) {
     obs::Span seed_span("solver.init_heap", "solver");
     seed_span.Arg("n", static_cast<uint64_t>(n));
-    // Initial gains are independent of each other (GainOf is const), so
-    // the heap seed itself is evaluated on the pool.
-    std::vector<double> initial_gains(n, kNegInf);
-    ParallelFor(pool, 0, n, [&run, &initial_gains](size_t i) {
-      NodeId v = static_cast<NodeId>(i);
-      if (run.state.IsRetained(v) || run.excluded.Test(v)) return;
-      initial_gains[i] = run.state.GainOf(v);
+    if (bounded_seed) {
+      seeded = BuildSeededHeapBounded(seed_cap, seed_round, &run);
+      return;
+    }
+    constexpr size_t kSeedChunk = 4096;
+    const size_t num_chunks = (n + kSeedChunk - 1) / kSeedChunk;
+    ParallelFor(pool, 0, num_chunks, [&run, &gains, n](size_t c) {
+      const size_t chunk_begin = c * kSeedChunk;
+      run.state.GainsInto(chunk_begin,
+                          std::min(n, chunk_begin + kSeedChunk), gains);
     });
     run.parallel_batches->Increment();
     run.parallel_items->Increment(n);
-    std::vector<HeapEntry> initial;
-    initial.reserve(n);
-    for (NodeId v = 0; v < n; ++v) {
-      if (initial_gains[v] == kNegInf) continue;
-      initial.push_back({initial_gains[v], v, 0});
-      ++run.pending_gain_evals;
-    }
-    heap = LazyHeap(Worse(), std::move(initial));
-  }
+    seeded = BuildSeededHeap(gains, seed_cap, seed_round, &run);
+  };
+  reseed(0);
+  LazyHeap& heap = seeded.heap;
 
   std::vector<size_t> batch;
   std::vector<double> batch_gains;
@@ -496,9 +718,16 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
   batch.reserve(std::min(batch_size, n));
   uint32_t round = 0;
   run.iteration_timer.Reset();
-  while (run.items.size() < k && !heap.empty()) {
+  while (run.items.size() < k) {
     if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
+    if (heap.empty()) {
+      if (!seeded.truncated) break;
+      // The kept pool drained; pull the cut candidates back in.
+      run.seed_refills->Increment();
+      reseed(round);
+      continue;
+    }
     HeapEntry top = heap.top();
     if (run.state.IsRetained(top.node)) {
       heap.pop();
@@ -506,6 +735,13 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
       continue;
     }
     if (top.round == round) {
+      if (seeded.truncated && Worse()(top, seeded.theta)) {
+        // The fresh front fell below the seed cut: a cut candidate may
+        // now be the true argmax. Rebuild from a fresh full sweep.
+        run.seed_refills->Increment();
+        reseed(round);
+        continue;
+      }
       // A fresh top dominates every other entry's stored gain, and stored
       // gains upper-bound true gains (submodularity), so this is exactly
       // the plain-greedy argmax; the heap comparator already broke gain
@@ -559,9 +795,17 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
     // On equality we cannot decide here (a remaining entry might refresh
     // to the same gain with a smaller id), so everything is reinserted
     // fresh and the next loop iteration selects via the heap comparator.
+    // Under a truncated seed the winner must additionally clear the seed
+    // cut — below theta a cut candidate could be the true argmax, so
+    // everything is reinserted fresh and the next iteration's fresh-top
+    // check routes into the reseed path.
     const bool select_now =
         best_pos != batch.size() &&
-        (heap.empty() || best_gain > heap.top().gain);
+        (heap.empty() || best_gain > heap.top().gain) &&
+        (!seeded.truncated ||
+         !Worse()(HeapEntry{best_gain, static_cast<NodeId>(batch[best_pos]),
+                            round},
+                  seeded.theta));
     for (size_t j = 0; j < batch.size(); ++j) {
       if (select_now && j == best_pos) continue;
       heap.push({batch_gains[j], static_cast<NodeId>(batch[j]), round});

@@ -95,6 +95,15 @@ struct GreedyOptions {
   /// The selected node sequence is identical for every value.
   size_t batch_size = 0;
 
+  /// Heap seed capacity T for the lazy executions: the seed keeps only
+  /// the top-T candidates by (gain, id) and pulls the cut-off rest back
+  /// in through exact threshold refills when the selection front drops
+  /// below the cut (counted in `SolverStats::seed_refills`). 0 = default
+  /// (1024). The selected node sequence is identical for every value —
+  /// this is purely a performance knob; see greedy_solver.cc for the
+  /// exactness argument.
+  size_t seed_heap_capacity = 0;
+
   /// Cooperative cancellation (explicit Cancel() or a deadline). Checked
   /// at round boundaries: a tripped token stops the search and returns
   /// the best greedy prefix selected so far — never an error, never an

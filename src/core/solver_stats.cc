@@ -12,6 +12,7 @@ void SolverStats::LoadCounters(const obs::MetricsSnapshot& snapshot) {
   gain_evaluations = snapshot.CounterOr(solver_metric::kGainEvaluations);
   heap_pops = snapshot.CounterOr(solver_metric::kHeapPops);
   stale_refreshes = snapshot.CounterOr(solver_metric::kStaleRefreshes);
+  seed_refills = snapshot.CounterOr(solver_metric::kSeedRefills);
   parallel_batches = snapshot.CounterOr(solver_metric::kParallelBatches);
   parallel_items = snapshot.CounterOr(solver_metric::kParallelItems);
 }

@@ -29,6 +29,7 @@ inline constexpr char kIterations[] = "solver.iterations";
 inline constexpr char kGainEvaluations[] = "solver.gain_evaluations";
 inline constexpr char kHeapPops[] = "solver.heap_pops";
 inline constexpr char kStaleRefreshes[] = "solver.stale_refreshes";
+inline constexpr char kSeedRefills[] = "solver.seed_refills";
 inline constexpr char kParallelBatches[] = "solver.parallel_batches";
 inline constexpr char kParallelItems[] = "solver.parallel_items";
 /// Bumped once per solve that was truncated by cancellation or deadline
@@ -61,6 +62,12 @@ struct SolverStats {
 
   /// Popped entries whose gain was stale and had to be re-evaluated.
   uint64_t stale_refreshes = 0;
+
+  /// Full re-sweeps of the candidate gains triggered when the lazy heap's
+  /// threshold seed could no longer certify the argmax (see
+  /// GreedyOptions::seed_heap_capacity). 0 when every candidate fit in
+  /// the seed.
+  uint64_t seed_refills = 0;
 
   /// Parallel dispatches (one per `ParallelArgMax` / batched call) and the
   /// total work items they carried.

@@ -177,6 +177,32 @@ Result<PreferenceGraph> GraphBuilder::Finalize(
     }
   }
 
+  // Static gain-bound index (see PreferenceGraph::StaticGainBounds):
+  // bound(v) = W(v) + sum_{(u,v), u != v} W(u) * W(u,v), over the in-CSR
+  // just built, plus the descending-bound node order. One O(m) pass and
+  // one O(n log n) sort at build time buys the solvers a seed scan that
+  // can stop after the plausible candidates instead of touching every
+  // edge (ties order by ascending id, so the index is deterministic).
+  g.static_gain_bounds_.resize(n);
+  g.bound_order_.resize(n);
+  for (size_t v = 0; v < n; ++v) {
+    double bound = g.node_weights_[v];
+    for (size_t i = g.in_offsets_[v]; i < g.in_offsets_[v + 1]; ++i) {
+      const NodeId u = g.in_sources_[i];
+      if (u == v) continue;
+      bound += g.node_weights_[u] * g.in_weights_[i];
+    }
+    g.static_gain_bounds_[v] = bound;
+    g.bound_order_[v] = static_cast<NodeId>(v);
+  }
+  std::sort(g.bound_order_.begin(), g.bound_order_.end(),
+            [&g](NodeId a, NodeId b) {
+              if (g.static_gain_bounds_[a] != g.static_gain_bounds_[b]) {
+                return g.static_gain_bounds_[a] > g.static_gain_bounds_[b];
+              }
+              return a < b;
+            });
+
   // Leave the builder reusable-but-empty.
   node_weights_.clear();
   labels_.clear();

@@ -75,6 +75,41 @@ class PreferenceGraph {
             std::span(in_weights_).subspan(b, e - b)};
   }
 
+  /// Position of v's first incoming edge in the in-CSR edge order; the
+  /// index base for edge-parallel side tables (e.g. the coverage
+  /// kernels' static gain table).
+  size_t InEdgeOffset(NodeId v) const {
+    PREFCOVER_DCHECK(v < NumNodes());
+    return in_offsets_[v];
+  }
+
+  /// Raw in-CSR arrays, for kernels that stream every in-edge of a node
+  /// range in one pass instead of materializing per-node views: offsets
+  /// (size NumNodes()+1; node v's in-edges live at [offsets[v],
+  /// offsets[v+1])), sources and weights in in-edge order.
+  std::span<const size_t> InEdgeOffsets() const { return in_offsets_; }
+  std::span<const NodeId> InEdgeSources() const { return in_sources_; }
+  std::span<const double> InEdgeWeights() const { return in_weights_; }
+
+  /// Static per-node upper bound on the greedy marginal gain:
+  ///   bound(v) = W(v) + sum over in-edges (u, v), u != v, of W(u)*W(u,v).
+  /// Both variants' Gain procedures replace W with the current residual
+  /// (Independent) or drop retained terms (Normalized), and residuals
+  /// only shrink from W, so Gain(v) <= bound(v) against EVERY retained
+  /// set — the bound never needs recomputing as a solve progresses. Built
+  /// once at Finalize alongside the in-CSR.
+  std::span<const double> StaticGainBounds() const {
+    return static_gain_bounds_;
+  }
+
+  /// All node ids ordered by descending StaticGainBounds() (ties by
+  /// ascending id). A scan in this order can stop as soon as a running
+  /// top-T threshold exceeds the next bound — the kernel tiers' heap
+  /// seed (core/greedy_solver.cc).
+  std::span<const NodeId> NodesByStaticGainBound() const {
+    return bound_order_;
+  }
+
   size_t OutDegree(NodeId v) const {
     PREFCOVER_DCHECK(v < NumNodes());
     return out_offsets_[v + 1] - out_offsets_[v];
@@ -121,6 +156,8 @@ class PreferenceGraph {
   std::vector<size_t> in_offsets_;  // size NumNodes()+1
   std::vector<NodeId> in_sources_;
   std::vector<double> in_weights_;
+  std::vector<double> static_gain_bounds_;  // size NumNodes()
+  std::vector<NodeId> bound_order_;         // ids, descending bound
   std::vector<std::string> labels_;  // empty or size NumNodes()
 };
 

@@ -1,7 +1,15 @@
-// Dynamic bitset used for retained-set membership tests in the solvers.
+// Dynamic bitset used for retained-set membership tests in the solvers
+// and as the packed per-node flag layout of the coverage kernels.
 //
-// std::vector<bool> would work but its proxy references pessimize hot loops;
-// this fixed-word implementation keeps Test/Set branch-free and inlineable.
+// std::vector<bool> would work but its proxy references pessimize hot
+// loops; this fixed-word implementation keeps Test/Set branch-free and
+// inlineable, and exposes the raw 64-bit words so word-parallel callers
+// (candidate enumeration, the SIMD kernels' retained-bit gathers) can
+// process 64 nodes per load instead of one.
+//
+// Invariant: bits at positions >= size() inside the last word are zero —
+// WordAt can be consumed without re-masking the tail, and Count/
+// ForEachSetBit never see ghost bits.
 
 #ifndef PREFCOVER_UTIL_BITSET_H_
 #define PREFCOVER_UTIL_BITSET_H_
@@ -15,6 +23,9 @@ namespace prefcover {
 /// \brief Fixed-size bitset sized at construction.
 class Bitset {
  public:
+  /// Bits per storage word; positions map as i -> (word i/64, bit i%64).
+  static constexpr size_t kWordBits = 64;
+
   Bitset() = default;
   explicit Bitset(size_t num_bits)
       : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
@@ -39,6 +50,30 @@ class Bitset {
   }
 
   size_t size() const { return num_bits_; }
+
+  /// Number of 64-bit storage words ((size() + 63) / 64).
+  size_t NumWords() const { return words_.size(); }
+
+  /// Raw word w (bits [64w, 64w+64) of the set; tail bits are zero).
+  uint64_t WordAt(size_t w) const { return words_[w]; }
+
+  /// Word base pointer for gather-style access; nullptr when empty.
+  const uint64_t* WordData() const {
+    return words_.empty() ? nullptr : words_.data();
+  }
+
+  /// Calls fn(i) for every set bit, in increasing position order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        fn(w * kWordBits + static_cast<size_t>(b));
+      }
+    }
+  }
 
  private:
   size_t num_bits_ = 0;

@@ -1,0 +1,109 @@
+#include "util/simd_dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace prefcover {
+
+std::string_view SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kWord:
+      return "word";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(std::string_view name, SimdLevel* level) {
+  if (name == "scalar") {
+    *level = SimdLevel::kScalar;
+    return true;
+  }
+  if (name == "word") {
+    *level = SimdLevel::kWord;
+    return true;
+  }
+  if (name == "avx2") {
+    *level = SimdLevel::kAvx2;
+    return true;
+  }
+  return false;
+}
+
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+SimdLevel MaxSupportedSimdLevel() {
+#if defined(PREFCOVER_HAVE_AVX2)
+  if (CpuSupportsAvx2()) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kWord;
+}
+
+SimdResolution ResolveSimdLevel(const char* env_value,
+                                SimdLevel max_supported) {
+  SimdResolution resolution;
+  resolution.level = max_supported;
+  if (env_value == nullptr || env_value[0] == '\0') return resolution;
+  SimdLevel requested;
+  if (!ParseSimdLevel(env_value, &requested)) {
+    resolution.warning =
+        std::string("PREFCOVER_SIMD_LEVEL='") + env_value +
+        "' is not scalar|word|avx2; using " +
+        std::string(SimdLevelName(max_supported));
+    return resolution;
+  }
+  if (requested > max_supported) {
+    resolution.warning =
+        std::string("PREFCOVER_SIMD_LEVEL=") +
+        std::string(SimdLevelName(requested)) +
+        " is not supported by this build/CPU; falling back to " +
+        std::string(SimdLevelName(max_supported));
+    return resolution;
+  }
+  resolution.level = requested;
+  return resolution;
+}
+
+namespace {
+
+// Cached active level: -1 until first resolution. Resolution is
+// idempotent, so a benign first-call race costs at most a duplicate log
+// line.
+std::atomic<int> g_active_level{-1};
+
+SimdLevel ResolveActiveFromEnv() {
+  SimdResolution resolution = ResolveSimdLevel(
+      std::getenv("PREFCOVER_SIMD_LEVEL"), MaxSupportedSimdLevel());
+  if (!resolution.warning.empty()) {
+    PREFCOVER_LOG(Warning) << resolution.warning;
+  }
+  return resolution.level;
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  int cached = g_active_level.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<SimdLevel>(cached);
+  SimdLevel level = ResolveActiveFromEnv();
+  g_active_level.store(static_cast<int>(level), std::memory_order_release);
+  return level;
+}
+
+void ReinitActiveSimdLevelForTest() {
+  g_active_level.store(static_cast<int>(ResolveActiveFromEnv()),
+                       std::memory_order_release);
+}
+
+}  // namespace prefcover

@@ -1,0 +1,79 @@
+// Runtime SIMD dispatch for the coverage kernels (core/coverage_kernels.h).
+//
+// Three levels, strictly ordered by capability:
+//   kScalar — the literal reference loops, retained as the oracle every
+//             faster path is differentially tested against;
+//   kWord   — portable branchless kernels over the packed bitset /
+//             structure-of-arrays layout (no intrinsics, any target);
+//   kAvx2   — AVX2 gather/multiply kernels, compiled only when the build
+//             enables them (PREFCOVER_HAVE_AVX2) and selected only when
+//             the CPU reports AVX2 at runtime.
+//
+// The active level is resolved once per process: the highest level both
+// built and supported by the CPU, unless the PREFCOVER_SIMD_LEVEL
+// environment variable (scalar|word|avx2) overrides it. An override the
+// build or CPU cannot honor falls back to the highest supported level
+// with one warning — the override is a test/CI hook, never a correctness
+// switch (every level is byte-identical by construction and by the
+// differential suite in tests/core/coverage_kernels_test.cc).
+
+#ifndef PREFCOVER_UTIL_SIMD_DISPATCH_H_
+#define PREFCOVER_UTIL_SIMD_DISPATCH_H_
+
+#include <string>
+#include <string_view>
+
+namespace prefcover {
+
+/// \brief Kernel implementation tier, ordered by capability.
+enum class SimdLevel : int {
+  kScalar = 0,
+  kWord = 1,
+  kAvx2 = 2,
+};
+
+/// "scalar" / "word" / "avx2".
+std::string_view SimdLevelName(SimdLevel level);
+
+/// Parses a level name (case-sensitive, as accepted by
+/// PREFCOVER_SIMD_LEVEL); false on anything else.
+bool ParseSimdLevel(std::string_view name, SimdLevel* level);
+
+/// True when the CPU this process runs on reports AVX2. Independent of
+/// whether the AVX2 kernels were compiled in.
+bool CpuSupportsAvx2();
+
+/// Highest level this process can execute: kAvx2 when the AVX2 kernels
+/// are built (PREFCOVER_HAVE_AVX2) and the CPU supports them, else kWord
+/// (always available — the word kernels are portable C++).
+SimdLevel MaxSupportedSimdLevel();
+
+/// \brief Outcome of resolving a requested level against what the
+/// process supports; pure and deterministic, exposed for tests.
+struct SimdResolution {
+  SimdLevel level;
+  /// Non-empty when the request could not be honored verbatim (unknown
+  /// name, or a level above max_supported); describes the fallback.
+  std::string warning;
+};
+
+/// Resolves `env_value` (the PREFCOVER_SIMD_LEVEL setting, or nullptr /
+/// empty for "no override") against `max_supported`. An explicit valid
+/// level at or below `max_supported` is honored exactly — including
+/// kScalar and kWord on an AVX2 machine; anything else falls back to
+/// `max_supported` with a warning.
+SimdResolution ResolveSimdLevel(const char* env_value,
+                                SimdLevel max_supported);
+
+/// The process-wide active level: resolved from the environment on first
+/// call (logging the fallback warning, if any, once) and cached.
+SimdLevel ActiveSimdLevel();
+
+/// Re-reads PREFCOVER_SIMD_LEVEL and replaces the cached level. Test
+/// hook: lets a test setenv() and assert the override is honored without
+/// spawning a subprocess.
+void ReinitActiveSimdLevelForTest();
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_UTIL_SIMD_DISPATCH_H_

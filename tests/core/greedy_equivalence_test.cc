@@ -169,6 +169,60 @@ TEST(GreedyDifferentialTest, OversizedBatchMatchesPlain) {
   ExpectIdentical(*plain, *lazy_parallel, instance.label + " huge-batch");
 }
 
+TEST(GreedyDifferentialTest, ThresholdSeedCapacitySweepMatchesPlain) {
+  // The CELF heap seed keeps only the top-seed_heap_capacity candidates
+  // and pulls the rest back in through exact threshold refills. Tiny
+  // capacities force refills constantly (capacity 1 refills on every
+  // heap drain); the selected sequence must stay byte-identical to plain
+  // greedy for every value.
+  ThreadPool pool(4);
+  const size_t kCapacities[] = {1, 2, 7, 64};
+  for (uint64_t seed = 0; seed < kNumSeeds; seed += 5) {
+    DiffInstance instance = MakeInstance(seed);
+    auto plain = SolveGreedy(instance.graph, instance.k, instance.options);
+    ASSERT_TRUE(plain.ok()) << instance.label;
+
+    for (size_t cap : kCapacities) {
+      GreedyOptions options = instance.options;
+      options.seed_heap_capacity = cap;
+      const std::string label =
+          instance.label + " seed_cap=" + std::to_string(cap);
+
+      auto lazy = SolveGreedyLazy(instance.graph, instance.k, options);
+      ASSERT_TRUE(lazy.ok()) << label;
+      ExpectIdentical(*plain, *lazy, label);
+
+      options.batch_size = 4;
+      auto lazy_parallel = SolveGreedyLazyParallel(instance.graph,
+                                                   instance.k, &pool,
+                                                   options);
+      ASSERT_TRUE(lazy_parallel.ok()) << label;
+      ExpectIdentical(*plain, *lazy_parallel, label);
+
+      // Capacity 1 drains the kept pool on every selection, so any run
+      // with at least two searched rounds must have refilled — proving
+      // the sweep actually exercises the refill path.
+      if (cap == 1 && lazy->stats.iterations >= 2) {
+        EXPECT_GT(lazy->stats.seed_refills, 0u) << label;
+        EXPECT_GT(lazy_parallel->stats.seed_refills, 0u) << label;
+      }
+      // Full-capacity seeds never truncate, so they never refill.
+      if (cap >= instance.graph.NumNodes()) {
+        EXPECT_EQ(lazy->stats.seed_refills, 0u) << label;
+      }
+    }
+  }
+}
+
+TEST(GreedyDifferentialTest, DefaultSeedCapacityCoversSmallInstances) {
+  // Small instances (n <= 1024) fit entirely inside the default seed, so
+  // the threshold machinery must stay dormant: no refills at all.
+  DiffInstance instance = MakeInstance(6);  // unconstrained
+  auto lazy = SolveGreedyLazy(instance.graph, instance.k, instance.options);
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_EQ(lazy->stats.seed_refills, 0u);
+}
+
 TEST(GreedyDifferentialTest, SolverStatsArePopulatedAndConsistent) {
   DiffInstance instance = MakeInstance(4);  // a constrained instance
   ThreadPool pool(2);

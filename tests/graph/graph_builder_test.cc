@@ -226,6 +226,47 @@ TEST(PreferenceGraphTest, AccessorsOnPaperExampleShape) {
   EXPECT_EQ(g->DisplayName(a), "A");
 }
 
+TEST(PreferenceGraphTest, StaticGainBoundIndex) {
+  // bound(v) = W(v) + sum over in-edges (u, v), u != v, of W(u)*W(u,v);
+  // the order lists ids by descending bound, ties by ascending id.
+  GraphBuilder b;
+  NodeId n0 = b.AddNode(0.1);
+  NodeId n1 = b.AddNode(0.2);
+  NodeId n2 = b.AddNode(0.3);
+  NodeId n3 = b.AddNode(0.4);
+  ASSERT_TRUE(b.AddEdge(n0, n2, 0.5).ok());  // n2 gains 0.1 * 0.5
+  ASSERT_TRUE(b.AddEdge(n1, n2, 1.0).ok());  // n2 gains 0.2 * 1.0
+  ASSERT_TRUE(b.AddEdge(n3, n0, 0.25).ok());  // n0 gains 0.4 * 0.25
+  auto g = b.Finalize();
+  ASSERT_TRUE(g.ok());
+  const auto bounds = g->StaticGainBounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[n0], 0.1 + 0.4 * 0.25);
+  EXPECT_DOUBLE_EQ(bounds[n1], 0.2);
+  EXPECT_DOUBLE_EQ(bounds[n2], 0.3 + 0.1 * 0.5 + 0.2 * 1.0);
+  EXPECT_DOUBLE_EQ(bounds[n3], 0.4);
+  const auto order = g->NodesByStaticGainBound();
+  ASSERT_EQ(order.size(), 4u);
+  // Bounds: n2 = 0.55, n3 = 0.4, n0 = 0.2, n1 = 0.2 (tie -> smaller id).
+  EXPECT_EQ(order[0], n2);
+  EXPECT_EQ(order[1], n3);
+  EXPECT_EQ(order[2], n0);
+  EXPECT_EQ(order[3], n1);
+}
+
+TEST(PreferenceGraphTest, StaticGainBoundSkipsSelfLoops) {
+  GraphBuilder b;
+  b.AddNode(0.5);
+  b.AddNode(0.5);
+  GraphValidationOptions options;
+  options.allow_self_loops = true;
+  ASSERT_TRUE(b.AddEdge(0, 0, 1.0).ok());
+  auto g = b.Finalize(options);
+  ASSERT_TRUE(g.ok());
+  // The Gain procedures mask u == v, so the bound excludes it too.
+  EXPECT_DOUBLE_EQ(g->StaticGainBounds()[0], 0.5);
+}
+
 TEST(PreferenceGraphTest, DisplayNameWithoutLabels) {
   GraphBuilder b;
   b.AddNode(1.0);

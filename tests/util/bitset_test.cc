@@ -1,0 +1,166 @@
+// Property/fuzz tests for Bitset against a std::vector<bool> model,
+// concentrating on word boundaries (empty, single bit, 63/64/65 bits)
+// and the packed-word surface (NumWords / WordAt / WordData /
+// ForEachSetBit) the coverage kernels and the word-parallel candidate
+// scan consume. The load-bearing invariant: ghost bits at positions
+// >= size() inside the last word are always zero.
+
+#include "util/bitset.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace prefcover {
+namespace {
+
+// Asserts every observable of `actual` against the model: per-bit Test,
+// Count, raw words (including ghost-bit zeroing), and ForEachSetBit
+// order and completeness.
+void ExpectMatchesModel(const Bitset& actual,
+                        const std::vector<bool>& model) {
+  ASSERT_EQ(actual.size(), model.size());
+  size_t model_count = 0;
+  for (size_t i = 0; i < model.size(); ++i) {
+    ASSERT_EQ(actual.Test(i), model[i]) << "bit " << i;
+    model_count += model[i] ? 1u : 0u;
+  }
+  EXPECT_EQ(actual.Count(), model_count);
+
+  // Words reconstruct the model exactly; tail bits beyond size() are 0.
+  ASSERT_EQ(actual.NumWords(), (model.size() + 63) / 64);
+  for (size_t w = 0; w < actual.NumWords(); ++w) {
+    uint64_t expected = 0;
+    for (size_t b = 0; b < Bitset::kWordBits; ++b) {
+      const size_t i = w * Bitset::kWordBits + b;
+      if (i < model.size() && model[i]) expected |= (1ULL << b);
+    }
+    ASSERT_EQ(actual.WordAt(w), expected) << "word " << w;
+  }
+
+  // ForEachSetBit yields exactly the set positions, strictly increasing.
+  std::vector<size_t> visited;
+  actual.ForEachSetBit([&](size_t i) { visited.push_back(i); });
+  std::vector<size_t> expected_positions;
+  for (size_t i = 0; i < model.size(); ++i) {
+    if (model[i]) expected_positions.push_back(i);
+  }
+  EXPECT_EQ(visited, expected_positions);
+}
+
+class BitsetModelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitsetModelTest, RandomOpSequenceMatchesVectorBoolModel) {
+  const size_t n = GetParam();
+  Bitset bits(n);
+  std::vector<bool> model(n, false);
+  ExpectMatchesModel(bits, model);  // freshly constructed: all zero
+  if (n == 0) {
+    EXPECT_EQ(bits.WordData(), nullptr);
+    EXPECT_EQ(bits.NumWords(), 0u);
+    return;
+  }
+  EXPECT_NE(bits.WordData(), nullptr);
+
+  Rng rng(0xB175E7 + n);
+  // Interleave Set/Clear/Reset, biased toward word-boundary positions so
+  // the last-word masking is exercised far more than uniform sampling
+  // would manage.
+  const size_t boundary_picks[] = {0, 1, 62, 63, 64, 65, n - 1,
+                                   n >= 2 ? n - 2 : 0};
+  for (int step = 0; step < 400; ++step) {
+    size_t i;
+    if (rng.NextBernoulli(0.5)) {
+      i = boundary_picks[rng.NextBounded(8)] % n;
+    } else {
+      i = static_cast<size_t>(rng.NextBounded(n));
+    }
+    const uint64_t op = rng.NextBounded(100);
+    if (op < 55) {
+      bits.Set(i);
+      model[i] = true;
+    } else if (op < 97) {
+      bits.Clear(i);
+      model[i] = false;
+    } else {
+      bits.Reset();
+      model.assign(n, false);
+    }
+    if (step % 16 == 0 || step >= 395) ExpectMatchesModel(bits, model);
+  }
+  ExpectMatchesModel(bits, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundarySizes, BitsetModelTest,
+                         ::testing::Values(0, 1, 2, 63, 64, 65, 127, 128,
+                                           129, 1000, size_t{1} << 20),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param);
+                         });
+
+TEST(BitsetTest, AllBitsSetLeavesGhostBitsZero) {
+  // Setting every valid bit must not pollute the tail of the last word:
+  // the kernels gather whole words and rely on ghost bits being zero.
+  for (size_t n : {1u, 63u, 64u, 65u, 130u}) {
+    Bitset bits(n);
+    for (size_t i = 0; i < n; ++i) bits.Set(i);
+    EXPECT_EQ(bits.Count(), n);
+    const size_t tail = n % Bitset::kWordBits;
+    const uint64_t last = bits.WordAt(bits.NumWords() - 1);
+    if (tail == 0) {
+      EXPECT_EQ(last, ~uint64_t{0}) << "n=" << n;
+    } else {
+      EXPECT_EQ(last, (uint64_t{1} << tail) - 1) << "n=" << n;
+    }
+  }
+}
+
+TEST(BitsetTest, SingleBitAtEveryPositionOfAWordPair) {
+  // One set bit at position i: exactly one word non-zero, exactly one
+  // ForEachSetBit visit.
+  const size_t n = 128;
+  for (size_t i = 0; i < n; ++i) {
+    Bitset bits(n);
+    bits.Set(i);
+    EXPECT_EQ(bits.Count(), 1u);
+    EXPECT_EQ(bits.WordAt(i / 64), uint64_t{1} << (i % 64));
+    EXPECT_EQ(bits.WordAt(1 - i / 64), 0u);
+    size_t visits = 0;
+    bits.ForEachSetBit([&](size_t pos) {
+      EXPECT_EQ(pos, i);
+      ++visits;
+    });
+    EXPECT_EQ(visits, 1u);
+  }
+}
+
+TEST(BitsetTest, MegabitCountAndEnumeration) {
+  // 2^20 bits with a stride pattern: Count and enumeration agree with
+  // arithmetic, and the words along the way are internally consistent.
+  const size_t n = size_t{1} << 20;
+  const size_t stride = 4097;  // coprime-ish with 64: hits all bit slots
+  Bitset bits(n);
+  size_t expected = 0;
+  for (size_t i = 0; i < n; i += stride) {
+    bits.Set(i);
+    ++expected;
+  }
+  EXPECT_EQ(bits.Count(), expected);
+  size_t visited = 0;
+  size_t last_seen = 0;
+  bits.ForEachSetBit([&](size_t i) {
+    EXPECT_EQ(i % stride, 0u);
+    if (visited > 0) {
+      EXPECT_GT(i, last_seen);
+    }
+    last_seen = i;
+    ++visited;
+  });
+  EXPECT_EQ(visited, expected);
+}
+
+}  // namespace
+}  // namespace prefcover

@@ -1,0 +1,156 @@
+// Tests for the runtime kernel dispatch: level-name parsing, the pure
+// ResolveSimdLevel fallback semantics (valid override honored exactly,
+// unknown or unsupported override falls back to the max supported level
+// with a warning), and the PREFCOVER_SIMD_LEVEL environment hook end to
+// end through ActiveSimdLevel.
+
+#include "util/simd_dispatch.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace {
+
+// Saves/restores PREFCOVER_SIMD_LEVEL and re-resolves the cached active
+// level on both edges, so these tests cannot leak dispatch state into
+// the rest of the binary.
+class ScopedSimdLevelEnv {
+ public:
+  explicit ScopedSimdLevelEnv(const char* value) {
+    const char* old = std::getenv("PREFCOVER_SIMD_LEVEL");
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv("PREFCOVER_SIMD_LEVEL", value, /*overwrite=*/1);
+    } else {
+      ::unsetenv("PREFCOVER_SIMD_LEVEL");
+    }
+    ReinitActiveSimdLevelForTest();
+  }
+
+  ~ScopedSimdLevelEnv() {
+    if (saved_.has_value()) {
+      ::setenv("PREFCOVER_SIMD_LEVEL", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("PREFCOVER_SIMD_LEVEL");
+    }
+    ReinitActiveSimdLevelForTest();
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST(SimdLevelNameTest, RoundTripsThroughParse) {
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kWord, SimdLevel::kAvx2}) {
+    SimdLevel parsed;
+    ASSERT_TRUE(ParseSimdLevel(SimdLevelName(level), &parsed))
+        << SimdLevelName(level);
+    EXPECT_EQ(parsed, level);
+  }
+  EXPECT_EQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_EQ(SimdLevelName(SimdLevel::kWord), "word");
+  EXPECT_EQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdLevelNameTest, ParseRejectsUnknownNames) {
+  SimdLevel parsed;
+  for (const char* bad : {"", "AVX2", "Scalar", "sse", "avx512", "2",
+                          "word ", " word"}) {
+    EXPECT_FALSE(ParseSimdLevel(bad, &parsed)) << "'" << bad << "'";
+  }
+}
+
+TEST(ResolveSimdLevelTest, NoOverrideUsesMaxSupported) {
+  for (SimdLevel max : {SimdLevel::kWord, SimdLevel::kAvx2}) {
+    for (const char* env : {static_cast<const char*>(nullptr), ""}) {
+      SimdResolution r = ResolveSimdLevel(env, max);
+      EXPECT_EQ(r.level, max);
+      EXPECT_TRUE(r.warning.empty()) << r.warning;
+    }
+  }
+}
+
+TEST(ResolveSimdLevelTest, ValidOverrideAtOrBelowMaxIsHonoredExactly) {
+  // Forcing a *lower* level must always work — that is what the
+  // differential CI jobs and the perf before/after comparison rely on.
+  EXPECT_EQ(ResolveSimdLevel("scalar", SimdLevel::kAvx2).level,
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("word", SimdLevel::kAvx2).level,
+            SimdLevel::kWord);
+  EXPECT_EQ(ResolveSimdLevel("avx2", SimdLevel::kAvx2).level,
+            SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel("scalar", SimdLevel::kWord).level,
+            SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("word", SimdLevel::kWord).level,
+            SimdLevel::kWord);
+  EXPECT_TRUE(ResolveSimdLevel("scalar", SimdLevel::kAvx2).warning.empty());
+  EXPECT_TRUE(ResolveSimdLevel("word", SimdLevel::kWord).warning.empty());
+}
+
+TEST(ResolveSimdLevelTest, UnsupportedOverrideFallsBackWithWarning) {
+  // avx2 requested on a build/CPU that tops out at word: fall back to
+  // word and say so — never silently run a level the process can't.
+  SimdResolution r = ResolveSimdLevel("avx2", SimdLevel::kWord);
+  EXPECT_EQ(r.level, SimdLevel::kWord);
+  EXPECT_FALSE(r.warning.empty());
+  EXPECT_NE(r.warning.find("avx2"), std::string::npos) << r.warning;
+  EXPECT_NE(r.warning.find("word"), std::string::npos) << r.warning;
+}
+
+TEST(ResolveSimdLevelTest, UnknownOverrideFallsBackWithWarning) {
+  for (SimdLevel max : {SimdLevel::kWord, SimdLevel::kAvx2}) {
+    SimdResolution r = ResolveSimdLevel("turbo", max);
+    EXPECT_EQ(r.level, max);
+    EXPECT_FALSE(r.warning.empty());
+    EXPECT_NE(r.warning.find("turbo"), std::string::npos) << r.warning;
+  }
+}
+
+TEST(ActiveSimdLevelTest, DefaultsToMaxSupported) {
+  ScopedSimdLevelEnv env(nullptr);
+  EXPECT_EQ(ActiveSimdLevel(), MaxSupportedSimdLevel());
+}
+
+TEST(ActiveSimdLevelTest, EnvOverrideIsHonoredForEverySupportedLevel) {
+  const SimdLevel max = MaxSupportedSimdLevel();
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kWord, SimdLevel::kAvx2}) {
+    if (level > max) continue;
+    ScopedSimdLevelEnv env(std::string(SimdLevelName(level)).c_str());
+    EXPECT_EQ(ActiveSimdLevel(), level) << SimdLevelName(level);
+  }
+}
+
+TEST(ActiveSimdLevelTest, InvalidEnvValueFallsBackToMaxSupported) {
+  ScopedSimdLevelEnv env("definitely-not-a-level");
+  EXPECT_EQ(ActiveSimdLevel(), MaxSupportedSimdLevel());
+}
+
+TEST(ActiveSimdLevelTest, ReinitPicksUpEnvironmentChanges) {
+  // The cache really is a cache: Reinit observes a changed environment.
+  ScopedSimdLevelEnv scalar_env("scalar");
+  ASSERT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  {
+    ScopedSimdLevelEnv word_env("word");
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kWord);
+  }
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+}
+
+TEST(CpuSupportsAvx2Test, ConsistentWithMaxSupportedLevel) {
+#if defined(PREFCOVER_HAVE_AVX2)
+  EXPECT_EQ(MaxSupportedSimdLevel() == SimdLevel::kAvx2, CpuSupportsAvx2());
+#else
+  // Without the AVX2 TU compiled in, the max level is word no matter
+  // what the CPU reports.
+  EXPECT_EQ(MaxSupportedSimdLevel(), SimdLevel::kWord);
+#endif
+}
+
+}  // namespace
+}  // namespace prefcover
