@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/bench_runner.h"
+#include "core/constrained_solver.h"
 #include "core/cover_function.h"
 #include "core/cover_state.h"
 #include "core/greedy_solver.h"
@@ -279,6 +280,40 @@ int main(int argc, char** argv) {
                        static_cast<double>(sol->stats.gain_evaluations));
       recorder->Record("heap_pops",
                        static_cast<double>(sol->stats.heap_pops));
+      return Status::OK();
+    };
+    run_or_die(bench_case);
+  }
+
+  // The constrained cost-ratio greedy at unit costs with no constraints:
+  // selection-identical to solve/lazy/n10000, so the runtime ratio
+  // between the two cases is the pure overhead of the constraint
+  // plumbing (ratio heap entries, admissibility checks, budget
+  // accounting). perf.yml gates it at <= 1.05x.
+  {
+    const uint32_t n = 10'000;
+    auto g = GenerateProfileGraphWithNodes(DatasetProfile::kPE, n, env.seed);
+    PREFCOVER_CHECK(g.ok());
+    auto graph = std::make_shared<PreferenceGraph>(std::move(*g));
+    const size_t k = n / 20;
+    BenchCase bench_case;
+    bench_case.name = "solve/budget_greedy/n" + std::to_string(n);
+    bench_case.profile = "PE";
+    bench_case.variant = "independent";
+    bench_case.solver = "constrained";
+    bench_case.n = n;
+    bench_case.k = k;
+    bench_case.run = [graph, k](BenchRecorder* recorder) -> Status {
+      ConstrainedCoverOptions options;
+      options.max_items = k;
+      auto sol = SolveConstrainedCover(*graph, ConstraintSpec(), options);
+      if (!sol.ok()) return sol.status();
+      recorder->Record("cover", sol->solution.cover);
+      recorder->Record(
+          "gain_evaluations",
+          static_cast<double>(sol->solution.stats.gain_evaluations));
+      recorder->Record("heap_pops",
+                       static_cast<double>(sol->solution.stats.heap_pops));
       return Status::OK();
     };
     run_or_die(bench_case);

@@ -289,4 +289,34 @@ Result<BenchCompareReport> CompareBenchDocuments(
   return report;
 }
 
+Result<CaseRatio> CompareCaseRatio(const JsonValue& doc,
+                                   const std::string& case_name,
+                                   const std::string& baseline_case,
+                                   double max_ratio) {
+  PREFCOVER_RETURN_NOT_OK(ValidateBenchDocument(doc));
+  if (!(max_ratio > 0.0)) {
+    return Status::InvalidArgument("max_ratio must be > 0");
+  }
+  const JsonValue& cases = *doc.Find("cases");
+  const JsonValue* subject = FindCase(cases, case_name);
+  if (subject == nullptr) {
+    return Status::InvalidArgument("case '" + case_name +
+                                   "' not found in the document");
+  }
+  const JsonValue* reference = FindCase(cases, baseline_case);
+  if (reference == nullptr) {
+    return Status::InvalidArgument("case '" + baseline_case +
+                                   "' not found in the document");
+  }
+  CaseRatio out;
+  out.case_p50_ms = subject->Find("wall_ms")->Find("p50")->number_value();
+  out.baseline_p50_ms =
+      reference->Find("wall_ms")->Find("p50")->number_value();
+  out.ratio = out.baseline_p50_ms > 0.0
+                  ? out.case_p50_ms / out.baseline_p50_ms
+                  : (out.case_p50_ms > 0.0 ? HUGE_VAL : 1.0);
+  out.within_bound = out.ratio <= max_ratio;
+  return out;
+}
+
 }  // namespace prefcover

@@ -71,6 +71,27 @@ Result<BenchCompareReport> CompareBenchDocuments(
     const JsonValue& baseline, const JsonValue& current,
     const BenchCompareOptions& options);
 
+/// \brief One intra-document case-vs-case p50 ratio (ratio mode).
+struct CaseRatio {
+  double case_p50_ms = 0.0;
+  double baseline_p50_ms = 0.0;
+  /// case / baseline; > 1 means the case is slower.
+  double ratio = 1.0;
+  bool within_bound = false;
+};
+
+/// \brief Ratio mode: gates one case of a SINGLE document against a
+/// sibling case instead of a second run — e.g. the constrained solver's
+/// `solve/budget_greedy/n10000` at <= 1.05x of `solve/lazy/n10000`.
+/// Because both cases come from the same process on the same machine,
+/// the bound needs no cross-run baseline file and is immune to host
+/// speed. InvalidArgument when either case is missing or max_ratio is
+/// not positive.
+Result<CaseRatio> CompareCaseRatio(const JsonValue& doc,
+                                   const std::string& case_name,
+                                   const std::string& baseline_case,
+                                   double max_ratio);
+
 }  // namespace prefcover
 
 #endif  // PREFCOVER_BENCH_COMPARE_H_

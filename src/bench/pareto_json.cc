@@ -1,0 +1,42 @@
+#include "bench/pareto_json.h"
+
+#include <utility>
+
+#include "util/fs.h"
+
+namespace prefcover {
+
+JsonValue ParetoFrontierToJson(const std::vector<ParetoPoint>& frontier,
+                               const ParetoArtifactMeta& meta) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Int(kParetoSchemaVersion));
+  doc.Set("suite", JsonValue::Str("pareto_frontier"));
+  JsonValue meta_obj = JsonValue::Object();
+  meta_obj.Set("instance", JsonValue::Str(meta.instance));
+  meta_obj.Set("variant", JsonValue::Str(std::string(VariantName(meta.variant))));
+  meta_obj.Set("num_nodes", JsonValue::Uint(meta.num_nodes));
+  meta_obj.Set("points_requested", JsonValue::Uint(meta.points_requested));
+  doc.Set("meta", std::move(meta_obj));
+  JsonValue points = JsonValue::Array();
+  for (const ParetoPoint& point : frontier) {
+    JsonValue rec = JsonValue::Object();
+    rec.Set("budget", JsonValue::Number(point.budget));
+    rec.Set("total_cost", JsonValue::Number(point.total_cost));
+    rec.Set("cover", JsonValue::Number(point.cover));
+    rec.Set("num_items", JsonValue::Uint(point.items.size()));
+    JsonValue items = JsonValue::Array();
+    for (NodeId v : point.items) items.Append(JsonValue::Uint(v));
+    rec.Set("items", std::move(items));
+    points.Append(std::move(rec));
+  }
+  doc.Set("frontier", std::move(points));
+  return doc;
+}
+
+Status WriteParetoArtifact(const std::string& path,
+                           const std::vector<ParetoPoint>& frontier,
+                           const ParetoArtifactMeta& meta) {
+  return WriteFileAtomic(path, ParetoFrontierToJson(frontier, meta).Dump());
+}
+
+}  // namespace prefcover

@@ -1,0 +1,50 @@
+// Deterministic JSON emission of a Pareto frontier sweep (BENCH_pareto):
+// the coverage-vs-inventory-cost frontier from
+// core/constrained_solver.h's SolveParetoFrontier, serialized with the
+// bench harness's JSON model so two same-seed sweeps are byte-identical
+// — golden-locked in tests/bench like the BENCH_core emission.
+//
+// Deliberately excludes timings and EnvCapture: every field is a pure
+// function of (instance, costs, schedule), so the whole document is
+// byte-comparable, not just a non-timing subset.
+
+#ifndef PREFCOVER_BENCH_PARETO_JSON_H_
+#define PREFCOVER_BENCH_PARETO_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench/json.h"
+#include "core/constrained_solver.h"
+#include "util/status.h"
+
+namespace prefcover {
+
+/// Schema version of the BENCH_pareto document; bump on layout changes.
+inline constexpr int kParetoSchemaVersion = 1;
+
+/// \brief Instance provenance recorded alongside the frontier.
+struct ParetoArtifactMeta {
+  /// Free-form instance label, e.g. "uniform/n=200/seed=7" or a graph
+  /// file path.
+  std::string instance;
+  Variant variant = Variant::kIndependent;
+  size_t num_nodes = 0;
+  /// Budgets the sweep was asked for (the frontier may be smaller after
+  /// the non-dominated filter).
+  size_t points_requested = 0;
+};
+
+/// \brief Serializes the frontier: schema_version, suite, meta, and one
+/// record per point (budget, total_cost, cover, num_items, items).
+JsonValue ParetoFrontierToJson(const std::vector<ParetoPoint>& frontier,
+                               const ParetoArtifactMeta& meta);
+
+/// \brief Atomically writes ParetoFrontierToJson to `path`.
+Status WriteParetoArtifact(const std::string& path,
+                           const std::vector<ParetoPoint>& frontier,
+                           const ParetoArtifactMeta& meta);
+
+}  // namespace prefcover
+
+#endif  // PREFCOVER_BENCH_PARETO_JSON_H_

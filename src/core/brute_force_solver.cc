@@ -1,6 +1,9 @@
 #include "core/brute_force_solver.h"
 
+#include <algorithm>
+#include <bit>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "core/cover_function.h"
@@ -86,6 +89,99 @@ Result<Solution> SolveBruteForce(const PreferenceGraph& graph, size_t k,
   for (size_t i = 0; i < k; ++i) {
     retained.Set(best_set[i]);
     sol.cover_after_prefix[i] = EvaluateCover(graph, retained, options.variant);
+  }
+  sol.item_contributions =
+      ComputeItemCoverContributions(graph, retained, options.variant);
+  sol.solve_seconds = timer.ElapsedSeconds();
+  return sol;
+}
+
+Result<Solution> SolveBruteForceConstrained(const PreferenceGraph& graph,
+                                            size_t max_items,
+                                            const ConstraintSpec& spec,
+                                            const BruteForceOptions& options) {
+  const size_t n = graph.NumNodes();
+  const size_t k = max_items == 0 ? n : max_items;
+  PREFCOVER_RETURN_NOT_OK(ValidateConstraintSpec(graph, spec));
+  PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
+  if (n >= 63) {
+    return Status::FailedPrecondition(
+        "constrained brute force enumerates all 2^n subsets; n=" +
+        std::to_string(n) + " is far past feasible");
+  }
+  const uint64_t subsets = uint64_t{1} << n;
+  if (options.max_subsets != 0 && subsets > options.max_subsets) {
+    return Status::FailedPrecondition(
+        "brute force would enumerate " + std::to_string(subsets) +
+        " subsets, above the limit of " + std::to_string(options.max_subsets));
+  }
+
+  Stopwatch timer;
+  const bool has_budget = spec.HasBudget();
+  const size_t num_categories = spec.quotas.size();
+  std::vector<uint32_t> counts(num_categories);
+  Bitset retained(n);
+  uint64_t best_mask = 0;
+  bool found = false;
+  double best_cover = 0.0;
+  // Ascending masks: the first feasible subset achieving the maximum is
+  // the lowest mask, so ties are deterministic.
+  for (uint64_t mask = 0; mask < subsets; ++mask) {
+    if (static_cast<size_t>(std::popcount(mask)) > k) continue;
+    std::fill(counts.begin(), counts.end(), 0u);
+    double cost = 0.0;
+    retained.Reset();
+    bool feasible = true;
+    for (uint64_t bits = mask; bits != 0; bits &= bits - 1) {
+      const NodeId v = static_cast<NodeId>(std::countr_zero(bits));
+      cost += spec.CostOf(v);
+      if (has_budget && cost > spec.budget) {
+        feasible = false;
+        break;
+      }
+      if (num_categories > 0) {
+        const uint32_t c = spec.categories[v];
+        if (++counts[c] > spec.quotas[c].max_items) {
+          feasible = false;
+          break;
+        }
+      }
+      retained.Set(v);
+    }
+    if (feasible) {
+      for (size_t c = 0; c < num_categories; ++c) {
+        if (counts[c] < spec.quotas[c].min_items) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+    if (!feasible) continue;
+    const double cover = EvaluateCover(graph, retained, options.variant);
+    if (!found || cover > best_cover + 1e-15) {
+      found = true;
+      best_cover = cover;
+      best_mask = mask;
+    }
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "no subset satisfies the constraint spec");
+  }
+
+  Solution sol;
+  for (uint64_t bits = best_mask; bits != 0; bits &= bits - 1) {
+    sol.items.push_back(static_cast<NodeId>(std::countr_zero(bits)));
+  }
+  sol.cover = best_cover;
+  sol.variant = options.variant;
+  sol.algorithm = "brute-force-constrained";
+  sol.cover_after_prefix.resize(sol.items.size());
+  retained.Reset();
+  for (size_t i = 0; i < sol.items.size(); ++i) {
+    retained.Set(sol.items[i]);
+    sol.cover_after_prefix[i] =
+        EvaluateCover(graph, retained, options.variant);
   }
   sol.item_contributions =
       ComputeItemCoverContributions(graph, retained, options.variant);

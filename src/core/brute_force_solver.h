@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/constrained_solver.h"
 #include "core/solution.h"
 #include "core/variant.h"
 #include "graph/preference_graph.h"
@@ -38,6 +39,21 @@ uint64_t BinomialCoefficient(uint64_t n, uint64_t k);
 /// prefixes.
 Result<Solution> SolveBruteForce(
     const PreferenceGraph& graph, size_t k,
+    const BruteForceOptions& options = BruteForceOptions());
+
+/// \brief Exhaustive optimum under a ConstraintSpec (budget / quotas /
+/// both): enumerates every subset of size <= max_items (0 = no bound,
+/// matching ConstrainedCoverOptions), keeps the feasible ones, and
+/// returns the best cover — all 2^n masks, so n must stay tiny (<= 25 in
+/// practice; the max_subsets guard applies). The differential lockdown of
+/// SolveConstrainedCover measures the greedy against this.
+///
+/// Among equal-cover feasible optima, returns the lowest bitmask — i.e.
+/// the one whose sorted item list is smallest in reversed-lexicographic
+/// order — deterministically. Items are ascending. Returns
+/// FailedPrecondition when no subset is feasible (contradictory minima).
+Result<Solution> SolveBruteForceConstrained(
+    const PreferenceGraph& graph, size_t max_items, const ConstraintSpec& spec,
     const BruteForceOptions& options = BruteForceOptions());
 
 }  // namespace prefcover

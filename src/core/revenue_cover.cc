@@ -2,8 +2,8 @@
 
 #include <cmath>
 
+#include "core/constrained_solver.h"
 #include "core/cover_function.h"
-#include "core/cover_state.h"
 #include "graph/graph_builder.h"
 #include "util/bitset.h"
 
@@ -50,15 +50,16 @@ Status ValidateOptions(const PreferenceGraph& graph,
         "revenue/cost vectors must match the graph size");
   }
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
-    if (!(options.revenues[v] > 0.0) || std::isnan(options.revenues[v])) {
-      return Status::InvalidArgument("revenues must be positive");
+    if (!std::isfinite(options.revenues[v]) || options.revenues[v] <= 0.0) {
+      return Status::InvalidArgument(
+          "revenues must be finite and positive");
     }
-    if (!(options.costs[v] > 0.0) || std::isnan(options.costs[v])) {
-      return Status::InvalidArgument("costs must be positive");
+    if (!std::isfinite(options.costs[v]) || options.costs[v] <= 0.0) {
+      return Status::InvalidArgument("costs must be finite and positive");
     }
   }
-  if (!(options.capacity > 0.0)) {
-    return Status::InvalidArgument("capacity must be positive");
+  if (!std::isfinite(options.capacity) || options.capacity <= 0.0) {
+    return Status::InvalidArgument("capacity must be finite and positive");
   }
   return ValidateInstance(graph, 0, options.variant);
 }
@@ -73,53 +74,24 @@ Result<RevenueSolution> SolveRevenueCover(const PreferenceGraph& graph,
       PreferenceGraph scaled,
       BuildScaledGraph(graph, options.revenues, &scale));
 
-  // Cost-benefit greedy on the scaled graph.
-  CoverState state(&scaled, options.variant);
-  RevenueSolution result;
-  result.revenue_upper_bound = scale;
-  double remaining = options.capacity;
-  for (;;) {
-    NodeId best = kInvalidNode;
-    double best_ratio = -1.0;
-    for (NodeId v = 0; v < scaled.NumNodes(); ++v) {
-      if (state.IsRetained(v) || options.costs[v] > remaining) continue;
-      double ratio = state.GainOf(v) / options.costs[v];
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best = v;
-      }
-    }
-    if (best == kInvalidNode) break;
-    state.AddNode(best);
-    result.items.push_back(best);
-    result.total_cost += options.costs[best];
-    remaining -= options.costs[best];
-  }
-  result.expected_revenue = state.cover() * scale;
+  // The budgeted solve is the constrained family's knapsack case on the
+  // scaled graph: cost-ratio lazy greedy plus the best-affordable-
+  // singleton guard (see core/constrained_solver.h for the guarantee).
+  ConstraintSpec spec;
+  spec.costs = options.costs;
+  spec.budget = options.capacity;
+  ConstrainedCoverOptions solve_options;
+  solve_options.variant = options.variant;
+  PREFCOVER_ASSIGN_OR_RETURN(
+      ConstrainedSolution solved,
+      SolveConstrainedCover(scaled, spec, solve_options));
 
-  // Best-singleton guard: without it the cost-benefit rule has no
-  // constant-factor guarantee (a cheap low-value item can crowd out one
-  // expensive high-value item).
-  NodeId best_single = kInvalidNode;
-  double best_single_value = -1.0;
-  {
-    CoverState probe(&scaled, options.variant);
-    for (NodeId v = 0; v < scaled.NumNodes(); ++v) {
-      if (options.costs[v] > options.capacity) continue;
-      double value = probe.GainOf(v);
-      if (value > best_single_value) {
-        best_single_value = value;
-        best_single = v;
-      }
-    }
-  }
-  if (best_single != kInvalidNode &&
-      best_single_value * scale > result.expected_revenue) {
-    result.items = {best_single};
-    result.total_cost = options.costs[best_single];
-    result.expected_revenue = best_single_value * scale;
-    result.greedy_won = false;
-  }
+  RevenueSolution result;
+  result.items = std::move(solved.solution.items);
+  result.expected_revenue = solved.solution.cover * scale;
+  result.total_cost = solved.total_cost;
+  result.revenue_upper_bound = scale;
+  result.greedy_won = solved.greedy_won;
   return result;
 }
 

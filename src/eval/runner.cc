@@ -18,6 +18,8 @@ std::string AlgorithmDisplayName(Algorithm algorithm) {
       return "Greedy(parallel)";
     case Algorithm::kGreedyLazyParallel:
       return "Greedy(lazy-parallel)";
+    case Algorithm::kConstrainedGreedy:
+      return "Constrained";
     case Algorithm::kBruteForce:
       return "BF";
     case Algorithm::kTopKWeight:
@@ -44,11 +46,63 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
                               const PreferenceGraph& graph, size_t k,
                               const GreedyOptions& options, Rng* rng,
                               size_t num_threads) {
+  return RunAlgorithm(algorithm, graph, k, options, ConstraintSpec(), rng,
+                      num_threads);
+}
+
+namespace {
+
+// True when the spec constrains anything — a default spec routes
+// kConstrainedGreedy through the same solver but any other algorithm can
+// honor it too (by ignoring it), so only a non-default one is an error
+// for them.
+bool IsConstraining(const ConstraintSpec& spec) {
+  return !spec.costs.empty() || spec.HasBudget() || spec.HasQuotas();
+}
+
+}  // namespace
+
+Result<Solution> RunAlgorithm(Algorithm algorithm,
+                              const PreferenceGraph& graph, size_t k,
+                              const GreedyOptions& options,
+                              const ConstraintSpec& spec, Rng* rng,
+                              size_t num_threads) {
   const Variant variant = options.variant;
   obs::Span phase_span("eval.run_algorithm", "eval");
   phase_span.Arg("algorithm", AlgorithmDisplayName(algorithm).c_str());
   phase_span.Arg("k", static_cast<uint64_t>(k));
   phase_span.Arg("n", static_cast<uint64_t>(graph.NumNodes()));
+  if (algorithm == Algorithm::kConstrainedGreedy) {
+    if (!options.force_include.empty() || !options.force_exclude.empty() ||
+        options.stop_at_cover <= 1.0 ||
+        !options.checkpoint.resume_prefix.empty()) {
+      return Status::InvalidArgument(
+          "the constrained solver does not support force lists, "
+          "stop_at_cover or resume");
+    }
+    // k == 0 means an empty solution here (matching the greedy family),
+    // not the constrained solver's "no cardinality bound".
+    if (k == 0) {
+      PREFCOVER_RETURN_NOT_OK(ValidateConstraintSpec(graph, spec));
+      Solution empty;
+      empty.variant = variant;
+      empty.algorithm = "constrained-greedy";
+      empty.item_contributions.assign(graph.NumNodes(), 0.0);
+      return empty;
+    }
+    ConstrainedCoverOptions constrained_options;
+    constrained_options.variant = variant;
+    constrained_options.max_items = k;
+    PREFCOVER_ASSIGN_OR_RETURN(
+        ConstrainedSolution solved,
+        SolveConstrainedCover(graph, spec, constrained_options));
+    return std::move(solved.solution);
+  }
+  if (IsConstraining(spec)) {
+    return Status::InvalidArgument(
+        "algorithm " + AlgorithmDisplayName(algorithm) +
+        " cannot honor a constraint spec; use the constrained solver");
+  }
   switch (algorithm) {
     case Algorithm::kGreedy:
       return SolveGreedy(graph, k, options);
@@ -62,6 +116,8 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
       ThreadPool pool(num_threads);
       return SolveGreedyLazyParallel(graph, k, &pool, options);
     }
+    case Algorithm::kConstrainedGreedy:
+      return Status::Internal("unreachable");  // dispatched above
     case Algorithm::kBruteForce: {
       BruteForceOptions bf_options;
       bf_options.variant = variant;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/constrained_solver.h"
 #include "core/greedy_solver.h"
 #include "core/solution.h"
 #include "core/variant.h"
@@ -23,6 +24,7 @@ enum class Algorithm {
   kGreedyLazy,          // CELF execution of Algorithm 1 (same output)
   kGreedyParallel,      // thread-pooled execution of Algorithm 1 (same output)
   kGreedyLazyParallel,  // batched CELF on a thread pool (same output)
+  kConstrainedGreedy,   // cost-ratio greedy under a ConstraintSpec
   kBruteForce,
   kTopKWeight,
   kTopKCoverage,
@@ -56,6 +58,19 @@ Result<Solution> RunAlgorithm(Algorithm algorithm,
 Result<Solution> RunAlgorithm(Algorithm algorithm,
                               const PreferenceGraph& graph, size_t k,
                               const GreedyOptions& options, Rng* rng,
+                              size_t num_threads = 1);
+
+/// \brief As above with a ConstraintSpec (budget / costs / quotas),
+/// honored by kConstrainedGreedy only — the CLI's entry point for
+/// `solve --budget/--costs/--quota`. Other algorithms reject a
+/// non-default spec (they cannot honor it), and kConstrainedGreedy
+/// rejects greedy-only options (force lists, stop_at_cover, resume).
+/// With a default spec, kConstrainedGreedy is plain greedy in
+/// constrained clothing — byte-identical to SolveGreedy.
+Result<Solution> RunAlgorithm(Algorithm algorithm,
+                              const PreferenceGraph& graph, size_t k,
+                              const GreedyOptions& options,
+                              const ConstraintSpec& spec, Rng* rng,
                               size_t num_threads = 1);
 
 /// \brief Runs each algorithm on the same instance.

@@ -35,6 +35,13 @@ Result<Catalog> Catalog::Generate(const CatalogParams& params, Rng* rng) {
   return catalog;
 }
 
+std::vector<uint32_t> Catalog::CategoryAssignment() const {
+  std::vector<uint32_t> assignment;
+  assignment.reserve(items_.size());
+  for (const Item& it : items_) assignment.push_back(it.category);
+  return assignment;
+}
+
 std::string Catalog::ItemName(uint32_t id) const {
   const Item& it = items_[id];
   char buf[64];

@@ -53,6 +53,11 @@ class Catalog {
     return members_[category];
   }
 
+  /// Per-item category ids, aligned with item ids — the vector
+  /// ConstraintSpec::categories expects (core/constrained_solver.h), so
+  /// catalog quotas plug straight into the constrained solver.
+  std::vector<uint32_t> CategoryAssignment() const;
+
   /// Stable display name, e.g. "c12/b3/t2/i00047".
   std::string ItemName(uint32_t id) const;
 

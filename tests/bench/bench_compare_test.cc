@@ -236,5 +236,35 @@ TEST(CompareBenchDocumentsTest, RejectsInvalidInputs) {
       CompareBenchDocuments(good, bad, BenchCompareOptions()).ok());
 }
 
+TEST(CompareCaseRatioTest, GatesSiblingCaseWithinOneDocument) {
+  JsonValue doc = MakeDoc({MakeCase("solve/lazy/n10000", 10.0),
+                           MakeCase("solve/budget_greedy/n10000", 10.4)});
+  auto within = CompareCaseRatio(doc, "solve/budget_greedy/n10000",
+                                 "solve/lazy/n10000", 1.05);
+  ASSERT_TRUE(within.ok()) << within.status().ToString();
+  EXPECT_TRUE(within->within_bound);
+  EXPECT_NEAR(within->ratio, 1.04, 1e-12);
+
+  JsonValue slow = MakeDoc({MakeCase("solve/lazy/n10000", 10.0),
+                            MakeCase("solve/budget_greedy/n10000", 11.0)});
+  auto beyond = CompareCaseRatio(slow, "solve/budget_greedy/n10000",
+                                 "solve/lazy/n10000", 1.05);
+  ASSERT_TRUE(beyond.ok());
+  EXPECT_FALSE(beyond->within_bound);
+  EXPECT_NEAR(beyond->ratio, 1.10, 1e-12);
+}
+
+TEST(CompareCaseRatioTest, RejectsMissingCasesAndBadBound) {
+  JsonValue doc = MakeDoc({MakeCase("a", 1.0), MakeCase("b", 1.0)});
+  EXPECT_TRUE(
+      CompareCaseRatio(doc, "missing", "a", 1.05).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      CompareCaseRatio(doc, "a", "missing", 1.05).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      CompareCaseRatio(doc, "a", "b", 0.0).status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace prefcover

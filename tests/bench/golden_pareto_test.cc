@@ -1,0 +1,109 @@
+// Golden-file lockdown of the BENCH_pareto JSON emission: a pinned
+// frontier sweep on a small PE-shaped graph with deterministic
+// quarter-step costs must serialize byte-for-byte to the checked-in
+// document — the artifact intentionally carries no timings or
+// environment capture, so the whole byte stream is comparable.
+//
+// To refresh after an intentional change, run bench_test with
+// PREFCOVER_REGENERATE_GOLDEN=1, then commit the rewritten
+// tests/golden/bench_pareto_pe_small.json.
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/pareto_json.h"
+#include "core/constrained_solver.h"
+#include "synth/dataset_profiles.h"
+
+#ifndef PREFCOVER_GOLDEN_DIR
+#error "PREFCOVER_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace prefcover {
+namespace {
+
+constexpr uint64_t kSeed = 4242;
+constexpr uint32_t kNodes = 500;
+
+std::string GoldenPath() {
+  return std::string(PREFCOVER_GOLDEN_DIR) + "/bench_pareto_pe_small.json";
+}
+
+std::string RenderPinnedArtifact() {
+  auto graph = GenerateProfileGraphWithNodes(DatasetProfile::kPE, kNodes,
+                                             kSeed);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+
+  ParetoSweepOptions options;
+  // Deterministic non-unit costs without an Rng: quarter steps cycling
+  // through {0.25 .. 2.0} by node id.
+  options.costs.resize(kNodes);
+  for (uint32_t v = 0; v < kNodes; ++v) {
+    options.costs[v] = 0.25 * static_cast<double>(1 + v % 8);
+  }
+  options.num_points = 10;
+  options.max_items = 64;
+  auto frontier = SolveParetoFrontier(*graph, options);
+  EXPECT_TRUE(frontier.ok()) << frontier.status().ToString();
+
+  ParetoArtifactMeta meta;
+  meta.instance = "synthetic://PE/n500/seed4242";
+  meta.variant = Variant::kIndependent;
+  meta.num_nodes = kNodes;
+  meta.points_requested = options.num_points;
+  return ParetoFrontierToJson(*frontier, meta).Dump();
+}
+
+TEST(GoldenParetoTest, MatchesCheckedInDocumentByteForByte) {
+  const std::string rendered = RenderPinnedArtifact();
+
+  if (std::getenv("PREFCOVER_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::binary);
+    out << rendered;
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    GTEST_SKIP() << "regenerated " << GoldenPath();
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << GoldenPath()
+      << " missing; run with PREFCOVER_REGENERATE_GOLDEN=1 to create it";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), rendered)
+      << "BENCH_pareto emission diverged from " << GoldenPath()
+      << "\nIf intentional, regenerate with PREFCOVER_REGENERATE_GOLDEN=1.";
+}
+
+TEST(GoldenParetoTest, EmissionIsRunToRunByteIdentical) {
+  EXPECT_EQ(RenderPinnedArtifact(), RenderPinnedArtifact());
+}
+
+TEST(ParetoJsonTest, DocumentShape) {
+  std::vector<ParetoPoint> frontier(1);
+  frontier[0].budget = 2.0;
+  frontier[0].total_cost = 1.5;
+  frontier[0].cover = 0.25;
+  frontier[0].items = {3, 1};
+  ParetoArtifactMeta meta;
+  meta.instance = "test.pcg";
+  meta.variant = Variant::kNormalized;
+  meta.num_nodes = 4;
+  meta.points_requested = 1;
+  JsonValue doc = ParetoFrontierToJson(frontier, meta);
+  const std::string dump = doc.Dump();
+  EXPECT_NE(dump.find("\"suite\": \"pareto_frontier\""), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("\"schema_version\": 1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"variant\": \"normalized\""), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("\"num_items\": 2"), std::string::npos) << dump;
+}
+
+}  // namespace
+}  // namespace prefcover

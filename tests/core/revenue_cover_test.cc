@@ -1,6 +1,7 @@
 #include "core/revenue_cover.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -162,6 +163,47 @@ TEST(RevenueCoverTest, ValidationErrors) {
   options.costs[1] = 1.0;
   options.capacity = 0.0;
   EXPECT_TRUE(SolveRevenueCover(g, options).status().IsInvalidArgument());
+}
+
+// Every field of RevenueCoverOptions, every way it can be malformed:
+// wrong length, zero, negative, NaN and infinity must each surface as
+// InvalidArgument — never a crash, never a silently wrong solve.
+TEST(RevenueCoverTest, EveryFieldMalformedCorpus) {
+  PreferenceGraph g = MakePaperExampleGraph();
+  const double kBadValues[] = {0.0, -1.0,
+                               std::numeric_limits<double>::quiet_NaN(),
+                               std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity()};
+  for (double bad : kBadValues) {
+    RevenueCoverOptions options = UnitOptions(g, 2.0);
+    options.revenues[3] = bad;
+    EXPECT_TRUE(SolveRevenueCover(g, options).status().IsInvalidArgument())
+        << "revenue " << bad;
+  }
+  for (double bad : kBadValues) {
+    RevenueCoverOptions options = UnitOptions(g, 2.0);
+    options.costs[0] = bad;
+    EXPECT_TRUE(SolveRevenueCover(g, options).status().IsInvalidArgument())
+        << "cost " << bad;
+  }
+  for (double bad : kBadValues) {
+    RevenueCoverOptions options = UnitOptions(g, 2.0);
+    options.capacity = bad;
+    EXPECT_TRUE(SolveRevenueCover(g, options).status().IsInvalidArgument())
+        << "capacity " << bad;
+  }
+  for (size_t wrong : {0u, 4u, 6u}) {
+    RevenueCoverOptions options = UnitOptions(g, 2.0);
+    options.revenues.assign(wrong, 1.0);
+    EXPECT_TRUE(SolveRevenueCover(g, options).status().IsInvalidArgument())
+        << "revenues length " << wrong;
+  }
+  for (size_t wrong : {0u, 4u, 6u}) {
+    RevenueCoverOptions options = UnitOptions(g, 2.0);
+    options.costs.assign(wrong, 1.0);
+    EXPECT_TRUE(SolveRevenueCover(g, options).status().IsInvalidArgument())
+        << "costs length " << wrong;
+  }
 }
 
 TEST(RevenueCoverTest, NormalizedVariantSupported) {

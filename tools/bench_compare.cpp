@@ -58,6 +58,15 @@ int Main(int argc, char** argv) {
   flags.AddDouble("tolerance", 0.0,
                   "numeric tolerance in determinism mode (golden files use "
                   "1e-9)");
+  flags.AddString("ratio_case", "",
+                  "ratio mode: gate this case's p50 against "
+                  "--ratio_baseline within the SAME document (one "
+                  "positional file)");
+  flags.AddString("ratio_baseline", "",
+                  "ratio mode: the sibling case to divide by");
+  flags.AddDouble("max_ratio", 1.05,
+                  "ratio mode: fail when case p50 / baseline p50 exceeds "
+                  "this bound");
   flags.AddDouble("timeout_s", 0.0,
                   "abort with exit code 124 if the comparison has not "
                   "finished within this many seconds (0 = no timeout); a "
@@ -88,6 +97,49 @@ int Main(int argc, char** argv) {
       ::_exit(124);
     }).detach();
   }
+  // Ratio mode: one document, two sibling cases.
+  if (!flags.GetString("ratio_case").empty() ||
+      !flags.GetString("ratio_baseline").empty()) {
+    if (flags.GetString("ratio_case").empty() ||
+        flags.GetString("ratio_baseline").empty()) {
+      std::fprintf(stderr,
+                   "--ratio_case and --ratio_baseline must be given "
+                   "together\n");
+      return 2;
+    }
+    if (flags.positional().size() != 1) {
+      std::fprintf(stderr,
+                   "ratio mode expects exactly one positional argument: "
+                   "bench.json\n%s",
+                   flags.UsageString().c_str());
+      return 2;
+    }
+    auto doc = LoadBenchFile(flags.positional()[0]);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+      return 2;
+    }
+    auto ratio = CompareCaseRatio(*doc, flags.GetString("ratio_case"),
+                                  flags.GetString("ratio_baseline"),
+                                  flags.GetDouble("max_ratio"));
+    if (!ratio.ok()) {
+      std::fprintf(stderr, "%s\n", ratio.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("%s  %.3f ms  /  %s  %.3f ms  =  %.3fx (bound %.3fx)\n",
+                flags.GetString("ratio_case").c_str(), ratio->case_p50_ms,
+                flags.GetString("ratio_baseline").c_str(),
+                ratio->baseline_p50_ms, ratio->ratio,
+                flags.GetDouble("max_ratio"));
+    if (!ratio->within_bound) {
+      std::fprintf(stderr, "FAIL: case ratio %.3fx exceeds %.3fx\n",
+                   ratio->ratio, flags.GetDouble("max_ratio"));
+      return 1;
+    }
+    std::printf("OK: case ratio within bound\n");
+    return 0;
+  }
+
   if (flags.positional().size() != 2) {
     std::fprintf(stderr,
                  "expected exactly two positional arguments: "

@@ -18,6 +18,7 @@
 //       --index_out=index.pcsidx
 //   prefcover serve --index=index.pcsidx
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -37,12 +38,14 @@
 
 #include "bench/env_capture.h"
 #include "bench/metrics_json.h"
+#include "bench/pareto_json.h"
 #include "clickstream/clickstream_io.h"
 #include "clickstream/graph_construction.h"
 #include "clickstream/streaming_construction.h"
 #include "clickstream/variant_selection.h"
 #include "core/checkpoint.h"
 #include "core/complementary_solver.h"
+#include "core/constrained_solver.h"
 #include "core/greedy_solver.h"
 #include "eval/report.h"
 #include "eval/runner.h"
@@ -229,13 +232,128 @@ Status WriteSolutionCsv(const PreferenceGraph& graph,
   });
 }
 
+// --- solve --budget/--costs/--quota/--pareto_out helpers ------------------
+
+// Reads an `item_id,cost` CSV into a dense cost vector; items absent from
+// the file keep unit cost. A first record whose id is non-numeric is
+// treated as a header and skipped.
+Result<std::vector<double>> ReadCostsCsv(const std::string& path, size_t n) {
+  std::ifstream input(path);
+  if (!input) return Status::IOError("cannot open costs file " + path);
+  std::vector<double> costs(n, 1.0);
+  CsvReader reader(&input);
+  std::vector<std::string> fields;
+  while (reader.Next(&fields)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          path + ": record " + std::to_string(reader.record_number()) +
+          " must be `item_id,cost`");
+    }
+    auto id = ParseUint32(fields[0]);
+    if (!id.ok()) {
+      if (reader.record_number() == 1) continue;  // header row
+      return id.status();
+    }
+    if (*id >= n) {
+      return Status::InvalidArgument(path + ": item " + fields[0] +
+                                     " is out of range (graph has " +
+                                     std::to_string(n) + " nodes)");
+    }
+    auto value = ParseDouble(fields[1]);
+    if (!value.ok()) return value.status();
+    costs[*id] = *value;
+  }
+  PREFCOVER_RETURN_NOT_OK(reader.status());
+  return costs;
+}
+
+// Reads an `item_id,category` CSV; every item must be assigned (quotas
+// over a partial assignment would silently mean "category 0").
+Result<std::vector<uint32_t>> ReadCategoriesCsv(const std::string& path,
+                                                size_t n) {
+  std::ifstream input(path);
+  if (!input) return Status::IOError("cannot open categories file " + path);
+  std::vector<uint32_t> categories(n, 0);
+  std::vector<bool> seen(n, false);
+  CsvReader reader(&input);
+  std::vector<std::string> fields;
+  while (reader.Next(&fields)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(
+          path + ": record " + std::to_string(reader.record_number()) +
+          " must be `item_id,category`");
+    }
+    auto id = ParseUint32(fields[0]);
+    if (!id.ok()) {
+      if (reader.record_number() == 1) continue;  // header row
+      return id.status();
+    }
+    if (*id >= n) {
+      return Status::InvalidArgument(path + ": item " + fields[0] +
+                                     " is out of range (graph has " +
+                                     std::to_string(n) + " nodes)");
+    }
+    auto category = ParseUint32(fields[1]);
+    if (!category.ok()) return category.status();
+    categories[*id] = *category;
+    seen[*id] = true;
+  }
+  PREFCOVER_RETURN_NOT_OK(reader.status());
+  for (size_t v = 0; v < n; ++v) {
+    if (!seen[v]) {
+      return Status::InvalidArgument(
+          path + ": item " + std::to_string(v) +
+          " has no category (the file must assign every item)");
+    }
+  }
+  return categories;
+}
+
+// Parses `cat:min[:max],...` into a quota vector covering every category
+// present in `categories`; unmentioned categories stay unconstrained.
+Result<std::vector<CategoryQuota>> ParseQuotaSpec(
+    const std::string& spec, const std::vector<uint32_t>& categories) {
+  uint32_t num_categories = 0;
+  for (uint32_t c : categories) {
+    num_categories = std::max(num_categories, c + 1);
+  }
+  std::vector<CategoryQuota> quotas(num_categories);
+  for (const std::string& field : SplitString(spec, ',')) {
+    if (field.empty()) continue;
+    std::vector<std::string> parts = SplitString(field, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::InvalidArgument(
+          "--quota entries must be `cat:min[:max]`, got `" + field + "`");
+    }
+    auto category = ParseUint32(parts[0]);
+    if (!category.ok()) return category.status();
+    if (*category >= num_categories) {
+      return Status::InvalidArgument(
+          "--quota category " + parts[0] +
+          " does not appear in --categories");
+    }
+    auto min_items = ParseUint32(parts[1]);
+    if (!min_items.ok()) return min_items.status();
+    quotas[*category].min_items = *min_items;
+    if (parts.size() == 3) {
+      auto max_items = ParseUint32(parts[2]);
+      if (!max_items.ok()) return max_items.status();
+      quotas[*category].max_items = *max_items;
+    }
+  }
+  return quotas;
+}
+
 int CmdSolve(int argc, char** argv) {
   FlagParser flags("prefcover solve: select k items maximizing the cover");
   flags.AddString("graph", "graph.pcg", "graph path");
   flags.AddInt("k", 100, "number of items to retain");
   flags.AddString("variant", "auto", "independent|normalized|auto");
   flags.AddString("algorithm", "lazy",
-                  "greedy|lazy|parallel|lazy-parallel|topk-w|topk-c|random");
+                  "greedy|lazy|parallel|lazy-parallel|constrained|"
+                  "topk-w|topk-c|random");
   flags.AddInt("threads", 4,
                "threads for --algorithm=parallel|lazy-parallel");
   flags.AddInt("batch", 0,
@@ -283,6 +401,26 @@ int CmdSolve(int argc, char** argv) {
                 "resume from --checkpoint_path when it exists: the "
                 "checkpointed prefix is replayed and the final solution "
                 "is identical to an uninterrupted run");
+  flags.AddDouble("budget", 0.0,
+                  "inventory-cost budget; 0 = none. Any of "
+                  "--budget/--costs/--quota routes the solve through the "
+                  "constrained cost-ratio greedy");
+  flags.AddString("costs", "",
+                  "per-item cost CSV (`item_id,cost`; unlisted items "
+                  "cost 1.0), used by --budget and --pareto_out");
+  flags.AddString("categories", "",
+                  "per-item category CSV (`item_id,category`; must "
+                  "assign every item), required by --quota");
+  flags.AddString("quota", "",
+                  "comma-separated per-category retention quotas "
+                  "`cat:min[:max]`; unmentioned categories are "
+                  "unconstrained (requires --categories)");
+  flags.AddString("pareto_out", "",
+                  "sweep budgets and write the non-dominated "
+                  "coverage-vs-cost frontier JSON to this path instead "
+                  "of solving once (uses --costs; quotas unsupported)");
+  flags.AddInt("pareto_points", 16,
+               "budget-schedule size for --pareto_out (>= 2)");
   if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
 
   // One token for the whole command: SIGINT/SIGTERM and --deadline_ms
@@ -377,6 +515,8 @@ int CmdSolve(int argc, char** argv) {
     algorithm = Algorithm::kTopKCoverage;
   } else if (algo_name == "random") {
     algorithm = Algorithm::kRandom;
+  } else if (algo_name == "constrained") {
+    algorithm = Algorithm::kConstrainedGreedy;
   } else {
     return Fail(Status::InvalidArgument("unknown algorithm " + algo_name));
   }
@@ -435,14 +575,95 @@ int CmdSolve(int argc, char** argv) {
     return Fail(Status::InvalidArgument(
         "--force-include/--force-exclude require a greedy algorithm"));
   }
+
+  // --- constraint-spec assembly (--budget/--costs/--quota) ---
+  const double budget_flag = flags.GetDouble("budget");
+  if (!(budget_flag >= 0.0)) {  // negation also rejects NaN
+    return Fail(Status::InvalidArgument("--budget must be >= 0"));
+  }
+  ConstraintSpec spec;
+  bool use_spec = algorithm == Algorithm::kConstrainedGreedy;
+  if (budget_flag > 0.0) {
+    spec.budget = budget_flag;
+    use_spec = true;
+  }
+  if (!flags.GetString("costs").empty()) {
+    auto costs = ReadCostsCsv(flags.GetString("costs"), graph->NumNodes());
+    if (!costs.ok()) return Fail(costs.status());
+    spec.costs = std::move(*costs);
+    use_spec = true;
+  }
+  if (!flags.GetString("quota").empty()) {
+    if (flags.GetString("categories").empty()) {
+      return Fail(Status::InvalidArgument("--quota requires --categories"));
+    }
+    auto categories =
+        ReadCategoriesCsv(flags.GetString("categories"), graph->NumNodes());
+    if (!categories.ok()) return Fail(categories.status());
+    auto quotas = ParseQuotaSpec(flags.GetString("quota"), *categories);
+    if (!quotas.ok()) return Fail(quotas.status());
+    spec.categories = std::move(*categories);
+    spec.quotas = std::move(*quotas);
+    use_spec = true;
+  } else if (!flags.GetString("categories").empty()) {
+    return Fail(Status::InvalidArgument(
+        "--categories without --quota has no effect; pass --quota"));
+  }
+
+  // --pareto_out: a budget sweep replaces the single solve.
+  const std::string& pareto_out = flags.GetString("pareto_out");
+  if (!pareto_out.empty()) {
+    if (spec.HasQuotas()) {
+      return Fail(Status::InvalidArgument(
+          "--pareto_out sweeps budgets over costs only; quotas are "
+          "unsupported"));
+    }
+    const int64_t pareto_points = flags.GetInt("pareto_points");
+    if (pareto_points < 2) {
+      return Fail(Status::InvalidArgument("--pareto_points must be >= 2"));
+    }
+    ParetoSweepOptions sweep;
+    sweep.variant = *variant;
+    sweep.costs = spec.costs;
+    sweep.num_points = static_cast<size_t>(pareto_points);
+    sweep.max_items = k;
+    auto frontier = SolveParetoFrontier(*graph, sweep);
+    if (!frontier.ok()) return fail_with_observability(frontier.status());
+    ParetoArtifactMeta meta;
+    meta.instance = !flags.GetString("clicks").empty()
+                        ? flags.GetString("clicks")
+                        : flags.GetString("graph");
+    meta.variant = *variant;
+    meta.num_nodes = graph->NumNodes();
+    meta.points_requested = static_cast<size_t>(pareto_points);
+    Status pareto_st = WriteParetoArtifact(pareto_out, *frontier, meta);
+    if (!pareto_st.ok()) return fail_with_observability(pareto_st);
+    std::printf("wrote %s (pareto frontier: %zu non-dominated point(s), "
+                "%lld budget(s) swept)\n",
+                pareto_out.c_str(), frontier->size(),
+                static_cast<long long>(pareto_points));
+    Status export_st = export_observability();
+    if (!export_st.ok()) return Fail(export_st);
+    return 0;
+  }
+
+  if (use_spec && algorithm != Algorithm::kConstrainedGreedy) {
+    if (!greedy_family) {
+      return Fail(Status::InvalidArgument(
+          "--budget/--costs/--quota require a greedy algorithm (or "
+          "--algorithm=constrained)"));
+    }
+    algorithm = Algorithm::kConstrainedGreedy;
+  }
   greedy_options.cancel = &cancel;
 
   const std::string& checkpoint_path = flags.GetString("checkpoint_path");
   const int64_t checkpoint_every = flags.GetInt("checkpoint_every");
   if (!checkpoint_path.empty() || flags.GetBool("resume")) {
-    if (!greedy_family) {
+    if (!greedy_family || algorithm == Algorithm::kConstrainedGreedy) {
       return Fail(Status::InvalidArgument(
-          "--checkpoint_path/--resume require a greedy algorithm"));
+          "--checkpoint_path/--resume require an unconstrained greedy "
+          "algorithm"));
     }
     if (checkpoint_path.empty()) {
       return Fail(Status::InvalidArgument(
@@ -479,7 +700,11 @@ int CmdSolve(int argc, char** argv) {
 
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   Result<Solution> solution =
-      RunAlgorithm(algorithm, *graph, k, greedy_options, &rng, threads);
+      algorithm == Algorithm::kConstrainedGreedy
+          ? RunAlgorithm(algorithm, *graph, k, greedy_options, spec, &rng,
+                         threads)
+          : RunAlgorithm(algorithm, *graph, k, greedy_options, &rng,
+                         threads);
   if (!solution.ok()) return fail_with_observability(solution.status());
 
   std::printf("%s (%s variant): retained %zu of %zu items, cover %.4f%% "
@@ -489,6 +714,16 @@ int CmdSolve(int argc, char** argv) {
               solution->items.size(), graph->NumNodes(),
               solution->cover * 100.0,
               FormatDuration(solution->solve_seconds).c_str());
+  if (algorithm == Algorithm::kConstrainedGreedy) {
+    double total_cost = 0.0;
+    for (NodeId item : solution->items) total_cost += spec.CostOf(item);
+    if (spec.HasBudget()) {
+      std::printf("constraints: total cost %.6g of budget %.6g\n",
+                  total_cost, spec.budget);
+    } else {
+      std::printf("constraints: total cost %.6g\n", total_cost);
+    }
+  }
   const bool signal_truncated =
       solution->stats.truncated && LastCancelSignal() != 0;
   if (solution->stats.truncated) {
