@@ -24,6 +24,7 @@
 #include "eval/experiment.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_generators.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/query_engine.h"
 #include "serve/serving_index.h"
@@ -74,6 +75,10 @@ BenchCase GainCase(const PreferenceGraph& g, Variant variant,
 int main(int argc, char** argv) {
   ExperimentEnv env("micro_core: hot-path microbenchmarks");
   AddBenchFlags(&env.flags, /*default_reps=*/3, /*default_warmup=*/1);
+  env.flags.AddDouble(
+      "sample_metrics_s", 0.0,
+      "run a background metrics sampler at this interval while the cases "
+      "execute (0 = off); used by CI to bound sampler overhead");
   Status st = env.Parse(argc, argv);
   if (st.IsOutOfRange()) return 0;
   if (!st.ok()) {
@@ -87,6 +92,18 @@ int main(int argc, char** argv) {
   }
   BenchRunner runner(*config);
   PrintExperimentHeader(env, "micro_core", "hot-path microbenchmarks");
+
+  // Optional live sampler: the perf gates run with this on to prove that
+  // a 1 Hz snapshot loop does not perturb the hot paths.
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  const double sample_interval_s = env.flags.GetDouble("sample_metrics_s");
+  if (sample_interval_s > 0.0) {
+    obs::TimeseriesOptions sampler_options;
+    sampler_options.interval_s = sample_interval_s;
+    sampler = std::make_unique<obs::MetricsSampler>(
+        &obs::MetricsRegistry::Global(), sampler_options);
+    sampler->Start();
+  }
 
   auto run_or_die = [&runner](const BenchCase& bench_case) {
     Status run_status = runner.Run(bench_case);
@@ -540,6 +557,12 @@ int main(int argc, char** argv) {
       return Status::OK();
     };
     run_or_die(bench_case);
+  }
+
+  if (sampler != nullptr) {
+    sampler->Stop();
+    std::fprintf(stderr, "metrics sampler: %zu sample(s) at %.3gs\n",
+                 sampler->SampleCount(), sample_interval_s);
   }
 
   env.Emit(runner.SummaryTable(), "micro_core hot paths");

@@ -1,6 +1,7 @@
 #include "bench/bench_runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
@@ -103,9 +104,13 @@ Status BenchRunner::Run(const BenchCase& bench_case) {
   std::vector<double> wall_ms, cpu_ms;
   wall_ms.reserve(config_.repetitions);
   cpu_ms.reserve(config_.repetitions);
+  obs::PerfCounterValues perf;
   for (uint64_t i = 0; i < config_.repetitions; ++i) {
     recorder.Clear();
     double cpu_before = ProcessCpuSeconds();
+    // Counters accumulate across repetitions so the derived ratios (IPC,
+    // miss rates) average over the whole measured window.
+    obs::PerfScope perf_scope(&perf_group_, &perf);
     Stopwatch watch;
     PREFCOVER_RETURN_NOT_OK(bench_case.run(&recorder));
     wall_ms.push_back(watch.ElapsedMillis());
@@ -123,6 +128,7 @@ Status BenchRunner::Run(const BenchCase& bench_case) {
   result.wall = LatencySummary::FromSamples(std::move(wall_ms));
   result.cpu = LatencySummary::FromSamples(std::move(cpu_ms));
   result.counters = recorder.Sorted();
+  result.perf = std::move(perf);
   results_.push_back(std::move(result));
   return Status::OK();
 }
@@ -156,6 +162,10 @@ JsonValue BenchRunner::ToJson() const {
       counters.Set(name, JsonValue::Number(value));
     }
     c.Set("counters", std::move(counters));
+    // Host-dependent like the run-level metrics subtree: always present
+    // (supported=false where perf_event_open is unavailable) so the
+    // document shape is stable, and skipped by the determinism compare.
+    c.Set("perf_counters", PerfCountersToJson(r.perf));
     cases.Append(std::move(c));
   }
   doc.Set("cases", std::move(cases));
@@ -168,21 +178,71 @@ JsonValue BenchRunner::ToJson() const {
   return doc;
 }
 
+JsonValue BenchRunner::PerfCountersJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Int(kPerfCountersSchemaVersion));
+  doc.Set("suite", JsonValue::Str(config_.suite));
+  doc.Set("supported", JsonValue::Bool(AnyPerfSupported()));
+  JsonValue cases = JsonValue::Array();
+  for (const BenchResult& r : results_) {
+    JsonValue c = JsonValue::Object();
+    c.Set("name", JsonValue::Str(r.name));
+    c.Set("perf_counters", PerfCountersToJson(r.perf));
+    cases.Append(std::move(c));
+  }
+  doc.Set("cases", std::move(cases));
+  return doc;
+}
+
+bool BenchRunner::AnyPerfSupported() const {
+  for (const BenchResult& r : results_) {
+    if (r.perf.supported) return true;
+  }
+  return false;
+}
+
 Status BenchRunner::WriteJsonFile(const std::string& path) const {
   // Atomic replace: bench trajectories are append-compared across runs,
   // so a crash must never leave a truncated JSON behind.
   return WriteFileAtomic(path, ToJson().Dump());
 }
 
+namespace {
+
+std::string FormatRatio(double value, const char* unit = "") {
+  if (!std::isfinite(value)) return "-";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%s", value, unit);
+  return buffer;
+}
+
+}  // namespace
+
 TablePrinter BenchRunner::SummaryTable() const {
-  TablePrinter table(
-      {"case", "n", "k", "threads", "wall p50", "wall p95", "cpu p50"});
+  const bool with_perf = AnyPerfSupported();
+  std::vector<std::string> header = {"case",     "n",        "k",
+                                     "threads",  "wall p50", "wall p95",
+                                     "cpu p50"};
+  if (with_perf) {
+    header.push_back("ipc");
+    header.push_back("br miss");
+    header.push_back("cache miss");
+  }
+  TablePrinter table(header);
   for (const BenchResult& r : results_) {
-    table.AddRow({r.name, FormatCount(r.n), FormatCount(r.k),
-                  std::to_string(r.threads),
-                  FormatDuration(r.wall.p50_ms * 1e-3),
-                  FormatDuration(r.wall.p95_ms * 1e-3),
-                  FormatDuration(r.cpu.p50_ms * 1e-3)});
+    std::vector<std::string> row = {r.name,
+                                    FormatCount(r.n),
+                                    FormatCount(r.k),
+                                    std::to_string(r.threads),
+                                    FormatDuration(r.wall.p50_ms * 1e-3),
+                                    FormatDuration(r.wall.p95_ms * 1e-3),
+                                    FormatDuration(r.cpu.p50_ms * 1e-3)};
+    if (with_perf) {
+      row.push_back(FormatRatio(r.perf.Ipc()));
+      row.push_back(FormatRatio(r.perf.BranchMissRate() * 100.0, "%"));
+      row.push_back(FormatRatio(r.perf.CacheMissRate() * 100.0, "%"));
+    }
+    table.AddRow(std::move(row));
   }
   return table;
 }
@@ -191,6 +251,10 @@ void AddBenchFlags(FlagParser* flags, int64_t default_reps,
                    int64_t default_warmup) {
   flags->AddString("json", "",
                    "write the BENCH_core.json document to this path");
+  flags->AddString("perf_json", "",
+                   "write the standalone perf-counter document to this "
+                   "path (supported=false where perf_event_open is "
+                   "unavailable)");
   flags->AddInt("reps", default_reps, "timed repetitions per case");
   flags->AddInt("warmup", default_warmup,
                 "untimed warmup executions per case");
@@ -213,10 +277,18 @@ Result<BenchConfig> BenchConfigFromFlags(const FlagParser& flags,
 Status MaybeWriteBenchJson(const BenchRunner& runner,
                            const FlagParser& flags) {
   const std::string& path = flags.GetString("json");
-  if (path.empty()) return Status::OK();
-  PREFCOVER_RETURN_NOT_OK(runner.WriteJsonFile(path));
-  std::fprintf(stderr, "wrote %zu case(s) to %s\n",
-               runner.results().size(), path.c_str());
+  if (!path.empty()) {
+    PREFCOVER_RETURN_NOT_OK(runner.WriteJsonFile(path));
+    std::fprintf(stderr, "wrote %zu case(s) to %s\n",
+                 runner.results().size(), path.c_str());
+  }
+  const std::string& perf_path = flags.GetString("perf_json");
+  if (!perf_path.empty()) {
+    PREFCOVER_RETURN_NOT_OK(
+        WriteFileAtomic(perf_path, runner.PerfCountersJson().Dump()));
+    std::fprintf(stderr, "wrote perf counters for %zu case(s) to %s\n",
+                 runner.results().size(), perf_path.c_str());
+  }
   return Status::OK();
 }
 

@@ -15,6 +15,7 @@
 #include "bench/bench_case.h"
 #include "bench/env_capture.h"
 #include "bench/json.h"
+#include "obs/perf_counters.h"
 #include "util/flags.h"
 #include "util/status.h"
 #include "util/table_printer.h"
@@ -72,6 +73,12 @@ struct BenchResult {
 
   /// Deterministic outputs (sorted by name): solver telemetry, covers.
   std::vector<std::pair<std::string, double>> counters;
+
+  /// Perf-event totals accumulated over the timed repetitions (marked
+  /// unsupported where perf_event_open is unavailable). Host-dependent:
+  /// emitted as the per-case "perf_counters" subtree, which the
+  /// determinism comparison skips like the run-level metrics subtree.
+  obs::PerfCounterValues perf;
 };
 
 /// \brief Runs cases and accumulates results for emission.
@@ -89,20 +96,32 @@ class BenchRunner {
   /// The full BENCH_core.json document.
   JsonValue ToJson() const;
 
+  /// Standalone perf-counter document for artifact upload:
+  /// `{"schema_version": 1, "suite": ..., "supported": bool,
+  ///   "cases": [{"name": ..., "perf_counters": {...}}]}`.
+  JsonValue PerfCountersJson() const;
+
   /// Writes ToJson() to `path`.
   Status WriteJsonFile(const std::string& path) const;
 
-  /// Human-readable per-case summary (name, p50/p95 wall, CPU p50).
+  /// Human-readable per-case summary (name, p50/p95 wall, CPU p50, and —
+  /// when the host supports perf events — IPC and cache-miss rate).
   TablePrinter SummaryTable() const;
+
+  /// Whether any completed case measured at least one perf event.
+  bool AnyPerfSupported() const;
 
  private:
   BenchConfig config_;
   EnvCapture env_;
+  obs::PerfCounterGroup perf_group_;
   std::vector<BenchResult> results_;
 };
 
 /// \brief Registers the harness flags every ported bench binary shares:
-/// --json (output path; empty = don't write), --reps, --warmup.
+/// --json (output path; empty = don't write), --reps, --warmup, and
+/// --perf_json (standalone perf-counter document path; empty = don't
+/// write).
 void AddBenchFlags(FlagParser* flags, int64_t default_reps,
                    int64_t default_warmup);
 
@@ -112,7 +131,8 @@ Result<BenchConfig> BenchConfigFromFlags(const FlagParser& flags,
                                          std::string suite, uint64_t seed);
 
 /// \brief Emission helper shared by the bench binaries: writes the JSON
-/// file when --json was given and prints a confirmation line.
+/// file when --json was given, the perf-counter document when
+/// --perf_json was given, and prints a confirmation line for each.
 Status MaybeWriteBenchJson(const BenchRunner& runner,
                            const FlagParser& flags);
 

@@ -69,6 +69,18 @@ Status ValidateCase(const JsonValue& c, const std::string& path) {
       return SchemaError(path + ".counters." + name, "wrong type");
     }
   }
+  // Optional (documents predating perf-event capture lack it): the
+  // per-case perf-counter subtree. Host-dependent, so only its framing is
+  // checked; the determinism comparison skips it entirely.
+  const JsonValue* perf = c.Find("perf_counters");
+  if (perf != nullptr) {
+    const std::string perf_path = path + ".perf_counters";
+    if (!perf->is_object()) return SchemaError(perf_path, "wrong type");
+    PREFCOVER_RETURN_NOT_OK(RequireMember(*perf, perf_path, "schema_version",
+                                          JsonValue::Type::kNumber, &member));
+    PREFCOVER_RETURN_NOT_OK(RequireMember(*perf, perf_path, "supported",
+                                          JsonValue::Type::kBool, &member));
+  }
   return Status::OK();
 }
 
@@ -213,6 +225,12 @@ void DiffValues(const JsonValue& a, const JsonValue& b,
         // its key set is whatever instruments happened to fire, none of
         // which the determinism contract covers.
         if (path == "$" && key == "metrics") continue;
+        // Same for the per-case perf-counter subtree: its content is a
+        // property of the host (PMU availability, multiplexing), not of
+        // the algorithm under test.
+        if (key == "perf_counters" && path.rfind("$.cases[", 0) == 0) {
+          continue;
+        }
         bool child_relaxed =
             relaxed || IsTimingKey(key) || (path == "$" && key == "env");
         DiffValues(value, other_value, path + "." + key, child_relaxed,

@@ -1,5 +1,7 @@
 #include "bench/metrics_json.h"
 
+#include <cmath>
+
 namespace prefcover {
 
 JsonValue MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot) {
@@ -32,6 +34,36 @@ JsonValue MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot) {
     histograms.Set(h.name, std::move(entry));
   }
   doc.Set("histograms", std::move(histograms));
+  return doc;
+}
+
+JsonValue PerfCountersToJson(const obs::PerfCounterValues& values) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Int(kPerfCountersSchemaVersion));
+  doc.Set("supported", JsonValue::Bool(values.supported));
+  if (!values.supported) {
+    doc.Set("unsupported_reason", JsonValue::Str(values.unsupported_reason));
+    return doc;
+  }
+  JsonValue events = JsonValue::Object();
+  for (size_t i = 0; i < obs::kNumPerfEvents; ++i) {
+    const auto event = static_cast<obs::PerfEvent>(i);
+    if (!values.Has(event)) continue;
+    events.Set(std::string(obs::PerfEventName(event)),
+               JsonValue::Uint(values.Value(event)));
+  }
+  doc.Set("events", std::move(events));
+  JsonValue derived = JsonValue::Object();
+  const std::pair<const char*, double> ratios[] = {
+      {"ipc", values.Ipc()},
+      {"branch_miss_rate", values.BranchMissRate()},
+      {"cache_miss_rate", values.CacheMissRate()},
+      {"ghz", values.CyclesPerNanosecond()},
+  };
+  for (const auto& [name, ratio] : ratios) {
+    if (std::isfinite(ratio)) derived.Set(name, JsonValue::Number(ratio));
+  }
+  doc.Set("derived", std::move(derived));
   return doc;
 }
 

@@ -10,12 +10,19 @@
 
 #include "bench/json.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 
 namespace prefcover {
 
 /// \brief Current schema of the metrics JSON subtree. Bump on any
 /// backwards-incompatible shape change and update OBSERVABILITY.md.
 inline constexpr int kMetricsSchemaVersion = 1;
+
+/// \brief Current schema of the per-case perf_counters subtree. Versioned
+/// independently of kBenchSchemaVersion for the same reason as the
+/// metrics subtree: host-dependent content, excluded from determinism
+/// comparison.
+inline constexpr int kPerfCountersSchemaVersion = 1;
 
 /// \brief Renders a snapshot as
 /// `{"schema_version": 1, "counters": {...}, "gauges": {...},
@@ -24,6 +31,15 @@ inline constexpr int kMetricsSchemaVersion = 1;
 /// Entries appear in snapshot order (sorted by name), so the output is
 /// byte-stable for a fixed set of instruments and values.
 JsonValue MetricsSnapshotToJson(const obs::MetricsSnapshot& snapshot);
+
+/// \brief Renders accumulated perf-event counters as
+/// `{"schema_version": 1, "supported": bool, "events": {name: value},
+///   "derived": {"ipc": ..., "branch_miss_rate": ...}}`.
+/// Only measured events appear under "events"; only finite ratios appear
+/// under "derived". When nothing was measured the object carries
+/// `"supported": false` and an "unsupported_reason" string instead —
+/// the subtree is always present so the document shape is host-stable.
+JsonValue PerfCountersToJson(const obs::PerfCounterValues& values);
 
 }  // namespace prefcover
 

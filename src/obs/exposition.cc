@@ -1,0 +1,348 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace prefcover {
+namespace obs {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::string FormatValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) out += '_';
+  for (char c : name) {
+    out += IsNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 const ExpositionOptions& /*options*/) {
+  std::string out;
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = SanitizeMetricName(counter.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " +
+           FormatValue(static_cast<double>(counter.value)) + "\n";
+  }
+  for (const auto& gauge : snapshot.gauges) {
+    const std::string name = SanitizeMetricName(gauge.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + FormatValue(static_cast<double>(gauge.value)) + "\n";
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = SanitizeMetricName(histogram.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    const size_t buckets =
+        histogram.counts.size() == histogram.bounds.size() + 1
+            ? histogram.bounds.size()
+            : 0;
+    for (size_t b = 0; b < buckets; ++b) {
+      cumulative += histogram.counts[b];
+      out += name + "_bucket{le=\"" + FormatValue(histogram.bounds[b]) +
+             "\"} " + FormatValue(static_cast<double>(cumulative)) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " +
+           FormatValue(static_cast<double>(histogram.total_count)) + "\n";
+    out += name + "_sum " + FormatValue(histogram.sum) + "\n";
+    out += name + "_count " +
+           FormatValue(static_cast<double>(histogram.total_count)) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+namespace {
+
+// One parsed sample line: name, optional le label, value.
+struct SampleLine {
+  std::string name;
+  bool has_le = false;
+  std::string le;
+  double value = 0.0;
+};
+
+bool ParseDouble(std::string_view text, double* value) {
+  if (text == "+Inf") {
+    *value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-Inf") {
+    *value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "NaN") {
+    *value = std::nan("");
+    return true;
+  }
+  std::string owned(text);
+  char* end = nullptr;
+  const double parsed = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0') return false;
+  *value = parsed;
+  return true;
+}
+
+bool ParseSampleLine(std::string_view line, SampleLine* out,
+                     std::string* error) {
+  size_t pos = 0;
+  while (pos < line.size() && IsNameChar(line[pos])) ++pos;
+  if (pos == 0 || !IsNameStartChar(line[0])) {
+    *error = "illegal metric name";
+    return false;
+  }
+  out->name = std::string(line.substr(0, pos));
+  if (pos < line.size() && line[pos] == '{') {
+    const size_t close = line.find('}', pos);
+    if (close == std::string_view::npos) {
+      *error = "unterminated label set";
+      return false;
+    }
+    const std::string_view labels = line.substr(pos + 1, close - pos - 1);
+    // Only the le label matters to us; everything else passes through.
+    constexpr std::string_view kLe = "le=\"";
+    const size_t le_pos = labels.find(kLe);
+    if (le_pos != std::string_view::npos) {
+      const size_t value_start = le_pos + kLe.size();
+      const size_t value_end = labels.find('"', value_start);
+      if (value_end == std::string_view::npos) {
+        *error = "unterminated le label";
+        return false;
+      }
+      out->has_le = true;
+      out->le = std::string(
+          labels.substr(value_start, value_end - value_start));
+    }
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    *error = "expected space before value";
+    return false;
+  }
+  ++pos;
+  if (!ParseDouble(line.substr(pos), &out->value)) {
+    *error = "unparseable sample value";
+    return false;
+  }
+  return true;
+}
+
+// Strips a histogram series suffix, returning the family name.
+std::string FamilyOf(const std::string& name) {
+  for (std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+  }
+  return name;
+}
+
+struct HistogramState {
+  double last_bucket = -1.0;  // last cumulative bucket count seen
+  double last_le = -std::numeric_limits<double>::infinity();
+  bool saw_inf = false;
+  double inf_value = 0.0;
+  bool saw_sum = false;
+  bool saw_count = false;
+  double count_value = 0.0;
+};
+
+LintResult FailAt(size_t line_no, const std::string& message) {
+  return LintResult::Fail("line " + std::to_string(line_no) + ": " +
+                          message);
+}
+
+}  // namespace
+
+LintResult LintPrometheusText(std::string_view text) {
+  std::map<std::string, std::string> type_of;   // family -> type
+  std::map<std::string, HistogramState> hists;  // family -> state
+  bool saw_eof = false;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++line_no;
+    if (saw_eof) return FailAt(line_no, "content after # EOF");
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.substr(0, kType.size()) != kType) {
+        // Other comments (e.g. # HELP) are legal and unchecked.
+        continue;
+      }
+      const std::string_view rest = line.substr(kType.size());
+      const size_t space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        return FailAt(line_no, "malformed # TYPE line");
+      }
+      const std::string family(rest.substr(0, space));
+      const std::string type(rest.substr(space + 1));
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return FailAt(line_no, "unknown type '" + type + "'");
+      }
+      if (type_of.count(family) != 0) {
+        return FailAt(line_no, "duplicate # TYPE for '" + family + "'");
+      }
+      type_of[family] = type;
+      continue;
+    }
+    SampleLine sample;
+    std::string error;
+    if (!ParseSampleLine(line, &sample, &error)) {
+      return FailAt(line_no, error);
+    }
+    const std::string family = FamilyOf(sample.name);
+    auto type_it = type_of.find(family);
+    if (type_it == type_of.end()) {
+      // A _sum/_count-looking name may be a plain counter/gauge family.
+      type_it = type_of.find(sample.name);
+      if (type_it == type_of.end()) {
+        return FailAt(line_no,
+                      "sample for '" + sample.name + "' without # TYPE");
+      }
+    }
+    const std::string& type = type_it->second;
+    const std::string& typed_family = type_it->first;
+    if (type == "counter") {
+      if (std::isnan(sample.value) || sample.value < 0) {
+        return FailAt(line_no, "counter '" + sample.name +
+                                   "' with negative or NaN value");
+      }
+      continue;
+    }
+    if (type == "gauge") {
+      if (std::isnan(sample.value)) {
+        return FailAt(line_no, "gauge '" + sample.name + "' with NaN value");
+      }
+      continue;
+    }
+    // Histogram series.
+    HistogramState& state = hists[typed_family];
+    if (sample.name == typed_family + "_bucket") {
+      if (!sample.has_le) {
+        return FailAt(line_no, "bucket without le label");
+      }
+      double le = 0.0;
+      if (!ParseDouble(sample.le, &le)) {
+        return FailAt(line_no, "unparseable le value '" + sample.le + "'");
+      }
+      if (le <= state.last_le) {
+        return FailAt(line_no, "histogram '" + typed_family +
+                                   "' buckets out of le order");
+      }
+      if (sample.value < state.last_bucket) {
+        return FailAt(line_no, "histogram '" + typed_family +
+                                   "' buckets not cumulative");
+      }
+      state.last_le = le;
+      state.last_bucket = sample.value;
+      if (std::isinf(le) && le > 0) {
+        state.saw_inf = true;
+        state.inf_value = sample.value;
+      }
+    } else if (sample.name == typed_family + "_sum") {
+      state.saw_sum = true;
+    } else if (sample.name == typed_family + "_count") {
+      state.saw_count = true;
+      state.count_value = sample.value;
+    } else {
+      return FailAt(line_no, "unexpected histogram series '" + sample.name +
+                                 "'");
+    }
+  }
+  if (!saw_eof) return LintResult::Fail("missing # EOF terminator");
+  for (const auto& [family, state] : hists) {
+    if (!state.saw_inf) {
+      return LintResult::Fail("histogram '" + family +
+                              "' missing le=\"+Inf\" bucket");
+    }
+    if (!state.saw_sum) {
+      return LintResult::Fail("histogram '" + family + "' missing _sum");
+    }
+    if (!state.saw_count) {
+      return LintResult::Fail("histogram '" + family + "' missing _count");
+    }
+    if (state.inf_value != state.count_value) {
+      return LintResult::Fail("histogram '" + family +
+                              "' +Inf bucket != _count");
+    }
+  }
+  // A declared histogram with no series at all is a rendering bug too.
+  for (const auto& [family, type] : type_of) {
+    if (type == "histogram" && hists.count(family) == 0) {
+      return LintResult::Fail("histogram '" + family + "' has no series");
+    }
+  }
+  return LintResult::Ok();
+}
+
+bool FindPrometheusValue(std::string_view text, std::string_view metric,
+                         double* value) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.substr(0, metric.size()) != metric) continue;
+    if (line.size() <= metric.size()) continue;
+    const char next = line[metric.size()];
+    if (next != ' ' && next != '{') continue;
+    SampleLine sample;
+    std::string error;
+    if (!ParseSampleLine(line, &sample, &error)) continue;
+    if (sample.name != metric) continue;
+    *value = sample.value;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace obs
+}  // namespace prefcover

@@ -1,0 +1,81 @@
+// Prometheus text exposition for MetricsSnapshot, plus the structural
+// linter and value extractor that the serve smoke test and serve_loadgen
+// use to scrape it back.
+//
+// The render side turns a snapshot into the Prometheus text format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/):
+// `# TYPE` lines, single samples for counters/gauges, cumulative
+// `_bucket{le="..."}` / `_sum` / `_count` series for histograms, and a
+// final `# EOF` line. The `# EOF` terminator doubles as the framing for
+// the serve protocol's `metrics` verb: responses are otherwise one line,
+// so a scraper reads until it sees `# EOF`.
+//
+// The lint side is intentionally a *structural* checker, not a full
+// parser: it verifies exactly the properties our own tooling depends on
+// (names legal, TYPE declared before samples, buckets cumulative,
+// +Inf bucket == _count, ends with # EOF), so a rendering regression
+// fails CI with a named reason instead of a confusing downstream error.
+
+#ifndef PREFCOVER_OBS_EXPOSITION_H_
+#define PREFCOVER_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace prefcover {
+namespace obs {
+
+/// \brief Maps a dotted internal metric name to a legal Prometheus name:
+/// every character outside [a-zA-Z0-9_:] becomes '_' ("serve.requests"
+/// -> "serve_requests"), and a leading digit gains a '_' prefix. Empty
+/// input becomes "_".
+std::string SanitizeMetricName(std::string_view name);
+
+struct ExpositionOptions {
+  /// Value appended to every histogram bucket line's le label formatting
+  /// is fixed; this struct exists for future labels and stays empty for
+  /// now so call sites read RenderPrometheusText(snapshot, {}).
+};
+
+/// \brief Renders a snapshot in Prometheus text format. Deterministic for
+/// a fixed snapshot (entries are name-sorted by Snapshot()); terminated
+/// by a `# EOF` line. Histogram bucket counts are rendered cumulatively
+/// and always include an `le="+Inf"` bucket equal to `_count`.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 const ExpositionOptions& options = {});
+
+/// \brief Outcome of LintPrometheusText: ok() or a message naming the
+/// first violated property and its line number.
+struct LintResult {
+  bool ok = true;
+  std::string message;
+
+  static LintResult Ok() { return {}; }
+  static LintResult Fail(std::string msg) { return {false, std::move(msg)}; }
+};
+
+/// \brief Structural linter for the text format. Checks:
+///   - every non-comment line parses as `name{labels} value` or
+///     `name value`;
+///   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+///   - every sample's family has a preceding `# TYPE` with a known type
+///     (counter | gauge | histogram), declared at most once;
+///   - counter and gauge values are finite numbers (counters >= 0);
+///   - histogram buckets are cumulative (non-decreasing with le), the
+///     `le="+Inf"` bucket exists and equals `_count`, `_sum` and `_count`
+///     are present;
+///   - the last line is `# EOF`.
+LintResult LintPrometheusText(std::string_view text);
+
+/// \brief Finds the sample value for `metric` (already-sanitized name,
+/// exact match on the unlabeled sample or the first labeled one). Returns
+/// true and fills `*value` when found.
+bool FindPrometheusValue(std::string_view text, std::string_view metric,
+                         double* value);
+
+}  // namespace obs
+}  // namespace prefcover
+
+#endif  // PREFCOVER_OBS_EXPOSITION_H_

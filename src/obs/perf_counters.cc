@@ -1,0 +1,236 @@
+#include "obs/perf_counters.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace prefcover {
+namespace obs {
+
+std::string_view PerfEventName(PerfEvent event) {
+  switch (event) {
+    case PerfEvent::kCycles:
+      return "cycles";
+    case PerfEvent::kInstructions:
+      return "instructions";
+    case PerfEvent::kBranches:
+      return "branches";
+    case PerfEvent::kBranchMisses:
+      return "branch_misses";
+    case PerfEvent::kCacheReferences:
+      return "cache_references";
+    case PerfEvent::kCacheMisses:
+      return "cache_misses";
+    case PerfEvent::kTaskClockNs:
+      return "task_clock_ns";
+    case PerfEvent::kContextSwitches:
+      return "context_switches";
+    case PerfEvent::kPageFaults:
+      return "page_faults";
+  }
+  return "unknown";
+}
+
+namespace {
+
+double RatioOrNan(const PerfCounterValues& values, PerfEvent numerator,
+                  PerfEvent denominator) {
+  if (!values.Has(numerator) || !values.Has(denominator)) {
+    return std::nan("");
+  }
+  const double denom =
+      static_cast<double>(values.Value(denominator));
+  if (denom <= 0.0) return std::nan("");
+  return static_cast<double>(values.Value(numerator)) / denom;
+}
+
+}  // namespace
+
+double PerfCounterValues::Ipc() const {
+  return RatioOrNan(*this, PerfEvent::kInstructions, PerfEvent::kCycles);
+}
+
+double PerfCounterValues::BranchMissRate() const {
+  return RatioOrNan(*this, PerfEvent::kBranchMisses, PerfEvent::kBranches);
+}
+
+double PerfCounterValues::CacheMissRate() const {
+  return RatioOrNan(*this, PerfEvent::kCacheMisses,
+                    PerfEvent::kCacheReferences);
+}
+
+double PerfCounterValues::CyclesPerNanosecond() const {
+  return RatioOrNan(*this, PerfEvent::kCycles, PerfEvent::kTaskClockNs);
+}
+
+void PerfCounterValues::Accumulate(const PerfCounterValues& other) {
+  supported = supported || other.supported;
+  if (unsupported_reason.empty()) {
+    unsupported_reason = other.unsupported_reason;
+  }
+  for (size_t i = 0; i < kNumPerfEvents; ++i) {
+    // An event missing on either side poisons the total: summing a
+    // partial window under a full one would skew every derived ratio.
+    if (events[i].supported && other.events[i].supported) {
+      events[i].value += other.events[i].value;
+    } else if (other.events[i].supported && events[i].value == 0 &&
+               !events[i].supported) {
+      // Fresh sink (default-constructed slot): adopt the sample.
+      events[i] = other.events[i];
+      continue;
+    } else {
+      events[i].supported = false;
+    }
+  }
+}
+
+#if defined(__linux__) && defined(__NR_perf_event_open)
+
+namespace {
+
+struct EventSpec {
+  uint32_t type;
+  uint64_t config;
+};
+
+constexpr EventSpec kEventSpecs[kNumPerfEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+};
+
+int OpenEvent(const EventSpec& spec, int* saved_errno) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 1;
+  // User space only: works at perf_event_paranoid <= 2, the common
+  // default, without CAP_PERFMON.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // TIME_ENABLED/TIME_RUNNING let Stop() scale away PMU multiplexing.
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  int fd = static_cast<int>(syscall(__NR_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1,
+                                    /*group_fd=*/-1, /*flags=*/0UL));
+  if (fd < 0) *saved_errno = errno;
+  return fd;
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup(PerfCounterOptions options) {
+  for (int& fd : fds_) fd = -1;
+  if (options.force_unsupported) {
+    unsupported_reason_ = "disabled by PerfCounterOptions";
+    return;
+  }
+  if (std::getenv("PREFCOVER_NO_PERF") != nullptr) {
+    unsupported_reason_ = "disabled by PREFCOVER_NO_PERF";
+    return;
+  }
+  int last_errno = 0;
+  for (size_t i = 0; i < kNumPerfEvents; ++i) {
+    fds_[i] = OpenEvent(kEventSpecs[i], &last_errno);
+    if (fds_[i] >= 0) supported_ = true;
+  }
+  if (!supported_) {
+    unsupported_reason_ = std::string("perf_event_open failed: ") +
+                          std::strerror(last_errno);
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+void PerfCounterGroup::Start() {
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounterValues PerfCounterGroup::Stop() {
+  PerfCounterValues values;
+  values.unsupported_reason = unsupported_reason_;
+  if (!supported_) return values;
+  for (size_t i = 0; i < kNumPerfEvents; ++i) {
+    const int fd = fds_[i];
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    struct {
+      uint64_t value;
+      uint64_t time_enabled;
+      uint64_t time_running;
+    } reading = {0, 0, 0};
+    if (read(fd, &reading, sizeof(reading)) !=
+        static_cast<ssize_t>(sizeof(reading))) {
+      continue;
+    }
+    uint64_t scaled = reading.value;
+    if (reading.time_running > 0 &&
+        reading.time_running < reading.time_enabled) {
+      // Multiplexed: extrapolate to the full enabled window.
+      scaled = static_cast<uint64_t>(
+          static_cast<double>(reading.value) *
+          (static_cast<double>(reading.time_enabled) /
+           static_cast<double>(reading.time_running)));
+    } else if (reading.time_running == 0 && reading.value == 0) {
+      // Never scheduled onto the PMU: no data, not a zero measurement.
+      continue;
+    }
+    values.events[i].supported = true;
+    values.events[i].value = scaled;
+    values.supported = true;
+  }
+  if (!values.supported && values.unsupported_reason.empty()) {
+    values.unsupported_reason = "no perf event produced a reading";
+  }
+  return values;
+}
+
+#else  // !__linux__ || !__NR_perf_event_open
+
+PerfCounterGroup::PerfCounterGroup(PerfCounterOptions options) {
+  for (int& fd : fds_) fd = -1;
+  unsupported_reason_ = options.force_unsupported
+                            ? "disabled by PerfCounterOptions"
+                            : "perf_event_open requires Linux";
+}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+void PerfCounterGroup::Start() {}
+
+PerfCounterValues PerfCounterGroup::Stop() {
+  PerfCounterValues values;
+  values.unsupported_reason = unsupported_reason_;
+  return values;
+}
+
+#endif  // __linux__
+
+}  // namespace obs
+}  // namespace prefcover

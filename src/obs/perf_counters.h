@@ -1,0 +1,161 @@
+// Hardware/software performance counters via Linux perf_event_open(2).
+//
+// A PerfCounterGroup opens one file descriptor per event (cycles,
+// instructions, branches/branch misses, cache references/misses, plus the
+// task-clock / context-switch / page-fault software counters), counts
+// between Start() and Stop(), and returns multiplex-scaled totals. The
+// point is to settle kernel-level questions — IPC, miss rates — that
+// wall-clock timing cannot, directly from the bench harness.
+//
+// Graceful degradation is the design center, not an afterthought:
+//
+//   - perf_event_open is frequently unavailable (containers without
+//     CAP_PERFMON, kernel.perf_event_paranoid >= 3, CI sandboxes,
+//     non-Linux hosts). Every such failure yields a group whose
+//     supported() is false and whose Stop() returns values marked
+//     unsupported — never an error, never a crash, and the bench JSON
+//     marks the subtree instead of omitting the case.
+//   - Individual events can fail while others work (VMs often expose
+//     software counters but no PMU). Each event degrades independently;
+//     derived ratios (Ipc() etc.) return NaN when an input is missing.
+//   - PREFCOVER_NO_PERF=1 in the environment forces the unsupported path,
+//     which pins down deterministic output for tests and golden files.
+//
+// Counting is per-thread (the calling thread) with inherit=0, user space
+// only (exclude_kernel), so paranoid level 2 — the common default — is
+// sufficient when the PMU exists.
+
+#ifndef PREFCOVER_OBS_PERF_COUNTERS_H_
+#define PREFCOVER_OBS_PERF_COUNTERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace prefcover {
+namespace obs {
+
+/// \brief The fixed event set a PerfCounterGroup samples. Hardware events
+/// first, then software events (always available on Linux even without a
+/// PMU).
+enum class PerfEvent : uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kBranches,
+  kBranchMisses,
+  kCacheReferences,
+  kCacheMisses,
+  kTaskClockNs,
+  kContextSwitches,
+  kPageFaults,
+};
+
+inline constexpr size_t kNumPerfEvents = 9;
+
+/// \brief Stable lowercase name used as the JSON key for an event
+/// ("cycles", "instructions", "branch_misses", ...).
+std::string_view PerfEventName(PerfEvent event);
+
+/// \brief Counter totals from one or more Start/Stop windows. Values are
+/// multiplex-scaled (value * time_enabled / time_running) so concurrent
+/// perf users do not silently shrink the numbers.
+struct PerfCounterValues {
+  struct Sample {
+    bool supported = false;
+    uint64_t value = 0;
+  };
+
+  /// True when at least one event was actually measured.
+  bool supported = false;
+  /// Human-readable reason when nothing could be measured ("" otherwise).
+  std::string unsupported_reason;
+  Sample events[kNumPerfEvents] = {};
+
+  bool Has(PerfEvent event) const {
+    return events[static_cast<size_t>(event)].supported;
+  }
+  uint64_t Value(PerfEvent event) const {
+    return events[static_cast<size_t>(event)].value;
+  }
+
+  /// \name Derived ratios; NaN when an input is unsupported or the
+  /// denominator is zero.
+  /// @{
+  double Ipc() const;               // instructions / cycles
+  double BranchMissRate() const;    // branch_misses / branches
+  double CacheMissRate() const;     // cache_misses / cache_references
+  double CyclesPerNanosecond() const;  // cycles / task_clock_ns
+  /// @}
+
+  /// Element-wise sum; an event is supported in the result only when both
+  /// sides support it (so accumulated ratios stay meaningful). The merged
+  /// `supported` flag is the OR; the reason is kept from whichever side
+  /// had one.
+  void Accumulate(const PerfCounterValues& other);
+};
+
+struct PerfCounterOptions {
+  /// Skip the syscall entirely and report unsupported. Used by tests and
+  /// anything that needs byte-stable output regardless of host support.
+  bool force_unsupported = false;
+};
+
+/// \brief A set of per-thread counting events. Not thread-safe: the
+/// thread that calls Start() must call Stop(). Construction never fails;
+/// an unavailable syscall just produces an unsupported group.
+class PerfCounterGroup {
+ public:
+  explicit PerfCounterGroup(PerfCounterOptions options = {});
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one event opened.
+  bool supported() const { return supported_; }
+  const std::string& unsupported_reason() const {
+    return unsupported_reason_;
+  }
+
+  /// Zeroes every counter and starts counting. No-op when unsupported.
+  void Start();
+
+  /// Stops counting and returns the scaled totals since the last
+  /// Start(). An unsupported group returns a values struct carrying the
+  /// reason.
+  PerfCounterValues Stop();
+
+ private:
+  bool supported_ = false;
+  std::string unsupported_reason_;
+  int fds_[kNumPerfEvents];
+};
+
+/// \brief RAII measurement window: Start() on construction, Stop() +
+/// Accumulate into `sink` on destruction. `group` and `sink` may be
+/// nullptr (the scope becomes a no-op), so call sites need no branches.
+class PerfScope {
+ public:
+  PerfScope(PerfCounterGroup* group, PerfCounterValues* sink)
+      : group_(group), sink_(sink) {
+    if (group_ != nullptr) group_->Start();
+  }
+  ~PerfScope() {
+    if (group_ == nullptr) return;
+    PerfCounterValues values = group_->Stop();
+    if (sink_ != nullptr) sink_->Accumulate(values);
+  }
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+ private:
+  PerfCounterGroup* group_;
+  PerfCounterValues* sink_;
+};
+
+}  // namespace obs
+}  // namespace prefcover
+
+#endif  // PREFCOVER_OBS_PERF_COUNTERS_H_

@@ -1,0 +1,370 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+namespace prefcover {
+namespace obs {
+
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t UnixNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Shortest %.17g-style rendering; integral values print without a
+// decimal point so counter columns stay readable.
+std::string FormatNumber(double value) {
+  if (std::isnan(value)) return "nan";
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+// Metric names are dotted lowercase identifiers; escaping only needs to
+// cover the JSON-special bytes to stay robust against future names.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const MetricsSnapshot::HistogramValue* FindHistogram(
+    const MetricsSnapshot& snapshot, std::string_view name) {
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MetricsSampler::MetricsSampler(const MetricsRegistry* registry,
+                               TimeseriesOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (!(options_.interval_s > 0.0)) options_.interval_s = 0.01;
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  CaptureLocked(&lock);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::unique_lock<std::mutex> lock(mu_);
+  // One final sample so the series always covers the full run, even when
+  // the interval never elapsed.
+  CaptureLocked(&lock);
+  running_ = false;
+}
+
+void MetricsSampler::SampleNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  CaptureLocked(&lock);
+}
+
+bool MetricsSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::vector<MetricsSample> MetricsSampler::Series() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<MetricsSample>(ring_.begin(), ring_.end());
+}
+
+size_t MetricsSampler::SampleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void MetricsSampler::Loop() {
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.interval_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (wake_.wait_for(lock, interval,
+                       [this] { return stop_requested_; })) {
+      break;
+    }
+    CaptureLocked(&lock);
+  }
+}
+
+void MetricsSampler::CaptureLocked(std::unique_lock<std::mutex>* lock) {
+  MetricsSample sample;
+  sample.steady_ns = SteadyNowNs();
+  sample.unix_ms = UnixNowMs();
+  // Snapshot() takes the registry lock; ours is independent, so holding
+  // both is cycle-free (no registry path ever takes the sampler lock).
+  sample.snapshot = registry_->Snapshot();
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+  if (options_.on_sample) {
+    const MetricsSample& current = ring_.back();
+    const MetricsSample* previous =
+        ring_.size() >= 2 ? &ring_[ring_.size() - 2] : nullptr;
+    // Observers only read; keep the lock so `previous` cannot be evicted
+    // mid-callback. Observers must not call back into the sampler.
+    (void)lock;
+    options_.on_sample(current, previous);
+  }
+}
+
+double CounterRatePerSecond(const MetricsSample& a, const MetricsSample& b,
+                            std::string_view counter) {
+  const double dt =
+      static_cast<double>(b.steady_ns - a.steady_ns) / 1e9;
+  if (!(dt > 0.0)) return 0.0;
+  const uint64_t earlier = a.snapshot.CounterOr(counter);
+  const uint64_t later = b.snapshot.CounterOr(counter);
+  if (later < earlier) return 0.0;
+  return static_cast<double>(later - earlier) / dt;
+}
+
+namespace {
+
+// Shared quantile core over explicit per-bucket counts (cumulative rule
+// applied here), so the snapshot and delta variants agree exactly.
+double QuantileFromCounts(const std::vector<double>& bounds,
+                          const std::vector<uint64_t>& counts, double q) {
+  if (counts.size() != bounds.size() + 1) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const uint64_t prev_cumulative = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank || counts[b] == 0) {
+      continue;
+    }
+    if (b == bounds.size()) {
+      // Overflow bucket: no finite upper bound to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double hi = bounds[b];
+    const double lo = b == 0 ? std::min(0.0, hi) : bounds[b - 1];
+    const double in_bucket = rank - static_cast<double>(prev_cumulative);
+    return lo + (hi - lo) * (in_bucket / static_cast<double>(counts[b]));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& histogram,
+                         double q) {
+  return QuantileFromCounts(histogram.bounds, histogram.counts, q);
+}
+
+double HistogramDeltaQuantile(
+    const MetricsSnapshot::HistogramValue& earlier,
+    const MetricsSnapshot::HistogramValue& later, double q) {
+  if (earlier.bounds != later.bounds ||
+      earlier.counts.size() != later.counts.size()) {
+    return 0.0;
+  }
+  std::vector<uint64_t> delta(later.counts.size(), 0);
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = later.counts[i] >= earlier.counts[i]
+                   ? later.counts[i] - earlier.counts[i]
+                   : 0;
+  }
+  return QuantileFromCounts(later.bounds, delta, q);
+}
+
+std::string TimeseriesToJson(const std::vector<MetricsSample>& series) {
+  std::string out = "{\n  \"schema_version\": 1,\n  \"samples\": [";
+  for (size_t i = 0; i < series.size(); ++i) {
+    const MetricsSample& sample = series[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"unix_ms\": " + FormatNumber(
+               static_cast<double>(sample.unix_ms));
+    out += ", \"steady_ns\": " +
+           FormatNumber(static_cast<double>(sample.steady_ns));
+    out += ", \"counters\": {";
+    for (size_t c = 0; c < sample.snapshot.counters.size(); ++c) {
+      const auto& counter = sample.snapshot.counters[c];
+      out += c == 0 ? "" : ", ";
+      out += "\"" + JsonEscape(counter.name) +
+             "\": " + FormatNumber(static_cast<double>(counter.value));
+    }
+    out += "}, \"gauges\": {";
+    for (size_t g = 0; g < sample.snapshot.gauges.size(); ++g) {
+      const auto& gauge = sample.snapshot.gauges[g];
+      out += g == 0 ? "" : ", ";
+      out += "\"" + JsonEscape(gauge.name) +
+             "\": " + FormatNumber(static_cast<double>(gauge.value));
+    }
+    out += "}, \"histograms\": {";
+    for (size_t h = 0; h < sample.snapshot.histograms.size(); ++h) {
+      const auto& histogram = sample.snapshot.histograms[h];
+      out += h == 0 ? "" : ", ";
+      out += "\"" + JsonEscape(histogram.name) + "\": {\"count\": " +
+             FormatNumber(static_cast<double>(histogram.total_count)) +
+             ", \"sum\": " + FormatNumber(histogram.sum) +
+             ", \"p50\": " + FormatNumber(HistogramQuantile(histogram, 0.50)) +
+             ", \"p95\": " + FormatNumber(HistogramQuantile(histogram, 0.95)) +
+             ", \"p99\": " + FormatNumber(HistogramQuantile(histogram, 0.99)) +
+             "}";
+    }
+    out += "}, \"rates\": {";
+    if (i > 0) {
+      size_t emitted = 0;
+      for (const auto& counter : series[i].snapshot.counters) {
+        out += emitted++ == 0 ? "" : ", ";
+        out += "\"" + JsonEscape(counter.name) + "\": " +
+               FormatNumber(
+                   CounterRatePerSecond(series[i - 1], series[i],
+                                        counter.name));
+      }
+    }
+    out += "}}";
+  }
+  out += series.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string TimeseriesToCsv(const std::vector<MetricsSample>& series) {
+  // Union of names over the whole series, sorted, so every row has the
+  // same columns even when instruments appear mid-run.
+  std::set<std::string> counter_names, gauge_names, histogram_names;
+  for (const MetricsSample& sample : series) {
+    for (const auto& c : sample.snapshot.counters) {
+      counter_names.insert(c.name);
+    }
+    for (const auto& g : sample.snapshot.gauges) gauge_names.insert(g.name);
+    for (const auto& h : sample.snapshot.histograms) {
+      histogram_names.insert(h.name);
+    }
+  }
+  std::string out = "unix_ms,steady_ns";
+  for (const std::string& name : counter_names) out += "," + name;
+  for (const std::string& name : gauge_names) out += "," + name;
+  for (const std::string& name : histogram_names) {
+    for (const char* suffix : {":count", ":sum", ":p50", ":p95", ":p99"}) {
+      out += "," + name + suffix;
+    }
+  }
+  out += "\n";
+  for (const MetricsSample& sample : series) {
+    out += FormatNumber(static_cast<double>(sample.unix_ms)) + "," +
+           FormatNumber(static_cast<double>(sample.steady_ns));
+    for (const std::string& name : counter_names) {
+      out += ",";
+      for (const auto& c : sample.snapshot.counters) {
+        if (c.name == name) {
+          out += FormatNumber(static_cast<double>(c.value));
+          break;
+        }
+      }
+    }
+    for (const std::string& name : gauge_names) {
+      out += ",";
+      for (const auto& g : sample.snapshot.gauges) {
+        if (g.name == name) {
+          out += FormatNumber(static_cast<double>(g.value));
+          break;
+        }
+      }
+    }
+    for (const std::string& name : histogram_names) {
+      const auto* h = FindHistogram(sample.snapshot, name);
+      if (h == nullptr) {
+        out += ",,,,,";
+        continue;
+      }
+      out += "," + FormatNumber(static_cast<double>(h->total_count)) +
+             "," + FormatNumber(h->sum) +
+             "," + FormatNumber(HistogramQuantile(*h, 0.50)) +
+             "," + FormatNumber(HistogramQuantile(*h, 0.95)) +
+             "," + FormatNumber(HistogramQuantile(*h, 0.99));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool WriteTimeseriesFile(const std::string& path,
+                         const std::string& contents, std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  out << contents;
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace prefcover

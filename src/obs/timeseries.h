@@ -1,0 +1,162 @@
+// Live metrics time series: a background sampler that snapshots a
+// MetricsRegistry on a fixed interval into a bounded ring, plus the
+// derivations that turn cumulative snapshots into watchable numbers —
+// counter rates (true qps) and histogram quantile estimates
+// (p50/p95/p99 by linear interpolation inside the owning bucket).
+//
+// The PR 3 registry answers "what happened since the process started";
+// this layer answers "what is happening right now": `prefcover serve
+// --stats_every_s`, `serve_loadgen --metrics_poll_ms` and the soak
+// tooling all watch the same series. The ring is bounded (oldest samples
+// overwritten), so a sampler left running for days holds a sliding
+// window, never unbounded memory.
+//
+// Like the rest of obs/ this sits below util: no dependencies beyond
+// <thread>, and file export writes hand-rolled JSON/CSV the way the
+// trace exporter does.
+
+#ifndef PREFCOVER_OBS_TIMESERIES_H_
+#define PREFCOVER_OBS_TIMESERIES_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace prefcover {
+namespace obs {
+
+/// \brief One timestamped registry snapshot.
+struct MetricsSample {
+  /// Monotonic stamp (steady clock), the basis for rate derivation.
+  int64_t steady_ns = 0;
+  /// Wall-clock milliseconds since the Unix epoch, for export/plots.
+  int64_t unix_ms = 0;
+  MetricsSnapshot snapshot;
+};
+
+struct TimeseriesOptions {
+  /// Seconds between samples. Values <= 0 are clamped to 0.01.
+  double interval_s = 1.0;
+  /// Ring capacity in samples; the oldest sample is dropped beyond it.
+  /// 0 is clamped to 1.
+  size_t capacity = 600;
+  /// Optional observer invoked from the sampler thread after every
+  /// capture, with the new sample and the previous one (nullptr for the
+  /// first). Drives `--stats_every_s`-style periodic reporting without a
+  /// second timer thread.
+  std::function<void(const MetricsSample& current,
+                     const MetricsSample* previous)>
+      on_sample;
+};
+
+/// \brief Background sampler over one registry. Start() spawns the
+/// thread (taking an immediate first sample); Stop() takes a final
+/// sample and joins. Safe to destroy while running.
+class MetricsSampler {
+ public:
+  MetricsSampler(const MetricsRegistry* registry,
+                 TimeseriesOptions options = {});
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Spawns the sampling thread. No-op when already running.
+  void Start();
+
+  /// Takes a final sample, stops the thread and joins it. No-op when not
+  /// running.
+  void Stop();
+
+  /// Captures one sample synchronously (also usable without Start(), for
+  /// tests and one-shot dumps).
+  void SampleNow();
+
+  bool running() const;
+
+  /// Copy of the ring, oldest first.
+  std::vector<MetricsSample> Series() const;
+
+  size_t SampleCount() const;
+
+  const TimeseriesOptions& options() const { return options_; }
+
+ private:
+  void Loop();
+  void CaptureLocked(std::unique_lock<std::mutex>* lock);
+
+  const MetricsRegistry* registry_;
+  TimeseriesOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<MetricsSample> ring_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+/// \brief Per-second rate of `counter` between two samples: (b - a) /
+/// dt. Returns 0 when the counter is absent from either sample, the
+/// interval is non-positive, or the counter went backwards (a registry
+/// swap, not a real rate).
+double CounterRatePerSecond(const MetricsSample& a, const MetricsSample& b,
+                            std::string_view counter);
+
+/// \brief Quantile estimate from cumulative fixed-bucket counts, the
+/// Prometheus histogram_quantile rule: find the bucket holding rank
+/// q*total, then interpolate linearly between its bounds.
+///
+/// Edge cases (all deterministic, pinned by tests):
+///   - empty histogram -> 0.0;
+///   - quantile lands in the overflow (+inf) bucket -> the last finite
+///     bound (there is nothing to interpolate toward);
+///   - histogram with no finite bounds at all -> 0.0;
+///   - the first bucket interpolates from max(0, its width's origin), so
+///     a single sample at q=1 returns exactly its bucket's upper bound.
+/// `q` is clamped to [0, 1].
+double HistogramQuantile(const MetricsSnapshot::HistogramValue& histogram,
+                         double q);
+
+/// \brief Quantile of the *delta* between two cumulative readings of the
+/// same histogram (e.g. p99 over the last sampling interval). The bounds
+/// must match; mismatched shapes return 0.0. Negative per-bucket deltas
+/// (registry swap) clamp to 0.
+double HistogramDeltaQuantile(
+    const MetricsSnapshot::HistogramValue& earlier,
+    const MetricsSnapshot::HistogramValue& later, double q);
+
+/// \brief Serializes a series as JSON:
+/// `{"schema_version":1,"samples":[{"unix_ms":...,"steady_ns":...,
+///   "counters":{...},"gauges":{...},
+///   "histograms":{name:{"count":N,"sum":S,"p50":..,"p95":..,"p99":..}},
+///   "rates":{counter: per_second}}]}`.
+/// `rates` is derived against the previous sample (empty object for the
+/// first). Deterministic for a fixed series.
+std::string TimeseriesToJson(const std::vector<MetricsSample>& series);
+
+/// \brief Serializes a series as CSV: header row, then one row per
+/// sample. Columns: unix_ms, steady_ns, every counter and gauge name
+/// (sorted union over the series), and count/sum/p50/p95/p99 per
+/// histogram. Cells absent from a sample are empty.
+std::string TimeseriesToCsv(const std::vector<MetricsSample>& series);
+
+/// \brief Writes `contents` to `path` (plain trunc+write, the trace
+/// exporter's idiom — obs sits below util and cannot use
+/// WriteFileAtomic). Returns false and fills `error` on failure.
+bool WriteTimeseriesFile(const std::string& path,
+                         const std::string& contents, std::string* error);
+
+}  // namespace obs
+}  // namespace prefcover
+
+#endif  // PREFCOVER_OBS_TIMESERIES_H_

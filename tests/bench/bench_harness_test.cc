@@ -8,6 +8,7 @@
 
 #include "bench/compare.h"
 #include "bench/json.h"
+#include "bench/metrics_json.h"
 
 namespace prefcover {
 namespace {
@@ -117,6 +118,37 @@ TEST(BenchRunnerTest, EmittedDocumentValidates) {
   ASSERT_NE(c.Find("cpu_ms"), nullptr);
   ASSERT_NE(c.Find("counters"), nullptr);
   EXPECT_DOUBLE_EQ(c.Find("counters")->Find("alpha")->number_value(), 2.0);
+}
+
+TEST(BenchRunnerTest, EveryCaseCarriesAPerfCountersSubtree) {
+  BenchRunner runner(TestConfig());
+  int invocations = 0;
+  ASSERT_TRUE(runner.Run(CountingCase("case/a", &invocations)).ok());
+  JsonValue doc = runner.ToJson();
+  EXPECT_TRUE(ValidateBenchDocument(doc).ok());
+
+  const JsonValue& c = doc.Find("cases")->at(0);
+  const JsonValue* perf = c.Find("perf_counters");
+  ASSERT_NE(perf, nullptr);
+  ASSERT_NE(perf->Find("schema_version"), nullptr);
+  EXPECT_DOUBLE_EQ(perf->Find("schema_version")->number_value(),
+                   kPerfCountersSchemaVersion);
+  const JsonValue* supported = perf->Find("supported");
+  ASSERT_NE(supported, nullptr);
+  if (supported->bool_value()) {
+    // Measured hosts report raw event values; derived ratios are
+    // optional (a PMU-less VM has no cycles/instructions).
+    EXPECT_NE(perf->Find("events"), nullptr);
+  } else {
+    EXPECT_NE(perf->Find("unsupported_reason"), nullptr);
+  }
+
+  // The standalone perf document mirrors the per-case subtrees.
+  JsonValue perf_doc = runner.PerfCountersJson();
+  ASSERT_NE(perf_doc.Find("cases"), nullptr);
+  ASSERT_EQ(perf_doc.Find("cases")->size(), 1u);
+  EXPECT_EQ(perf_doc.Find("cases")->at(0).Find("name")->string_value(),
+            "case/a");
 }
 
 TEST(BenchRunnerTest, TwoRunsAgreeOnAllNonTimingFields) {

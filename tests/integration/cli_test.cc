@@ -263,6 +263,45 @@ TEST_F(CliPipelineTest, SolveEmitsLoadableServingIndex) {
   EXPECT_NE(RunCli(CliPath() + " serve --index=" + corrupt), 0);
 }
 
+TEST_F(CliPipelineTest, ServeExposesLiveMetricsAndSnapshotDump) {
+  SetUpPipeline();
+  std::string index = TempPath("metrics_index.pcsidx");
+  ASSERT_EQ(RunCli(CliPath() + " solve --graph=" + graph_ +
+                   " --k=15 --index_out=" + index),
+            0);
+
+  // The `metrics` verb renders a Prometheus text exposition in-band,
+  // framed by the `# EOF` marker; --metrics_out dumps the registry
+  // snapshot as JSON on clean shutdown.
+  std::string snapshot = TempPath("serve_metrics.json");
+  std::string out;
+  ASSERT_EQ(RunCliWithStdin(CliPath() + " serve --index=" + index +
+                                " --metrics_out=" + snapshot,
+                            "covered 0\n"
+                            "covered 1\n"
+                            "metrics\n"
+                            "quit\n",
+                            &out),
+            0);
+  EXPECT_NE(out.find("# TYPE serve_requests counter"), std::string::npos);
+  EXPECT_NE(out.find("serve_requests 2"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE serve_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(out.find("# EOF"), std::string::npos);
+  EXPECT_NE(out.find("OK bye"), std::string::npos);
+
+  ASSERT_TRUE(FileNonEmpty(snapshot));
+  std::ostringstream snapshot_text;
+  {
+    std::ifstream in(snapshot);
+    snapshot_text << in.rdbuf();
+  }
+  EXPECT_NE(snapshot_text.str().find("\"serve.requests\""),
+            std::string::npos);
+  EXPECT_NE(snapshot_text.str().find("\"serve.latency_us\""),
+            std::string::npos);
+}
+
 TEST(CliTest, ConstructWithExplicitVariant) {
   std::string clicks = TempPath("pm_clicks.csv");
   std::string graph = TempPath("pm_graph.pcg");

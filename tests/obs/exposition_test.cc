@@ -1,0 +1,141 @@
+#include "obs/exposition.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace prefcover {
+namespace obs {
+namespace {
+
+TEST(SanitizeMetricNameTest, MapsIllegalCharacters) {
+  EXPECT_EQ(SanitizeMetricName("serve.requests"), "serve_requests");
+  EXPECT_EQ(SanitizeMetricName("serve.cache.hit"), "serve_cache_hit");
+  EXPECT_EQ(SanitizeMetricName("already_legal:name"),
+            "already_legal:name");
+  EXPECT_EQ(SanitizeMetricName("has space-and#stuff"),
+            "has_space_and_stuff");
+  EXPECT_EQ(SanitizeMetricName("9starts_with_digit"),
+            "_9starts_with_digit");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+MetricsSnapshot PopulatedSnapshot() {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.requests")->Increment(42);
+  registry.GetCounter("solver.iterations")->Increment(7);
+  registry.GetGauge("serve.qps")->Set(1200);
+  Histogram* h =
+      registry.GetHistogram("serve.latency_us", {1.0, 10.0, 100.0});
+  h->Record(0.5);
+  h->Record(50.0);
+  h->Record(5000.0);  // overflow bucket
+  return registry.Snapshot();
+}
+
+TEST(RenderPrometheusTextTest, RendersAllInstrumentKinds) {
+  const std::string text = RenderPrometheusText(PopulatedSnapshot());
+  EXPECT_NE(text.find("# TYPE serve_requests counter\n"
+                      "serve_requests 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_qps gauge\nserve_qps 1200\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_latency_us histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: 1 sample <= 1, still 1 <= 10 plus one more, and
+  // +Inf equals the total count.
+  EXPECT_NE(text.find("serve_latency_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("serve_latency_us_sum "), std::string::npos);
+  // Terminated by the EOF marker, which doubles as protocol framing.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(RenderPrometheusTextTest, RoundTripsThroughTheLinter) {
+  const std::string text = RenderPrometheusText(PopulatedSnapshot());
+  LintResult lint = LintPrometheusText(text);
+  EXPECT_TRUE(lint.ok) << lint.message;
+}
+
+TEST(RenderPrometheusTextTest, EmptySnapshotIsJustEof) {
+  MetricsRegistry registry;
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  EXPECT_EQ(text, "# EOF\n");
+  EXPECT_TRUE(LintPrometheusText(text).ok);
+}
+
+TEST(LintPrometheusTextTest, RejectsCorruptedVariants) {
+  const std::string good = RenderPrometheusText(PopulatedSnapshot());
+  struct Corruption {
+    const char* what;
+    std::string from;
+    std::string to;
+  };
+  const Corruption corruptions[] = {
+      {"missing EOF", "# EOF\n", ""},
+      {"sample without TYPE", "# TYPE serve_requests counter\n", ""},
+      {"unknown type", "# TYPE serve_qps gauge", "# TYPE serve_qps gouge"},
+      {"negative counter", "serve_requests 42", "serve_requests -42"},
+      {"non-cumulative buckets", "serve_latency_us_bucket{le=\"100\"} 2",
+       "serve_latency_us_bucket{le=\"100\"} 0"},
+      {"+Inf != count", "serve_latency_us_bucket{le=\"+Inf\"} 3",
+       "serve_latency_us_bucket{le=\"+Inf\"} 2"},
+      {"missing _sum", "serve_latency_us_sum ", "serve_latency_us_other "},
+      {"illegal name", "serve_qps 1200", "5erve_qps 1200"},
+      {"unparseable value", "serve_requests 42", "serve_requests forty"},
+  };
+  for (const Corruption& corruption : corruptions) {
+    std::string bad = good;
+    const size_t pos = bad.find(corruption.from);
+    ASSERT_NE(pos, std::string::npos) << corruption.what;
+    bad.replace(pos, corruption.from.size(), corruption.to);
+    EXPECT_FALSE(LintPrometheusText(bad).ok) << corruption.what;
+  }
+}
+
+TEST(LintPrometheusTextTest, RejectsDuplicateTypeAndTrailingContent) {
+  EXPECT_FALSE(LintPrometheusText("# TYPE a counter\n"
+                                  "# TYPE a counter\n"
+                                  "a 1\n# EOF\n")
+                   .ok);
+  EXPECT_FALSE(LintPrometheusText("# TYPE a counter\na 1\n"
+                                  "# EOF\na 2\n")
+                   .ok);
+}
+
+TEST(LintPrometheusTextTest, AcceptsHelpCommentsAndPlainSumNames) {
+  // _sum/_count-looking names that belong to declared counters are fine.
+  EXPECT_TRUE(LintPrometheusText("# HELP odd_sum a counter, not a series\n"
+                                 "# TYPE odd_sum counter\n"
+                                 "odd_sum 3\n# EOF\n")
+                  .ok);
+}
+
+TEST(FindPrometheusValueTest, FindsExactSample) {
+  const std::string text = RenderPrometheusText(PopulatedSnapshot());
+  double value = 0.0;
+  ASSERT_TRUE(FindPrometheusValue(text, "serve_requests", &value));
+  EXPECT_DOUBLE_EQ(value, 42.0);
+  ASSERT_TRUE(FindPrometheusValue(text, "serve_qps", &value));
+  EXPECT_DOUBLE_EQ(value, 1200.0);
+  // Histogram series are addressable too.
+  ASSERT_TRUE(FindPrometheusValue(text, "serve_latency_us_count", &value));
+  EXPECT_DOUBLE_EQ(value, 3.0);
+  // Prefixes must not match ("serve_request" is not "serve_requests").
+  EXPECT_FALSE(FindPrometheusValue(text, "serve_request", &value));
+  EXPECT_FALSE(FindPrometheusValue(text, "absent_metric", &value));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prefcover

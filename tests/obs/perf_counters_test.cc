@@ -1,0 +1,152 @@
+#include "obs/perf_counters.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace obs {
+namespace {
+
+// The contract is graceful degradation, so every test must pass on both
+// support paths: hosts with a PMU, hosts with only software counters, and
+// hosts where perf_event_open fails outright (containers, non-Linux).
+
+TEST(PerfCounterGroupTest, StopAfterStartReturnsConsistentValues) {
+  PerfCounterGroup group;
+  group.Start();
+  // Burn some user-space cycles so supported events count something.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100'000; ++i) sink = sink + std::sqrt(double(i));
+  PerfCounterValues values = group.Stop();
+  if (!group.supported()) {
+    EXPECT_FALSE(values.supported);
+    EXPECT_FALSE(values.unsupported_reason.empty());
+    return;
+  }
+  // supported() means at least one fd opened; Stop() may still find that
+  // an event never scheduled, but the flags must agree with the samples.
+  bool any = false;
+  for (size_t i = 0; i < kNumPerfEvents; ++i) {
+    const auto event = static_cast<PerfEvent>(i);
+    if (values.Has(event)) any = true;
+  }
+  EXPECT_EQ(values.supported, any);
+  if (values.Has(PerfEvent::kTaskClockNs)) {
+    EXPECT_GT(values.Value(PerfEvent::kTaskClockNs), 0u);
+  }
+  if (values.Has(PerfEvent::kInstructions)) {
+    EXPECT_GT(values.Value(PerfEvent::kInstructions), 0u);
+  }
+}
+
+TEST(PerfCounterGroupTest, ForceUnsupportedSkipsTheSyscall) {
+  PerfCounterOptions options;
+  options.force_unsupported = true;
+  PerfCounterGroup group(options);
+  EXPECT_FALSE(group.supported());
+  EXPECT_EQ(group.unsupported_reason(), "disabled by PerfCounterOptions");
+  group.Start();  // must be a harmless no-op
+  PerfCounterValues values = group.Stop();
+  EXPECT_FALSE(values.supported);
+  EXPECT_EQ(values.unsupported_reason, "disabled by PerfCounterOptions");
+  for (size_t i = 0; i < kNumPerfEvents; ++i) {
+    EXPECT_FALSE(values.Has(static_cast<PerfEvent>(i)));
+  }
+}
+
+TEST(PerfCounterGroupTest, EnvironmentOverrideForcesUnsupported) {
+  ASSERT_EQ(setenv("PREFCOVER_NO_PERF", "1", 1), 0);
+  PerfCounterGroup group;
+  unsetenv("PREFCOVER_NO_PERF");
+  EXPECT_FALSE(group.supported());
+  EXPECT_EQ(group.unsupported_reason(), "disabled by PREFCOVER_NO_PERF");
+}
+
+TEST(PerfCounterValuesTest, DerivedRatiosAreNanWithoutInputs) {
+  PerfCounterValues values;
+  EXPECT_TRUE(std::isnan(values.Ipc()));
+  EXPECT_TRUE(std::isnan(values.BranchMissRate()));
+  EXPECT_TRUE(std::isnan(values.CacheMissRate()));
+  EXPECT_TRUE(std::isnan(values.CyclesPerNanosecond()));
+}
+
+TEST(PerfCounterValuesTest, DerivedRatiosFromMeasuredEvents) {
+  PerfCounterValues values;
+  auto set = [&values](PerfEvent event, uint64_t v) {
+    values.events[static_cast<size_t>(event)] = {true, v};
+  };
+  set(PerfEvent::kCycles, 1000);
+  set(PerfEvent::kInstructions, 2500);
+  set(PerfEvent::kBranches, 400);
+  set(PerfEvent::kBranchMisses, 40);
+  values.supported = true;
+  EXPECT_DOUBLE_EQ(values.Ipc(), 2.5);
+  EXPECT_DOUBLE_EQ(values.BranchMissRate(), 0.1);
+  // Cache events absent -> NaN, not zero.
+  EXPECT_TRUE(std::isnan(values.CacheMissRate()));
+}
+
+TEST(PerfCounterValuesTest, ZeroDenominatorYieldsNan) {
+  PerfCounterValues values;
+  values.events[static_cast<size_t>(PerfEvent::kCycles)] = {true, 0};
+  values.events[static_cast<size_t>(PerfEvent::kInstructions)] = {true, 7};
+  EXPECT_TRUE(std::isnan(values.Ipc()));
+}
+
+TEST(PerfCounterValuesTest, AccumulateSumsMatchingEvents) {
+  PerfCounterValues a, b;
+  a.supported = b.supported = true;
+  a.events[0] = {true, 100};
+  b.events[0] = {true, 23};
+  PerfCounterValues sink;
+  sink.Accumulate(a);  // fresh sink adopts a's samples
+  sink.Accumulate(b);
+  EXPECT_TRUE(sink.supported);
+  EXPECT_EQ(sink.Value(static_cast<PerfEvent>(0)), 123u);
+}
+
+TEST(PerfCounterValuesTest, AccumulatePoisonsPartiallyMissingEvents) {
+  PerfCounterValues a, b;
+  a.supported = b.supported = true;
+  a.events[0] = {true, 100};
+  a.events[1] = {true, 50};
+  b.events[0] = {true, 1};  // event 1 missing on b's side
+  PerfCounterValues sink;
+  sink.Accumulate(a);
+  sink.Accumulate(b);
+  EXPECT_TRUE(sink.Has(static_cast<PerfEvent>(0)));
+  // A total summed over windows with a hole would skew every ratio.
+  EXPECT_FALSE(sink.Has(static_cast<PerfEvent>(1)));
+}
+
+TEST(PerfCounterValuesTest, AccumulateKeepsUnsupportedReason) {
+  PerfCounterValues unsupported;
+  unsupported.unsupported_reason = "no PMU";
+  PerfCounterValues sink;
+  sink.Accumulate(unsupported);
+  EXPECT_FALSE(sink.supported);
+  EXPECT_EQ(sink.unsupported_reason, "no PMU");
+}
+
+TEST(PerfScopeTest, NullTolerant) {
+  PerfScope scope(nullptr, nullptr);  // must not crash
+  PerfCounterGroup group;
+  PerfScope sink_less(&group, nullptr);  // nor this
+}
+
+TEST(PerfScopeTest, AccumulatesIntoSink) {
+  PerfCounterGroup group;
+  PerfCounterValues sink;
+  {
+    PerfScope scope(&group, &sink);
+    volatile int x = 0;
+    for (int i = 0; i < 10'000; ++i) x = x + i;
+  }
+  EXPECT_EQ(sink.supported, group.supported());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prefcover

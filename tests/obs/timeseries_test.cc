@@ -1,0 +1,264 @@
+#include "obs/timeseries.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace prefcover {
+namespace obs {
+namespace {
+
+MetricsSnapshot::HistogramValue MakeHistogram(
+    std::vector<double> bounds, std::vector<uint64_t> counts, double sum) {
+  MetricsSnapshot::HistogramValue h;
+  h.name = "test.hist";
+  h.bounds = std::move(bounds);
+  h.counts = std::move(counts);
+  h.total_count = 0;
+  for (uint64_t c : h.counts) h.total_count += c;
+  h.sum = sum;
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// HistogramQuantile edge cases. These four shapes are the mandated
+// contract; the exact values below pin the interpolation rule.
+
+TEST(HistogramQuantileTest, ValueExactlyOnBucketBoundary) {
+  // A sample equal to a bound lands in that bound's bucket (le
+  // semantics), and q=1 interpolates to exactly the bound.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("boundary", {1.0, 2.0, 5.0});
+  h->Record(2.0);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snapshot.histograms[0], 1.0), 2.0);
+  // Any quantile of a single sample stays inside the owning bucket.
+  EXPECT_GE(HistogramQuantile(snapshot.histograms[0], 0.01), 1.0);
+  EXPECT_LE(HistogramQuantile(snapshot.histograms[0], 0.99), 2.0);
+}
+
+TEST(HistogramQuantileTest, EverythingInOverflowBucket) {
+  // No finite upper bound to interpolate toward: the estimate clamps to
+  // the last finite bound, for every quantile.
+  auto h = MakeHistogram({1.0, 2.0, 5.0}, {0, 0, 0, 17}, 1e6);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 5.0);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  auto h = MakeHistogram({1.0, 2.0, 5.0}, {0, 0, 0, 0}, 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleSampleP99InterpolatesItsBucket) {
+  // One sample in (2, 5]: p99 = 2 + (5-2) * 0.99.
+  auto h = MakeHistogram({1.0, 2.0, 5.0}, {0, 0, 1, 0}, 3.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.99), 2.0 + 3.0 * 0.99);
+}
+
+TEST(HistogramQuantileTest, FirstBucketInterpolatesFromZero) {
+  auto h = MakeHistogram({10.0, 20.0}, {4, 0, 0}, 12.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 1.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, QuantileIsClampedAndShapeChecked) {
+  auto h = MakeHistogram({1.0}, {1, 0}, 0.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, -3.0),
+                   HistogramQuantile(h, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 7.0), HistogramQuantile(h, 1.0));
+  auto malformed = MakeHistogram({1.0, 2.0}, {1, 0}, 0.5);  // counts short
+  EXPECT_DOUBLE_EQ(HistogramQuantile(malformed, 0.5), 0.0);
+}
+
+TEST(HistogramDeltaQuantileTest, QuantileOfTheInterval) {
+  // Earlier reading: 10 samples in bucket 0. Later: plus 10 in bucket 2.
+  auto earlier = MakeHistogram({1.0, 2.0, 5.0}, {10, 0, 0, 0}, 5.0);
+  auto later = MakeHistogram({1.0, 2.0, 5.0}, {10, 0, 10, 0}, 45.0);
+  // The delta is entirely in (2, 5]; its median interpolates that bucket.
+  EXPECT_DOUBLE_EQ(HistogramDeltaQuantile(earlier, later, 0.5), 3.5);
+  // Mismatched bounds -> 0.
+  auto other = MakeHistogram({1.0, 3.0, 5.0}, {10, 0, 10, 0}, 45.0);
+  EXPECT_DOUBLE_EQ(HistogramDeltaQuantile(earlier, other, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Counter rates.
+
+MetricsSample MakeSample(int64_t steady_ns, uint64_t requests) {
+  MetricsSample sample;
+  sample.steady_ns = steady_ns;
+  sample.unix_ms = steady_ns / 1'000'000;
+  sample.snapshot.counters.push_back({"serve.requests", requests});
+  return sample;
+}
+
+TEST(CounterRateTest, RatePerSecond) {
+  MetricsSample a = MakeSample(0, 100);
+  MetricsSample b = MakeSample(2'000'000'000, 700);
+  EXPECT_DOUBLE_EQ(CounterRatePerSecond(a, b, "serve.requests"), 300.0);
+}
+
+TEST(CounterRateTest, DegenerateInputsYieldZero) {
+  MetricsSample a = MakeSample(1'000'000'000, 100);
+  MetricsSample b = MakeSample(1'000'000'000, 700);
+  EXPECT_DOUBLE_EQ(CounterRatePerSecond(a, b, "serve.requests"), 0.0);
+  MetricsSample c = MakeSample(2'000'000'000, 50);  // went backwards
+  EXPECT_DOUBLE_EQ(CounterRatePerSecond(a, c, "serve.requests"), 0.0);
+  EXPECT_DOUBLE_EQ(CounterRatePerSecond(a, c, "absent.counter"), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// The sampler.
+
+TEST(MetricsSamplerTest, SampleNowWorksWithoutStart) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(5);
+  MetricsSampler sampler(&registry);
+  EXPECT_FALSE(sampler.running());
+  sampler.SampleNow();
+  ASSERT_EQ(sampler.SampleCount(), 1u);
+  EXPECT_EQ(sampler.Series()[0].snapshot.CounterOr("c"), 5u);
+}
+
+TEST(MetricsSamplerTest, StartStopBracketTheRunWithSamples) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("work");
+  TimeseriesOptions options;
+  options.interval_s = 0.01;
+  MetricsSampler sampler(&registry, options);
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  c->Increment(42);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  // At least the immediate first sample and the final one from Stop().
+  ASSERT_GE(sampler.SampleCount(), 2u);
+  auto series = sampler.Series();
+  EXPECT_EQ(series.front().snapshot.CounterOr("work"), 0u);
+  EXPECT_EQ(series.back().snapshot.CounterOr("work"), 42u);
+  // Monotone steady timestamps, oldest first.
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].steady_ns, series[i - 1].steady_ns);
+  }
+}
+
+TEST(MetricsSamplerTest, RingIsBounded) {
+  MetricsRegistry registry;
+  TimeseriesOptions options;
+  options.capacity = 3;
+  MetricsSampler sampler(&registry, options);
+  for (int i = 0; i < 10; ++i) sampler.SampleNow();
+  EXPECT_EQ(sampler.SampleCount(), 3u);
+}
+
+TEST(MetricsSamplerTest, OnSampleSeesCurrentAndPrevious) {
+  MetricsRegistry registry;
+  std::atomic<int> calls{0};
+  std::atomic<int> with_previous{0};
+  TimeseriesOptions options;
+  options.interval_s = 0.005;
+  options.on_sample = [&](const MetricsSample&,
+                          const MetricsSample* previous) {
+    calls.fetch_add(1);
+    if (previous != nullptr) with_previous.fetch_add(1);
+  };
+  MetricsSampler sampler(&registry, options);
+  sampler.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  sampler.Stop();
+  EXPECT_GE(calls.load(), 2);
+  // Exactly the first capture lacks a predecessor.
+  EXPECT_EQ(with_previous.load(), calls.load() - 1);
+}
+
+TEST(MetricsSamplerTest, OptionsAreClamped) {
+  MetricsRegistry registry;
+  TimeseriesOptions options;
+  options.interval_s = -1.0;
+  options.capacity = 0;
+  MetricsSampler sampler(&registry, options);
+  EXPECT_GT(sampler.options().interval_s, 0.0);
+  EXPECT_EQ(sampler.options().capacity, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Export.
+
+std::vector<MetricsSample> TwoSampleSeries() {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("serve.requests");
+  registry.GetGauge("depth")->Set(4);
+  Histogram* h = registry.GetHistogram("lat", {1.0, 2.0, 5.0});
+  std::vector<MetricsSample> series;
+  MetricsSample first;
+  first.steady_ns = 1'000'000'000;
+  first.unix_ms = 1000;
+  first.snapshot = registry.Snapshot();
+  series.push_back(first);
+  c->Increment(100);
+  h->Record(3.0);
+  MetricsSample second;
+  second.steady_ns = 2'000'000'000;
+  second.unix_ms = 2000;
+  second.snapshot = registry.Snapshot();
+  series.push_back(second);
+  return series;
+}
+
+TEST(TimeseriesExportTest, JsonShapeAndRates) {
+  std::string json = TimeseriesToJson(TwoSampleSeries());
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.requests\": 100"), std::string::npos);
+  // Rate between the two samples: 100 requests over 1s.
+  EXPECT_NE(json.find("\"rates\": {\"serve.requests\": 100"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(TimeseriesExportTest, EmptySeriesJsonIsWellFormed) {
+  std::string json = TimeseriesToJson({});
+  EXPECT_NE(json.find("\"samples\": []"), std::string::npos);
+}
+
+TEST(TimeseriesExportTest, CsvHeaderAndRows) {
+  std::string csv = TimeseriesToCsv(TwoSampleSeries());
+  std::istringstream lines(csv);
+  std::string header, row1, row2;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row1));
+  ASSERT_TRUE(std::getline(lines, row2));
+  EXPECT_EQ(header,
+            "unix_ms,steady_ns,serve.requests,depth,"
+            "lat:count,lat:sum,lat:p50,lat:p95,lat:p99");
+  EXPECT_EQ(row1.substr(0, 5), "1000,");
+  EXPECT_NE(row2.find(",100,"), std::string::npos);
+}
+
+TEST(TimeseriesExportTest, WriteTimeseriesFileRoundTrips) {
+  const std::string path =
+      testing::TempDir() + "/timeseries_export_test.json";
+  std::string error;
+  ASSERT_TRUE(WriteTimeseriesFile(path, "{\"x\": 1}\n", &error)) << error;
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "{\"x\": 1}\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      WriteTimeseriesFile("/nonexistent-dir/x.json", "data", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace prefcover

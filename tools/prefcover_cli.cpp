@@ -49,6 +49,8 @@
 #include "core/greedy_solver.h"
 #include "eval/report.h"
 #include "eval/runner.h"
+#include "obs/exposition.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
@@ -831,14 +833,25 @@ int CmdExport(int argc, char** argv) {
 }
 
 // Handles one protocol line for `prefcover serve`: control verbs first
-// (stats / reload <path> / quit), then query parsing + the engine.
-// Returns the response line; sets *quit when the session should end.
+// (stats / metrics / reload <path> / quit), then query parsing + the
+// engine. Returns the response text; sets *quit when the session should
+// end. Every response is single-line except `metrics`, whose multi-line
+// Prometheus exposition is terminated by its `# EOF` line — scrapers
+// read until they see it.
 std::string HandleServeLine(serve::QueryEngine* engine,
                             const std::string& line, bool* quit) {
   std::string_view trimmed = TrimWhitespace(line);
   if (trimmed == "quit") {
     *quit = true;
     return "OK bye";
+  }
+  if (trimmed == "metrics") {
+    std::string text = obs::RenderPrometheusText(
+        obs::MetricsRegistry::Global().Snapshot());
+    // Both transports append the protocol newline; the exposition already
+    // ends with one after "# EOF".
+    if (!text.empty() && text.back() == '\n') text.pop_back();
+    return text;
   }
   if (trimmed == "stats") {
     serve::QueryEngineStats stats = engine->Stats();
@@ -955,6 +968,12 @@ int CmdServe(int argc, char** argv) {
                "worker pool threads for intra-batch fan-out; 0 = the "
                "dispatcher answers batches itself");
   flags.AddInt("port", 0, "TCP port to listen on; 0 = read stdin");
+  flags.AddDouble("stats_every_s", 0.0,
+                  "print a live qps / p99 line to stderr at this interval "
+                  "(0 = off)");
+  flags.AddString("metrics_out", "",
+                  "write the final metrics snapshot JSON here on clean "
+                  "shutdown (same document as solve --metrics_out)");
   if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
 
   std::shared_ptr<const serve::ServingIndex> index;
@@ -1010,6 +1029,60 @@ int CmdServe(int argc, char** argv) {
                index->top_m());
   serve::QueryEngine engine(std::move(index), engine_options);
 
+  // Live stats line: one background sampler drives both the ring (for the
+  // final --metrics_out snapshot) and the periodic stderr report.
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  const double stats_every_s = flags.GetDouble("stats_every_s");
+  if (stats_every_s > 0.0) {
+    obs::TimeseriesOptions sampler_options;
+    sampler_options.interval_s = stats_every_s;
+    sampler_options.on_sample = [](const obs::MetricsSample& current,
+                                   const obs::MetricsSample* previous) {
+      if (previous == nullptr) return;  // nothing to rate against yet
+      const double qps =
+          obs::CounterRatePerSecond(*previous, current, "serve.requests");
+      double p99_us = 0.0;
+      for (const auto& h : current.snapshot.histograms) {
+        if (h.name != "serve.latency_us") continue;
+        for (const auto& earlier : previous->snapshot.histograms) {
+          if (earlier.name == h.name) {
+            p99_us = obs::HistogramDeltaQuantile(earlier, h, 0.99);
+            break;
+          }
+        }
+        break;
+      }
+      std::fprintf(stderr,
+                   "[stats] requests=%llu qps=%.1f p99_us=%.0f shed=%llu\n",
+                   static_cast<unsigned long long>(
+                       current.snapshot.CounterOr("serve.requests")),
+                   qps, p99_us,
+                   static_cast<unsigned long long>(current.snapshot.CounterOr(
+                       "serve.admission_rejected")));
+    };
+    sampler = std::make_unique<obs::MetricsSampler>(
+        &obs::MetricsRegistry::Global(), sampler_options);
+    sampler->Start();
+  }
+  // Snapshot written on every clean shutdown path (quit, EOF, TCP
+  // shutdown verb); skipped when the process is killed, by design.
+  auto export_metrics = [&flags, &sampler]() -> int {
+    if (sampler != nullptr) sampler->Stop();
+    const std::string& metrics_out = flags.GetString("metrics_out");
+    if (metrics_out.empty()) return 0;
+    auto write = [&metrics_out]() -> Status {
+      PREFCOVER_FAILPOINT_STATUS("metrics.export");
+      return WriteFileAtomic(
+          metrics_out,
+          MetricsSnapshotToJson(obs::MetricsRegistry::Global().Snapshot())
+              .Dump());
+    };
+    Status st = write();
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote %s\n", metrics_out.c_str());
+    return 0;
+  };
+
   const int64_t port = flags.GetInt("port");
   if (port == 0) {
     std::string line;
@@ -1019,7 +1092,7 @@ int CmdServe(int argc, char** argv) {
       std::printf("%s\n", response.c_str());
       std::fflush(stdout);
     }
-    return 0;
+    return export_metrics();
   }
 
 #if defined(__unix__)
@@ -1049,7 +1122,7 @@ int CmdServe(int argc, char** argv) {
     if (!ServeConnection(&engine, fd)) break;
   }
   close(listener);
-  return 0;
+  return export_metrics();
 #else
   return Fail(Status::Unimplemented("--port requires a POSIX host"));
 #endif

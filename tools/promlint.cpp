@@ -1,0 +1,121 @@
+// promlint — structural linter for the Prometheus text exposition served
+// by `prefcover serve`'s `metrics` verb, built on obs::LintPrometheusText.
+//
+// The CI serve-smoke job scrapes the verb over nc, so its input is a mix
+// of single-line protocol responses and the exposition block. --extract
+// isolates the block first: it starts at the first `# TYPE` line and ends
+// at the first `# EOF` line (inclusive); everything around it is dropped.
+//
+// Beyond the format check, --require_counter=name[,name...] asserts that
+// each named sample exists with value >= --min — the "did the server
+// actually count our load?" check.
+//
+// Exit codes: 0 = well-formed (and all required counters present),
+// 1 = lint/assert failure, 2 = usage/IO error.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/exposition.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace prefcover;
+
+namespace {
+
+int Usage(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
+// Cuts [first "# TYPE" line, first "# EOF" line] out of mixed input.
+// Returns false when no such block exists.
+bool ExtractExposition(const std::string& input, std::string* out) {
+  std::istringstream in(input);
+  std::string line;
+  bool started = false;
+  out->clear();
+  while (std::getline(in, line)) {
+    if (!started) {
+      if (line.rfind("# TYPE ", 0) != 0) continue;
+      started = true;
+    }
+    out->append(line);
+    out->push_back('\n');
+    if (line == "# EOF") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "promlint: check a Prometheus text exposition\n"
+      "usage: promlint --input=metrics.txt [flags] (--input=- reads "
+      "stdin)");
+  flags.AddString("input", "-", "exposition path; '-' = stdin");
+  flags.AddBool("extract", false,
+                "isolate the exposition block (first '# TYPE' through "
+                "'# EOF') from mixed input before linting");
+  flags.AddString("require_counter", "",
+                  "comma-separated sample names that must be present "
+                  "with value >= --min");
+  flags.AddInt("min", 1, "minimum value for required samples");
+  Status st = flags.Parse(argc, argv);
+  if (st.IsOutOfRange()) return 0;  // --help
+  if (!st.ok()) return Usage(st.ToString());
+
+  std::string text;
+  if (flags.GetString("input") == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(flags.GetString("input"));
+    if (!in) return Usage("cannot open " + flags.GetString("input"));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  if (flags.GetBool("extract")) {
+    std::string block;
+    if (!ExtractExposition(text, &block)) {
+      std::fprintf(stderr,
+                   "lint: no exposition block (# TYPE ... # EOF) found\n");
+      return 1;
+    }
+    text = std::move(block);
+  }
+
+  obs::LintResult lint = obs::LintPrometheusText(text);
+  if (!lint.ok) {
+    std::fprintf(stderr, "lint: %s\n", lint.message.c_str());
+    return 1;
+  }
+
+  const double min = static_cast<double>(flags.GetInt("min"));
+  for (const std::string& name :
+       SplitString(flags.GetString("require_counter"), ',')) {
+    if (name.empty()) continue;
+    double value = 0.0;
+    if (!obs::FindPrometheusValue(text, name, &value)) {
+      std::fprintf(stderr, "lint: required sample '%s' is absent\n",
+                   name.c_str());
+      return 1;
+    }
+    if (value < min) {
+      std::fprintf(stderr, "lint: sample '%s' = %g below --min=%g\n",
+                   name.c_str(), value, min);
+      return 1;
+    }
+  }
+
+  std::printf("ok\n");
+  return 0;
+}

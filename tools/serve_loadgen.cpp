@@ -25,12 +25,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/baseline_solvers.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "serve/query_engine.h"
 #include "serve/serving_index.h"
 #include "synth/dataset_profiles.h"
@@ -56,6 +60,7 @@ using prefcover::serve::Request;
 using prefcover::serve::Response;
 using prefcover::serve::ServingIndex;
 using prefcover::serve::SteadyNowNanos;
+namespace obs = prefcover::obs;
 
 struct InFlight {
   std::future<Response> future;
@@ -86,6 +91,14 @@ struct Tally {
       ++protocol_errors;
     }
   }
+};
+
+// Live scrape state, filled from the sampler thread (which holds the
+// sampler lock during on_sample); the main thread reads it only after
+// Stop() joins, so no extra synchronization is needed.
+struct LiveScrape {
+  std::vector<double> requests;  // scraped serve_requests, one per sample
+  std::string first_error;      // first lint/parse failure, if any
 };
 
 }  // namespace
@@ -120,7 +133,14 @@ int main(int argc, char** argv) {
       .AddInt("p99_budget_us", 0, "fail if p99 exceeds this; 0 = off")
       .AddInt("min_qps", 0, "fail if achieved qps is below this")
       .AddDouble("min_hit_rate", 0.0,
-                 "fail if cache hit-rate is below this");
+                 "fail if cache hit-rate is below this")
+      .AddInt("metrics_poll_ms", 0,
+              "scrape the live Prometheus exposition at this interval "
+              "during the run and assert the scraped series (0 = off)")
+      .AddDouble("live_p99_tolerance", 0.20,
+                 "allowed relative slack between the scraped engine p99 "
+                 "and the client-observed p99 (on top of the owning "
+                 "bucket's resolution)");
   Status parse_status = flags.Parse(argc, argv);
   if (!parse_status.ok()) {
     return parse_status.code() == StatusCode::kOutOfRange ? 0 : 2;
@@ -208,6 +228,39 @@ int main(int argc, char** argv) {
   const size_t max_outstanding =
       static_cast<size_t>(flags.GetInt("outstanding"));
 
+  // Live scraping: a background sampler snapshots the global registry on
+  // the poll interval and each sample goes through the full exposition
+  // render + lint + parse path — exactly what an external scraper of the
+  // serve `metrics` verb would exercise.
+  LiveScrape scrape;
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  const int64_t poll_ms = flags.GetInt("metrics_poll_ms");
+  if (poll_ms > 0) {
+    obs::TimeseriesOptions sampler_options;
+    sampler_options.interval_s = static_cast<double>(poll_ms) / 1000.0;
+    sampler_options.on_sample = [&scrape](
+                                    const obs::MetricsSample& current,
+                                    const obs::MetricsSample*) {
+      const std::string text = obs::RenderPrometheusText(current.snapshot);
+      obs::LintResult lint = obs::LintPrometheusText(text);
+      if (!lint.ok) {
+        if (scrape.first_error.empty()) scrape.first_error = lint.message;
+        return;
+      }
+      double requests = 0.0;
+      if (!obs::FindPrometheusValue(text, "serve_requests", &requests)) {
+        if (scrape.first_error.empty()) {
+          scrape.first_error = "serve_requests missing from exposition";
+        }
+        return;
+      }
+      scrape.requests.push_back(requests);
+    };
+    sampler = std::make_unique<obs::MetricsSampler>(
+        &obs::MetricsRegistry::Global(), sampler_options);
+    sampler->Start();
+  }
+
   Tally tally;
   tally.latency_us.Reserve(1 << 20);
   std::deque<InFlight> in_flight;
@@ -257,6 +310,9 @@ int main(int argc, char** argv) {
     tally.Absorb(entry.future.get(), entry.submit_ns);
   }
   const int64_t end_ns = SteadyNowNanos();
+  // Stop takes a final sample, so the scraped series always covers the
+  // complete run even when the poll interval exceeds the duration.
+  if (sampler != nullptr) sampler->Stop();
 
   const double elapsed_s = static_cast<double>(end_ns - start_ns) / 1e9;
   const double achieved_qps =
@@ -272,16 +328,44 @@ int main(int argc, char** argv) {
   const double p95 = tally.latency_us.Quantile(0.95);
   const double p99 = tally.latency_us.Quantile(0.99);
 
+  // Engine-side view from the final scraped sample: request total and
+  // the bucket-interpolated p99 of serve.latency_us.
+  double live_p99_us = 0.0;
+  const prefcover::obs::MetricsSnapshot::HistogramValue* live_hist =
+      nullptr;
+  std::vector<prefcover::obs::MetricsSample> live_series;
+  if (sampler != nullptr) {
+    live_series = sampler->Series();
+    if (!live_series.empty()) {
+      for (const auto& h : live_series.back().snapshot.histograms) {
+        if (h.name == "serve.latency_us") {
+          live_hist = &h;
+          live_p99_us = obs::HistogramQuantile(h, 0.99);
+          break;
+        }
+      }
+    }
+  }
+  char live_fields[160] = "";
+  if (sampler != nullptr) {
+    std::snprintf(live_fields, sizeof(live_fields),
+                  ", \"live_samples\": %zu, \"live_requests\": %.0f"
+                  ", \"live_p99_us\": %.1f",
+                  scrape.requests.size(),
+                  scrape.requests.empty() ? 0.0 : scrape.requests.back(),
+                  live_p99_us);
+  }
+
   std::printf("{\"submitted\": %" PRIu64 ", \"ok\": %" PRIu64
               ", \"deadline_cancelled\": %" PRIu64 ", \"shed\": %" PRIu64
               ", \"protocol_errors\": %" PRIu64
               ", \"elapsed_s\": %.3f, \"qps\": %.0f"
               ", \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f"
               ", \"batches\": %" PRIu64
-              ", \"cache_hit_rate\": %.4f}\n",
+              ", \"cache_hit_rate\": %.4f%s}\n",
               submitted, tally.ok, tally.deadline_cancelled, tally.shed,
               tally.protocol_errors, elapsed_s, achieved_qps, p50, p95,
-              p99, stats.batches, hit_rate);
+              p99, stats.batches, hit_rate, live_fields);
 
   bool failed = false;
   if (tally.protocol_errors > 0) {
@@ -307,6 +391,53 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: cache hit-rate %.4f below floor %.4f\n",
                  hit_rate, flags.GetDouble("min_hit_rate"));
     failed = true;
+  }
+  if (sampler != nullptr) {
+    // Live-series SLOs, from the scraped exposition rather than the
+    // in-process stats struct: the scrape path itself is under test.
+    if (!scrape.first_error.empty()) {
+      std::fprintf(stderr, "FAIL: exposition scrape: %s\n",
+                   scrape.first_error.c_str());
+      failed = true;
+    }
+    for (size_t i = 1; i < scrape.requests.size(); ++i) {
+      if (scrape.requests[i] < scrape.requests[i - 1]) {
+        std::fprintf(stderr,
+                     "FAIL: serve_requests went backwards (%.0f -> %.0f)\n",
+                     scrape.requests[i - 1], scrape.requests[i]);
+        failed = true;
+        break;
+      }
+    }
+    if (scrape.requests.empty() || scrape.requests.back() <= 0.0) {
+      std::fprintf(stderr,
+                   "FAIL: scraped serve_requests never advanced\n");
+      failed = true;
+    }
+    // p99 consistency: the engine histogram can only resolve latency to
+    // its owning 1-2-5 bucket, so the check allows the client p99's
+    // bucket range widened by --live_p99_tolerance.
+    if (live_hist != nullptr && tally.ok > 0) {
+      const double tol = flags.GetDouble("live_p99_tolerance");
+      double bucket_lo = 0.0;
+      double bucket_hi = std::numeric_limits<double>::infinity();
+      for (size_t b = 0; b < live_hist->bounds.size(); ++b) {
+        if (live_hist->bounds[b] >= p99) {
+          bucket_hi = live_hist->bounds[b];
+          bucket_lo = b > 0 ? live_hist->bounds[b - 1] : 0.0;
+          break;
+        }
+        bucket_lo = live_hist->bounds[b];
+      }
+      if (live_p99_us < bucket_lo * (1.0 - tol) ||
+          live_p99_us > bucket_hi * (1.0 + tol)) {
+        std::fprintf(stderr,
+                     "FAIL: live p99 %.1fus inconsistent with client p99 "
+                     "%.1fus (bucket [%.0f, %.0f], tolerance %.0f%%)\n",
+                     live_p99_us, p99, bucket_lo, bucket_hi, tol * 100.0);
+        failed = true;
+      }
+    }
   }
   return failed ? 1 : 0;
 }

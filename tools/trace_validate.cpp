@@ -9,8 +9,14 @@
 //     tid) with the right types, ph == "X", and non-negative ts/dur;
 //   - per thread, ts is monotonically non-decreasing (the exporter sorts
 //     by (tid, start), so a violation means a broken exporter);
+//   - every event carries the same pid (traces come from one process; a
+//     second pid means concatenated or corrupted files);
 //   - optional: --require_categories=a,b,... each have >= 1 event, and
-//     the file holds at least --min_events events.
+//     the file holds at least --min_events events;
+//   - optional: --metrics=FILE cross-checks a metrics snapshot JSON
+//     (solve/serve --metrics_out) against the trace — each counter named
+//     in --require_counter=a,b,... must be present with value >=
+//     --counter_min.
 //
 // Exit codes: 0 = valid, 1 = invalid, 2 = usage/IO error.
 
@@ -50,6 +56,14 @@ int main(int argc, char** argv) {
                   "comma-separated categories that must each appear in at "
                   "least one event");
   flags.AddInt("min_events", 1, "minimum number of events required");
+  flags.AddString("metrics", "",
+                  "metrics snapshot JSON (from --metrics_out) to "
+                  "cross-check alongside the trace");
+  flags.AddString("require_counter", "",
+                  "comma-separated counter names that must be present in "
+                  "--metrics with value >= --counter_min");
+  flags.AddInt("counter_min", 1,
+               "minimum value for each --require_counter counter");
   Status st = flags.Parse(argc, argv);
   if (st.IsOutOfRange()) return 0;  // --help
   if (!st.ok()) return Usage(st.ToString());
@@ -78,6 +92,7 @@ int main(int argc, char** argv) {
 
   std::map<std::string, uint64_t> category_counts;
   std::map<double, double> last_ts_by_tid;
+  double first_pid = 0.0;
   for (size_t i = 0; i < events->size(); ++i) {
     const std::string at = "traceEvents[" + std::to_string(i) + "]";
     const JsonValue& e = events->at(i);
@@ -119,6 +134,15 @@ int main(int argc, char** argv) {
       }
       it->second = ts;
     }
+    const double pid = e.Find("pid")->number_value();
+    if (i == 0) {
+      first_pid = pid;
+    } else if (pid != first_pid) {
+      return Invalid(at + ": pid " + FormatJsonNumber(pid) +
+                     " differs from the file's pid " +
+                     FormatJsonNumber(first_pid) +
+                     " (concatenated traces?)");
+    }
     ++category_counts[e.Find("cat")->string_value()];
   }
 
@@ -133,6 +157,51 @@ int main(int argc, char** argv) {
     if (category.empty()) continue;
     if (category_counts.find(category) == category_counts.end()) {
       return Invalid("no events in required category '" + category + "'");
+    }
+  }
+
+  // Metrics cross-check: the trace says *where* time went; the counters
+  // say *how much* work happened. Requiring both from the same run
+  // catches a solve that traced nothing or counted nothing.
+  const std::string& metrics_path = flags.GetString("metrics");
+  const std::vector<std::string> required_counters =
+      SplitString(flags.GetString("require_counter"), ',');
+  if (metrics_path.empty()) {
+    for (const std::string& name : required_counters) {
+      if (!name.empty()) {
+        return Usage("--require_counter needs --metrics");
+      }
+    }
+  } else {
+    std::ifstream metrics_in(metrics_path);
+    if (!metrics_in) return Usage("cannot open " + metrics_path);
+    std::ostringstream metrics_buffer;
+    metrics_buffer << metrics_in.rdbuf();
+    auto metrics_doc = JsonValue::Parse(metrics_buffer.str());
+    if (!metrics_doc.ok()) {
+      return Invalid("metrics: " + metrics_doc.status().ToString());
+    }
+    const JsonValue* counters = metrics_doc->is_object()
+                                    ? metrics_doc->Find("counters")
+                                    : nullptr;
+    if (counters == nullptr || !counters->is_object()) {
+      return Invalid("metrics: missing \"counters\" object");
+    }
+    const double counter_min =
+        static_cast<double>(flags.GetInt("counter_min"));
+    for (const std::string& name : required_counters) {
+      if (name.empty()) continue;
+      const JsonValue* value = counters->Find(name);
+      if (value == nullptr || !value->is_number()) {
+        return Invalid("metrics: required counter '" + name +
+                       "' is absent");
+      }
+      if (value->number_value() < counter_min) {
+        return Invalid("metrics: counter '" + name + "' = " +
+                       FormatJsonNumber(value->number_value()) +
+                       " below --counter_min=" +
+                       FormatJsonNumber(counter_min));
+      }
     }
   }
 
