@@ -1,0 +1,223 @@
+#include "serve/client.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace prefcover {
+namespace serve {
+
+namespace {
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string_view FirstToken(std::string_view line) {
+  line = TrimWhitespace(line);
+  const size_t space = line.find_first_of(" \t");
+  return space == std::string_view::npos ? line : line.substr(0, space);
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(ResilientClientOptions options)
+    : options_(std::move(options)),
+      rng_state_(options_.jitter_seed ? options_.jitter_seed : 1) {
+  if (options_.max_attempts < 1) options_.max_attempts = 1;
+  auto& registry = obs::MetricsRegistry::Global();
+  m_requests_ = registry.GetCounter("client.requests");
+  m_retries_ = registry.GetCounter("client.retries");
+  m_reconnects_ = registry.GetCounter("client.reconnects");
+  m_timeouts_ = registry.GetCounter("client.timeouts");
+  m_failures_ = registry.GetCounter("client.failures");
+  m_breaker_opens_ = registry.GetCounter("client.breaker_opens");
+  m_breaker_probes_ = registry.GetCounter("client.breaker_probes");
+}
+
+ResilientClient::~ResilientClient() { Disconnect(); }
+
+bool ResilientClient::IsIdempotent(const std::string& request_line) {
+  const std::string_view verb = FirstToken(request_line);
+  // Queries recompute the same answer; stats/metrics only read. The
+  // mutating control verbs are the closed list below — unknown verbs are
+  // treated as idempotent so the server's own ERR InvalidArgument reply
+  // (a *successful* exchange) comes back instead of a client-side guess.
+  return verb != "reload" && verb != "quit" && verb != "shutdown";
+}
+
+bool ResilientClient::breaker_open() const {
+  return breaker_ == BreakerState::kOpen;
+}
+
+void ResilientClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // A torn connection may leave half a response buffered; it must not
+  // be mistaken for the next request's reply.
+  chunker_ = LineChunker();
+}
+
+void ResilientClient::SleepMs(int ms) {
+  if (ms <= 0) return;
+  if (options_.sleep_ms_fn) {
+    options_.sleep_ms_fn(ms);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+int64_t ResilientClient::NowMs() const {
+  if (options_.now_ms_fn) return options_.now_ms_fn();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ResilientClient::BackoffMs(int retry_index) {
+  // Full jitter: uniform in [0, min(cap, initial << (retry-1))].
+  int64_t ceiling = options_.backoff_initial_ms;
+  for (int i = 1; i < retry_index && ceiling < options_.backoff_max_ms;
+       ++i) {
+    ceiling *= 2;
+  }
+  ceiling = std::min<int64_t>(ceiling, options_.backoff_max_ms);
+  if (ceiling <= 0) return 0;
+  return static_cast<int>(SplitMix64Next(&rng_state_) %
+                          static_cast<uint64_t>(ceiling + 1));
+}
+
+void ResilientClient::OnOutcome(bool success) {
+  if (success) {
+    consecutive_failures_ = 0;
+    breaker_ = BreakerState::kClosed;
+    return;
+  }
+  ++consecutive_failures_;
+  if (options_.breaker_threshold <= 0) return;
+  const bool trip =
+      breaker_ == BreakerState::kHalfOpen ||
+      consecutive_failures_ >= options_.breaker_threshold;
+  if (trip && breaker_ != BreakerState::kOpen) {
+    breaker_ = BreakerState::kOpen;
+    breaker_opened_ms_ = NowMs();
+    ++counters_.breaker_opens;
+    m_breaker_opens_->Increment();
+  }
+}
+
+Status ResilientClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  auto fd = ConnectTcp(options_.host, options_.port,
+                       options_.connect_timeout_ms);
+  PREFCOVER_RETURN_NOT_OK(fd.status());
+  fd_ = *fd;
+  chunker_ = LineChunker();
+  ++counters_.reconnects;
+  m_reconnects_->Increment();
+  return Status::OK();
+}
+
+Result<std::string> ResilientClient::CallOnce(
+    const std::string& request_line, bool is_metrics) {
+  PREFCOVER_RETURN_NOT_OK(EnsureConnected());
+  const std::string wire = request_line + "\n";
+  PREFCOVER_RETURN_NOT_OK(WriteFully(fd_, wire.data(), wire.size()));
+
+  const int64_t deadline_ms = NowMs() + options_.request_timeout_ms;
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    LineChunker::Line line;
+    while (chunker_.Next(&line)) {
+      if (!is_metrics) return std::move(line.text);
+      response.append(line.text);
+      response.push_back('\n');
+      if (TrimWhitespace(line.text) == "# EOF") return response;
+    }
+    const int64_t remaining_ms = deadline_ms - NowMs();
+    if (remaining_ms <= 0) {
+      ++counters_.timeouts;
+      m_timeouts_->Increment();
+      return Status::Cancelled(
+          "request timed out after " +
+          std::to_string(options_.request_timeout_ms) + "ms");
+    }
+    auto readable =
+        PollReadable(fd_, static_cast<int>(std::min<int64_t>(
+                              remaining_ms, 1 << 30)));
+    PREFCOVER_RETURN_NOT_OK(readable.status());
+    if (!*readable) continue;  // re-check the deadline, then poll again
+    auto got = ReadSome(fd_, chunk, sizeof(chunk));
+    PREFCOVER_RETURN_NOT_OK(got.status());
+    if (*got == 0) {
+      return Status::IOError("connection closed mid-response");
+    }
+    chunker_.Append(std::string_view(chunk, *got));
+  }
+}
+
+Result<std::string> ResilientClient::Call(
+    const std::string& request_line) {
+  ++counters_.requests;
+  m_requests_->Increment();
+
+  if (breaker_ == BreakerState::kOpen) {
+    if (NowMs() - breaker_opened_ms_ < options_.breaker_cooldown_ms) {
+      ++counters_.breaker_fastfails;
+      return Status::FailedPrecondition(
+          "circuit breaker open (cooling down)");
+    }
+    // Cooldown elapsed: admit exactly one probe.
+    breaker_ = BreakerState::kHalfOpen;
+    ++counters_.breaker_probes;
+    m_breaker_probes_->Increment();
+  }
+
+  const bool idempotent = IsIdempotent(request_line);
+  const bool is_metrics =
+      TrimWhitespace(std::string_view(request_line)) == "metrics";
+  const int max_attempts = idempotent ? options_.max_attempts : 1;
+  // Half-open allows one wire attempt only — the probe.
+  const int attempts_allowed =
+      breaker_ == BreakerState::kHalfOpen ? 1 : max_attempts;
+
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+    if (attempt > 1) {
+      ++counters_.retries;
+      m_retries_->Increment();
+      SleepMs(BackoffMs(attempt - 1));
+    }
+    ++counters_.attempts;
+    auto result = CallOnce(request_line, is_metrics);
+    if (result.ok()) {
+      OnOutcome(true);
+      return result;
+    }
+    last = result.status();
+    Disconnect();
+    OnOutcome(false);
+    if (breaker_ == BreakerState::kOpen) break;  // stop hammering
+  }
+  ++counters_.failures;
+  m_failures_->Increment();
+  return last;
+}
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // __unix__ || __APPLE__

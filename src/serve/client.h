@@ -1,0 +1,166 @@
+// Resilient line-protocol client for the serve TCP transport.
+//
+// The CLI's original client was `nc`. That is fine on a healthy
+// loopback and useless against a real network, where connections die
+// mid-response, servers restart, and overload turns into timeouts. This
+// client wraps one logical connection with the standard reliability
+// stack:
+//
+//   - per-request timeout (poll-bounded reads; a stuck server costs
+//     `request_timeout_ms`, not forever),
+//   - reconnect + retry with exponential backoff and FULL jitter
+//     (deterministically seeded, so chaos runs replay),
+//   - retries restricted to idempotent verbs — `reload`/`quit`/
+//     `shutdown` are never resent, because "did it apply?" is unknowable
+//     after a mid-request connection loss,
+//   - a consecutive-failure circuit breaker: after `breaker_threshold`
+//     straight failures the client fast-fails (FailedPrecondition)
+//     without touching the network for `breaker_cooldown_ms`, then lets
+//     ONE half-open probe through; success closes the breaker, failure
+//     re-opens it.
+//
+// Breaker state machine:
+//
+//       closed --(threshold consecutive failures)--> open
+//       open   --(cooldown elapsed)-->                half-open
+//       half-open --(probe succeeds)-->               closed
+//       half-open --(probe fails)-->                  open
+//
+// Every decision is observable: per-client ClientCounters plus global
+// `client.*` metrics (catalog in OBSERVABILITY.md).
+//
+// POSIX-only, like the rest of the TCP transport.
+
+#ifndef PREFCOVER_SERVE_CLIENT_H_
+#define PREFCOVER_SERVE_CLIENT_H_
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/transport.h"
+#include "util/status.h"
+
+namespace prefcover {
+namespace serve {
+
+/// \brief Client knobs. The defaults suit a loopback chaos soak: quick
+/// retries, bounded patience.
+struct ResilientClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// TCP connect timeout per attempt.
+  int connect_timeout_ms = 1000;
+  /// Budget per attempt for the full response (first byte to last line).
+  int request_timeout_ms = 2000;
+  /// Total tries per Call (first attempt + retries). Non-idempotent
+  /// requests get exactly one try regardless.
+  int max_attempts = 5;
+  /// Backoff before retry k (1-based) is uniform in
+  /// [0, min(backoff_max_ms, backoff_initial_ms << (k-1))] — "full
+  /// jitter", which desynchronizes a thundering herd of retriers.
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 1000;
+  /// Seed for the jitter RNG; same seed + same outcome sequence = same
+  /// sleeps.
+  uint64_t jitter_seed = 1;
+  /// Consecutive failures that trip the breaker open. 0 disables the
+  /// breaker.
+  int breaker_threshold = 8;
+  /// How long the breaker stays open before admitting one probe.
+  int breaker_cooldown_ms = 500;
+  /// Test seam: replaces real sleeping (backoff + cooldown waits).
+  /// nullptr = std::this_thread::sleep_for.
+  std::function<void(int)> sleep_ms_fn;
+  /// Test seam: replaces the monotonic-ms clock behind breaker cooldown
+  /// bookkeeping. nullptr = steady_clock.
+  std::function<int64_t()> now_ms_fn;
+};
+
+/// \brief Per-client tallies (also mirrored into global `client.*`
+/// counters).
+struct ClientCounters {
+  uint64_t requests = 0;        ///< Call() invocations.
+  uint64_t attempts = 0;        ///< Wire attempts (>= requests).
+  uint64_t retries = 0;         ///< Attempts after the first.
+  uint64_t reconnects = 0;      ///< Successful (re)connects.
+  uint64_t timeouts = 0;        ///< Attempts lost to the request timeout.
+  uint64_t failures = 0;        ///< Calls that ultimately failed.
+  uint64_t breaker_opens = 0;   ///< closed/half-open -> open transitions.
+  uint64_t breaker_probes = 0;  ///< Half-open probes admitted.
+  uint64_t breaker_fastfails = 0;  ///< Calls rejected while open.
+};
+
+/// \brief One logical connection with timeouts, retry/backoff, reconnect
+/// and a circuit breaker. Not thread-safe: one client per thread (each
+/// gets its own breaker and backoff state, which is what you want in a
+/// load generator anyway).
+class ResilientClient {
+ public:
+  explicit ResilientClient(ResilientClientOptions options);
+  ~ResilientClient();
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// Sends `request_line` (no trailing newline) and returns the response.
+  /// Single-line responses come back without the newline; `metrics`
+  /// returns the full multi-line exposition through `# EOF`. Retries —
+  /// idempotent verbs only — hide transient faults; the returned error is
+  /// the last attempt's (or FailedPrecondition when the breaker is open).
+  Result<std::string> Call(const std::string& request_line);
+
+  /// True when a mid-request connection loss makes the request safe to
+  /// resend: queries and read-only control verbs. `reload`, `quit` and
+  /// `shutdown` mutate server state and are never retried.
+  static bool IsIdempotent(const std::string& request_line);
+
+  const ClientCounters& counters() const { return counters_; }
+
+  /// Breaker introspection for tests and harness assertions.
+  bool breaker_open() const;
+
+  /// Drops the current connection (next Call reconnects). Idempotent.
+  void Disconnect();
+
+ private:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  Result<std::string> CallOnce(const std::string& request_line,
+                               bool is_metrics);
+  Status EnsureConnected();
+  void SleepMs(int ms);
+  int64_t NowMs() const;
+  int BackoffMs(int retry_index);
+  void OnOutcome(bool success);
+
+  ResilientClientOptions options_;
+  int fd_ = -1;
+  LineChunker chunker_;
+  uint64_t rng_state_;
+
+  BreakerState breaker_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int64_t breaker_opened_ms_ = 0;
+
+  ClientCounters counters_;
+
+  // Global instruments (names in OBSERVABILITY.md).
+  obs::Counter* m_requests_;
+  obs::Counter* m_retries_;
+  obs::Counter* m_reconnects_;
+  obs::Counter* m_timeouts_;
+  obs::Counter* m_failures_;
+  obs::Counter* m_breaker_opens_;
+  obs::Counter* m_breaker_probes_;
+};
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // __unix__ || __APPLE__
+
+#endif  // PREFCOVER_SERVE_CLIENT_H_

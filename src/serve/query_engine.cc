@@ -60,6 +60,8 @@ QueryEngine::QueryEngine(std::shared_ptr<const ServingIndex> index,
   cache_miss_ = registry.GetCounter("serve.cache.miss");
   admission_rejected_ = registry.GetCounter("serve.admission_rejected");
   deadline_expired_ = registry.GetCounter("serve.deadline_expired");
+  deadline_shed_ = registry.GetCounter("serve.deadline_shed");
+  brownout_ = registry.GetCounter("serve.brownout");
   index_reloads_ = registry.GetCounter("serve.index_reloads");
   batch_size_hist_ = registry.GetHistogram(
       "serve.batch_size",
@@ -121,6 +123,27 @@ std::future<Response> QueryEngine::Submit(Request request) {
           now_ns));
       return future;
     }
+    if (options_.deadline_shed && pending.request.deadline_ns > 0) {
+      // Deadline-aware shed: reject at the door a request that has
+      // already expired, or that the backlog × recent service time says
+      // cannot be reached in time. Not counted in serve.requests
+      // (symmetric with admission_rejected: the engine never worked on
+      // it).
+      const int64_t ewma =
+          ewma_service_ns_.load(std::memory_order_relaxed);
+      const int64_t eta_ns =
+          now_ns +
+          (ewma > 0 ? static_cast<int64_t>(queue_.size()) * ewma : 0);
+      if (now_ns >= pending.request.deadline_ns ||
+          eta_ns > pending.request.deadline_ns) {
+        deadline_shed_->Increment();
+        n_deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+        pending.promise.set_value(MakeErrorResponse(
+            Status::Cancelled("deadline unreachable, shed at admission"),
+            now_ns));
+        return future;
+      }
+    }
     queue_.push_back(std::move(pending));
   }
   queue_cv_.notify_one();
@@ -169,12 +192,23 @@ QueryEngineStats QueryEngine::Stats() const {
       n_admission_rejected_.load(std::memory_order_relaxed);
   stats.deadline_expired =
       n_deadline_expired_.load(std::memory_order_relaxed);
+  stats.deadline_shed = n_deadline_shed_.load(std::memory_order_relaxed);
+  stats.brownouts = n_brownouts_.load(std::memory_order_relaxed);
   stats.index_reloads = n_index_reloads_.load(std::memory_order_relaxed);
   return stats;
 }
 
-void QueryEngine::AnswerOne(const State& state, Pending* pending) {
-  const Request& request = pending->request;
+void QueryEngine::SetPaused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = paused;
+  }
+  queue_cv_.notify_all();
+}
+
+void QueryEngine::AnswerOne(const State& state, Pending* pending,
+                            bool brownout) {
+  Request& request = pending->request;
   if (request.deadline_ns > 0 && SteadyNowNanos() > request.deadline_ns) {
     deadline_expired_->Increment();
     n_deadline_expired_.fetch_add(1, std::memory_order_relaxed);
@@ -192,18 +226,30 @@ void QueryEngine::AnswerOne(const State& state, Pending* pending) {
 
   Response response;
   bool answered = false;
-  if (request.type == QueryType::kSubstitutes && state.cache->enabled()) {
-    const uint64_t key = SubsCacheKey(request.v, request.top_j);
-    if (state.cache->Get(key, &response.line)) {
-      cache_hit_->Increment();
-      n_cache_hits_.fetch_add(1, std::memory_order_relaxed);
-      answered = true;
-    } else {
-      cache_miss_->Increment();
-      n_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (request.type == QueryType::kSubstitutes) {
+    if (brownout) {
+      // Degraded answer: top-1 substitutes, zero cache traffic. Neither
+      // looked up (a full-depth cached line would be the wrong shape)
+      // nor filled (a top-1 line must not shadow full answers after the
+      // queue drains).
+      if (request.top_j > 1) request.top_j = 1;
+      brownout_->Increment();
+      n_brownouts_.fetch_add(1, std::memory_order_relaxed);
       response = AnswerOnIndex(*state.index, request);
-      if (response.status.ok()) state.cache->Put(key, response.line);
       answered = true;
+    } else if (state.cache->enabled()) {
+      const uint64_t key = SubsCacheKey(request.v, request.top_j);
+      if (state.cache->Get(key, &response.line)) {
+        cache_hit_->Increment();
+        n_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        answered = true;
+      } else {
+        cache_miss_->Increment();
+        n_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+        response = AnswerOnIndex(*state.index, request);
+        if (response.status.ok()) state.cache->Put(key, response.line);
+        answered = true;
+      }
     }
   }
   if (!answered) response = AnswerOnIndex(*state.index, request);
@@ -223,8 +269,9 @@ void QueryEngine::DispatcherLoop() {
 
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    queue_cv_.wait(lock,
-                   [this] { return shutting_down_ || !queue_.empty(); });
+    queue_cv_.wait(lock, [this] {
+      return shutting_down_ || (!paused_ && !queue_.empty());
+    });
     if (queue_.empty()) {
       if (shutting_down_) return;
       continue;
@@ -248,7 +295,14 @@ void QueryEngine::DispatcherLoop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    // Brownout is decided per batch on the backlog LEFT BEHIND: a full
+    // batch with an empty queue is healthy saturation, not overload.
+    const bool brownout =
+        options_.brownout_watermark > 0 &&
+        queue_.size() >= options_.brownout_watermark;
     lock.unlock();
+
+    const int64_t service_start_ns = SteadyNowNanos();
 
     {
       obs::Span span("serve.batch", "serve");
@@ -275,9 +329,10 @@ void QueryEngine::DispatcherLoop() {
         for (size_t begin = 0; begin < batch.size(); begin += chunk_size) {
           const size_t end = std::min(begin + chunk_size, batch.size());
           options_.pool->Submit(
-              [this, &state, &batch, &remaining, &all_done, begin, end] {
+              [this, &state, &batch, &remaining, &all_done, brownout,
+               begin, end] {
                 for (size_t i = begin; i < end; ++i) {
-                  AnswerOne(*state, &batch[i]);
+                  AnswerOne(*state, &batch[i], brownout);
                 }
                 if (remaining.fetch_sub(1, std::memory_order_acq_rel) ==
                     1) {
@@ -290,13 +345,24 @@ void QueryEngine::DispatcherLoop() {
         all_done.get_future().wait();
       } else {
         for (Pending& pending : batch) {
-          AnswerOne(*state, &pending);
+          AnswerOne(*state, &pending, brownout);
         }
       }
     }
 
     qps_window_count += batch.size();
     const int64_t now_ns = SteadyNowNanos();
+    {
+      // EWMA (alpha = 1/8) of per-request service time, feeding the
+      // deadline-aware shed estimate in Submit.
+      const int64_t per_req_ns =
+          (now_ns - service_start_ns) / static_cast<int64_t>(batch.size());
+      const int64_t prev =
+          ewma_service_ns_.load(std::memory_order_relaxed);
+      const int64_t next =
+          prev == 0 ? per_req_ns : prev + (per_req_ns - prev) / 8;
+      ewma_service_ns_.store(next, std::memory_order_relaxed);
+    }
     if (now_ns - qps_window_start_ns >= 1000000000) {
       const double seconds =
           static_cast<double>(now_ns - qps_window_start_ns) / 1e9;

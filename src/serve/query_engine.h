@@ -33,6 +33,20 @@
 // future immediately with Status::OutOfRange ("queue full") — shedding
 // load at the door keeps queueing delay bounded under overload.
 //
+// Deadline-aware shedding: Submit also rejects (Status::Cancelled) a
+// request whose deadline has already passed, or that the dispatcher
+// cannot plausibly reach in time — estimated as queue_depth × an EWMA of
+// recent per-request service time. Doing the math at the door instead of
+// after dequeue means an overloaded engine spends zero work on requests
+// nobody will wait for (serve.deadline_shed).
+//
+// Brownout: past `brownout_watermark` of post-batch queue backlog, the
+// engine serves degraded answers — substitutes truncated to top-1 and
+// the cache bypassed entirely (no fill, no lookup) — so each answer gets
+// cheaper exactly when the queue is deepest, trading answer richness for
+// queue drain rate instead of failing closed (serve.brownout counts the
+// degraded answers). Off by default; 0 disables.
+//
 // Observability (all in MetricsRegistry::Global; catalog in
 // OBSERVABILITY.md): serve.requests, serve.batches, serve.batch_size
 // histogram, serve.latency_us histogram (queue + service time),
@@ -83,6 +97,14 @@ struct QueryEngineOptions {
   ThreadPool* pool = nullptr;
   /// Batch size at or above which the pool (when given) is engaged.
   size_t pool_fanout_threshold = 32;
+  /// Queue backlog (requests still waiting after a batch is taken) at or
+  /// above which the engine serves brownout answers: `subs` truncated to
+  /// top-1, cache bypassed. 0 disables brownout.
+  size_t brownout_watermark = 0;
+  /// Reject requests at admission that would certainly miss their
+  /// deadline (already expired, or backlog × EWMA service time says so)
+  /// instead of queueing work nobody will wait for.
+  bool deadline_shed = true;
 };
 
 /// \brief Point-in-time engine counters (for the `stats` control verb).
@@ -93,6 +115,10 @@ struct QueryEngineStats {
   uint64_t cache_misses = 0;
   uint64_t admission_rejected = 0;
   uint64_t deadline_expired = 0;
+  /// Requests rejected at admission because the deadline was unreachable.
+  uint64_t deadline_shed = 0;
+  /// Degraded (brownout) answers served.
+  uint64_t brownouts = 0;
   uint64_t index_reloads = 0;
 };
 
@@ -133,6 +159,12 @@ class QueryEngine {
   /// dispatcher. Idempotent; the destructor calls it.
   void Shutdown();
 
+  /// Pauses (true) or resumes (false) the dispatcher between batches.
+  /// Submissions still queue while paused. Exists so tests can build a
+  /// deterministic backlog and observe brownout/shed behaviour without
+  /// racing the dispatcher.
+  void SetPaused(bool paused);
+
   const QueryEngineOptions& options() const { return options_; }
 
  private:
@@ -151,8 +183,10 @@ class QueryEngine {
   };
 
   void DispatcherLoop();
-  /// Answers `pending` against `state`, fulfilling its promise.
-  void AnswerOne(const State& state, Pending* pending);
+  /// Answers `pending` against `state`, fulfilling its promise. Under
+  /// `brownout`, substitutes are truncated to top-1 and the cache is
+  /// bypassed entirely.
+  void AnswerOne(const State& state, Pending* pending, bool brownout);
 
   QueryEngineOptions options_;
 
@@ -163,6 +197,8 @@ class QueryEngine {
   obs::Counter* cache_miss_;
   obs::Counter* admission_rejected_;
   obs::Counter* deadline_expired_;
+  obs::Counter* deadline_shed_;
+  obs::Counter* brownout_;
   obs::Counter* index_reloads_;
   obs::Histogram* batch_size_hist_;
   obs::Histogram* latency_us_hist_;
@@ -176,7 +212,13 @@ class QueryEngine {
   std::atomic<uint64_t> n_cache_misses_{0};
   std::atomic<uint64_t> n_admission_rejected_{0};
   std::atomic<uint64_t> n_deadline_expired_{0};
+  std::atomic<uint64_t> n_deadline_shed_{0};
+  std::atomic<uint64_t> n_brownouts_{0};
   std::atomic<uint64_t> n_index_reloads_{0};
+
+  // EWMA of per-request service time (ns), maintained by the dispatcher
+  // after each batch; Submit reads it for deadline-aware shedding.
+  std::atomic<int64_t> ewma_service_ns_{0};
 
   std::shared_ptr<const State> LoadState() const;
 
@@ -192,6 +234,7 @@ class QueryEngine {
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
   bool shutting_down_ = false;
+  bool paused_ = false;  // guarded by mu_; see SetPaused
 
   // Held across the dispatcher join so concurrent Shutdown callers
   // (e.g. explicit Shutdown racing the destructor) never join twice.

@@ -1,0 +1,46 @@
+// The serve-side protocol session: one function that answers a protocol
+// line (shared by the stdin and TCP transports) and the per-connection
+// TCP loop built on serve/transport.
+//
+// Extracted from tools/prefcover_cli.cpp so the framing behaviour is
+// library code the tests can drive directly over a socketpair — the
+// adversarial-framing property tests (partial reads, pathologically
+// split writes, oversized lines, interleaved control verbs) live in
+// tests/serve/transport_test.cc.
+
+#ifndef PREFCOVER_SERVE_SERVER_H_
+#define PREFCOVER_SERVE_SERVER_H_
+
+#include <string>
+
+#include "serve/query_engine.h"
+
+namespace prefcover {
+namespace serve {
+
+/// \brief Handles one protocol line: control verbs first (stats /
+/// metrics / reload <path> / quit), then query parsing + the engine.
+/// Returns the response text; sets *quit when the session should end.
+/// Every response is single-line except `metrics`, whose multi-line
+/// Prometheus exposition is terminated by its `# EOF` line — scrapers
+/// read until they see it.
+std::string HandleServeLine(QueryEngine* engine, const std::string& line,
+                            bool* quit);
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// \brief Serves one accepted connection: newline-delimited requests in,
+/// newline-delimited responses out, over the fault-injectable transport.
+/// Over-long request lines get a well-formed `ERR InvalidArgument ...`
+/// reply (memory stays bounded; the connection survives). A read or
+/// write error closes just this connection, never the server. Closes
+/// `fd`. Returns false when the server should stop accepting (the client
+/// sent `shutdown`).
+bool ServeConnectionLoop(QueryEngine* engine, int fd);
+
+#endif  // __unix__ || __APPLE__
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SERVE_SERVER_H_

@@ -1,0 +1,221 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace prefcover {
+namespace serve {
+
+void LineChunker::Append(std::string_view data) {
+  while (!data.empty()) {
+    const size_t eol = data.find('\n');
+    const std::string_view segment =
+        eol == std::string_view::npos ? data : data.substr(0, eol);
+    if (!segment.empty()) {
+      const size_t room = max_line_bytes_ > partial_.size()
+                              ? max_line_bytes_ - partial_.size()
+                              : 0;
+      if (segment.size() > room) partial_overlong_ = true;
+      partial_.append(segment.substr(0, std::min(room, segment.size())));
+    }
+    if (eol == std::string_view::npos) return;
+    Line line;
+    line.text = std::move(partial_);
+    line.overlong = partial_overlong_;
+    ready_.push_back(std::move(line));
+    partial_.clear();
+    partial_overlong_ = false;
+    data.remove_prefix(eol + 1);
+  }
+}
+
+bool LineChunker::Next(Line* line) {
+  if (ready_.empty()) return false;
+  *line = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+}  // namespace serve
+}  // namespace prefcover
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "util/net_failpoint.h"
+
+namespace prefcover {
+namespace serve {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// Accept failures a healthy server must ride out: the aborted handshake
+// family plus momentary resource exhaustion. Everything else (EBADF,
+// EINVAL, ENOTSOCK, EOPNOTSUPP, EFAULT) is a programming error.
+bool IsTransientAcceptErrno(int err) {
+  return err == ECONNABORTED || err == EPROTO || err == EMFILE ||
+         err == ENFILE || err == ENOBUFS || err == ENOMEM ||
+         err == EAGAIN || err == EWOULDBLOCK;
+}
+
+}  // namespace
+
+void IgnoreSigpipe() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &action, nullptr);
+}
+
+Result<int> ListenTcp(uint16_t port, int backlog) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return ErrnoStatus("socket()");
+  int reuse = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, backlog) < 0) {
+    Status st = ErrnoStatus("cannot listen on 127.0.0.1:" +
+                            std::to_string(port));
+    ::close(listener);
+    return st;
+  }
+  return listener;
+}
+
+Result<uint16_t> LocalPort(int listener) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return ErrnoStatus("getsockname()");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> AcceptClient(int listener) {
+  static obs::Counter* transient =
+      obs::MetricsRegistry::Global().GetCounter("serve.accept_transient");
+  for (;;) {
+    int fd = net::FaultyAccept(listener, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    if (IsTransientAcceptErrno(errno)) {
+      transient->Increment();
+      // An injected persistent fault returns instantly; without a pause
+      // the loop would hot-spin a core while "riding out" the outage.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    return ErrnoStatus("accept()");
+  }
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("ConnectTcp: not a numeric IPv4 host: " +
+                                   host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket()");
+  // Nonblocking connect + poll bounds the handshake; the fd reverts to
+  // blocking afterwards so the line loops stay simple.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = net::FaultyConnect(fd, reinterpret_cast<sockaddr*>(&addr),
+                              sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    Status st = ErrnoStatus("connect to " + host + ":" +
+                            std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  if (rc < 0) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (rc > 0) {
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    }
+    if (rc <= 0 || so_error != 0) {
+      errno = rc == 0 ? ETIMEDOUT : (so_error != 0 ? so_error : errno);
+      Status st = ErrnoStatus("connect to " + host + ":" +
+                              std::to_string(port));
+      ::close(fd);
+      return st;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  return fd;
+}
+
+Result<size_t> ReadSome(int fd, char* buffer, size_t capacity) {
+  for (;;) {
+    ssize_t got = net::FaultyRead(fd, buffer, capacity);
+    if (got >= 0) return static_cast<size_t>(got);
+    if (errno == EINTR) continue;
+    return ErrnoStatus("read()");
+  }
+}
+
+Status WriteFully(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t wrote = net::FaultyWrite(fd, data, size);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write()");
+    }
+    data += wrote;
+    size -= static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Result<bool> PollReadable(int fd, int timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoStatus("poll()");
+  return rc > 0;
+}
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // __unix__ || __APPLE__

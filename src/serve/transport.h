@@ -1,0 +1,128 @@
+// Byte-level TCP transport for the serve line protocol.
+//
+// Extracted from the ad-hoc read/WriteFully code that used to live in
+// tools/prefcover_cli.cpp so that (a) the server loop, the resilient
+// client and the chaos harness all share one implementation, and (b)
+// every socket syscall routes through util/net_failpoint, making the
+// whole stack fault-injectable from PREFCOVER_FAILPOINTS.
+//
+// Three layers, smallest first:
+//
+//   LineChunker     incremental newline framing over arbitrary chunk
+//                   boundaries, with a hard per-line byte bound: an
+//                   over-long line is truncated and flagged (the caller
+//                   answers with a protocol error) while memory stays
+//                   bounded no matter what the peer sends.
+//   ReadSome / WriteFully / PollReadable
+//                   EINTR-retrying syscall wrappers (fault-injected).
+//   ListenTcp / AcceptClient / ConnectTcp
+//                   loopback listener setup, a transient-tolerant accept
+//                   (EINTR and ECONNABORTED-class errors are retried, not
+//                   treated as fatal), and a timeout-bounded connect.
+//
+// All of it is POSIX-only, like the CLI's --port transport.
+
+#ifndef PREFCOVER_SERVE_TRANSPORT_H_
+#define PREFCOVER_SERVE_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace prefcover {
+namespace serve {
+
+/// \brief Default per-line byte bound of the serve protocol. A `batch`
+/// query over the full 1M-node catalog fits comfortably; an adversarial
+/// never-ending line does not.
+inline constexpr size_t kMaxRequestLineBytes = 1 << 20;
+
+/// \brief Incremental newline framing with a per-line byte bound.
+///
+/// Append() bytes as they arrive from the socket (any chunking — one
+/// byte at a time, everything at once, arbitrary splits — yields the
+/// identical line sequence); Next() pops completed lines. A line longer
+/// than the bound is kept only up to the bound, the rest is discarded,
+/// and the line is delivered with `overlong` set once its terminating
+/// newline arrives — buffered memory never exceeds the bound plus one
+/// socket read.
+class LineChunker {
+ public:
+  struct Line {
+    std::string text;
+    /// True when the line exceeded the byte bound; `text` holds the
+    /// retained prefix.
+    bool overlong = false;
+  };
+
+  explicit LineChunker(size_t max_line_bytes = kMaxRequestLineBytes)
+      : max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+  /// Buffers `data`, completing any lines it terminates.
+  void Append(std::string_view data);
+
+  /// Pops the next completed line; false when none is buffered.
+  bool Next(Line* line);
+
+  /// Bytes held for the in-progress (not yet newline-terminated) line.
+  size_t partial_bytes() const { return partial_.size(); }
+
+ private:
+  size_t max_line_bytes_;
+  std::string partial_;
+  bool partial_overlong_ = false;
+  std::deque<Line> ready_;
+};
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// \brief Installs SIG_IGN for SIGPIPE (idempotent). A client vanishing
+/// mid-write then surfaces as an EPIPE write error instead of killing
+/// the process — every server entry point calls this before serving.
+void IgnoreSigpipe();
+
+/// \brief Opens a loopback listener on `port` (0 picks an ephemeral
+/// port; read it back with LocalPort). SO_REUSEADDR is set so chaos
+/// restarts can rebind immediately.
+Result<int> ListenTcp(uint16_t port, int backlog = 16);
+
+/// \brief The port a listener is bound to (for ListenTcp(0)).
+Result<uint16_t> LocalPort(int listener);
+
+/// \brief Blocking accept that retries EINTR and transient failures
+/// (ECONNABORTED, EMFILE/ENFILE, ENOBUFS/ENOMEM — and injected
+/// `net.accept` faults, which surface as ECONNABORTED). Transient
+/// retries are counted in `serve.accept_transient` and backed off 1ms so
+/// a persistent fault cannot hot-spin the loop. Returns an error only
+/// for programming-error errnos (EBADF, EINVAL, ENOTSOCK, ...), on
+/// which the serve loop should exit rather than spin.
+Result<int> AcceptClient(int listener);
+
+/// \brief Timeout-bounded connect to `host:port` (numeric IPv4 only —
+/// the serving stack is loopback/LAN plumbing, not a resolver).
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       int timeout_ms);
+
+/// \brief Reads up to `capacity` bytes, retrying EINTR. 0 = clean EOF.
+/// Fault-injected via `net.read` / `net.read.short` / `net.conn_kill`.
+Result<size_t> ReadSome(int fd, char* buffer, size_t capacity);
+
+/// \brief Writes the whole buffer, retrying EINTR and short writes. A
+/// short write on a TCP socket is routine under backpressure; dropping
+/// the tail would desynchronize the line protocol. Fault-injected via
+/// `net.write` / `net.write.short` / `net.conn_kill`.
+Status WriteFully(int fd, const char* data, size_t size);
+
+/// \brief Waits until `fd` is readable (or hung up). False on timeout;
+/// an error Status on poll failure. timeout_ms < 0 waits forever.
+Result<bool> PollReadable(int fd, int timeout_ms);
+
+#endif  // __unix__ || __APPLE__
+
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // PREFCOVER_SERVE_TRANSPORT_H_

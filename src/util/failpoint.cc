@@ -22,6 +22,8 @@ enum class Kind {
   kOff,
   kError,
   kErrorOnce,
+  kErrorProb,   // error(p,seed): independent Bernoulli(p) per hit
+  kErrorEvery,  // every(N): error on hits N, 2N, 3N, ...
   kCrash,
   kCrashOnce,
   kDelay,
@@ -32,7 +34,28 @@ struct Entry {
   uint32_t delay_ms = 0;
   uint64_t hits = 0;   // reached while armed
   bool spent = false;  // *_once already fired
+  // error(p,seed) state: the stream is a pure function of the seed, so a
+  // re-armed identical spec replays the identical fire/pass sequence.
+  double probability = 0.0;
+  uint64_t rng_state = 0;
+  // every(N) period.
+  uint64_t period = 0;
 };
+
+// SplitMix64: one multiply-xor-shift step per draw. Deliberately local to
+// the failpoint registry (not util/random's xoshiro) so the injection
+// stream can never drift when the library generator evolves.
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double SplitMix64NextDouble(uint64_t* state) {
+  return static_cast<double>(SplitMix64Next(state) >> 11) * 0x1.0p-53;
+}
 
 // The registry is mutex-guarded: failpoints are a test/debug facility,
 // and the armed path is allowed to serialize. The unarmed hot path never
@@ -52,6 +75,33 @@ Result<Entry> ParseAction(std::string_view action) {
     entry.kind = Kind::kError;
   } else if (a == "error_once") {
     entry.kind = Kind::kErrorOnce;
+  } else if (a.rfind("error(", 0) == 0 && a.back() == ')') {
+    std::vector<std::string> args =
+        SplitString(a.substr(6, a.size() - 7), ',');
+    if (args.size() != 2) {
+      return Status::InvalidArgument(
+          "failpoint error(p,seed) needs exactly two arguments: " + a);
+    }
+    PREFCOVER_ASSIGN_OR_RETURN(double p,
+                               ParseDouble(TrimWhitespace(args[0])));
+    if (!(p >= 0.0 && p <= 1.0)) {  // negation also rejects NaN
+      return Status::InvalidArgument(
+          "failpoint error(p,seed) probability out of [0,1]: " + a);
+    }
+    PREFCOVER_ASSIGN_OR_RETURN(int64_t seed,
+                               ParseInt64(TrimWhitespace(args[1])));
+    entry.kind = Kind::kErrorProb;
+    entry.probability = p;
+    entry.rng_state = static_cast<uint64_t>(seed);
+  } else if (a.rfind("every(", 0) == 0 && a.back() == ')') {
+    PREFCOVER_ASSIGN_OR_RETURN(
+        int64_t n, ParseInt64(TrimWhitespace(a.substr(6, a.size() - 7))));
+    if (n < 1) {
+      return Status::InvalidArgument("failpoint every(N) needs N >= 1: " +
+                                     a);
+    }
+    entry.kind = Kind::kErrorEvery;
+    entry.period = static_cast<uint64_t>(n);
   } else if (a == "crash") {
     entry.kind = Kind::kCrash;
   } else if (a == "crash_once") {
@@ -69,7 +119,8 @@ Result<Entry> ParseAction(std::string_view action) {
   } else {
     return Status::InvalidArgument(
         "unknown failpoint action '" + a +
-        "' (expected off|error|error_once|crash|crash_once|delay(Nms))");
+        "' (expected off|error|error_once|error(p,seed)|every(N)|crash|"
+        "crash_once|delay(Nms))");
   }
   return entry;
 }
@@ -92,6 +143,7 @@ std::atomic<int> g_armed_count{0};
 Status Evaluate(const char* name) {
   Kind kind;
   uint32_t delay_ms;
+  bool fires = true;
   {
     std::lock_guard<std::mutex> lock(g_mu);
     auto it = Registry().find(name);
@@ -103,12 +155,22 @@ Status Evaluate(const char* name) {
       entry.spent = true;
       RecountArmedLocked();
     }
+    if (entry.kind == Kind::kErrorProb) {
+      fires = SplitMix64NextDouble(&entry.rng_state) < entry.probability;
+    } else if (entry.kind == Kind::kErrorEvery) {
+      fires = entry.hits % entry.period == 0;
+    }
     kind = entry.kind;
     delay_ms = entry.delay_ms;
   }
   switch (kind) {
     case Kind::kError:
     case Kind::kErrorOnce:
+      return Status::IOError(std::string("failpoint '") + name +
+                             "' injected error");
+    case Kind::kErrorProb:
+    case Kind::kErrorEvery:
+      if (!fires) return Status::OK();
       return Status::IOError(std::string("failpoint '") + name +
                              "' injected error");
     case Kind::kCrash:

@@ -8,20 +8,32 @@
 //   PREFCOVER_FAILPOINTS="checkpoint.after_write=crash_once"
 //
 // Syntax: `name=action` pairs separated by ';'. Actions:
-//   off          — registered but inert (useful to park a spec)
-//   error        — the site returns Status::IOError every hit
-//   error_once   — as `error`, but only the first hit
-//   crash        — SIGKILL the process at the site (no cleanup runs, so
-//                  crash-safety claims are tested for real)
-//   crash_once   — as `crash`, but only the first hit; later hits pass
-//                  (meaningful when the spec is re-applied after restart)
-//   delay(Nms)   — sleep N milliseconds, then pass
+//   off           — registered but inert (useful to park a spec)
+//   error         — the site returns Status::IOError every hit
+//   error_once    — as `error`, but only the first hit
+//   error(p,seed) — the site fails each hit independently with
+//                   probability p, driven by a private SplitMix64 stream
+//                   seeded with `seed`: the fire/pass sequence is a pure
+//                   function of (p, seed, hit number), so a chaos run
+//                   armed with the same spec injects the same faults
+//   every(N)      — the site fails on every Nth hit (hits N, 2N, 3N, ...)
+//   crash         — SIGKILL the process at the site (no cleanup runs, so
+//                   crash-safety claims are tested for real)
+//   crash_once    — as `crash`, but only the first hit; later hits pass
+//                   (meaningful when the spec is re-applied after restart)
+//   delay(Nms)    — sleep N milliseconds, then pass
 //
 // Call sites use the macros:
 //   PREFCOVER_FAILPOINT(name)         — void site (crash/delay only;
 //                                       error acts like off)
 //   PREFCOVER_FAILPOINT_STATUS(name)  — returns the injected Status from
 //                                       the enclosing function
+//   PREFCOVER_FAILPOINT_TRIGGERED(name) — expression, true when the armed
+//                                       action injected an error this hit
+//                                       (for sites that mutate behaviour
+//                                       instead of returning a Status,
+//                                       e.g. the net shim's short
+//                                       reads/writes and connection kills)
 //
 // Cost: compiled out entirely (macros expand to nothing) unless the
 // build sets -DPREFCOVER_ENABLE_FAILPOINTS=ON, which defines
@@ -77,9 +89,15 @@ inline bool AnyActive() {
 }
 
 /// Applies the action armed for `name` (if any). Returns the injected
-/// error for `error*`; crashes the process for `crash*`; sleeps for
-/// `delay`; OK otherwise.
+/// error for `error*` / a firing `error(p,seed)` / `every(N)`; crashes
+/// the process for `crash*`; sleeps for `delay`; OK otherwise.
 Status Evaluate(const char* name);
+
+/// True when Evaluate(name) injected an error this hit (the boolean form
+/// behind PREFCOVER_FAILPOINT_TRIGGERED).
+inline bool Triggered(const char* name) {
+  return AnyActive() && !Evaluate(name).ok();
+}
 
 }  // namespace internal
 }  // namespace failpoint
@@ -103,6 +121,9 @@ Status Evaluate(const char* name);
     }                                                                  \
   } while (false)
 
+#define PREFCOVER_FAILPOINT_TRIGGERED(name) \
+  (::prefcover::failpoint::internal::Triggered(name))
+
 #else  // !PREFCOVER_FAILPOINTS_ENABLED
 
 #define PREFCOVER_FAILPOINT(name) \
@@ -112,6 +133,8 @@ Status Evaluate(const char* name);
 #define PREFCOVER_FAILPOINT_STATUS(name) \
   do {                                   \
   } while (false)
+
+#define PREFCOVER_FAILPOINT_TRIGGERED(name) (false)
 
 #endif  // PREFCOVER_FAILPOINTS_ENABLED
 

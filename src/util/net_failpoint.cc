@@ -1,0 +1,70 @@
+#include "util/net_failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cerrno>
+#include <unistd.h>
+
+#include "util/failpoint.h"
+
+namespace prefcover {
+namespace net {
+
+namespace {
+
+// A fired net.conn_kill tears the connection down underneath the caller:
+// both directions are shut so the peer observes a mid-response hangup,
+// and the caller's own syscall fails like the kernel had dropped it.
+bool MaybeKillConnection(int fd) {
+  if (!PREFCOVER_FAILPOINT_TRIGGERED("net.conn_kill")) return false;
+  ::shutdown(fd, SHUT_RDWR);
+  errno = ECONNRESET;
+  return true;
+}
+
+}  // namespace
+
+ssize_t FaultyRead(int fd, void* buf, size_t count) {
+  if (MaybeKillConnection(fd)) return -1;
+  if (PREFCOVER_FAILPOINT_TRIGGERED("net.read")) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (count > 1 && PREFCOVER_FAILPOINT_TRIGGERED("net.read.short")) {
+    count = 1;
+  }
+  return ::read(fd, buf, count);
+}
+
+ssize_t FaultyWrite(int fd, const void* buf, size_t count) {
+  if (MaybeKillConnection(fd)) return -1;
+  if (PREFCOVER_FAILPOINT_TRIGGERED("net.write")) {
+    errno = EPIPE;
+    return -1;
+  }
+  if (count > 1 && PREFCOVER_FAILPOINT_TRIGGERED("net.write.short")) {
+    count = 1;
+  }
+  return ::write(fd, buf, count);
+}
+
+int FaultyAccept(int fd, struct sockaddr* addr, socklen_t* addrlen) {
+  if (PREFCOVER_FAILPOINT_TRIGGERED("net.accept")) {
+    errno = ECONNABORTED;
+    return -1;
+  }
+  return ::accept(fd, addr, addrlen);
+}
+
+int FaultyConnect(int fd, const struct sockaddr* addr, socklen_t addrlen) {
+  if (PREFCOVER_FAILPOINT_TRIGGERED("net.connect")) {
+    errno = ECONNREFUSED;
+    return -1;
+  }
+  return ::connect(fd, addr, addrlen);
+}
+
+}  // namespace net
+}  // namespace prefcover
+
+#endif  // __unix__ || __APPLE__

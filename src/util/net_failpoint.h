@@ -1,0 +1,64 @@
+// Fault-injectable wrappers around the POSIX socket calls.
+//
+// Every socket syscall in the serving stack (src/serve/transport,
+// src/serve/client, the CLI serve loop) goes through these wrappers
+// instead of calling read(2)/write(2)/accept(2)/connect(2) directly, so
+// a chaos run can inject network faults from the environment without
+// touching the kernel:
+//
+//   PREFCOVER_FAILPOINTS="net.read=error(0.02,11);net.accept=every(20)"
+//
+// Sites (all inert unless armed; see util/failpoint.h for the action
+// grammar — the probabilistic error(p,seed) / every(N) modes make chaos
+// runs reproducible):
+//
+//   net.accept       accept() fails with ECONNABORTED (a transient error
+//                    a correct accept loop must retry, not exit on)
+//   net.connect      connect() fails with ECONNREFUSED
+//   net.read         read() fails with ECONNRESET (peer vanished)
+//   net.read.short   read() returns at most 1 byte (pathological framing:
+//                    every protocol line arrives one byte at a time)
+//   net.write        write() fails with EPIPE (peer closed mid-response)
+//   net.write.short  write() accepts at most 1 byte (forces the caller's
+//                    short-write retry loop to actually loop)
+//   net.conn_kill    the connection is shut down *before* the call — the
+//                    peer sees a mid-response hangup, the caller sees
+//                    ECONNRESET
+//
+// delay(Nms) on any site sleeps before the syscall (latency jitter).
+//
+// When the failpoint harness is compiled out
+// (-DPREFCOVER_ENABLE_FAILPOINTS=OFF) each wrapper is the bare syscall
+// plus one inlined always-false branch.
+
+#ifndef PREFCOVER_UTIL_NET_FAILPOINT_H_
+#define PREFCOVER_UTIL_NET_FAILPOINT_H_
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace prefcover {
+namespace net {
+
+/// \brief read(2) with `net.read` / `net.read.short` / `net.conn_kill`
+/// injection. Returns the syscall result; injected failures set errno.
+ssize_t FaultyRead(int fd, void* buf, size_t count);
+
+/// \brief write(2) with `net.write` / `net.write.short` / `net.conn_kill`
+/// injection.
+ssize_t FaultyWrite(int fd, const void* buf, size_t count);
+
+/// \brief accept(2) with `net.accept` injection (ECONNABORTED).
+int FaultyAccept(int fd, struct sockaddr* addr, socklen_t* addrlen);
+
+/// \brief connect(2) with `net.connect` injection (ECONNREFUSED).
+int FaultyConnect(int fd, const struct sockaddr* addr, socklen_t addrlen);
+
+}  // namespace net
+}  // namespace prefcover
+
+#endif  // __unix__ || __APPLE__
+
+#endif  // PREFCOVER_UTIL_NET_FAILPOINT_H_

@@ -1,0 +1,345 @@
+// ResilientClient against scripted fake servers: retry-after-close,
+// per-request timeouts, the full circuit-breaker cycle (open →
+// fast-fail → half-open probe → re-close / re-open), idempotency
+// gating, deterministic jittered backoff, and multi-line metrics reads.
+//
+// The failpoint registry is process-global, so these tests inject
+// faults by scripting the SERVER side of a real loopback socket instead
+// of arming net.* failpoints (which would hit both ends at once).
+
+#include "serve/client.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/transport.h"
+
+namespace prefcover {
+namespace serve {
+namespace {
+
+// A loopback listener that plays one scripted handler per accepted
+// connection, in order, then stops accepting.
+class FakeServer {
+ public:
+  using Handler = std::function<void(int fd)>;
+
+  explicit FakeServer(std::vector<Handler> handlers)
+      : handlers_(std::move(handlers)) {
+    auto listener = ListenTcp(0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = listener.ok() ? *listener : -1;
+    if (listener_ >= 0) {
+      auto port = LocalPort(listener_);
+      EXPECT_TRUE(port.ok());
+      port_ = port.ok() ? *port : 0;
+      thread_ = std::thread([this] { Run(); });
+    }
+  }
+
+  ~FakeServer() {
+    if (listener_ >= 0) {
+      ::shutdown(listener_, SHUT_RDWR);  // unblocks AcceptClient
+      if (thread_.joinable()) thread_.join();
+      ::close(listener_);
+    }
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  void Run() {
+    for (const Handler& handler : handlers_) {
+      auto fd = AcceptClient(listener_);
+      if (!fd.ok()) return;  // listener shut down
+      handler(*fd);
+      ::close(*fd);
+    }
+  }
+
+  std::vector<Handler> handlers_;
+  int listener_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+// Answers every request line with "OK echo <line>" until EOF.
+void EchoLines(int fd) {
+  LineChunker chunker;
+  char chunk[4096];
+  for (;;) {
+    auto got = ReadSome(fd, chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) return;
+    chunker.Append(std::string_view(chunk, *got));
+    LineChunker::Line line;
+    while (chunker.Next(&line)) {
+      const std::string reply = "OK echo " + line.text + "\n";
+      if (!WriteFully(fd, reply.data(), reply.size()).ok()) return;
+    }
+  }
+}
+
+// Reads one chunk (the request) and hangs up without replying — the
+// classic mid-response connection loss.
+void CloseAfterRequest(int fd) {
+  char chunk[256];
+  (void)ReadSome(fd, chunk, sizeof(chunk));
+}
+
+// Swallows everything and never replies; returns once the client gives
+// up and disconnects.
+void ReadUntilEof(int fd) {
+  char chunk[256];
+  for (;;) {
+    auto got = ReadSome(fd, chunk, sizeof(chunk));
+    if (!got.ok() || *got == 0) return;
+  }
+}
+
+// Serves one multi-line Prometheus-style exposition, then EOF.
+void MetricsOnce(int fd) {
+  char chunk[256];
+  auto got = ReadSome(fd, chunk, sizeof(chunk));
+  if (!got.ok() || *got == 0) return;
+  const std::string body =
+      "# HELP fake_total A fake counter.\n"
+      "# TYPE fake_total counter\n"
+      "fake_total 42\n"
+      "# EOF\n";
+  (void)WriteFully(fd, body.data(), body.size());
+}
+
+class ClientTest : public ::testing::Test {
+ protected:
+  // A scripted handler may close its end while the client still writes.
+  void SetUp() override { IgnoreSigpipe(); }
+
+  ResilientClientOptions BaseOptions(uint16_t port) {
+    ResilientClientOptions options;
+    options.port = port;
+    options.sleep_ms_fn = [this](int ms) { sleeps_.push_back(ms); };
+    return options;
+  }
+
+  std::vector<int> sleeps_;
+};
+
+TEST_F(ClientTest, IsIdempotentTable) {
+  EXPECT_TRUE(ResilientClient::IsIdempotent("covered 7"));
+  EXPECT_TRUE(ResilientClient::IsIdempotent("subs 7 4"));
+  EXPECT_TRUE(ResilientClient::IsIdempotent("coverk 50"));
+  EXPECT_TRUE(ResilientClient::IsIdempotent("batch 1 2 3"));
+  EXPECT_TRUE(ResilientClient::IsIdempotent("stats"));
+  EXPECT_TRUE(ResilientClient::IsIdempotent("metrics"));
+  // Unknown verbs retry so the server's own ERR reply wins.
+  EXPECT_TRUE(ResilientClient::IsIdempotent("frobnicate"));
+  EXPECT_TRUE(ResilientClient::IsIdempotent(""));
+  // The mutating closed list never retries.
+  EXPECT_FALSE(ResilientClient::IsIdempotent("reload /tmp/x.pcsidx"));
+  EXPECT_FALSE(ResilientClient::IsIdempotent("  reload x"));
+  EXPECT_FALSE(ResilientClient::IsIdempotent("quit"));
+  EXPECT_FALSE(ResilientClient::IsIdempotent("shutdown"));
+}
+
+TEST_F(ClientTest, RoundTripOnHealthyServer) {
+  FakeServer server({EchoLines});
+  ResilientClient client(BaseOptions(server.port()));
+  auto response = client.Call("covered 5");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(*response, "OK echo covered 5");
+  // Same connection serves the next call: no extra reconnect.
+  response = client.Call("subs 5 2");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(*response, "OK echo subs 5 2");
+  EXPECT_EQ(client.counters().requests, 2u);
+  EXPECT_EQ(client.counters().attempts, 2u);
+  EXPECT_EQ(client.counters().retries, 0u);
+  EXPECT_EQ(client.counters().reconnects, 1u);
+  EXPECT_EQ(client.counters().failures, 0u);
+}
+
+TEST_F(ClientTest, IdempotentRequestRetriesAcrossConnectionLoss) {
+  FakeServer server({CloseAfterRequest, EchoLines});
+  auto options = BaseOptions(server.port());
+  options.max_attempts = 3;
+  options.backoff_initial_ms = 8;
+  ResilientClient client(options);
+  auto response = client.Call("covered 1");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(*response, "OK echo covered 1");
+  EXPECT_EQ(client.counters().attempts, 2u);
+  EXPECT_EQ(client.counters().retries, 1u);
+  EXPECT_EQ(client.counters().reconnects, 2u);
+  EXPECT_EQ(client.counters().failures, 0u);
+  // One backoff sleep, full-jitter bounded by the initial ceiling.
+  ASSERT_EQ(sleeps_.size(), 1u);
+  EXPECT_GE(sleeps_[0], 0);
+  EXPECT_LE(sleeps_[0], 8);
+}
+
+TEST_F(ClientTest, NonIdempotentRequestIsNeverRetried) {
+  FakeServer server({CloseAfterRequest, EchoLines});
+  auto options = BaseOptions(server.port());
+  options.max_attempts = 5;
+  ResilientClient client(options);
+  auto response = client.Call("reload /tmp/whatever.pcsidx");
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIOError()) << response.status().ToString();
+  EXPECT_EQ(client.counters().attempts, 1u);
+  EXPECT_EQ(client.counters().retries, 0u);
+  EXPECT_EQ(client.counters().failures, 1u);
+}
+
+TEST_F(ClientTest, RequestTimeoutSurfacesCancelled) {
+  FakeServer server({ReadUntilEof});
+  auto options = BaseOptions(server.port());
+  options.request_timeout_ms = 50;
+  options.max_attempts = 1;
+  ResilientClient client(options);
+  auto response = client.Call("covered 1");
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsCancelled())
+      << response.status().ToString();
+  EXPECT_EQ(client.counters().timeouts, 1u);
+  EXPECT_EQ(client.counters().failures, 1u);
+}
+
+TEST_F(ClientTest, BreakerOpensFastFailsProbesAndRecloses) {
+  FakeServer server({CloseAfterRequest, CloseAfterRequest, EchoLines});
+  auto options = BaseOptions(server.port());
+  options.max_attempts = 1;  // isolate breaker behaviour from retries
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 100;
+  int64_t fake_now_ms = 0;
+  options.now_ms_fn = [&fake_now_ms] { return fake_now_ms; };
+  ResilientClient client(options);
+
+  // Two straight failures trip the breaker open.
+  EXPECT_FALSE(client.Call("covered 1").ok());
+  EXPECT_FALSE(client.breaker_open());
+  EXPECT_FALSE(client.Call("covered 1").ok());
+  EXPECT_TRUE(client.breaker_open());
+  EXPECT_EQ(client.counters().breaker_opens, 1u);
+
+  // Inside the cooldown: fast-fail, no wire attempt.
+  auto fast = client.Call("covered 1");
+  ASSERT_FALSE(fast.ok());
+  EXPECT_TRUE(fast.status().IsFailedPrecondition())
+      << fast.status().ToString();
+  EXPECT_EQ(client.counters().breaker_fastfails, 1u);
+  EXPECT_EQ(client.counters().attempts, 2u);  // unchanged
+
+  // Cooldown elapses: one half-open probe goes through and succeeds,
+  // re-closing the breaker.
+  fake_now_ms += 100;
+  auto probe = client.Call("covered 1");
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_EQ(*probe, "OK echo covered 1");
+  EXPECT_EQ(client.counters().breaker_probes, 1u);
+  EXPECT_FALSE(client.breaker_open());
+
+  // And normal service resumes on the same connection.
+  EXPECT_TRUE(client.Call("covered 2").ok());
+}
+
+TEST_F(ClientTest, FailedProbeReopensBreaker) {
+  FakeServer server(
+      {CloseAfterRequest, CloseAfterRequest, CloseAfterRequest});
+  auto options = BaseOptions(server.port());
+  options.max_attempts = 1;
+  options.breaker_threshold = 2;
+  options.breaker_cooldown_ms = 100;
+  int64_t fake_now_ms = 0;
+  options.now_ms_fn = [&fake_now_ms] { return fake_now_ms; };
+  ResilientClient client(options);
+
+  EXPECT_FALSE(client.Call("covered 1").ok());
+  EXPECT_FALSE(client.Call("covered 1").ok());
+  EXPECT_TRUE(client.breaker_open());
+  fake_now_ms += 100;
+  // The probe is admitted (one wire attempt) and fails: straight back to
+  // open, with a fresh cooldown window.
+  EXPECT_FALSE(client.Call("covered 1").ok());
+  EXPECT_TRUE(client.breaker_open());
+  EXPECT_EQ(client.counters().breaker_probes, 1u);
+  EXPECT_EQ(client.counters().breaker_opens, 2u);
+  EXPECT_EQ(client.counters().attempts, 3u);
+}
+
+TEST_F(ClientTest, BackoffIsDeterministicPerSeedAndBounded) {
+  auto run = [](uint16_t port, uint64_t seed) {
+    ResilientClientOptions options;
+    options.port = port;
+    options.max_attempts = 3;
+    options.backoff_initial_ms = 8;
+    options.backoff_max_ms = 32;
+    options.breaker_threshold = 0;  // keep all retries flowing
+    options.jitter_seed = seed;
+    auto sleeps = std::make_shared<std::vector<int>>();
+    options.sleep_ms_fn = [sleeps](int ms) { sleeps->push_back(ms); };
+    ResilientClient client(std::move(options));
+    EXPECT_FALSE(client.Call("covered 1").ok());
+    return *sleeps;
+  };
+
+  FakeServer a({CloseAfterRequest, CloseAfterRequest, CloseAfterRequest});
+  const std::vector<int> first = run(a.port(), 77);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_GE(first[0], 0);
+  EXPECT_LE(first[0], 8);   // retry 1: ceiling = initial
+  EXPECT_GE(first[1], 0);
+  EXPECT_LE(first[1], 16);  // retry 2: ceiling doubles
+
+  FakeServer b({CloseAfterRequest, CloseAfterRequest, CloseAfterRequest});
+  EXPECT_EQ(run(b.port(), 77), first);  // same seed, same jitter
+}
+
+TEST_F(ClientTest, MetricsReadsMultiLineThroughEof) {
+  FakeServer server({MetricsOnce});
+  ResilientClient client(BaseOptions(server.port()));
+  auto response = client.Call("metrics");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->find("# HELP fake_total"), std::string::npos);
+  EXPECT_NE(response->find("fake_total 42\n"), std::string::npos);
+  const std::string tail = "# EOF\n";
+  ASSERT_GE(response->size(), tail.size());
+  EXPECT_EQ(response->substr(response->size() - tail.size()), tail);
+}
+
+TEST_F(ClientTest, ConnectFailureIsRetriedThenSurfaced) {
+  // Grab an ephemeral port and close the listener: connects now fail
+  // fast with ECONNREFUSED.
+  uint16_t dead_port;
+  {
+    auto listener = ListenTcp(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = LocalPort(*listener).value();
+    ::close(*listener);
+  }
+  ResilientClientOptions options = BaseOptions(dead_port);
+  options.max_attempts = 3;
+  options.breaker_threshold = 0;
+  ResilientClient client(options);
+  auto response = client.Call("covered 1");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(client.counters().attempts, 3u);
+  EXPECT_EQ(client.counters().retries, 2u);
+  EXPECT_EQ(client.counters().reconnects, 0u);  // none ever succeeded
+  EXPECT_EQ(client.counters().failures, 1u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prefcover
+
+#endif  // __unix__ || __APPLE__

@@ -1,0 +1,260 @@
+// Graceful degradation under overload: deadline-aware shedding at
+// admission and brownout answers past the queue-depth watermark. The
+// tests use SetPaused to build a deterministic backlog instead of racing
+// the dispatcher with wall-clock load.
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/serving_index.h"
+#include "util/random.h"
+
+namespace prefcover {
+namespace serve {
+namespace {
+
+std::shared_ptr<const ServingIndex> MakeIndex(uint64_t seed = 3,
+                                              uint32_t num_nodes = 60,
+                                              size_t k = 12) {
+  Rng rng(seed);
+  UniformGraphParams params;
+  params.num_nodes = num_nodes;
+  params.out_degree = 4;
+  auto graph = GenerateUniformGraph(params, &rng);
+  EXPECT_TRUE(graph.ok());
+  auto solution = SolveGreedyLazy(*graph, k, GreedyOptions());
+  EXPECT_TRUE(solution.ok());
+  auto index = ServingIndex::Build(*graph, *solution);
+  EXPECT_TRUE(index.ok());
+  return std::make_shared<const ServingIndex>(std::move(index).value());
+}
+
+Request Covered(NodeId v) {
+  Request request;
+  request.type = QueryType::kCovered;
+  request.v = v;
+  return request;
+}
+
+Request Subs(NodeId v, uint32_t top_j) {
+  Request request;
+  request.type = QueryType::kSubstitutes;
+  request.v = v;
+  request.top_j = top_j;
+  return request;
+}
+
+// A node with at least two substitutes, so top-1 truncation is visible
+// in the response line (the first non-retained node may have just one).
+NodeId NodeWithManySubs(const ServingIndex& index) {
+  for (NodeId v = 0; v < index.NumNodes(); ++v) {
+    if (index.Retained(v)) continue;
+    if (AnswerOnIndex(index, Subs(v, 4)).line !=
+        AnswerOnIndex(index, Subs(v, 1)).line) {
+      return v;
+    }
+  }
+  ADD_FAILURE() << "no node with >= 2 substitutes in the test index";
+  return 0;
+}
+
+TEST(DeadlineShedTest, ExpiredDeadlineIsShedAtAdmission) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+
+  Request doomed = Covered(1);
+  doomed.deadline_ns = SteadyNowNanos() - 1;
+  Response response = engine.SubmitAndWait(doomed);
+  EXPECT_TRUE(response.status.IsCancelled()) << response.status.ToString();
+  EXPECT_NE(response.line.find("shed at admission"), std::string::npos)
+      << response.line;
+
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.deadline_shed, 1u);
+  // Shed work was never admitted: it does not count as served.
+  EXPECT_EQ(stats.requests, 0u);
+
+  // The engine is unharmed; a sane request still flows.
+  EXPECT_TRUE(engine.SubmitAndWait(Covered(1)).status.ok());
+  EXPECT_EQ(engine.Stats().requests, 1u);
+}
+
+TEST(DeadlineShedTest, CanBeDisabled) {
+  auto index = MakeIndex();
+  QueryEngineOptions options;
+  options.deadline_shed = false;
+  QueryEngine engine(index, options);
+
+  Request doomed = Covered(1);
+  doomed.deadline_ns = SteadyNowNanos() - 1;
+  Response response = engine.SubmitAndWait(doomed);
+  // The request is admitted and dies in the dispatcher instead — the
+  // pre-existing deadline_expired path, not the admission shed.
+  EXPECT_TRUE(response.status.IsCancelled());
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.deadline_shed, 0u);
+  EXPECT_EQ(stats.deadline_expired, 1u);
+}
+
+TEST(DeadlineShedTest, TightDeadlineBehindBacklogIsShedImmediately) {
+  auto index = MakeIndex();
+  QueryEngineOptions options;
+  options.batch_window_us = 0;
+  QueryEngine engine(index, options);
+
+  // Warm up the service-time EWMA with real traffic.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.SubmitAndWait(Covered(static_cast<NodeId>(i % 60)))
+                    .status.ok());
+  }
+
+  engine.SetPaused(true);
+  std::vector<std::future<Response>> backlog;
+  for (int i = 0; i < 100; ++i) {
+    backlog.push_back(engine.Submit(Covered(static_cast<NodeId>(i % 60))));
+  }
+
+  // 100 queued requests ahead of it and ~a nanosecond of budget: the
+  // admission ETA check rejects without waiting for the dispatcher (which
+  // is paused — a queued future could not resolve).
+  Request doomed = Covered(1);
+  doomed.deadline_ns = SteadyNowNanos() + 1;
+  std::future<Response> shed = engine.Submit(std::move(doomed));
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  Response response = shed.get();
+  EXPECT_TRUE(response.status.IsCancelled()) << response.status.ToString();
+  EXPECT_EQ(engine.Stats().deadline_shed, 1u);
+
+  engine.SetPaused(false);
+  for (auto& f : backlog) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+  EXPECT_EQ(engine.Stats().requests, 150u);
+}
+
+TEST(BrownoutTest, DeepBacklogServesTopOneAndBypassesCache) {
+  auto index = MakeIndex();
+  const NodeId v = NodeWithManySubs(*index);
+  const std::string full_line = AnswerOnIndex(*index, Subs(v, 4)).line;
+  const std::string brownout_line = AnswerOnIndex(*index, Subs(v, 1)).line;
+  ASSERT_NE(full_line, brownout_line);  // truncation must be observable
+
+  QueryEngineOptions options;
+  options.batch_limit = 8;
+  options.batch_window_us = 0;
+  options.brownout_watermark = 10;
+  QueryEngine engine(index, options);
+
+  engine.SetPaused(true);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(engine.Submit(Subs(v, 4)));
+  }
+  engine.SetPaused(false);
+
+  size_t degraded = 0;
+  size_t full = 0;
+  for (auto& f : futures) {
+    Response response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    if (response.line == brownout_line) {
+      ++degraded;
+    } else {
+      EXPECT_EQ(response.line, full_line);
+      ++full;
+    }
+  }
+
+  // Backlog after each 8-wide batch: 42, 34, 26, 18, 10 (>= watermark,
+  // brownout), then 2 and 0 (normal). 5 * 8 = 40 degraded answers.
+  EXPECT_EQ(degraded, 40u);
+  EXPECT_EQ(full, 10u);
+
+  QueryEngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.brownouts, 40u);
+  EXPECT_EQ(stats.requests, 50u);
+  // Brownout answers bypass the cache entirely (no lookup, no fill), so
+  // every request is accounted for by exactly one of hit/miss/brownout.
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses + stats.brownouts,
+            stats.requests);
+  // The 10 normal answers share one cache key: first fills, rest hit.
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 9u);
+}
+
+TEST(BrownoutTest, DisabledByDefault) {
+  auto index = MakeIndex();
+  const NodeId v = NodeWithManySubs(*index);
+  const std::string full_line = AnswerOnIndex(*index, Subs(v, 4)).line;
+
+  QueryEngineOptions options;
+  options.batch_limit = 8;
+  options.batch_window_us = 0;
+  ASSERT_EQ(options.brownout_watermark, 0u);  // default: off
+  QueryEngine engine(index, options);
+
+  engine.SetPaused(true);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(engine.Submit(Subs(v, 4)));
+  }
+  engine.SetPaused(false);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().line, full_line);
+  }
+  EXPECT_EQ(engine.Stats().brownouts, 0u);
+}
+
+TEST(BrownoutTest, OnlySubstitutesAreDegraded) {
+  auto index = MakeIndex();
+  const std::string covered_line =
+      AnswerOnIndex(*index, Covered(1)).line;
+
+  QueryEngineOptions options;
+  options.batch_limit = 4;
+  options.batch_window_us = 0;
+  options.brownout_watermark = 2;
+  QueryEngine engine(index, options);
+
+  engine.SetPaused(true);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(engine.Submit(Covered(1)));
+  }
+  engine.SetPaused(false);
+  for (auto& f : futures) {
+    // Point lookups have no richness to shed: identical answers whether
+    // the batch ran browned-out or not.
+    EXPECT_EQ(f.get().line, covered_line);
+  }
+  EXPECT_EQ(engine.Stats().brownouts, 0u);
+}
+
+TEST(PausedEngineTest, ShutdownDrainsPausedQueue) {
+  QueryEngine engine(MakeIndex());
+  engine.SetPaused(true);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(engine.Submit(Covered(static_cast<NodeId>(i))));
+  }
+  // Shutdown must not deadlock on the paused dispatcher; every queued
+  // future still resolves.
+  engine.Shutdown();
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.get().status.ok());
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace prefcover

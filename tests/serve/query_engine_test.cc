@@ -138,7 +138,11 @@ TEST(QueryEngineTest, ExpiredDeadlineIsCancelledNotServed) {
   Response response = engine.SubmitAndWait(request);
   EXPECT_TRUE(response.status.IsCancelled());
   EXPECT_EQ(response.line.substr(0, 13), "ERR Cancelled");
-  EXPECT_GE(engine.Stats().deadline_expired, 1u);
+  // Deadline-aware admission (on by default) rejects it at the door;
+  // it never reaches the dispatcher's deadline_expired path (see
+  // degradation_test.cc for both paths in isolation).
+  EXPECT_GE(engine.Stats().deadline_shed, 1u);
+  EXPECT_EQ(engine.Stats().deadline_expired, 0u);
 
   // A far-future deadline is honored normally.
   request.deadline_ns = SteadyNowNanos() + 60'000'000'000;

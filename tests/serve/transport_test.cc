@@ -1,0 +1,285 @@
+// serve/transport: LineChunker framing properties (chunking invariance,
+// bounded memory under over-long lines) and the per-connection serve
+// loop driven over a socketpair with adversarial framing — partial
+// reads, pathologically split writes, oversized lines, interleaved
+// control verbs. The loop must neither crash nor hang, and every line
+// must get a well-formed reply.
+
+#include "serve/transport.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "core/greedy_solver.h"
+#include "graph/graph_generators.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/serving_index.h"
+#endif
+
+namespace prefcover {
+namespace serve {
+namespace {
+
+std::vector<LineChunker::Line> Drain(LineChunker* chunker) {
+  std::vector<LineChunker::Line> lines;
+  LineChunker::Line line;
+  while (chunker->Next(&line)) lines.push_back(std::move(line));
+  return lines;
+}
+
+TEST(LineChunkerTest, SplitsOnNewlines) {
+  LineChunker chunker;
+  chunker.Append("covered 1\nsubs 2 4\npartial");
+  auto lines = Drain(&chunker);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "covered 1");
+  EXPECT_FALSE(lines[0].overlong);
+  EXPECT_EQ(lines[1].text, "subs 2 4");
+  EXPECT_EQ(chunker.partial_bytes(), 7u);  // "partial" still buffered
+  chunker.Append("\n");
+  lines = Drain(&chunker);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].text, "partial");
+}
+
+TEST(LineChunkerTest, EmptyLinesAreDelivered) {
+  LineChunker chunker;
+  chunker.Append("\n\nx\n");
+  auto lines = Drain(&chunker);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].text, "");
+  EXPECT_EQ(lines[1].text, "");
+  EXPECT_EQ(lines[2].text, "x");
+}
+
+// The framing property the whole stack leans on: ANY chunking of the
+// byte stream yields the identical line sequence.
+TEST(LineChunkerTest, ChunkingInvariance) {
+  Rng rng(7);
+  std::string stream;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t len = rng.NextBounded(30);
+    for (uint64_t j = 0; j < len; ++j) {
+      stream.push_back(static_cast<char>('a' + (rng.NextBounded(26))));
+    }
+    stream.push_back('\n');
+  }
+
+  LineChunker reference;
+  reference.Append(stream);
+  const auto expected = Drain(&reference);
+  ASSERT_EQ(expected.size(), 200u);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    LineChunker chunker;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      const size_t step = static_cast<size_t>(
+          1 + rng.NextBounded(trial == 0 ? 1 : 97));  // incl. 1-byte reads
+      const size_t take = std::min(step, stream.size() - offset);
+      chunker.Append(std::string_view(stream).substr(offset, take));
+      offset += take;
+    }
+    const auto lines = Drain(&chunker);
+    ASSERT_EQ(lines.size(), expected.size()) << "trial " << trial;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      EXPECT_EQ(lines[i].text, expected[i].text) << "trial " << trial;
+      EXPECT_FALSE(lines[i].overlong);
+    }
+  }
+}
+
+TEST(LineChunkerTest, OverlongLineIsTruncatedFlaggedAndBounded) {
+  LineChunker chunker(/*max_line_bytes=*/16);
+  // Feed 1000 bytes with no newline: memory must stay at the bound.
+  for (int i = 0; i < 100; ++i) chunker.Append("xxxxxxxxxx");
+  EXPECT_EQ(chunker.partial_bytes(), 16u);
+  LineChunker::Line line;
+  EXPECT_FALSE(chunker.Next(&line));  // no newline yet
+  chunker.Append("\nok\n");
+  auto lines = Drain(&chunker);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].overlong);
+  EXPECT_EQ(lines[0].text, std::string(16, 'x'));
+  // The stream resynchronizes at the newline: the next line is intact.
+  EXPECT_FALSE(lines[1].overlong);
+  EXPECT_EQ(lines[1].text, "ok");
+}
+
+TEST(LineChunkerTest, ExactBoundIsNotOverlong) {
+  LineChunker chunker(/*max_line_bytes=*/4);
+  chunker.Append("abcd\nabcde\n");
+  auto lines = Drain(&chunker);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_FALSE(lines[0].overlong);
+  EXPECT_EQ(lines[0].text, "abcd");
+  EXPECT_TRUE(lines[1].overlong);
+  EXPECT_EQ(lines[1].text, "abcd");
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+std::shared_ptr<const ServingIndex> MakeIndex() {
+  Rng rng(3);
+  UniformGraphParams params;
+  params.num_nodes = 60;
+  params.out_degree = 4;
+  auto graph = GenerateUniformGraph(params, &rng);
+  EXPECT_TRUE(graph.ok());
+  auto solution = SolveGreedyLazy(*graph, 12, GreedyOptions());
+  EXPECT_TRUE(solution.ok());
+  auto index = ServingIndex::Build(*graph, *solution);
+  EXPECT_TRUE(index.ok());
+  return std::make_shared<const ServingIndex>(std::move(index).value());
+}
+
+// Runs ServeConnectionLoop on one end of a socketpair; the test plays
+// the client on the other. Returns every response byte the server
+// wrote, reading until it closes its end.
+std::string RoundTrip(QueryEngine* engine,
+                      const std::vector<std::string>& writes) {
+  IgnoreSigpipe();  // post-quit writes may hit a closed peer
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server(
+      [engine, fd = fds[0]] { ServeConnectionLoop(engine, fd); });
+  for (const std::string& piece : writes) {
+    // A write can legitimately fail (EPIPE) when an earlier piece ended
+    // the session; the response assertions catch real breakage.
+    (void)WriteFully(fds[1], piece.data(), piece.size());
+  }
+  ::shutdown(fds[1], SHUT_WR);  // EOF after the last piece
+  std::string received;
+  char chunk[4096];
+  for (;;) {
+    auto got = ReadSome(fds[1], chunk, sizeof(chunk));
+    if (!got.ok()) {
+      ADD_FAILURE() << got.status().ToString();
+      break;
+    }
+    if (*got == 0) break;
+    received.append(chunk, *got);
+  }
+  server.join();
+  ::close(fds[1]);
+  return received;
+}
+
+TEST(ServeConnectionLoopTest, AnswersAcrossArbitrarySplits) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+  // One request split into pathological pieces, then a second intact.
+  std::string expected =
+      AnswerOnIndex(*index, ParseRequest("covered 1").value()).line + "\n" +
+      AnswerOnIndex(*index, ParseRequest("subs 2 4").value()).line + "\n";
+  const std::string received = RoundTrip(
+      &engine, {"cov", "", "ered", " ", "1", "\nsubs 2 4\n"});
+  EXPECT_EQ(received, expected);
+}
+
+TEST(ServeConnectionLoopTest, ManyLinesInOneWrite) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+  std::string blob;
+  for (int i = 0; i < 50; ++i) {
+    blob += "covered " + std::to_string(i % 60) + "\n";
+  }
+  const std::string received = RoundTrip(&engine, {blob});
+  // 50 newline-terminated replies, one per request, in order.
+  size_t newlines = 0;
+  for (char c : received) newlines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(newlines, 50u);
+}
+
+TEST(ServeConnectionLoopTest, GarbageGetsWellFormedErrors) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+  const std::string received = RoundTrip(
+      &engine,
+      {"bogus verb here\n", "covered\n", "covered 999999\n", "\n"});
+  // Every reply is a protocol line; none of them crashed the loop.
+  size_t pos = 0;
+  int replies = 0;
+  while (pos < received.size()) {
+    size_t eol = received.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = received.substr(pos, eol - pos);
+    EXPECT_TRUE(line.rfind("ERR ", 0) == 0 || line.rfind("OK", 0) == 0)
+        << line;
+    pos = eol + 1;
+    ++replies;
+  }
+  EXPECT_EQ(replies, 4);
+}
+
+TEST(ServeConnectionLoopTest, OversizedLineRejectedAndRecovered) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+  // > kMaxRequestLineBytes of garbage, then a newline, then a real
+  // request: the loop must answer ERR for the monster and OK after.
+  std::string monster(kMaxRequestLineBytes + 4096, 'z');
+  monster.push_back('\n');
+  const std::string received =
+      RoundTrip(&engine, {monster, "covered 1\n"});
+  ASSERT_NE(received.find("ERR InvalidArgument"), std::string::npos);
+  const std::string expected_tail =
+      AnswerOnIndex(*index, ParseRequest("covered 1").value()).line + "\n";
+  ASSERT_GE(received.size(), expected_tail.size());
+  EXPECT_EQ(received.substr(received.size() - expected_tail.size()),
+            expected_tail);
+}
+
+TEST(ServeConnectionLoopTest, InterleavedMetricsAndQuit) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+  // One write, so the server ingests every line before acting on quit
+  // (bytes written after the peer closes would race into ECONNRESET and
+  // could discard the buffered replies). The trailing request tests that
+  // lines after quit are dropped, not answered.
+  const std::string received = RoundTrip(
+      &engine,
+      {"covered 1\nmetrics\ncovered 2\nstats\nquit\ncovered 3\n"});
+  // The metrics exposition is multi-line and terminated by "# EOF"; the
+  // query responses around it still arrive, in order.
+  EXPECT_NE(received.find("# EOF\n"), std::string::npos);
+  EXPECT_NE(received.find("OK stats requests="), std::string::npos);
+  // quit ends the session with OK bye; the post-quit request gets no
+  // reply.
+  const std::string tail = "OK bye\n";
+  ASSERT_GE(received.size(), tail.size());
+  EXPECT_EQ(received.substr(received.size() - tail.size()), tail);
+}
+
+TEST(ServeConnectionLoopTest, ShutdownVerbStopsAccepting) {
+  auto index = MakeIndex();
+  QueryEngine engine(index);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  bool keep_serving = true;
+  std::thread server([&engine, &keep_serving, fd = fds[0]] {
+    keep_serving = ServeConnectionLoop(&engine, fd);
+  });
+  const std::string request = "shutdown\n";
+  ASSERT_TRUE(WriteFully(fds[1], request.data(), request.size()).ok());
+  server.join();
+  EXPECT_FALSE(keep_serving);
+  ::close(fds[1]);
+}
+
+#endif  // __unix__ || __APPLE__
+
+}  // namespace
+}  // namespace serve
+}  // namespace prefcover

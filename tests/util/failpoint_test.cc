@@ -1,8 +1,10 @@
 #include "util/failpoint.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -119,6 +121,77 @@ TEST_F(FailpointTest, UnknownActionLeavesRegistryUntouched) {
       failpoint::LoadFromSpec("fs.write_atomic=bogus").IsInvalidArgument());
   // The failed load must not have replaced the armed set.
   EXPECT_TRUE(WriteFileAtomic(TempPath("atomic_load.txt"), "x").IsIOError());
+}
+
+// Records the fire/pass pattern of a site over `n` evaluations through
+// the boolean macro (the one the socket shims use).
+std::vector<bool> FireSequence(const char* name, int n) {
+  std::vector<bool> fires;
+  fires.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    fires.push_back(PREFCOVER_FAILPOINT_TRIGGERED(name));
+  }
+  return fires;
+}
+
+TEST_F(FailpointTest, ErrorProbSequenceIsDeterministicAndReplayable) {
+  ASSERT_TRUE(failpoint::Set("test.prob", "error(0.5, 123)").ok());
+  std::vector<bool> first = FireSequence("test.prob", 64);
+  // p=0.5 over 64 draws: both outcomes all-but-certainly present (the
+  // seeded stream makes this exact, not flaky).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+
+  // Re-arming the identical spec replays the identical stream: the
+  // injection pattern is a pure function of (p, seed).
+  failpoint::Clear();
+  ASSERT_TRUE(failpoint::Set("test.prob", "error(0.5, 123)").ok());
+  EXPECT_EQ(FireSequence("test.prob", 64), first);
+
+  // A different seed gives a different stream (64 identical draws from
+  // independent streams would be a 2^-64 coincidence).
+  failpoint::Clear();
+  ASSERT_TRUE(failpoint::Set("test.prob", "error(0.5, 124)").ok());
+  EXPECT_NE(FireSequence("test.prob", 64), first);
+}
+
+TEST_F(FailpointTest, ErrorProbEdgeProbabilities) {
+  ASSERT_TRUE(failpoint::Set("test.prob", "error(0,9)").ok());
+  std::vector<bool> never = FireSequence("test.prob", 32);
+  EXPECT_EQ(std::count(never.begin(), never.end(), true), 0);
+
+  ASSERT_TRUE(failpoint::Set("test.prob", "error(1,9)").ok());
+  std::vector<bool> always = FireSequence("test.prob", 32);
+  EXPECT_EQ(std::count(always.begin(), always.end(), true), 32);
+}
+
+TEST_F(FailpointTest, EveryNFiresOnExactCadence) {
+  ASSERT_TRUE(failpoint::Set("test.every", "every(3)").ok());
+  std::vector<bool> fires = FireSequence("test.every", 9);
+  std::vector<bool> expected = {false, false, true, false, false,
+                                true,  false, false, true};
+  EXPECT_EQ(fires, expected);
+  EXPECT_EQ(failpoint::HitCount("test.every"), 9u);
+}
+
+TEST_F(FailpointTest, EveryOneFiresAlways) {
+  ASSERT_TRUE(failpoint::Set("test.every", "every(1)").ok());
+  std::vector<bool> fires = FireSequence("test.every", 4);
+  EXPECT_EQ(std::count(fires.begin(), fires.end(), true), 4);
+}
+
+TEST_F(FailpointTest, ProbabilisticAndPeriodicSpecsRejected) {
+  EXPECT_TRUE(failpoint::LoadFromSpec("s=error(1.5,1)").IsInvalidArgument());
+  EXPECT_TRUE(
+      failpoint::LoadFromSpec("s=error(-0.1,1)").IsInvalidArgument());
+  EXPECT_TRUE(
+      failpoint::LoadFromSpec("s=error(nan,1)").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::LoadFromSpec("s=error(0.5)").IsInvalidArgument());
+  EXPECT_TRUE(
+      failpoint::LoadFromSpec("s=error(0.5,1,2)").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::LoadFromSpec("s=every(0)").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::LoadFromSpec("s=every(-2)").IsInvalidArgument());
+  EXPECT_TRUE(failpoint::LoadFromSpec("s=every(x)").IsInvalidArgument());
 }
 
 }  // namespace

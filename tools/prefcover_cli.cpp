@@ -29,12 +29,13 @@
 #include <vector>
 
 #if defined(__unix__)
-#include <arpa/inet.h>
-#include <cerrno>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "bench/env_capture.h"
 #include "bench/metrics_json.h"
@@ -55,7 +56,9 @@
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "serve/query_engine.h"
+#include "serve/server.h"
 #include "serve/serving_index.h"
+#include "serve/transport.h"
 #include "synth/dataset_profiles.h"
 #include "util/cancellation.h"
 #include "util/csv.h"
@@ -832,116 +835,6 @@ int CmdExport(int argc, char** argv) {
   return 0;
 }
 
-// Handles one protocol line for `prefcover serve`: control verbs first
-// (stats / metrics / reload <path> / quit), then query parsing + the
-// engine. Returns the response text; sets *quit when the session should
-// end. Every response is single-line except `metrics`, whose multi-line
-// Prometheus exposition is terminated by its `# EOF` line — scrapers
-// read until they see it.
-std::string HandleServeLine(serve::QueryEngine* engine,
-                            const std::string& line, bool* quit) {
-  std::string_view trimmed = TrimWhitespace(line);
-  if (trimmed == "quit") {
-    *quit = true;
-    return "OK bye";
-  }
-  if (trimmed == "metrics") {
-    std::string text = obs::RenderPrometheusText(
-        obs::MetricsRegistry::Global().Snapshot());
-    // Both transports append the protocol newline; the exposition already
-    // ends with one after "# EOF".
-    if (!text.empty() && text.back() == '\n') text.pop_back();
-    return text;
-  }
-  if (trimmed == "stats") {
-    serve::QueryEngineStats stats = engine->Stats();
-    char buffer[256];
-    std::snprintf(buffer, sizeof(buffer),
-                  "OK stats requests=%llu batches=%llu cache_hits=%llu "
-                  "cache_misses=%llu shed=%llu deadline_expired=%llu "
-                  "reloads=%llu",
-                  static_cast<unsigned long long>(stats.requests),
-                  static_cast<unsigned long long>(stats.batches),
-                  static_cast<unsigned long long>(stats.cache_hits),
-                  static_cast<unsigned long long>(stats.cache_misses),
-                  static_cast<unsigned long long>(stats.admission_rejected),
-                  static_cast<unsigned long long>(stats.deadline_expired),
-                  static_cast<unsigned long long>(stats.index_reloads));
-    return buffer;
-  }
-  if (trimmed.rfind("reload ", 0) == 0) {
-    std::string path(TrimWhitespace(trimmed.substr(7)));
-    auto index = serve::ServingIndex::Load(path);
-    if (!index.ok()) return serve::FormatErrorLine(index.status());
-    auto shared =
-        std::make_shared<const serve::ServingIndex>(std::move(*index));
-    size_t retained = shared->NumRetained();
-    Status st = engine->SwapIndex(std::move(shared));
-    if (!st.ok()) return serve::FormatErrorLine(st);
-    return "OK reload " + std::to_string(retained);
-  }
-  auto request = serve::ParseRequest(trimmed);
-  if (!request.ok()) return serve::FormatErrorLine(request.status());
-  return engine->SubmitAndWait(std::move(*request)).line;
-}
-
-#if defined(__unix__)
-// Writes the whole buffer, retrying short writes and EINTR. A short
-// write on a TCP socket is routine under backpressure; dropping the tail
-// would desynchronize the line protocol. False on a real write error.
-bool WriteFully(int fd, const char* data, size_t size) {
-  while (size > 0) {
-    ssize_t wrote = write(fd, data, size);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += wrote;
-    size -= static_cast<size_t>(wrote);
-  }
-  return true;
-}
-
-// Serves one accepted connection: newline-delimited requests in,
-// newline-delimited responses out. Returns false when the server should
-// stop accepting (client sent `shutdown`).
-bool ServeConnection(serve::QueryEngine* engine, int fd) {
-  std::string pending;
-  char chunk[4096];
-  bool keep_serving = true;
-  for (;;) {
-    ssize_t got = read(fd, chunk, sizeof(chunk));
-    if (got <= 0) break;
-    pending.append(chunk, static_cast<size_t>(got));
-    size_t start = 0;
-    for (;;) {
-      size_t eol = pending.find('\n', start);
-      if (eol == std::string::npos) break;
-      std::string line = pending.substr(start, eol - start);
-      start = eol + 1;
-      if (TrimWhitespace(line) == "shutdown") {
-        keep_serving = false;
-        std::string bye = "OK bye\n";
-        (void)WriteFully(fd, bye.data(), bye.size());
-        close(fd);
-        return keep_serving;
-      }
-      bool quit = false;
-      std::string response = HandleServeLine(engine, line, &quit);
-      response.push_back('\n');
-      if (!WriteFully(fd, response.data(), response.size())) quit = true;
-      if (quit) {
-        close(fd);
-        return keep_serving;
-      }
-    }
-    pending.erase(0, start);
-  }
-  close(fd);
-  return keep_serving;
-}
-#endif  // __unix__
-
 int CmdServe(int argc, char** argv) {
   FlagParser flags(
       "prefcover serve: answer substitute queries over a serving index "
@@ -964,6 +857,9 @@ int CmdServe(int argc, char** argv) {
                "queued-request bound; excess requests are shed");
   flags.AddInt("deadline_us", 0,
                "per-request deadline in microseconds; 0 = none");
+  flags.AddInt("brownout_watermark", 0,
+               "post-batch queue backlog at which the engine serves "
+               "degraded (top-1, uncached) answers; 0 = off");
   flags.AddInt("threads", 0,
                "worker pool threads for intra-batch fan-out; 0 = the "
                "dispatcher answers batches itself");
@@ -1016,6 +912,8 @@ int CmdServe(int argc, char** argv) {
   engine_options.max_queue =
       static_cast<size_t>(flags.GetInt("max_queue"));
   engine_options.default_deadline_us = flags.GetInt("deadline_us");
+  engine_options.brownout_watermark =
+      static_cast<size_t>(flags.GetInt("brownout_watermark"));
   std::unique_ptr<ThreadPool> pool;
   if (flags.GetInt("threads") > 0) {
     pool = std::make_unique<ThreadPool>(
@@ -1088,7 +986,7 @@ int CmdServe(int argc, char** argv) {
     std::string line;
     bool quit = false;
     while (!quit && std::getline(std::cin, line)) {
-      std::string response = HandleServeLine(&engine, line, &quit);
+      std::string response = serve::HandleServeLine(&engine, line, &quit);
       std::printf("%s\n", response.c_str());
       std::fflush(stdout);
     }
@@ -1096,32 +994,50 @@ int CmdServe(int argc, char** argv) {
   }
 
 #if defined(__unix__)
-  int listener = socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) return Fail(Status::IOError("socket() failed"));
-  int reuse = 1;
-  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      listen(listener, 16) < 0) {
-    close(listener);
-    return Fail(Status::IOError("cannot listen on 127.0.0.1:" +
-                                std::to_string(port)));
-  }
-  std::fprintf(stderr, "listening on 127.0.0.1:%lld\n",
-               static_cast<long long>(port));
-  // Connections are served one at a time: concurrency lives in the
-  // engine, and the protocol is request/response, so a multiplexing
-  // accept loop would only add moving parts.
+  // A client vanishing mid-write must surface as an EPIPE write error on
+  // that connection, not kill the whole server.
+  serve::IgnoreSigpipe();
+  auto listener = serve::ListenTcp(static_cast<uint16_t>(port));
+  if (!listener.ok()) return Fail(listener.status());
+  auto bound = serve::LocalPort(*listener);
+  if (!bound.ok()) return Fail(bound.status());
+  std::fprintf(stderr, "listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(*bound));
+  // One session thread per connection: resilient clients hold their
+  // connection for many requests, so a serial accept loop would let one
+  // client starve the rest. Request concurrency still lives in the
+  // engine (Submit is thread-safe); the threads only pump sockets.
+  // AcceptClient rides out EINTR and transient (ECONNABORTED-class)
+  // failures internally.
+  const int listener_fd = *listener;
+  std::atomic<bool> stop{false};
+  std::atomic<int> active_sessions{0};
   for (;;) {
-    int fd = accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-    if (!ServeConnection(&engine, fd)) break;
+    auto fd = serve::AcceptClient(listener_fd);
+    if (!fd.ok()) {
+      // A `shutdown` session unblocks this accept by shutting the
+      // listener down; anything else is a real error.
+      if (stop.load(std::memory_order_relaxed)) break;
+      close(listener_fd);
+      return Fail(fd.status());
+    }
+    active_sessions.fetch_add(1, std::memory_order_relaxed);
+    std::thread([&engine, &stop, &active_sessions, listener_fd,
+                 conn = *fd] {
+      if (!serve::ServeConnectionLoop(&engine, conn)) {
+        stop.store(true, std::memory_order_relaxed);
+        ::shutdown(listener_fd, SHUT_RDWR);
+      }
+      active_sessions.fetch_sub(1, std::memory_order_relaxed);
+    }).detach();
+    if (stop.load(std::memory_order_relaxed)) break;
   }
-  close(listener);
+  // Let in-flight sessions finish before tearing the engine down under
+  // them.
+  while (active_sessions.load(std::memory_order_relaxed) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  close(listener_fd);
   return export_metrics();
 #else
   return Fail(Status::Unimplemented("--port requires a POSIX host"));

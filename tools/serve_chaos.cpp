@@ -1,0 +1,514 @@
+// serve_chaos — chaos soak harness for `prefcover serve --port`.
+//
+// Launches the server as a child process with PREFCOVER_FAILPOINTS armed
+// (socket faults: injected read/write/accept errors, delays, connection
+// kills), drives it from several ResilientClient threads, optionally
+// SIGKILLs it mid-stream and restarts it, and asserts the reliability
+// invariants the stack promises:
+//
+//   1. every idempotent request eventually succeeds exactly once, and
+//      identical requests get identical responses across the whole run
+//      (restarts and hot reloads included);
+//   2. the client-observed failure rate stays under --max_error_rate;
+//   3. the scraped `metrics` exposition stays lint-clean and
+//      serve_requests is monotone within each server incarnation;
+//   4. when a kill/restart is induced, the circuit breaker opens during
+//      the outage and is closed again by the end of the run;
+//   5. (optional) p99 latency over the final quarter of successes is
+//      back under --recovered_p99_ms once the breakers re-close.
+//
+// Exit code 0 iff every invariant held. POSIX-only, like the transport.
+
+#include <cstdio>
+#include <string>
+
+#include "util/flags.h"
+
+#if !defined(__unix__) && !defined(__APPLE__)
+
+int main() {
+  std::fprintf(stderr, "serve_chaos requires a POSIX host\n");
+  return 0;
+}
+
+#else
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "serve/client.h"
+#include "serve/transport.h"
+#include "util/string_util.h"
+
+namespace {
+
+using prefcover::FlagParser;
+using prefcover::Status;
+using prefcover::serve::ClientCounters;
+using prefcover::serve::ConnectTcp;
+using prefcover::serve::ResilientClient;
+using prefcover::serve::ResilientClientOptions;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ChaosConfig {
+  std::string server_bin;
+  std::string index;
+  std::string failpoints;
+  int port = 0;
+  int clients = 4;
+  int requests = 200;
+  int max_node = 512;
+  int pace_ms = 0;
+  int kill_after_ms = 0;
+  int restart_after_ms = 500;
+  bool reload_mid_run = false;
+  int breaker_threshold = 3;
+  int breaker_cooldown_ms = 100;
+  int max_attempts = 4;
+  int request_timeout_ms = 2000;
+  uint64_t seed = 1;
+  int64_t soak_deadline_ms = 120000;
+  double max_error_rate = 0.75;
+  double recovered_p99_ms = 0.0;
+};
+
+pid_t LaunchServer(const ChaosConfig& config) {
+  pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (!config.failpoints.empty()) {
+    ::setenv("PREFCOVER_FAILPOINTS", config.failpoints.c_str(), 1);
+  }
+  const std::string index_flag = "--index=" + config.index;
+  const std::string port_flag = "--port=" + std::to_string(config.port);
+  ::execl(config.server_bin.c_str(), config.server_bin.c_str(), "serve",
+          index_flag.c_str(), port_flag.c_str(),
+          static_cast<char*>(nullptr));
+  std::fprintf(stderr, "exec %s failed\n", config.server_bin.c_str());
+  ::_exit(127);
+}
+
+// The kernel completes the TCP handshake into the backlog before the
+// server accept()s, so a successful connect means the listener is up —
+// even with net.accept faults armed.
+bool WaitReady(const ChaosConfig& config, int64_t timeout_ms) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  while (NowMs() < deadline) {
+    auto fd = ConnectTcp("127.0.0.1",
+                         static_cast<uint16_t>(config.port), 200);
+    if (fd.ok()) {
+      ::close(*fd);
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+ResilientClientOptions ClientOptions(const ChaosConfig& config,
+                                     uint64_t salt) {
+  ResilientClientOptions options;
+  options.port = static_cast<uint16_t>(config.port);
+  options.request_timeout_ms = config.request_timeout_ms;
+  options.max_attempts = config.max_attempts;
+  options.breaker_threshold = config.breaker_threshold;
+  options.breaker_cooldown_ms = config.breaker_cooldown_ms;
+  options.jitter_seed = config.seed * 1000003ull + salt;
+  return options;
+}
+
+std::string RequestFor(const ChaosConfig& config, int client, int i) {
+  const int node =
+      static_cast<int>((client * 7919 + i * 31) % config.max_node);
+  if (i % 3 == 0) return "covered " + std::to_string(node);
+  return "subs " + std::to_string(node) + " 4";
+}
+
+struct SharedState {
+  std::mutex mu;
+  // Per-request-line canonical response: identical requests must get
+  // identical answers across clients, restarts and reloads.
+  std::map<std::string, std::string> canonical;
+  std::vector<std::pair<int64_t, double>> successes;  // (ms, latency ms)
+  int incarnation = 1;
+  int metric_resets = 0;
+  int lint_failures = 0;
+  int mismatches = 0;
+  uint64_t total_successes = 0;
+  std::atomic<bool> clients_done{false};
+  std::atomic<bool> aborted{false};
+};
+
+void ClientThread(const ChaosConfig& config, int id, SharedState* shared,
+                  ClientCounters* out_counters, bool* breaker_reclosed) {
+  ResilientClient client(
+      ClientOptions(config, 17u + static_cast<uint64_t>(id)));
+  const int64_t soak_deadline = NowMs() + config.soak_deadline_ms;
+  for (int i = 0; i < config.requests; ++i) {
+    if (config.pace_ms > 0 && i > 0) {
+      // Pacing stretches the stream so an induced mid-run outage lands
+      // on in-flight traffic instead of after the last request.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.pace_ms));
+    }
+    const std::string request = RequestFor(config, id, i);
+    bool done = false;
+    while (!done && NowMs() < soak_deadline &&
+           !shared->aborted.load(std::memory_order_relaxed)) {
+      const int64_t start = NowMs();
+      auto response = client.Call(request);
+      if (response.ok()) {
+        const int64_t end = NowMs();
+        std::lock_guard<std::mutex> lock(shared->mu);
+        ++shared->total_successes;
+        shared->successes.emplace_back(end,
+                                       static_cast<double>(end - start));
+        auto [it, inserted] =
+            shared->canonical.emplace(request, *response);
+        if (!inserted && it->second != *response) {
+          ++shared->mismatches;
+          std::fprintf(stderr,
+                       "[chaos] response mismatch for '%s':\n  first: "
+                       "%s\n  now:   %s\n",
+                       request.c_str(), it->second.c_str(),
+                       response->c_str());
+        }
+        done = true;
+      } else {
+        // Breaker fast-fails return instantly; pause so the cooldown can
+        // elapse instead of spinning.
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    if (!done) {
+      shared->aborted.store(true, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "[chaos] client %d gave up on '%s' (soak deadline)\n",
+                   id, request.c_str());
+      break;
+    }
+  }
+  *out_counters = client.counters();
+  *breaker_reclosed = !client.breaker_open();
+}
+
+void ScraperThread(const ChaosConfig& config, SharedState* shared) {
+  ResilientClient client(ClientOptions(config, 999));
+  double last_requests = -1.0;
+  int last_incarnation = 0;
+  while (!shared->clients_done.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    auto text = client.Call("metrics");
+    if (!text.ok()) continue;  // outage window; clients cover retries
+    auto lint = prefcover::obs::LintPrometheusText(*text);
+    double requests = 0.0;
+    const bool found = prefcover::obs::FindPrometheusValue(
+        *text, "serve_requests", &requests);
+    std::lock_guard<std::mutex> lock(shared->mu);
+    if (!lint.ok) {
+      ++shared->lint_failures;
+      std::fprintf(stderr, "[chaos] metrics lint: %s\n",
+                   lint.message.c_str());
+    }
+    if (found) {
+      if (requests < last_requests &&
+          shared->incarnation == last_incarnation) {
+        ++shared->metric_resets;
+        std::fprintf(
+            stderr,
+            "[chaos] serve_requests went backwards (%.0f -> %.0f) "
+            "within incarnation %d\n",
+            last_requests, requests, shared->incarnation);
+      }
+      last_requests = requests;
+      last_incarnation = shared->incarnation;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "serve_chaos: fault-injected soak of prefcover serve --port; exits "
+      "0 iff every reliability invariant held (see file header)");
+  flags.AddString("server_bin", "", "path to the prefcover binary");
+  flags.AddString("index", "", "PCSIDX01 index file to serve");
+  flags.AddString("failpoints", "",
+                  "PREFCOVER_FAILPOINTS spec exported to the server, "
+                  "e.g. net.read=error(0.02,7);net.write=error(0.02,11)");
+  flags.AddInt("port", 0, "TCP port; 0 derives one from the pid");
+  flags.AddInt("clients", 4, "client threads");
+  flags.AddInt("requests", 200, "requests per client");
+  flags.AddInt("max_node", 512, "request node ids are drawn mod this");
+  flags.AddInt("pace_ms", 0,
+               "sleep between a client's requests, stretching the soak "
+               "across the induced outage; 0 = closed loop");
+  flags.AddInt("kill_after_ms", 0,
+               "SIGKILL the server this long into the run; 0 = never");
+  flags.AddInt("restart_after_ms", 500,
+               "restart delay after the induced kill");
+  flags.AddBool("reload_mid_run", false,
+                "issue a hot `reload <index>` between kill and the end");
+  flags.AddInt("breaker_threshold", 3,
+               "client breaker threshold (consecutive failures)");
+  flags.AddInt("breaker_cooldown_ms", 100, "client breaker cooldown");
+  flags.AddInt("max_attempts", 4, "client attempts per Call");
+  flags.AddInt("request_timeout_ms", 2000, "client per-request timeout");
+  flags.AddInt("seed", 1, "base jitter seed (runs replay per seed)");
+  flags.AddInt("soak_deadline_ms", 120000,
+               "give up (and fail) if the soak runs longer than this");
+  flags.AddDouble("max_error_rate", 0.75,
+                  "max fraction of Call() invocations that may fail");
+  flags.AddDouble("recovered_p99_ms", 0.0,
+                  "p99 bound over the final quarter of successes; 0 = "
+                  "skip the check");
+  Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    return parsed.code() == prefcover::StatusCode::kOutOfRange ? 0 : 1;
+  }
+
+  ChaosConfig config;
+  config.server_bin = flags.GetString("server_bin");
+  config.index = flags.GetString("index");
+  config.failpoints = flags.GetString("failpoints");
+  config.port = static_cast<int>(flags.GetInt("port"));
+  config.clients = static_cast<int>(flags.GetInt("clients"));
+  config.requests = static_cast<int>(flags.GetInt("requests"));
+  config.max_node = static_cast<int>(flags.GetInt("max_node"));
+  config.pace_ms = static_cast<int>(flags.GetInt("pace_ms"));
+  config.kill_after_ms = static_cast<int>(flags.GetInt("kill_after_ms"));
+  config.restart_after_ms =
+      static_cast<int>(flags.GetInt("restart_after_ms"));
+  config.reload_mid_run = flags.GetBool("reload_mid_run");
+  config.breaker_threshold =
+      static_cast<int>(flags.GetInt("breaker_threshold"));
+  config.breaker_cooldown_ms =
+      static_cast<int>(flags.GetInt("breaker_cooldown_ms"));
+  config.max_attempts = static_cast<int>(flags.GetInt("max_attempts"));
+  config.request_timeout_ms =
+      static_cast<int>(flags.GetInt("request_timeout_ms"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  config.soak_deadline_ms = flags.GetInt("soak_deadline_ms");
+  config.max_error_rate = flags.GetDouble("max_error_rate");
+  config.recovered_p99_ms = flags.GetDouble("recovered_p99_ms");
+  if (config.server_bin.empty() || config.index.empty()) {
+    std::fprintf(stderr, "--server_bin and --index are required\n");
+    return 1;
+  }
+  if (config.port == 0) {
+    config.port = 20000 + static_cast<int>(::getpid() % 10000);
+  }
+
+  pid_t server = LaunchServer(config);
+  if (server < 0) {
+    std::fprintf(stderr, "fork failed\n");
+    return 1;
+  }
+  if (!WaitReady(config, 15000)) {
+    std::fprintf(stderr, "server never became ready on port %d\n",
+                 config.port);
+    ::kill(server, SIGKILL);
+    ::waitpid(server, nullptr, 0);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[chaos] server pid %d on port %d, faults='%s', "
+               "%d clients x %d requests, kill_after=%dms\n",
+               static_cast<int>(server), config.port,
+               config.failpoints.c_str(), config.clients, config.requests,
+               config.kill_after_ms);
+
+  SharedState shared;
+  const size_t n_clients = static_cast<size_t>(config.clients);
+  std::vector<ClientCounters> counters(n_clients);
+  std::vector<char> reclosed(n_clients, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(n_clients);
+  for (size_t c = 0; c < n_clients; ++c) {
+    threads.emplace_back([&, c] {
+      bool closed = false;
+      ClientThread(config, static_cast<int>(c), &shared, &counters[c],
+                   &closed);
+      reclosed[c] = closed ? 1 : 0;
+    });
+  }
+  std::thread scraper([&] { ScraperThread(config, &shared); });
+
+  // Supervisor: the induced outage and optional hot reload.
+  bool killed = false;
+  if (config.kill_after_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.kill_after_ms));
+    std::fprintf(stderr, "[chaos] SIGKILL server pid %d\n",
+                 static_cast<int>(server));
+    ::kill(server, SIGKILL);
+    ::waitpid(server, nullptr, 0);
+    killed = true;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config.restart_after_ms));
+    server = LaunchServer(config);
+    if (server < 0 || !WaitReady(config, 15000)) {
+      std::fprintf(stderr, "[chaos] restart failed\n");
+      shared.aborted.store(true, std::memory_order_relaxed);
+    } else {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      ++shared.incarnation;
+      std::fprintf(stderr, "[chaos] server restarted, pid %d\n",
+                   static_cast<int>(server));
+    }
+  }
+  if (config.reload_mid_run &&
+      !shared.aborted.load(std::memory_order_relaxed)) {
+    // `reload` is not retried by the client (non-idempotent verb), but
+    // re-issuing a reload of the SAME file is safe, so the harness may
+    // outer-retry it through injected faults.
+    ResilientClient control(ClientOptions(config, 424242));
+    const std::string reload_line = "reload " + config.index;
+    const int64_t deadline = NowMs() + 10000;
+    while (NowMs() < deadline) {
+      auto response = control.Call(reload_line);
+      if (response.ok() && response->rfind("OK reload", 0) == 0) {
+        std::fprintf(stderr, "[chaos] hot reload applied: %s\n",
+                     response->c_str());
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  for (auto& thread : threads) thread.join();
+  shared.clients_done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  // Clean shutdown; best-effort (the run's invariants are already
+  // decided).
+  {
+    ResilientClient control(ClientOptions(config, 31337));
+    (void)control.Call("shutdown");
+  }
+  int status = 0;
+  if (::waitpid(server, &status, WNOHANG) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    if (::waitpid(server, &status, WNOHANG) == 0) {
+      ::kill(server, SIGKILL);
+      ::waitpid(server, &status, 0);
+    }
+  }
+
+  // ---- Verdict ----------------------------------------------------
+  ClientCounters total;
+  for (const auto& c : counters) {
+    total.requests += c.requests;
+    total.attempts += c.attempts;
+    total.retries += c.retries;
+    total.reconnects += c.reconnects;
+    total.timeouts += c.timeouts;
+    total.failures += c.failures;
+    total.breaker_opens += c.breaker_opens;
+    total.breaker_probes += c.breaker_probes;
+    total.breaker_fastfails += c.breaker_fastfails;
+  }
+  const uint64_t expected = static_cast<uint64_t>(config.clients) *
+                            static_cast<uint64_t>(config.requests);
+  const double error_rate =
+      total.requests == 0
+          ? 0.0
+          : static_cast<double>(total.failures) /
+                static_cast<double>(total.requests);
+
+  double recovery_gap_ms = 0.0;
+  double final_p99_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    std::sort(shared.successes.begin(), shared.successes.end());
+    for (size_t i = 1; i < shared.successes.size(); ++i) {
+      recovery_gap_ms = std::max(
+          recovery_gap_ms, static_cast<double>(shared.successes[i].first -
+                                               shared.successes[i - 1].first));
+    }
+    const size_t n = shared.successes.size();
+    if (n >= 8) {
+      std::vector<double> tail;
+      for (size_t i = n - n / 4; i < n; ++i) {
+        tail.push_back(shared.successes[i].second);
+      }
+      std::sort(tail.begin(), tail.end());
+      final_p99_ms = tail[static_cast<size_t>(
+          static_cast<double>(tail.size() - 1) * 0.99)];
+    }
+  }
+
+  std::fprintf(
+      stderr,
+      "[chaos] successes=%llu/%llu calls=%llu attempts=%llu retries=%llu "
+      "reconnects=%llu timeouts=%llu failures=%llu breaker_opens=%llu "
+      "probes=%llu fastfails=%llu error_rate=%.3f max_success_gap=%.0fms "
+      "final_p99=%.1fms\n",
+      static_cast<unsigned long long>(shared.total_successes),
+      static_cast<unsigned long long>(expected),
+      static_cast<unsigned long long>(total.requests),
+      static_cast<unsigned long long>(total.attempts),
+      static_cast<unsigned long long>(total.retries),
+      static_cast<unsigned long long>(total.reconnects),
+      static_cast<unsigned long long>(total.timeouts),
+      static_cast<unsigned long long>(total.failures),
+      static_cast<unsigned long long>(total.breaker_opens),
+      static_cast<unsigned long long>(total.breaker_probes),
+      static_cast<unsigned long long>(total.breaker_fastfails),
+      error_rate, recovery_gap_ms, final_p99_ms);
+
+  int verdict = 0;
+  auto fail = [&verdict](const char* what) {
+    std::fprintf(stderr, "[chaos] FAIL: %s\n", what);
+    verdict = 1;
+  };
+  if (shared.aborted.load(std::memory_order_relaxed)) {
+    fail("soak aborted before completing");
+  }
+  if (shared.total_successes != expected) {
+    fail("not every request completed exactly once");
+  }
+  if (shared.mismatches != 0) fail("inconsistent responses");
+  if (shared.lint_failures != 0) fail("metrics exposition lint");
+  if (shared.metric_resets != 0) {
+    fail("serve_requests not monotone within an incarnation");
+  }
+  if (error_rate > config.max_error_rate) fail("error rate bound");
+  if (killed) {
+    if (total.breaker_opens == 0) {
+      fail("induced outage never opened a breaker");
+    }
+    for (size_t c = 0; c < reclosed.size(); ++c) {
+      if (!reclosed[c]) {
+        fail("a client breaker was still open at the end");
+        break;
+      }
+    }
+  }
+  if (config.recovered_p99_ms > 0.0 && final_p99_ms > 0.0 &&
+      final_p99_ms > config.recovered_p99_ms) {
+    fail("final-quarter p99 above the recovery bound");
+  }
+  std::fprintf(stderr, "[chaos] %s\n", verdict == 0 ? "PASS" : "FAIL");
+  return verdict;
+}
+
+#endif  // POSIX

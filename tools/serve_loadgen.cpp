@@ -18,20 +18,32 @@
 // (a response that is neither OK, deadline-cancelled, nor load-shed)
 // occurs — a valid generated stream must never produce one.
 //
+// TCP mode: --connect=host:port drives a live `prefcover serve --port`
+// process through the ResilientClient (timeouts, retry/backoff,
+// reconnect, circuit breaker) instead of an in-process engine, and
+// additionally reports retry/timeout/reconnect counts and the longest
+// success gap (time_to_recovery_ms — how long the stream was dark across
+// an induced server restart). --assert_max_error_rate turns the observed
+// failure rate into the exit status.
+//
 // Methodology notes live in SERVING.md ("Latency methodology").
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/baseline_solvers.h"
+#include "serve/client.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -101,6 +113,173 @@ struct LiveScrape {
   std::string first_error;      // first lint/parse failure, if any
 };
 
+#if defined(__unix__) || defined(__APPLE__)
+
+// Closed-loop TCP mode against a live server. Returns the process exit
+// code.
+int RunTcpLoadgen(const FlagParser& flags) {
+  using prefcover::serve::ClientCounters;
+  using prefcover::serve::ResilientClient;
+  using prefcover::serve::ResilientClientOptions;
+
+  const std::string target = flags.GetString("connect");
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants host:port, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  ResilientClientOptions base;
+  base.host = target.substr(0, colon);
+  base.port = static_cast<uint16_t>(
+      std::atoi(target.substr(colon + 1).c_str()));
+  base.request_timeout_ms =
+      static_cast<int>(flags.GetInt("request_timeout_ms"));
+  base.max_attempts = static_cast<int>(flags.GetInt("max_attempts"));
+  base.breaker_threshold =
+      static_cast<int>(flags.GetInt("breaker_threshold"));
+
+  const uint32_t nodes =
+      static_cast<uint32_t>(flags.GetInt("connect_nodes"));
+  const double subs_frac = flags.GetDouble("subs_frac");
+  const double covered_frac = flags.GetDouble("covered_frac");
+  const uint32_t top_j = static_cast<uint32_t>(flags.GetInt("top_j"));
+  const double zipf_s = flags.GetDouble("zipf_s");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const int64_t duration_ms =
+      static_cast<int64_t>(flags.GetDouble("duration_s") * 1e3);
+  const size_t n_conns =
+      std::max<size_t>(1, static_cast<size_t>(flags.GetInt("connections")));
+
+  auto now_ms = [] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+
+  struct ConnResult {
+    ClientCounters counters;
+    std::vector<std::pair<int64_t, double>> successes;  // (ms, us)
+    uint64_t protocol_errors = 0;
+  };
+  std::vector<ConnResult> results(n_conns);
+  std::vector<std::thread> threads;
+  threads.reserve(n_conns);
+  const int64_t start_ms = now_ms();
+  for (size_t c = 0; c < n_conns; ++c) {
+    threads.emplace_back([&, c] {
+      ResilientClientOptions options = base;
+      options.jitter_seed = seed * 1000003ull + c;
+      ResilientClient client(options);
+      Rng rng(seed + 77ull * c);
+      ZipfDistribution zipf(nodes, zipf_s);
+      ConnResult& out = results[c];
+      while (now_ms() - start_ms < duration_ms) {
+        std::string line;
+        const double which = rng.NextDouble();
+        if (which < subs_frac) {
+          line = "subs " + std::to_string(zipf.Sample(&rng)) + " " +
+                 std::to_string(top_j);
+        } else if (which < subs_frac + covered_frac) {
+          line = "covered " + std::to_string(zipf.Sample(&rng));
+        } else {
+          line = "coverk " + std::to_string(rng.NextBounded(nodes + 1));
+        }
+        const int64_t sent = now_ms();
+        auto response = client.Call(line);
+        if (response.ok()) {
+          if (response->rfind("OK", 0) != 0 &&
+              response->rfind("ERR", 0) != 0) {
+            ++out.protocol_errors;
+          }
+          const int64_t done = now_ms();
+          out.successes.emplace_back(
+              done, static_cast<double>(done - sent) * 1000.0);
+        } else if (client.breaker_open()) {
+          // Fast-fail window; let the cooldown elapse instead of
+          // spinning on FailedPrecondition.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      }
+      out.counters = client.counters();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed_s =
+      static_cast<double>(now_ms() - start_ms) / 1e3;
+
+  ClientCounters total;
+  uint64_t protocol_errors = 0;
+  std::vector<std::pair<int64_t, double>> successes;
+  for (const auto& r : results) {
+    total.requests += r.counters.requests;
+    total.attempts += r.counters.attempts;
+    total.retries += r.counters.retries;
+    total.reconnects += r.counters.reconnects;
+    total.timeouts += r.counters.timeouts;
+    total.failures += r.counters.failures;
+    total.breaker_opens += r.counters.breaker_opens;
+    total.breaker_probes += r.counters.breaker_probes;
+    protocol_errors += r.protocol_errors;
+    successes.insert(successes.end(), r.successes.begin(),
+                     r.successes.end());
+  }
+  std::sort(successes.begin(), successes.end());
+  // The longest dark stretch of the whole stream: across an induced
+  // server restart this is the client-observed time to recovery.
+  double recovery_ms = 0.0;
+  for (size_t i = 1; i < successes.size(); ++i) {
+    recovery_ms = std::max(
+        recovery_ms,
+        static_cast<double>(successes[i].first - successes[i - 1].first));
+  }
+  QuantileSketch latency_us;
+  latency_us.Reserve(successes.size());
+  for (const auto& s : successes) latency_us.Add(s.second);
+  const double error_rate =
+      total.requests == 0
+          ? 0.0
+          : static_cast<double>(total.failures) /
+                static_cast<double>(total.requests);
+
+  std::printf(
+      "{\"mode\": \"tcp\", \"requests\": %" PRIu64 ", \"ok\": %zu"
+      ", \"failures\": %" PRIu64 ", \"protocol_errors\": %" PRIu64
+      ", \"attempts\": %" PRIu64 ", \"retries\": %" PRIu64
+      ", \"timeouts\": %" PRIu64 ", \"reconnects\": %" PRIu64
+      ", \"breaker_opens\": %" PRIu64 ", \"error_rate\": %.4f"
+      ", \"elapsed_s\": %.3f, \"qps\": %.0f"
+      ", \"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f"
+      ", \"time_to_recovery_ms\": %.0f}\n",
+      total.requests, successes.size(), total.failures, protocol_errors,
+      total.attempts, total.retries, total.timeouts, total.reconnects,
+      total.breaker_opens, error_rate, elapsed_s,
+      elapsed_s > 0 ? static_cast<double>(successes.size()) / elapsed_s
+                    : 0.0,
+      latency_us.Quantile(0.50), latency_us.Quantile(0.95),
+      latency_us.Quantile(0.99), recovery_ms);
+
+  bool failed = false;
+  if (protocol_errors > 0) {
+    std::fprintf(stderr, "FAIL: %" PRIu64 " protocol errors\n",
+                 protocol_errors);
+    failed = true;
+  }
+  const double max_error_rate = flags.GetDouble("assert_max_error_rate");
+  if (max_error_rate >= 0.0 && error_rate > max_error_rate) {
+    std::fprintf(stderr, "FAIL: error rate %.4f above bound %.4f\n",
+                 error_rate, max_error_rate);
+    failed = true;
+  }
+  if (successes.empty()) {
+    std::fprintf(stderr, "FAIL: no request ever succeeded\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+#endif  // __unix__ || __APPLE__
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,10 +319,34 @@ int main(int argc, char** argv) {
       .AddDouble("live_p99_tolerance", 0.20,
                  "allowed relative slack between the scraped engine p99 "
                  "and the client-observed p99 (on top of the owning "
-                 "bucket's resolution)");
+                 "bucket's resolution)")
+      .AddString("connect", "",
+                 "host:port of a live `prefcover serve --port` process; "
+                 "drives it over TCP through the resilient client "
+                 "instead of an in-process engine")
+      .AddInt("connections", 4, "client threads for --connect")
+      .AddInt("connect_nodes", 512,
+              "node-id range the --connect stream draws from")
+      .AddInt("request_timeout_ms", 2000,
+              "per-request timeout for --connect")
+      .AddInt("max_attempts", 4,
+              "attempts per request for --connect (idempotent only)")
+      .AddInt("breaker_threshold", 8,
+              "client circuit-breaker threshold for --connect")
+      .AddDouble("assert_max_error_rate", -1.0,
+                 "fail when the --connect failure rate exceeds this "
+                 "(negative = off)");
   Status parse_status = flags.Parse(argc, argv);
   if (!parse_status.ok()) {
     return parse_status.code() == StatusCode::kOutOfRange ? 0 : 2;
+  }
+  if (!flags.GetString("connect").empty()) {
+#if defined(__unix__) || defined(__APPLE__)
+    return RunTcpLoadgen(flags);
+#else
+    std::fprintf(stderr, "--connect requires a POSIX host\n");
+    return 2;
+#endif
   }
   if (flags.GetString("index").empty() ==
       flags.GetString("synth_tier").empty()) {
