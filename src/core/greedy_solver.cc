@@ -26,34 +26,14 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
-// Word-parallel candidate enumeration: visits every node that is neither
-// retained nor excluded, in increasing id order (the order the plain
-// scan's strict-> tie-break depends on), testing 64 nodes per word load
-// instead of two bit probes per node.
+// Word-parallel candidate enumeration over the full node range (the
+// shard-ranged generalization lives in core/candidate_evaluator.h, shared
+// with the distributed shard engine).
 template <typename Fn>
 void ForEachCandidate(const Bitset& retained, const Bitset& excluded,
                       Fn&& fn) {
-  const size_t n = retained.size();
-  for (size_t w = 0; w < retained.NumWords(); ++w) {
-    uint64_t live = ~(retained.WordAt(w) | excluded.WordAt(w));
-    const size_t base = w * Bitset::kWordBits;
-    if (n - base < Bitset::kWordBits) {  // ghost bits beyond n
-      live &= (1ULL << (n - base)) - 1;
-    }
-    if (live == ~0ULL) {
-      // Full word (the common case before many selections): skip the
-      // bit-extraction dance entirely.
-      for (size_t b = 0; b < Bitset::kWordBits; ++b) {
-        fn(static_cast<NodeId>(base + b));
-      }
-      continue;
-    }
-    while (live != 0) {
-      const int b = __builtin_ctzll(live);
-      live &= live - 1;
-      fn(static_cast<NodeId>(base + static_cast<size_t>(b)));
-    }
-  }
+  ForEachCandidateInRange(retained, excluded, 0, retained.size(),
+                          std::forward<Fn>(fn));
 }
 
 // Working set shared by the four executions: the incremental cover state,
@@ -417,149 +397,16 @@ Result<Solution> SolveGreedyParallel(const PreferenceGraph& graph, size_t k,
 
 namespace {
 
-// Shared by the two CELF executions.
-struct HeapEntry {
-  double gain;
-  NodeId node;
-  // Selection round the gain was computed in; stale entries are
-  // re-evaluated before they can win.
-  uint32_t round;
-};
-struct Worse {
-  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-    if (a.gain != b.gain) return a.gain < b.gain;
-    return a.node > b.node;  // smaller id wins ties, as in plain greedy
-  }
-};
-using LazyHeap =
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, Worse>;
-
-// --- Threshold-seeded CELF heap ------------------------------------------
-//
-// Seeding the heap with all n candidates costs an O(n) make_heap whose
-// constant dominates large lazy solves (CELF rarely consumes more than a
-// few thousand entries for realistic k), so the seed keeps only the best
-// `cap` candidates by the heap's exact (gain, id) order, remembered
-// together with the cut threshold theta — the worst kept entry.
-//
-// Exactness: gains only decrease as the retained set grows
-// (submodularity) and ids never change, so a cut candidate's (gain, id)
-// pair stays strictly below theta forever (theta itself was kept). While
-// the selection front stays at or above theta the cut pool cannot hold
-// the argmax; the moment it might — the best fresh pair drops below
-// theta, or the kept pool drains — the solver refills: one batch gain
-// sweep over every candidate and a fresh top-`cap` rebuild, after which
-// the new front again dominates the new cut. Refills are counted in
-// solver.seed_refills and their sweeps in solver.gain_evaluations, so
-// the pruning telemetry stays honest.
-struct SeededHeap {
-  LazyHeap heap;
-  // Worst entry kept by the last seed/refill; only meaningful when
-  // `truncated` (its round field is never consulted).
-  HeapEntry theta{0.0, 0, 0};
-  bool truncated = false;  // candidates were cut at theta
-};
-
-// Streams the candidate set over batch-computed `gains`, keeping the top
-// `cap` entries by the heap order. Collect-and-compact: candidates above
-// the running threshold are appended to a 2*cap buffer which is cut back
-// to the exact top `cap` (nth_element by pair order) whenever it fills —
-// O(1) amortized per survivor instead of a push_heap, and one predictable
-// compare for the common below-threshold case. (gain, id) pairs are
-// unique, so the selected set — and therefore every downstream refill
-// decision — does not depend on nth_element's implementation. Tallies
-// one gain evaluation per candidate (the batch sweep computed them all).
-SeededHeap BuildSeededHeap(std::span<const double> gains, size_t cap,
-                           uint32_t round, GreedyRun* run) {
-  const auto best_first = [](const HeapEntry& a, const HeapEntry& b) {
-    return Worse()(b, a);
-  };
-  std::vector<HeapEntry> keep;
-  keep.reserve(2 * cap);
-  size_t candidates = 0;
-  double theta_gain = kNegInf;  // nothing is cut until the first compact
-  NodeId theta_node = 0;
-  const auto compact = [&] {
-    std::nth_element(keep.begin(),
-                     keep.begin() + static_cast<ptrdiff_t>(cap - 1),
-                     keep.end(), best_first);
-    keep.resize(cap);
-    theta_gain = keep[cap - 1].gain;
-    theta_node = keep[cap - 1].node;
-  };
-  ForEachCandidate(run->state.retained(), run->excluded, [&](NodeId v) {
-    ++candidates;
-    ++run->pending_gain_evals;
-    const double g = gains[v];
-    if (g < theta_gain || (g == theta_gain && v > theta_node)) return;
-    keep.push_back({g, v, round});
-    if (keep.size() == 2 * cap) compact();
-  });
-  if (keep.size() > cap) compact();
-  SeededHeap out;
-  out.truncated = candidates > keep.size();
-  if (out.truncated) out.theta = {theta_gain, theta_node, round};
-  out.heap = LazyHeap(Worse(), std::move(keep));
-  return out;
-}
-
-// Bound-ordered seed for the kernel tiers: instead of a full batch gain
-// sweep, walk the graph's precomputed descending static-gain-bound order
-// (PreferenceGraph::NodesByStaticGainBound) evaluating exact gains per
-// node, and STOP once the running threshold theta exceeds every remaining
-// bound — Gain(v) <= bound(v) against any retained set, so no unvisited
-// node can belong to the top `cap`. On skewed catalogs this touches a few
-// thousand nodes instead of every in-edge in the graph, and because the
-// bounds are static the same early exit applies to every refill.
-//
-// theta here is the last compact's cut (a lower bound on the running
-// exact threshold), so the stop test is conservative: it can only visit
-// extra nodes, never skip a needed one. The kept set is the exact top
-// `cap` by (gain, id) — identical to BuildSeededHeap's — so the scalar
-// tier (which seeds via the full sweep, staying the literal reference)
-// and the kernel tiers select identical node sequences.
-SeededHeap BuildSeededHeapBounded(size_t cap, uint32_t round,
-                                  GreedyRun* run) {
-  const auto best_first = [](const HeapEntry& a, const HeapEntry& b) {
-    return Worse()(b, a);
-  };
-  const PreferenceGraph& graph = run->state.graph();
-  const std::span<const double> bounds = graph.StaticGainBounds();
-  const Bitset& retained = run->state.retained();
-  std::vector<HeapEntry> keep;
-  keep.reserve(2 * cap);
-  double theta_gain = kNegInf;  // nothing is cut until the first compact
-  NodeId theta_node = 0;
-  const auto compact = [&] {
-    std::nth_element(keep.begin(),
-                     keep.begin() + static_cast<ptrdiff_t>(cap - 1),
-                     keep.end(), best_first);
-    keep.resize(cap);
-    theta_gain = keep[cap - 1].gain;
-    theta_node = keep[cap - 1].node;
-  };
-  for (const NodeId v : graph.NodesByStaticGainBound()) {
-    // Strict: a bound that ties theta can still hide a gain that ties
-    // theta with a smaller id, which would outrank it in pair order.
-    if (bounds[v] < theta_gain) break;
-    if (retained.Test(v) || run->excluded.Test(v)) continue;
-    const double g = run->state.GainOf(v);
-    ++run->pending_gain_evals;
-    if (g < theta_gain || (g == theta_gain && v > theta_node)) continue;
-    keep.push_back({g, v, round});
-    if (keep.size() == 2 * cap) compact();
-  }
-  if (keep.size() > cap) compact();
-  SeededHeap out;
-  // Candidates below the cut — whether filtered or never visited — were
-  // truncated exactly when fewer entries were kept than candidates exist.
-  const size_t candidates =
-      graph.NumNodes() - run->state.NumRetained() - run->num_excluded;
-  out.truncated = candidates > keep.size();
-  if (out.truncated) out.theta = {theta_gain, theta_node, round};
-  out.heap = LazyHeap(Worse(), std::move(keep));
-  return out;
-}
+// The CELF heap machinery — entries, comparator, the threshold-seeded
+// heap (exactness argument: see the comment blocks there) and its two
+// builders — lives in core/candidate_evaluator.{h,cc} since the solver
+// loop was refactored behind CandidateEvaluator: the distributed shard
+// engine seeds with the exact same code. These aliases keep the batched
+// lazy-parallel execution below reading as before.
+using HeapEntry = CelfHeapEntry;
+using Worse = CelfWorse;
+using LazyHeap = CelfHeap;
+using SeededHeap = CelfSeededHeap;
 
 constexpr size_t kDefaultSeedHeapCapacity = 1024;
 
@@ -572,85 +419,85 @@ size_t EffectiveSeedCapacity(const GreedyOptions& options, size_t n) {
 
 }  // namespace
 
-Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
-                                 const GreedyOptions& options) {
+namespace {
+
+// Folds an evaluator's drained tallies into the run's pending counters
+// (flushed by the next Select / FinishSolution, preserving the per-round
+// trace deltas the serial executions always emitted). seed_refills has
+// no pending slot — it was always incremented directly.
+void ApplyEvaluatorTally(EvaluatorCounters* tally, GreedyRun* run) {
+  run->pending_gain_evals += tally->gain_evaluations;
+  run->pending_heap_pops += tally->heap_pops;
+  run->pending_stale_refreshes += tally->stale_refreshes;
+  if (tally->seed_refills > 0) {
+    run->seed_refills->Increment(tally->seed_refills);
+  }
+  *tally = EvaluatorCounters();
+}
+
+}  // namespace
+
+Result<Solution> SolveGreedyWithEvaluator(
+    const PreferenceGraph& graph, size_t k, const GreedyOptions& options,
+    const CandidateEvaluatorFactory& factory, const char* algorithm) {
   PREFCOVER_RETURN_NOT_OK(ValidateInstance(graph, k, options.variant));
   Stopwatch timer;
   obs::Span solve_span("solver.solve", "solver");
-  solve_span.Arg("algorithm", "greedy-lazy");
+  solve_span.Arg("algorithm", algorithm);
   solve_span.Arg("k", static_cast<uint64_t>(k));
-  const size_t n = graph.NumNodes();
   GreedyRun run(&graph, options.variant);
   PREFCOVER_RETURN_NOT_OK(InitGreedyRun(graph, k, options, &run));
   solve_span.Arg("simd", SimdLevelName(run.state.simd_level()).data());
 
-  const size_t seed_cap = EffectiveSeedCapacity(options, n);
-  // The kernel tiers seed via the bound-ordered early-exit scan; the
-  // scalar tier stays the literal reference — a full batch gain sweep
-  // (values at retained/excluded positions are discarded by the
-  // candidate scan) cut to the top seed_cap. Both build the exact same
-  // SeededHeap, so the tiers select identical node sequences.
-  const bool bounded_seed = run.state.simd_level() != SimdLevel::kScalar;
-  std::unique_ptr<double[]> gains_buf;
-  std::span<double> gains;
-  if (!bounded_seed) {
-    // Uninitialized on purpose — every sweep overwrites [0, n) first.
-    gains_buf = std::make_unique_for_overwrite<double[]>(n);
-    gains = std::span<double>(gains_buf.get(), n);
-  }
-  SeededHeap seeded;
-  const auto reseed = [&](uint32_t seed_round) {
-    obs::Span seed_span("solver.init_heap", "solver");
-    seed_span.Arg("n", static_cast<uint64_t>(n));
-    if (bounded_seed) {
-      seeded = BuildSeededHeapBounded(seed_cap, seed_round, &run);
-    } else {
-      run.state.GainsInto(0, n, gains);
-      seeded = BuildSeededHeap(gains, seed_cap, seed_round, &run);
-    }
-  };
-  reseed(0);
-  LazyHeap& heap = seeded.heap;
+  EvaluatorContext context;
+  context.graph = &graph;
+  context.state = &run.state;
+  context.excluded = &run.excluded;
+  context.num_excluded = run.num_excluded;
+  context.committed = &run.items;
+  context.k = k;
+  context.options = &options;
+  PREFCOVER_ASSIGN_OR_RETURN(std::unique_ptr<CandidateEvaluator> evaluator,
+                             factory(context));
 
-  uint32_t round = 0;
+  EvaluatorCounters tally;
   run.iteration_timer.Reset();
   while (run.items.size() < k) {
     if (run.ShouldStop()) break;
     if (run.state.cover() >= options.stop_at_cover) break;
-    if (heap.empty()) {
-      if (!seeded.truncated) break;
-      // The kept pool drained; pull the cut candidates back in.
-      run.seed_refills->Increment();
-      reseed(round);
-      continue;
-    }
-    HeapEntry top = heap.top();
-    heap.pop();
-    ++run.pending_heap_pops;
-    if (run.state.IsRetained(top.node)) continue;
-    if (top.round != round) {
-      // Submodularity: the true gain can only be <= the stale value, so
-      // after refreshing, re-inserting preserves heap correctness.
-      top.gain = run.state.GainOf(top.node);
-      top.round = round;
-      ++run.pending_gain_evals;
-      ++run.pending_stale_refreshes;
-      heap.push(top);
-      continue;
-    }
-    if (seeded.truncated && Worse()(top, seeded.theta)) {
-      // The fresh front fell below the seed cut: a cut candidate may now
-      // be the true argmax. Rebuild from a fresh full sweep (top's node
-      // is still a candidate, so the rebuild re-covers it).
-      run.seed_refills->Increment();
-      reseed(round);
-      continue;
-    }
-    run.Select(top.node);
-    ++round;
+    PREFCOVER_ASSIGN_OR_RETURN(CandidateProposal best,
+                               evaluator->BestCandidate());
+    // Drained before Select so the round's work lands in this round's
+    // flush (and trace deltas), exactly as the inline loop tallied.
+    evaluator->DrainCounters(&tally);
+    ApplyEvaluatorTally(&tally, &run);
+    if (!best.found) break;  // every candidate retained or excluded
+    run.Select(best.node);
+    PREFCOVER_RETURN_NOT_OK(evaluator->CommitWinner(best.node));
   }
-  return FinishSolution(std::move(run), options.variant, "greedy-lazy",
+  // Work done while discovering exhaustion (or after the last commit)
+  // still belongs to the run's totals.
+  evaluator->DrainCounters(&tally);
+  ApplyEvaluatorTally(&tally, &run);
+  PREFCOVER_RETURN_NOT_OK(evaluator->Finish(&run.stats));
+  return FinishSolution(std::move(run), options.variant, algorithm,
                         timer.ElapsedSeconds());
+}
+
+Result<Solution> SolveGreedyLazy(const PreferenceGraph& graph, size_t k,
+                                 const GreedyOptions& options) {
+  // The generic driver over the in-process CELF evaluator: the same
+  // threshold-seeded lazy loop this function always ran, now shared
+  // line-for-line with the distributed shard engine
+  // (core/candidate_evaluator.cc).
+  return SolveGreedyWithEvaluator(
+      graph, k, options,
+      [](const EvaluatorContext& context)
+          -> Result<std::unique_ptr<CandidateEvaluator>> {
+        return std::unique_ptr<CandidateEvaluator>(
+            std::make_unique<LazyCandidateEvaluator>(context));
+      },
+      "greedy-lazy");
 }
 
 Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
@@ -694,7 +541,10 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
     obs::Span seed_span("solver.init_heap", "solver");
     seed_span.Arg("n", static_cast<uint64_t>(n));
     if (bounded_seed) {
-      seeded = BuildSeededHeapBounded(seed_cap, seed_round, &run);
+      seeded = BuildCelfSeedBounded(
+          run.state, run.excluded, 0, n, seed_cap, seed_round,
+          n - run.state.NumRetained() - run.num_excluded,
+          &run.pending_gain_evals);
       return;
     }
     constexpr size_t kSeedChunk = 4096;
@@ -706,7 +556,8 @@ Result<Solution> SolveGreedyLazyParallel(const PreferenceGraph& graph,
     });
     run.parallel_batches->Increment();
     run.parallel_items->Increment(n);
-    seeded = BuildSeededHeap(gains, seed_cap, seed_round, &run);
+    seeded = BuildCelfSeed(run.state, run.excluded, 0, n, gains, seed_cap,
+                           seed_round, &run.pending_gain_evals);
   };
   reseed(0);
   LazyHeap& heap = seeded.heap;

@@ -31,9 +31,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/candidate_evaluator.h"
 #include "core/solution.h"
 #include "core/variant.h"
 #include "graph/preference_graph.h"
@@ -140,6 +143,29 @@ Result<Solution> SolveGreedyParallel(
 Result<Solution> SolveGreedyLazy(
     const PreferenceGraph& graph, size_t k,
     const GreedyOptions& options = GreedyOptions());
+
+/// \brief Builds the evaluator a SolveGreedyWithEvaluator run solves
+/// against. Called once, after option validation and prefix seeding, with
+/// a context whose CoverState already reflects any force_include / resume
+/// prefix. Returning an error aborts the solve before any search round.
+using CandidateEvaluatorFactory =
+    std::function<Result<std::unique_ptr<CandidateEvaluator>>(
+        const EvaluatorContext&)>;
+
+/// \brief The generic greedy driver (Algorithm 1's round loop) over a
+/// CandidateEvaluator: per round — cancellation / stop_at_cover checks,
+/// one BestCandidate() argmax, AddNode on the shared state, one
+/// CommitWinner() — with the usual prefix seeding, checkpoint cadence,
+/// telemetry and Solution assembly shared with the other executions.
+///
+/// SolveGreedyLazy is exactly this driver over LazyCandidateEvaluator;
+/// SolveGreedyDistributed (src/dist/) is this driver over the
+/// coordinator-side evaluator. Any evaluator whose BestCandidate returns
+/// the exact (gain, id)-argmax yields the canonical greedy solution,
+/// byte-identical across executions.
+Result<Solution> SolveGreedyWithEvaluator(
+    const PreferenceGraph& graph, size_t k, const GreedyOptions& options,
+    const CandidateEvaluatorFactory& factory, const char* algorithm);
 
 /// \brief Batched-CELF greedy: lazy pruning with the stale re-evaluations
 /// fanned out over `pool` (nullptr degrades to a serial batched loop).

@@ -251,21 +251,25 @@ std::string TimeseriesToJson(const std::vector<MetricsSample>& series) {
     for (size_t c = 0; c < sample.snapshot.counters.size(); ++c) {
       const auto& counter = sample.snapshot.counters[c];
       out += c == 0 ? "" : ", ";
-      out += "\"" + JsonEscape(counter.name) +
-             "\": " + FormatNumber(static_cast<double>(counter.value));
+      out += '"';
+      out += JsonEscape(counter.name);
+      out += "\": " + FormatNumber(static_cast<double>(counter.value));
     }
     out += "}, \"gauges\": {";
     for (size_t g = 0; g < sample.snapshot.gauges.size(); ++g) {
       const auto& gauge = sample.snapshot.gauges[g];
       out += g == 0 ? "" : ", ";
-      out += "\"" + JsonEscape(gauge.name) +
-             "\": " + FormatNumber(static_cast<double>(gauge.value));
+      out += '"';
+      out += JsonEscape(gauge.name);
+      out += "\": " + FormatNumber(static_cast<double>(gauge.value));
     }
     out += "}, \"histograms\": {";
     for (size_t h = 0; h < sample.snapshot.histograms.size(); ++h) {
       const auto& histogram = sample.snapshot.histograms[h];
       out += h == 0 ? "" : ", ";
-      out += "\"" + JsonEscape(histogram.name) + "\": {\"count\": " +
+      out += '"';
+      out += JsonEscape(histogram.name);
+      out += "\": {\"count\": " +
              FormatNumber(static_cast<double>(histogram.total_count)) +
              ", \"sum\": " + FormatNumber(histogram.sum) +
              ", \"p50\": " + FormatNumber(HistogramQuantile(histogram, 0.50)) +
@@ -278,10 +282,11 @@ std::string TimeseriesToJson(const std::vector<MetricsSample>& series) {
       size_t emitted = 0;
       for (const auto& counter : series[i].snapshot.counters) {
         out += emitted++ == 0 ? "" : ", ";
-        out += "\"" + JsonEscape(counter.name) + "\": " +
-               FormatNumber(
-                   CounterRatePerSecond(series[i - 1], series[i],
-                                        counter.name));
+        out += '"';
+        out += JsonEscape(counter.name);
+        out += "\": " + FormatNumber(
+                            CounterRatePerSecond(series[i - 1], series[i],
+                                                 counter.name));
       }
     }
     out += "}}";
@@ -339,11 +344,16 @@ std::string TimeseriesToCsv(const std::vector<MetricsSample>& series) {
         out += ",,,,,";
         continue;
       }
-      out += "," + FormatNumber(static_cast<double>(h->total_count)) +
-             "," + FormatNumber(h->sum) +
-             "," + FormatNumber(HistogramQuantile(*h, 0.50)) +
-             "," + FormatNumber(HistogramQuantile(*h, 0.95)) +
-             "," + FormatNumber(HistogramQuantile(*h, 0.99));
+      out += ',';
+      out += FormatNumber(static_cast<double>(h->total_count));
+      out += ',';
+      out += FormatNumber(h->sum);
+      out += ',';
+      out += FormatNumber(HistogramQuantile(*h, 0.50));
+      out += ',';
+      out += FormatNumber(HistogramQuantile(*h, 0.95));
+      out += ',';
+      out += FormatNumber(HistogramQuantile(*h, 0.99));
     }
     out += "\n";
   }

@@ -127,8 +127,10 @@ Response AnswerOnIndex(const ServingIndex& index, const Request& request) {
           std::min<size_t>(request.top_j, subs.size());
       response.line = "OK subs " + std::to_string(count);
       for (size_t i = 0; i < count; ++i) {
-        response.line += " " + std::to_string(subs.nodes[i]) + ":" +
-                         FormatProbability(subs.weights[i]);
+        response.line += ' ';
+        response.line += std::to_string(subs.nodes[i]);
+        response.line += ':';
+        response.line += FormatProbability(subs.weights[i]);
       }
       return response;
     }

@@ -68,7 +68,7 @@ std::string HandleServeLine(QueryEngine* engine, const std::string& line,
 
 #if defined(__unix__) || defined(__APPLE__)
 
-bool ServeConnectionLoop(QueryEngine* engine, int fd) {
+bool ServeLineSessionLoop(int fd, const LineHandler& handler) {
   static obs::Counter* read_errors =
       obs::MetricsRegistry::Global().GetCounter("serve.net.read_errors");
   static obs::Counter* write_errors =
@@ -105,21 +105,23 @@ bool ServeConnectionLoop(QueryEngine* engine, int fd) {
         }
         continue;
       }
-      if (TrimWhitespace(line.text) == "shutdown") {
-        keep_serving = false;
-        std::string bye = "OK bye\n";
-        (void)WriteFully(fd, bye.data(), bye.size());
-        ::close(fd);
-        return keep_serving;
-      }
-      bool quit = false;
-      std::string response = HandleServeLine(engine, line.text, &quit);
+      // Multiplex framing: untag before the handler, re-tag the reply.
+      uint64_t tag = 0;
+      std::string_view payload;
+      const bool tagged = ParseTaggedLine(line.text, &tag, &payload);
+      const std::string request =
+          tagged ? std::string(payload) : line.text;
+      bool stop_session = false;
+      bool stop_server = false;
+      std::string response = handler(request, &stop_session, &stop_server);
+      if (stop_server) keep_serving = false;
+      if (tagged) response = FormatTaggedLine(tag, response);
       response.push_back('\n');
       if (!WriteFully(fd, response.data(), response.size()).ok()) {
         write_errors->Increment();
-        quit = true;
+        stop_session = true;
       }
-      if (quit) {
+      if (stop_session) {
         ::close(fd);
         return keep_serving;
       }
@@ -127,6 +129,22 @@ bool ServeConnectionLoop(QueryEngine* engine, int fd) {
   }
   ::close(fd);
   return keep_serving;
+}
+
+bool ServeConnectionLoop(QueryEngine* engine, int fd) {
+  return ServeLineSessionLoop(
+      fd, [engine](const std::string& line, bool* stop_session,
+                   bool* stop_server) -> std::string {
+        if (TrimWhitespace(line) == "shutdown") {
+          *stop_session = true;
+          *stop_server = true;
+          return "OK bye";
+        }
+        bool quit = false;
+        std::string response = HandleServeLine(engine, line, &quit);
+        if (quit) *stop_session = true;
+        return response;
+      });
 }
 
 #endif  // __unix__ || __APPLE__

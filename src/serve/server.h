@@ -11,6 +11,7 @@
 #ifndef PREFCOVER_SERVE_SERVER_H_
 #define PREFCOVER_SERVE_SERVER_H_
 
+#include <functional>
 #include <string>
 
 #include "serve/query_engine.h"
@@ -27,15 +28,31 @@ namespace serve {
 std::string HandleServeLine(QueryEngine* engine, const std::string& line,
                             bool* quit);
 
+/// \brief Answers one session line. Returns the response text (the loop
+/// appends the protocol newline). Set *stop_session to close the
+/// connection after replying; *stop_server additionally tells the accept
+/// loop to stop (both start false).
+using LineHandler = std::function<std::string(
+    const std::string& line, bool* stop_session, bool* stop_server)>;
+
 #if defined(__unix__) || defined(__APPLE__)
 
-/// \brief Serves one accepted connection: newline-delimited requests in,
-/// newline-delimited responses out, over the fault-injectable transport.
-/// Over-long request lines get a well-formed `ERR InvalidArgument ...`
-/// reply (memory stays bounded; the connection survives). A read or
-/// write error closes just this connection, never the server. Closes
-/// `fd`. Returns false when the server should stop accepting (the client
-/// sent `shutdown`).
+/// \brief The generic per-connection line session over the
+/// fault-injectable transport, shared by the query server and the
+/// distributed-solve worker: newline-delimited requests in, handler
+/// responses out. Over-long request lines get a well-formed
+/// `ERR InvalidArgument ...` reply (memory stays bounded; the connection
+/// survives). Requests tagged `@<id> ` (serve/transport.h multiplexing)
+/// are untagged before the handler sees them and their responses echo
+/// the tag, so handlers are tag-oblivious. A read or write error closes
+/// just this connection, never the server. Closes `fd`. Returns false
+/// when the server should stop accepting.
+bool ServeLineSessionLoop(int fd, const LineHandler& handler);
+
+/// \brief Serves one accepted query-protocol connection:
+/// ServeLineSessionLoop over HandleServeLine plus the `shutdown` verb
+/// (ends the session AND the server). Closes `fd`. Returns false when
+/// the server should stop accepting.
 bool ServeConnectionLoop(QueryEngine* engine, int fd);
 
 #endif  // __unix__ || __APPLE__

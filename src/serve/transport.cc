@@ -38,6 +38,33 @@ bool LineChunker::Next(Line* line) {
   return true;
 }
 
+std::string FormatTaggedLine(uint64_t id, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 24);
+  out += '@';
+  out += std::to_string(id);
+  out += ' ';
+  out += payload;
+  return out;
+}
+
+bool ParseTaggedLine(std::string_view line, uint64_t* id,
+                     std::string_view* payload) {
+  if (line.size() < 3 || line[0] != '@') return false;
+  size_t pos = 1;
+  uint64_t value = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    const uint64_t digit = static_cast<uint64_t>(line[pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+    ++pos;
+  }
+  if (pos == 1 || pos >= line.size() || line[pos] != ' ') return false;
+  *id = value;
+  *payload = line.substr(pos + 1);
+  return true;
+}
+
 }  // namespace serve
 }  // namespace prefcover
 
@@ -119,7 +146,15 @@ Result<int> AcceptClient(int listener) {
       obs::MetricsRegistry::Global().GetCounter("serve.accept_transient");
   for (;;) {
     int fd = net::FaultyAccept(listener, nullptr, nullptr);
-    if (fd >= 0) return fd;
+    if (fd >= 0) {
+      // Replies are small request-response lines; Nagle would hold them
+      // hostage to the peer's delayed ACKs (the connect side already
+      // opts out — see ConnectTcp).
+      int nodelay = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                   sizeof(nodelay));
+      return fd;
+    }
     if (errno == EINTR) continue;
     if (IsTransientAcceptErrno(errno)) {
       transient->Increment();
@@ -213,6 +248,82 @@ Result<bool> PollReadable(int fd, int timeout_ms) {
   } while (rc < 0 && errno == EINTR);
   if (rc < 0) return ErrnoStatus("poll()");
   return rc > 0;
+}
+
+Result<uint64_t> MultiplexedConnection::Send(const std::string& payload) {
+  const uint64_t id = next_id_++;
+  std::string line = FormatTaggedLine(id, payload);
+  line.push_back('\n');
+  PREFCOVER_RETURN_NOT_OK(WriteFully(fd_, line.data(), line.size()));
+  outstanding_.insert(id);
+  return id;
+}
+
+Result<std::string> MultiplexedConnection::Await(uint64_t id,
+                                                 int timeout_ms) {
+  const auto take_parked = [&]() -> std::string {
+    auto it = parked_.find(id);
+    std::string text = std::move(it->second);
+    parked_.erase(it);
+    outstanding_.erase(id);
+    return text;
+  };
+  if (parked_.count(id) != 0) return take_parked();
+  if (outstanding_.count(id) == 0) {
+    return Status::NotFound("Await(" + std::to_string(id) +
+                            "): id never sent or already awaited");
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  char chunk[4096];
+  for (;;) {
+    // Drain buffered lines before touching the socket.
+    LineChunker::Line line;
+    while (chunker_.Next(&line)) {
+      if (line.overlong) {
+        return Status::Corruption("overlong response line");
+      }
+      uint64_t got_id = 0;
+      std::string_view payload;
+      if (!ParseTaggedLine(line.text, &got_id, &payload)) {
+        return Status::Corruption(
+            "untagged response on a multiplexed connection: " + line.text);
+      }
+      parked_[got_id] = std::string(payload);
+      if (got_id == id) return take_parked();
+    }
+    int remaining_ms = -1;
+    if (timeout_ms >= 0) {
+      remaining_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count());
+      if (remaining_ms <= 0) {
+        return Status::IOError("Await(" + std::to_string(id) +
+                               "): response timeout");
+      }
+    }
+    PREFCOVER_ASSIGN_OR_RETURN(bool readable,
+                               PollReadable(fd_, remaining_ms));
+    if (!readable) {
+      return Status::IOError("Await(" + std::to_string(id) +
+                             "): response timeout");
+    }
+    PREFCOVER_ASSIGN_OR_RETURN(size_t got,
+                               ReadSome(fd_, chunk, sizeof(chunk)));
+    if (got == 0) {
+      return Status::IOError("Await(" + std::to_string(id) +
+                             "): connection closed by peer");
+    }
+    chunker_.Append(std::string_view(chunk, got));
+  }
+}
+
+Result<std::string> MultiplexedConnection::Call(const std::string& payload,
+                                                int timeout_ms) {
+  PREFCOVER_ASSIGN_OR_RETURN(uint64_t id, Send(payload));
+  return Await(id, timeout_ms);
 }
 
 }  // namespace serve

@@ -29,6 +29,8 @@
 #include <deque>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/status.h"
 
@@ -77,7 +79,69 @@ class LineChunker {
   std::deque<Line> ready_;
 };
 
+// --- Request-id multiplexing ---------------------------------------------
+//
+// A plain line-protocol connection carries ONE request/response exchange
+// at a time: responses carry no identity, so matching is purely
+// positional, and two logical requesters sharing a connection would
+// interleave-corrupt each other. ResilientClient respects this by
+// construction (one Call at a time per client), and the distributed
+// coordinator gives every worker its own connection — but the constraint
+// used to be implicit. It is now explicit, tested
+// (tests/serve/transport_test.cc), and escapable: requests prefixed with
+// a `@<id> ` tag are answered with the same tag (ServeLineSessionLoop
+// strips the tag before handling and echoes it on the response line), so
+// multiple in-flight requests on one connection can be matched by id
+// rather than by position. Tagged exchanges must expect single-line
+// responses (the multi-line `metrics` exposition has no per-line tag).
+
+/// \brief Formats `payload` as a tagged request line (no newline).
+std::string FormatTaggedLine(uint64_t id, std::string_view payload);
+
+/// \brief Splits a `@<id> <payload>` tagged line. Returns false (leaving
+/// the outputs untouched) when `line` carries no well-formed tag — such a
+/// line is a plain positional-protocol line, not an error.
+bool ParseTaggedLine(std::string_view line, uint64_t* id,
+                     std::string_view* payload);
+
 #if defined(__unix__) || defined(__APPLE__)
+
+/// \brief Multiple in-flight request/response exchanges over one
+/// connection, matched by request id instead of position.
+///
+/// Send() assigns a fresh id and writes the tagged line; Await() blocks
+/// until the response with that id arrives, parking any other responses
+/// it reads for their own Await calls — so responses may be awaited in
+/// any order relative to sends. Not thread-safe: one owner drives the
+/// connection (the point is pipelining, not shared-socket concurrency).
+/// Borrows `fd`; the caller closes it.
+class MultiplexedConnection {
+ public:
+  explicit MultiplexedConnection(int fd,
+                                 size_t max_line_bytes = kMaxRequestLineBytes)
+      : fd_(fd), chunker_(max_line_bytes) {}
+
+  /// Writes `payload` tagged with a fresh id; returns the id to Await.
+  Result<uint64_t> Send(const std::string& payload);
+
+  /// The response tagged `id`. Reads (parking other ids) until it
+  /// arrives; IOError on timeout, Corruption on an untagged or overlong
+  /// response line, NotFound for an id never issued (or already awaited).
+  Result<std::string> Await(uint64_t id, int timeout_ms);
+
+  /// Send + Await: a serial call through the tagged framing.
+  Result<std::string> Call(const std::string& payload, int timeout_ms);
+
+  /// Responses read but not yet awaited.
+  size_t parked() const { return parked_.size(); }
+
+ private:
+  int fd_;
+  LineChunker chunker_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, std::string> parked_;
+  std::unordered_set<uint64_t> outstanding_;  // sent, not yet awaited
+};
 
 /// \brief Installs SIG_IGN for SIGPIPE (idempotent). A client vanishing
 /// mid-write then surfaces as an EPIPE write error instead of killing

@@ -159,6 +159,7 @@ constexpr ScaleTierSpec kScaleTiers[] = {
     {"S", 20'000, 100},
     {"M", 200'000, 100},
     {"L", 1'000'000, 100},
+    {"XL", 10'000'000, 100},
 };
 
 }  // namespace
@@ -171,8 +172,9 @@ Result<ScaleTier> ParseScaleTierName(const std::string& name) {
   if (name == "S") return ScaleTier::kS;
   if (name == "M") return ScaleTier::kM;
   if (name == "L") return ScaleTier::kL;
+  if (name == "XL") return ScaleTier::kXL;
   return Status::InvalidArgument("unknown scale tier '" + name +
-                                 "' (expected S|M|L)");
+                                 "' (expected S|M|L|XL)");
 }
 
 Result<PreferenceGraph> GenerateScaleTierGraph(ScaleTier tier,

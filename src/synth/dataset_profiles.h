@@ -66,9 +66,11 @@ Result<PreferenceGraph> GenerateProfileGraphWithNodes(DatasetProfile profile,
 /// (`bench/scale_tier`): Zipf-skewed PE-shaped graphs at three fixed node
 /// counts, so timings are comparable across commits.
 enum class ScaleTier {
-  kS,  //     20,000 nodes — CI determinism checks, quick local runs
-  kM,  //    200,000 nodes — local perf iteration
-  kL,  //  1,000,000 nodes — the nightly perf-smoke scale tier
+  kS,   //     20,000 nodes — CI determinism checks, quick local runs
+  kM,   //    200,000 nodes — local perf iteration
+  kL,   //  1,000,000 nodes — the nightly perf-smoke scale tier
+  kXL,  // 10,000,000 nodes — distributed-solve-only (a single process
+        // is not the intended execution at this size; see DISTRIBUTED.md)
 };
 
 /// \brief Shape of one tier: node count plus the pinned solve budget used
@@ -81,7 +83,7 @@ struct ScaleTierSpec {
 
 const ScaleTierSpec& GetScaleTierSpec(ScaleTier tier);
 
-/// Parses "S"/"M"/"L".
+/// Parses "S"/"M"/"L"/"XL".
 Result<ScaleTier> ParseScaleTierName(const std::string& name);
 
 /// \brief Generates the tier's graph: the PE profile (Zipf popularity

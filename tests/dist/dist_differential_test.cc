@@ -1,0 +1,294 @@
+// The distributed byte-identity contract (ISSUE 10 acceptance): for
+// N ∈ {1, 2, 4, 8} worker processes, SolveGreedyDistributed selects the
+// same items, the same cover curve and the same I[] — byte-for-byte —
+// as the single-process SolveGreedyLazy, across 30 seeded instances of
+// both variants with a mixed constraint load, at the dispatch kernel
+// tier and (a subset) pinned to scalar. Workers here are in-process
+// TCP servers (real sockets, real wire grammar, no fork), which keeps
+// the sweep fast enough for ASan CI; the chaos suite covers real
+// processes.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <unistd.h>
+
+#include "core/greedy_solver.h"
+#include "dist/distributed_solver.h"
+#include "dist/worker.h"
+#include "graph/graph_generators.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace prefcover {
+namespace dist {
+namespace {
+
+constexpr size_t kNumSeeds = 30;
+constexpr size_t kWorkerCounts[] = {1, 2, 4, 8};
+
+// One in-process dist-worker server: a listener on an ephemeral port
+// with a serial accept loop on a thread, exactly the CLI's topology.
+class WorkerServer {
+ public:
+  explicit WorkerServer(const PreferenceGraph* graph) : worker_(graph) {
+    serve::IgnoreSigpipe();
+    auto listener = serve::ListenTcp(0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = *listener;
+    auto port = serve::LocalPort(listener_);
+    EXPECT_TRUE(port.ok()) << port.status().ToString();
+    port_ = *port;
+    thread_ = std::thread([this] {
+      bool keep_serving = true;
+      while (keep_serving) {
+        auto client = serve::AcceptClient(listener_);
+        if (!client.ok()) break;  // listener closed: shut down
+        keep_serving = serve::ServeLineSessionLoop(
+            *client,
+            [this](const std::string& line, bool* stop_session,
+                   bool* stop_server) {
+              return worker_.HandleLine(line, stop_session, stop_server);
+            });
+      }
+    });
+  }
+
+  ~WorkerServer() {
+    // A `shutdown` verb ends the accept loop cleanly; if the socket path
+    // fails (it should not), closing the listener unblocks the thread.
+    auto fd = serve::ConnectTcp("127.0.0.1", port_, 1000);
+    if (fd.ok()) {
+      static const char kShutdown[] = "shutdown\n";
+      (void)serve::WriteFully(*fd, kShutdown, sizeof(kShutdown) - 1);
+      char buffer[64];
+      (void)serve::ReadSome(*fd, buffer, sizeof(buffer));
+      ::close(*fd);
+    } else {
+      ::close(listener_);
+      listener_ = -1;
+    }
+    thread_.join();
+    if (listener_ >= 0) ::close(listener_);
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  DistWorker worker_;
+  int listener_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+struct DiffInstance {
+  PreferenceGraph graph;
+  size_t k = 0;
+  GreedyOptions options;
+  std::string label;
+};
+
+// Deterministic instance mix: graph shape, variant, budget and the
+// constraint load all vary with the seed (mirrors the single-process
+// equivalence sweep in tests/core/greedy_equivalence_test.cc).
+DiffInstance MakeInstance(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 17);
+  UniformGraphParams params;
+  params.num_nodes = static_cast<uint32_t>(40 + (seed * 13) % 160);
+  params.out_degree = static_cast<uint32_t>(3 + seed % 6);
+  params.popularity_skew = 0.4 + 0.4 * static_cast<double>(seed % 4);
+  const Variant variant =
+      seed % 2 == 0 ? Variant::kIndependent : Variant::kNormalized;
+  params.normalized_out_weights = variant == Variant::kNormalized;
+  auto graph = GenerateUniformGraph(params, &rng);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+
+  DiffInstance instance{std::move(graph).value(), 0, {}, {}};
+  const size_t n = instance.graph.NumNodes();
+  instance.k = std::max<size_t>(1, n * (5 + (seed * 7) % 40) / 100);
+  instance.options.variant = variant;
+  instance.label = "seed=" + std::to_string(seed) +
+                   " n=" + std::to_string(n) +
+                   " k=" + std::to_string(instance.k);
+
+  // Every third instance carries exclusions; every third of those also
+  // stops early at a coverage threshold.
+  if (seed % 3 == 1) {
+    for (NodeId v = 0; v < n; v += static_cast<NodeId>(7 + seed % 5)) {
+      instance.options.force_exclude.push_back(v);
+    }
+    instance.label += " excl=" +
+                      std::to_string(instance.options.force_exclude.size());
+    if (seed % 9 == 1) {
+      instance.options.stop_at_cover =
+          0.35 + 0.05 * static_cast<double>(seed % 5);
+      instance.label += " stop";
+    }
+  }
+  return instance;
+}
+
+void ExpectByteIdentical(const Solution& dist, const Solution& reference,
+                         const std::string& label) {
+  EXPECT_EQ(dist.items, reference.items) << label;
+  EXPECT_EQ(std::memcmp(&dist.cover, &reference.cover, sizeof(double)), 0)
+      << label;
+  ASSERT_EQ(dist.cover_after_prefix.size(),
+            reference.cover_after_prefix.size())
+      << label;
+  EXPECT_EQ(std::memcmp(dist.cover_after_prefix.data(),
+                        reference.cover_after_prefix.data(),
+                        dist.cover_after_prefix.size() * sizeof(double)),
+            0)
+      << label;
+  ASSERT_EQ(dist.item_contributions.size(),
+            reference.item_contributions.size())
+      << label;
+  EXPECT_EQ(std::memcmp(dist.item_contributions.data(),
+                        reference.item_contributions.data(),
+                        dist.item_contributions.size() * sizeof(double)),
+            0)
+      << label;
+}
+
+// Spawns `num_workers` servers on `graph`, solves, compares against the
+// single-process reference.
+void RunDistAndCompare(const DiffInstance& instance,
+                       const Solution& reference, size_t num_workers,
+                       const std::string& simd_level = "",
+                       ThreadPool* pool = nullptr) {
+  std::vector<std::unique_ptr<WorkerServer>> servers;
+  DistSolveOptions dist_options;
+  for (size_t i = 0; i < num_workers; ++i) {
+    servers.push_back(std::make_unique<WorkerServer>(&instance.graph));
+    DistWorkerEndpoint endpoint;
+    endpoint.port = servers.back()->port();
+    dist_options.workers.push_back(endpoint);
+  }
+  dist_options.simd_level = simd_level;
+  dist_options.pool = pool;
+  auto dist = SolveGreedyDistributed(instance.graph, instance.k,
+                                     instance.options, dist_options);
+  const std::string label =
+      instance.label + " workers=" + std::to_string(num_workers) +
+      (simd_level.empty() ? "" : " simd=" + simd_level);
+  ASSERT_TRUE(dist.ok()) << label << ": " << dist.status().ToString();
+  EXPECT_EQ(dist->algorithm, "greedy-dist") << label;
+  ExpectByteIdentical(*dist, reference, label);
+}
+
+TEST(DistDifferentialTest, EveryWorkerCountIsByteIdenticalToLazy) {
+  for (uint64_t seed = 0; seed < kNumSeeds; ++seed) {
+    const DiffInstance instance = MakeInstance(seed);
+    auto reference =
+        SolveGreedyLazy(instance.graph, instance.k, instance.options);
+    ASSERT_TRUE(reference.ok())
+        << instance.label << ": " << reference.status().ToString();
+    for (size_t num_workers : kWorkerCounts) {
+      RunDistAndCompare(instance, *reference, num_workers);
+    }
+  }
+}
+
+TEST(DistDifferentialTest, ScalarPinnedWorkersMatchDispatchReference) {
+  // The kernel tiers are bit-identical, so workers pinned to the scalar
+  // tier must reproduce the (dispatch-tier) reference bytes too — this
+  // is the cross-tier guarantee the perf gate's pinning relies on.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const DiffInstance instance = MakeInstance(seed);
+    auto reference =
+        SolveGreedyLazy(instance.graph, instance.k, instance.options);
+    ASSERT_TRUE(reference.ok());
+    RunDistAndCompare(instance, *reference, 4, "scalar");
+  }
+}
+
+TEST(DistDifferentialTest, ThreadPoolFanOutMatchesSerialFanOut) {
+  // The propose/commit broadcast order must not matter: a pooled
+  // fan-out returns the same bytes as the serial loop.
+  ThreadPool pool(4);
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const DiffInstance instance = MakeInstance(seed);
+    auto reference =
+        SolveGreedyLazy(instance.graph, instance.k, instance.options);
+    ASSERT_TRUE(reference.ok());
+    RunDistAndCompare(instance, *reference, 4, "", &pool);
+  }
+}
+
+TEST(DistDifferentialTest, MoreWorkersThanCandidatesStillSolves) {
+  // 8 workers over a 10-node graph: most shards hold one candidate,
+  // integer partitioning must not starve or double-assign any of them.
+  Rng rng(99);
+  UniformGraphParams params;
+  params.num_nodes = 10;
+  params.out_degree = 3;
+  auto graph = GenerateUniformGraph(params, &rng);
+  ASSERT_TRUE(graph.ok());
+  DiffInstance instance{std::move(graph).value(), 5, {}, "tiny n=10 k=5"};
+  auto reference =
+      SolveGreedyLazy(instance.graph, instance.k, instance.options);
+  ASSERT_TRUE(reference.ok());
+  RunDistAndCompare(instance, *reference, 8);
+}
+
+TEST(DistDifferentialTest, EvaluatorFactoryComposesWithGenericDriver) {
+  // MakeDistributedEvaluatorFactory is the composition seam: the generic
+  // driver over the distributed evaluator IS SolveGreedyDistributed.
+  const DiffInstance instance = MakeInstance(4);
+  auto reference =
+      SolveGreedyLazy(instance.graph, instance.k, instance.options);
+  ASSERT_TRUE(reference.ok());
+
+  std::vector<std::unique_ptr<WorkerServer>> servers;
+  DistSolveOptions dist_options;
+  for (size_t i = 0; i < 2; ++i) {
+    servers.push_back(std::make_unique<WorkerServer>(&instance.graph));
+    DistWorkerEndpoint endpoint;
+    endpoint.port = servers.back()->port();
+    dist_options.workers.push_back(endpoint);
+  }
+  auto solution = SolveGreedyWithEvaluator(
+      instance.graph, instance.k, instance.options,
+      MakeDistributedEvaluatorFactory(dist_options), "greedy-dist");
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  ExpectByteIdentical(*solution, *reference, instance.label + " via factory");
+}
+
+TEST(DistDifferentialTest, NoWorkersIsInvalidArgument) {
+  const DiffInstance instance = MakeInstance(0);
+  DistSolveOptions dist_options;  // empty fleet
+  auto solution = SolveGreedyDistributed(instance.graph, instance.k,
+                                         instance.options, dist_options);
+  EXPECT_FALSE(solution.ok());
+}
+
+TEST(DistDifferentialTest, UnreachableWorkerFailsTheSolveFast) {
+  // A fleet whose only worker never existed: the first seating must
+  // fail with a transport error, not hang.
+  const DiffInstance instance = MakeInstance(1);
+  DistSolveOptions dist_options;
+  DistWorkerEndpoint endpoint;
+  endpoint.port = 1;  // reserved, nothing listens here
+  dist_options.workers.push_back(endpoint);
+  dist_options.client.request_timeout_ms = 200;
+  dist_options.client.max_attempts = 2;
+  auto solution = SolveGreedyDistributed(instance.graph, instance.k,
+                                         instance.options, dist_options);
+  EXPECT_FALSE(solution.ok());
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace prefcover
+
+#endif  // __unix__ || __APPLE__

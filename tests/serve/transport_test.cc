@@ -129,6 +129,49 @@ TEST(LineChunkerTest, ExactBoundIsNotOverlong) {
   EXPECT_EQ(lines[1].text, "abcd");
 }
 
+// --- Request-id multiplex framing ----------------------------------------
+
+TEST(TaggedLineTest, FormatParseRoundTrip) {
+  const std::string line = FormatTaggedLine(7, "propose seq=3");
+  EXPECT_EQ(line, "@7 propose seq=3");
+  uint64_t id = 0;
+  std::string_view payload;
+  ASSERT_TRUE(ParseTaggedLine(line, &id, &payload));
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(payload, "propose seq=3");
+
+  // The largest id round-trips; so does an empty payload.
+  const uint64_t huge = UINT64_MAX;
+  ASSERT_TRUE(ParseTaggedLine(FormatTaggedLine(huge, ""), &id, &payload));
+  EXPECT_EQ(id, huge);
+  EXPECT_EQ(payload, "");
+}
+
+TEST(TaggedLineTest, UntaggedLinesAreLeftAlone) {
+  // A line without a well-formed `@<id> ` prefix is a plain positional
+  // line, not an error — and the outputs stay untouched.
+  uint64_t id = 99;
+  std::string_view payload = "sentinel";
+  for (const char* line :
+       {"covered 1", "", "@", "@ x", "@x payload", "@12", "@12x payload",
+        "@12\tpayload", "@-3 payload",
+        // Overflowing the id is a malformed tag, not a wrapped one.
+        "@18446744073709551616 payload"}) {
+    EXPECT_FALSE(ParseTaggedLine(line, &id, &payload)) << "'" << line << "'";
+    EXPECT_EQ(id, 99u);
+    EXPECT_EQ(payload, "sentinel");
+  }
+}
+
+TEST(TaggedLineTest, TagBindsToFirstSpaceOnly) {
+  // Payloads may themselves contain `@` and digits.
+  uint64_t id = 0;
+  std::string_view payload;
+  ASSERT_TRUE(ParseTaggedLine("@3 @5 nested", &id, &payload));
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(payload, "@5 nested");
+}
+
 #if defined(__unix__) || defined(__APPLE__)
 
 std::shared_ptr<const ServingIndex> MakeIndex() {
@@ -276,6 +319,165 @@ TEST(ServeConnectionLoopTest, ShutdownVerbStopsAccepting) {
   server.join();
   EXPECT_FALSE(keep_serving);
   ::close(fds[1]);
+}
+
+// --- MultiplexedConnection ------------------------------------------------
+
+// Socketpair with a scripted peer: the test drives the client end, the
+// peer thread plays a server that answers per `script` (a map from
+// received payload to response payload, echoed with the request's tag in
+// whatever order `reply_order` lists the payloads).
+struct ScriptedPeer {
+  int client_fd = -1;
+
+  ScriptedPeer(std::vector<std::pair<std::string, std::string>> script,
+               std::vector<std::string> reply_order) {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client_fd = fds[1];
+    thread_ = std::thread([fd = fds[0], script = std::move(script),
+                           order = std::move(reply_order)] {
+      // Read one tagged request per script entry, remember its tag, then
+      // reply in the scripted order.
+      LineChunker chunker;
+      std::vector<std::pair<uint64_t, std::string>> seen;  // tag, payload
+      char buffer[1024];
+      while (seen.size() < script.size()) {
+        auto got = ReadSome(fd, buffer, sizeof(buffer));
+        if (!got.ok() || *got == 0) break;
+        chunker.Append(std::string_view(buffer, *got));
+        LineChunker::Line line;
+        while (chunker.Next(&line)) {
+          uint64_t tag = 0;
+          std::string_view payload;
+          ASSERT_TRUE(ParseTaggedLine(line.text, &tag, &payload))
+              << line.text;
+          seen.emplace_back(tag, std::string(payload));
+        }
+      }
+      for (const std::string& want : order) {
+        for (const auto& [tag, payload] : seen) {
+          if (payload != want) continue;
+          std::string response;
+          for (const auto& [request, reply] : script) {
+            if (request == payload) response = reply;
+          }
+          std::string line = FormatTaggedLine(tag, response);
+          line.push_back('\n');
+          ASSERT_TRUE(WriteFully(fd, line.data(), line.size()).ok());
+        }
+      }
+      ::close(fd);
+    });
+  }
+
+  ~ScriptedPeer() {
+    thread_.join();
+    ::close(client_fd);
+  }
+
+ private:
+  std::thread thread_;
+};
+
+TEST(MultiplexedConnectionTest, ResponsesMatchedByIdNotPosition) {
+  // The peer answers the second request first; Await must still hand
+  // each caller its own response, parking the early one.
+  ScriptedPeer peer({{"alpha", "OK a"}, {"beta", "OK b"}},
+                    /*reply_order=*/{"beta", "alpha"});
+  MultiplexedConnection mux(peer.client_fd);
+  auto id_a = mux.Send("alpha");
+  auto id_b = mux.Send("beta");
+  ASSERT_TRUE(id_a.ok());
+  ASSERT_TRUE(id_b.ok());
+  ASSERT_NE(*id_a, *id_b);
+
+  // Awaiting the FIRST send reads past the out-of-order reply for the
+  // second, which gets parked for its own Await.
+  auto response_a = mux.Await(*id_a, 2000);
+  ASSERT_TRUE(response_a.ok()) << response_a.status().ToString();
+  EXPECT_EQ(*response_a, "OK a");
+  EXPECT_EQ(mux.parked(), 1u);
+  auto response_b = mux.Await(*id_b, 2000);
+  ASSERT_TRUE(response_b.ok()) << response_b.status().ToString();
+  EXPECT_EQ(*response_b, "OK b");
+  EXPECT_EQ(mux.parked(), 0u);
+}
+
+TEST(MultiplexedConnectionTest, AwaitRejectsUnknownAndSpentIds) {
+  ScriptedPeer peer({{"ping", "pong"}}, {"ping"});
+  MultiplexedConnection mux(peer.client_fd);
+  // Never issued.
+  EXPECT_TRUE(mux.Await(42, 100).status().IsNotFound());
+  auto id = mux.Send("ping");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(mux.Await(*id, 2000).ok());
+  // Already awaited: the exchange is spent.
+  EXPECT_TRUE(mux.Await(*id, 100).status().IsNotFound());
+}
+
+TEST(MultiplexedConnectionTest, UntaggedResponseIsCorruption) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread peer([fd = fds[0]] {
+    char buffer[256];
+    (void)ReadSome(fd, buffer, sizeof(buffer));
+    static const char kBare[] = "OK bare\n";
+    (void)WriteFully(fd, kBare, sizeof(kBare) - 1);
+    ::close(fd);
+  });
+  MultiplexedConnection mux(fds[1]);
+  auto id = mux.Send("ping");
+  ASSERT_TRUE(id.ok());
+  // A plain positional response on a multiplexed connection is a framing
+  // violation, not a match for any id.
+  EXPECT_TRUE(mux.Await(*id, 2000).status().IsCorruption());
+  peer.join();
+  ::close(fds[1]);
+}
+
+TEST(MultiplexedConnectionTest, AwaitTimesOutAsIOError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  MultiplexedConnection mux(fds[1]);
+  auto id = mux.Send("ping");  // peer never answers
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(mux.Await(*id, 50).status().IsIOError());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeLineSessionLoopTest, EchoesRequestTags) {
+  // The session loop untags requests before the handler and re-tags the
+  // replies, so a tag-oblivious handler serves multiplexed clients.
+  IgnoreSigpipe();
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([fd = fds[0]] {
+    ServeLineSessionLoop(fd, [](const std::string& line, bool* stop_session,
+                                bool* /*stop_server*/) {
+      if (line == "quit") {
+        *stop_session = true;
+        return std::string("OK bye");
+      }
+      return "echo:" + line;
+    });
+  });
+  const std::string requests = "@11 one\nplain\n@12 two\nquit\n";
+  ASSERT_TRUE(WriteFully(fds[1], requests.data(), requests.size()).ok());
+  std::string received;
+  char chunk[1024];
+  for (;;) {
+    auto got = ReadSome(fds[1], chunk, sizeof(chunk));
+    ASSERT_TRUE(got.ok());
+    if (*got == 0) break;
+    received.append(chunk, *got);
+  }
+  server.join();
+  ::close(fds[1]);
+  // The handler saw untagged payloads; tagged requests got tagged
+  // replies, the plain request a plain reply, in arrival order.
+  EXPECT_EQ(received, "@11 echo:one\necho:plain\n@12 echo:two\nOK bye\n");
 }
 
 #endif  // __unix__ || __APPLE__

@@ -1,0 +1,288 @@
+// dist_launch — one-command harness for the distributed sharded greedy
+// solve: forks N `prefcover dist-worker` processes on ephemeral ports,
+// coordinates a solve across them, optionally byte-compares the result
+// against the single-process lazy solve, and tears the fleet down.
+//
+// Chaos seam: --kill_worker_round=R SIGKILLs one worker the moment the
+// coordinator starts selection round R, which exercises the worker-loss
+// detection + shard-rebalance path end to end (the final solution must
+// still be byte-identical — asserted when --compare_single is on).
+// --failpoints exports a PREFCOVER_FAILPOINTS spec to the workers, so
+// net.* injection runs against real processes, not just socketpairs.
+//
+//   dist_launch --cli=build/tools/prefcover --graph=g.pcg --k=500
+//       --workers=4 --compare_single
+//   dist_launch ... --workers=4 --kill_worker_round=3 --compare_single
+//       --failpoints='net.read=error_once'
+
+#if !defined(__unix__) && !defined(__APPLE__)
+#include <cstdio>
+int main() {
+  std::fprintf(stderr, "dist_launch requires a POSIX platform\n");
+  return 2;
+}
+#else
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/greedy_solver.h"
+#include "dist/distributed_solver.h"
+#include "graph/graph_io.h"
+#include "serve/transport.h"
+#include "util/flags.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+using namespace prefcover;
+
+namespace {
+
+struct WorkerProc {
+  pid_t pid = -1;
+  uint16_t port = 0;
+  bool killed = false;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Forks one worker with stdout on a pipe and parses the
+/// DIST_WORKER_PORT=<port> line it prints once listening.
+Result<WorkerProc> SpawnWorker(const std::string& cli,
+                               const std::string& graph,
+                               const std::string& failpoints) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return Status::IOError("fork: " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    ::close(pipe_fds[0]);
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[1]);
+    if (!failpoints.empty()) {
+      ::setenv("PREFCOVER_FAILPOINTS", failpoints.c_str(), 1);
+    }
+    const std::string graph_flag = "--graph=" + graph;
+    ::execl(cli.c_str(), cli.c_str(), "dist-worker", graph_flag.c_str(),
+            "--port=0", static_cast<char*>(nullptr));
+    std::fprintf(stderr, "exec %s failed\n", cli.c_str());
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+
+  // The worker prints the port line right after binding; read until the
+  // first newline.
+  std::string line;
+  char ch;
+  while (line.size() < 256) {
+    const ssize_t got = ::read(pipe_fds[0], &ch, 1);
+    if (got <= 0) break;
+    if (ch == '\n') break;
+    line.push_back(ch);
+  }
+  ::close(pipe_fds[0]);
+  WorkerProc worker;
+  worker.pid = pid;
+  if (line.rfind("DIST_WORKER_PORT=", 0) != 0) {
+    ::kill(pid, SIGKILL);
+    return Status::Internal("worker did not announce a port (got '" +
+                            line + "')");
+  }
+  auto port = ParseUint32(line.substr(std::strlen("DIST_WORKER_PORT=")));
+  if (!port.ok() || *port == 0 || *port > 65535) {
+    ::kill(pid, SIGKILL);
+    return Status::Internal("bad worker port line '" + line + "'");
+  }
+  worker.port = static_cast<uint16_t>(*port);
+  return worker;
+}
+
+void SendShutdown(uint16_t port) {
+  auto fd = serve::ConnectTcp("127.0.0.1", port, 500);
+  if (!fd.ok()) return;
+  static const char kShutdown[] = "shutdown\n";
+  (void)serve::WriteFully(*fd, kShutdown, sizeof(kShutdown) - 1);
+  char buffer[64];
+  (void)serve::ReadSome(*fd, buffer, sizeof(buffer));
+  ::close(*fd);
+}
+
+void Reap(std::vector<WorkerProc>* workers) {
+  for (WorkerProc& worker : *workers) {
+    if (worker.pid <= 0) continue;
+    if (!worker.killed) SendShutdown(worker.port);
+    // Escalate if the process lingers.
+    for (int i = 0; i < 50; ++i) {
+      if (::waitpid(worker.pid, nullptr, WNOHANG) == worker.pid) {
+        worker.pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (worker.pid > 0) {
+      ::kill(worker.pid, SIGKILL);
+      ::waitpid(worker.pid, nullptr, 0);
+      worker.pid = -1;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "dist_launch: spawn dist-worker processes, run a coordinated "
+      "sharded greedy solve, optionally byte-compare against the "
+      "single-process lazy solve, and shut the fleet down");
+  flags.AddString("cli", "",
+                  "path to the prefcover binary (required; workers run "
+                  "`<cli> dist-worker`)");
+  flags.AddString("graph", "graph.pcg", "graph path");
+  flags.AddInt("k", 100, "number of items to retain");
+  flags.AddString("variant", "independent", "independent|normalized");
+  flags.AddInt("workers", 2, "worker processes to spawn (>= 1)");
+  flags.AddString("simd", "",
+                  "worker kernel tier scalar|word|avx2 (empty = default)");
+  flags.AddInt("threads", 0, "coordinator fan-out pool (0 = serial)");
+  flags.AddBool("compare_single", false,
+                "also run the in-process lazy solve and fail unless "
+                "items, cover curve and I[] are byte-identical");
+  flags.AddInt("kill_worker_round", -1,
+               "SIGKILL the last worker when this selection round starts "
+               "(-1 = never); exercises rebalance");
+  flags.AddString("failpoints", "",
+                  "PREFCOVER_FAILPOINTS spec exported to the workers "
+                  "(e.g. 'net.read=error_once')");
+  flags.AddInt("request_timeout_ms", 5000, "per-request client budget");
+  flags.AddInt("max_attempts", 5, "client attempts per request");
+  Status parse_st = flags.Parse(argc, argv);
+  if (parse_st.IsOutOfRange()) return 0;  // --help
+  if (!parse_st.ok()) return Fail(parse_st);
+  if (flags.GetString("cli").empty()) {
+    return Fail(Status::InvalidArgument("--cli is required"));
+  }
+  const int64_t num_workers = flags.GetInt("workers");
+  if (num_workers < 1) {
+    return Fail(Status::InvalidArgument("--workers must be >= 1"));
+  }
+
+  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto variant = ParseVariant(flags.GetString("variant"));
+  if (!variant.ok()) return Fail(variant.status());
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+  if (k > graph->NumNodes()) k = graph->NumNodes();
+
+  std::vector<WorkerProc> workers;
+  for (int64_t i = 0; i < num_workers; ++i) {
+    auto worker = SpawnWorker(flags.GetString("cli"),
+                              flags.GetString("graph"),
+                              flags.GetString("failpoints"));
+    if (!worker.ok()) {
+      Reap(&workers);
+      return Fail(worker.status());
+    }
+    std::printf("worker %lld: pid %d port %u\n",
+                static_cast<long long>(i),
+                static_cast<int>(worker->pid),
+                static_cast<unsigned>(worker->port));
+    workers.push_back(*worker);
+  }
+
+  GreedyOptions options;
+  options.variant = *variant;
+
+  dist::DistSolveOptions dist_options;
+  for (const WorkerProc& worker : workers) {
+    dist::DistWorkerEndpoint endpoint;
+    endpoint.port = worker.port;
+    dist_options.workers.push_back(endpoint);
+  }
+  dist_options.simd_level = flags.GetString("simd");
+  dist_options.client.request_timeout_ms =
+      static_cast<int>(flags.GetInt("request_timeout_ms"));
+  dist_options.client.max_attempts =
+      static_cast<int>(flags.GetInt("max_attempts"));
+  std::unique_ptr<ThreadPool> pool;
+  if (flags.GetInt("threads") > 0) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<size_t>(flags.GetInt("threads")));
+    dist_options.pool = pool.get();
+  }
+  const int64_t kill_round = flags.GetInt("kill_worker_round");
+  if (kill_round >= 0) {
+    WorkerProc* victim = &workers.back();
+    dist_options.on_round = [kill_round, victim](size_t committed) {
+      if (!victim->killed &&
+          committed == static_cast<size_t>(kill_round)) {
+        std::printf("chaos: SIGKILL worker pid %d at round %zu\n",
+                    static_cast<int>(victim->pid), committed);
+        ::kill(victim->pid, SIGKILL);
+        ::waitpid(victim->pid, nullptr, 0);
+        victim->pid = -1;
+        victim->killed = true;
+      }
+    };
+  }
+
+  auto dist_solution =
+      dist::SolveGreedyDistributed(*graph, k, options, dist_options);
+  Reap(&workers);
+  if (!dist_solution.ok()) return Fail(dist_solution.status());
+  std::printf("dist solve: retained %zu of %zu items, cover %.6f%%\n",
+              dist_solution->items.size(), graph->NumNodes(),
+              dist_solution->cover * 100.0);
+
+  if (flags.GetBool("compare_single")) {
+    auto lazy_solution = SolveGreedyLazy(*graph, k, options);
+    if (!lazy_solution.ok()) return Fail(lazy_solution.status());
+    if (dist_solution->items != lazy_solution->items) {
+      std::fprintf(stderr, "MISMATCH: selected items differ\n");
+      return 1;
+    }
+    if (std::memcmp(&dist_solution->cover, &lazy_solution->cover,
+                    sizeof(double)) != 0 ||
+        dist_solution->cover_after_prefix.size() !=
+            lazy_solution->cover_after_prefix.size() ||
+        std::memcmp(dist_solution->cover_after_prefix.data(),
+                    lazy_solution->cover_after_prefix.data(),
+                    dist_solution->cover_after_prefix.size() *
+                        sizeof(double)) != 0) {
+      std::fprintf(stderr, "MISMATCH: cover curve differs\n");
+      return 1;
+    }
+    if (dist_solution->item_contributions.size() !=
+            lazy_solution->item_contributions.size() ||
+        std::memcmp(dist_solution->item_contributions.data(),
+                    lazy_solution->item_contributions.data(),
+                    dist_solution->item_contributions.size() *
+                        sizeof(double)) != 0) {
+      std::fprintf(stderr, "MISMATCH: item contributions differ\n");
+      return 1;
+    }
+    std::printf("BYTE_IDENTICAL to single-process lazy solve\n");
+  }
+  return 0;
+}
+
+#endif  // POSIX

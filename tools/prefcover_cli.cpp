@@ -9,6 +9,8 @@
 //   threshold   smallest set reaching a coverage target
 //   export      dump a .pcg graph to nodes/edges CSV
 //   serve       answer substitute queries over a serving index
+//   dist-worker candidate-shard worker for the distributed greedy solve
+//   dist-solve  coordinate a sharded greedy solve over dist-workers
 //   version     print the build version
 //
 // Typical session:
@@ -48,6 +50,8 @@
 #include "core/complementary_solver.h"
 #include "core/constrained_solver.h"
 #include "core/greedy_solver.h"
+#include "dist/distributed_solver.h"
+#include "dist/worker.h"
 #include "eval/report.h"
 #include "eval/runner.h"
 #include "obs/exposition.h"
@@ -1044,6 +1048,118 @@ int CmdServe(int argc, char** argv) {
 #endif
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+
+int CmdDistWorker(int argc, char** argv) {
+  FlagParser flags(
+      "prefcover dist-worker: candidate-shard worker for the distributed "
+      "greedy solve (protocol in DISTRIBUTED.md). Prints "
+      "DIST_WORKER_PORT=<port> once listening; runs until a coordinator "
+      "sends `shutdown`");
+  flags.AddString("graph", "graph.pcg",
+                  "graph path (every worker loads the full graph; the "
+                  "coordinator's `init` assigns the candidate shard)");
+  flags.AddInt("port", 0, "TCP port to listen on (0 = ephemeral)");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+  const int64_t port = flags.GetInt("port");
+  if (port < 0 || port > 65535) {
+    return Fail(Status::InvalidArgument("--port must be in [0, 65535]"));
+  }
+  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  Status st = dist::RunDistWorkerServer(*graph, static_cast<uint16_t>(port));
+  if (!st.ok()) return Fail(st);
+  return 0;
+}
+
+int CmdDistSolve(int argc, char** argv) {
+  FlagParser flags(
+      "prefcover dist-solve: coordinate a sharded greedy solve over "
+      "running dist-worker processes (byte-identical to "
+      "solve --algorithm=lazy; see DISTRIBUTED.md)");
+  flags.AddString("graph", "graph.pcg", "graph path");
+  flags.AddInt("k", 100, "number of items to retain");
+  flags.AddString("variant", "auto", "independent|normalized|auto");
+  flags.AddString("workers", "",
+                  "comma-separated worker endpoints `host:port[,...]` "
+                  "(required)");
+  flags.AddString("simd", "",
+                  "worker kernel tier scalar|word|avx2 (empty = each "
+                  "worker's default dispatch)");
+  flags.AddInt("threads", 0,
+               "fan-out pool threads for the per-round broadcasts "
+               "(0 = serial)");
+  flags.AddBool("stats", false, "print solver telemetry");
+  flags.AddString("out", "", "optional CSV for the retained items");
+  if (int rc = ParseOrExit(&flags, argc, argv); rc != 0) return rc == 2 ? 0 : 1;
+
+  auto graph = ReadGraphBinaryFile(flags.GetString("graph"));
+  if (!graph.ok()) return Fail(graph.status());
+  auto variant = ResolveVariant(flags.GetString("variant"), *graph);
+  if (!variant.ok()) return Fail(variant.status());
+  if (flags.GetInt("k") <= 0) {
+    return Fail(Status::InvalidArgument("--k must be >= 1"));
+  }
+  size_t k = static_cast<size_t>(flags.GetInt("k"));
+  if (k > graph->NumNodes()) k = graph->NumNodes();
+
+  dist::DistSolveOptions dist_options;
+  for (const std::string& field :
+       SplitString(flags.GetString("workers"), ',')) {
+    if (field.empty()) continue;
+    const size_t colon = field.rfind(':');
+    if (colon == std::string::npos) {
+      return Fail(Status::InvalidArgument(
+          "worker endpoint must be host:port, got " + field));
+    }
+    auto port = ParseUint32(field.substr(colon + 1));
+    if (!port.ok()) return Fail(port.status());
+    if (*port == 0 || *port > 65535) {
+      return Fail(Status::InvalidArgument("bad worker port in " + field));
+    }
+    dist::DistWorkerEndpoint endpoint;
+    endpoint.host = field.substr(0, colon);
+    endpoint.port = static_cast<uint16_t>(*port);
+    dist_options.workers.push_back(endpoint);
+  }
+  if (dist_options.workers.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--workers requires at least one host:port endpoint"));
+  }
+  dist_options.simd_level = flags.GetString("simd");
+
+  std::unique_ptr<ThreadPool> pool;
+  if (flags.GetInt("threads") > 0) {
+    pool = std::make_unique<ThreadPool>(
+        static_cast<size_t>(flags.GetInt("threads")));
+    dist_options.pool = pool.get();
+  }
+
+  GreedyOptions greedy_options;
+  greedy_options.variant = *variant;
+  auto solution =
+      dist::SolveGreedyDistributed(*graph, k, greedy_options, dist_options);
+  if (!solution.ok()) return Fail(solution.status());
+
+  std::printf("greedy-dist (%s variant, %zu worker(s)): retained %zu of "
+              "%zu items, cover %.4f%% in %s\n",
+              std::string(VariantName(*variant)).c_str(),
+              dist_options.workers.size(), solution->items.size(),
+              graph->NumNodes(), solution->cover * 100.0,
+              FormatDuration(solution->solve_seconds).c_str());
+  if (flags.GetBool("stats")) {
+    std::printf("stats: %s\n", solution->stats.ToString().c_str());
+  }
+  if (!flags.GetString("out").empty()) {
+    Status st = WriteSolutionCsv(*graph, *solution, flags.GetString("out"));
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %s\n", flags.GetString("out").c_str());
+  }
+  return 0;
+}
+
+#endif  // __unix__ || __APPLE__
+
 int CmdVersion() {
   EnvCapture env = EnvCapture::Capture();
   std::printf("prefcover %s\n", BuildVersionString().c_str());
@@ -1063,6 +1179,8 @@ void PrintUsage() {
       "  threshold   smallest set reaching a coverage target\n"
       "  export      dump a .pcg graph to nodes/edges CSV\n"
       "  serve       answer substitute queries over a serving index\n"
+      "  dist-worker candidate-shard worker for the distributed solve\n"
+      "  dist-solve  coordinate a sharded greedy solve over workers\n"
       "  version     print the build version\n\n"
       "run `prefcover <command> --help` for command flags\n",
       stdout);
@@ -1086,6 +1204,10 @@ int main(int argc, char** argv) {
   if (command == "threshold") return CmdThreshold(sub_argc, sub_argv);
   if (command == "export") return CmdExport(sub_argc, sub_argv);
   if (command == "serve") return CmdServe(sub_argc, sub_argv);
+#if defined(__unix__) || defined(__APPLE__)
+  if (command == "dist-worker") return CmdDistWorker(sub_argc, sub_argv);
+  if (command == "dist-solve") return CmdDistSolve(sub_argc, sub_argv);
+#endif
   if (command == "version" || command == "--version") return CmdVersion();
   if (command == "--help" || command == "-h" || command == "help") {
     PrintUsage();
